@@ -1,0 +1,119 @@
+// Command xbench regenerates the experiments of EXPERIMENTS.md: the
+// reproduction of every theorem, lemma, and figure of "Conflicting XML
+// Updates" (EDBT 2006), as correctness validations plus complexity-shape
+// measurements.
+//
+// Usage:
+//
+//	xbench                 run all experiments (E1-E12)
+//	xbench -run E3,E7      run selected experiments
+//	xbench -reps 10        increase averaging repetitions
+//	xbench -seed 42        change the workload seed
+//	xbench -md             emit Markdown tables (for EXPERIMENTS.md)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xmlconflict/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("xbench", flag.ContinueOnError)
+	runIDs := fs.String("run", "", "comma-separated experiment ids (default: all)")
+	seed := fs.Int64("seed", 1, "workload seed")
+	reps := fs.Int("reps", 3, "averaging repetitions")
+	md := fs.Bool("md", false, "emit Markdown tables")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var tables []experiments.Table
+	if *runIDs == "" {
+		tables = experiments.All(*seed, *reps)
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			tb, err := experiments.ByID(strings.TrimSpace(id), *seed, *reps)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xbench: %v\n", err)
+				return 2
+			}
+			tables = append(tables, tb)
+		}
+	}
+	for _, tb := range tables {
+		if *md {
+			printMarkdown(tb)
+		} else {
+			printPlain(tb)
+		}
+	}
+	return 0
+}
+
+func printPlain(t experiments.Table) {
+	fmt.Printf("=== %s: %s ===\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", maxInt(0, widths[i]-len(c))))
+			}
+		}
+		fmt.Println("  " + strings.TrimRight(b.String(), " "))
+	}
+	printRow(t.Header)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Printf("  note: %s\n", n)
+	}
+	fmt.Println()
+}
+
+func printMarkdown(t experiments.Table) {
+	fmt.Printf("### %s — %s\n\n", t.ID, t.Title)
+	fmt.Println("| " + strings.Join(t.Header, " | ") + " |")
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Println("| " + strings.Join(seps, " | ") + " |")
+	for _, row := range t.Rows {
+		fmt.Println("| " + strings.Join(row, " | ") + " |")
+	}
+	fmt.Println()
+	for _, n := range t.Notes {
+		fmt.Printf("*%s*\n\n", n)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

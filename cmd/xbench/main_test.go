@@ -1,0 +1,30 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func quietly(t *testing.T, f func() int) int {
+	t.Helper()
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old }()
+	return f()
+}
+
+func TestRunSelected(t *testing.T) {
+	if code := quietly(t, func() int { return run([]string{"-run", "E2,E11,E12", "-reps", "1"}) }); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if code := quietly(t, func() int { return run([]string{"-run", "E2", "-md"}) }); code != 0 {
+		t.Fatalf("markdown exit = %d", code)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if code := quietly(t, func() int { return run([]string{"-run", "E99"}) }); code != 2 {
+		t.Fatalf("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,191 @@
+// Command xconflict decides whether two XPath-driven operations on XML
+// documents conflict, per "Conflicting XML Updates" (EDBT 2006).
+//
+// Usage:
+//
+//	xconflict -read <xpath> -insert <xpath> -x <xml> [-sem node|tree|value]
+//	xconflict -read <xpath> -delete <xpath>          [-sem node|tree|value]
+//
+// Flags:
+//
+//	-read    the read operation's XPath expression (required)
+//	-insert  the insert operation's XPath expression
+//	-x       the XML fragment the insert adds (default <new/>)
+//	-delete  the delete operation's XPath expression
+//	-sem     conflict semantics: node (default), tree, or value
+//	-shrink  minimize the witness via marking/reparenting (Lemma 11)
+//	-max     witness size bound for the search fallback (branching reads)
+//	-schema  restrict witnesses to documents valid under a schema file
+//	-quiet   print only "conflict" or "no conflict"
+//
+// Exactly one of -insert/-delete must be given. On a conflict the witness
+// document is printed; the exit status is 0 for "no conflict", 1 for
+// "conflict", and 2 for usage or internal errors, so the tool composes
+// with shell scripts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"xmlconflict"
+)
+
+// jsonVerdict is the -json output shape, stable for tooling.
+type jsonVerdict struct {
+	Conflict  bool     `json:"conflict"`
+	Method    string   `json:"method"`
+	Complete  bool     `json:"complete"`
+	Semantics string   `json:"semantics"`
+	Detail    string   `json:"detail,omitempty"`
+	Edge      int      `json:"edge,omitempty"`
+	Word      []string `json:"word,omitempty"`
+	Witness   string   `json:"witness,omitempty"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("xconflict", flag.ContinueOnError)
+	readExpr := fs.String("read", "", "read operation XPath (required)")
+	insExpr := fs.String("insert", "", "insert operation XPath")
+	insXML := fs.String("x", "<new/>", "XML fragment inserted by -insert")
+	delExpr := fs.String("delete", "", "delete operation XPath")
+	semName := fs.String("sem", "node", "conflict semantics: node, tree, or value")
+	shrink := fs.Bool("shrink", false, "minimize the witness (node semantics)")
+	maxNodes := fs.Int("max", 8, "witness size bound for the search fallback")
+	quiet := fs.Bool("quiet", false, "print only the verdict")
+	jsonOut := fs.Bool("json", false, "emit the verdict as JSON")
+	schemaPath := fs.String("schema", "", "restrict witnesses to documents valid under this schema file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *readExpr == "" || (*insExpr == "") == (*delExpr == "") {
+		fmt.Fprintln(os.Stderr, "xconflict: need -read and exactly one of -insert/-delete")
+		fs.Usage()
+		return 2
+	}
+	var sem xmlconflict.Semantics
+	switch *semName {
+	case "node":
+		sem = xmlconflict.NodeSemantics
+	case "tree":
+		sem = xmlconflict.TreeSemantics
+	case "value":
+		sem = xmlconflict.ValueSemantics
+	default:
+		fmt.Fprintf(os.Stderr, "xconflict: unknown semantics %q\n", *semName)
+		return 2
+	}
+
+	rp, err := xmlconflict.ParseXPath(*readExpr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xconflict: -read: %v\n", err)
+		return 2
+	}
+	read := xmlconflict.Read{P: rp}
+
+	var upd xmlconflict.Update
+	if *insExpr != "" {
+		ip, err := xmlconflict.ParseXPath(*insExpr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xconflict: -insert: %v\n", err)
+			return 2
+		}
+		x, err := xmlconflict.ParseXMLString(*insXML)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xconflict: -x: %v\n", err)
+			return 2
+		}
+		upd = xmlconflict.Insert{P: ip, X: x}
+	} else {
+		dp, err := xmlconflict.ParseXPath(*delExpr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xconflict: -delete: %v\n", err)
+			return 2
+		}
+		upd = xmlconflict.Delete{P: dp}
+	}
+
+	var v xmlconflict.Verdict
+	if *schemaPath != "" {
+		src, err := os.ReadFile(*schemaPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xconflict: %v\n", err)
+			return 2
+		}
+		s, err := xmlconflict.ParseSchema(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xconflict: %v\n", err)
+			return 2
+		}
+		v, err = xmlconflict.DetectUnderSchema(read, upd, sem, s, xmlconflict.SearchOptions{MaxNodes: *maxNodes})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xconflict: %v\n", err)
+			return 2
+		}
+	} else {
+		var err error
+		v, err = xmlconflict.Detect(read, upd, sem, xmlconflict.SearchOptions{MaxNodes: *maxNodes})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xconflict: %v\n", err)
+			return 2
+		}
+	}
+	if *jsonOut {
+		out := jsonVerdict{
+			Conflict:  v.Conflict,
+			Method:    v.Method,
+			Complete:  v.Complete,
+			Detail:    v.Detail,
+			Semantics: sem.String(),
+			Edge:      v.Edge,
+			Word:      v.Word,
+		}
+		if v.Witness != nil {
+			out.Witness = v.Witness.XML()
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "xconflict: %v\n", err)
+			return 2
+		}
+		if v.Conflict {
+			return 1
+		}
+		return 0
+	}
+	if *quiet {
+		if v.Conflict {
+			fmt.Println("conflict")
+			return 1
+		}
+		fmt.Println("no conflict")
+		return 0
+	}
+	fmt.Printf("verdict:  %s\n", v)
+	if v.Conflict && v.Witness != nil {
+		w := v.Witness
+		if *shrink && sem == xmlconflict.NodeSemantics {
+			if s, err := xmlconflict.ShrinkWitness(w, read, upd); err == nil {
+				w = s
+			}
+		}
+		fmt.Printf("witness:  %s\n", w.XML())
+		fmt.Printf("          (%d nodes)\n", w.Size())
+	}
+	if !v.Complete {
+		fmt.Println("note:     the verdict rests on a bounded search that was inconclusive")
+		fmt.Println("          (detection here is NP-complete or, under a schema, of open")
+		fmt.Println("          complexity) — raise -max for more confidence")
+	}
+	if v.Conflict {
+		return 1
+	}
+	return 0
+}

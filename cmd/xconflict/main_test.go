@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"conflict", []string{"-read", "//C", "-insert", "/*/B", "-x", "<C/>"}, 1},
+		{"no conflict", []string{"-read", "//D", "-insert", "/*/B", "-x", "<C/>"}, 0},
+		{"delete conflict", []string{"-read", "/a/b/c", "-delete", "/a/b"}, 1},
+		{"delete no conflict", []string{"-read", "/a", "-delete", "/a/b"}, 0},
+		{"tree semantics", []string{"-read", "/a", "-delete", "/a/b", "-sem", "tree"}, 1},
+		{"value semantics", []string{"-read", "/a", "-delete", "/a/b", "-sem", "value"}, 1},
+		{"quiet conflict", []string{"-quiet", "-read", "//C", "-insert", "/*/B", "-x", "<C/>"}, 1},
+		{"shrink", []string{"-shrink", "-read", "//C", "-insert", "/*/B", "-x", "<C/>"}, 1},
+		{"missing read", []string{"-insert", "/a", "-x", "<b/>"}, 2},
+		{"both ops", []string{"-read", "/a", "-insert", "/a", "-delete", "/a/b"}, 2},
+		{"neither op", []string{"-read", "/a"}, 2},
+		{"bad read xpath", []string{"-read", "a[", "-delete", "/a/b"}, 2},
+		{"bad insert xpath", []string{"-read", "/a", "-insert", "]["}, 2},
+		{"bad delete xpath", []string{"-read", "/a", "-delete", "]["}, 2},
+		{"bad xml", []string{"-read", "/a", "-insert", "/a", "-x", "<unclosed>"}, 2},
+		{"bad semantics", []string{"-read", "/a", "-delete", "/a/b", "-sem", "bogus"}, 2},
+		{"delete of root", []string{"-read", "/a", "-delete", "/a"}, 2},
+		{"branching read search", []string{"-read", "/a[q]/b", "-insert", "/a", "-x", "<b/>", "-max", "4"}, 1},
+		{"missing schema file", []string{"-schema", "/nonexistent", "-read", "/a", "-delete", "/a/b"}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := run(c.args); got != c.want {
+				t.Fatalf("run(%v) = %d, want %d", c.args, got, c.want)
+			}
+		})
+	}
+}
+
+func TestSchemaFlag(t *testing.T) {
+	schema := `
+root inventory
+inventory: book*
+book: title quantity
+quantity: low?
+title:
+low:
+`
+	path := t.TempDir() + "/inv.xds"
+	if err := os.WriteFile(path, []byte(schema), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Schema-free this conflicts; under the schema the insert can never
+	// fire (quantity is not a child of inventory).
+	args := []string{"-read", "//low", "-insert", "/inventory/quantity", "-x", "<low/>"}
+	if got := run(args); got != 1 {
+		t.Fatalf("schema-free: exit %d, want 1", got)
+	}
+	if got := run(append([]string{"-schema", path}, args...)); got != 0 {
+		t.Fatalf("under schema: exit != 0")
+	}
+	// A bad schema file is a usage error.
+	bad := t.TempDir() + "/bad.xds"
+	os.WriteFile(bad, []byte("x: undeclared"), 0o644)
+	if got := run(append([]string{"-schema", bad}, args...)); got != 2 {
+		t.Fatalf("bad schema: exit != 2")
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	// Exit codes carry through JSON mode.
+	if got := run([]string{"-json", "-read", "//C", "-insert", "/*/B", "-x", "<C/>"}); got != 1 {
+		t.Fatalf("json conflict: exit %d", got)
+	}
+	if got := run([]string{"-json", "-read", "//D", "-insert", "/*/B", "-x", "<C/>"}); got != 0 {
+		t.Fatalf("json no-conflict: exit %d", got)
+	}
+}

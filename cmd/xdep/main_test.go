@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const goodProgram = `
+x = doc <x><B/><A/></x>
+y = read $x//A
+insert $x/B, <C/>
+z = read $x//C
+`
+
+func writeProgram(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.xup")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAnalyzeFile(t *testing.T) {
+	// Silence stdout noise by redirecting to a pipe we drain.
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old }()
+
+	path := writeProgram(t, goodProgram)
+	if code := run([]string{path}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if code := run([]string{"-run", path}); code != 0 {
+		t.Fatalf("-run exit = %d", code)
+	}
+	for _, sem := range []string{"node", "tree", "value"} {
+		if code := run([]string{"-sem", sem, path}); code != 0 {
+			t.Fatalf("-sem %s exit = %d", sem, code)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old }()
+
+	if code := run([]string{"-sem", "bogus", writeProgram(t, goodProgram)}); code != 2 {
+		t.Fatalf("bad semantics accepted")
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.xup")}); code != 2 {
+		t.Fatalf("missing file accepted")
+	}
+	if code := run([]string{writeProgram(t, "garbage statement")}); code != 2 {
+		t.Fatalf("bad program accepted")
+	}
+}
+
+func TestOptimizeFlag(t *testing.T) {
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old }()
+
+	path := writeProgram(t, `
+x = doc <x><B/><A/></x>
+y = read $x/*/A
+insert $x/B, <C/>
+u = read $x/*/A
+`)
+	if code := run([]string{"-O", "-run", path}); code != 0 {
+		t.Fatalf("-O exit = %d", code)
+	}
+}

@@ -1,0 +1,126 @@
+// Command xgen emits synthetic workloads for experimenting with the
+// library and the other tools: random XML documents, random patterns in
+// the paper's XPath fragment, Figure-1-style inventories, and the hard
+// containment instance family of the NP-hardness experiments.
+//
+// Usage:
+//
+//	xgen [-seed N] doc -size 200 [-fanout 8] [-labels a,b,c] [-pretty]
+//	xgen [-seed N] inventory -books 20 [-low 0.3]
+//	xgen [-seed N] pattern -size 8 [-branch 0.4] [-wildcard 0.25] [-desc 0.35] [-count 5]
+//	xgen [-seed N] hardpair -n 3
+//
+// Every output is deterministic in -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"xmlconflict/internal/generate"
+	"xmlconflict/internal/pattern"
+	"xmlconflict/internal/xmltree"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("xgen", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "xgen: need a subcommand: doc, inventory, pattern, hardpair")
+		return 2
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	sub := fs.Arg(0)
+	rest := fs.Args()[1:]
+	switch sub {
+	case "doc":
+		dfs := flag.NewFlagSet("doc", flag.ContinueOnError)
+		size := dfs.Int("size", 50, "number of nodes")
+		fanout := dfs.Int("fanout", 8, "maximum children per node (0 = unbounded)")
+		labels := dfs.String("labels", "a,b,c,d", "comma-separated label alphabet")
+		skew := dfs.Float64("skew", 0.3, "depth bias in [0,1]")
+		pretty := dfs.Bool("pretty", false, "indent the output")
+		if err := dfs.Parse(rest); err != nil {
+			return 2
+		}
+		t := xmltree.Random(rng, xmltree.RandomConfig{
+			Size:      *size,
+			Labels:    strings.Split(*labels, ","),
+			MaxFanout: *fanout,
+			Skew:      *skew,
+		})
+		if err := t.Write(os.Stdout, *pretty); err != nil {
+			fmt.Fprintf(os.Stderr, "xgen: %v\n", err)
+			return 2
+		}
+		if !*pretty {
+			fmt.Println()
+		}
+		return 0
+
+	case "inventory":
+		ifs := flag.NewFlagSet("inventory", flag.ContinueOnError)
+		books := ifs.Int("books", 10, "number of books")
+		low := ifs.Float64("low", 0.3, "low-stock fraction")
+		pretty := ifs.Bool("pretty", false, "indent the output")
+		if err := ifs.Parse(rest); err != nil {
+			return 2
+		}
+		t := generate.Inventory(rng, *books, *low)
+		if err := t.Write(os.Stdout, *pretty); err != nil {
+			fmt.Fprintf(os.Stderr, "xgen: %v\n", err)
+			return 2
+		}
+		if !*pretty {
+			fmt.Println()
+		}
+		return 0
+
+	case "pattern":
+		pfs := flag.NewFlagSet("pattern", flag.ContinueOnError)
+		size := pfs.Int("size", 6, "number of pattern nodes")
+		branch := pfs.Float64("branch", 0.4, "branching probability (0 = linear)")
+		wildcard := pfs.Float64("wildcard", 0.25, "wildcard probability")
+		desc := pfs.Float64("desc", 0.35, "descendant-edge probability")
+		labels := pfs.String("labels", "a,b,c", "comma-separated label alphabet")
+		count := pfs.Int("count", 1, "how many patterns to emit")
+		if err := pfs.Parse(rest); err != nil {
+			return 2
+		}
+		for i := 0; i < *count; i++ {
+			p := pattern.Random(rng, pattern.RandomConfig{
+				Size:        *size,
+				Labels:      strings.Split(*labels, ","),
+				PWildcard:   *wildcard,
+				PDescendant: *desc,
+				PBranch:     *branch,
+			})
+			fmt.Println(p)
+		}
+		return 0
+
+	case "hardpair":
+		hfs := flag.NewFlagSet("hardpair", flag.ContinueOnError)
+		n := hfs.Int("n", 2, "family index (≥ 2 is non-contained)")
+		if err := hfs.Parse(rest); err != nil {
+			return 2
+		}
+		p, q := generate.HardPair(*n)
+		fmt.Printf("p = %s\nq = %s\n", p, q)
+		return 0
+
+	default:
+		fmt.Fprintf(os.Stderr, "xgen: unknown subcommand %q\n", sub)
+		return 2
+	}
+}

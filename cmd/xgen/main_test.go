@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture returns what run printed to stdout.
+func capture(t *testing.T, args []string) (string, int) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	code := run(args)
+	w.Close()
+	os.Stdout = old
+	return <-done, code
+}
+
+func TestDocDeterministic(t *testing.T) {
+	a, code := capture(t, []string{"-seed", "7", "doc", "-size", "30"})
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	b, _ := capture(t, []string{"-seed", "7", "doc", "-size", "30"})
+	if a != b {
+		t.Fatalf("same seed differs")
+	}
+	c, _ := capture(t, []string{"-seed", "8", "doc", "-size", "30"})
+	if a == c {
+		t.Fatalf("different seeds agree")
+	}
+	if !strings.HasPrefix(a, "<") {
+		t.Fatalf("not XML: %q", a[:20])
+	}
+}
+
+func TestInventory(t *testing.T) {
+	out, code := capture(t, []string{"inventory", "-books", "5"})
+	if code != 0 || strings.Count(out, "<book>") != 5 {
+		t.Fatalf("exit %d out %s", code, out)
+	}
+}
+
+func TestPatterns(t *testing.T) {
+	out, code := capture(t, []string{"pattern", "-count", "3", "-branch", "0"})
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "/") {
+			t.Fatalf("not an xpath: %q", l)
+		}
+	}
+}
+
+func TestHardPair(t *testing.T) {
+	out, code := capture(t, []string{"hardpair", "-n", "3"})
+	if code != 0 || !strings.Contains(out, "b3") {
+		t.Fatalf("exit %d out %q", code, out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, args := range [][]string{nil, {"bogus"}, {"doc", "-size", "x"}} {
+		if _, code := capture(t, args); code != 2 {
+			t.Fatalf("run(%v) != 2", args)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// withIO runs f with stdin fed from in and returns captured stdout.
+func withIO(t *testing.T, in string, f func()) string {
+	t.Helper()
+	oldIn, oldOut := os.Stdin, os.Stdout
+	defer func() { os.Stdin, os.Stdout = oldIn, oldOut }()
+
+	rIn, wIn, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		io.WriteString(wIn, in)
+		wIn.Close()
+	}()
+	os.Stdin = rIn
+
+	rOut, wOut, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = wOut
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, rOut)
+		done <- buf.String()
+	}()
+
+	f()
+	wOut.Close()
+	return <-done
+}
+
+func TestInsertThenDelete(t *testing.T) {
+	var code int
+	out := withIO(t, "<inv><book><low/></book><book/></inv>", func() {
+		code = run([]string{"insert", "//book[low]", "<restock/>", "delete", "//low"})
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "<restock/>") || strings.Contains(out, "<low/>") {
+		t.Fatalf("output wrong: %s", out)
+	}
+}
+
+func TestPretty(t *testing.T) {
+	var code int
+	out := withIO(t, "<a><b/></a>", func() {
+		code = run([]string{"-pretty", "insert", "/a", "<c/>"})
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "\n  <b/>") {
+		t.Fatalf("not pretty: %q", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		args []string
+	}{
+		{"no ops", "<a/>", nil},
+		{"bad stdin", "not xml", []string{"delete", "/a/b"}},
+		{"insert missing xml", "<a/>", []string{"insert", "/a"}},
+		{"delete missing xpath", "<a/>", []string{"delete"}},
+		{"unknown op", "<a/>", []string{"replace", "/a"}},
+		{"bad xpath", "<a/>", []string{"delete", "]["}},
+		{"bad payload", "<a/>", []string{"insert", "/a", "<x>"}},
+		{"delete root", "<a/>", []string{"delete", "/a"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var code int
+			withIO(t, c.in, func() { code = run(c.args) })
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2", code)
+			}
+		})
+	}
+}

@@ -1,0 +1,106 @@
+package xmlconflict_test
+
+import (
+	"fmt"
+
+	"xmlconflict"
+)
+
+// The paper's Section 1 example: inserting <C/> under B children of the
+// root conflicts with a read of //C but not with a read of //D.
+func Example() {
+	ins := xmlconflict.Insert{
+		P: xmlconflict.MustParseXPath("/*/B"),
+		X: xmlconflict.MustParseXML("<C/>"),
+	}
+	for _, expr := range []string{"//C", "//D"} {
+		v, err := xmlconflict.ReadInsertConflict(xmlconflict.MustParseXPath(expr), ins, xmlconflict.NodeSemantics)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("read %s vs insert <C/> at /*/B: conflict=%v\n", expr, v.Conflict)
+	}
+	// Output:
+	// read //C vs insert <C/> at /*/B: conflict=true
+	// read //D vs insert <C/> at /*/B: conflict=false
+}
+
+// Witnesses are concrete documents: evaluating the read before and after
+// the update on the witness shows the difference.
+func ExampleDetect() {
+	read := xmlconflict.Read{P: xmlconflict.MustParseXPath("/a/b/c")}
+	del := xmlconflict.Delete{P: xmlconflict.MustParseXPath("/a/b")}
+	v, err := xmlconflict.Detect(read, del, xmlconflict.NodeSemantics, xmlconflict.SearchOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("conflict:", v.Conflict)
+	fmt.Println("witness:", v.Witness.XML())
+	ok, _ := xmlconflict.IsConflictWitness(xmlconflict.NodeSemantics, read, del, v.Witness)
+	fmt.Println("verified:", ok)
+	// Output:
+	// conflict: true
+	// witness: <a><b><c/></b></a>
+	// verified: true
+}
+
+// Pattern containment (Definition 11) with counterexamples.
+func ExampleContained() {
+	p := xmlconflict.MustParseXPath("/a/b")
+	q := xmlconflict.MustParseXPath("//b")
+	ok, _ := xmlconflict.Contained(p, q)
+	fmt.Println("a/b ⊆ //b:", ok)
+	ok, counter := xmlconflict.Contained(q, p)
+	fmt.Println("//b ⊆ a/b:", ok, "counterexample:", counter.XML())
+	// Output:
+	// a/b ⊆ //b: true
+	// //b ⊆ a/b: false counterexample: <zc0><b/></zc0>
+}
+
+// Update/update conflicts (Section 6): identical inserts commute; an
+// insert and a delete of the inserted label do not.
+func ExampleUpdateUpdateConflict() {
+	i1 := xmlconflict.Insert{P: xmlconflict.MustParseXPath("/r/a"), X: xmlconflict.MustParseXML("<x/>")}
+	i2 := xmlconflict.Insert{P: xmlconflict.MustParseXPath("/r/a"), X: xmlconflict.MustParseXML("<x/>")}
+	v, _ := xmlconflict.UpdateUpdateConflict(i1, i2, xmlconflict.SearchOptions{})
+	fmt.Println("identical inserts conflict:", v.Conflict)
+
+	del := xmlconflict.Delete{P: xmlconflict.MustParseXPath("/r/a/x")}
+	v, _ = xmlconflict.UpdateUpdateConflict(i1, del, xmlconflict.SearchOptions{MaxNodes: 4})
+	fmt.Println("insert vs delete-of-inserted conflict:", v.Conflict)
+	// Output:
+	// identical inserts conflict: false
+	// insert vs delete-of-inserted conflict: true
+}
+
+// Schema-aware detection (Section 6): a conflict that cannot happen on
+// valid documents is dismissed statically.
+func ExampleDetectUnderSchema() {
+	s := xmlconflict.MustParseSchema(`
+root inventory
+inventory: book*
+book: quantity
+quantity: low?
+low:
+`)
+	read := xmlconflict.Read{P: xmlconflict.MustParseXPath("//low")}
+	ins := xmlconflict.Insert{
+		P: xmlconflict.MustParseXPath("/inventory/low"), // never valid
+		X: xmlconflict.MustParseXML("<low/>"),
+	}
+	free, _ := xmlconflict.Detect(read, ins, xmlconflict.NodeSemantics, xmlconflict.SearchOptions{})
+	constrained, _ := xmlconflict.DetectUnderSchema(read, ins, xmlconflict.NodeSemantics, s, xmlconflict.SearchOptions{})
+	fmt.Println("schema-free:", free.Conflict)
+	fmt.Println("under schema:", constrained.Conflict, "—", constrained.Detail)
+	// Output:
+	// schema-free: true
+	// under schema: false — the update pattern cannot fire on any schema-valid document
+}
+
+// Pattern minimization (the paper's citation [2]).
+func ExampleMinimizePattern() {
+	p := xmlconflict.MustParseXPath("/a[b/c][b][.//b]/d")
+	fmt.Println(xmlconflict.MinimizePattern(p))
+	// Output:
+	// /a[b[c]]/d
+}

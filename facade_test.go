@@ -1,0 +1,173 @@
+package xmlconflict_test
+
+import (
+	"strings"
+	"testing"
+
+	"xmlconflict"
+)
+
+// TestFacadeEndToEnd exercises every entry point of the public API once,
+// as a downstream user would.
+func TestFacadeEndToEnd(t *testing.T) {
+	// Parsing.
+	p, err := xmlconflict.ParseXPath("//book[.//low]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xmlconflict.ParseXPath("]["); err == nil {
+		t.Fatal("bad xpath accepted")
+	}
+	doc, err := xmlconflict.ParseXMLString("<inventory><book><quantity><low/></quantity></book></inventory>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xmlconflict.ParseXML(strings.NewReader("<a><b/></a>")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xmlconflict.ParseXMLString("<unclosed>"); err == nil {
+		t.Fatal("bad xml accepted")
+	}
+
+	// Evaluation.
+	res := xmlconflict.Eval(p, doc)
+	if len(res) != 1 || res[0].Label() != "book" {
+		t.Fatalf("Eval = %v", res)
+	}
+	if !xmlconflict.Embeds(p, doc) {
+		t.Fatal("Embeds false")
+	}
+
+	// Tree construction and isomorphism.
+	tr := xmlconflict.NewTree("a")
+	tr.AddChild(tr.Root(), "b")
+	if !xmlconflict.Isomorphic(tr, xmlconflict.MustParseXML("<a><b/></a>")) {
+		t.Fatal("Isomorphic false")
+	}
+
+	// Conflict detection, all entry points.
+	read := xmlconflict.Read{P: xmlconflict.MustParseXPath("//C")}
+	ins := xmlconflict.Insert{P: xmlconflict.MustParseXPath("/*/B"), X: xmlconflict.MustParseXML("<C/>")}
+	del := xmlconflict.Delete{P: xmlconflict.MustParseXPath("/a/b")}
+
+	v, err := xmlconflict.Detect(read, ins, xmlconflict.NodeSemantics, xmlconflict.SearchOptions{})
+	if err != nil || !v.Conflict {
+		t.Fatalf("Detect: %+v %v", v, err)
+	}
+	ok, err := xmlconflict.IsConflictWitness(xmlconflict.NodeSemantics, read, ins, v.Witness)
+	if err != nil || !ok {
+		t.Fatalf("IsConflictWitness: %v %v", ok, err)
+	}
+	small, err := xmlconflict.ShrinkWitness(v.Witness, read, ins)
+	if err != nil || small.Size() > v.Witness.Size() {
+		t.Fatalf("ShrinkWitness: %v", err)
+	}
+	if v2, err := xmlconflict.ReadInsertConflict(read.P, ins, xmlconflict.TreeSemantics); err != nil || !v2.Conflict {
+		t.Fatalf("ReadInsertConflict: %v", err)
+	}
+	if v2, err := xmlconflict.ReadInsertConflictFast(read.P, ins, xmlconflict.NodeSemantics); err != nil || !v2.Conflict {
+		t.Fatalf("ReadInsertConflictFast: %v", err)
+	}
+	rd := xmlconflict.MustParseXPath("/a/b/c")
+	if v2, err := xmlconflict.ReadDeleteConflict(rd, del, xmlconflict.ValueSemantics); err != nil || !v2.Conflict {
+		t.Fatalf("ReadDeleteConflict: %v", err)
+	}
+	if v2, err := xmlconflict.ReadDeleteConflictFast(rd, del, xmlconflict.NodeSemantics); err != nil || !v2.Conflict {
+		t.Fatalf("ReadDeleteConflictFast: %v", err)
+	}
+
+	// Update/update conflicts.
+	if v2, err := xmlconflict.UpdateUpdateConflict(ins, ins, xmlconflict.SearchOptions{}); err != nil || v2.Conflict {
+		t.Fatalf("identical updates: %+v %v", v2, err)
+	}
+	if ok, _, err := xmlconflict.UpdatesIndependent(
+		xmlconflict.Insert{P: xmlconflict.MustParseXPath("/r/a"), X: xmlconflict.MustParseXML("<x/>")},
+		xmlconflict.Insert{P: xmlconflict.MustParseXPath("/r/b"), X: xmlconflict.MustParseXML("<y/>")},
+		xmlconflict.SearchOptions{}); err != nil || !ok {
+		t.Fatalf("UpdatesIndependent: %v %v", ok, err)
+	}
+
+	// Containment, equivalence, minimization, reductions.
+	pa, pb := xmlconflict.MustParseXPath("/a/b"), xmlconflict.MustParseXPath("//b")
+	if ok, _ := xmlconflict.Contained(pa, pb); !ok {
+		t.Fatal("Contained false")
+	}
+	if xmlconflict.EquivalentPatterns(pa, pb) {
+		t.Fatal("EquivalentPatterns true")
+	}
+	if m := xmlconflict.MinimizePattern(xmlconflict.MustParseXPath("/a[b][b]")); m.Size() != 2 {
+		t.Fatalf("MinimizePattern: %s", m)
+	}
+	notC, counter := xmlconflict.Contained(pb, pa)
+	if notC {
+		t.Fatal("//b ⊆ /a/b?")
+	}
+	rri, ii := xmlconflict.ReduceNonContainmentToInsert(pb, pa)
+	w := xmlconflict.ReductionWitnessInsert(pb, pa, counter)
+	if ok, err := xmlconflict.IsConflictWitness(xmlconflict.NodeSemantics, rri, ii, w); err != nil || !ok {
+		t.Fatalf("reduction witness insert: %v %v", ok, err)
+	}
+	rrd, dd := xmlconflict.ReduceNonContainmentToDelete(pb, pa)
+	wd := xmlconflict.ReductionWitnessDelete(pb, pa, counter)
+	if ok, err := xmlconflict.IsConflictWitness(xmlconflict.NodeSemantics, rrd, dd, wd); err != nil || !ok {
+		t.Fatalf("reduction witness delete: %v %v", ok, err)
+	}
+
+	// Schemas.
+	s, err := xmlconflict.ParseSchema("root a\na: b?\nb:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(xmlconflict.MustParseXML("<a><b/></a>")); err != nil {
+		t.Fatal(err)
+	}
+	s2 := xmlconflict.MustParseSchema("root inventory\ninventory: book*\nbook: quantity\nquantity: low?\nlow:")
+	vs, err := xmlconflict.DetectUnderSchema(
+		xmlconflict.Read{P: xmlconflict.MustParseXPath("//low")},
+		xmlconflict.Insert{P: xmlconflict.MustParseXPath("/inventory/low"), X: xmlconflict.MustParseXML("<low/>")},
+		xmlconflict.NodeSemantics, s2, xmlconflict.SearchOptions{})
+	if err != nil || vs.Conflict {
+		t.Fatalf("DetectUnderSchema: %+v %v", vs, err)
+	}
+
+	// Programs.
+	prog, err := xmlconflict.ParseProgram("x = doc <x><B/><A/></x>\ny = read $x//A\ninsert $x/B, <C/>\nz = read $x//A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := xmlconflict.AnalyzeProgram(prog, xmlconflict.AnalyzeOptions{Sem: xmlconflict.NodeSemantics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dep[1][2] {
+		t.Fatal("//A should not depend on inserting <C/>")
+	}
+	opt, err := xmlconflict.OptimizeProgram(prog, xmlconflict.AnalyzeOptions{Sem: xmlconflict.NodeSemantics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Applied) == 0 {
+		t.Fatal("optimizer found nothing (expected CSE of the repeated //A)")
+	}
+}
+
+func TestFacadeConstantsAndAliases(t *testing.T) {
+	// The axis/semantics constants are usable and distinct.
+	if xmlconflict.Child == xmlconflict.Descendant {
+		t.Fatal("axes equal")
+	}
+	if xmlconflict.NodeSemantics == xmlconflict.TreeSemantics ||
+		xmlconflict.TreeSemantics == xmlconflict.ValueSemantics {
+		t.Fatal("semantics equal")
+	}
+	if xmlconflict.Wildcard != "*" {
+		t.Fatal("wildcard constant wrong")
+	}
+	// Pattern construction via the facade aliases.
+	p := xmlconflict.MustParseXPath("/a")
+	n := p.AddChild(p.Root(), xmlconflict.Descendant, xmlconflict.Wildcard)
+	p.SetOutput(n)
+	if !p.IsLinear() || p.String() != "/a//*" {
+		t.Fatalf("pattern building through the facade: %s", p)
+	}
+}

@@ -1,0 +1,3 @@
+module xmlconflict
+
+go 1.22

@@ -1,0 +1,155 @@
+// Package automata implements the regular-language machinery of
+// Section 4.1 of "Conflicting XML Updates". A linear pattern l denotes a
+// regular expression ℛ(Ø(l)) over the finite alphabet Σ_{l,l'} — each child
+// edge contributes one symbol, each descendant edge a (.)* gap — and two
+// linear patterns match strongly iff L(r1) ∩ L(r2) ≠ ∅, weakly iff
+// L(r1) ∩ L(r2·(.)*) ≠ ∅.
+//
+// NFAs here are built directly from patterns (never via regexp strings),
+// and the product construction returns a shortest word in the
+// intersection, which the conflict detector turns into a concrete witness
+// tree.
+package automata
+
+import (
+	"fmt"
+
+	"xmlconflict/internal/pattern"
+)
+
+// Any is the transition label standing for (.): any symbol of the finite
+// alphabet under consideration.
+const Any = ""
+
+// Edge is a transition of an NFA. A label of Any matches every symbol.
+type Edge struct {
+	From, To int
+	Label    string
+}
+
+// NFA is a nondeterministic finite automaton with a single start state and
+// a single accepting state, sufficient for the ℛ construction.
+type NFA struct {
+	States int
+	Start  int
+	Accept int
+	Edges  []Edge
+}
+
+// FromLinear builds the NFA for ℛ(Ø(l)) of a linear pattern l: reading the
+// labels on a root-to-node path of a tree, the automaton accepts exactly
+// the paths whose final node can be the image of Ø(l) under an embedding
+// of l. The pattern must be linear.
+func FromLinear(l *pattern.Pattern) (*NFA, error) {
+	if !l.IsLinear() {
+		return nil, fmt.Errorf("automata: pattern %v is not linear", l)
+	}
+	a := &NFA{}
+	cur := 0
+	a.States = 1
+	newState := func() int {
+		a.States++
+		return a.States - 1
+	}
+	sym := func(n *pattern.Node) string {
+		if n.IsWildcard() {
+			return Any
+		}
+		return n.Label()
+	}
+	for _, n := range l.Spine() {
+		if n.Parent() != nil && n.Axis() == pattern.Descendant {
+			// (.)* gap: self-loop before consuming the node's symbol.
+			a.Edges = append(a.Edges, Edge{cur, cur, Any})
+		}
+		next := newState()
+		a.Edges = append(a.Edges, Edge{cur, next, sym(n)})
+		cur = next
+	}
+	a.Start = 0
+	a.Accept = cur
+	return a, nil
+}
+
+// WithAnySuffix returns a copy of the NFA extended with a (.)* self-loop on
+// the accepting state, realizing r·(.)* for weak matching.
+func (a *NFA) WithAnySuffix() *NFA {
+	b := &NFA{States: a.States, Start: a.Start, Accept: a.Accept}
+	b.Edges = append(append([]Edge(nil), a.Edges...), Edge{a.Accept, a.Accept, Any})
+	return b
+}
+
+// Intersect decides emptiness of L(a) ∩ L(b) by BFS over the product
+// automaton and, when non-empty, returns a shortest word in the
+// intersection. Transitions synchronize on concrete symbols; when both
+// edges are wildcards the fresh symbol is chosen, so the returned word uses
+// only symbols appearing on the automata plus fresh. fresh must not be Any.
+//
+// Product states are dense integers (qa·|b| + qb), so the BFS bookkeeping
+// is flat-array indexed: the matcher is on the hot path of the conflict
+// detectors (one product per read edge).
+func Intersect(a, b *NFA, fresh string) ([]string, bool) {
+	outA := make([][]Edge, a.States)
+	for _, e := range a.Edges {
+		outA[e.From] = append(outA[e.From], e)
+	}
+	outB := make([][]Edge, b.States)
+	for _, e := range b.Edges {
+		outB[e.From] = append(outB[e.From], e)
+	}
+	n := a.States * b.States
+	id := func(qa, qb int) int { return qa*b.States + qb }
+	start := id(a.Start, b.Start)
+	goal := id(a.Accept, b.Accept)
+	if start == goal {
+		return []string{}, true
+	}
+	prev := make([]int32, n)
+	sym := make([]string, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[start] = int32(start)
+	queue := make([]int32, 0, 16)
+	queue = append(queue, int32(start))
+	for qi := 0; qi < len(queue); qi++ {
+		s := int(queue[qi])
+		qa, qb := s/b.States, s%b.States
+		for _, ea := range outA[qa] {
+			for _, eb := range outB[qb] {
+				var w string
+				switch {
+				case ea.Label == Any && eb.Label == Any:
+					w = fresh
+				case ea.Label == Any:
+					w = eb.Label
+				case eb.Label == Any:
+					w = ea.Label
+				case ea.Label == eb.Label:
+					w = ea.Label
+				default:
+					continue
+				}
+				ns := id(ea.To, eb.To)
+				if prev[ns] >= 0 {
+					continue
+				}
+				prev[ns] = int32(s)
+				sym[ns] = w
+				if ns == goal {
+					var rev []string
+					for cur := ns; cur != start; cur = int(prev[cur]) {
+						rev = append(rev, sym[cur])
+					}
+					word := make([]string, len(rev))
+					for i, s := range rev {
+						word[len(rev)-1-i] = s
+					}
+					return word, true
+				}
+				queue = append(queue, int32(ns))
+			}
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,139 @@
+package automata
+
+import (
+	"testing"
+
+	"xmlconflict/internal/xpath"
+)
+
+func TestFromLinearRejectsBranching(t *testing.T) {
+	if _, err := FromLinear(xpath.MustParse("a[b]/c")); err == nil {
+		t.Fatalf("branching pattern accepted")
+	}
+}
+
+// accepts runs the NFA on a word by explicit subset simulation.
+func accepts(a *NFA, word []string) bool {
+	out := make([][]Edge, a.States)
+	for _, e := range a.Edges {
+		out[e.From] = append(out[e.From], e)
+	}
+	cur := map[int]bool{a.Start: true}
+	for _, sym := range word {
+		next := map[int]bool{}
+		for q := range cur {
+			for _, e := range out[q] {
+				if e.Label == Any || e.Label == sym {
+					next[e.To] = true
+				}
+			}
+		}
+		cur = next
+	}
+	return cur[a.Accept]
+}
+
+func TestFromLinearLanguage(t *testing.T) {
+	// /a//b/c denotes a (.)* b c.
+	a, err := FromLinear(xpath.MustParse("/a//b/c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		word []string
+		want bool
+	}{
+		{[]string{"a", "b", "c"}, true},
+		{[]string{"a", "x", "b", "c"}, true},
+		{[]string{"a", "x", "y", "b", "c"}, true},
+		{[]string{"a", "c"}, false},
+		{[]string{"a", "b"}, false},
+		{[]string{"b", "c"}, false},
+		{[]string{"a", "b", "c", "d"}, false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := accepts(a, c.word); got != c.want {
+			t.Errorf("accepts(%v) = %v, want %v", c.word, got, c.want)
+		}
+	}
+}
+
+func TestWildcardTransitions(t *testing.T) {
+	a, err := FromLinear(xpath.MustParse("/*/b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !accepts(a, []string{"anything", "b"}) {
+		t.Fatalf("wildcard root rejected")
+	}
+	if accepts(a, []string{"anything", "c"}) {
+		t.Fatalf("label mismatch accepted")
+	}
+}
+
+func TestWithAnySuffix(t *testing.T) {
+	a, err := FromLinear(xpath.MustParse("/a/b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepts(a, []string{"a", "b", "x"}) {
+		t.Fatalf("base automaton must not accept extensions")
+	}
+	s := a.WithAnySuffix()
+	if !accepts(s, []string{"a", "b", "x", "y"}) {
+		t.Fatalf("suffixed automaton must accept extensions")
+	}
+	if accepts(s, []string{"a", "c", "x"}) {
+		t.Fatalf("suffix must not forgive the prefix")
+	}
+	// The original is unchanged.
+	if accepts(a, []string{"a", "b", "x"}) {
+		t.Fatalf("WithAnySuffix mutated its receiver")
+	}
+}
+
+func TestIntersectFindsShortestWord(t *testing.T) {
+	a, _ := FromLinear(xpath.MustParse("/a//c"))
+	b, _ := FromLinear(xpath.MustParse("/a/b/c"))
+	w, ok := Intersect(a, b, "zz")
+	if !ok {
+		t.Fatalf("intersection empty")
+	}
+	if len(w) != 3 || w[0] != "a" || w[1] != "b" || w[2] != "c" {
+		t.Fatalf("word = %v, want [a b c]", w)
+	}
+	if !accepts(a, w) || !accepts(b, w) {
+		t.Fatalf("returned word rejected by an operand")
+	}
+}
+
+func TestIntersectEmpty(t *testing.T) {
+	a, _ := FromLinear(xpath.MustParse("/a/b"))
+	b, _ := FromLinear(xpath.MustParse("/a/c"))
+	if _, ok := Intersect(a, b, "zz"); ok {
+		t.Fatalf("disjoint languages intersected")
+	}
+}
+
+func TestIntersectUsesFreshForDoubleWildcard(t *testing.T) {
+	a, _ := FromLinear(xpath.MustParse("/*"))
+	b, _ := FromLinear(xpath.MustParse("/*"))
+	w, ok := Intersect(a, b, "zz")
+	if !ok || len(w) != 1 || w[0] != "zz" {
+		t.Fatalf("word = %v, ok = %v", w, ok)
+	}
+}
+
+func TestIntersectDescendantGaps(t *testing.T) {
+	// //x ∩ /a/b/x: gap must be filled with the other side's labels.
+	a, _ := FromLinear(xpath.MustParse("//x"))
+	b, _ := FromLinear(xpath.MustParse("/a/b/x"))
+	w, ok := Intersect(a, b, "zz")
+	if !ok {
+		t.Fatalf("intersection empty")
+	}
+	if len(w) != 3 || w[0] != "a" || w[1] != "b" || w[2] != "x" {
+		t.Fatalf("word = %v", w)
+	}
+}

@@ -1,0 +1,221 @@
+// Package containment implements tree-pattern containment (Definition 11
+// of "Conflicting XML Updates", after Miklau & Suciu): p ⊆ p' iff every
+// tree with an embedding of p also has an embedding of p'. The paper's
+// NP-hardness results (Theorems 4 and 6) reduce pattern *non*-containment
+// to read-insert and read-delete conflict detection; this package provides
+// the containment substrate and the two reductions of Figures 7 and 8.
+//
+// Three deciders are provided:
+//
+//   - Homomorphism: sound but incomplete (a homomorphism p' → p witnesses
+//     containment; with both * and // the converse can fail), polynomial.
+//   - Contained: sound and complete, by checking the canonical models of p
+//     (wildcards instantiated with a fresh symbol, every descendant edge
+//     expanded into a chain of 0..k+1 fresh intermediate nodes, where
+//     k = STAR-LENGTH(p')). Exponential in the number of descendant edges
+//     of p, as the coNP-hardness of containment predicts.
+//   - ContainedBrute: an oracle for tests that enumerates all trees up to
+//     a size bound.
+package containment
+
+import (
+	"fmt"
+
+	"xmlconflict/internal/match"
+	"xmlconflict/internal/pattern"
+	"xmlconflict/internal/xmltree"
+)
+
+// Homomorphism reports whether there is a pattern homomorphism from q to
+// p: a root-, label- (up to wildcards) and edge-compatible mapping of q's
+// nodes to p's nodes. Its existence implies p ⊆ q; the converse fails in
+// general for patterns with both wildcards and descendant edges (Miklau &
+// Suciu). It runs in polynomial time and is exposed for the E7 ablation.
+func Homomorphism(p, q *pattern.Pattern) bool {
+	pn := p.Nodes()
+	index := map[*pattern.Node]int{}
+	for i, n := range pn {
+		index[n] = i
+	}
+	// desc[i][j]: pn[i] is a proper ancestor of pn[j] in p, with all edges
+	// on the way being any mix; "reachable downward" in the pattern where a
+	// child edge guarantees child relation and descendant edge guarantees
+	// descendant. For homomorphism soundness we need: a child edge of q
+	// maps to a child edge of p; a descendant edge of q maps to any
+	// downward path in p.
+	labelFits := func(qn *pattern.Node, pnode *pattern.Node) bool {
+		return qn.IsWildcard() || qn.Label() == pnode.Label()
+	}
+	// sat[qi][pi]: subpattern of q rooted at qn can map with qn ↦ pn[pi].
+	qn := q.Nodes()
+	qIndex := map[*pattern.Node]int{}
+	for i, n := range qn {
+		qIndex[n] = i
+	}
+	sat := make([][]bool, len(qn))
+	for i := range sat {
+		sat[i] = make([]bool, len(pn))
+	}
+	// Process q nodes children-first (reverse preorder).
+	for qi := len(qn) - 1; qi >= 0; qi-- {
+		qq := qn[qi]
+		for pi, pp := range pn {
+			if !labelFits(qq, pp) {
+				continue
+			}
+			ok := true
+			for _, qc := range qq.Children() {
+				ci := qIndex[qc]
+				found := false
+				if qc.Axis() == pattern.Child {
+					for _, pc := range pp.Children() {
+						if pc.Axis() == pattern.Child && sat[ci][index[pc]] {
+							found = true
+							break
+						}
+					}
+				} else {
+					// Any proper descendant of pp in the pattern.
+					var walk func(n *pattern.Node) bool
+					walk = func(n *pattern.Node) bool {
+						for _, pc := range n.Children() {
+							if sat[ci][index[pc]] {
+								return true
+							}
+							if walk(pc) {
+								return true
+							}
+						}
+						return false
+					}
+					found = walk(pp)
+				}
+				if !found {
+					ok = false
+					break
+				}
+			}
+			sat[qi][pi] = ok
+		}
+	}
+	return sat[0][0]
+}
+
+// Contained reports whether p ⊆ q (Definition 11). When p is not
+// contained in q it also returns a counterexample tree: a canonical model
+// of p into which q does not embed. Completeness follows the canonical-
+// model argument (Miklau & Suciu; also implicit in the trimming machinery
+// of Section 5.1.1 of the paper): if any counterexample exists, one exists
+// among the models of p whose descendant edges are expanded into chains of
+// at most STAR-LENGTH(q)+1 fresh-labeled intermediate nodes.
+func Contained(p, q *pattern.Pattern) (bool, *xmltree.Tree) {
+	fresh := freshSymbol(p.Labels(), q.Labels())
+	k := q.StarLength()
+	maxGap := k + 1
+
+	// Collect p's nodes and identify descendant edges (by child node).
+	nodes := p.Nodes()
+	var descEdges []*pattern.Node
+	for _, n := range nodes[1:] {
+		if n.Axis() == pattern.Descendant {
+			descEdges = append(descEdges, n)
+		}
+	}
+
+	gaps := make(map[*pattern.Node]int, len(descEdges))
+	var counter *xmltree.Tree
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(descEdges) {
+			m := buildModel(p, gaps, fresh)
+			if !match.Embeds(q, m) {
+				counter = m
+				return false
+			}
+			return true
+		}
+		for g := 0; g <= maxGap; g++ {
+			gaps[descEdges[i]] = g
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if !rec(0) {
+		return false, counter
+	}
+	return true, nil
+}
+
+// buildModel instantiates a canonical model of p: wildcards become fresh,
+// and the descendant edge into node n is expanded with gaps[n] fresh
+// intermediate nodes.
+func buildModel(p *pattern.Pattern, gaps map[*pattern.Node]int, fresh string) *xmltree.Tree {
+	lbl := func(n *pattern.Node) string {
+		if n.IsWildcard() {
+			return fresh
+		}
+		return n.Label()
+	}
+	t := xmltree.New(lbl(p.Root()))
+	var walk func(tn *xmltree.Node, pn *pattern.Node)
+	walk = func(tn *xmltree.Node, pn *pattern.Node) {
+		for _, c := range pn.Children() {
+			anchor := tn
+			if c.Axis() == pattern.Descendant {
+				for g := 0; g < gaps[c]; g++ {
+					anchor = t.AddChild(anchor, fresh)
+				}
+			}
+			walk(t.AddChild(anchor, lbl(c)), c)
+		}
+	}
+	walk(t.Root(), p.Root())
+	return t
+}
+
+// ContainedBrute decides containment by enumerating every tree up to
+// maxNodes nodes over the union alphabet plus a fresh symbol and checking
+// the implication directly. Exponential; it is the specification oracle
+// for Contained in tests. A negative answer is definitive; a positive
+// answer is definitive only up to the size bound.
+func ContainedBrute(p, q *pattern.Pattern, maxNodes int, enumerate func(labels []string, maxNodes int, fn func(*xmltree.Tree) bool)) (bool, *xmltree.Tree) {
+	set := map[string]bool{}
+	for l := range p.Labels() {
+		set[l] = true
+	}
+	for l := range q.Labels() {
+		set[l] = true
+	}
+	set[freshSymbol(set)] = true
+	var labels []string
+	for l := range set {
+		labels = append(labels, l)
+	}
+	var counter *xmltree.Tree
+	enumerate(labels, maxNodes, func(t *xmltree.Tree) bool {
+		if match.Embeds(p, t) && !match.Embeds(q, t) {
+			counter = t
+			return false
+		}
+		return true
+	})
+	return counter == nil, counter
+}
+
+func freshSymbol(sets ...map[string]bool) string {
+	for i := 0; ; i++ {
+		cand := fmt.Sprintf("zc%d", i)
+		used := false
+		for _, s := range sets {
+			if s[cand] {
+				used = true
+				break
+			}
+		}
+		if !used {
+			return cand
+		}
+	}
+}

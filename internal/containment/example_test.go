@@ -1,0 +1,39 @@
+package containment_test
+
+import (
+	"fmt"
+
+	"xmlconflict/internal/containment"
+	"xmlconflict/internal/xpath"
+)
+
+func ExampleContained() {
+	p := xpath.MustParse("/a/b/c")
+	q := xpath.MustParse("/a//c")
+	ok, _ := containment.Contained(p, q)
+	fmt.Println(ok)
+	ok, counter := containment.Contained(q, p)
+	fmt.Println(ok, counter.XML())
+	// Output:
+	// true
+	// false <a><c/></a>
+}
+
+func ExampleMinimize() {
+	p := xpath.MustParse("/a[b/c][b][.//b]/d")
+	fmt.Println(containment.Minimize(p))
+	// Output:
+	// /a[b[c]]/d
+}
+
+func ExampleReduceToReadInsert() {
+	// Theorem 4: the instance conflicts iff p is not contained in q.
+	p := xpath.MustParse("a[.//b1][.//b2]")
+	q := xpath.MustParse("a[.//b1/b2]")
+	r, ins := containment.ReduceToReadInsert(p, q)
+	fmt.Println("read:  ", r.P)
+	fmt.Println("insert:", ins.P)
+	// Output:
+	// read:   /zc0[zc1[a[.//b1[b2]]][zc2]]
+	// insert: /zc0[zc1[a[.//b1][.//b2]][zc2]]/zc1[a[.//b1[b2]]]
+}

@@ -1,0 +1,192 @@
+package containment
+
+import (
+	"xmlconflict/internal/pattern"
+)
+
+// Equivalent reports whether two patterns are equivalent as Boolean
+// filters: p ⊆ q and q ⊆ p (Definition 11 both ways).
+func Equivalent(p, q *pattern.Pattern) bool {
+	if ok, _ := Contained(p, q); !ok {
+		return false
+	}
+	ok, _ := Contained(q, p)
+	return ok
+}
+
+// Minimize removes redundant predicate branches from a pattern — the
+// tree-pattern minimization problem of Amer-Yahia, Cho, Lakshmanan &
+// Srivastava, which the paper cites as [2]. A branch is dropped only
+// when a homomorphism maps it into the remaining pattern at the same
+// anchor (child edges to child edges, descendant edges to downward
+// paths, labels up to the branch's wildcards). That witness extends any
+// embedding of the reduced pattern to an embedding of the original, so
+// minimization preserves the full result semantics [[p]](t) — not merely
+// the Boolean filter — which is what conflict detection needs. (Boolean
+// equivalence alone would be an unsound criterion here: it ignores the
+// output node.)
+//
+// The root-to-output spine is never touched. The result is a new
+// pattern; the input is unmodified. With homomorphism-witnessed
+// redundancy the procedure is polynomial; it can miss redundancies that
+// only a containment argument detects, which is the safe direction.
+func Minimize(p *pattern.Pattern) *pattern.Pattern {
+	cur := p.Clone()
+	for {
+		removed := false
+		spine := map[*pattern.Node]bool{}
+		for _, n := range cur.Spine() {
+			spine[n] = true
+		}
+		var branches []*pattern.Node
+		var collect func(n *pattern.Node)
+		collect = func(n *pattern.Node) {
+			for _, c := range n.Children() {
+				if spine[c] {
+					collect(c)
+					continue
+				}
+				branches = append(branches, c)
+			}
+		}
+		collect(cur.Root())
+		for _, b := range branches {
+			cand, ok := withoutBranch(cur, b)
+			if !ok {
+				continue
+			}
+			if branchRedundant(b, cand.anchor) {
+				cur = cand.pat
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return cur
+		}
+	}
+}
+
+// reduced pairs the rebuilt pattern with the image of the removed
+// branch's parent.
+type reduced struct {
+	pat    *pattern.Pattern
+	anchor *pattern.Node
+}
+
+// withoutBranch returns a copy of p with the subtree rooted at b removed
+// and the copy's node corresponding to b's parent; ok is false when b is
+// on the root-to-output spine.
+func withoutBranch(p *pattern.Pattern, b *pattern.Node) (reduced, bool) {
+	for n := p.Output(); n != nil; n = n.Parent() {
+		if n == b {
+			return reduced{}, false
+		}
+	}
+	q := pattern.New(p.Root().Label())
+	var out, anchor *pattern.Node
+	if p.Output() == p.Root() {
+		out = q.Root()
+	}
+	if b.Parent() == p.Root() {
+		anchor = q.Root()
+	}
+	var walk func(src *pattern.Node, dst *pattern.Node)
+	walk = func(src *pattern.Node, dst *pattern.Node) {
+		for _, c := range src.Children() {
+			if c == b {
+				continue
+			}
+			nc := q.AddChild(dst, c.Axis(), c.Label())
+			if c == p.Output() {
+				out = nc
+			}
+			if c == b.Parent() {
+				anchor = nc
+			}
+			walk(c, nc)
+		}
+	}
+	walk(p.Root(), q.Root())
+	if out == nil || anchor == nil {
+		return reduced{}, false
+	}
+	q.SetOutput(out)
+	return reduced{pat: q, anchor: anchor}, true
+}
+
+// branchRedundant reports whether the branch rooted at b (with its axis
+// from its anchor) admits a homomorphism into the reduced pattern,
+// anchored at the anchor node: child edges map to child edges,
+// descendant edges to non-empty downward paths, and each branch node's
+// label must equal its image's label unless the branch node is a
+// wildcard. Such a homomorphism composes with any embedding of the
+// reduced pattern, extending it to an embedding of the original.
+func branchRedundant(b *pattern.Node, anchor *pattern.Node) bool {
+	// canMap[x][m]: the branch subtree rooted at x can map with x ↦ m.
+	type key struct{ x, m *pattern.Node }
+	memo := map[key]int{} // 0 unknown, 1 yes, 2 no
+	labelFits := func(x, m *pattern.Node) bool {
+		if x.IsWildcard() {
+			return true
+		}
+		return !m.IsWildcard() && x.Label() == m.Label()
+	}
+	var canMap func(x, m *pattern.Node) bool
+	canMap = func(x, m *pattern.Node) bool {
+		k := key{x, m}
+		if v := memo[k]; v != 0 {
+			return v == 1
+		}
+		memo[k] = 2 // guard against (impossible) cycles
+		ok := labelFits(x, m)
+		if ok {
+			for _, xc := range x.Children() {
+				found := false
+				if xc.Axis() == pattern.Child {
+					for _, mc := range m.Children() {
+						if mc.Axis() == pattern.Child && canMap(xc, mc) {
+							found = true
+							break
+						}
+					}
+				} else {
+					found = descendantTarget(xc, m, canMap)
+				}
+				if !found {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			memo[k] = 1
+		}
+		return ok
+	}
+	if b.Axis() == pattern.Child {
+		for _, mc := range anchor.Children() {
+			if mc.Axis() == pattern.Child && canMap(b, mc) {
+				return true
+			}
+		}
+		return false
+	}
+	return descendantTarget(b, anchor, canMap)
+}
+
+// descendantTarget reports whether some strict downward node m' below m
+// satisfies canMap(x, m'). Any downward pattern path guarantees a proper
+// tree descendant under every embedding, regardless of edge kinds.
+func descendantTarget(x, m *pattern.Node, canMap func(x, m *pattern.Node) bool) bool {
+	var walk func(n *pattern.Node) bool
+	walk = func(n *pattern.Node) bool {
+		for _, c := range n.Children() {
+			if canMap(x, c) || walk(c) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(m)
+}

@@ -1,0 +1,137 @@
+package containment
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xmlconflict/internal/match"
+	"xmlconflict/internal/pattern"
+	"xmlconflict/internal/xmltree"
+	"xmlconflict/internal/xpath"
+)
+
+func TestEquivalentBasics(t *testing.T) {
+	cases := []struct {
+		p, q string
+		want bool
+	}{
+		{"/a/b", "/a/b", true},
+		{"/a[b][b]", "/a[b]", true},
+		{"/a[b]", "/a[c]", false},
+		{"/a[b/c][b]", "/a[b/c]", true}, // [b] implied by [b/c]
+		{"/a[.//b][b]", "/a[b]", true},  // .//b implied by b
+		{"/a[.//b]", "/a[b]", false},    // not conversely
+	}
+	for _, c := range cases {
+		if got := Equivalent(xpath.MustParse(c.p), xpath.MustParse(c.q)); got != c.want {
+			t.Errorf("Equivalent(%s, %s) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestMinimizeDropsRedundantBranches(t *testing.T) {
+	cases := []struct {
+		in       string
+		wantSize int
+	}{
+		{"/a[b][b]", 2},         // duplicate predicate
+		{"/a[b/c][b]", 3},       // [b] implied by [b/c]
+		{"/a[.//b][b]", 2},      // [.//b] implied by [b]
+		{"/a[b][c]", 3},         // nothing redundant
+		{"/a[b]/d", 3},          // nothing redundant, spine kept
+		{"/a[.//b][b/c]", 3},    // .//b implied by b/c
+		{"/a[*][b]", 2},         // [*] implied by [b]
+		{"/a[.//x][b[x]]", 3},   // .//x implied by the x inside b
+		{"/a[b][b][b]", 2},      // triplicate
+		{"/a[.//b][.//b/c]", 3}, // .//b implied by .//b/c
+	}
+	for _, c := range cases {
+		p := xpath.MustParse(c.in)
+		m := Minimize(p)
+		if m.Size() != c.wantSize {
+			t.Errorf("Minimize(%s) = %s (size %d), want size %d", c.in, m, m.Size(), c.wantSize)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("Minimize(%s) produced invalid pattern: %v", c.in, err)
+		}
+	}
+}
+
+func TestMinimizeKeepsSpine(t *testing.T) {
+	// The spine is never dropped even if a parallel predicate subsumes it.
+	p := xpath.MustParse("/a[b]/b")
+	m := Minimize(p)
+	// The [b] predicate is redundant given the spine b... is it? An
+	// embedding of /a/b extends to /a[b]/b mapping the predicate-b to the
+	// spine-b's image: yes.
+	if m.Size() != 2 || m.Output().Label() != "b" {
+		t.Fatalf("Minimize(/a[b]/b) = %s", m)
+	}
+	// But the spine b itself must survive when the predicate is the one
+	// with more structure.
+	p2 := xpath.MustParse("/a[b[c]]/b")
+	m2 := Minimize(p2)
+	if m2.Output().Label() != "b" || m2.Output().Parent() == nil {
+		t.Fatalf("spine lost: %s", m2)
+	}
+}
+
+// TestMinimizePreservesResults is the load-bearing property: minimization
+// must preserve the full result semantics [[p]](t) on every tree — not
+// just Boolean satisfaction — because detection uses output nodes.
+func TestMinimizePreservesResults(t *testing.T) {
+	f := func(pseed, tseed int64) bool {
+		prng := rand.New(rand.NewSource(pseed))
+		p := pattern.Random(prng, pattern.RandomConfig{
+			Size: prng.Intn(7) + 1, Labels: []string{"a", "b"},
+			PWildcard: 0.25, PDescendant: 0.35, PBranch: 0.5,
+		})
+		m := Minimize(p)
+		if m.Size() > p.Size() {
+			return false
+		}
+		trng := rand.New(rand.NewSource(tseed))
+		for i := 0; i < 8; i++ {
+			tr := xmltree.Random(trng, xmltree.RandomConfig{
+				Size: trng.Intn(14) + 1, Labels: []string{"a", "b", "c"},
+			})
+			if !xmltree.SameNodeSet(match.Eval(p, tr), match.Eval(m, tr)) {
+				t.Logf("p=%s minimized=%s differs on %s", p, m, tr)
+				return false
+			}
+		}
+		// Also on the original's model, where p definitely matches.
+		mod, _ := p.Model("zz")
+		if !xmltree.SameNodeSet(match.Eval(p, mod), match.Eval(m, mod)) {
+			t.Logf("p=%s minimized=%s differs on the model", p, m)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimizeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := pattern.Random(rng, pattern.RandomConfig{
+			Size: rng.Intn(7) + 1, Labels: []string{"a", "b"},
+			PWildcard: 0.25, PDescendant: 0.35, PBranch: 0.5,
+		})
+		m := Minimize(p)
+		return pattern.Equal(m, Minimize(m))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimizeLeavesLinearAlone(t *testing.T) {
+	p := xpath.MustParse("/a//b/*")
+	if !pattern.Equal(p, Minimize(p)) {
+		t.Fatalf("linear pattern changed")
+	}
+}

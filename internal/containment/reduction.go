@@ -1,0 +1,110 @@
+package containment
+
+import (
+	"xmlconflict/internal/ops"
+	"xmlconflict/internal/pattern"
+	"xmlconflict/internal/xmltree"
+)
+
+// ReductionSymbols returns three symbols α, β, γ not used in either
+// pattern, as required by the reductions of Theorems 4 and 6.
+func ReductionSymbols(p, q *pattern.Pattern) (alpha, beta, gamma string) {
+	used := map[string]bool{}
+	for l := range p.Labels() {
+		used[l] = true
+	}
+	for l := range q.Labels() {
+		used[l] = true
+	}
+	pick := func() string {
+		s := freshSymbol(used)
+		used[s] = true
+		return s
+	}
+	return pick(), pick(), pick()
+}
+
+// ReduceToReadInsert builds the Theorem 4 (Figure 7) instance: given
+// patterns p, q ∈ P^{//,[],*}, it returns a read R and an insert I such
+// that R and I have a read-insert node conflict iff p ⊄ q.
+//
+//	q_I = α[β[p][γ]]/β[q]   (output: the second β — the insertion point)
+//	X   = <γ/>
+//	q_R = α[β[q][γ]]        (output: the root α)
+func ReduceToReadInsert(p, q *pattern.Pattern) (ops.Read, ops.Insert) {
+	alpha, beta, gamma := ReductionSymbols(p, q)
+
+	qi := pattern.New(alpha)
+	b1 := qi.AddChild(qi.Root(), pattern.Child, beta)
+	qi.Attach(b1, pattern.Child, p)
+	qi.AddChild(b1, pattern.Child, gamma)
+	b2 := qi.AddChild(qi.Root(), pattern.Child, beta)
+	qi.Attach(b2, pattern.Child, q)
+	qi.SetOutput(b2)
+
+	x := xmltree.New(gamma)
+
+	qr := pattern.New(alpha)
+	b := qr.AddChild(qr.Root(), pattern.Child, beta)
+	qr.Attach(b, pattern.Child, q)
+	qr.AddChild(b, pattern.Child, gamma)
+	qr.SetOutput(qr.Root())
+
+	return ops.Read{P: qr}, ops.Insert{P: qi, X: x}
+}
+
+// ReduceToReadDelete builds the Theorem 6 (Figure 8) instance: given
+// patterns p, q ∈ P^{//,[],*}, it returns a read R and a delete D such
+// that R and D have a read-delete node conflict iff p ⊄ q.
+//
+//	q_D = α[β[p]]/γ[q]   (output: γ — the deletion point)
+//	q_R = α[*[q]]        (output: the root α)
+func ReduceToReadDelete(p, q *pattern.Pattern) (ops.Read, ops.Delete) {
+	alpha, beta, gamma := ReductionSymbols(p, q)
+
+	qd := pattern.New(alpha)
+	b := qd.AddChild(qd.Root(), pattern.Child, beta)
+	qd.Attach(b, pattern.Child, p)
+	g := qd.AddChild(qd.Root(), pattern.Child, gamma)
+	qd.Attach(g, pattern.Child, q)
+	qd.SetOutput(g)
+
+	qr := pattern.New(alpha)
+	s := qr.AddChild(qr.Root(), pattern.Child, pattern.Wildcard)
+	qr.Attach(s, pattern.Child, q)
+	qr.SetOutput(qr.Root())
+
+	return ops.Read{P: qr}, ops.Delete{P: qd}
+}
+
+// ReductionWitnessInsert builds the Figure 7d witness for a non-contained
+// pair: a tree on which the Theorem 4 read-insert instance conflicts. The
+// counterexample tree tp (an embedding of p but not of q, e.g. from
+// Contained) is placed under the first β together with a γ child; a model
+// of q is placed under the second β without a γ child.
+func ReductionWitnessInsert(p, q *pattern.Pattern, tp *xmltree.Tree) *xmltree.Tree {
+	alpha, beta, gamma := ReductionSymbols(p, q)
+	fresh := freshSymbol(map[string]bool{alpha: true, beta: true, gamma: true}, p.Labels(), q.Labels())
+	w := xmltree.New(alpha)
+	b1 := w.AddChild(w.Root(), beta)
+	w.Graft(b1, tp)
+	w.AddChild(b1, gamma)
+	b2 := w.AddChild(w.Root(), beta)
+	mq, _ := q.Model(fresh)
+	w.Graft(b2, mq)
+	return w
+}
+
+// ReductionWitnessDelete builds the Figure 8c witness for a non-contained
+// pair: a tree on which the Theorem 6 read-delete instance conflicts.
+func ReductionWitnessDelete(p, q *pattern.Pattern, tp *xmltree.Tree) *xmltree.Tree {
+	alpha, beta, gamma := ReductionSymbols(p, q)
+	fresh := freshSymbol(map[string]bool{alpha: true, beta: true, gamma: true}, p.Labels(), q.Labels())
+	w := xmltree.New(alpha)
+	b := w.AddChild(w.Root(), beta)
+	w.Graft(b, tp)
+	g := w.AddChild(w.Root(), gamma)
+	mq, _ := q.Model(fresh)
+	w.Graft(g, mq)
+	return w
+}

@@ -1,0 +1,76 @@
+package containment
+
+import (
+	"xmlconflict/internal/ops"
+	"xmlconflict/internal/pattern"
+	"xmlconflict/internal/xmltree"
+)
+
+// The REMARKS after Theorems 4 and 6 adapt the hardness reductions to the
+// tree- and value-based semantics: the read gains a fresh child δ of its
+// root, marked as the output node. The subtree under δ is never modified
+// by the update, so the modified instance has a tree (or value) conflict
+// exactly when the original has a node conflict — and therefore exactly
+// when p ⊄ q.
+
+// ReduceToReadInsertSem builds the Theorem 4 instance adapted to the
+// given conflict semantics. For NodeSemantics it equals
+// ReduceToReadInsert; for Tree/ValueSemantics the read carries the δ
+// modification. The returned delta is the fresh symbol used ("" for node
+// semantics); witnesses for the modified instances need a δ child at the
+// root (ReductionWitnessInsertSem provides it).
+func ReduceToReadInsertSem(p, q *pattern.Pattern, sem ops.Semantics) (ops.Read, ops.Insert, string) {
+	r, ins := ReduceToReadInsert(p, q)
+	if sem == ops.NodeSemantics {
+		return r, ins, ""
+	}
+	delta := deltaSymbol(p, q)
+	addDeltaOutput(r.P, delta)
+	return r, ins, delta
+}
+
+// ReduceToReadDeleteSem is the Theorem 6 counterpart of
+// ReduceToReadInsertSem.
+func ReduceToReadDeleteSem(p, q *pattern.Pattern, sem ops.Semantics) (ops.Read, ops.Delete, string) {
+	r, del := ReduceToReadDelete(p, q)
+	if sem == ops.NodeSemantics {
+		return r, del, ""
+	}
+	delta := deltaSymbol(p, q)
+	addDeltaOutput(r.P, delta)
+	return r, del, delta
+}
+
+// ReductionWitnessInsertSem builds the conflict witness for the
+// sem-adapted Theorem 4 instance: the Figure 7d tree, plus a δ child of
+// the root when the read was δ-modified.
+func ReductionWitnessInsertSem(p, q *pattern.Pattern, tp *xmltree.Tree, delta string) *xmltree.Tree {
+	w := ReductionWitnessInsert(p, q, tp)
+	if delta != "" {
+		w.AddChild(w.Root(), delta)
+	}
+	return w
+}
+
+// ReductionWitnessDeleteSem is the Figure 8c counterpart.
+func ReductionWitnessDeleteSem(p, q *pattern.Pattern, tp *xmltree.Tree, delta string) *xmltree.Tree {
+	w := ReductionWitnessDelete(p, q, tp)
+	if delta != "" {
+		w.AddChild(w.Root(), delta)
+	}
+	return w
+}
+
+// deltaSymbol picks the δ symbol: fresh w.r.t. both input patterns and
+// the reduction's own α, β, γ.
+func deltaSymbol(p, q *pattern.Pattern) string {
+	a, b, g := ReductionSymbols(p, q)
+	return freshSymbol(p.Labels(), q.Labels(), map[string]bool{a: true, b: true, g: true})
+}
+
+// addDeltaOutput attaches a δ child to the pattern's root and marks it as
+// the output node.
+func addDeltaOutput(p *pattern.Pattern, delta string) {
+	n := p.AddChild(p.Root(), pattern.Child, delta)
+	p.SetOutput(n)
+}

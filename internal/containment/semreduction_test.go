@@ -1,0 +1,94 @@
+package containment_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xmlconflict/internal/containment"
+	"xmlconflict/internal/ops"
+	"xmlconflict/internal/xpath"
+)
+
+// TestSemReductionsAllSemantics validates the REMARKS after Theorems 4
+// and 6: with the δ-modified read, the reduced instances witness tree and
+// value conflicts exactly for non-contained pairs.
+func TestSemReductionsAllSemantics(t *testing.T) {
+	pairs := []struct {
+		p, q string
+	}{
+		{"//b", "/a/b"},
+		{"/a/*", "/a/b"},
+		{"/a[b][c]", "/a[b]"},
+		{"/a[b]", "/a[b][c]"},
+	}
+	for _, c := range pairs {
+		p, q := xpath.MustParse(c.p), xpath.MustParse(c.q)
+		contained, counter := containment.Contained(p, q)
+		for _, sem := range []ops.Semantics{ops.NodeSemantics, ops.TreeSemantics, ops.ValueSemantics} {
+			r, ins, delta := containment.ReduceToReadInsertSem(p, q, sem)
+			if sem == ops.NodeSemantics && delta != "" {
+				t.Fatalf("node semantics must not modify the read")
+			}
+			if sem != ops.NodeSemantics && r.P.Output().Label() != delta {
+				t.Fatalf("δ output missing")
+			}
+			if !contained {
+				w := containment.ReductionWitnessInsertSem(p, q, counter, delta)
+				got, err := ops.ConflictWitness(sem, r, ins, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got {
+					t.Errorf("insert %v: p=%s q=%s witness fails", sem, c.p, c.q)
+				}
+			}
+			rd, del, deltaD := containment.ReduceToReadDeleteSem(p, q, sem)
+			if !contained {
+				w := containment.ReductionWitnessDeleteSem(p, q, counter, deltaD)
+				got, err := ops.ConflictWitness(sem, rd, del, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got {
+					t.Errorf("delete %v: p=%s q=%s witness fails", sem, c.p, c.q)
+				}
+			}
+		}
+	}
+}
+
+// TestSemReductionContainedNoTreeConflict: for a contained pair, the
+// δ-modified instance admits no tree conflict on the canonical firing
+// trees (the insertion leaves the δ subtree and the result set alone).
+func TestSemReductionContainedNoTreeConflict(t *testing.T) {
+	p, q := xpath.MustParse("/a/b"), xpath.MustParse("//b")
+	contained, _ := containment.Contained(p, q)
+	if !contained {
+		t.Fatal("setup: expected containment")
+	}
+	r, ins, delta := containment.ReduceToReadInsertSem(p, q, ops.TreeSemantics)
+	// Build a tree where the insert fires, plus the δ child.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// A firing tree: model of the insert pattern plus δ.
+		m, _ := ins.P.Model("zm")
+		w := m.Clone()
+		w.AddChild(w.Root(), delta)
+		// Random extra noise must not create a conflict either.
+		nodes := w.Nodes()
+		w.AddChild(nodes[rng.Intn(len(nodes))], "noise")
+		got, err := ops.ConflictWitness(ops.TreeSemantics, r, ins, w)
+		if err != nil {
+			return false
+		}
+		if got {
+			t.Logf("contained pair tree-conflicts on %s", w.XML())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

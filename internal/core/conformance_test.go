@@ -1,0 +1,191 @@
+package core
+
+import (
+	"testing"
+
+	"xmlconflict/internal/ops"
+	"xmlconflict/internal/xmltree"
+	"xmlconflict/internal/xpath"
+)
+
+// The conformance corpus: curated (read, update, semantics) triples with
+// expected verdicts, each annotated with the reasoning. It documents the
+// semantics at least as much as it tests them; every row runs through
+// Detect (and, where the read is linear and semantics is node, through
+// the single-pass detector as well).
+
+type conformanceCase struct {
+	name string
+	read string
+	// exactly one of ins/del is set; x is the insert payload.
+	ins, x, del string
+	sem         ops.Semantics
+	want        bool
+	why         string
+}
+
+var conformanceCorpus = []conformanceCase{
+	// --- basics: label compatibility along the spine ---
+	{name: "insert enables the read tail",
+		read: "/a/b/c", ins: "/a/b", x: "<c/>", want: true,
+		why: "inserting <c/> under /a/b creates a fresh /a/b/c result"},
+	{name: "payload label mismatch",
+		read: "/a/b/c", ins: "/a/b", x: "<d/>", want: false,
+		why: "the inserted subtree has no c at the right place"},
+	{name: "payload too shallow",
+		read: "/a/b/c/d", ins: "/a/b", x: "<d/>", want: false,
+		why: "the read needs c then d; the payload is a lone d"},
+	{name: "payload provides a deep tail",
+		read: "/a/b/c/d", ins: "/a/b", x: "<c><d/></c>", want: true,
+		why: "the whole remaining read path embeds into the payload"},
+	{name: "deep tail via descendant",
+		read: "/a//d", ins: "/a/b", x: "<c><d/></c>", want: true,
+		why: "a descendant edge may dive into the middle of the payload"},
+	{name: "child edge must hit the payload root",
+		read: "/a/d", ins: "/a/b", x: "<c><d/></c>", want: false,
+		why: "a child edge binds the next read node to the payload's root, which is c"},
+
+	// --- wildcards ---
+	{name: "wildcard read step swallows the payload root",
+		read: "/a/*", ins: "/a", x: "<anything/>", want: true,
+		why: "* matches the inserted node whatever its label"},
+	{name: "wildcard in the delete spine",
+		read: "/a/b/c", del: "/a/*", want: true,
+		why: "the deleted * child can be the b the read passes through"},
+	{name: "wildcard root patterns always overlap",
+		read: "//x", ins: "//y", x: "<x/>", want: true,
+		why: "some tree has a y somewhere; inserting x under it feeds //x"},
+	{name: "all-wildcard read vs any delete",
+		read: "//*", del: "/q/r", want: true,
+		why: "//* sees every non-root node, including deleted ones"},
+
+	// --- structural disjointness ---
+	{name: "incompatible roots",
+		read: "/p/q", del: "/z/w", want: false,
+		why: "no tree has a root labeled both p and z"},
+	{name: "sibling branches never interact (node semantics)",
+		read: "/a/q/r", ins: "/a/b", x: "<x/>", want: false,
+		why: "the insert lands under b, the read descends under q"},
+	{name: "depth mismatch",
+		read: "/*/*/A", ins: "/*/B", x: "<C><A/></C>", want: false,
+		why: "the read wants A at depth 2; the inserted A lands at depth 3"},
+
+	// --- the root is special ---
+	{name: "reading the root never node-conflicts with inserts",
+		read: "/a", ins: "/a/b", x: "<x/>", want: false,
+		why: "insertion cannot add or remove the root"},
+	{name: "reading the root never node-conflicts with deletes",
+		read: "/a", del: "/a/b", want: false,
+		why: "deletion may not remove the root (Ø(p) ≠ ROOT(p))"},
+	{name: "root read tree-conflicts with inserts below",
+		read: "/a", ins: "/a/b", x: "<x/>", sem: ops.TreeSemantics, want: true,
+		why: "the returned subtree (the whole document) is modified"},
+	{name: "root read value-conflicts with inserts below",
+		read: "/a", ins: "/a/b", x: "<x/>", sem: ops.ValueSemantics, want: true,
+		why: "the returned subtree grows, changing its isomorphism class"},
+	{name: "root read does not tree-conflict with an unfirable insert",
+		read: "/a", ins: "/z/b", x: "<x/>", sem: ops.TreeSemantics, want: false,
+		why: "the insert can never fire on a tree whose root is a"},
+
+	// --- descendant subtleties ---
+	{name: "descendant read dives into deleted subtree",
+		read: "/a//c", del: "/a/b", want: true,
+		why: "a c below the deleted b vanishes from the result"},
+	{name: "descendant delete reaches deep reads",
+		read: "/a/b/c", del: "//c", want: true,
+		why: "the read's own output can be a deletion point"},
+	{name: "descendant stretch over exact depth",
+		read: "/a//a", del: "/a/a/a/a", want: true,
+		why: "the deep deletion point is itself an //a result"},
+	{name: "delete below the read output (node semantics)",
+		read: "/a/b", del: "/a/b/c", want: false,
+		why: "deleting strictly below never changes which nodes /a/b returns"},
+	{name: "delete below the read output (tree semantics)",
+		read: "/a/b", del: "/a/b/c", sem: ops.TreeSemantics, want: true,
+		why: "the returned b subtree loses its c child"},
+	{name: "delete below the read output (value semantics)",
+		read: "/a/b", del: "/a/b/c", sem: ops.ValueSemantics, want: true,
+		why: "Lemma 2: equivalent to the tree conflict for linear patterns"},
+
+	// --- branching update patterns (Corollaries 1-2) ---
+	{name: "branching delete decides by its spine",
+		read: "/a/b/c", del: "/a/b[y][.//z]", want: true,
+		why: "some tree satisfies the predicates; then the spine deletes b"},
+	{name: "branching delete with incompatible spine",
+		read: "/a/b/c", del: "/a/x[y]/c", want: false,
+		why: "the spine /a/x/c cannot sit on the read's /a/b/c path"},
+	{name: "branching insert fires through predicates",
+		read: "/a/b/c", ins: "/a/b[.//q]", x: "<c/>", want: true,
+		why: "predicates restrict but never block some witness satisfying them"},
+
+	// --- self-interaction ---
+	{name: "read equals delete pattern",
+		read: "//A", del: "//A", want: true,
+		why: "deleting exactly what is read is the canonical conflict"},
+	{name: "insert feeding its own pattern does not cascade",
+		read: "/r/a/a", ins: "/r/a", x: "<a/>", want: true,
+		why: "points are evaluated before mutation, but the inserted a IS a new /r/a/a result"},
+
+	// --- tree/value semantics beyond node ---
+	{name: "insert into returned subtree (tree semantics)",
+		read: "/a/b", ins: "/a/b/c", x: "<x/>", sem: ops.TreeSemantics, want: true,
+		why: "the insertion point sits inside the returned b subtree"},
+	{name: "insert beside returned subtree (tree semantics)",
+		read: "/a/b", ins: "/a", x: "<x/>", sem: ops.TreeSemantics, want: false,
+		why: "the new x is a sibling of every returned b: no returned subtree is modified and the node set is unchanged"},
+	{name: "insert of the read's own label beside it",
+		read: "/a/b", ins: "/a", x: "<b/>", want: true,
+		why: "the inserted b is a brand-new /a/b result (already a node conflict)"},
+
+	// --- paper's running examples ---
+	{name: "§1: //C vs insert <C/> under B",
+		read: "//C", ins: "/*/B", x: "<C/>", want: true,
+		why: "the inserted C is a new //C result"},
+	{name: "§1: //D vs insert <C/> under B",
+		read: "//D", ins: "/*/B", x: "<C/>", want: false,
+		why: "no document lets this insertion affect //D"},
+	{name: "§1 functional: /*/A invariant",
+		read: "/*/*/A", ins: "/*/B", x: "<C/>", want: false,
+		why: "the inserted C (and nothing else) appears at depth 2; A results at depth 3 are untouched"},
+}
+
+func TestConformanceCorpus(t *testing.T) {
+	for _, c := range conformanceCorpus {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			read := ops.Read{P: xpath.MustParse(c.read)}
+			var u ops.Update
+			if c.ins != "" {
+				u = ops.Insert{P: xpath.MustParse(c.ins), X: xmltree.MustParse(c.x)}
+			} else {
+				u = ops.Delete{P: xpath.MustParse(c.del)}
+			}
+			v, err := Detect(read, u, c.sem, SearchOptions{})
+			if err != nil {
+				t.Fatalf("%s: %v", c.why, err)
+			}
+			if v.Conflict != c.want {
+				t.Fatalf("got %v, want %v — %s", v.Conflict, c.want, c.why)
+			}
+			if v.Conflict && v.Witness == nil {
+				t.Fatalf("conflict without witness")
+			}
+			// Cross-check the single-pass detector where it applies.
+			if c.sem == ops.NodeSemantics {
+				var fv Verdict
+				var ferr error
+				if ins, ok := u.(ops.Insert); ok {
+					fv, ferr = ReadInsertLinearFast(read.P, ins, c.sem)
+				} else {
+					fv, ferr = ReadDeleteLinearFast(read.P, u.(ops.Delete), c.sem)
+				}
+				if ferr != nil {
+					t.Fatalf("fast: %v", ferr)
+				}
+				if fv.Conflict != c.want {
+					t.Fatalf("fast detector disagrees: %v vs %v", fv.Conflict, c.want)
+				}
+			}
+		})
+	}
+}

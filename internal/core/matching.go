@@ -1,0 +1,158 @@
+// Package core implements the conflict-detection algorithms of
+// "Conflicting XML Updates" (Raghavachari & Shmueli, EDBT 2006): the
+// polynomial-time read-insert and read-delete detectors for linear read
+// patterns (Section 4), witness construction following the constructive
+// halves of the proofs, the marking/reparenting witness-minimization
+// machinery of Section 5.1.1, and a bounded exhaustive witness search that
+// plays the role of the NP oracle for the general branching case.
+package core
+
+import (
+	"fmt"
+
+	"xmlconflict/internal/automata"
+	"xmlconflict/internal/pattern"
+)
+
+// freshSymbol returns a symbol not occurring in any of the given label
+// sets. It realizes the paper's "α ∉ Σ_p" device: since Σ is infinite, a
+// fresh symbol always exists.
+func freshSymbol(sets ...map[string]bool) string {
+	for i := 0; ; i++ {
+		cand := fmt.Sprintf("zfresh%d", i)
+		used := false
+		for _, s := range sets {
+			if s[cand] {
+				used = true
+				break
+			}
+		}
+		if !used {
+			return cand
+		}
+	}
+}
+
+// MatchStrong reports whether the linear patterns l and l' match strongly
+// (Definition 7): some tree admits embeddings of both whose output images
+// coincide. When they do, it returns the label word of a shortest
+// root-to-output path realizing the match (using fresh for unconstrained
+// positions). It decides emptiness of L(ℛ(l)) ∩ L(ℛ(l')) per Section 4.1.
+func MatchStrong(l, lp *pattern.Pattern, fresh string) ([]string, bool, error) {
+	a, err := automata.FromLinear(l)
+	if err != nil {
+		return nil, false, err
+	}
+	b, err := automata.FromLinear(lp)
+	if err != nil {
+		return nil, false, err
+	}
+	w, ok := automata.Intersect(a, b, fresh)
+	return w, ok, nil
+}
+
+// MatchWeak reports whether l and l' match weakly (Definition 7): some
+// tree admits embeddings of both where Ø(l)'s image equals or descends
+// from Ø(l')'s image. It decides emptiness of L(ℛ(l)) ∩ L(ℛ(l')·(.)*).
+// The returned word labels the path from the root to Ø(l)'s image.
+func MatchWeak(l, lp *pattern.Pattern, fresh string) ([]string, bool, error) {
+	a, err := automata.FromLinear(l)
+	if err != nil {
+		return nil, false, err
+	}
+	b, err := automata.FromLinear(lp)
+	if err != nil {
+		return nil, false, err
+	}
+	w, ok := automata.Intersect(a, b.WithAnySuffix(), fresh)
+	return w, ok, nil
+}
+
+// MatchStrongDP decides strong matching by direct dynamic programming over
+// pattern positions, the alternative the paper's REMARK after Theorem 1
+// suggests instead of per-edge automata products. It returns only the
+// boolean verdict and exists to cross-check the automata implementation
+// (and for the E10 ablation benchmark).
+func MatchStrongDP(l, lp *pattern.Pattern) (bool, error) { return matchDP(l, lp, false) }
+
+// MatchWeakDP is the weak-matching variant of MatchStrongDP.
+func MatchWeakDP(l, lp *pattern.Pattern) (bool, error) { return matchDP(l, lp, true) }
+
+// matchDP searches for a single root-to-leaf label path that supports
+// embeddings of both linear patterns with Ø(l) at the last path node and
+// Ø(l') at the last node (strong) or at/above it (weak).
+//
+// A state (i, j, fa, fb) means: a path exists whose nodes realize the
+// spine prefixes a[0..i] and b[0..j]; fa (resp. fb) records whether a[i]
+// (resp. b[j]) is mapped exactly to the current last path node or strictly
+// above it. Each transition appends one path node. A child edge can only
+// be satisfied from an "exact" flag (parent adjacency); a descendant edge
+// tolerates any gap.
+func matchDP(l, lp *pattern.Pattern, weak bool) (bool, error) {
+	if !l.IsLinear() || !lp.IsLinear() {
+		return false, fmt.Errorf("core: matchDP requires linear patterns")
+	}
+	a := l.Spine()
+	b := lp.Spine()
+	la, lb := len(a), len(b)
+	compat := func(x, y *pattern.Node) bool {
+		return x.IsWildcard() || y.IsWildcard() || x.Label() == y.Label()
+	}
+	if !compat(a[0], b[0]) {
+		return false, nil
+	}
+	const (
+		exact = 0
+		above = 1
+	)
+	type state struct{ i, j, fa, fb int }
+	// Dense visited array: state (i, j, fa, fb) ↦ ((i·lb)+j)·4 + fa·2+fb.
+	seen := make([]bool, la*lb*4)
+	var queue []state
+	push := func(s state) {
+		idx := ((s.i*lb)+s.j)*4 + s.fa*2 + s.fb
+		if !seen[idx] {
+			seen[idx] = true
+			queue = append(queue, s)
+		}
+	}
+	accept := func(s state) bool {
+		if s.i != la-1 || s.fa != exact || s.j != lb-1 {
+			return false
+		}
+		return weak || s.fb == exact
+	}
+	start := state{0, 0, exact, exact}
+	push(start)
+	for qi := 0; qi < len(queue); qi++ {
+		s := queue[qi]
+		if accept(s) {
+			return true, nil
+		}
+		aCanAdvance := s.i+1 < la &&
+			(a[s.i+1].Axis() == pattern.Descendant || s.fa == exact)
+		bCanAdvance := s.j+1 < lb &&
+			(b[s.j+1].Axis() == pattern.Descendant || s.fb == exact)
+		// b tolerates an extra path node below its current frontier when
+		// its next edge is a descendant edge, or when b is fully consumed
+		// and we are matching weakly.
+		bTolerates := (s.j+1 < lb && b[s.j+1].Axis() == pattern.Descendant) ||
+			(s.j == lb-1 && weak)
+		aTolerates := s.i+1 < la && a[s.i+1].Axis() == pattern.Descendant
+		// Advance both.
+		if aCanAdvance && bCanAdvance && compat(a[s.i+1], b[s.j+1]) {
+			push(state{s.i + 1, s.j + 1, exact, exact})
+		}
+		// Advance a only.
+		if aCanAdvance && bTolerates {
+			push(state{s.i + 1, s.j, exact, above})
+		}
+		// Advance b only. (a's output must be the last path node in both
+		// modes, so a may never be left above a new node once consumed;
+		// aTolerates is false when i is a's last position.)
+		if bCanAdvance && aTolerates {
+			push(state{s.i, s.j + 1, above, exact})
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xmlconflict/internal/match"
+	"xmlconflict/internal/pattern"
+	"xmlconflict/internal/xmltree"
+	"xmlconflict/internal/xpath"
+)
+
+func TestMatchStrongBasics(t *testing.T) {
+	cases := []struct {
+		l, lp string
+		want  bool
+	}{
+		{"/a/b", "/a/b", true},
+		{"/a/b", "/a/c", false},
+		{"/a//c", "/a/b/c", true},
+		{"/a/*", "/a/b", true},
+		{"//x", "/a/b/x", true},
+		{"/a/x", "//x", true},
+		{"/a/b/c", "/a/b", false},   // outputs at different depths
+		{"/a//b", "/a", false},      // same
+		{"/*", "/*", true},          // fresh symbol realizes the match
+		{"/a//a", "/a/a/a/a", true}, // descendant stretches
+		{"/b", "/a", false},
+	}
+	for _, c := range cases {
+		w, got, err := MatchStrong(xpath.MustParse(c.l), xpath.MustParse(c.lp), "zf")
+		if err != nil {
+			t.Fatalf("%s ~ %s: %v", c.l, c.lp, err)
+		}
+		if got != c.want {
+			t.Errorf("MatchStrong(%s, %s) = %v, want %v", c.l, c.lp, got, c.want)
+		}
+		if got && len(w) == 0 {
+			t.Errorf("MatchStrong(%s, %s): empty witness word", c.l, c.lp)
+		}
+	}
+}
+
+func TestMatchWeakBasics(t *testing.T) {
+	cases := []struct {
+		l, lp string
+		want  bool
+	}{
+		{"/a/b/c", "/a/b", true}, // Ø(l) below Ø(l')
+		{"/a/b", "/a/b/c", false},
+		{"/a//x", "/a", true},
+		{"/b/x", "/a", false},
+		{"//x", "//y", true}, // some tree has y above x
+	}
+	for _, c := range cases {
+		_, got, err := MatchWeak(xpath.MustParse(c.l), xpath.MustParse(c.lp), "zf")
+		if err != nil {
+			t.Fatalf("%s ~ %s: %v", c.l, c.lp, err)
+		}
+		if got != c.want {
+			t.Errorf("MatchWeak(%s, %s) = %v, want %v", c.l, c.lp, got, c.want)
+		}
+	}
+}
+
+// chainOf builds the path tree for a word.
+func chainOf(word []string) *xmltree.Tree {
+	t, _ := chainTree(word)
+	return t
+}
+
+// oracleMatch decides matching by brute force: enumerate all words up to
+// maxLen over the alphabet, build the chain, and check the embeddings
+// directly with the evaluator (on a chain, every node is an ancestor-or-
+// self of the last node, so weak matching is just non-emptiness of l').
+func oracleMatch(l, lp *pattern.Pattern, alphabet []string, maxLen int, weak bool) bool {
+	var word []string
+	var rec func() bool
+	rec = func() bool {
+		if len(word) > 0 {
+			ch := chainOf(word)
+			last := ch.Nodes()[len(word)-1]
+			resL := match.Eval(l, ch)
+			hitL := false
+			for _, n := range resL {
+				if n == last {
+					hitL = true
+				}
+			}
+			if hitL {
+				resLp := match.Eval(lp, ch)
+				if weak && len(resLp) > 0 {
+					return true
+				}
+				for _, n := range resLp {
+					if n == last {
+						return true
+					}
+				}
+			}
+		}
+		if len(word) == maxLen {
+			return false
+		}
+		for _, s := range alphabet {
+			word = append(word, s)
+			if rec() {
+				return true
+			}
+			word = word[:len(word)-1]
+		}
+		return false
+	}
+	return rec()
+}
+
+func randLinearPair(seed int64) (*pattern.Pattern, *pattern.Pattern) {
+	rng := rand.New(rand.NewSource(seed))
+	l := pattern.RandomLinear(rng, rng.Intn(4)+1, []string{"a", "b"}, 0.3, 0.4)
+	lp := pattern.RandomLinear(rng, rng.Intn(4)+1, []string{"a", "b"}, 0.3, 0.4)
+	return l, lp
+}
+
+func TestMatchAgainstBruteForceOracle(t *testing.T) {
+	alphabet := []string{"a", "b", "zf"}
+	f := func(seed int64, weakFlag bool) bool {
+		l, lp := randLinearPair(seed)
+		maxLen := l.Size() + lp.Size() + 1
+		var got bool
+		var word []string
+		var err error
+		if weakFlag {
+			word, got, err = MatchWeak(l, lp, "zf")
+		} else {
+			word, got, err = MatchStrong(l, lp, "zf")
+		}
+		if err != nil {
+			return false
+		}
+		want := oracleMatch(l, lp, alphabet, maxLen, weakFlag)
+		if got != want {
+			t.Logf("mismatch: l=%s lp=%s weak=%v got=%v want=%v word=%v", l, lp, weakFlag, got, want, word)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchWordIsSelfWitnessing(t *testing.T) {
+	// Whenever MatchStrong/MatchWeak succeed, the returned word's chain
+	// supports both embeddings as claimed.
+	f := func(seed int64, weakFlag bool) bool {
+		l, lp := randLinearPair(seed)
+		var word []string
+		var ok bool
+		var err error
+		if weakFlag {
+			word, ok, err = MatchWeak(l, lp, "zf")
+		} else {
+			word, ok, err = MatchStrong(l, lp, "zf")
+		}
+		if err != nil || !ok {
+			return err == nil
+		}
+		ch := chainOf(word)
+		last := ch.Nodes()[len(word)-1]
+		hitL := false
+		for _, n := range match.Eval(l, ch) {
+			if n == last {
+				hitL = true
+			}
+		}
+		if !hitL {
+			return false
+		}
+		resLp := match.Eval(lp, ch)
+		if weakFlag {
+			return len(resLp) > 0
+		}
+		for _, n := range resLp {
+			if n == last {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDPMatcherAgreesWithNFA(t *testing.T) {
+	// The REMARK's dynamic-programming matcher and the automata-product
+	// matcher must agree (experiment E10's correctness side).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := pattern.RandomLinear(rng, rng.Intn(7)+1, []string{"a", "b", "c"}, 0.3, 0.4)
+		lp := pattern.RandomLinear(rng, rng.Intn(7)+1, []string{"a", "b", "c"}, 0.3, 0.4)
+		_, sNFA, err := MatchStrong(l, lp, "zf")
+		if err != nil {
+			return false
+		}
+		sDP, err := MatchStrongDP(l, lp)
+		if err != nil {
+			return false
+		}
+		_, wNFA, err := MatchWeak(l, lp, "zf")
+		if err != nil {
+			return false
+		}
+		wDP, err := MatchWeakDP(l, lp)
+		if err != nil {
+			return false
+		}
+		if sNFA != sDP || wNFA != wDP {
+			t.Logf("l=%s lp=%s strong NFA=%v DP=%v weak NFA=%v DP=%v", l, lp, sNFA, sDP, wNFA, wDP)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDPMatcherRejectsBranching(t *testing.T) {
+	if _, err := MatchStrongDP(xpath.MustParse("a[b]/c"), xpath.MustParse("a")); err == nil {
+		t.Fatalf("branching pattern accepted by matchDP")
+	}
+}
+
+func TestFreshSymbol(t *testing.T) {
+	got := freshSymbol(map[string]bool{"zfresh0": true}, map[string]bool{"zfresh1": true})
+	if got != "zfresh2" {
+		t.Fatalf("freshSymbol = %q", got)
+	}
+	if freshSymbol() != "zfresh0" {
+		t.Fatalf("freshSymbol() = %q", freshSymbol())
+	}
+}

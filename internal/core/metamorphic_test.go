@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xmlconflict/internal/ops"
+	"xmlconflict/internal/pattern"
+	"xmlconflict/internal/xmltree"
+)
+
+// Metamorphic invariance suite: conflict verdicts must be invariant under
+// transformations that provably preserve the semantics of the instance.
+
+// relabelPattern applies a label bijection to a pattern copy.
+func relabelPattern(p *pattern.Pattern, f func(string) string) *pattern.Pattern {
+	q := pattern.New(mapLabel(p.Root().Label(), f))
+	var out *pattern.Node
+	if p.Output() == p.Root() {
+		out = q.Root()
+	}
+	var walk func(src, dst *pattern.Node)
+	walk = func(src, dst *pattern.Node) {
+		for _, c := range src.Children() {
+			nc := q.AddChild(dst, c.Axis(), mapLabel(c.Label(), f))
+			if c == p.Output() {
+				out = nc
+			}
+			walk(c, nc)
+		}
+	}
+	walk(p.Root(), q.Root())
+	q.SetOutput(out)
+	return q
+}
+
+func mapLabel(l string, f func(string) string) string {
+	if l == pattern.Wildcard {
+		return l
+	}
+	return f(l)
+}
+
+// relabelTree applies a label bijection to a tree copy.
+func relabelTree(t *xmltree.Tree, f func(string) string) *xmltree.Tree {
+	out := xmltree.New(f(t.Root().Label()))
+	var walk func(src *xmltree.Node, dst *xmltree.Node)
+	walk = func(src *xmltree.Node, dst *xmltree.Node) {
+		for _, c := range src.Children() {
+			walk(c, out.AddChild(dst, f(c.Label())))
+		}
+	}
+	walk(t.Root(), out.Root())
+	return out
+}
+
+func TestVerdictInvariantUnderRelabeling(t *testing.T) {
+	// A label bijection maps witnesses to witnesses, so verdicts are
+	// invariant.
+	bij := func(l string) string { return "q" + l + "q" }
+	f := func(seed int64, isInsert bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randLinear(rng, 4)
+		var u, u2 ops.Update
+		if isInsert {
+			ip := randLinear(rng, 3)
+			x := xmltree.Random(rng, xmltree.RandomConfig{Size: rng.Intn(3) + 1, Labels: []string{"a", "b"}})
+			u = ops.Insert{P: ip, X: x}
+			u2 = ops.Insert{P: relabelPattern(ip, bij), X: relabelTree(x, bij)}
+		} else {
+			dp := randLinear(rng, 3)
+			if dp.Output() == dp.Root() {
+				n := dp.AddChild(dp.Output(), pattern.Child, "a")
+				dp.SetOutput(n)
+			}
+			u = ops.Delete{P: dp}
+			u2 = ops.Delete{P: relabelPattern(dp, bij)}
+		}
+		v1, err1 := Detect(ops.Read{P: r}, u, ops.NodeSemantics, SearchOptions{})
+		v2, err2 := Detect(ops.Read{P: relabelPattern(r, bij)}, u2, ops.NodeSemantics, SearchOptions{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if v1.Conflict != v2.Conflict {
+			t.Logf("relabeling changed the verdict: r=%s u=%s", r, u.Pattern())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerdictInvariantUnderCloning(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randLinear(rng, 4)
+		ip := randLinear(rng, 3)
+		x := xmltree.Random(rng, xmltree.RandomConfig{Size: 2, Labels: []string{"a", "b"}})
+		u := ops.Insert{P: ip, X: x}
+		v1, err1 := ReadInsertLinear(r, u, ops.NodeSemantics)
+		v2, err2 := ReadInsertLinear(r.Clone(), ops.Insert{P: ip.Clone(), X: x.Clone()}, ops.NodeSemantics)
+		return err1 == nil && err2 == nil && v1.Conflict == v2.Conflict
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerdictInvariantUnderRedundantPredicates(t *testing.T) {
+	// Duplicating an existing predicate branch of the update pattern
+	// cannot change any verdict (the duplicate is homomorphism-redundant,
+	// so the update selects exactly the same nodes on every tree).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randLinear(rng, 4)
+		up := pattern.Random(rng, pattern.RandomConfig{
+			Size: rng.Intn(4) + 2, Labels: []string{"a", "b"},
+			PWildcard: 0.25, PDescendant: 0.3, PBranch: 0.5,
+		})
+		// Duplicate a random off-spine branch, if any.
+		spine := map[*pattern.Node]bool{}
+		for _, n := range up.Spine() {
+			spine[n] = true
+		}
+		var branches []*pattern.Node
+		for _, n := range up.Nodes() {
+			if !spine[n] && spine[n.Parent()] {
+				branches = append(branches, n)
+			}
+		}
+		up2 := up.Clone()
+		if len(branches) > 0 {
+			b := branches[rng.Intn(len(branches))]
+			// Find the corresponding node in the clone by position.
+			idx := -1
+			for i, n := range up.Nodes() {
+				if n == b {
+					idx = i
+					break
+				}
+			}
+			bn := up2.Nodes()[idx]
+			up2.Attach(bn.Parent(), bn.Axis(), up.Subpattern(b))
+		}
+		x := xmltree.Random(rng, xmltree.RandomConfig{Size: 2, Labels: []string{"a", "b"}})
+		v1, err1 := ReadInsertLinear(r, ops.Insert{P: up, X: x}, ops.NodeSemantics)
+		v2, err2 := ReadInsertLinear(r, ops.Insert{P: up2, X: x}, ops.NodeSemantics)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if v1.Conflict != v2.Conflict {
+			t.Logf("duplicate predicate changed the verdict: r=%s u=%s u2=%s", r, up, up2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerdictMonotoneInReadPrefix(t *testing.T) {
+	// If READ r conflicts with DELETE d, then extending r with a further
+	// descendant step keeps the conflict: whatever got deleted still
+	// loses descendants reached by //*.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randLinear(rng, 3)
+		dp := randLinear(rng, 3)
+		if dp.Output() == dp.Root() {
+			n := dp.AddChild(dp.Output(), pattern.Child, "a")
+			dp.SetOutput(n)
+		}
+		d := ops.Delete{P: dp}
+		v1, err := ReadDeleteLinear(r, d, ops.NodeSemantics)
+		if err != nil || !v1.Conflict {
+			return err == nil
+		}
+		ext := r.Clone()
+		n := ext.AddChild(ext.Output(), pattern.Descendant, pattern.Wildcard)
+		ext.SetOutput(n)
+		v2, err := ReadDeleteLinear(ext, d, ops.NodeSemantics)
+		if err != nil {
+			return false
+		}
+		if !v2.Conflict {
+			t.Logf("extension lost the conflict: r=%s ext=%s d=%s", r, ext, dp)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWitnessSizesReasonable(t *testing.T) {
+	// Constructed witnesses from the linear detectors stay within a small
+	// multiple of the input sizes (they are built from shortest product
+	// words plus models).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randLinear(rng, 5)
+		ip := randLinear(rng, 5)
+		x := xmltree.Random(rng, xmltree.RandomConfig{Size: 3, Labels: []string{"a", "b"}})
+		v, err := ReadInsertLinear(r, ops.Insert{P: ip, X: x}, ops.NodeSemantics)
+		if err != nil {
+			return false
+		}
+		if !v.Conflict {
+			return true
+		}
+		limit := (r.Size() + ip.Size() + x.Size() + 2) * (ip.Size() + 1)
+		if v.Witness.Size() > limit {
+			t.Logf("oversized witness (%d > %d): r=%s i=%s", v.Witness.Size(), limit, r, ip)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

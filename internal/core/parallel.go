@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"xmlconflict/internal/containment"
+	"xmlconflict/internal/ops"
+	"xmlconflict/internal/xmltree"
+)
+
+// SearchConflictParallel is SearchConflict with the witness checks fanned
+// out over a worker pool. Candidate generation stays sequential (the
+// canonical enumeration is inherently ordered and cheap relative to the
+// Lemma 1 checks); each candidate's conflict check runs on one of
+// `workers` goroutines (0 = GOMAXPROCS).
+//
+// Verdicts agree with SearchConflict with one caveat: when several
+// witnesses exist, the one returned is the first FOUND, not necessarily
+// the smallest — workers race. Completeness semantics are identical: a
+// negative verdict is complete iff every candidate up to the bound was
+// checked.
+func SearchConflictParallel(r ops.Read, u ops.Update, sem ops.Semantics, opts SearchOptions, workers int) (Verdict, error) {
+	r = ops.Read{P: containment.Minimize(r.P)}
+	u = minimizeUpdate(u)
+	bound := WitnessBound(r, u)
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 || maxNodes > bound {
+		maxNodes = bound
+	}
+	labels := opts.Labels
+	if labels == nil {
+		labels = SearchAlphabet(r, u)
+	}
+	maxCand := opts.MaxCandidates
+	if maxCand <= 0 {
+		maxCand = DefaultMaxCandidates
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Skeletons, not built trees, cross the channel: the build cost runs
+	// worker-side so the serial producer stays cheap.
+	cands := make(chan *encTree, workers*8)
+	type result struct {
+		witness *xmltree.Tree
+		err     error
+	}
+	found := make(chan result, workers)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for enc := range cands {
+				t := enc.build(labels)
+				ok, err := ops.ConflictWitness(sem, r, u, t)
+				if err != nil {
+					select {
+					case found <- result{err: err}:
+					default:
+					}
+					halt()
+					return
+				}
+				if ok {
+					select {
+					case found <- result{witness: t}:
+					default:
+					}
+					halt()
+					return
+				}
+			}
+		}()
+	}
+
+	examined := 0
+	truncated := false
+	enumerateSkeletons(labels, maxNodes, func(t *encTree) bool {
+		examined++
+		if examined > maxCand {
+			truncated = true
+			return false
+		}
+		select {
+		case cands <- t:
+			return true
+		case <-stop:
+			return false
+		}
+	})
+	close(cands)
+	wg.Wait()
+	close(found)
+
+	var witness *xmltree.Tree
+	for res := range found {
+		if res.err != nil {
+			return Verdict{}, res.err
+		}
+		if res.witness != nil && witness == nil {
+			witness = res.witness
+		}
+	}
+	if witness != nil {
+		return Verdict{
+			Conflict: true,
+			Witness:  witness,
+			Method:   "search-parallel",
+			Complete: true,
+			Detail:   fmt.Sprintf("witness found with %d workers after ~%d candidates", workers, examined),
+		}, nil
+	}
+	complete := !truncated && maxNodes >= bound
+	detail := fmt.Sprintf("no witness among %d trees of <= %d nodes (%d workers)", examined, maxNodes, workers)
+	if truncated {
+		detail = fmt.Sprintf("search truncated at %d candidates (bound %d nodes)", maxCand, maxNodes)
+	}
+	return Verdict{Method: "search-parallel", Complete: complete, Detail: detail}, nil
+}

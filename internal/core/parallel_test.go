@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xmlconflict/internal/ops"
+	"xmlconflict/internal/pattern"
+	"xmlconflict/internal/xmltree"
+	"xmlconflict/internal/xpath"
+)
+
+func TestParallelSearchFindsWitness(t *testing.T) {
+	r := ops.Read{P: xpath.MustParse("a[q]/b")}
+	ins := mustInsert("a", "<b/>")
+	v, err := SearchConflictParallel(r, ins, ops.NodeSemantics, SearchOptions{MaxNodes: 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Conflict || v.Witness == nil {
+		t.Fatalf("no conflict found: %+v", v)
+	}
+	ok, err := ops.NodeConflictWitness(r, ins, v.Witness)
+	if err != nil || !ok {
+		t.Fatalf("witness invalid: %v %v", ok, err)
+	}
+}
+
+func TestParallelSearchNegativeComplete(t *testing.T) {
+	r := ops.Read{P: xpath.MustParse("a/b")}
+	d := mustDelete("z/w")
+	v, err := SearchConflictParallel(r, d, ops.NodeSemantics, SearchOptions{MaxNodes: 4, MaxCandidates: 500_000}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Conflict || !v.Complete {
+		t.Fatalf("want complete negative: %+v", v)
+	}
+}
+
+func TestParallelSearchTruncation(t *testing.T) {
+	r := ops.Read{P: xpath.MustParse("a[b][c]/d")}
+	d := mustDelete("z/w")
+	v, err := SearchConflictParallel(r, d, ops.NodeSemantics, SearchOptions{MaxNodes: 8, MaxCandidates: 40}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Conflict || v.Complete {
+		t.Fatalf("truncated search must be incomplete negative: %+v", v)
+	}
+}
+
+func TestParallelSearchErrorPropagation(t *testing.T) {
+	// A delete pattern selecting the root errors during checking.
+	r := ops.Read{P: xpath.MustParse("a[b]/c")}
+	bad := ops.Delete{P: xpath.MustParse("a")}
+	if _, err := SearchConflictParallel(r, bad, ops.NodeSemantics, SearchOptions{MaxNodes: 3}, 2); err == nil {
+		t.Fatalf("bad delete accepted")
+	}
+}
+
+func TestParallelSearchAgreesWithSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search cross-check")
+	}
+	f := func(seed int64, isInsert bool, workers uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := ops.Read{P: pattern.Random(rng, pattern.RandomConfig{
+			Size: rng.Intn(4) + 1, Labels: []string{"a", "b"},
+			PWildcard: 0.3, PDescendant: 0.3, PBranch: 0.6,
+		})}
+		var u ops.Update
+		if isInsert {
+			u = ops.Insert{
+				P: randLinear(rng, 3),
+				X: xmltree.Random(rng, xmltree.RandomConfig{Size: rng.Intn(2) + 1, Labels: []string{"a", "b"}}),
+			}
+		} else {
+			dp := randLinear(rng, 3)
+			if dp.Output() == dp.Root() {
+				n := dp.AddChild(dp.Output(), pattern.Child, "a")
+				dp.SetOutput(n)
+			}
+			u = ops.Delete{P: dp}
+		}
+		opts := SearchOptions{MaxNodes: 5, MaxCandidates: 200_000}
+		seq, err1 := SearchConflict(r, u, ops.NodeSemantics, opts)
+		par, err2 := SearchConflictParallel(r, u, ops.NodeSemantics, opts, int(workers%4)+1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if seq.Conflict != par.Conflict {
+			t.Logf("r=%s u=%s: seq=%v par=%v", r.P, u.Pattern(), seq.Conflict, par.Conflict)
+			return false
+		}
+		if par.Conflict {
+			ok, err := ops.NodeConflictWitness(r, u, par.Witness)
+			return err == nil && ok
+		}
+		return seq.Complete == par.Complete
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xmlconflict/internal/pattern"
+	"xmlconflict/internal/xpath"
+)
+
+func TestSatisfiableViaConflictAlwaysTrue(t *testing.T) {
+	// Section 2.3: every pattern in P^{//,[],*} is satisfiable (its model
+	// witnesses it), so the Section 6 conflict encoding must always say
+	// yes — including for single-node and root-output patterns.
+	for _, expr := range []string{"a", "*", "/a/b", "//x[y][.//z]", "a[b][c][d]"} {
+		ok, err := SatisfiableViaConflict(xpath.MustParse(expr))
+		if err != nil {
+			t.Fatalf("%s: %v", expr, err)
+		}
+		if !ok {
+			t.Errorf("%s: declared unsatisfiable", expr)
+		}
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := pattern.Random(rng, pattern.RandomConfig{
+			Size: rng.Intn(6) + 1, Labels: []string{"a", "b"},
+			PWildcard: 0.3, PDescendant: 0.4, PBranch: 0.5,
+		})
+		ok, err := SatisfiableViaConflict(p)
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

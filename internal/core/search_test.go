@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"xmlconflict/internal/ops"
+	"xmlconflict/internal/xmltree"
+	"xmlconflict/internal/xpath"
+)
+
+func TestEnumerateTreesCountsAndUniqueness(t *testing.T) {
+	// With 1 label: 1 tree of size 1; 1 of size 2; 2 of size 3 (chain and
+	// cherry); 4 of size 4 (the unordered rooted trees).
+	wantsOneLabel := map[int]int{1: 1, 2: 1, 3: 2, 4: 4, 5: 9, 6: 20}
+	for n, want := range wantsOneLabel {
+		if got := CountTrees(1, n); got != want {
+			t.Errorf("CountTrees(1, %d) = %d, want %d", n, got, want)
+		}
+	}
+	// With 2 labels: size 1 → 2; size 2 → 4; size 3: root(2) × forests of
+	// size 2: {t2} (4) + {t1,t1} multiset (3) = 7 → 14.
+	wantsTwoLabels := map[int]int{1: 2, 2: 4, 3: 14}
+	for n, want := range wantsTwoLabels {
+		if got := CountTrees(2, n); got != want {
+			t.Errorf("CountTrees(2, %d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestEnumerateTreesNoDuplicates(t *testing.T) {
+	seen := map[string]bool{}
+	EnumerateTrees([]string{"a", "b"}, 4, func(tr *xmltree.Tree) bool {
+		c := xmltree.Code(tr.Root())
+		if seen[c] {
+			t.Fatalf("duplicate isomorphism class: %s", tr)
+		}
+		seen[c] = true
+		return true
+	})
+	want := 2 + 4 + 14 + 52
+	if len(seen) != want {
+		t.Fatalf("enumerated %d classes, want %d", len(seen), want)
+	}
+}
+
+func TestEnumerateTreesEarlyStop(t *testing.T) {
+	n := 0
+	EnumerateTrees([]string{"a"}, 6, func(tr *xmltree.Tree) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop failed: %d", n)
+	}
+}
+
+func TestEnumerateTreesSizeOrder(t *testing.T) {
+	last := 0
+	EnumerateTrees([]string{"a", "b"}, 4, func(tr *xmltree.Tree) bool {
+		if tr.Size() < last {
+			t.Fatalf("size order violated")
+		}
+		last = tr.Size()
+		return true
+	})
+}
+
+func TestWitnessBound(t *testing.T) {
+	r := ops.Read{P: xpath.MustParse("/a/*/*")} // size 3, star length 2
+	u := ops.Insert{P: xpath.MustParse("/a/b"), X: xmltree.MustParse("<x/>")}
+	if got := WitnessBound(r, u); got != 3*2*3 {
+		t.Fatalf("WitnessBound = %d, want 18", got)
+	}
+}
+
+func TestSearchConflictFindsBranchingWitness(t *testing.T) {
+	// Read a[q]/b is branching; inserting <b/> under a conflicts exactly
+	// when the tree has an a-root with a q child.
+	r := ops.Read{P: xpath.MustParse("a[q]/b")}
+	ins := ops.Insert{P: xpath.MustParse("a"), X: xmltree.MustParse("<b/>")}
+	v, err := SearchConflict(r, ins, ops.NodeSemantics, SearchOptions{MaxNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Conflict || v.Witness == nil {
+		t.Fatalf("no conflict found: %v", v)
+	}
+	if v.Witness.Size() != 2 {
+		t.Fatalf("search should find the minimal witness (size 2), got %s", v.Witness)
+	}
+	ok, err := ops.NodeConflictWitness(r, ins, v.Witness)
+	if err != nil || !ok {
+		t.Fatalf("returned witness does not verify: %v %v", ok, err)
+	}
+}
+
+func TestSearchConflictNegativeComplete(t *testing.T) {
+	// a[q]/b vs deleting /z/w: the patterns share nothing; a complete
+	// search up to the full bound proves no conflict.
+	r := ops.Read{P: xpath.MustParse("a/b")}
+	d := ops.Delete{P: xpath.MustParse("z/w")}
+	v, err := SearchConflict(r, d, ops.NodeSemantics, SearchOptions{MaxNodes: 4, MaxCandidates: 500_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Conflict {
+		t.Fatalf("false conflict: %v", v)
+	}
+}
+
+func TestSearchConflictTruncationReported(t *testing.T) {
+	r := ops.Read{P: xpath.MustParse("a[b][c]/d")}
+	d := ops.Delete{P: xpath.MustParse("z/w")}
+	v, err := SearchConflict(r, d, ops.NodeSemantics, SearchOptions{MaxNodes: 8, MaxCandidates: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Conflict || v.Complete {
+		t.Fatalf("truncated search must be incomplete and negative: %v", v)
+	}
+}
+
+func TestSearchAlphabet(t *testing.T) {
+	r := ops.Read{P: xpath.MustParse("a/b")}
+	ins := ops.Insert{P: xpath.MustParse("a/c"), X: xmltree.MustParse("<d/>")}
+	labels := SearchAlphabet(r, ins)
+	set := map[string]bool{}
+	for _, l := range labels {
+		set[l] = true
+	}
+	for _, want := range []string{"a", "b", "c", "d"} {
+		if !set[want] {
+			t.Fatalf("alphabet %v missing %s", labels, want)
+		}
+	}
+	if len(labels) != 5 {
+		t.Fatalf("alphabet should have exactly one fresh symbol: %v", labels)
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xmlconflict/internal/ops"
+	"xmlconflict/internal/pattern"
+	"xmlconflict/internal/xmltree"
+	"xmlconflict/internal/xpath"
+)
+
+func TestEdgeMatchesAgainstPerEdgeProducts(t *testing.T) {
+	// The single-pass facts must equal the per-edge product results for
+	// every prefix of the read spine.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		upd := pattern.RandomLinear(rng, rng.Intn(5)+1, []string{"a", "b"}, 0.3, 0.4)
+		r := pattern.RandomLinear(rng, rng.Intn(5)+1, []string{"a", "b"}, 0.3, 0.4)
+		weakAt, strongAt, err := edgeMatches(upd, r)
+		if err != nil {
+			return false
+		}
+		spine := r.Spine()
+		for i := range spine {
+			prefix, err := r.Seq(r.Root(), spine[i])
+			if err != nil {
+				return false
+			}
+			_, wantW, err := MatchWeak(upd, prefix, "zf")
+			if err != nil {
+				return false
+			}
+			_, wantS, err := MatchStrong(upd, prefix, "zf")
+			if err != nil {
+				return false
+			}
+			if weakAt[i] != wantW || strongAt[i] != wantS {
+				t.Logf("upd=%s r=%s i=%d: weak %v/%v strong %v/%v",
+					upd, r, i, weakAt[i], wantW, strongAt[i], wantS)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSinglePassAgreesWithReference(t *testing.T) {
+	// E14's correctness side: the single-pass detectors return the same
+	// verdict as the per-edge reference on random instances, and their
+	// witnesses verify (enforced internally).
+	f := func(seed int64, isInsert bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randLinear(rng, 5)
+		if isInsert {
+			ip := pattern.Random(rng, pattern.RandomConfig{
+				Size: rng.Intn(4) + 1, Labels: []string{"a", "b"},
+				PWildcard: 0.3, PDescendant: 0.4, PBranch: 0.4,
+			})
+			x := xmltree.Random(rng, xmltree.RandomConfig{Size: rng.Intn(3) + 1, Labels: []string{"a", "b"}})
+			ins := ops.Insert{P: ip, X: x}
+			ref, err1 := ReadInsertLinear(r, ins, ops.NodeSemantics)
+			fast, err2 := ReadInsertLinearFast(r, ins, ops.NodeSemantics)
+			if err1 != nil || err2 != nil {
+				t.Logf("errors: %v / %v", err1, err2)
+				return false
+			}
+			return ref.Conflict == fast.Conflict
+		}
+		dp := pattern.Random(rng, pattern.RandomConfig{
+			Size: rng.Intn(4) + 2, Labels: []string{"a", "b"},
+			PWildcard: 0.3, PDescendant: 0.4, PBranch: 0.4,
+		})
+		if dp.Output() == dp.Root() {
+			n := dp.AddChild(dp.Output(), pattern.Child, "a")
+			dp.SetOutput(n)
+		}
+		d := ops.Delete{P: dp}
+		ref, err1 := ReadDeleteLinear(r, d, ops.NodeSemantics)
+		fast, err2 := ReadDeleteLinearFast(r, d, ops.NodeSemantics)
+		if err1 != nil || err2 != nil {
+			t.Logf("errors: %v / %v", err1, err2)
+			return false
+		}
+		if ref.Conflict != fast.Conflict {
+			t.Logf("r=%s d=%s: ref=%v fast=%v", r, dp, ref.Conflict, fast.Conflict)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSinglePassKnownCases(t *testing.T) {
+	// The Section 1 pair, via the fast path.
+	ins := mustInsert("/*/B", "<C/>")
+	v, err := ReadInsertLinearFast(xpath.MustParse("//C"), ins, ops.NodeSemantics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Conflict || v.Method != "linear-dp" || v.Witness == nil {
+		t.Fatalf("fast //C: %+v", v)
+	}
+	v, err = ReadInsertLinearFast(xpath.MustParse("//D"), ins, ops.NodeSemantics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Conflict {
+		t.Fatalf("fast //D: %+v", v)
+	}
+	// Prefix-fact regression: a child edge right after the crossing point
+	// (the case the naive transition set misses).
+	d := mustDelete("//q")
+	v, err = ReadDeleteLinearFast(xpath.MustParse("/x/y/z"), d, ops.NodeSemantics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ReadDeleteLinear(xpath.MustParse("/x/y/z"), d, ops.NodeSemantics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Conflict != ref.Conflict {
+		t.Fatalf("fast=%v ref=%v", v.Conflict, ref.Conflict)
+	}
+}
+
+func TestSinglePassDelegatesOtherSemantics(t *testing.T) {
+	ins := mustInsert("/a/b", "<x/>")
+	v, err := ReadInsertLinearFast(xpath.MustParse("/a"), ins, ops.TreeSemantics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Conflict || v.Method != "linear" {
+		t.Fatalf("tree semantics should delegate: %+v", v)
+	}
+}
+
+func TestEdgeMatchesRejectsBranching(t *testing.T) {
+	if _, _, err := edgeMatches(xpath.MustParse("a[b]/c"), xpath.MustParse("a")); err == nil {
+		t.Fatalf("branching pattern accepted")
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xmlconflict/internal/ops"
+	"xmlconflict/internal/xmltree"
+	"xmlconflict/internal/xpath"
+)
+
+func TestIdenticalUpdatesCommute(t *testing.T) {
+	// Section 6: two identical insertions ought not to conflict — under
+	// value semantics they do not.
+	i1 := mustInsert("/a/b", "<x><y/></x>")
+	i2 := mustInsert("/a/b", "<x><y/></x>")
+	v, err := UpdateUpdateConflict(i1, i2, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Conflict || !v.Complete || v.Method != "static" {
+		t.Fatalf("identical inserts: %+v", v)
+	}
+	// Isomorphic payloads with permuted children also count as identical.
+	i3 := mustInsert("/a/b", "<x><y/><z/></x>")
+	i4 := mustInsert("/a/b", "<x><z/><y/></x>")
+	v, err = UpdateUpdateConflict(i3, i4, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Conflict {
+		t.Fatalf("isomorphic identical inserts conflict: %+v", v)
+	}
+	d1 := mustDelete("/a/b")
+	v, err = UpdateUpdateConflict(d1, mustDelete("/a/b"), SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Conflict {
+		t.Fatalf("identical deletes conflict: %+v", v)
+	}
+}
+
+func TestIndependentUpdatesCommute(t *testing.T) {
+	// Inserts at structurally disjoint points.
+	i1 := mustInsert("/r/a", "<x/>")
+	i2 := mustInsert("/r/b", "<y/>")
+	v, err := UpdateUpdateConflict(i1, i2, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Conflict {
+		t.Fatalf("disjoint inserts conflict: %+v", v)
+	}
+	if !v.Complete {
+		t.Fatalf("disjoint inserts should be proven: %+v", v)
+	}
+}
+
+func TestInsertDeleteInterference(t *testing.T) {
+	// insert x under a vs delete a/x: the classic non-commuting pair.
+	ins := mustInsert("/r/a", "<x/>")
+	del := mustDelete("/r/a/x")
+	v, err := UpdateUpdateConflict(ins, del, SearchOptions{MaxNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Conflict {
+		t.Fatalf("insert/delete pair must conflict: %+v", v)
+	}
+	if v.Witness == nil {
+		t.Fatalf("no witness")
+	}
+	diff, err := ops.CommuteWitness(ins, del, v.Witness)
+	if err != nil || !diff {
+		t.Fatalf("returned witness does not demonstrate non-commutation")
+	}
+}
+
+func TestDeleteVsInsertOfDeletedLabel(t *testing.T) {
+	// delete r/a vs insert <a/> under r: delete-then-insert leaves a fresh
+	// a child, insert-then-delete removes it.
+	del := mustDelete("/r/a")
+	ins := mustInsert("/r", "<a/>")
+	v, err := UpdateUpdateConflict(del, ins, SearchOptions{MaxNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Conflict {
+		t.Fatalf("delete vs insert of the deleted label must conflict: %+v", v)
+	}
+}
+
+func TestDeleteAboveInsertCommutes(t *testing.T) {
+	// delete r/a vs insert under r/a/b: the insert lands inside the
+	// deleted subtree, so both orders agree on every tree — but the
+	// static sufficient condition cannot prove it, and the bounded search
+	// must find no witness.
+	del := mustDelete("/r/a")
+	ins := mustInsert("/r/a/b", "<x/>")
+	v, err := UpdateUpdateConflict(del, ins, SearchOptions{MaxNodes: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Conflict {
+		t.Fatalf("pair commutes on every tree, got: %+v", v)
+	}
+}
+
+func TestDeleteDeleteDisjoint(t *testing.T) {
+	d1 := mustDelete("/r/a")
+	d2 := mustDelete("/r/b")
+	v, err := UpdateUpdateConflict(d1, d2, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Conflict {
+		t.Fatalf("disjoint deletes conflict: %+v", v)
+	}
+}
+
+func TestUpdatesIndependentIsSound(t *testing.T) {
+	// Whenever UpdatesIndependent says yes, no small tree separates the
+	// two application orders.
+	if testing.Short() {
+		t.Skip("exhaustive cross-check")
+	}
+	f := func(seed int64, kinds uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func(kind bool) ops.Update {
+			p := randLinear(rng, 3)
+			if kind {
+				return ops.Insert{
+					P: p,
+					X: xmltree.Random(rng, xmltree.RandomConfig{Size: rng.Intn(2) + 1, Labels: []string{"a", "b"}}),
+				}
+			}
+			if p.Output() == p.Root() {
+				n := p.AddChild(p.Output(), 0, "a")
+				p.SetOutput(n)
+			}
+			return ops.Delete{P: p}
+		}
+		u1 := mk(kinds&1 != 0)
+		u2 := mk(kinds&2 != 0)
+		ok, _, err := UpdatesIndependent(u1, u2, SearchOptions{})
+		if err != nil {
+			return false
+		}
+		if !ok {
+			return true // only soundness of "independent" is claimed
+		}
+		bad := false
+		EnumerateTrees([]string{"a", "b"}, 5, func(tr *xmltree.Tree) bool {
+			diff, err := ops.CommuteWitness(u1, u2, tr)
+			if err != nil || diff {
+				bad = true
+				t.Logf("UNSOUND: u1=%s u2=%s on %s", u1.Pattern(), u2.Pattern(), tr)
+				return false
+			}
+			return true
+		})
+		return !bad
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateUpdateRejectsInvalid(t *testing.T) {
+	bad := mustDelete("/a/b")
+	bad.P.SetOutput(xpath.MustParse("/q").Root())
+	if _, err := UpdateUpdateConflict(bad, mustDelete("/a/b"), SearchOptions{}); err == nil {
+		t.Fatalf("invalid pattern accepted")
+	}
+}

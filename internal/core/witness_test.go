@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"xmlconflict/internal/match"
+	"xmlconflict/internal/ops"
+	"xmlconflict/internal/xpath"
+)
+
+// Golden tests for each branch of the constructive witness proofs.
+
+func TestDeleteWitnessDescendantEdge(t *testing.T) {
+	// (n, n') is a descendant edge: Lemma 3's weak-match case. The
+	// witness chain ends at the deletion point with the read's tail
+	// modeled below it.
+	v, err := ReadDeleteLinear(xpath.MustParse("/a//c"), mustDelete("/a/b"), ops.NodeSemantics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Conflict || v.Edge != 1 {
+		t.Fatalf("verdict: %+v", v)
+	}
+	// Word spells root..deletion point: a, b.
+	if len(v.Word) != 2 || v.Word[0] != "a" || v.Word[1] != "b" {
+		t.Fatalf("word = %v", v.Word)
+	}
+	// The witness holds a c strictly below the b.
+	if got := v.Witness.XML(); got != "<a><b><c/></b></a>" {
+		t.Fatalf("witness = %s", got)
+	}
+}
+
+func TestDeleteWitnessChildEdgeOutputIsCrossing(t *testing.T) {
+	// (n, n') child edge with n' = Ø(R): the deletion point IS the read
+	// result; no tail model needed.
+	v, err := ReadDeleteLinear(xpath.MustParse("/a/b"), mustDelete("//b"), ops.NodeSemantics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Conflict {
+		t.Fatalf("no conflict")
+	}
+	if got := v.Witness.XML(); got != "<a><b/></a>" {
+		t.Fatalf("witness = %s", got)
+	}
+}
+
+func TestDeleteWitnessChildEdgeDeeperTail(t *testing.T) {
+	// (n, n') child edge with n' above Ø(R): the rest of the read is
+	// modeled under the deletion point.
+	v, err := ReadDeleteLinear(xpath.MustParse("/a/b/c/d"), mustDelete("/a/b"), ops.NodeSemantics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Conflict {
+		t.Fatalf("no conflict")
+	}
+	// The read must actually select something in the witness, and that
+	// something must vanish after the delete.
+	res := match.Eval(xpath.MustParse("/a/b/c/d"), v.Witness)
+	if len(res) == 0 {
+		t.Fatalf("read empty on witness %s", v.Witness.XML())
+	}
+}
+
+func TestInsertWitnessChildEdgeAnchoredTail(t *testing.T) {
+	// Cut edge is a child edge: the read's tail must embed at X's root.
+	v, err := ReadInsertLinear(xpath.MustParse("/a/b/c/d"), mustInsert("/a/b", "<c><d/></c>"), ops.NodeSemantics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Conflict || v.Edge != 2 {
+		t.Fatalf("verdict: %+v", v)
+	}
+	if got := v.Witness.XML(); got != "<a><b/></a>" {
+		t.Fatalf("witness = %s", got)
+	}
+}
+
+func TestInsertWitnessDescendantEdgeInnerTail(t *testing.T) {
+	// Cut edge is a descendant edge and the tail embeds strictly inside X.
+	v, err := ReadInsertLinear(xpath.MustParse("/a//d"), mustInsert("/a/b", "<c><d/></c>"), ops.NodeSemantics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Conflict || v.Edge != 1 {
+		t.Fatalf("verdict: %+v", v)
+	}
+}
+
+func TestInsertWitnessBranchingAugmentation(t *testing.T) {
+	// A branching insert pattern: the witness must carry models of the
+	// off-spine predicates so the full pattern fires.
+	ins := mustInsert("/a/b[q][.//z]", "<c/>")
+	v, err := ReadInsertLinear(xpath.MustParse("/a/b/c"), ins, ops.NodeSemantics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Conflict {
+		t.Fatalf("no conflict")
+	}
+	// The insert's full pattern must select a point on the witness.
+	pts := match.Eval(ins.P, v.Witness)
+	if len(pts) == 0 {
+		t.Fatalf("insert pattern does not fire on witness %s", v.Witness.XML())
+	}
+}
+
+func TestTreeSemanticsWitnessWordReachesThePoint(t *testing.T) {
+	// Tree-conflict-without-node-conflict: the word spells the path to
+	// the update point below the read output.
+	v, err := ReadDeleteLinear(xpath.MustParse("/a"), mustDelete("/a/b"), ops.TreeSemantics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Conflict || len(v.Word) != 2 {
+		t.Fatalf("verdict: %+v", v)
+	}
+	if v.Edge != 0 {
+		t.Fatalf("no crossing edge applies here, got %d", v.Edge)
+	}
+}

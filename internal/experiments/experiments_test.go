@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func checkTable(t *testing.T, tb Table, wantID string) {
+	t.Helper()
+	if tb.ID != wantID {
+		t.Fatalf("ID = %s, want %s", tb.ID, wantID)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatalf("%s: no rows", wantID)
+	}
+	for i, row := range tb.Rows {
+		if len(row) != len(tb.Header) {
+			t.Fatalf("%s row %d: %d cells for %d columns", wantID, i, len(row), len(tb.Header))
+		}
+	}
+}
+
+func TestE2MatchesPaper(t *testing.T) {
+	tb := E2()
+	checkTable(t, tb, "E2")
+	// Row 0 is Figure 3: node=true, tree=true, value=false.
+	if tb.Rows[0][1] != "true" || tb.Rows[0][2] != "true" || tb.Rows[0][3] != "false" {
+		t.Fatalf("Figure 3 row wrong: %v", tb.Rows[0])
+	}
+	// Row 1 is the root-read case: node=false, tree=true, value=true.
+	if tb.Rows[1][1] != "false" || tb.Rows[1][2] != "true" || tb.Rows[1][3] != "true" {
+		t.Fatalf("root-read row wrong: %v", tb.Rows[1])
+	}
+	// Row 2 is disjoint: all false.
+	if tb.Rows[2][1] != "false" || tb.Rows[2][2] != "false" || tb.Rows[2][3] != "false" {
+		t.Fatalf("disjoint row wrong: %v", tb.Rows[2])
+	}
+}
+
+func TestE9NoDisagreements(t *testing.T) {
+	tb := E9(1)
+	checkTable(t, tb, "E9")
+	if tb.Rows[0][2] != "0" {
+		t.Fatalf("Lemma 2 disagreements: %v", tb.Rows[0])
+	}
+}
+
+func TestE11CommutationFacts(t *testing.T) {
+	tb := E11()
+	checkTable(t, tb, "E11")
+	want := map[string]string{
+		"insert(a,x) vs insert(b,y)": "true",
+		"identical inserts":          "true",
+		"insert(a,x) vs delete(a/x)": "false",
+		"delete(a) vs delete(b)":     "true",
+	}
+	for _, row := range tb.Rows {
+		if want[row[0]] != row[1] {
+			t.Fatalf("%s: commutes=%s, want %s", row[0], row[1], want[row[0]])
+		}
+	}
+}
+
+func TestE12ProgramAnalysis(t *testing.T) {
+	tb := E12()
+	checkTable(t, tb, "E12")
+	if tb.Rows[0][1] != "true" {
+		t.Fatalf("imperative program: dep = %v, want true", tb.Rows[0])
+	}
+	if tb.Rows[1][1] != "false" || tb.Rows[2][1] != "false" {
+		t.Fatalf("independent programs flagged: %v / %v", tb.Rows[1], tb.Rows[2])
+	}
+	if tb.Rows[2][3] == "[]" {
+		t.Fatalf("functional program: expected a redundant read, got %v", tb.Rows[2])
+	}
+}
+
+func TestFastTimingExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweeps")
+	}
+	checkTable(t, E3(1, 1), "E3")
+	checkTable(t, E4(1, 1), "E4")
+	checkTable(t, E5(1, 1), "E5")
+	checkTable(t, E10(1, 1), "E10")
+}
+
+func TestE6WithinBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrink sweep")
+	}
+	tb := E6(1)
+	checkTable(t, tb, "E6")
+	for _, row := range tb.Rows {
+		if row[4] != "true" {
+			t.Fatalf("E6 row not verified: %v", row)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("E2", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("E99", 1, 1); err == nil {
+		t.Fatalf("unknown id accepted")
+	}
+}
+
+func TestDur(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Nanosecond:   "500ns",
+		1500 * time.Nanosecond:  "1.5µs",
+		2500 * time.Microsecond: "2.50ms",
+		3 * time.Second:         "3.00s",
+	}
+	for d, want := range cases {
+		if got := dur(d); got != want {
+			t.Errorf("dur(%v) = %s, want %s", d, got, want)
+		}
+	}
+}
+
+func TestE13SchemaShapes(t *testing.T) {
+	tb := E13()
+	checkTable(t, tb, "E13")
+	// Two scenarios die statically, the third survives via search.
+	if tb.Rows[0][2] != "no conflict [schema-static]" ||
+		tb.Rows[1][2] != "no conflict [schema-static]" {
+		t.Fatalf("static pruning rows wrong: %v / %v", tb.Rows[0], tb.Rows[1])
+	}
+	if tb.Rows[2][2] != "conflict [schema-search]" {
+		t.Fatalf("surviving conflict row wrong: %v", tb.Rows[2])
+	}
+	// All three schema-free columns conflict.
+	for _, row := range tb.Rows {
+		if row[1] != "conflict [linear]" {
+			t.Fatalf("schema-free column wrong: %v", row)
+		}
+	}
+}
+
+func TestE14Agreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep")
+	}
+	tb := E14(1, 1)
+	checkTable(t, tb, "E14")
+	for _, row := range tb.Rows {
+		if row[3] != "true" {
+			t.Fatalf("detectors disagree: %v", row)
+		}
+	}
+}
+
+func TestE16BoundsShrink(t *testing.T) {
+	tb := E16()
+	checkTable(t, tb, "E16")
+	for _, row := range tb.Rows {
+		if row[1] == row[0] {
+			t.Fatalf("nothing minimized: %v", row)
+		}
+	}
+}
+
+func TestE17IncrementalWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep")
+	}
+	tb := E17(1, 1)
+	checkTable(t, tb, "E17")
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}

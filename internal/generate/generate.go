@@ -1,0 +1,111 @@
+// Package generate builds synthetic workloads for the examples, tests, and
+// the experiment harness: Figure-1-style inventory documents, random
+// tree/pattern families with tunable shape knobs, and hard instance
+// families for the NP-hardness experiments (E7/E8).
+//
+// The paper evaluates no datasets (it is a theory paper), so these
+// generators sweep the structural parameters its results depend on:
+// pattern size, wildcard and descendant-edge density, branching, and
+// document size/shape.
+package generate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xmlconflict/internal/pattern"
+	"xmlconflict/internal/xmltree"
+)
+
+// Inventory builds a Figure-1-style inventory document: an inventory root
+// with book children, each carrying a title and a quantity. The paper's
+// motivating predicate "quantity < 10" is a value comparison outside the
+// label-tree model; as a behaviour-preserving substitution, low-stock
+// books carry a <low/> marker child under <quantity>, so the XPath
+// //book[.//low] plays the role of //book[.//quantity < 10].
+func Inventory(rng *rand.Rand, books int, lowStockFrac float64) *xmltree.Tree {
+	t := xmltree.New("inventory")
+	for i := 0; i < books; i++ {
+		b := t.AddChild(t.Root(), "book")
+		t.AddChild(b, "title")
+		q := t.AddChild(b, "quantity")
+		if rng.Float64() < lowStockFrac {
+			t.AddChild(q, "low")
+		}
+		if rng.Float64() < 0.5 {
+			p := t.AddChild(b, "publisher")
+			t.AddChild(p, "name")
+		}
+	}
+	return t
+}
+
+// Labels returns a deterministic alphabet of n labels l0..l(n-1).
+func Labels(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("l%d", i)
+	}
+	return out
+}
+
+// LinearPair draws a random (read, update) pair of linear patterns for the
+// PTIME experiments (E3/E4): both in P^{//,*} over a small shared
+// alphabet, so that matches and conflicts actually occur.
+func LinearPair(rng *rand.Rand, size int) (r, u *pattern.Pattern) {
+	labels := []string{"a", "b", "c"}
+	r = pattern.RandomLinear(rng, size, labels, 0.25, 0.35)
+	u = pattern.RandomLinear(rng, size, labels, 0.25, 0.35)
+	return r, u
+}
+
+// DeletablePattern draws a random pattern usable by DELETE (its output is
+// never the root).
+func DeletablePattern(rng *rand.Rand, size int, branch float64) *pattern.Pattern {
+	for {
+		p := pattern.Random(rng, pattern.RandomConfig{
+			Size: size, Labels: []string{"a", "b", "c"},
+			PWildcard: 0.25, PDescendant: 0.35, PBranch: branch,
+		})
+		if p.Output() != p.Root() {
+			return p
+		}
+		if size < 2 {
+			size = 2
+		}
+	}
+}
+
+// HardPair returns the n-th member of a containment-hard family:
+//
+//	p_n = a[.//b_1][.//b_2]…[.//b_n]   (all markers somewhere below a)
+//	q_n = a[.//b_1/b_2/…/b_n]          (the markers form one chain)
+//
+// p_n ⊄ q_n for every n ≥ 2 (markers may be scattered), so the Theorem
+// 4/6 reductions of these pairs are genuine conflict instances whose
+// exhaustive-search cost grows rapidly with n, while the reduction itself
+// and the containment check stay cheap. For n = 1 the two patterns
+// coincide and containment holds.
+func HardPair(n int) (p, q *pattern.Pattern) {
+	p = pattern.New("a")
+	for i := 1; i <= n; i++ {
+		p.AddChild(p.Root(), pattern.Descendant, fmt.Sprintf("b%d", i))
+	}
+	q = pattern.New("a")
+	cur := q.AddChild(q.Root(), pattern.Descendant, "b1")
+	for i := 2; i <= n; i++ {
+		cur = q.AddChild(cur, pattern.Child, fmt.Sprintf("b%d", i))
+	}
+	return p, q
+}
+
+// DocumentScale builds a family of documents of increasing size with the
+// same shape statistics, for the evaluator scaling experiment (E1).
+func DocumentScale(rng *rand.Rand, size int) *xmltree.Tree {
+	return xmltree.Random(rng, xmltree.RandomConfig{
+		Size:      size,
+		Labels:    []string{"a", "b", "c", "d"},
+		MaxFanout: 8,
+		Skew:      0.35,
+	})
+}

@@ -1,0 +1,96 @@
+package generate
+
+import (
+	"math/rand"
+	"testing"
+
+	"xmlconflict/internal/containment"
+	"xmlconflict/internal/match"
+	"xmlconflict/internal/xpath"
+)
+
+func TestInventoryShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inv := Inventory(rng, 50, 0.3)
+	books := match.Eval(xpath.MustParse("inventory/book"), inv)
+	if len(books) != 50 {
+		t.Fatalf("books = %d, want 50", len(books))
+	}
+	low := match.Eval(xpath.MustParse("//book[.//low]"), inv)
+	if len(low) == 0 || len(low) >= 50 {
+		t.Fatalf("low-stock books = %d; want a strict fraction", len(low))
+	}
+	// Every book has a quantity.
+	q := match.Eval(xpath.MustParse("inventory/book/quantity"), inv)
+	if len(q) != 50 {
+		t.Fatalf("quantities = %d", len(q))
+	}
+}
+
+func TestInventoryDeterministic(t *testing.T) {
+	a := Inventory(rand.New(rand.NewSource(9)), 10, 0.5)
+	b := Inventory(rand.New(rand.NewSource(9)), 10, 0.5)
+	if a.String() != b.String() {
+		t.Fatalf("same seed produced different inventories")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	ls := Labels(3)
+	if len(ls) != 3 || ls[0] != "l0" || ls[2] != "l2" {
+		t.Fatalf("Labels = %v", ls)
+	}
+}
+
+func TestLinearPairShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		r, u := LinearPair(rng, 6)
+		if !r.IsLinear() || !u.IsLinear() {
+			t.Fatalf("LinearPair produced branching patterns")
+		}
+		if r.Size() != 6 || u.Size() != 6 {
+			t.Fatalf("sizes = %d, %d", r.Size(), u.Size())
+		}
+	}
+}
+
+func TestDeletablePattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		p := DeletablePattern(rng, 3, 0.4)
+		if p.Output() == p.Root() {
+			t.Fatalf("deletable pattern selects the root")
+		}
+	}
+}
+
+func TestHardPairNotContained(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		p, q := HardPair(n)
+		if ok, counter := containment.Contained(p, q); ok {
+			t.Fatalf("HardPair(%d): expected non-containment", n)
+		} else if counter == nil {
+			t.Fatalf("HardPair(%d): no counterexample", n)
+		}
+		// The other direction holds: a chain of markers scatters trivially.
+		if ok, _ := containment.Contained(q, p); !ok {
+			t.Fatalf("HardPair(%d): q ⊆ p expected", n)
+		}
+	}
+	// Degenerate first member: identical constraints.
+	p1, q1 := HardPair(1)
+	if ok, _ := containment.Contained(p1, q1); !ok {
+		t.Fatalf("HardPair(1) must be contained")
+	}
+}
+
+func TestDocumentScaleSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{10, 100, 1000} {
+		d := DocumentScale(rng, n)
+		if d.Size() != n {
+			t.Fatalf("size = %d, want %d", d.Size(), n)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package match
+
+import (
+	"xmlconflict/internal/pattern"
+	"xmlconflict/internal/xmltree"
+)
+
+// Evaluator is a compiled form of a pattern for repeated evaluation: the
+// pattern is flattened into index arrays once, and each evaluation lays
+// the tree out into flat arrays and runs the same two-pass algorithm as
+// Eval over bitset rows instead of per-node maps. Semantically identical
+// to Eval (property-tested); substantially faster on large documents and
+// when one pattern is evaluated against many trees (the workload of the
+// witness searches).
+type Evaluator struct {
+	p *pattern.Pattern
+	// Flattened pattern, preorder. Index 0 is the root.
+	labels   []string
+	wildcard []bool
+	childAx  []bool // edge from parent is a child edge
+	parent   []int32
+	kids     [][]int32
+	out      int32
+	words    int // bitset words per row
+}
+
+// Compile flattens a pattern into an Evaluator.
+func Compile(p *pattern.Pattern) *Evaluator {
+	nodes := p.Nodes()
+	m := len(nodes)
+	e := &Evaluator{
+		p:        p,
+		labels:   make([]string, m),
+		wildcard: make([]bool, m),
+		childAx:  make([]bool, m),
+		parent:   make([]int32, m),
+		kids:     make([][]int32, m),
+		words:    (m + 63) / 64,
+	}
+	index := make(map[*pattern.Node]int32, m)
+	for i, n := range nodes {
+		index[n] = int32(i)
+	}
+	for i, n := range nodes {
+		e.labels[i] = n.Label()
+		e.wildcard[i] = n.IsWildcard()
+		e.childAx[i] = n.Axis() == pattern.Child
+		if n.Parent() == nil {
+			e.parent[i] = -1
+		} else {
+			e.parent[i] = index[n.Parent()]
+		}
+		for _, c := range n.Children() {
+			e.kids[i] = append(e.kids[i], index[c])
+		}
+	}
+	e.out = index[p.Output()]
+	return e
+}
+
+// flatTree is the arena layout of a tree for one evaluation: nodes in
+// preorder, so a subtree is a contiguous range.
+type flatTree struct {
+	nodes  []*xmltree.Node
+	parent []int32
+	// end[i]: one past the last preorder index of i's subtree.
+	end []int32
+}
+
+func flatten(t *xmltree.Tree) *flatTree {
+	f := &flatTree{}
+	var walk func(n *xmltree.Node, parent int32)
+	walk = func(n *xmltree.Node, parent int32) {
+		i := int32(len(f.nodes))
+		f.nodes = append(f.nodes, n)
+		f.parent = append(f.parent, parent)
+		f.end = append(f.end, 0)
+		for _, c := range n.Children() {
+			walk(c, i)
+		}
+		f.end[i] = int32(len(f.nodes))
+	}
+	walk(t.Root(), -1)
+	return f
+}
+
+func (e *Evaluator) labelOK(q int, n *xmltree.Node) bool {
+	return e.wildcard[q] || e.labels[q] == n.Label()
+}
+
+// Eval computes [[p]](t), identical to match.Eval.
+func (e *Evaluator) Eval(t *xmltree.Tree) []*xmltree.Node {
+	f := flatten(t)
+	n := len(f.nodes)
+	w := e.words
+	m := len(e.labels)
+	// sat and satSub as flat bitset matrices: row i = node i.
+	sat := make([]uint64, n*w)
+	sub := make([]uint64, n*w)
+	get := func(bits []uint64, row, q int) bool {
+		return bits[row*w+q/64]&(1<<(q%64)) != 0
+	}
+	set := func(bits []uint64, row, q int) {
+		bits[row*w+q/64] |= 1 << (q % 64)
+	}
+	// Bottom-up over preorder-reversed nodes (children have larger
+	// indexes than parents, and a node's children lie inside its range).
+	for v := n - 1; v >= 0; v-- {
+		node := f.nodes[v]
+		cs := childIndexes(f, v)
+		for q := m - 1; q >= 0; q-- {
+			ok := e.labelOK(q, node)
+			if ok {
+				for _, qc := range e.kids[q] {
+					found := false
+					if e.childAx[qc] {
+						for _, c := range cs {
+							if get(sat, int(c), int(qc)) {
+								found = true
+								break
+							}
+						}
+					} else {
+						for _, c := range cs {
+							if get(sub, int(c), int(qc)) {
+								found = true
+								break
+							}
+						}
+					}
+					if !found {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				set(sat, v, q)
+				set(sub, v, q)
+			} else {
+				for _, c := range cs {
+					if get(sub, int(c), q) {
+						set(sub, v, q)
+						break
+					}
+				}
+			}
+		}
+	}
+	if !get(sat, 0, 0) {
+		return nil
+	}
+	// Top-down feasibility with ancestor-feasibility accumulators.
+	feas := make([]uint64, n*w)
+	anc := make([]uint64, n*w)
+	var result []*xmltree.Node
+	for v := 0; v < n; v++ {
+		for q := 0; q < m; q++ {
+			if !get(sat, v, q) {
+				continue
+			}
+			if e.parent[q] < 0 {
+				if v == 0 {
+					set(feas, v, q)
+				}
+				continue
+			}
+			pq := int(e.parent[q])
+			if e.childAx[q] {
+				if pv := f.parent[v]; pv >= 0 && get(feas, int(pv), pq) {
+					set(feas, v, q)
+				}
+			} else if get(anc, v, pq) {
+				set(feas, v, q)
+			}
+		}
+		if get(feas, v, int(e.out)) {
+			result = append(result, f.nodes[v])
+		}
+		// Propagate anc to children: anc(child) = anc(v) | feas(v).
+		for _, c := range childIndexes(f, v) {
+			ci := int(c)
+			for k := 0; k < w; k++ {
+				anc[ci*w+k] = anc[v*w+k] | feas[v*w+k]
+			}
+		}
+	}
+	return xmltree.SortByID(result)
+}
+
+// Embeds reports whether an embedding exists ([[p]](t) ≠ ∅): only the
+// bottom-up pass runs, making it the cheapest filter primitive.
+func (e *Evaluator) Embeds(t *xmltree.Tree) bool {
+	f := flatten(t)
+	n := len(f.nodes)
+	w := e.words
+	m := len(e.labels)
+	sat := make([]uint64, n*w)
+	sub := make([]uint64, n*w)
+	get := func(bits []uint64, row, q int) bool {
+		return bits[row*w+q/64]&(1<<(q%64)) != 0
+	}
+	set := func(bits []uint64, row, q int) {
+		bits[row*w+q/64] |= 1 << (q % 64)
+	}
+	for v := n - 1; v >= 0; v-- {
+		node := f.nodes[v]
+		cs := childIndexes(f, v)
+		for q := m - 1; q >= 0; q-- {
+			ok := e.labelOK(q, node)
+			if ok {
+				for _, qc := range e.kids[q] {
+					found := false
+					for _, c := range cs {
+						if e.childAx[qc] {
+							if get(sat, int(c), int(qc)) {
+								found = true
+								break
+							}
+						} else if get(sub, int(c), int(qc)) {
+							found = true
+							break
+						}
+					}
+					if !found {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				set(sat, v, q)
+				set(sub, v, q)
+			} else {
+				for _, c := range cs {
+					if get(sub, int(c), q) {
+						set(sub, v, q)
+						break
+					}
+				}
+			}
+		}
+	}
+	return get(sat, 0, 0)
+}
+
+// childIndexes returns the preorder indexes of v's children: the heads of
+// the consecutive subtree ranges inside v's range.
+func childIndexes(f *flatTree, v int) []int32 {
+	var out []int32
+	for c := int32(v + 1); c < f.end[v]; c = f.end[c] {
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package match
+
+import (
+	"xmlconflict/internal/pattern"
+	"xmlconflict/internal/xmltree"
+)
+
+// FindEmbeddingAt returns an embedding of p into t that maps the output
+// node Ø(p) to target, or nil if none exists. Unlike FindEmbedding, it
+// runs in polynomial time: a path DP places the root-to-output spine of p
+// on the root-to-target path of t, and the off-spine subpatterns are then
+// filled in greedily from the bottom-up satisfiability tables (sibling
+// subpatterns are independent, so greedy choices cannot clash).
+//
+// The marking procedure of Definition 9 uses it to pick the embeddings
+// e_R and e_I whose images must be preserved while a witness is shrunk.
+func FindEmbeddingAt(p *pattern.Pattern, t *xmltree.Tree, target *xmltree.Node) Embedding {
+	s := newEvalState(p)
+	s.computeSat(t.Root())
+
+	spine := p.Spine()
+	var path []*xmltree.Node
+	for n := target; n != nil; n = n.Parent() {
+		path = append(path, n)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	if path[0] != t.Root() {
+		return nil
+	}
+	ls, lp := len(spine), len(path)
+
+	onSpine := map[*pattern.Node]bool{}
+	for _, q := range spine {
+		onSpine[q] = true
+	}
+
+	// findImage returns a node under v whose subtree satisfies the
+	// subpattern rooted at qc, respecting qc's axis, or nil.
+	findImage := func(qc *pattern.Node, v *xmltree.Node) *xmltree.Node {
+		ci := s.pindex[qc]
+		if qc.Axis() == pattern.Child {
+			for _, tc := range v.Children() {
+				if s.sat[tc][ci] {
+					return tc
+				}
+			}
+			return nil
+		}
+		var descend func(n *xmltree.Node) *xmltree.Node
+		descend = func(n *xmltree.Node) *xmltree.Node {
+			if s.sat[n][ci] {
+				return n
+			}
+			for _, c := range n.Children() {
+				if s.satSub[c][ci] {
+					return descend(c)
+				}
+			}
+			return nil
+		}
+		for _, tc := range v.Children() {
+			if s.satSub[tc][ci] {
+				return descend(tc)
+			}
+		}
+		return nil
+	}
+
+	// okAt: spine node q can be mapped to path node v with all off-spine
+	// subpatterns of q embeddable below v.
+	okAt := func(q *pattern.Node, v *xmltree.Node) bool {
+		if !labelOK(q, v) {
+			return false
+		}
+		for _, qc := range q.Children() {
+			if onSpine[qc] {
+				continue
+			}
+			if findImage(qc, v) == nil {
+				return false
+			}
+		}
+		return true
+	}
+
+	// reach[i][j]: spine[0..i] placed on path[0..j] with spine[i] ↦ path[j].
+	reach := make([][]bool, ls)
+	from := make([][]int, ls)
+	for i := range reach {
+		reach[i] = make([]bool, lp)
+		from[i] = make([]int, lp)
+	}
+	if okAt(spine[0], path[0]) {
+		reach[0][0] = true
+	}
+	for i := 1; i < ls; i++ {
+		for j := 1; j < lp; j++ {
+			if !okAt(spine[i], path[j]) {
+				continue
+			}
+			if spine[i].Axis() == pattern.Child {
+				if reach[i-1][j-1] {
+					reach[i][j] = true
+					from[i][j] = j - 1
+				}
+			} else {
+				for k := 0; k < j; k++ {
+					if reach[i-1][k] {
+						reach[i][j] = true
+						from[i][j] = k
+						break
+					}
+				}
+			}
+		}
+	}
+	if !reach[ls-1][lp-1] {
+		return nil
+	}
+
+	e := Embedding{}
+	j := lp - 1
+	for i := ls - 1; i >= 0; i-- {
+		e[spine[i]] = path[j]
+		j = from[i][j]
+	}
+
+	// Fill in the off-spine subpatterns greedily, top-down.
+	var fill func(q *pattern.Node, v *xmltree.Node) bool
+	fill = func(q *pattern.Node, v *xmltree.Node) bool {
+		e[q] = v
+		for _, qc := range q.Children() {
+			img := findImage(qc, v)
+			if img == nil || !fill(qc, img) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, q := range spine {
+		for _, qc := range q.Children() {
+			if onSpine[qc] {
+				continue
+			}
+			img := findImage(qc, e[q])
+			if img == nil || !fill(qc, img) {
+				return nil // unreachable given okAt, kept as a safety net
+			}
+		}
+	}
+	return e
+}

@@ -1,0 +1,47 @@
+package ops
+
+import (
+	"testing"
+
+	"xmlconflict/internal/xmltree"
+	"xmlconflict/internal/xpath"
+)
+
+func TestUpdateInterfaceAccessors(t *testing.T) {
+	ins := Insert{P: xpath.MustParse("/a/b"), X: xmltree.MustParse("<x/>")}
+	if ins.Kind() != "insert" || ins.Pattern() != ins.P {
+		t.Fatalf("insert accessors wrong")
+	}
+	del := Delete{P: xpath.MustParse("/a/b")}
+	if del.Kind() != "delete" || del.Pattern() != del.P {
+		t.Fatalf("delete accessors wrong")
+	}
+	// Both satisfy Update.
+	for _, u := range []Update{ins, del} {
+		if u.Pattern() == nil {
+			t.Fatalf("nil pattern via interface")
+		}
+	}
+}
+
+func TestEvalSubtrees(t *testing.T) {
+	tr := xmltree.MustParse("<a><b><c/></b></a>")
+	r := Read{P: xpath.MustParse("/a/b")}
+	roots := r.EvalSubtrees(tr)
+	if len(roots) != 1 || roots[0].Label() != "b" {
+		t.Fatalf("EvalSubtrees = %v", roots)
+	}
+}
+
+func TestCommuteWitnessErrorPropagation(t *testing.T) {
+	// A delete that selects the root errors through CommuteWitness.
+	bad := Delete{P: xpath.MustParse("/a")}
+	ok := Insert{P: xpath.MustParse("/a"), X: xmltree.MustParse("<x/>")}
+	w := xmltree.MustParse("<a/>")
+	if _, err := CommuteWitness(bad, ok, w); err == nil {
+		t.Fatalf("bad delete accepted (first position)")
+	}
+	if _, err := CommuteWitness(ok, bad, w); err == nil {
+		t.Fatalf("bad delete accepted (second position)")
+	}
+}

@@ -1,0 +1,316 @@
+package ops
+
+import (
+	"strings"
+	"testing"
+
+	"xmlconflict/internal/match"
+	"xmlconflict/internal/xmltree"
+	"xmlconflict/internal/xpath"
+)
+
+func TestReadEval(t *testing.T) {
+	tr := xmltree.MustParse("<inv><book><q/></book><book/></inv>")
+	r := Read{P: xpath.MustParse("//book")}
+	if got := r.Eval(tr); len(got) != 2 {
+		t.Fatalf("read returned %d nodes", len(got))
+	}
+}
+
+func TestInsertApply(t *testing.T) {
+	tr := xmltree.MustParse("<inv><book><q/></book><book/></inv>")
+	ins := Insert{P: xpath.MustParse("//book[q]"), X: xmltree.MustParse("<restock/>")}
+	points, err := ins.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("insertion points = %d, want 1", len(points))
+	}
+	if !strings.Contains(tr.XML(), "<restock/>") {
+		t.Fatalf("no restock inserted: %s", tr.XML())
+	}
+	if tr.Size() != 5 {
+		t.Fatalf("size = %d, want 5", tr.Size())
+	}
+	// Modified flags: the insertion point and its ancestors.
+	if !points[0].Modified() || !tr.Root().Modified() {
+		t.Fatalf("modified flags not set")
+	}
+}
+
+func TestInsertNoPointsNoChange(t *testing.T) {
+	tr := xmltree.MustParse("<a><b/></a>")
+	before := tr.XML()
+	ins := Insert{P: xpath.MustParse("//zzz"), X: xmltree.MustParse("<c/>")}
+	points, err := ins.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 0 || tr.XML() != before {
+		t.Fatalf("empty insertion changed the tree")
+	}
+}
+
+func TestInsertFreshClones(t *testing.T) {
+	// Each insertion point receives its own fresh clone of X with disjoint
+	// node identities.
+	tr := xmltree.MustParse("<r><b/><b/></r>")
+	ins := Insert{P: xpath.MustParse("r/b"), X: xmltree.MustParse("<x><y/></x>")}
+	if _, err := ins.Apply(tr); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, n := range tr.Nodes() {
+		if seen[n.ID()] {
+			t.Fatalf("duplicate id %d after insert", n.ID())
+		}
+		seen[n.ID()] = true
+	}
+	if tr.Size() != 7 {
+		t.Fatalf("size = %d, want 7", tr.Size())
+	}
+}
+
+func TestDeleteApply(t *testing.T) {
+	tr := xmltree.MustParse("<r><a><x/></a><a/><b/></r>")
+	d := Delete{P: xpath.MustParse("r/a")}
+	points, err := d.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("deletion points = %d, want 2", len(points))
+	}
+	if tr.Size() != 2 {
+		t.Fatalf("size = %d, want 2: %s", tr.Size(), tr.XML())
+	}
+	if !tr.Root().Modified() {
+		t.Fatalf("modified flag not set on root")
+	}
+}
+
+func TestDeleteNestedPoints(t *testing.T) {
+	// Deletion points nested under other deletion points vanish together.
+	tr := xmltree.MustParse("<r><a><a/></a></r>")
+	d := Delete{P: xpath.MustParse("//a")}
+	if _, err := d.Apply(tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 1 {
+		t.Fatalf("size = %d, want 1", tr.Size())
+	}
+}
+
+func TestDeleteRootRejected(t *testing.T) {
+	d := Delete{P: xpath.MustParse("a")}
+	if err := d.Validate(); err == nil {
+		t.Fatalf("delete with Ø(p) = ROOT(p) accepted")
+	}
+	tr := xmltree.MustParse("<a/>")
+	if _, err := d.Apply(tr); err == nil {
+		t.Fatalf("Apply must refuse to delete the root")
+	}
+}
+
+func TestApplyCopyLeavesOriginal(t *testing.T) {
+	tr := xmltree.MustParse("<r><b/></r>")
+	ins := Insert{P: xpath.MustParse("r/b"), X: xmltree.MustParse("<c/>")}
+	after, err := ApplyCopy(ins, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 2 {
+		t.Fatalf("original mutated")
+	}
+	if after.Size() != 3 {
+		t.Fatalf("copy not updated")
+	}
+	// Shared identities for pre-existing nodes.
+	for _, n := range tr.Nodes() {
+		if after.NodeByID(n.ID()) == nil {
+			t.Fatalf("id %d lost in copy", n.ID())
+		}
+	}
+}
+
+// Section 1's motivating example: insert $x/B, <C/> conflicts with
+// read $x//C but not with read $x//D.
+func TestSection1Example(t *testing.T) {
+	tr := xmltree.MustParse("<x><B/><D/></x>")
+	ins := Insert{P: xpath.MustParse("/*/B"), X: xmltree.MustParse("<C/>")}
+
+	readC := Read{P: xpath.MustParse("//C")}
+	conflict, err := NodeConflictWitness(readC, ins, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conflict {
+		t.Fatalf("read //C must conflict with insert of <C/> under B on this tree")
+	}
+
+	readD := Read{P: xpath.MustParse("//D")}
+	conflict, err = NodeConflictWitness(readD, ins, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflict {
+		t.Fatalf("read //D must not conflict with inserting <C/>")
+	}
+}
+
+// TestFigure3Semantics reproduces Figure 3 (experiment E2): deleting one
+// of two isomorphic γ-subtrees is a node conflict under reference-based
+// semantics but not a value conflict.
+func TestFigure3Semantics(t *testing.T) {
+	// W: root α with a δ child holding γ(β), and a direct γ(β) child.
+	w := xmltree.MustParse("<alpha><delta><gamma><beta/></gamma></delta><gamma><beta/></gamma></alpha>")
+	read := Read{P: xpath.MustParse("//gamma")}
+	del := Delete{P: xpath.MustParse("alpha/delta")}
+
+	node, err := NodeConflictWitness(read, del, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !node {
+		t.Fatalf("Figure 3 must witness a node conflict (n is deleted)")
+	}
+	value, err := ValueConflictWitness(read, del, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if value {
+		t.Fatalf("Figure 3 must not witness a value conflict (n' survives, isomorphic)")
+	}
+	tree, err := TreeConflictWitness(read, del, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree {
+		t.Fatalf("a node conflict implies a tree conflict")
+	}
+}
+
+// Tree conflicts without node conflicts: the paper's example after
+// Definition 3 — a read of the root and an insert below it.
+func TestTreeConflictWithoutNodeConflict(t *testing.T) {
+	w := xmltree.MustParse("<r><B/></r>")
+	read := Read{P: xpath.MustParse("r")}
+	ins := Insert{P: xpath.MustParse("r/B"), X: xmltree.MustParse("<x/>")}
+
+	node, err := NodeConflictWitness(read, ins, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node {
+		t.Fatalf("reading the root never node-conflicts with an insert")
+	}
+	tree, err := TreeConflictWitness(read, ins, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree {
+		t.Fatalf("the root's subtree is modified: tree conflict expected")
+	}
+	value, err := ValueConflictWitness(read, ins, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value {
+		t.Fatalf("the root's subtree grows: value conflict expected")
+	}
+}
+
+func TestNoConflictAtAll(t *testing.T) {
+	w := xmltree.MustParse("<r><B/><D/></r>")
+	read := Read{P: xpath.MustParse("r/D")}
+	ins := Insert{P: xpath.MustParse("r/B"), X: xmltree.MustParse("<C/>")}
+	for _, sem := range []Semantics{NodeSemantics, TreeSemantics, ValueSemantics} {
+		got, err := ConflictWitness(sem, read, ins, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got {
+			t.Fatalf("%v: unrelated read/insert flagged on this tree", sem)
+		}
+	}
+}
+
+func TestCommuteWitness(t *testing.T) {
+	w := xmltree.MustParse("<r><a/></r>")
+	// insert x under a, then delete x — versus delete x (no-op), then
+	// insert x: the results differ.
+	del := Delete{P: xpath.MustParse("r/a/x")}
+	ins := Insert{P: xpath.MustParse("r/a"), X: xmltree.MustParse("<x/>")}
+	diff, err := CommuteWitness(ins, del, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff {
+		t.Fatalf("insert(a,x); delete(x) must differ from delete(x); insert(a,x)")
+	}
+	// Two inserts at independent points commute (up to isomorphism).
+	w2 := xmltree.MustParse("<r><a/><b/></r>")
+	i1 := Insert{P: xpath.MustParse("r/a"), X: xmltree.MustParse("<x/>")}
+	i2 := Insert{P: xpath.MustParse("r/b"), X: xmltree.MustParse("<y/>")}
+	diff, err = CommuteWitness(i1, i2, w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff {
+		t.Fatalf("independent inserts must commute")
+	}
+}
+
+func TestSemanticsString(t *testing.T) {
+	if NodeSemantics.String() != "node" || TreeSemantics.String() != "tree" || ValueSemantics.String() != "value" {
+		t.Fatalf("semantics names wrong")
+	}
+	if Semantics(42).String() == "" {
+		t.Fatalf("unknown semantics must still print")
+	}
+}
+
+func TestConflictWitnessUnknownSemantics(t *testing.T) {
+	w := xmltree.MustParse("<a/>")
+	_, err := ConflictWitness(Semantics(9), Read{P: xpath.MustParse("a")}, Insert{P: xpath.MustParse("a"), X: xmltree.MustParse("<b/>")}, w)
+	if err == nil {
+		t.Fatalf("unknown semantics accepted")
+	}
+}
+
+// Deleting one deletion point must not disturb evaluation of others: the
+// points are computed before any mutation.
+func TestDeletePointsSnapshot(t *testing.T) {
+	tr := xmltree.MustParse("<r><a><b/></a><b/></r>")
+	// //b selects the nested b and the top-level b; deleting the a subtree
+	// first must not hide the nested b from the snapshot.
+	d := Delete{P: xpath.MustParse("//b")}
+	points, err := d.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	if tr.Size() != 2 {
+		t.Fatalf("size = %d, want 2", tr.Size())
+	}
+}
+
+func TestInsertPointsEvaluatedBeforeMutation(t *testing.T) {
+	// insert //a, <a/> must not cascade: the new a nodes are not
+	// insertion points.
+	tr := xmltree.MustParse("<r><a/></r>")
+	ins := Insert{P: xpath.MustParse("//a"), X: xmltree.MustParse("<a/>")}
+	if _, err := ins.Apply(tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 3 {
+		t.Fatalf("size = %d, want 3 (no cascade)", tr.Size())
+	}
+	// And the result still evaluates consistently.
+	if got := match.Eval(xpath.MustParse("//a"), tr); len(got) != 2 {
+		t.Fatalf("//a after insert = %d, want 2", len(got))
+	}
+}

@@ -1,0 +1,46 @@
+package pattern
+
+import "xmlconflict/internal/xmltree"
+
+// Model returns 𝓜_p, a canonical model of the pattern (Section 2.3): a
+// tree with the same shape as p in which every edge — child or descendant —
+// becomes a direct parent/child edge, and every wildcard is relabeled with
+// the given fresh symbol. There is always an embedding of p into its model,
+// so every pattern in P^{//,[],*} is satisfiable.
+//
+// Model also returns the tree node that is the image of the pattern's
+// output node under that embedding.
+func (p *Pattern) Model(freshLabel string) (*xmltree.Tree, *xmltree.Node) {
+	lbl := func(n *Node) string {
+		if n.label == Wildcard {
+			return freshLabel
+		}
+		return n.label
+	}
+	t := xmltree.New(lbl(p.root))
+	var outImg *xmltree.Node
+	if p.root == p.out {
+		outImg = t.Root()
+	}
+	var walk func(tn *xmltree.Node, pn *Node)
+	walk = func(tn *xmltree.Node, pn *Node) {
+		for _, c := range pn.children {
+			cn := t.AddChild(tn, lbl(c))
+			if c == p.out {
+				outImg = cn
+			}
+			walk(cn, c)
+		}
+	}
+	walk(t.Root(), p.root)
+	return t, outImg
+}
+
+// ModelInto grafts a copy of the pattern's model under the given node of an
+// existing tree and returns the image of the pattern's root. It is used by
+// the constructive witness proofs (Lemmas 3, 4 and 6), which extend partial
+// witnesses with models of residual subpatterns.
+func (p *Pattern) ModelInto(t *xmltree.Tree, parent *xmltree.Node, freshLabel string) *xmltree.Node {
+	m, _ := p.Model(freshLabel)
+	return t.Graft(parent, m)
+}

@@ -1,0 +1,311 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildPaper builds the Figure 2 pattern a[.//c]/b[d][*//f] by hand.
+func buildPaper() *Pattern {
+	p := New("a")
+	p.AddChild(p.Root(), Descendant, "c")
+	b := p.AddChild(p.Root(), Child, "b")
+	p.AddChild(b, Child, "d")
+	s := p.AddChild(b, Child, Wildcard)
+	p.AddChild(s, Descendant, "f")
+	p.SetOutput(b)
+	return p
+}
+
+func TestBasicShape(t *testing.T) {
+	p := buildPaper()
+	if p.Size() != 6 {
+		t.Fatalf("size = %d, want 6", p.Size())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.IsLinear() {
+		t.Fatalf("branching pattern reported linear")
+	}
+	labels := p.Labels()
+	for _, l := range []string{"a", "b", "c", "d", "f"} {
+		if !labels[l] {
+			t.Fatalf("missing label %s", l)
+		}
+	}
+	if labels[Wildcard] {
+		t.Fatalf("wildcard must not be in Σ_p")
+	}
+}
+
+func TestIsLinear(t *testing.T) {
+	p := New("a")
+	b := p.AddChild(p.Root(), Descendant, "b")
+	p.SetOutput(b)
+	if !p.IsLinear() {
+		t.Fatalf("chain with leaf output must be linear")
+	}
+	// Output not at the leaf: not linear.
+	c := p.AddChild(b, Child, "c")
+	_ = c
+	if p.IsLinear() {
+		t.Fatalf("output not at leaf must not be linear")
+	}
+	p.SetOutput(c)
+	if !p.IsLinear() {
+		t.Fatalf("chain with leaf output must be linear")
+	}
+}
+
+func TestSpineAndSeq(t *testing.T) {
+	p := buildPaper()
+	spine := p.Spine()
+	if len(spine) != 2 || spine[0] != p.Root() || spine[1] != p.Output() {
+		t.Fatalf("spine wrong: %v", spine)
+	}
+	s, err := p.Seq(p.Root(), p.Output())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsLinear() || s.Size() != 2 {
+		t.Fatalf("Seq result wrong: %v", s)
+	}
+	if s.Root().Label() != "a" || s.Output().Label() != "b" || s.Output().Axis() != Child {
+		t.Fatalf("Seq labels/axes wrong: %v", s)
+	}
+	// Seq with unrelated endpoints errors.
+	var c *Node
+	for _, n := range p.Nodes() {
+		if n.Label() == "c" {
+			c = n
+		}
+	}
+	if _, err := p.Seq(c, p.Output()); err == nil {
+		t.Fatalf("Seq over non-ancestor must fail")
+	}
+}
+
+func TestSpinePattern(t *testing.T) {
+	p := buildPaper()
+	sp := p.SpinePattern()
+	if !sp.IsLinear() {
+		t.Fatalf("spine pattern must be linear")
+	}
+	if sp.String() != "/a/b" {
+		t.Fatalf("spine = %s, want /a/b", sp)
+	}
+}
+
+func TestSubpattern(t *testing.T) {
+	p := buildPaper()
+	var star *Node
+	for _, n := range p.Nodes() {
+		if n.IsWildcard() {
+			star = n
+		}
+	}
+	sub := p.Subpattern(star)
+	if sub.Size() != 2 || sub.Root().Label() != Wildcard {
+		t.Fatalf("subpattern wrong: %v", sub)
+	}
+	if sub.Root().Children()[0].Label() != "f" || sub.Root().Children()[0].Axis() != Descendant {
+		t.Fatalf("subpattern edge wrong")
+	}
+}
+
+func TestStarLength(t *testing.T) {
+	cases := []struct {
+		build func() *Pattern
+		want  int
+	}{
+		{func() *Pattern { return New("a") }, 0},
+		{func() *Pattern { return New(Wildcard) }, 1},
+		{func() *Pattern {
+			p := New(Wildcard)
+			x := p.AddChild(p.Root(), Child, Wildcard)
+			p.SetOutput(x)
+			return p
+		}, 2},
+		{func() *Pattern {
+			// * // * / * : descendant edge breaks the chain.
+			p := New(Wildcard)
+			x := p.AddChild(p.Root(), Descendant, Wildcard)
+			y := p.AddChild(x, Child, Wildcard)
+			p.SetOutput(y)
+			return p
+		}, 2},
+		{func() *Pattern {
+			// a / * / * / b / *
+			p := New("a")
+			x := p.AddChild(p.Root(), Child, Wildcard)
+			y := p.AddChild(x, Child, Wildcard)
+			b := p.AddChild(y, Child, "b")
+			z := p.AddChild(b, Child, Wildcard)
+			p.SetOutput(z)
+			return p
+		}, 2},
+		{func() *Pattern {
+			// Branching: two parallel star chains of lengths 1 and 3.
+			p := New("a")
+			p.AddChild(p.Root(), Child, Wildcard)
+			x := p.AddChild(p.Root(), Descendant, Wildcard)
+			y := p.AddChild(x, Child, Wildcard)
+			p.AddChild(y, Child, Wildcard)
+			return p
+		}, 3},
+	}
+	for i, c := range cases {
+		if got := c.build().StarLength(); got != c.want {
+			t.Errorf("case %d: StarLength = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestModel(t *testing.T) {
+	p := buildPaper()
+	m, out := p.Model("z")
+	if m.Size() != p.Size() {
+		t.Fatalf("model size = %d, want %d", m.Size(), p.Size())
+	}
+	if out == nil || out.Label() != "b" {
+		t.Fatalf("output image wrong: %v", out)
+	}
+	// Wildcards become the fresh label.
+	found := false
+	for _, n := range m.Nodes() {
+		if n.Label() == "z" {
+			found = true
+		}
+		if n.Label() == Wildcard {
+			t.Fatalf("wildcard leaked into model")
+		}
+	}
+	if !found {
+		t.Fatalf("fresh label missing from model")
+	}
+}
+
+func TestClonePreservesOutput(t *testing.T) {
+	p := buildPaper()
+	q := p.Clone()
+	if !Equal(p, q) {
+		t.Fatalf("clone not equal to original")
+	}
+	if q.Output() == p.Output() {
+		t.Fatalf("clone shares nodes with original")
+	}
+	if q.Output().Label() != "b" {
+		t.Fatalf("clone output label = %q", q.Output().Label())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	p := buildPaper()
+	q := buildPaper()
+	if !Equal(p, q) {
+		t.Fatalf("identical constructions unequal")
+	}
+	// Permuting children preserves equality (patterns are unordered).
+	r := New("a")
+	b := r.AddChild(r.Root(), Child, "b")
+	s := r.AddChild(b, Child, Wildcard)
+	r.AddChild(s, Descendant, "f")
+	r.AddChild(b, Child, "d")
+	r.AddChild(r.Root(), Descendant, "c")
+	r.SetOutput(b)
+	if !Equal(p, r) {
+		t.Fatalf("sibling order must not matter")
+	}
+	// Moving the output matters.
+	q.SetOutput(q.Root())
+	if Equal(p, q) {
+		t.Fatalf("different output markings compared equal")
+	}
+	// Axis matters.
+	u := buildPaper()
+	for _, n := range u.Nodes() {
+		if n.Label() == "d" {
+			n.axis = Descendant
+		}
+	}
+	if Equal(p, u) {
+		t.Fatalf("different axes compared equal")
+	}
+}
+
+func TestAttach(t *testing.T) {
+	p := New("r")
+	sub := New("x")
+	sub.AddChild(sub.Root(), Descendant, "y")
+	n := p.Attach(p.Root(), Child, sub)
+	if n.Label() != "x" || n.Axis() != Child {
+		t.Fatalf("attach root wrong")
+	}
+	if p.Size() != 3 {
+		t.Fatalf("size = %d", p.Size())
+	}
+	// The attachment is a copy.
+	sub.AddChild(sub.Root(), Child, "zzz")
+	if p.Size() != 3 {
+		t.Fatalf("attach aliased the source")
+	}
+}
+
+func TestValidateRejectsForeignOutput(t *testing.T) {
+	p := New("a")
+	q := New("b")
+	p.SetOutput(q.Root())
+	if err := p.Validate(); err == nil {
+		t.Fatalf("foreign output accepted")
+	}
+}
+
+func TestRandomLinearIsLinear(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := RandomLinear(rng, int(size%20)+1, []string{"a", "b"}, 0.3, 0.4)
+		return p.IsLinear() && p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomValid(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Random(rng, RandomConfig{
+			Size: int(size%20) + 1, Labels: []string{"a", "b", "c"},
+			PWildcard: 0.2, PDescendant: 0.3, PBranch: 0.4,
+		})
+		if p.Validate() != nil || p.Size() != int(size%20)+1 {
+			return false
+		}
+		cl := p.Clone()
+		return Equal(p, cl)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringLinear(t *testing.T) {
+	p := New("a")
+	b := p.AddChild(p.Root(), Descendant, "b")
+	c := p.AddChild(b, Child, Wildcard)
+	p.SetOutput(c)
+	if got := p.String(); got != "/a//b/*" {
+		t.Fatalf("String = %q, want /a//b/*", got)
+	}
+}
+
+func TestStringBranching(t *testing.T) {
+	p := buildPaper()
+	got := p.String()
+	want := "/a[.//c]/b[*[.//f]][d]"
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}

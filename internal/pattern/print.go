@@ -1,0 +1,68 @@
+package pattern
+
+import (
+	"sort"
+	"strings"
+)
+
+// String renders the pattern in the XPath-like syntax of the paper's
+// grammar (e/e | e//e | e[e] | e[.//e] | σ | *). The path from the root to
+// the output node is rendered as the step spine; every off-spine subtree
+// becomes a predicate on its anchor step. The result parses back (via
+// internal/xpath) to an equal pattern.
+func (p *Pattern) String() string {
+	spine := p.Spine()
+	onSpine := map[*Node]bool{}
+	for _, n := range spine {
+		onSpine[n] = true
+	}
+	var b strings.Builder
+	for i, n := range spine {
+		if i == 0 {
+			b.WriteString("/")
+		} else {
+			b.WriteString(n.axis.String())
+		}
+		b.WriteString(n.label)
+		var preds []string
+		for _, c := range n.children {
+			if onSpine[c] {
+				continue
+			}
+			preds = append(preds, predicate(c))
+		}
+		sort.Strings(preds)
+		for _, pr := range preds {
+			b.WriteString(pr)
+		}
+	}
+	return b.String()
+}
+
+// predicate renders the subtree rooted at n as a predicate [...] on its
+// parent step.
+func predicate(n *Node) string {
+	var b strings.Builder
+	b.WriteString("[")
+	if n.axis == Descendant {
+		b.WriteString(".//")
+	}
+	writeRel(&b, n)
+	b.WriteString("]")
+	return b.String()
+}
+
+// writeRel renders the subtree at n as a relative path expression whose
+// spine follows n's first-listed chain; since predicates may nest, any
+// shape is expressible.
+func writeRel(b *strings.Builder, n *Node) {
+	b.WriteString(n.label)
+	var preds []string
+	for _, c := range n.children {
+		preds = append(preds, predicate(c))
+	}
+	sort.Strings(preds)
+	for _, p := range preds {
+		b.WriteString(p)
+	}
+}

@@ -1,0 +1,38 @@
+package program_test
+
+import (
+	"fmt"
+
+	"xmlconflict/internal/ops"
+	"xmlconflict/internal/program"
+)
+
+func ExampleAnalyze() {
+	p := program.MustParse(`
+x = doc <x><B/><A/></x>
+y = read $x//A
+insert $x/B, <C/>
+z = read $x//C
+`)
+	a, _ := program.Analyze(p, program.Options{Sem: ops.NodeSemantics})
+	fmt.Println("read //A depends on the insert:", a.Dep[1][2])
+	fmt.Println("read //C depends on the insert:", a.Dep[2][3])
+	// Output:
+	// read //A depends on the insert: false
+	// read //C depends on the insert: true
+}
+
+func ExampleOptimize() {
+	p := program.MustParse(`
+x = doc <x><B/><A/></x>
+y = read $x/*/A
+insert $x/B, <C/>
+u = read $x/*/A
+`)
+	opt, _ := program.Optimize(p, program.Options{Sem: ops.NodeSemantics})
+	for _, a := range opt.Applied {
+		fmt.Printf("%s: %s\n", a.Kind, a.Description)
+	}
+	// Output:
+	// cse: read "u" reuses the result of "y"
+}

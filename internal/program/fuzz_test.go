@@ -1,0 +1,34 @@
+package program
+
+import "testing"
+
+// FuzzParse checks program parsing robustness: no panics, and every
+// accepted program runs without crashing and re-parses from its Source.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"x = doc <x><B/></x>\ny = read $x//A",
+		"x = doc <x/>\ninsert $x/B, <C/>",
+		"x = doc <x><B/></x>\ndelete $x/B",
+		"x = doc <x/>\ny = read $x\nu = y",
+		"# comment\n\nx = doc <a/>",
+		"y = read $x//A",
+		"insert $x/B <C/>",
+		"x = doc",
+		"x = doc <a/>\ndelete $x",
+		"x = doc <a/>\n1 = read $x",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if _, _, err := p.Run(); err != nil {
+			t.Fatalf("accepted program failed to run: %v\n%s", err, src)
+		}
+		if _, err := Parse(p.Source()); err != nil {
+			t.Fatalf("Source() unparseable: %v\n%s", err, p.Source())
+		}
+	})
+}

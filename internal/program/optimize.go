@@ -1,0 +1,133 @@
+package program
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Optimization is one rewrite the optimizer performed, for reporting.
+type Optimization struct {
+	// Kind is "hoist" or "cse".
+	Kind string
+	// Description explains the rewrite in source terms.
+	Description string
+}
+
+// Optimized is the result of Optimize: the rewritten program and the
+// rewrites applied.
+type Optimized struct {
+	Prog    *Program
+	Applied []Optimization
+}
+
+// Optimize applies the two compiler transformations Section 1 of the
+// paper motivates, each justified by the conflict detector:
+//
+//   - code motion: a read is hoisted above every immediately preceding
+//     update it provably does not conflict with (so a compiler could fuse
+//     it with earlier traversals);
+//   - common subexpression elimination: a read that repeats an earlier
+//     read of the same document with no conflicting update in between is
+//     replaced by an alias to the earlier result ("let u = y").
+//
+// The rewritten program is behaviorally equivalent to the original: every
+// read variable binds the same nodes and the final documents are
+// identical (property-tested in optimize_test.go).
+func Optimize(p *Program, opt Options) (*Optimized, error) {
+	a, err := Analyze(p, opt)
+	if err != nil {
+		return nil, err
+	}
+	stmts := append([]Stmt(nil), p.Stmts...)
+	dep := make([][]bool, len(stmts))
+	for i := range dep {
+		dep[i] = append([]bool(nil), a.Dep[i]...)
+	}
+	res := &Optimized{}
+
+	// CSE first (it looks at original positions): replace repeated reads
+	// by aliases.
+	aliased := map[int]bool{}
+	for _, pr := range a.RedundantReads() {
+		i, j := pr[0], pr[1]
+		if aliased[i] {
+			continue // do not alias to an alias target... chains resolve at run time anyway
+		}
+		src := stmts[i].Var
+		stmts[j] = Stmt{
+			Kind: KindAlias,
+			Line: stmts[j].Line,
+			Var:  stmts[j].Var,
+			Doc:  stmts[j].Doc,
+			Src:  fmt.Sprintf("%s = %s", stmts[j].Var, src),
+		}
+		stmts[j].AliasOf = src
+		aliased[j] = true
+		res.Applied = append(res.Applied, Optimization{
+			Kind:        "cse",
+			Description: fmt.Sprintf("read %q reuses the result of %q", stmts[j].Var, src),
+		})
+	}
+
+	// Hoisting: bubble reads upward past independent updates. Aliases
+	// must not move above their source; reads must not move above
+	// dependences. We conservatively move only above update statements.
+	for j := 1; j < len(stmts); j++ {
+		if stmts[j].Kind != KindRead {
+			continue
+		}
+		moved := 0
+		k := j
+		for k > 0 {
+			prev := stmts[k-1]
+			if prev.Kind != KindInsert && prev.Kind != KindDelete {
+				break
+			}
+			// Position mapping: dep was computed on original indexes, but
+			// only statements k-1 and k have swapped so far relative to
+			// contiguous prefixes; since we only swap adjacent statements
+			// and only reads move (never updates), original indexes of
+			// the two participants are recoverable from their lines.
+			oi, oj := originalIndex(p, prev.Line), originalIndex(p, stmts[k].Line)
+			if oi > oj {
+				oi, oj = oj, oi
+			}
+			if dep[oi][oj] {
+				break
+			}
+			stmts[k-1], stmts[k] = stmts[k], stmts[k-1]
+			k--
+			moved++
+		}
+		if moved > 0 {
+			res.Applied = append(res.Applied, Optimization{
+				Kind:        "hoist",
+				Description: fmt.Sprintf("read %q moved above %d update(s)", stmts[k].Var, moved),
+			})
+		}
+	}
+
+	res.Prog = &Program{Stmts: stmts}
+	return res, nil
+}
+
+// originalIndex finds the statement's index in the original program by
+// source line (lines are unique per statement).
+func originalIndex(p *Program, line int) int {
+	for i, s := range p.Stmts {
+		if s.Line == line {
+			return i
+		}
+	}
+	return -1
+}
+
+// Source renders the program back to its textual form.
+func (p *Program) Source() string {
+	var b strings.Builder
+	for _, s := range p.Stmts {
+		b.WriteString(s.Src)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

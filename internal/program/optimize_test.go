@@ -1,0 +1,219 @@
+package program
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xmlconflict/internal/ops"
+	"xmlconflict/internal/xmltree"
+)
+
+func TestParseAlias(t *testing.T) {
+	p := MustParse(`
+x = doc <x><A/></x>
+y = read $x//A
+u = y
+`)
+	al := p.Stmts[2]
+	if al.Kind != KindAlias || al.AliasOf != "y" || al.Var != "u" || al.Doc != "x" {
+		t.Fatalf("alias parsed wrong: %+v", al)
+	}
+	_, reads, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads["u"]) != 1 || reads["u"][0] != reads["y"][0] {
+		t.Fatalf("alias did not share the result")
+	}
+}
+
+func TestParseAliasErrors(t *testing.T) {
+	bad := []string{
+		"x = doc <a/>\nu = y",                // y undefined
+		"x = doc <a/>\nu = x",                // x is a doc, not a read
+		"u = y",                              // nothing defined
+		"x = doc <a/>\ny = read $x\nu = y z", // junk after alias
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestOptimizeSection1Functional(t *testing.T) {
+	// The paper's functional fragment: the second read of $x/*/A becomes
+	// an alias ("let u = y").
+	src := `
+x = doc <x><B/><A/></x>
+y = read $x/*/A
+insert $x/B, <C/>
+u = read $x/*/A
+`
+	opt, err := Optimize(MustParse(src), Options{Sem: ops.NodeSemantics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cse, hoist int
+	for _, a := range opt.Applied {
+		switch a.Kind {
+		case "cse":
+			cse++
+		case "hoist":
+			hoist++
+		}
+	}
+	if cse != 1 {
+		t.Fatalf("expected one CSE, got %+v", opt.Applied)
+	}
+	// u should now be an alias; find it by variable.
+	var u Stmt
+	for _, s := range opt.Prog.Stmts {
+		if s.Var == "u" {
+			u = s
+		}
+	}
+	if u.Kind != KindAlias || u.AliasOf != "y" {
+		t.Fatalf("u not aliased: %+v", u)
+	}
+}
+
+func TestOptimizeHoistsIndependentRead(t *testing.T) {
+	src := `
+x = doc <x><B/><D/></x>
+insert $x/B, <C/>
+z = read $x//D
+`
+	opt, err := Optimize(MustParse(src), Options{Sem: ops.NodeSemantics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Applied) != 1 || opt.Applied[0].Kind != "hoist" {
+		t.Fatalf("expected one hoist: %+v", opt.Applied)
+	}
+	// The read now precedes the insert.
+	if opt.Prog.Stmts[1].Kind != KindRead || opt.Prog.Stmts[2].Kind != KindInsert {
+		t.Fatalf("order wrong:\n%s", opt.Prog.Source())
+	}
+}
+
+func TestOptimizeKeepsConflictingOrder(t *testing.T) {
+	src := `
+x = doc <x><B/></x>
+insert $x/B, <C/>
+z = read $x//C
+`
+	opt, err := Optimize(MustParse(src), Options{Sem: ops.NodeSemantics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Applied) != 0 {
+		t.Fatalf("conflicting read must not move: %+v", opt.Applied)
+	}
+}
+
+// behavior captures a program run in an execution-order-independent form:
+// per read variable, the multiset of subtree codes; per document, the
+// canonical code.
+func behavior(t *testing.T, p *Program) string {
+	t.Helper()
+	docs, reads, err := p.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var keys []string
+	for k := range reads {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		var codes []string
+		for _, n := range reads[k] {
+			codes = append(codes, xmltree.Code(n))
+		}
+		sort.Strings(codes)
+		fmt.Fprintf(&b, "%s=%v\n", k, codes)
+	}
+	keys = keys[:0]
+	for k := range docs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "$%s=%s\n", k, xmltree.Code(docs[k].Root()))
+	}
+	return b.String()
+}
+
+// randomProgram builds a random pidgin program over a small vocabulary.
+func randomProgram(rng *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("x = doc <x><A/><B><A/></B><D/></x>\n")
+	exprs := []string{"//A", "//B", "//C", "//D", "/*/A", "/*/B/A", "/*/B"}
+	payloads := []string{"<A/>", "<C/>", "<E><A/></E>"}
+	n := rng.Intn(6) + 2
+	readN := 0
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			readN++
+			fmt.Fprintf(&b, "r%d = read $x%s\n", readN, exprs[rng.Intn(len(exprs))])
+		case 1:
+			fmt.Fprintf(&b, "insert $x%s, %s\n", exprs[rng.Intn(len(exprs))], payloads[rng.Intn(len(payloads))])
+		default:
+			fmt.Fprintf(&b, "delete $x%s\n", exprs[rng.Intn(len(exprs))])
+		}
+	}
+	return b.String()
+}
+
+func TestOptimizePreservesBehavior(t *testing.T) {
+	// Property: on random programs, the optimized program computes the
+	// same read results (as subtree-code multisets) and the same final
+	// documents (up to isomorphism) as the original.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomProgram(rng)
+		prog, err := Parse(src)
+		if err != nil {
+			t.Logf("parse: %v\n%s", err, src)
+			return false
+		}
+		opt, err := Optimize(prog, Options{Sem: ops.NodeSemantics})
+		if err != nil {
+			t.Logf("optimize: %v\n%s", err, src)
+			return false
+		}
+		orig := behavior(t, prog)
+		after := behavior(t, opt.Prog)
+		if orig != after {
+			t.Logf("behavior changed!\noriginal:\n%s\noptimized:\n%s\nbefore:\n%s\nafter:\n%s",
+				src, opt.Prog.Source(), orig, after)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSourceRoundTrip(t *testing.T) {
+	src := `x = doc <x><A/></x>
+y = read $x//A
+u = y
+`
+	p := MustParse(src)
+	back, err := Parse(p.Source())
+	if err != nil {
+		t.Fatalf("Source() unparseable: %v\n%s", err, p.Source())
+	}
+	if len(back.Stmts) != len(p.Stmts) {
+		t.Fatalf("statement count changed")
+	}
+}

@@ -1,0 +1,243 @@
+// Package program implements the pidgin update language of Section 1 of
+// "Conflicting XML Updates" and the data-dependence analysis that
+// motivates the paper: a compiler may reorder a read past an update, or
+// eliminate a repeated read, exactly when the conflict detector proves the
+// pair conflict-free.
+//
+// Grammar (one statement per line; # starts a comment):
+//
+//	x = doc <inventory>...</inventory>     bind a document variable
+//	y = read $x//A                         evaluate an XPath on $x
+//	insert $x/B, <C/>                      mutate $x in place
+//	delete $x//D[E]                        mutate $x in place
+package program
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlconflict/internal/pattern"
+	"xmlconflict/internal/xmltree"
+	"xmlconflict/internal/xpath"
+)
+
+// Kind is the statement kind.
+type Kind int
+
+const (
+	// KindDoc binds a document variable to a literal tree.
+	KindDoc Kind = iota
+	// KindRead evaluates an XPath expression on a document variable.
+	KindRead
+	// KindInsert inserts a tree at the nodes selected by an expression.
+	KindInsert
+	// KindDelete deletes the subtrees selected by an expression.
+	KindDelete
+	// KindAlias re-binds an earlier read's result ("let u = y") — the form
+	// common subexpression elimination produces.
+	KindAlias
+)
+
+// String names the statement kind.
+func (k Kind) String() string {
+	switch k {
+	case KindDoc:
+		return "doc"
+	case KindRead:
+		return "read"
+	case KindInsert:
+		return "insert"
+	case KindDelete:
+		return "delete"
+	case KindAlias:
+		return "alias"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Stmt is one parsed statement.
+type Stmt struct {
+	// Kind is the statement kind.
+	Kind Kind
+	// Line is the 1-based source line.
+	Line int
+	// Var is the variable assigned by doc/read statements ("" otherwise).
+	Var string
+	// Doc is the document variable the statement operates on (for doc
+	// statements, Doc == Var).
+	Doc string
+	// Pattern is the compiled XPath expression (nil for doc statements).
+	Pattern *pattern.Pattern
+	// XML is the literal tree of doc and insert statements.
+	XML *xmltree.Tree
+	// AliasOf is the source variable of an alias statement.
+	AliasOf string
+	// Src is the original source text.
+	Src string
+}
+
+// String renders the statement with its source line.
+func (s Stmt) String() string { return fmt.Sprintf("%d: %s", s.Line, s.Src) }
+
+// Program is a parsed sequence of statements.
+type Program struct {
+	Stmts []Stmt
+}
+
+// Parse parses a program, one statement per line. Blank lines and lines
+// starting with # are ignored.
+func Parse(src string) (*Program, error) {
+	p := &Program{}
+	docs := map[string]bool{}
+	readVars := map[string]string{} // read variable → document variable
+	for i, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		lineNo := i + 1
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		st, err := parseStmt(line, lineNo)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		switch st.Kind {
+		case KindDoc:
+			docs[st.Var] = true
+		case KindAlias:
+			doc, ok := readVars[st.AliasOf]
+			if !ok {
+				return nil, fmt.Errorf("line %d: alias source %q is not a read variable", lineNo, st.AliasOf)
+			}
+			st.Doc = doc
+			readVars[st.Var] = doc
+		default:
+			if !docs[st.Doc] {
+				return nil, fmt.Errorf("line %d: document variable $%s is not bound by a doc statement", lineNo, st.Doc)
+			}
+			if st.Kind == KindRead {
+				readVars[st.Var] = st.Doc
+			}
+		}
+		p.Stmts = append(p.Stmts, st)
+	}
+	if len(p.Stmts) == 0 {
+		return nil, fmt.Errorf("program: empty program")
+	}
+	return p, nil
+}
+
+// MustParse is Parse that panics on error, for tests and examples.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseStmt(line string, lineNo int) (Stmt, error) {
+	st := Stmt{Line: lineNo, Src: line}
+	switch {
+	case strings.HasPrefix(line, "insert "):
+		rest := strings.TrimSpace(strings.TrimPrefix(line, "insert "))
+		comma := strings.Index(rest, ",")
+		if comma < 0 {
+			return st, fmt.Errorf(`insert needs "insert $var/path, <xml>"`)
+		}
+		doc, pat, err := parseTarget(strings.TrimSpace(rest[:comma]))
+		if err != nil {
+			return st, err
+		}
+		x, err := xmltree.ParseString(strings.TrimSpace(rest[comma+1:]))
+		if err != nil {
+			return st, fmt.Errorf("insert payload: %w", err)
+		}
+		st.Kind, st.Doc, st.Pattern, st.XML = KindInsert, doc, pat, x
+		return st, nil
+
+	case strings.HasPrefix(line, "delete "):
+		doc, pat, err := parseTarget(strings.TrimSpace(strings.TrimPrefix(line, "delete ")))
+		if err != nil {
+			return st, err
+		}
+		if pat.Output() == pat.Root() {
+			return st, fmt.Errorf("delete must not select the document root")
+		}
+		st.Kind, st.Doc, st.Pattern = KindDelete, doc, pat
+		return st, nil
+
+	default:
+		// <var> = read $doc/path    or    <var> = doc <xml>
+		eq := strings.Index(line, "=")
+		if eq < 0 {
+			return st, fmt.Errorf("unrecognized statement")
+		}
+		v := strings.TrimSpace(line[:eq])
+		if !isIdent(v) {
+			return st, fmt.Errorf("bad variable name %q", v)
+		}
+		rhs := strings.TrimSpace(line[eq+1:])
+		switch {
+		case strings.HasPrefix(rhs, "read "):
+			doc, pat, err := parseTarget(strings.TrimSpace(strings.TrimPrefix(rhs, "read ")))
+			if err != nil {
+				return st, err
+			}
+			st.Kind, st.Var, st.Doc, st.Pattern = KindRead, v, doc, pat
+			return st, nil
+		case strings.HasPrefix(rhs, "doc "):
+			x, err := xmltree.ParseString(strings.TrimSpace(strings.TrimPrefix(rhs, "doc ")))
+			if err != nil {
+				return st, fmt.Errorf("doc literal: %w", err)
+			}
+			st.Kind, st.Var, st.Doc, st.XML = KindDoc, v, v, x
+			return st, nil
+		case isIdent(rhs):
+			st.Kind, st.Var, st.AliasOf = KindAlias, v, rhs
+			return st, nil
+		default:
+			return st, fmt.Errorf(`right-hand side must be "read ...", "doc ...", or a read variable`)
+		}
+	}
+}
+
+// parseTarget parses "$var<xpath>" into the variable name and pattern.
+func parseTarget(s string) (string, *pattern.Pattern, error) {
+	if !strings.HasPrefix(s, "$") {
+		return "", nil, fmt.Errorf("target must start with $variable, got %q", s)
+	}
+	i := 1
+	for i < len(s) && (isIdentByte(s[i])) {
+		i++
+	}
+	v := s[1:i]
+	if v == "" {
+		return "", nil, fmt.Errorf("missing variable name in %q", s)
+	}
+	// $x denotes the root of the document in x, whatever its label: the
+	// compiled pattern is rooted at a wildcard, so $x/B selects B children
+	// of the root and $x//A selects A descendants (Section 1).
+	expr := "*" + s[i:]
+	pat, err := xpath.Parse(expr)
+	if err != nil {
+		return "", nil, err
+	}
+	return v, pat, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isIdentByte(s[i]) || (i == 0 && s[0] >= '0' && s[0] <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}

@@ -1,0 +1,282 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"xmlconflict/internal/ops"
+	"xmlconflict/internal/pattern"
+)
+
+const section1Imperative = `
+# The imperative fragment from Section 1 of the paper.
+x = doc <x><B/><A/></x>
+y = read $x//A
+insert $x/B, <C/>
+z = read $x//C
+`
+
+const section1Independent = `
+x = doc <x><B/><A/></x>
+y = read $x//A
+insert $x/B, <C/>
+z = read $x//D
+`
+
+func TestParseBasics(t *testing.T) {
+	p := MustParse(section1Imperative)
+	if len(p.Stmts) != 4 {
+		t.Fatalf("parsed %d statements, want 4", len(p.Stmts))
+	}
+	kinds := []Kind{KindDoc, KindRead, KindInsert, KindRead}
+	for i, k := range kinds {
+		if p.Stmts[i].Kind != k {
+			t.Fatalf("stmt %d kind = %v, want %v", i, p.Stmts[i].Kind, k)
+		}
+	}
+	if p.Stmts[1].Var != "y" || p.Stmts[1].Doc != "x" {
+		t.Fatalf("read statement wrong: %+v", p.Stmts[1])
+	}
+	// $x/B compiles to a wildcard-rooted pattern.
+	ins := p.Stmts[2]
+	if ins.Pattern.Root().Label() != pattern.Wildcard {
+		t.Fatalf("$x/B must compile to a *-rooted pattern, got %s", ins.Pattern)
+	}
+	if ins.Pattern.Output().Label() != "B" {
+		t.Fatalf("$x/B output = %q", ins.Pattern.Output().Label())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"y = read $x//A",                        // unbound document
+		"x = doc <a/>\nunknown $x/b",            // unknown statement
+		"x = doc <a/>\ninsert $x/b",             // missing payload
+		"x = doc <a/>\ninsert $x/b, <unclosed>", // bad payload
+		"x = doc <a/>\ndelete $x",               // deleting the root
+		"x = doc <a/>\ny = read x//A",           // missing $
+		"x = doc <a/>\n1y = read $x//A",         // bad identifier
+		"x = doc <a/>\ny = fetch $x//A",         // bad rhs
+		"x = doc notxml",                        // bad doc literal
+		"",                                      // empty program
+		"# only comments",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestRunSection1(t *testing.T) {
+	p := MustParse(section1Imperative)
+	docs, reads, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads["y"]) != 1 {
+		t.Fatalf("y = %d nodes, want 1", len(reads["y"]))
+	}
+	if len(reads["z"]) != 1 {
+		t.Fatalf("z = %d nodes, want 1 (the inserted C)", len(reads["z"]))
+	}
+	if !strings.Contains(docs["x"].XML(), "<C/>") {
+		t.Fatalf("insert did not run: %s", docs["x"].XML())
+	}
+}
+
+func TestAnalyzeSection1Dependences(t *testing.T) {
+	// Line 4 (read //C) depends on line 3 (insert <C/> under B); the read
+	// of //A does not.
+	p := MustParse(section1Imperative)
+	a, err := Analyze(p, Options{Sem: ops.NodeSemantics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Dep[2][3] {
+		t.Fatalf("read //C must depend on insert of <C/>:\n%s", a.Report())
+	}
+	if a.Dep[1][2] {
+		t.Fatalf("read //A must not depend on insert of <C/>:\n%s", a.Report())
+	}
+	// Everything depends on its document definition.
+	for j := 1; j < 4; j++ {
+		if !a.Dep[0][j] {
+			t.Fatalf("statement %d must depend on the doc binding", j)
+		}
+	}
+}
+
+func TestAnalyzeHoistAndSwap(t *testing.T) {
+	p := MustParse(section1Independent)
+	a, err := Analyze(p, Options{Sem: ops.NodeSemantics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dep[2][3] {
+		t.Fatalf("read //D must not depend on insert of <C/>")
+	}
+	h := a.HoistableReads()
+	if len(h) != 1 || h[0] != 3 {
+		t.Fatalf("HoistableReads = %v, want [3]", h)
+	}
+	if !a.CanSwap(2, 3) {
+		t.Fatalf("independent insert/read must be swappable")
+	}
+	// In the conflicting program they are not.
+	p2 := MustParse(section1Imperative)
+	a2, err := Analyze(p2, Options{Sem: ops.NodeSemantics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.CanSwap(2, 3) {
+		t.Fatalf("conflicting insert/read must not be swappable")
+	}
+}
+
+func TestRedundantReads(t *testing.T) {
+	src := `
+x = doc <x><A/><B/></x>
+y = read $x//A
+insert $x/B, <C/>
+u = read $x//A
+v = read $x//C
+w = read $x//C
+`
+	p := MustParse(src)
+	a, err := Analyze(p, Options{Sem: ops.NodeSemantics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := a.RedundantReads()
+	// u repeats y (the insert of C under B cannot affect //A);
+	// w repeats v (no update in between).
+	want := map[[2]int]bool{{1, 3}: true, {4, 5}: true}
+	if len(red) != len(want) {
+		t.Fatalf("RedundantReads = %v, want %v\n%s", red, want, a.Report())
+	}
+	for _, pr := range red {
+		if !want[pr] {
+			t.Fatalf("unexpected redundant pair %v", pr)
+		}
+	}
+}
+
+func TestRedundantReadBlockedByConflict(t *testing.T) {
+	src := `
+x = doc <x><B/></x>
+y = read $x//C
+insert $x/B, <C/>
+z = read $x//C
+`
+	p := MustParse(src)
+	a, err := Analyze(p, Options{Sem: ops.NodeSemantics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.RedundantReads()) != 0 {
+		t.Fatalf("conflicting read wrongly eliminated:\n%s", a.Report())
+	}
+}
+
+func TestUpdatePairDependence(t *testing.T) {
+	src := `
+x = doc <x><A/><B/></x>
+insert $x/A, <P/>
+insert $x/B, <Q/>
+`
+	a, err := Analyze(MustParse(src), Options{Sem: ops.NodeSemantics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dep[1][2] {
+		t.Fatalf("inserts at disjoint points must be independent:\n%s", a.Report())
+	}
+	src2 := `
+x = doc <x><A/></x>
+insert $x/A, <B/>
+delete $x/A
+`
+	a2, err := Analyze(MustParse(src2), Options{Sem: ops.NodeSemantics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a2.Dep[1][2] {
+		t.Fatalf("delete of the insertion point must depend on the insert:\n%s", a2.Report())
+	}
+}
+
+func TestUpdatePairInsertChainsDependent(t *testing.T) {
+	// The second insert's points grow with the first insert's payload.
+	src := `
+x = doc <x><A/></x>
+insert $x/A, <B/>
+insert $x/A/B, <C/>
+`
+	a, err := Analyze(MustParse(src), Options{Sem: ops.NodeSemantics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Dep[1][2] {
+		t.Fatalf("chained inserts must be dependent:\n%s", a.Report())
+	}
+}
+
+func TestDifferentDocumentsIndependent(t *testing.T) {
+	src := `
+x = doc <x><A/></x>
+y = doc <y><A/></y>
+insert $x/A, <B/>
+r = read $y//B
+`
+	a, err := Analyze(MustParse(src), Options{Sem: ops.NodeSemantics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dep[2][3] {
+		t.Fatalf("operations on different documents must be independent")
+	}
+}
+
+func TestTreeSemanticsAnalysis(t *testing.T) {
+	// Under tree semantics, reading the root depends on any insert below.
+	src := `
+x = doc <x><B/></x>
+y = read $x
+insert $x/B, <C/>
+`
+	aNode, err := Analyze(MustParse(src), Options{Sem: ops.NodeSemantics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aNode.Dep[1][2] {
+		t.Fatalf("node semantics: root read must not depend on insert")
+	}
+	aTree, err := Analyze(MustParse(src), Options{Sem: ops.TreeSemantics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aTree.Dep[1][2] {
+		t.Fatalf("tree semantics: root read must depend on insert")
+	}
+}
+
+func TestReportMentionsEverything(t *testing.T) {
+	a, err := Analyze(MustParse(section1Imperative), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := a.Report()
+	for _, want := range []string{"dependence analysis", "insert $x/B", "read $x//C"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindDoc.String() != "doc" || KindRead.String() != "read" ||
+		KindInsert.String() != "insert" || KindDelete.String() != "delete" {
+		t.Fatalf("kind names wrong")
+	}
+}

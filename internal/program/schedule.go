@@ -1,0 +1,70 @@
+package program
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Schedule is a staged execution plan: statements within a stage are
+// pairwise independent (no data dependence), so a runtime may execute
+// them concurrently; stages run in order.
+type Schedule struct {
+	// Stages holds statement indexes (into the analyzed program), in
+	// original order within each stage.
+	Stages [][]int
+}
+
+// ParallelSchedule greedily groups the program's statements into stages:
+// a statement joins the earliest stage after all stages containing
+// statements it depends on. With the conflict detector proving
+// independence (Section 4 of the paper), this is the static counterpart
+// of a concurrency-safe XML update scheduler: everything in one stage
+// commutes.
+func (a *Analysis) ParallelSchedule() Schedule {
+	n := len(a.Prog.Stmts)
+	stageOf := make([]int, n)
+	maxStage := -1
+	for j := 0; j < n; j++ {
+		s := 0
+		for i := 0; i < j; i++ {
+			if a.Dep[i][j] && stageOf[i]+1 > s {
+				s = stageOf[i] + 1
+			}
+		}
+		stageOf[j] = s
+		if s > maxStage {
+			maxStage = s
+		}
+	}
+	out := Schedule{Stages: make([][]int, maxStage+1)}
+	for j, s := range stageOf {
+		out.Stages[s] = append(out.Stages[s], j)
+	}
+	return out
+}
+
+// String renders the schedule with statement sources.
+func (s Schedule) String() string {
+	var b strings.Builder
+	for i, stage := range s.Stages {
+		fmt.Fprintf(&b, "stage %d: %v\n", i, stage)
+	}
+	return b.String()
+}
+
+// Render formats the schedule against its program.
+func (s Schedule) Render(p *Program) string {
+	var b strings.Builder
+	for i, stage := range s.Stages {
+		fmt.Fprintf(&b, "stage %d:\n", i)
+		for _, idx := range stage {
+			fmt.Fprintf(&b, "  %s\n", p.Stmts[idx].Src)
+		}
+	}
+	return b.String()
+}
+
+// Depth returns the number of stages — the critical path length of the
+// dependence graph, i.e. the best possible parallel latency in statement
+// steps.
+func (s Schedule) Depth() int { return len(s.Stages) }

@@ -1,0 +1,95 @@
+package program
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xmlconflict/internal/ops"
+)
+
+func TestParallelScheduleShape(t *testing.T) {
+	// Two reads of unrelated labels can share a stage; the conflicting
+	// read of //C must come after the insert.
+	src := `
+x = doc <x><B/><A/></x>
+y = read $x//A
+z = read $x//D
+insert $x/B, <C/>
+w = read $x//C
+`
+	a, err := Analyze(MustParse(src), Options{Sem: ops.NodeSemantics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := a.ParallelSchedule()
+	stageOf := map[int]int{}
+	for s, stage := range sch.Stages {
+		for _, idx := range stage {
+			stageOf[idx] = s
+		}
+	}
+	// doc first.
+	if stageOf[0] != 0 {
+		t.Fatalf("doc not in stage 0: %v", sch)
+	}
+	// The two independent reads and the insert share the stage after doc.
+	if stageOf[1] != 1 || stageOf[2] != 1 || stageOf[3] != 1 {
+		t.Fatalf("independent statements not co-scheduled: %v", sch)
+	}
+	// The conflicting read comes strictly after the insert.
+	if stageOf[4] <= stageOf[3] {
+		t.Fatalf("conflicting read scheduled too early: %v", sch)
+	}
+	if sch.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3", sch.Depth())
+	}
+	if !strings.Contains(sch.Render(MustParse(src)), "insert $x/B") {
+		t.Fatalf("render missing statements")
+	}
+	if !strings.Contains(sch.String(), "stage 0") {
+		t.Fatalf("string missing stages")
+	}
+}
+
+func TestParallelScheduleRespectsAllDeps(t *testing.T) {
+	// Property: for random programs, no statement shares a stage with —
+	// or precedes in stage order — anything it depends on.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomProgram(rng)
+		prog, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		a, err := Analyze(prog, Options{Sem: ops.NodeSemantics})
+		if err != nil {
+			return false
+		}
+		sch := a.ParallelSchedule()
+		stageOf := map[int]int{}
+		count := 0
+		for s, stage := range sch.Stages {
+			for _, idx := range stage {
+				stageOf[idx] = s
+				count++
+			}
+		}
+		if count != len(prog.Stmts) {
+			return false
+		}
+		for i := 0; i < len(prog.Stmts); i++ {
+			for j := i + 1; j < len(prog.Stmts); j++ {
+				if a.Dep[i][j] && stageOf[i] >= stageOf[j] {
+					t.Logf("dependence %d → %d violated: stages %d, %d\n%s", i, j, stageOf[i], stageOf[j], src)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+package schema
+
+import (
+	"testing"
+
+	"xmlconflict/internal/core"
+	"xmlconflict/internal/match"
+	"xmlconflict/internal/ops"
+	"xmlconflict/internal/pattern"
+	"xmlconflict/internal/xmltree"
+	"xmlconflict/internal/xpath"
+)
+
+// embedsInto adapts match.Embeds for the tests in this package.
+func embedsInto(p *pattern.Pattern, t *xmltree.Tree) bool { return match.Embeds(p, t) }
+
+func ins(expr, x string) ops.Insert {
+	return ops.Insert{P: xpath.MustParse(expr), X: xmltree.MustParse(x)}
+}
+
+func del(expr string) ops.Delete {
+	return ops.Delete{P: xpath.MustParse(expr)}
+}
+
+func TestSchemaPrunesUnfirableUpdate(t *testing.T) {
+	s := MustParse(inventorySchema)
+	// Without a schema, this pair conflicts (the detector proves it).
+	read := ops.Read{P: xpath.MustParse("//low")}
+	u := ins("/inventory/quantity", "<low/>") // quantity directly under inventory: schema-impossible
+	v, err := core.Detect(read, u, ops.NodeSemantics, core.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Conflict {
+		t.Fatalf("schema-free detection should conflict: %+v", v)
+	}
+	// Under the schema, the insert can never fire.
+	vs, err := DetectUnderSchema(read, u, ops.NodeSemantics, s, core.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs.Conflict || !vs.Complete || vs.Method != "schema-static" {
+		t.Fatalf("schema should prune the conflict: %+v", vs)
+	}
+}
+
+func TestSchemaPrunesUnsatisfiableReadVsDelete(t *testing.T) {
+	s := MustParse(inventorySchema)
+	read := ops.Read{P: xpath.MustParse("//book/low")} // low only lives under quantity
+	u := del("//book")
+	v, err := core.Detect(read, u, ops.NodeSemantics, core.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Conflict {
+		t.Fatalf("schema-free detection should conflict")
+	}
+	vs, err := DetectUnderSchema(read, u, ops.NodeSemantics, s, core.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs.Conflict || !vs.Complete {
+		t.Fatalf("schema should prune: %+v", vs)
+	}
+}
+
+func TestSchemaSearchFindsValidWitness(t *testing.T) {
+	s := MustParse(inventorySchema)
+	// Restocking genuinely conflicts with //book/* even on valid docs.
+	read := ops.Read{P: xpath.MustParse("//book/quantity")}
+	u := del("//book[.//low]")
+	vs, err := DetectUnderSchema(read, u, ops.NodeSemantics, s, core.SearchOptions{MaxNodes: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vs.Conflict {
+		t.Fatalf("expected a schema-valid conflict witness: %+v", vs)
+	}
+	if err := s.Validate(vs.Witness); err != nil {
+		t.Fatalf("witness is not schema-valid: %v (%s)", err, vs.Witness.XML())
+	}
+	ok, err := ops.NodeConflictWitness(read, u, vs.Witness)
+	if err != nil || !ok {
+		t.Fatalf("witness does not witness: %v %v", ok, err)
+	}
+}
+
+func TestSchemaSearchNegativeIncomplete(t *testing.T) {
+	s := MustParse(inventorySchema)
+	// Inserting a publisher cannot change //low results, but the schema
+	// engine cannot prove it (no known bound): incomplete negative.
+	read := ops.Read{P: xpath.MustParse("//low")}
+	u := ins("//book", "<publisher><name/></publisher>")
+	vs, err := DetectUnderSchema(read, u, ops.NodeSemantics, s, core.SearchOptions{MaxNodes: 7, MaxCandidates: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs.Conflict {
+		t.Fatalf("no conflict expected: %+v", vs)
+	}
+	if vs.Complete {
+		t.Fatalf("schema-search negatives must be incomplete: %+v", vs)
+	}
+}
+
+func TestSchemaRestrictionCanKillConflicts(t *testing.T) {
+	// The restocking insert conflicts with //book/low in the unrestricted
+	// model (a tree could have low directly under book) but not on valid
+	// inventories, where low lives under quantity only and the insert
+	// adds a restock element, never a low.
+	s := MustParse(inventorySchema + "restock:\n")
+	read := ops.Read{P: xpath.MustParse("//book/low")}
+	u := ins("//book[.//low]", "<low/>")
+	v, err := core.Detect(read, u, ops.NodeSemantics, core.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Conflict {
+		t.Fatalf("unrestricted model should conflict")
+	}
+	vs, err := DetectUnderSchema(read, u, ops.NodeSemantics, s, core.SearchOptions{MaxNodes: 8, MaxCandidates: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The read //book/low is schema-unsatisfiable... but the INSERT can
+	// make it true (low inserted under book), so this is NOT prunable and
+	// in fact still a conflict: the witness must be a valid tree that the
+	// insert mutates into an invalid one the read then sees.
+	if !vs.Conflict {
+		t.Fatalf("insert of <low/> under book still conflicts (updated doc may be invalid): %+v", vs)
+	}
+	if err := s.Validate(vs.Witness); err != nil {
+		t.Fatalf("witness itself must be valid: %v", err)
+	}
+}
+
+func TestValidityPreserving(t *testing.T) {
+	s := MustParse(inventorySchema)
+	// Deleting publishers preserves validity (publisher is optional).
+	ok, w, err := s.ValidityPreserving(del("//publisher"), 8, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("deleting optional publishers flagged: %s", w.XML())
+	}
+	// Deleting quantities breaks validity (quantity is required).
+	ok, w, err = s.ValidityPreserving(del("//quantity"), 8, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("deleting required quantity not flagged")
+	}
+	if s.Valid(w) != true {
+		t.Fatalf("counterexample must be valid before the update")
+	}
+	// Inserting a second title breaks validity.
+	ok, _, err = s.ValidityPreserving(ins("//book", "<title/>"), 8, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("inserting duplicate title not flagged")
+	}
+}
+
+func TestCountValid(t *testing.T) {
+	s := MustParse("root a\na: b?\nb:")
+	// Valid trees: <a/>, <a><b/></a>. (b alone is not a valid root.)
+	if got := s.CountValid(4, 1000); got != 2 {
+		t.Fatalf("CountValid = %d, want 2", got)
+	}
+	// The restriction is drastic versus the unrestricted universe.
+	free := core.CountTrees(2, 1) + core.CountTrees(2, 2) + core.CountTrees(2, 3) + core.CountTrees(2, 4)
+	if free <= 2 {
+		t.Fatalf("sanity: unrestricted count = %d", free)
+	}
+}

@@ -1,0 +1,174 @@
+package schema
+
+import (
+	"sort"
+
+	"xmlconflict/internal/xmltree"
+)
+
+// EnumerateValid invokes fn on every schema-valid tree with at most
+// maxNodes nodes — each isomorphism class exactly once, in order of
+// increasing size — until fn returns false. It is the schema-restricted
+// analogue of core.EnumerateTrees and powers DetectUnderSchema's search:
+// restricting the universe to valid trees shrinks the search space, often
+// drastically (experiment E13).
+func (s *Schema) EnumerateValid(maxNodes int, fn func(*xmltree.Tree) bool) {
+	e := newValidEnum(s)
+	roots := make([]string, 0, len(s.Roots))
+	for r := range s.Roots {
+		roots = append(roots, r)
+	}
+	sort.Strings(roots)
+	for size := 1; size <= maxNodes; size++ {
+		for _, root := range roots {
+			if !e.stream(root, size, func(t *venc) bool { return fn(t.build()) }) {
+				return
+			}
+		}
+	}
+}
+
+// CountValid returns the number of valid isomorphism classes with at most
+// maxNodes nodes, saturating at cap.
+func (s *Schema) CountValid(maxNodes, cap int) int {
+	count := 0
+	s.EnumerateValid(maxNodes, func(*xmltree.Tree) bool {
+		count++
+		return count < cap
+	})
+	return count
+}
+
+// venc is a canonical valid-subtree skeleton.
+type venc struct {
+	label string
+	kids  []*venc
+}
+
+func (v *venc) build() *xmltree.Tree {
+	t := xmltree.New(v.label)
+	var add func(parent *xmltree.Node, e *venc)
+	add = func(parent *xmltree.Node, e *venc) {
+		for _, k := range e.kids {
+			add(t.AddChild(parent, k.label), k)
+		}
+	}
+	add(t.Root(), v)
+	return t
+}
+
+// validEnum generates valid subtrees per (label, exact size), memoized.
+type validEnum struct {
+	s *Schema
+	// childLabels[l]: the labels that may appear as children of l, in
+	// canonical order, with their multiplicity bounds.
+	childLabels map[string][]ChildRule
+	memo        map[[2]interface{}][]*venc
+}
+
+func newValidEnum(s *Schema) *validEnum {
+	e := &validEnum{s: s, childLabels: map[string][]ChildRule{}, memo: map[[2]interface{}][]*venc{}}
+	all := s.Labels()
+	for name, decl := range s.Elems {
+		ruled := map[string]ChildRule{}
+		for _, r := range decl.Children {
+			ruled[r.Label] = r
+		}
+		var rules []ChildRule
+		if decl.Open {
+			for _, l := range all {
+				if r, ok := ruled[l]; ok {
+					rules = append(rules, r)
+				} else {
+					rules = append(rules, ChildRule{Label: l, Min: 0, Max: -1})
+				}
+			}
+		} else {
+			rules = append(rules, decl.Children...)
+			sort.Slice(rules, func(i, j int) bool { return rules[i].Label < rules[j].Label })
+		}
+		e.childLabels[name] = rules
+	}
+	return e
+}
+
+// stream yields every valid subtree rooted at label with exactly size
+// nodes; it returns false if fn aborted.
+func (e *validEnum) stream(label string, size int, fn func(*venc) bool) bool {
+	if size < 1 {
+		return true
+	}
+	rules := e.childLabels[label]
+	return e.genChildren(rules, 0, size-1, nil, func(kids []*venc) bool {
+		// The kids slice aliases the enumeration's working array and the
+		// venc may be memoized: copy before retaining.
+		cp := append([]*venc(nil), kids...)
+		return fn(&venc{label: label, kids: cp})
+	})
+}
+
+// trees returns (memoized) all valid subtrees of a label and exact size;
+// used as building blocks when a label recurs as a child.
+func (e *validEnum) trees(label string, size int) []*venc {
+	key := [2]interface{}{label, size}
+	if ts, ok := e.memo[key]; ok {
+		return ts
+	}
+	var out []*venc
+	e.stream(label, size, func(t *venc) bool { out = append(out, t); return true })
+	e.memo[key] = out
+	return out
+}
+
+// genChildren enumerates child multisets for the rules starting at index
+// ri with exactly budget nodes in total, appending to acc.
+func (e *validEnum) genChildren(rules []ChildRule, ri, budget int, acc []*venc, fn func([]*venc) bool) bool {
+	if ri == len(rules) {
+		if budget != 0 {
+			return true
+		}
+		return fn(acc)
+	}
+	r := rules[ri]
+	maxCount := budget // each child costs ≥ 1 node
+	if r.Max >= 0 && r.Max < maxCount {
+		maxCount = r.Max
+	}
+	if r.Min > maxCount {
+		return true // cannot satisfy the rule within the budget
+	}
+	for count := r.Min; count <= maxCount; count++ {
+		if !e.genLabelGroup(r.Label, count, budget, 1, 0, acc, func(group []*venc, used int) bool {
+			return e.genChildren(rules, ri+1, budget-used, group, fn)
+		}) {
+			return false
+		}
+	}
+	return true
+}
+
+// genLabelGroup enumerates non-decreasing (size, rank) sequences of count
+// valid subtrees of one label, using at most budget nodes; minSize and
+// minRank enforce canonicity. fn receives acc extended with the group and
+// the node count used.
+func (e *validEnum) genLabelGroup(label string, count, budget, minSize, minRank int, acc []*venc, fn func([]*venc, int) bool) bool {
+	if count == 0 {
+		return fn(acc, 0)
+	}
+	for sz := minSize; sz <= budget-(count-1); sz++ {
+		ts := e.trees(label, sz)
+		start := 0
+		if sz == minSize {
+			start = minRank
+		}
+		for rank := start; rank < len(ts); rank++ {
+			ok := e.genLabelGroup(label, count-1, budget-sz, sz, rank, append(acc, ts[rank]), func(group []*venc, used int) bool {
+				return fn(group, used+sz)
+			})
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}

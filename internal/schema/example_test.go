@@ -1,0 +1,58 @@
+package schema_test
+
+import (
+	"fmt"
+
+	"xmlconflict/internal/core"
+	"xmlconflict/internal/ops"
+	"xmlconflict/internal/schema"
+	"xmlconflict/internal/xmltree"
+	"xmlconflict/internal/xpath"
+)
+
+func ExampleSchema_Validate() {
+	s := schema.MustParse(`
+root library
+library: book*
+book: title
+title:
+`)
+	good := xmltree.MustParse("<library><book><title/></book></library>")
+	bad := xmltree.MustParse("<library><book/></library>")
+	fmt.Println(s.Validate(good))
+	fmt.Println(s.Validate(bad))
+	// Output:
+	// <nil>
+	// schema: element "book" has 0 "title" children, needs at least 1
+}
+
+func ExampleSchema_SatisfiablePattern() {
+	s := schema.MustParse(`
+root library
+library: book*
+book: title
+title:
+`)
+	fmt.Println(s.SatisfiablePattern(xpath.MustParse("//book/title")))
+	fmt.Println(s.SatisfiablePattern(xpath.MustParse("/library/title")))
+	// Output:
+	// true
+	// false
+}
+
+func ExampleDetectUnderSchema() {
+	s := schema.MustParse(`
+root library
+library: book*
+book: title
+title:
+`)
+	// Inserting a title directly under the library can never happen on a
+	// valid document, so the schema dismisses the conflict statically.
+	read := ops.Read{P: xpath.MustParse("//title")}
+	ins := ops.Insert{P: xpath.MustParse("/library/title"), X: xmltree.MustParse("<x/>")}
+	v, _ := schema.DetectUnderSchema(read, ins, ops.NodeSemantics, s, core.SearchOptions{})
+	fmt.Println(v.Conflict, v.Method)
+	// Output:
+	// false schema-static
+}

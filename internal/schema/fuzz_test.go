@@ -1,0 +1,39 @@
+package schema
+
+import (
+	"testing"
+
+	"xmlconflict/internal/xmltree"
+)
+
+// FuzzParse checks schema parsing robustness: no panics, and every
+// accepted schema validates its own small enumerated instances.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"root a\na: b?\nb:",
+		"a: b* c+\nb:\nc:",
+		"root inventory\ninventory: book*\nbook: title\ntitle:",
+		"a: ...\nb:",
+		"a: b\n",
+		"root q",
+		"a: a?",
+		"# comment only",
+		"a:\na:",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(src)
+		if err != nil {
+			return
+		}
+		count := 0
+		s.EnumerateValid(4, func(tr *xmltree.Tree) bool {
+			if err := s.Validate(tr); err != nil {
+				t.Fatalf("enumerated invalid tree %s under accepted schema:\n%s", tr.XML(), src)
+			}
+			count++
+			return count < 50
+		})
+	})
+}

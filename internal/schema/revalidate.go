@@ -1,0 +1,153 @@
+package schema
+
+import (
+	"fmt"
+
+	"xmlconflict/internal/ops"
+	"xmlconflict/internal/xmltree"
+)
+
+// This file implements incremental revalidation after an update — the
+// problem of the paper's reference [14] (Raghavachari & Shmueli,
+// "Efficient schema-based revalidation of XML", EDBT 2004). For the
+// unordered multiplicity schemas used here, validity is a local property:
+// an update can only break (a) the content constraint of the nodes that
+// gained or lost a child, and (b) the internal validity of freshly
+// inserted subtrees. Revalidating after an update therefore costs time
+// proportional to the changed region, not the document.
+
+// RevalidateInsert checks that t remains valid after an Insert produced
+// the given insertion points, assuming t was valid before the update ran.
+// It re-checks only each point's child counts and the inserted payload
+// (validated once — all clones are isomorphic). It returns nil when the
+// updated document is valid.
+func (s *Schema) RevalidateInsert(t *xmltree.Tree, ins ops.Insert, points []*xmltree.Node) error {
+	if len(points) == 0 {
+		return nil
+	}
+	// The payload's internal validity: every node of X must be declared
+	// and internally consistent. Its root's label must also be admitted
+	// as a child of each insertion point, which the content re-check
+	// below covers via the counts.
+	if err := s.validateSubtree(ins.X.Root()); err != nil {
+		return fmt.Errorf("schema: inserted payload: %w", err)
+	}
+	for _, n := range points {
+		if err := s.checkContent(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RevalidateDelete checks that t remains valid after a Delete removed
+// subtrees whose parents are given, assuming t was valid before. Only the
+// parents' content constraints can be affected. Parents that were
+// themselves deleted (nested deletion points) are skipped.
+func (s *Schema) RevalidateDelete(t *xmltree.Tree, parents []*xmltree.Node) error {
+	for _, p := range parents {
+		if p == nil || !t.Contains(p) {
+			continue
+		}
+		if err := s.checkContent(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkContent re-checks one node's child-multiplicity constraints.
+func (s *Schema) checkContent(n *xmltree.Node) error {
+	decl, ok := s.Elems[n.Label()]
+	if !ok {
+		return fmt.Errorf("schema: undeclared element %q", n.Label())
+	}
+	counts := map[string]int{}
+	for _, c := range n.Children() {
+		counts[c.Label()]++
+	}
+	ruled := map[string]bool{}
+	for _, r := range decl.Children {
+		ruled[r.Label] = true
+		got := counts[r.Label]
+		if got < r.Min {
+			return fmt.Errorf("schema: element %q has %d %q children, needs at least %d", n.Label(), got, r.Label, r.Min)
+		}
+		if r.Max >= 0 && got > r.Max {
+			return fmt.Errorf("schema: element %q has %d %q children, allows at most %d", n.Label(), got, r.Label, r.Max)
+		}
+	}
+	if !decl.Open {
+		for l := range counts {
+			if !ruled[l] {
+				return fmt.Errorf("schema: element %q does not allow %q children", n.Label(), l)
+			}
+		}
+	}
+	return nil
+}
+
+// validateSubtree checks a detached subtree's internal validity (its root
+// need not be an allowed document root).
+func (s *Schema) validateSubtree(n *xmltree.Node) error {
+	if err := s.checkContent(n); err != nil {
+		return err
+	}
+	for _, c := range n.Children() {
+		if err := s.validateSubtree(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyValidated applies the update to t only if the result stays valid:
+// it runs the update on an identity-preserving copy, revalidates
+// incrementally, and returns the updated document or an error describing
+// the violation (t is never modified). This is the transactional pattern
+// the revalidation line of work supports.
+func (s *Schema) ApplyValidated(t *xmltree.Tree, u ops.Update) (*xmltree.Tree, error) {
+	if err := s.Validate(t); err != nil {
+		return nil, fmt.Errorf("schema: input document invalid: %w", err)
+	}
+	c := t.Clone()
+	c.ClearModified()
+	switch v := u.(type) {
+	case ops.Insert:
+		points, err := v.Apply(c)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.RevalidateInsert(c, v, points); err != nil {
+			return nil, err
+		}
+	case *ops.Insert:
+		points, err := v.Apply(c)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.RevalidateInsert(c, *v, points); err != nil {
+			return nil, err
+		}
+	case ops.Delete, *ops.Delete:
+		// Record parents before applying: deletion points vanish.
+		del, _ := u.(ops.Delete)
+		if pd, ok := u.(*ops.Delete); ok {
+			del = *pd
+		}
+		prePoints := ops.Read{P: del.P}.Eval(c)
+		parents := make([]*xmltree.Node, 0, len(prePoints))
+		for _, p := range prePoints {
+			parents = append(parents, p.Parent())
+		}
+		if _, err := del.Apply(c); err != nil {
+			return nil, err
+		}
+		if err := s.RevalidateDelete(c, parents); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("schema: unsupported update kind %q", u.Kind())
+	}
+	return c, nil
+}

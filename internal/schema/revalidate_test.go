@@ -1,0 +1,111 @@
+package schema
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xmlconflict/internal/generate"
+	"xmlconflict/internal/ops"
+	"xmlconflict/internal/xmltree"
+	"xmlconflict/internal/xpath"
+)
+
+func TestRevalidateInsertBasics(t *testing.T) {
+	s := MustParse(inventorySchema)
+	inv := xmltree.MustParse("<inventory><book><title/><quantity/></book></inventory>")
+	// Legal insert: a publisher (optional, absent).
+	ins := ops.Insert{P: xpath.MustParse("//book"), X: xmltree.MustParse("<publisher><name/></publisher>")}
+	after, err := s.ApplyValidated(inv, ins)
+	if err != nil {
+		t.Fatalf("legal insert rejected: %v", err)
+	}
+	if err := s.Validate(after); err != nil {
+		t.Fatalf("result invalid: %v", err)
+	}
+	// Illegal: a second title.
+	if _, err := s.ApplyValidated(inv, ops.Insert{P: xpath.MustParse("//book"), X: xmltree.MustParse("<title/>")}); err == nil {
+		t.Fatalf("duplicate title accepted")
+	}
+	// Illegal: payload internally invalid (publisher without name).
+	if _, err := s.ApplyValidated(inv, ops.Insert{P: xpath.MustParse("//book"), X: xmltree.MustParse("<publisher/>")}); err == nil {
+		t.Fatalf("invalid payload accepted")
+	}
+	// Original untouched.
+	if inv.Size() != 4 {
+		t.Fatalf("input mutated")
+	}
+}
+
+func TestRevalidateDeleteBasics(t *testing.T) {
+	s := MustParse(inventorySchema)
+	inv := xmltree.MustParse("<inventory><book><title/><quantity/><publisher><name/></publisher></book></inventory>")
+	// Legal: delete the optional publisher.
+	if _, err := s.ApplyValidated(inv, ops.Delete{P: xpath.MustParse("//publisher")}); err != nil {
+		t.Fatalf("legal delete rejected: %v", err)
+	}
+	// Illegal: delete the required quantity.
+	if _, err := s.ApplyValidated(inv, ops.Delete{P: xpath.MustParse("//quantity")}); err == nil {
+		t.Fatalf("illegal delete accepted")
+	}
+}
+
+func TestApplyValidatedRejectsInvalidInput(t *testing.T) {
+	s := MustParse(inventorySchema)
+	bad := xmltree.MustParse("<inventory><zzz/></inventory>")
+	if _, err := s.ApplyValidated(bad, ops.Delete{P: xpath.MustParse("//zzz")}); err == nil {
+		t.Fatalf("invalid input accepted")
+	}
+}
+
+// TestIncrementalMatchesFullRevalidation is the load-bearing property:
+// for random valid documents and random updates, incremental
+// revalidation agrees with re-running the full validator.
+func TestIncrementalMatchesFullRevalidation(t *testing.T) {
+	s := MustParse(inventorySchema + "restock:\n")
+	exprs := []string{
+		"//book", "//quantity", "//publisher", "//book[.//low]", "/inventory",
+	}
+	payloads := []string{
+		"<restock/>", "<title/>", "<low/>", "<publisher><name/></publisher>", "<book><title/><quantity/></book>",
+	}
+	f := func(seed int64, del bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inv := generate.Inventory(rng, rng.Intn(6)+1, 0.5)
+		if !s.Valid(inv) {
+			t.Logf("generator produced invalid inventory")
+			return false
+		}
+		var u ops.Update
+		if del {
+			p := xpath.MustParse(exprs[rng.Intn(len(exprs))])
+			if p.Output() == p.Root() {
+				return true
+			}
+			u = ops.Delete{P: p}
+		} else {
+			u = ops.Insert{
+				P: xpath.MustParse(exprs[rng.Intn(len(exprs))]),
+				X: xmltree.MustParse(payloads[rng.Intn(len(payloads))]),
+			}
+		}
+		after, incErr := s.ApplyValidated(inv, u)
+		full, err := ops.ApplyCopy(u, inv)
+		if err != nil {
+			return false
+		}
+		fullErr := s.Validate(full)
+		if (incErr == nil) != (fullErr == nil) {
+			t.Logf("disagreement: incremental=%v full=%v (update %s %s)", incErr, fullErr, u.Kind(), u.Pattern())
+			return false
+		}
+		if incErr == nil && !xmltree.Isomorphic(after, full) {
+			t.Logf("results differ")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package schema
+
+import (
+	"xmlconflict/internal/pattern"
+)
+
+// SatisfiablePattern is a sound, polynomial-time pruner: when it returns
+// false, no schema-valid tree admits an embedding of p, so any operation
+// guarded by p can never fire on valid documents. When it returns true
+// the pattern MAY be satisfiable (the check propagates per-node label
+// candidates along the pattern's edges and ignores multiplicity
+// constraints, so it over-approximates).
+//
+// In the unrestricted model every pattern is satisfiable (Section 2.3:
+// the model 𝓜_p); under a schema this is no longer so, which is exactly
+// the Section 6 observation that satisfiability and conflict detection
+// intertwine once DTDs enter the picture.
+func (s *Schema) SatisfiablePattern(p *pattern.Pattern) bool {
+	// childAllowed[a]: the set of labels permitted as a child of a.
+	childAllowed := map[string]map[string]bool{}
+	for name, decl := range s.Elems {
+		set := map[string]bool{}
+		if decl.Open {
+			for other := range s.Elems {
+				set[other] = true
+			}
+		} else {
+			for _, r := range decl.Children {
+				if r.Max != 0 {
+					set[r.Label] = true
+				}
+			}
+		}
+		childAllowed[name] = set
+	}
+	// reach[a]: labels reachable from a by one or more child steps.
+	reach := map[string]map[string]bool{}
+	for name := range s.Elems {
+		seen := map[string]bool{}
+		stack := []string{}
+		for c := range childAllowed[name] {
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for c := range childAllowed[cur] {
+				if !seen[c] {
+					seen[c] = true
+					stack = append(stack, c)
+				}
+			}
+		}
+		reach[name] = seen
+	}
+
+	labelFits := func(n *pattern.Node, l string) bool {
+		return n.IsWildcard() || n.Label() == l
+	}
+	// Top-down candidate propagation.
+	cands := map[*pattern.Node]map[string]bool{}
+	rootCands := map[string]bool{}
+	for r := range s.Roots {
+		if labelFits(p.Root(), r) {
+			rootCands[r] = true
+		}
+	}
+	if len(rootCands) == 0 {
+		return false
+	}
+	cands[p.Root()] = rootCands
+	ok := true
+	var down func(n *pattern.Node)
+	down = func(n *pattern.Node) {
+		if !ok {
+			return
+		}
+		for _, c := range n.Children() {
+			set := map[string]bool{}
+			for a := range cands[n] {
+				var pool map[string]bool
+				if c.Axis() == pattern.Child {
+					pool = childAllowed[a]
+				} else {
+					pool = reach[a]
+				}
+				for l := range pool {
+					if labelFits(c, l) {
+						set[l] = true
+					}
+				}
+			}
+			if len(set) == 0 {
+				ok = false
+				return
+			}
+			cands[c] = set
+			down(c)
+		}
+	}
+	down(p.Root())
+	return ok
+}

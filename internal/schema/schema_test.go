@@ -1,0 +1,299 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"xmlconflict/internal/xmltree"
+	"xmlconflict/internal/xpath"
+)
+
+const inventorySchema = `
+# Figure-1-style inventory schema.
+root inventory
+inventory: book*
+book: title quantity publisher?
+quantity: low?
+title:
+publisher: name
+name:
+low:
+`
+
+func TestParseBasics(t *testing.T) {
+	s := MustParse(inventorySchema)
+	if !s.Roots["inventory"] || len(s.Roots) != 1 {
+		t.Fatalf("roots = %v", s.Roots)
+	}
+	book := s.Elems["book"]
+	if len(book.Children) != 3 {
+		t.Fatalf("book rules = %v", book.Children)
+	}
+	var pub ChildRule
+	for _, r := range book.Children {
+		if r.Label == "publisher" {
+			pub = r
+		}
+	}
+	if pub.Min != 0 || pub.Max != 1 {
+		t.Fatalf("publisher? rule = %+v", pub)
+	}
+	inv := s.Elems["inventory"]
+	if inv.Children[0].Min != 0 || inv.Children[0].Max != -1 {
+		t.Fatalf("book* rule = %+v", inv.Children[0])
+	}
+}
+
+func TestParseMultiplicities(t *testing.T) {
+	s := MustParse("root a\na: b+ c\nb:\nc:")
+	var b, c ChildRule
+	for _, r := range s.Elems["a"].Children {
+		switch r.Label {
+		case "b":
+			b = r
+		case "c":
+			c = r
+		}
+	}
+	if b.Min != 1 || b.Max != -1 {
+		t.Fatalf("b+ = %+v", b)
+	}
+	if c.Min != 1 || c.Max != 1 {
+		t.Fatalf("bare c = %+v", c)
+	}
+}
+
+func TestParseOpenElement(t *testing.T) {
+	s := MustParse("root a\na: b ...\nb:")
+	if !s.Elems["a"].Open {
+		t.Fatalf("open marker ignored")
+	}
+}
+
+func TestParseDefaultsRoots(t *testing.T) {
+	s := MustParse("a: b?\nb:")
+	if !s.Roots["a"] || !s.Roots["b"] {
+		t.Fatalf("all elements should be allowed roots by default: %v", s.Roots)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"# just comments",
+		"root a",                // a not declared
+		"a: b",                  // b not declared
+		"a: b b\nb:",            // duplicate rule
+		"a:\na:",                // duplicate declaration
+		"no colon here at all ", // malformed
+		"a b: c",                // bad name
+		"a: ?\nb:",              // empty child label
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := MustParse(inventorySchema)
+	good := []string{
+		"<inventory/>",
+		"<inventory><book><title/><quantity/></book></inventory>",
+		"<inventory><book><title/><quantity><low/></quantity><publisher><name/></publisher></book></inventory>",
+	}
+	for _, doc := range good {
+		if err := s.Validate(xmltree.MustParse(doc)); err != nil {
+			t.Errorf("valid doc rejected: %s: %v", doc, err)
+		}
+	}
+	bad := map[string]string{
+		"<book><title/><quantity/></book>":                                              "root",
+		"<inventory><book><title/></book></inventory>":                                  "quantity",
+		"<inventory><book><title/><quantity/><x/></book></inventory>":                   "allow",
+		"<inventory><book><title/><title/><quantity/></book></inventory>":               "at most",
+		"<inventory><zzz/></inventory>":                                                 "allow",
+		"<inventory><book><title/><quantity><low/><low/></quantity></book></inventory>": "at most",
+	}
+	for doc, frag := range bad {
+		err := s.Validate(xmltree.MustParse(doc))
+		if err == nil {
+			t.Errorf("invalid doc accepted: %s", doc)
+			continue
+		}
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q does not mention %q", err, frag)
+		}
+	}
+}
+
+func TestValidateOpenElement(t *testing.T) {
+	s := MustParse("root a\na: b ...\nb:\nc:")
+	if err := s.Validate(xmltree.MustParse("<a><b/><c/></a>")); err != nil {
+		t.Fatalf("open element rejected extra declared child: %v", err)
+	}
+	if err := s.Validate(xmltree.MustParse("<a><c/></a>")); err == nil {
+		t.Fatalf("open element must still enforce required children")
+	}
+	if err := s.Validate(xmltree.MustParse("<a><b/><zzz/></a>")); err == nil {
+		t.Fatalf("undeclared element accepted inside open element")
+	}
+}
+
+func TestEnumerateValidAllValidAndUnique(t *testing.T) {
+	s := MustParse(inventorySchema)
+	seen := map[string]bool{}
+	count := 0
+	s.EnumerateValid(8, func(tr *xmltree.Tree) bool {
+		count++
+		if err := s.Validate(tr); err != nil {
+			t.Fatalf("enumerated invalid tree %s: %v", tr.XML(), err)
+		}
+		code := xmltree.Code(tr.Root())
+		if seen[code] {
+			t.Fatalf("duplicate class %s", tr.XML())
+		}
+		seen[code] = true
+		return true
+	})
+	if count == 0 {
+		t.Fatalf("nothing enumerated")
+	}
+}
+
+func TestEnumerateValidIsExhaustive(t *testing.T) {
+	// Cross-check against brute-force: filter all trees over the schema's
+	// alphabet by validity. Uses a small schema to stay tractable.
+	s := MustParse("root a\na: b* c?\nb: c?\nc:")
+	valid := map[string]bool{}
+	s.EnumerateValid(5, func(tr *xmltree.Tree) bool {
+		valid[xmltree.Code(tr.Root())] = true
+		return true
+	})
+	// Brute force: generate trees over {a, b, c} up to 5 nodes.
+	brute := map[string]bool{}
+	enumerateAll([]string{"a", "b", "c"}, 5, func(tr *xmltree.Tree) {
+		if s.Valid(tr) {
+			brute[xmltree.Code(tr.Root())] = true
+		}
+	})
+	if len(valid) != len(brute) {
+		t.Fatalf("enumerated %d classes, brute force %d", len(valid), len(brute))
+	}
+	for c := range brute {
+		if !valid[c] {
+			t.Fatalf("missing class %s", c)
+		}
+	}
+}
+
+// enumerateAll is a tiny local generator of all unordered labeled trees
+// (mirrors core.EnumerateTrees without importing core, to keep the
+// cross-check independent).
+func enumerateAll(labels []string, maxNodes int, fn func(*xmltree.Tree)) {
+	var trees func(size int) []*xmltree.Tree
+	var forests func(budget, minSize, minIdx int, bySize map[int][]*xmltree.Tree) [][]*xmltree.Tree
+	bySize := map[int][]*xmltree.Tree{}
+	forests = func(budget, minSize, minIdx int, bySize map[int][]*xmltree.Tree) [][]*xmltree.Tree {
+		if budget == 0 {
+			return [][]*xmltree.Tree{nil}
+		}
+		var out [][]*xmltree.Tree
+		for s := minSize; s <= budget; s++ {
+			ts := bySize[s]
+			start := 0
+			if s == minSize {
+				start = minIdx
+			}
+			for i := start; i < len(ts); i++ {
+				for _, rest := range forests(budget-s, s, i, bySize) {
+					out = append(out, append([]*xmltree.Tree{ts[i]}, rest...))
+				}
+			}
+		}
+		return out
+	}
+	trees = func(size int) []*xmltree.Tree {
+		var out []*xmltree.Tree
+		for _, l := range labels {
+			for _, f := range forests(size-1, 1, 0, bySize) {
+				t := xmltree.New(l)
+				for _, sub := range f {
+					t.Graft(t.Root(), sub)
+				}
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	for s := 1; s <= maxNodes; s++ {
+		bySize[s] = trees(s)
+		for _, t := range bySize[s] {
+			fn(t)
+		}
+	}
+}
+
+func TestSatisfiablePattern(t *testing.T) {
+	s := MustParse(inventorySchema)
+	sat := []string{
+		"/inventory",
+		"/inventory/book",
+		"//book[.//low]",
+		"/inventory/book/quantity/low",
+		"//low",
+		"/*/book/*",
+		"//book[title][quantity]",
+	}
+	for _, e := range sat {
+		if !s.SatisfiablePattern(xpath.MustParse(e)) {
+			t.Errorf("%s: wrongly pruned", e)
+		}
+	}
+	unsat := []string{
+		"/book",                   // book is not an allowed root
+		"/inventory/quantity",     // quantity is not a child of inventory
+		"//low/low",               // low has no children
+		"/inventory/book/low",     // low is nested under quantity
+		"//zzz",                   // undeclared label
+		"/inventory//name/*",      // name is a leaf
+		"/inventory/book/title/低", // undeclared, beyond ASCII
+	}
+	for _, e := range unsat {
+		p, err := xpath.Parse(e)
+		if err != nil {
+			continue // non-ASCII not parseable; skip
+		}
+		if s.SatisfiablePattern(p) {
+			t.Errorf("%s: should be pruned", e)
+		}
+	}
+}
+
+func TestSatisfiablePatternSoundness(t *testing.T) {
+	// Whenever the pruner says unsatisfiable, no valid tree up to a bound
+	// embeds the pattern.
+	s := MustParse(inventorySchema)
+	exprs := []string{
+		"/inventory/quantity", "/book", "//low/low", "//publisher/low",
+		"/inventory/book/title", "//name",
+	}
+	for _, e := range exprs {
+		p := xpath.MustParse(e)
+		if s.SatisfiablePattern(p) {
+			continue
+		}
+		found := false
+		s.EnumerateValid(8, func(tr *xmltree.Tree) bool {
+			if embedsInto(p, tr) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			t.Errorf("%s: pruned but satisfiable", e)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package xmltree
+
+import "testing"
+
+// FuzzParse checks XML parsing robustness: no panics, and every accepted
+// document serializes and re-parses to an isomorphic tree.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"<a/>",
+		"<a><b/><c><d/></c></a>",
+		"<a>text<b x='1'/><!--c--></a>",
+		"<a>",
+		"<a></b>",
+		"<a/><b/>",
+		"",
+		"<a><a><a/></a></a>",
+		"<?xml version=\"1.0\"?><r><x/></r>",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		if tr.Size() < 1 {
+			t.Fatalf("accepted document with no nodes: %q", src)
+		}
+		back, err := ParseString(tr.XML())
+		if err != nil {
+			t.Fatalf("serialized form unparseable: %q → %q: %v", src, tr.XML(), err)
+		}
+		if !Isomorphic(tr, back) {
+			t.Fatalf("round trip changed %q", src)
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package xmltree
+
+import (
+	"sort"
+	"strings"
+)
+
+// Code returns a canonical string encoding of the subtree rooted at n.
+// Two subtrees are isomorphic in the sense of Definition 1 (labeled,
+// unordered tree isomorphism) if and only if their codes are equal. The
+// encoding follows the Aho-Hopcroft-Ullman scheme extended with labels:
+// a node's code is its (escaped) label followed by the sorted codes of its
+// children, wrapped in parentheses.
+func Code(n *Node) string {
+	var b strings.Builder
+	writeCode(&b, n)
+	return b.String()
+}
+
+func writeCode(b *strings.Builder, n *Node) {
+	b.WriteByte('(')
+	b.WriteString(escapeLabel(n.label))
+	if len(n.children) > 0 {
+		codes := make([]string, len(n.children))
+		for i, c := range n.children {
+			codes[i] = Code(c)
+		}
+		sort.Strings(codes)
+		for _, c := range codes {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte(')')
+}
+
+// escapeLabel makes labels safe inside the parenthesized encoding.
+func escapeLabel(l string) string {
+	if !strings.ContainsAny(l, `()\`) {
+		return l
+	}
+	r := strings.NewReplacer(`\`, `\\`, `(`, `\(`, `)`, `\)`)
+	return r.Replace(l)
+}
+
+// Isomorphic reports whether two trees are isomorphic (Definition 1).
+func Isomorphic(a, b *Tree) bool {
+	return IsomorphicNodes(a.root, b.root)
+}
+
+// IsomorphicNodes reports whether the subtrees rooted at a and b are
+// isomorphic (Definition 1).
+func IsomorphicNodes(a, b *Node) bool {
+	return isoNodes(a, b)
+}
+
+// isoNodes decides isomorphism directly (size, label and recursive
+// multiset comparison) to stay linear-ish without building full codes for
+// clearly different trees.
+func isoNodes(a, b *Node) bool {
+	if a.label != b.label || len(a.children) != len(b.children) {
+		return false
+	}
+	if len(a.children) == 0 {
+		return true
+	}
+	ac := make([]string, len(a.children))
+	bc := make([]string, len(b.children))
+	for i, c := range a.children {
+		ac[i] = Code(c)
+	}
+	for i, c := range b.children {
+		bc[i] = Code(c)
+	}
+	sort.Strings(ac)
+	sort.Strings(bc)
+	for i := range ac {
+		if ac[i] != bc[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SameNodeSet reports whether two node slices contain the same node
+// identities (Definition 2 applied to operation results). Duplicates are
+// ignored; evaluation results are sets.
+func SameNodeSet(a, b []*Node) bool {
+	as := map[int]bool{}
+	for _, n := range a {
+		as[n.id] = true
+	}
+	bs := map[int]bool{}
+	for _, n := range b {
+		bs[n.id] = true
+	}
+	if len(as) != len(bs) {
+		return false
+	}
+	for id := range as {
+		if !bs[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// SameIsoClasses reports whether the sets of isomorphism classes of the
+// subtrees rooted at the given nodes coincide. This is the set-of-trees
+// isomorphism of Definition 1 (each tree on one side must have an
+// isomorphic counterpart on the other side) used by the value-based
+// conflict semantics (Definitions 5-6).
+func SameIsoClasses(a, b []*Node) bool {
+	as := map[string]bool{}
+	for _, n := range a {
+		as[Code(n)] = true
+	}
+	bs := map[string]bool{}
+	for _, n := range b {
+		bs[Code(n)] = true
+	}
+	if len(as) != len(bs) {
+		return false
+	}
+	for c := range as {
+		if !bs[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// SortByID sorts nodes in place by identity and returns the slice; useful
+// for deterministic output of evaluation results.
+func SortByID(ns []*Node) []*Node {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].id < ns[j].id })
+	return ns
+}

@@ -1,0 +1,49 @@
+package xmltree
+
+import "math/rand"
+
+// RandomConfig controls random tree generation. Generation is deterministic
+// given the *rand.Rand source, which keeps workloads reproducible.
+type RandomConfig struct {
+	// Size is the target number of nodes (at least 1).
+	Size int
+	// Labels is the alphabet to draw labels from; it must be non-empty.
+	Labels []string
+	// MaxFanout bounds the number of children per node (0 means unbounded,
+	// which tends toward broad, shallow trees).
+	MaxFanout int
+	// Skew in [0,1] biases attachment toward deeper nodes: 0 attaches to a
+	// uniformly random existing node (random recursive tree), 1 always
+	// extends the most recently added node (a path).
+	Skew float64
+}
+
+// Random generates a random unordered labeled tree. Nodes are attached one
+// at a time to a random existing node, subject to MaxFanout, with depth
+// bias controlled by Skew.
+func Random(rng *rand.Rand, cfg RandomConfig) *Tree {
+	if cfg.Size < 1 {
+		cfg.Size = 1
+	}
+	if len(cfg.Labels) == 0 {
+		cfg.Labels = []string{"a"}
+	}
+	pick := func() string { return cfg.Labels[rng.Intn(len(cfg.Labels))] }
+	t := New(pick())
+	nodes := []*Node{t.Root()}
+	for len(nodes) < cfg.Size {
+		var parent *Node
+		for {
+			if cfg.Skew > 0 && rng.Float64() < cfg.Skew {
+				parent = nodes[len(nodes)-1]
+			} else {
+				parent = nodes[rng.Intn(len(nodes))]
+			}
+			if cfg.MaxFanout <= 0 || len(parent.Children()) < cfg.MaxFanout {
+				break
+			}
+		}
+		nodes = append(nodes, t.AddChild(parent, pick()))
+	}
+	return t
+}

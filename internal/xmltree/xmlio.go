@@ -1,0 +1,169 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Parse reads an XML document from r and returns its element structure as a
+// labeled tree. The data model of the paper has no attributes, text, or
+// order, so attributes, character data, comments, and processing
+// instructions are discarded; element local names become node labels.
+func Parse(r io.Reader) (*Tree, error) {
+	dec := xml.NewDecoder(r)
+	var t *Tree
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch el := tok.(type) {
+		case xml.StartElement:
+			label := el.Name.Local
+			if t == nil {
+				t = New(label)
+				stack = append(stack, t.Root())
+			} else if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse: multiple root elements")
+			} else {
+				stack = append(stack, t.AddChild(stack[len(stack)-1], label))
+			}
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse: unbalanced end element %s", el.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if t == nil {
+		return nil, fmt.Errorf("xmltree: parse: no root element")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: parse: unexpected EOF inside element")
+	}
+	return t, nil
+}
+
+// ParseString is Parse on a string.
+func ParseString(s string) (*Tree, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// MustParse is ParseString that panics on error; intended for tests and
+// examples with literal documents.
+func MustParse(s string) *Tree {
+	t, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Write serializes the tree as XML to w. Children are emitted in canonical
+// (code-sorted) order so that output is deterministic even though the model
+// is unordered. If indent is true, a pretty-printed form is produced.
+func (t *Tree) Write(w io.Writer, indent bool) error {
+	bw := &errWriter{w: w}
+	if indent {
+		writeXMLIndent(bw, t.root, 0)
+	} else {
+		writeXML(bw, t.root)
+	}
+	return bw.err
+}
+
+// XML returns the serialized form of the tree (children in canonical
+// order, no indentation).
+func (t *Tree) XML() string {
+	var b strings.Builder
+	_ = t.Write(&b, false)
+	return b.String()
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) writef(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+func sortedChildren(n *Node) []*Node {
+	cs := append([]*Node(nil), n.children...)
+	sort.Slice(cs, func(i, j int) bool {
+		ci, cj := Code(cs[i]), Code(cs[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return cs[i].id < cs[j].id
+	})
+	return cs
+}
+
+func writeXML(w *errWriter, n *Node) {
+	name := xmlName(n.label)
+	if len(n.children) == 0 {
+		w.writef("<%s/>", name)
+		return
+	}
+	w.writef("<%s>", name)
+	for _, c := range sortedChildren(n) {
+		writeXML(w, c)
+	}
+	w.writef("</%s>", name)
+}
+
+func writeXMLIndent(w *errWriter, n *Node, depth int) {
+	pad := strings.Repeat("  ", depth)
+	name := xmlName(n.label)
+	if len(n.children) == 0 {
+		w.writef("%s<%s/>\n", pad, name)
+		return
+	}
+	w.writef("%s<%s>\n", pad, name)
+	for _, c := range sortedChildren(n) {
+		writeXMLIndent(w, c, depth+1)
+	}
+	w.writef("%s</%s>\n", pad, name)
+}
+
+// xmlName renders a label as an XML element name. Labels produced by the
+// algorithms in this module are plain identifiers; anything else is
+// escaped conservatively so the output stays well-formed.
+func xmlName(label string) string {
+	ok := label != ""
+	for i, r := range label {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' {
+			continue
+		}
+		if i > 0 && (r >= '0' && r <= '9' || r == '-' || r == '.') {
+			continue
+		}
+		ok = false
+		break
+	}
+	if ok {
+		return label
+	}
+	var b strings.Builder
+	b.WriteString("n-")
+	for _, r := range label {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		} else {
+			fmt.Fprintf(&b, "u%x", r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,47 @@
+package xpath
+
+import (
+	"testing"
+
+	"xmlconflict/internal/pattern"
+)
+
+// FuzzParse checks parser robustness: Parse must never panic, and any
+// accepted expression must yield a valid pattern that round-trips through
+// the pattern's String rendering.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"a",
+		"/a/b//c",
+		"//book[.//quantity]",
+		"a[.//c]/b[d][*//f]",
+		"/*/A",
+		"a[b[c][.//d]/e]",
+		"a[",
+		"]",
+		"a//",
+		"a[.]",
+		"//",
+		"a[b]]",
+		" a / b [ c ] ",
+		"*[*][*]/*",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		p, err := Parse(expr)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) produced invalid pattern: %v", expr, verr)
+		}
+		back, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("Parse(%q).String() = %q is unparseable: %v", expr, p.String(), err)
+		}
+		if !pattern.Equal(p, back) {
+			t.Fatalf("round trip changed %q: %q", expr, p.String())
+		}
+	})
+}

@@ -1,0 +1,325 @@
+// Package xpath parses the XPath fragment of "Conflicting XML Updates"
+// (Section 2.2):
+//
+//	e → e/e | e//e | e[e] | e[.//e] | σ | *
+//
+// into tree patterns (package pattern). The fragment supports only the
+// child and descendant axes, wildcards, and branching predicates; sibling
+// order, attributes, and value comparisons are outside the paper's model.
+//
+// Accepted surface syntax:
+//
+//	/a/b[c]//d        absolute path; the root of the document must be a
+//	a/b               relative paths are treated as absolute (the pattern
+//	                  root always maps to the tree root, Section 2.3)
+//	//a               a synthetic * root with a descendant edge to a
+//	a[.//b]           descendant-anchored predicate (also accepted: [//b])
+//	a[b/c][*//d]      predicates may contain full relative expressions
+//
+// The output node of the resulting pattern is the last step of the
+// top-level path.
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"xmlconflict/internal/pattern"
+)
+
+// Parse parses an expression in the paper's XPath fragment into a tree
+// pattern.
+func Parse(expr string) (*pattern.Pattern, error) {
+	p := &parser{lex: newLexer(expr)}
+	pat, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("xpath: %w", err)
+	}
+	return pat, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and examples
+// with literal expressions.
+func MustParse(expr string) *pattern.Pattern {
+	p, err := Parse(expr)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokName
+	tokStar    // *
+	tokSlash   // /
+	tokDSlash  // //
+	tokLBrack  // [
+	tokRBrack  // ]
+	tokDotSelf // . (only meaningful as the ".//" predicate prefix)
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// String describes the token for error messages.
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of expression"
+	case tokName:
+		return fmt.Sprintf("name %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func newLexer(src string) *lexer {
+	l := &lexer{src: src}
+	l.run()
+	return l
+}
+
+// Name characters follow the shape of XML names: letters (any script)
+// and underscore start a name; digits, hyphen, and dot may continue it.
+func isNameStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isNameRest(r rune) bool {
+	return isNameStart(r) || unicode.IsDigit(r) || r == '-' || r == '.'
+}
+
+func (l *lexer) run() {
+	s := l.src
+	i := 0
+	for i < len(s) {
+		r, width := utf8.DecodeRuneInString(s[i:])
+		switch {
+		case r == ' ' || r == '\t' || r == '\n' || r == '\r':
+			i += width
+		case r == '/':
+			if i+1 < len(s) && s[i+1] == '/' {
+				l.toks = append(l.toks, token{tokDSlash, "//", i})
+				i += 2
+			} else {
+				l.toks = append(l.toks, token{tokSlash, "/", i})
+				i++
+			}
+		case r == '[':
+			l.toks = append(l.toks, token{tokLBrack, "[", i})
+			i++
+		case r == ']':
+			l.toks = append(l.toks, token{tokRBrack, "]", i})
+			i++
+		case r == '*':
+			l.toks = append(l.toks, token{tokStar, "*", i})
+			i++
+		case r == '.':
+			// "." is only valid immediately before "//" or "/" in a
+			// predicate; the parser enforces context.
+			l.toks = append(l.toks, token{tokDotSelf, ".", i})
+			i++
+		case isNameStart(r):
+			j := i + width
+			for j < len(s) {
+				nr, nw := utf8.DecodeRuneInString(s[j:])
+				if !isNameRest(nr) {
+					break
+				}
+				j += nw
+			}
+			l.toks = append(l.toks, token{tokName, s[i:j], i})
+			i = j
+		default:
+			l.toks = append(l.toks, token{tokEOF, string(r), i})
+			i = len(s) // force error in parser via bad token
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", len(s)})
+}
+
+type parser struct {
+	lex *lexer
+	i   int
+}
+
+func (p *parser) peek() token { return p.lex.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.lex.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("at offset %d: %s", t.pos, fmt.Sprintf(format, args...))
+}
+
+// parse parses a full top-level expression.
+func (p *parser) parse() (*pattern.Pattern, error) {
+	if strings.TrimSpace(p.lex.src) == "" {
+		return nil, fmt.Errorf("empty expression")
+	}
+	// Leading axis.
+	firstAxis := pattern.Child
+	switch p.peek().kind {
+	case tokSlash:
+		p.next()
+	case tokDSlash:
+		p.next()
+		firstAxis = pattern.Descendant
+	}
+	var pat *pattern.Pattern
+	var cur *pattern.Node
+	if firstAxis == pattern.Descendant {
+		// //a  ≡  a synthetic wildcard root with a descendant edge.
+		pat = pattern.New(pattern.Wildcard)
+		cur = pat.Root()
+		n, err := p.step(pat, cur, pattern.Descendant)
+		if err != nil {
+			return nil, err
+		}
+		cur = n
+	} else {
+		label, err := p.nameOrStar()
+		if err != nil {
+			return nil, err
+		}
+		pat = pattern.New(label)
+		cur = pat.Root()
+		if err := p.predicates(pat, cur); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		switch t := p.peek(); t.kind {
+		case tokSlash:
+			p.next()
+			n, err := p.step(pat, cur, pattern.Child)
+			if err != nil {
+				return nil, err
+			}
+			cur = n
+		case tokDSlash:
+			p.next()
+			n, err := p.step(pat, cur, pattern.Descendant)
+			if err != nil {
+				return nil, err
+			}
+			cur = n
+		case tokEOF:
+			if t.text != "" {
+				return nil, p.errf(t, "unexpected character %q", t.text)
+			}
+			pat.SetOutput(cur)
+			if err := pat.Validate(); err != nil {
+				return nil, err
+			}
+			return pat, nil
+		default:
+			return nil, p.errf(t, "unexpected %s", t)
+		}
+	}
+}
+
+// step parses one step (name-or-star plus predicates) and attaches it under
+// parent with the given axis.
+func (p *parser) step(pat *pattern.Pattern, parent *pattern.Node, axis pattern.Axis) (*pattern.Node, error) {
+	label, err := p.nameOrStar()
+	if err != nil {
+		return nil, err
+	}
+	n := pat.AddChild(parent, axis, label)
+	if err := p.predicates(pat, n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func (p *parser) nameOrStar() (string, error) {
+	t := p.next()
+	switch t.kind {
+	case tokName:
+		return t.text, nil
+	case tokStar:
+		return pattern.Wildcard, nil
+	default:
+		return "", p.errf(t, "expected a name or *, found %s", t)
+	}
+}
+
+// predicates parses zero or more [ ... ] predicates attached to anchor.
+func (p *parser) predicates(pat *pattern.Pattern, anchor *pattern.Node) error {
+	for p.peek().kind == tokLBrack {
+		p.next()
+		if err := p.relExpr(pat, anchor); err != nil {
+			return err
+		}
+		if t := p.next(); t.kind != tokRBrack {
+			return p.errf(t, "expected ], found %s", t)
+		}
+	}
+	return nil
+}
+
+// relExpr parses the relative expression inside a predicate and attaches it
+// under anchor. Grammar: optional anchor prefix (".//", "./", "//", "/"),
+// then a step path.
+func (p *parser) relExpr(pat *pattern.Pattern, anchor *pattern.Node) error {
+	axis := pattern.Child
+	switch p.peek().kind {
+	case tokDotSelf:
+		p.next()
+		switch t := p.next(); t.kind {
+		case tokDSlash:
+			axis = pattern.Descendant
+		case tokSlash:
+			axis = pattern.Child
+		default:
+			return p.errf(t, `expected "//" or "/" after "." in predicate, found %s`, t)
+		}
+	case tokDSlash:
+		p.next()
+		axis = pattern.Descendant
+	case tokSlash:
+		p.next()
+	}
+	cur, err := p.step(pat, anchor, axis)
+	if err != nil {
+		return err
+	}
+	for {
+		switch p.peek().kind {
+		case tokSlash:
+			p.next()
+			cur, err = p.step(pat, cur, pattern.Child)
+			if err != nil {
+				return err
+			}
+		case tokDSlash:
+			p.next()
+			cur, err = p.step(pat, cur, pattern.Descendant)
+			if err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
+}

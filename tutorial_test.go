@@ -1,0 +1,109 @@
+package xmlconflict_test
+
+import (
+	"testing"
+
+	"xmlconflict"
+)
+
+// TestTutorialClaims executes every factual claim made in
+// docs/TUTORIAL.md, in order, so the tutorial cannot rot.
+func TestTutorialClaims(t *testing.T) {
+	// §1: the Section 1 example and its flip.
+	read := xmlconflict.Read{P: xmlconflict.MustParseXPath("//C")}
+	ins := xmlconflict.Insert{
+		P: xmlconflict.MustParseXPath("/*/B"),
+		X: xmlconflict.MustParseXML("<C/>"),
+	}
+	v, err := xmlconflict.Detect(read, ins, xmlconflict.NodeSemantics, xmlconflict.SearchOptions{})
+	if err != nil || !v.Conflict || v.Witness == nil {
+		t.Fatalf("§1 conflict: %+v %v", v, err)
+	}
+	v, err = xmlconflict.Detect(xmlconflict.Read{P: xmlconflict.MustParseXPath("//D")}, ins,
+		xmlconflict.NodeSemantics, xmlconflict.SearchOptions{})
+	if err != nil || v.Conflict {
+		t.Fatalf("§1 //D: %+v %v", v, err)
+	}
+
+	// §2: attributes/text discarded.
+	tr, err := xmlconflict.ParseXMLString(`<inv n="5">text<book/><book/></inv>`)
+	if err != nil || tr.Size() != 3 {
+		t.Fatalf("§2 size: %d %v", tr.Size(), err)
+	}
+
+	// §3: Figure 2 evaluates to the b node; linearity.
+	p := xmlconflict.MustParseXPath("a[.//c]/b[d][*//f]")
+	fig2 := xmlconflict.MustParseXML("<a><b><d/><e><f/></e></b><c/></a>")
+	res := xmlconflict.Eval(p, fig2)
+	if len(res) != 1 || res[0].Label() != "b" {
+		t.Fatalf("§3 Figure 2: %v", res)
+	}
+	if p.IsLinear() || !xmlconflict.MustParseXPath("/a//b/*").IsLinear() {
+		t.Fatalf("§3 linearity")
+	}
+
+	// §5: the read-delete example with Edge, Word, Witness.
+	v, err = xmlconflict.ReadDeleteConflict(
+		xmlconflict.MustParseXPath("/a/b//c"),
+		xmlconflict.Delete{P: xmlconflict.MustParseXPath("/a/b")},
+		xmlconflict.NodeSemantics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Edge != 1 || len(v.Word) != 2 || v.Word[0] != "a" || v.Word[1] != "b" {
+		t.Fatalf("§5 edge/word: %+v", v)
+	}
+	if v.Witness.XML() != "<a><b><c/></b></a>" {
+		t.Fatalf("§5 witness: %s", v.Witness.XML())
+	}
+
+	// §6: the reduction walkthrough.
+	pp := xmlconflict.MustParseXPath("a[.//b1][.//b2]")
+	qq := xmlconflict.MustParseXPath("a[.//b1/b2]")
+	contained, counter := xmlconflict.Contained(pp, qq)
+	if contained || counter == nil {
+		t.Fatalf("§6 containment")
+	}
+	r, rIns := xmlconflict.ReduceNonContainmentToInsert(pp, qq)
+	w := xmlconflict.ReductionWitnessInsert(pp, qq, counter)
+	ok, err := xmlconflict.IsConflictWitness(xmlconflict.NodeSemantics, r, rIns, w)
+	if err != nil || !ok {
+		t.Fatalf("§6 witness: %v %v", ok, err)
+	}
+
+	// §7: the xdep walkthrough program parses and optimizes with a CSE.
+	prog, err := xmlconflict.ParseProgram(`
+x = doc <x><B/><A/></x>
+y = read $x/*/A
+insert $x/B, <C/>
+u = read $x/*/A
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := xmlconflict.OptimizeProgram(prog, xmlconflict.AnalyzeOptions{Sem: xmlconflict.NodeSemantics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cse := false
+	for _, a := range opt.Applied {
+		if a.Kind == "cse" {
+			cse = true
+		}
+	}
+	if !cse {
+		t.Fatalf("§7 CSE missing: %+v", opt.Applied)
+	}
+	a, err := xmlconflict.AnalyzeProgram(prog, xmlconflict.AnalyzeOptions{Sem: xmlconflict.NodeSemantics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ParallelSchedule().Depth() != 2 {
+		t.Fatalf("§7 schedule depth: %d", a.ParallelSchedule().Depth())
+	}
+
+	// §8: minimization example.
+	if m := xmlconflict.MinimizePattern(xmlconflict.MustParseXPath("/a[b/c][b][.//b]/d")); m.String() != "/a[b[c]]/d" {
+		t.Fatalf("§8 minimize: %s", m)
+	}
+}
