@@ -10,16 +10,36 @@
 //	xbench -reps 10        increase averaging repetitions
 //	xbench -seed 42        change the workload seed
 //	xbench -md             emit Markdown tables (for EXPERIMENTS.md)
+//	xbench -json           emit one JSON object per experiment
+//
+// With -json each experiment becomes one line of machine-readable output:
+//
+//	{"id":"E7","name":"...","ns_per_op":1234,"metrics":{"search.candidates":600000,...}}
+//
+// ns_per_op is the experiment's total wall time divided by its row count,
+// and metrics carries the telemetry counters the experiment's decision
+// procedures recorded (empty for experiments that record none).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"xmlconflict/internal/experiments"
 )
+
+// jsonResult is the -json per-experiment output shape, stable for tooling.
+type jsonResult struct {
+	ID      string           `json:"id"`
+	Name    string           `json:"name"`
+	NsPerOp int64            `json:"ns_per_op"`
+	Rows    int              `json:"rows"`
+	Metrics map[string]int64 `json:"metrics,omitempty"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -31,27 +51,43 @@ func run(args []string) int {
 	seed := fs.Int64("seed", 1, "workload seed")
 	reps := fs.Int("reps", 3, "averaging repetitions")
 	md := fs.Bool("md", false, "emit Markdown tables")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per experiment")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	var tables []experiments.Table
-	if *runIDs == "" {
-		tables = experiments.All(*seed, *reps)
-	} else {
+	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
+	if *runIDs != "" {
+		ids = ids[:0]
 		for _, id := range strings.Split(*runIDs, ",") {
-			tb, err := experiments.ByID(strings.TrimSpace(id), *seed, *reps)
-			if err != nil {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, id := range ids {
+		start := time.Now()
+		tb, err := experiments.ByID(id, *seed, *reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xbench: %v\n", err)
+			return 2
+		}
+		elapsed := time.Since(start)
+		switch {
+		case *jsonOut:
+			rows := len(tb.Rows)
+			res := jsonResult{ID: tb.ID, Name: tb.Title, Rows: rows, Metrics: tb.Metrics}
+			if rows > 0 {
+				res.NsPerOp = elapsed.Nanoseconds() / int64(rows)
+			} else {
+				res.NsPerOp = elapsed.Nanoseconds()
+			}
+			if err := enc.Encode(res); err != nil {
 				fmt.Fprintf(os.Stderr, "xbench: %v\n", err)
 				return 2
 			}
-			tables = append(tables, tb)
-		}
-	}
-	for _, tb := range tables {
-		if *md {
+		case *md:
 			printMarkdown(tb)
-		} else {
+		default:
 			printPlain(tb)
 		}
 	}

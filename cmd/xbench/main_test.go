@@ -1,7 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"os"
+	"strings"
 	"testing"
 )
 
@@ -26,5 +30,57 @@ func TestRunSelected(t *testing.T) {
 func TestUnknownExperiment(t *testing.T) {
 	if code := quietly(t, func() int { return run([]string{"-run", "E99"}) }); code != 2 {
 		t.Fatalf("unknown experiment accepted")
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	code := run([]string{"-json", "-run", "E2,E3", "-reps", "1"})
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 JSON lines, got %d:\n%s", len(lines), out)
+	}
+	for i, line := range lines {
+		var res struct {
+			ID      string           `json:"id"`
+			Name    string           `json:"name"`
+			NsPerOp int64            `json:"ns_per_op"`
+			Rows    int              `json:"rows"`
+			Metrics map[string]int64 `json:"metrics"`
+		}
+		if err := json.Unmarshal([]byte(line), &res); err != nil {
+			t.Fatalf("line %d is not JSON: %q: %v", i, line, err)
+		}
+		if res.ID == "" || res.Name == "" || res.NsPerOp <= 0 || res.Rows == 0 {
+			t.Fatalf("line %d incomplete: %+v", i, res)
+		}
+	}
+	// E3 exercises the instrumented linear detectors, so its metrics must
+	// carry the candidate/product counters.
+	var e3 struct {
+		Metrics map[string]int64 `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &e3); err != nil {
+		t.Fatal(err)
+	}
+	if e3.Metrics["detect.calls"] == 0 || e3.Metrics["automata.products"] == 0 {
+		t.Fatalf("E3 metrics missing counters: %v", e3.Metrics)
 	}
 }

@@ -17,6 +17,9 @@
 //	-max     witness size bound for the search fallback (branching reads)
 //	-schema  restrict witnesses to documents valid under a schema file
 //	-quiet   print only "conflict" or "no conflict"
+//	-trace   stream JSON-lines decision-trace events to stderr
+//	-stats   print a telemetry counter snapshot to stderr afterwards
+//	-progress  report live search progress on stderr
 //
 // Exactly one of -insert/-delete must be given. On a conflict the witness
 // document is printed; the exit status is 0 for "no conflict", 1 for
@@ -35,14 +38,15 @@ import (
 
 // jsonVerdict is the -json output shape, stable for tooling.
 type jsonVerdict struct {
-	Conflict  bool     `json:"conflict"`
-	Method    string   `json:"method"`
-	Complete  bool     `json:"complete"`
-	Semantics string   `json:"semantics"`
-	Detail    string   `json:"detail,omitempty"`
-	Edge      int      `json:"edge,omitempty"`
-	Word      []string `json:"word,omitempty"`
-	Witness   string   `json:"witness,omitempty"`
+	Conflict   bool     `json:"conflict"`
+	Method     string   `json:"method"`
+	Complete   bool     `json:"complete"`
+	Semantics  string   `json:"semantics"`
+	Detail     string   `json:"detail,omitempty"`
+	Edge       int      `json:"edge,omitempty"`
+	Word       []string `json:"word,omitempty"`
+	Witness    string   `json:"witness,omitempty"`
+	Candidates int      `json:"candidates,omitempty"`
 }
 
 func main() {
@@ -61,6 +65,9 @@ func run(args []string) int {
 	quiet := fs.Bool("quiet", false, "print only the verdict")
 	jsonOut := fs.Bool("json", false, "emit the verdict as JSON")
 	schemaPath := fs.String("schema", "", "restrict witnesses to documents valid under this schema file")
+	trace := fs.Bool("trace", false, "stream JSON-lines decision-trace events to stderr")
+	stats := fs.Bool("stats", false, "print a telemetry counter snapshot to stderr afterwards")
+	progress := fs.Bool("progress", false, "report live search progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -111,6 +118,19 @@ func run(args []string) int {
 		upd = xmlconflict.Delete{P: dp}
 	}
 
+	opts := xmlconflict.SearchOptions{MaxNodes: *maxNodes}
+	var st *xmlconflict.Stats
+	if *stats {
+		st = xmlconflict.NewStats()
+		opts = opts.WithStats(st)
+	}
+	if *trace {
+		opts = opts.WithTracer(xmlconflict.NewJSONTracer(os.Stderr))
+	}
+	if *progress {
+		opts = opts.WithProgress(xmlconflict.NewProgressWriter(os.Stderr, 0))
+	}
+
 	var v xmlconflict.Verdict
 	if *schemaPath != "" {
 		src, err := os.ReadFile(*schemaPath)
@@ -123,28 +143,35 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stderr, "xconflict: %v\n", err)
 			return 2
 		}
-		v, err = xmlconflict.DetectUnderSchema(read, upd, sem, s, xmlconflict.SearchOptions{MaxNodes: *maxNodes})
+		if st != nil {
+			s.Instrument(st)
+		}
+		v, err = xmlconflict.DetectUnderSchema(read, upd, sem, s, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xconflict: %v\n", err)
 			return 2
 		}
 	} else {
 		var err error
-		v, err = xmlconflict.Detect(read, upd, sem, xmlconflict.SearchOptions{MaxNodes: *maxNodes})
+		v, err = xmlconflict.Detect(read, upd, sem, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xconflict: %v\n", err)
 			return 2
 		}
 	}
+	if st != nil {
+		defer fmt.Fprint(os.Stderr, st.Snapshot())
+	}
 	if *jsonOut {
 		out := jsonVerdict{
-			Conflict:  v.Conflict,
-			Method:    v.Method,
-			Complete:  v.Complete,
-			Detail:    v.Detail,
-			Semantics: sem.String(),
-			Edge:      v.Edge,
-			Word:      v.Word,
+			Conflict:   v.Conflict,
+			Method:     v.Method,
+			Complete:   v.Complete,
+			Detail:     v.Detail,
+			Semantics:  sem.String(),
+			Edge:       v.Edge,
+			Word:       v.Word,
+			Candidates: v.Candidates,
 		}
 		if v.Witness != nil {
 			out.Witness = v.Witness.XML()

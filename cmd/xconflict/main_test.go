@@ -1,7 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"os"
+	"strings"
 	"testing"
 )
 
@@ -77,5 +81,74 @@ func TestJSONOutput(t *testing.T) {
 	}
 	if got := run([]string{"-json", "-read", "//D", "-insert", "/*/B", "-x", "<C/>"}); got != 0 {
 		t.Fatalf("json no-conflict: exit %d", got)
+	}
+}
+
+// captureStderr runs fn with os.Stderr redirected to a pipe and returns
+// what was written.
+func captureStderr(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	fn()
+	w.Close()
+	os.Stderr = old
+	return <-done
+}
+
+func TestTraceFlag(t *testing.T) {
+	// The quickstart pair with -trace must stream valid JSON lines to
+	// stderr covering method selection, candidate counts, and the final
+	// verdict.
+	out := captureStderr(t, func() {
+		if got := run([]string{"-trace", "-quiet", "-read", "//C", "-insert", "/*/B", "-x", "<C/>"}); got != 1 {
+			t.Errorf("exit %d, want 1", got)
+		}
+	})
+	events := map[string]map[string]any{}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line is not JSON: %q: %v", line, err)
+		}
+		name, _ := ev["event"].(string)
+		if name == "" {
+			t.Fatalf("trace line without event name: %q", line)
+		}
+		events[name] = ev
+	}
+	m, ok := events["detect.method"]
+	if !ok || m["method"] != "linear" {
+		t.Fatalf("no linear detect.method event: %v", events)
+	}
+	v, ok := events["detect.verdict"]
+	if !ok || v["conflict"] != true {
+		t.Fatalf("no conflicting detect.verdict event: %v", events)
+	}
+	if _, ok := v["candidates"]; !ok {
+		t.Fatalf("detect.verdict has no candidate count: %v", v)
+	}
+}
+
+func TestStatsFlag(t *testing.T) {
+	out := captureStderr(t, func() {
+		if got := run([]string{"-stats", "-quiet", "-read", "//C", "-insert", "/*/B", "-x", "<C/>"}); got != 1 {
+			t.Errorf("exit %d, want 1", got)
+		}
+	})
+	for _, want := range []string{"detect.calls", "linear.cut_edges", "automata.products"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-stats output missing %q:\n%s", want, out)
+		}
 	}
 }

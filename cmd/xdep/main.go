@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	xdep [-sem node|tree|value] [-O] [-run] [program.xup]
+//	xdep [-sem node|tree|value] [-O] [-run] [-trace] [-stats] [-progress] [program.xup]
 //
 // The program is read from the named file, or stdin if none is given.
 // With -O the optimizer applies the rewrites the analysis licenses
@@ -42,6 +42,9 @@ func run(args []string) int {
 	semName := fs.String("sem", "node", "conflict semantics: node, tree, or value")
 	exec := fs.Bool("run", false, "also execute the program")
 	optimize := fs.Bool("O", false, "apply hoisting and CSE, print the rewritten program")
+	trace := fs.Bool("trace", false, "stream JSON-lines decision-trace events to stderr")
+	stats := fs.Bool("stats", false, "print a telemetry counter snapshot to stderr afterwards")
+	progress := fs.Bool("progress", false, "report live search progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -75,10 +78,26 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "xdep: %v\n", err)
 		return 2
 	}
-	analysis, err := xmlconflict.AnalyzeProgram(prog, xmlconflict.AnalyzeOptions{Sem: sem})
+	var search xmlconflict.SearchOptions
+	var st *xmlconflict.Stats
+	if *stats {
+		st = xmlconflict.NewStats()
+		search = search.WithStats(st)
+	}
+	if *trace {
+		search = search.WithTracer(xmlconflict.NewJSONTracer(os.Stderr))
+	}
+	if *progress {
+		search = search.WithProgress(xmlconflict.NewProgressWriter(os.Stderr, 0))
+	}
+	aopts := xmlconflict.AnalyzeOptions{Sem: sem, Search: search}
+	analysis, err := xmlconflict.AnalyzeProgram(prog, aopts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xdep: %v\n", err)
 		return 2
+	}
+	if st != nil {
+		defer fmt.Fprint(os.Stderr, st.Snapshot())
 	}
 	fmt.Print(analysis.Report())
 	fmt.Println("parallel schedule (statements per concurrent stage):")
@@ -87,7 +106,7 @@ func run(args []string) int {
 	}
 
 	if *optimize {
-		opt, err := xmlconflict.OptimizeProgram(prog, xmlconflict.AnalyzeOptions{Sem: sem})
+		opt, err := xmlconflict.OptimizeProgram(prog, aopts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xdep: optimize: %v\n", err)
 			return 2

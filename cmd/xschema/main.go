@@ -33,6 +33,9 @@ func run(args []string) int {
 	schemaPath := fs.String("s", "", "schema file (required)")
 	maxNodes := fs.Int("max", 8, "search bound for preserve/conflict")
 	maxCand := fs.Int("candidates", 100_000, "candidate cap for preserve/conflict")
+	trace := fs.Bool("trace", false, "stream JSON-lines decision-trace events to stderr")
+	stats := fs.Bool("stats", false, "print a telemetry counter snapshot to stderr afterwards")
+	progress := fs.Bool("progress", false, "report live search progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -49,6 +52,21 @@ func run(args []string) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xschema: %v\n", err)
 		return 2
+	}
+
+	opts := xmlconflict.SearchOptions{MaxNodes: *maxNodes, MaxCandidates: *maxCand}
+	var st *xmlconflict.Stats
+	if *stats {
+		st = xmlconflict.NewStats()
+		opts = opts.WithStats(st)
+		s.Instrument(st)
+		defer func() { fmt.Fprint(os.Stderr, st.Snapshot()) }()
+	}
+	if *trace {
+		opts = opts.WithTracer(xmlconflict.NewJSONTracer(os.Stderr))
+	}
+	if *progress {
+		opts = opts.WithProgress(xmlconflict.NewProgressWriter(os.Stderr, 0))
 	}
 
 	rest := fs.Args()
@@ -117,8 +135,7 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stderr, "xschema: %v\n", err)
 			return 2
 		}
-		v, err := xmlconflict.DetectUnderSchema(xmlconflict.Read{P: rp}, u, xmlconflict.NodeSemantics, s,
-			xmlconflict.SearchOptions{MaxNodes: *maxNodes, MaxCandidates: *maxCand})
+		v, err := xmlconflict.DetectUnderSchema(xmlconflict.Read{P: rp}, u, xmlconflict.NodeSemantics, s, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xschema: %v\n", err)
 			return 2

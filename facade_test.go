@@ -1,6 +1,8 @@
 package xmlconflict_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -169,5 +171,81 @@ func TestFacadeConstantsAndAliases(t *testing.T) {
 	p.SetOutput(n)
 	if !p.IsLinear() || p.String() != "/a//*" {
 		t.Fatalf("pattern building through the facade: %s", p)
+	}
+}
+
+// TestObservabilityFacade exercises the telemetry surface end to end:
+// stats, JSON and text tracers, progress reporting, the parallel
+// searcher's deterministic witness, and observed shrinking.
+func TestObservabilityFacade(t *testing.T) {
+	read := xmlconflict.Read{P: xmlconflict.MustParseXPath("a[q]/b")}
+	ins := xmlconflict.Insert{
+		P: xmlconflict.MustParseXPath("a"),
+		X: xmlconflict.MustParseXML("<b/>"),
+	}
+
+	var jsonBuf, textBuf, progBuf bytes.Buffer
+	st := xmlconflict.NewStats()
+	var updates []xmlconflict.ProgressUpdate
+	opts := xmlconflict.SearchOptions{MaxNodes: 4}.
+		WithStats(st).
+		WithTracer(xmlconflict.NewJSONTracer(&jsonBuf)).
+		WithProgress(xmlconflict.NewProgress(func(u xmlconflict.ProgressUpdate) { updates = append(updates, u) }, 0))
+
+	v, err := xmlconflict.Detect(read, ins, xmlconflict.NodeSemantics, opts)
+	if err != nil || !v.Conflict || v.Candidates == 0 {
+		t.Fatalf("detect: %+v %v", v, err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(jsonBuf.String()), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line not JSON: %q: %v", line, err)
+		}
+	}
+	if snap := st.Snapshot(); snap.Counter("search.candidates") != int64(v.Candidates) {
+		t.Fatalf("stats/verdict disagree: %d vs %d", snap.Counter("search.candidates"), v.Candidates)
+	}
+	if len(updates) == 0 || !updates[len(updates)-1].Final {
+		t.Fatalf("progress updates: %+v", updates)
+	}
+
+	// Text tracer and progress writer render one line per event/report.
+	textOpts := xmlconflict.SearchOptions{MaxNodes: 4}.
+		WithTracer(xmlconflict.NewTextTracer(&textBuf)).
+		WithProgress(xmlconflict.NewProgressWriter(&progBuf, 0))
+	if _, err := xmlconflict.Detect(read, ins, xmlconflict.NodeSemantics, textOpts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(textBuf.String(), "search.start") || !strings.Contains(progBuf.String(), "search:") {
+		t.Fatalf("text outputs missing:\n%s\n%s", textBuf.String(), progBuf.String())
+	}
+
+	// DetectParallel returns the canonical (sequential) witness.
+	seq, err := xmlconflict.Detect(read, ins, xmlconflict.NodeSemantics, xmlconflict.SearchOptions{MaxNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := xmlconflict.DetectParallel(read, ins, xmlconflict.NodeSemantics, xmlconflict.SearchOptions{MaxNodes: 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Conflict || !xmlconflict.Isomorphic(seq.Witness, par.Witness) {
+		t.Fatalf("parallel witness not canonical: seq %s par %s", seq.Witness, par.Witness)
+	}
+
+	// Observed shrinking reports through the same channels.
+	lread := xmlconflict.Read{P: xmlconflict.MustParseXPath("//C")}
+	lins := xmlconflict.Insert{P: xmlconflict.MustParseXPath("/*/B"), X: xmlconflict.MustParseXML("<C/>")}
+	lv, err := xmlconflict.Detect(lread, lins, xmlconflict.NodeSemantics, xmlconflict.SearchOptions{})
+	if err != nil || !lv.Conflict {
+		t.Fatalf("linear detect: %+v %v", lv, err)
+	}
+	sst := xmlconflict.NewStats()
+	if _, err := xmlconflict.ShrinkWitnessObserved(lv.Witness, lread, lins,
+		xmlconflict.SearchOptions{}.WithStats(sst)); err != nil {
+		t.Fatal(err)
+	}
+	if sst.Snapshot().Counter("shrink.calls") != 1 {
+		t.Fatalf("shrink not counted: %s", sst.Snapshot())
 	}
 }

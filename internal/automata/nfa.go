@@ -89,6 +89,15 @@ func (a *NFA) WithAnySuffix() *NFA {
 // is flat-array indexed: the matcher is on the hot path of the conflict
 // detectors (one product per read edge).
 func Intersect(a, b *NFA, fresh string) ([]string, bool) {
+	word, ok, _, _ := IntersectStats(a, b, fresh)
+	return word, ok
+}
+
+// IntersectStats is Intersect additionally reporting the product
+// automaton's state count (|a|·|b|) and the number of product states the
+// BFS actually discovered — the telemetry behind the "NFA product sizes"
+// observability of the linear detectors.
+func IntersectStats(a, b *NFA, fresh string) (word []string, ok bool, product, visited int) {
 	outA := make([][]Edge, a.States)
 	for _, e := range a.Edges {
 		outA[e.From] = append(outA[e.From], e)
@@ -102,7 +111,7 @@ func Intersect(a, b *NFA, fresh string) ([]string, bool) {
 	start := id(a.Start, b.Start)
 	goal := id(a.Accept, b.Accept)
 	if start == goal {
-		return []string{}, true
+		return []string{}, true, n, 1
 	}
 	prev := make([]int32, n)
 	sym := make([]string, n)
@@ -141,15 +150,15 @@ func Intersect(a, b *NFA, fresh string) ([]string, bool) {
 					for cur := ns; cur != start; cur = int(prev[cur]) {
 						rev = append(rev, sym[cur])
 					}
-					word := make([]string, len(rev))
+					w := make([]string, len(rev))
 					for i, s := range rev {
-						word[len(rev)-1-i] = s
+						w[len(rev)-1-i] = s
 					}
-					return word, true
+					return w, true, n, len(queue) + 1
 				}
 				queue = append(queue, int32(ns))
 			}
 		}
 	}
-	return nil, false
+	return nil, false, n, len(queue)
 }

@@ -2,6 +2,7 @@ package containment
 
 import (
 	"xmlconflict/internal/pattern"
+	"xmlconflict/internal/telemetry"
 )
 
 // Equivalent reports whether two patterns are equivalent as Boolean
@@ -30,7 +31,15 @@ func Equivalent(p, q *pattern.Pattern) bool {
 // pattern; the input is unmodified. With homomorphism-witnessed
 // redundancy the procedure is polynomial; it can miss redundancies that
 // only a containment argument detects, which is the safe direction.
-func Minimize(p *pattern.Pattern) *pattern.Pattern {
+func Minimize(p *pattern.Pattern) *pattern.Pattern { return MinimizeStats(p, nil) }
+
+// MinimizeStats is Minimize recording instrumentation into m (nil =
+// disabled): minimize.calls, minimize.branches_removed,
+// minimize.nodes_removed (total size saved), and minimize.memo_hits
+// (homomorphism-memo reuse inside the redundancy checks).
+func MinimizeStats(p *pattern.Pattern, m *telemetry.Metrics) *pattern.Pattern {
+	m.Add("minimize.calls", 1)
+	var memoHits int64
 	cur := p.Clone()
 	for {
 		removed := false
@@ -55,13 +64,18 @@ func Minimize(p *pattern.Pattern) *pattern.Pattern {
 			if !ok {
 				continue
 			}
-			if branchRedundant(b, cand.anchor) {
+			if branchRedundantCount(b, cand.anchor, &memoHits) {
 				cur = cand.pat
 				removed = true
+				m.Add("minimize.branches_removed", 1)
 				break
 			}
 		}
 		if !removed {
+			if saved := p.Size() - cur.Size(); saved > 0 {
+				m.Add("minimize.nodes_removed", int64(saved))
+			}
+			m.Add("minimize.memo_hits", memoHits)
 			return cur
 		}
 	}
@@ -123,6 +137,13 @@ func withoutBranch(p *pattern.Pattern, b *pattern.Node) (reduced, bool) {
 // wildcard. Such a homomorphism composes with any embedding of the
 // reduced pattern, extending it to an embedding of the original.
 func branchRedundant(b *pattern.Node, anchor *pattern.Node) bool {
+	var hits int64
+	return branchRedundantCount(b, anchor, &hits)
+}
+
+// branchRedundantCount is branchRedundant accumulating the number of
+// memoized homomorphism sub-answers reused into *memoHits.
+func branchRedundantCount(b *pattern.Node, anchor *pattern.Node, memoHits *int64) bool {
 	// canMap[x][m]: the branch subtree rooted at x can map with x ↦ m.
 	type key struct{ x, m *pattern.Node }
 	memo := map[key]int{} // 0 unknown, 1 yes, 2 no
@@ -136,6 +157,7 @@ func branchRedundant(b *pattern.Node, anchor *pattern.Node) bool {
 	canMap = func(x, m *pattern.Node) bool {
 		k := key{x, m}
 		if v := memo[k]; v != 0 {
+			*memoHits++
 			return v == 1
 		}
 		memo[k] = 2 // guard against (impossible) cycles

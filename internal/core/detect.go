@@ -5,6 +5,7 @@ import (
 
 	"xmlconflict/internal/ops"
 	"xmlconflict/internal/pattern"
+	"xmlconflict/internal/telemetry"
 	"xmlconflict/internal/xmltree"
 )
 
@@ -37,6 +38,10 @@ type Verdict struct {
 	// Word is the label word of the matching root-to-point path used to
 	// construct the witness (linear method only).
 	Word []string
+	// Candidates is the number of candidate trees the search examined
+	// before reaching this verdict; 0 for the linear decision procedures,
+	// which never enumerate candidates.
+	Candidates int
 }
 
 // String summarizes the verdict for human readers.
@@ -67,19 +72,55 @@ func Detect(r ops.Read, u ops.Update, sem ops.Semantics, opts SearchOptions) (Ve
 	if err := u.Pattern().Validate(); err != nil {
 		return Verdict{}, fmt.Errorf("core: invalid %s pattern: %w", u.Kind(), err)
 	}
-	if r.P.IsLinear() {
+	in := observer(opts)
+	in.count("detect.calls", 1)
+	linear := r.P.IsLinear()
+	method := "search"
+	if linear {
+		method = "linear"
+	}
+	in.event("detect.method",
+		telemetry.F("method", method),
+		telemetry.F("kind", u.Kind()),
+		telemetry.F("semantics", sem.String()),
+		telemetry.F("read_linear", linear),
+		telemetry.F("read_size", r.P.Size()),
+		telemetry.F("update_size", u.Pattern().Size()))
+	var v Verdict
+	var err error
+	if linear {
 		switch u := u.(type) {
 		case ops.Insert:
-			return ReadInsertLinear(r.P, u, sem)
+			v, err = readInsertLinearI(r.P, u, sem, in)
 		case ops.Delete:
-			return ReadDeleteLinear(r.P, u, sem)
+			v, err = readDeleteLinearI(r.P, u, sem, in)
 		case *ops.Insert:
-			return ReadInsertLinear(r.P, *u, sem)
+			v, err = readInsertLinearI(r.P, *u, sem, in)
 		case *ops.Delete:
-			return ReadDeleteLinear(r.P, *u, sem)
+			v, err = readDeleteLinearI(r.P, *u, sem, in)
+		default:
+			v, err = SearchConflict(r, u, sem, opts)
 		}
+	} else {
+		v, err = SearchConflict(r, u, sem, opts)
 	}
-	return SearchConflict(r, u, sem, opts)
+	if err != nil {
+		return v, err
+	}
+	fields := []telemetry.Field{
+		telemetry.F("conflict", v.Conflict),
+		telemetry.F("method", v.Method),
+		telemetry.F("complete", v.Complete),
+		telemetry.F("candidates", v.Candidates),
+	}
+	if v.Detail != "" {
+		fields = append(fields, telemetry.F("detail", v.Detail))
+	}
+	if v.Witness != nil {
+		fields = append(fields, telemetry.F("witness_nodes", v.Witness.Size()))
+	}
+	in.event("detect.verdict", fields...)
+	return v, nil
 }
 
 // verifyWitness re-checks a constructed witness with the Lemma 1 checker.

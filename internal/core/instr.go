@@ -1,0 +1,94 @@
+package core
+
+import (
+	"xmlconflict/internal/telemetry"
+)
+
+// instr bundles the per-call instrumentation channels drawn from
+// SearchOptions. The nil *instr is fully disabled and every method is
+// nil-safe, so instrumented hot paths pay a single pointer check per
+// event site when telemetry is off.
+type instr struct {
+	m  *telemetry.Metrics
+	tr telemetry.Tracer
+	pr *telemetry.Progress
+}
+
+// observer extracts the instrumentation bundle from opts, or nil when
+// every channel is disabled.
+func observer(opts SearchOptions) *instr {
+	if opts.Stats == nil && opts.Tracer == nil && opts.Progress == nil {
+		return nil
+	}
+	return &instr{m: opts.Stats, tr: opts.Tracer, pr: opts.Progress}
+}
+
+func (in *instr) metrics() *telemetry.Metrics {
+	if in == nil {
+		return nil
+	}
+	return in.m
+}
+
+func (in *instr) count(name string, n int64) {
+	if in != nil {
+		in.m.Add(name, n)
+	}
+}
+
+func (in *instr) gaugeMax(name string, v int64) {
+	if in != nil {
+		in.m.Gauge(name).SetMax(v)
+	}
+}
+
+func (in *instr) timer(name string) func() {
+	if in == nil || in.m == nil {
+		return func() {}
+	}
+	return in.m.Timer(name).Start()
+}
+
+func (in *instr) event(name string, fields ...telemetry.Field) {
+	if in != nil {
+		telemetry.Emit(in.tr, name, fields...)
+	}
+}
+
+func (in *instr) progressStart(phase string, total int64) {
+	if in != nil {
+		in.pr.Start(phase, total)
+	}
+}
+
+func (in *instr) progressStep(n int64) {
+	if in != nil {
+		in.pr.Step(n)
+	}
+}
+
+func (in *instr) progressFinish() {
+	if in != nil {
+		in.pr.Finish()
+	}
+}
+
+// WithStats returns a copy of o accumulating counters, gauges, and
+// timers into st.
+func (o SearchOptions) WithStats(st *telemetry.Metrics) SearchOptions {
+	o.Stats = st
+	return o
+}
+
+// WithTracer returns a copy of o emitting decision-trace events to t.
+func (o SearchOptions) WithTracer(t telemetry.Tracer) SearchOptions {
+	o.Tracer = t
+	return o
+}
+
+// WithProgress returns a copy of o delivering throttled search-progress
+// reports to p.
+func (o SearchOptions) WithProgress(p *telemetry.Progress) SearchOptions {
+	o.Progress = p
+	return o
+}

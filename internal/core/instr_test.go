@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+
+	"xmlconflict/internal/ops"
+	"xmlconflict/internal/telemetry"
+	"xmlconflict/internal/xpath"
+)
+
+func TestSearchConflictTelemetry(t *testing.T) {
+	r := ops.Read{P: xpath.MustParse("a[q]/b")}
+	ins := mustInsert("a", "<b/>")
+	st := telemetry.New()
+	rec := telemetry.NewRecorder()
+	var updates []telemetry.Update
+	pr := telemetry.NewProgress(func(u telemetry.Update) { updates = append(updates, u) }, 0)
+	opts := SearchOptions{MaxNodes: 4}.WithStats(st).WithTracer(rec).WithProgress(pr)
+	v, err := SearchConflict(r, ins, ops.NodeSemantics, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Conflict {
+		t.Fatalf("want conflict: %+v", v)
+	}
+	snap := st.Snapshot()
+	if got := snap.Counter("search.candidates"); got != int64(v.Candidates) || got == 0 {
+		t.Fatalf("search.candidates = %d, verdict says %d", got, v.Candidates)
+	}
+	if snap.Counter("witness.checks") == 0 {
+		t.Fatalf("no witness checks counted: %s", snap)
+	}
+	if snap.Counter("match.cache_misses") != 2 {
+		t.Fatalf("want 2 compiled-pattern cache misses (read + update), got %d", snap.Counter("match.cache_misses"))
+	}
+	if snap.Counter("minimize.calls") != 2 {
+		t.Fatalf("want 2 minimize calls (read + update), got %d", snap.Counter("minimize.calls"))
+	}
+	if ts, ok := snap.Timers["search.time"]; !ok || ts.Count != 1 {
+		t.Fatalf("search.time timer missing or wrong: %+v", snap.Timers)
+	}
+
+	start, ok := rec.First("search.start")
+	if !ok {
+		t.Fatalf("no search.start event: %v", rec.Names())
+	}
+	if start.Field("bound") == nil || start.Field("alphabet") == nil {
+		t.Fatalf("search.start missing fields: %+v", start)
+	}
+	done, ok := rec.First("search.done")
+	if !ok {
+		t.Fatalf("no search.done event: %v", rec.Names())
+	}
+	if done.Field("conflict") != true {
+		t.Fatalf("search.done conflict field: %+v", done)
+	}
+	if done.Field("candidates") != v.Candidates {
+		t.Fatalf("search.done candidates %v != verdict %d", done.Field("candidates"), v.Candidates)
+	}
+
+	if len(updates) == 0 {
+		t.Fatalf("no progress updates delivered")
+	}
+	last := updates[len(updates)-1]
+	if !last.Final || last.Done != int64(v.Candidates) {
+		t.Fatalf("final progress update wrong: %+v (want done=%d)", last, v.Candidates)
+	}
+}
+
+func TestDetectTelemetryLinear(t *testing.T) {
+	r := ops.Read{P: xpath.MustParse("//C")}
+	ins := mustInsert("/*/B", "<C/>")
+	st := telemetry.New()
+	rec := telemetry.NewRecorder()
+	v, err := Detect(r, ins, ops.NodeSemantics, SearchOptions{}.WithStats(st).WithTracer(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Conflict || v.Method != "linear" {
+		t.Fatalf("quickstart pair: %+v", v)
+	}
+	if v.Candidates != 0 {
+		t.Fatalf("linear verdicts examine no candidates, got %d", v.Candidates)
+	}
+	m, ok := rec.First("detect.method")
+	if !ok || m.Field("method") != "linear" || m.Field("read_linear") != true {
+		t.Fatalf("detect.method event wrong: %+v (%v)", m, rec.Names())
+	}
+	verdict, ok := rec.First("detect.verdict")
+	if !ok || verdict.Field("conflict") != true || verdict.Field("candidates") != 0 {
+		t.Fatalf("detect.verdict event wrong: %+v", verdict)
+	}
+	edge, ok := rec.First("linear.edge")
+	if !ok || edge.Field("cut") == nil {
+		t.Fatalf("no linear.edge cut decision traced: %v", rec.Names())
+	}
+	snap := st.Snapshot()
+	if snap.Counter("detect.calls") != 1 || snap.Counter("linear.edges_checked") == 0 {
+		t.Fatalf("linear counters missing: %s", snap)
+	}
+	if snap.Counter("automata.products") == 0 || snap.Counter("automata.product_states") == 0 {
+		t.Fatalf("automata product telemetry missing: %s", snap)
+	}
+	if snap.Counter("linear.cut_edges") == 0 {
+		t.Fatalf("conflicting pair must record a cut edge: %s", snap)
+	}
+}
+
+func TestShrinkWitnessTelemetry(t *testing.T) {
+	r := ops.Read{P: xpath.MustParse("//C")}
+	ins := mustInsert("/*/B", "<C/>")
+	v, err := Detect(r, ins, ops.NodeSemantics, SearchOptions{})
+	if err != nil || !v.Conflict {
+		t.Fatalf("detect: %v %+v", err, v)
+	}
+	// Bloat the witness so shrinking has something to do.
+	w := v.Witness.Clone()
+	n := w.Root()
+	for i := 0; i < 10; i++ {
+		n = w.AddChild(n, "pad")
+	}
+	st := telemetry.New()
+	rec := telemetry.NewRecorder()
+	shrunk, err := ShrinkWitnessObserved(w, r, ins, SearchOptions{}.WithStats(st).WithTracer(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	if snap.Counter("shrink.calls") != 1 {
+		t.Fatalf("shrink.calls: %s", snap)
+	}
+	if snap.Counter("shrink.nodes_before") != int64(w.Size()) ||
+		snap.Counter("shrink.nodes_after") != int64(shrunk.Size()) {
+		t.Fatalf("shrink size counters wrong: %s (before=%d after=%d)", snap, w.Size(), shrunk.Size())
+	}
+	done, ok := rec.First("shrink.done")
+	if !ok || done.Field("marked") == nil {
+		t.Fatalf("shrink.done event missing: %v", rec.Names())
+	}
+}

@@ -39,6 +39,11 @@ func freshSymbol(sets ...map[string]bool) string {
 // root-to-output path realizing the match (using fresh for unconstrained
 // positions). It decides emptiness of L(ℛ(l)) ∩ L(ℛ(l')) per Section 4.1.
 func MatchStrong(l, lp *pattern.Pattern, fresh string) ([]string, bool, error) {
+	return matchStrongI(l, lp, fresh, nil)
+}
+
+// matchStrongI is MatchStrong recording automata-product telemetry.
+func matchStrongI(l, lp *pattern.Pattern, fresh string, in *instr) ([]string, bool, error) {
 	a, err := automata.FromLinear(l)
 	if err != nil {
 		return nil, false, err
@@ -47,8 +52,18 @@ func MatchStrong(l, lp *pattern.Pattern, fresh string) ([]string, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	w, ok := automata.Intersect(a, b, fresh)
+	w, ok, product, visited := automata.IntersectStats(a, b, fresh)
+	recordProduct(in, product, visited)
 	return w, ok, nil
+}
+
+// recordProduct accumulates NFA product-size telemetry for one
+// intersection.
+func recordProduct(in *instr, product, visited int) {
+	in.count("automata.products", 1)
+	in.count("automata.product_states", int64(product))
+	in.count("automata.product_visited", int64(visited))
+	in.gaugeMax("automata.product_states_max", int64(product))
 }
 
 // MatchWeak reports whether l and l' match weakly (Definition 7): some
@@ -56,6 +71,11 @@ func MatchStrong(l, lp *pattern.Pattern, fresh string) ([]string, bool, error) {
 // from Ø(l')'s image. It decides emptiness of L(ℛ(l)) ∩ L(ℛ(l')·(.)*).
 // The returned word labels the path from the root to Ø(l)'s image.
 func MatchWeak(l, lp *pattern.Pattern, fresh string) ([]string, bool, error) {
+	return matchWeakI(l, lp, fresh, nil)
+}
+
+// matchWeakI is MatchWeak recording automata-product telemetry.
+func matchWeakI(l, lp *pattern.Pattern, fresh string, in *instr) ([]string, bool, error) {
 	a, err := automata.FromLinear(l)
 	if err != nil {
 		return nil, false, err
@@ -64,7 +84,8 @@ func MatchWeak(l, lp *pattern.Pattern, fresh string) ([]string, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	w, ok := automata.Intersect(a, b.WithAnySuffix(), fresh)
+	w, ok, product, visited := automata.IntersectStats(a, b.WithAnySuffix(), fresh)
+	recordProduct(in, product, visited)
 	return w, ok, nil
 }
 

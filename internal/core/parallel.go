@@ -2,11 +2,14 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"xmlconflict/internal/containment"
 	"xmlconflict/internal/ops"
+	"xmlconflict/internal/telemetry"
 	"xmlconflict/internal/xmltree"
 )
 
@@ -16,14 +19,22 @@ import (
 // Lemma 1 checks); each candidate's conflict check runs on one of
 // `workers` goroutines (0 = GOMAXPROCS).
 //
-// Verdicts agree with SearchConflict with one caveat: when several
-// witnesses exist, the one returned is the first FOUND, not necessarily
-// the smallest — workers race. Completeness semantics are identical: a
-// negative verdict is complete iff every candidate up to the bound was
-// checked.
+// Verdicts agree with SearchConflict exactly, including the witness: each
+// candidate carries its enumeration sequence number, and when workers race
+// to a witness the one with the smallest sequence number — the canonically
+// first, i.e. the very tree the sequential search would return — wins.
+// Candidates raced past (skipped because a canonically earlier witness was
+// already in hand) are counted in the verdict Detail and, when telemetry
+// is enabled, in the search.parallel.raced_past counter. The number of
+// candidates examined before the enumeration halts may still vary from run
+// to run; the verdict itself does not. Completeness semantics are
+// identical: a negative verdict is complete iff every candidate up to the
+// bound was checked.
 func SearchConflictParallel(r ops.Read, u ops.Update, sem ops.Semantics, opts SearchOptions, workers int) (Verdict, error) {
-	r = ops.Read{P: containment.Minimize(r.P)}
-	u = minimizeUpdate(u)
+	in := observer(opts)
+	defer in.timer("search.time")()
+	r = ops.Read{P: containment.MinimizeStats(r.P, in.metrics())}
+	u = minimizeUpdateStats(u, in.metrics())
 	bound := WitnessBound(r, u)
 	maxNodes := opts.MaxNodes
 	if maxNodes <= 0 || maxNodes > bound {
@@ -40,57 +51,92 @@ func SearchConflictParallel(r ops.Read, u ops.Update, sem ops.Semantics, opts Se
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	in.event("search.start",
+		telemetry.F("bound", bound),
+		telemetry.F("max_nodes", maxNodes),
+		telemetry.F("max_candidates", maxCand),
+		telemetry.F("alphabet", len(labels)),
+		telemetry.F("workers", workers))
+	in.progressStart("search", int64(maxCand))
 
 	// Skeletons, not built trees, cross the channel: the build cost runs
-	// worker-side so the serial producer stays cheap.
-	cands := make(chan *encTree, workers*8)
-	type result struct {
-		witness *xmltree.Tree
-		err     error
+	// worker-side so the serial producer stays cheap. The sequence number
+	// is the candidate's position in the canonical enumeration.
+	type cand struct {
+		seq int64
+		enc *encTree
 	}
-	found := make(chan result, workers)
+	cands := make(chan cand, workers*8)
 	stop := make(chan struct{})
 	var stopOnce sync.Once
 	halt := func() { stopOnce.Do(func() { close(stop) }) }
 
+	// bestSeq holds the smallest sequence number at which a witness has
+	// been found (MaxInt64 while none has). Workers skip — and count as
+	// raced past — any candidate canonically later than the current best:
+	// bestSeq only ever decreases, so a candidate skipped against a stale
+	// value is also later than the final best, and every candidate earlier
+	// than the final best is fully checked. The surviving witness is
+	// therefore the canonically first one, byte-identical to the
+	// sequential search's.
+	var bestSeq atomic.Int64
+	bestSeq.Store(math.MaxInt64)
+	var failed atomic.Bool
+	var racedPast atomic.Int64
+	var mu sync.Mutex
+	var bestWitness *xmltree.Tree
+	var firstErr error
+	checked := make([]int64, workers)
+
+	checker := ops.NewChecker(sem, r, u, nil, in.metrics())
+
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
-			for enc := range cands {
-				t := enc.build(labels)
-				ok, err := ops.ConflictWitness(sem, r, u, t)
+			for c := range cands {
+				if failed.Load() || c.seq > bestSeq.Load() {
+					racedPast.Add(1)
+					continue
+				}
+				t := c.enc.build(labels)
+				checked[id]++
+				ok, err := checker.Witness(t)
 				if err != nil {
-					select {
-					case found <- result{err: err}:
-					default:
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
 					}
+					mu.Unlock()
+					failed.Store(true)
 					halt()
-					return
+					continue
 				}
 				if ok {
-					select {
-					case found <- result{witness: t}:
-					default:
+					mu.Lock()
+					if c.seq < bestSeq.Load() {
+						bestSeq.Store(c.seq)
+						bestWitness = t
 					}
+					mu.Unlock()
 					halt()
-					return
 				}
 			}
-		}()
+		}(i)
 	}
 
-	examined := 0
+	var examined int64
 	truncated := false
 	enumerateSkeletons(labels, maxNodes, func(t *encTree) bool {
-		examined++
-		if examined > maxCand {
+		if examined >= int64(maxCand) {
 			truncated = true
 			return false
 		}
+		examined++
+		in.progressStep(1)
 		select {
-		case cands <- t:
+		case cands <- cand{seq: examined, enc: t}:
 			return true
 		case <-stop:
 			return false
@@ -98,30 +144,56 @@ func SearchConflictParallel(r ops.Read, u ops.Update, sem ops.Semantics, opts Se
 	})
 	close(cands)
 	wg.Wait()
-	close(found)
+	in.progressFinish()
 
-	var witness *xmltree.Tree
-	for res := range found {
-		if res.err != nil {
-			return Verdict{}, res.err
-		}
-		if res.witness != nil && witness == nil {
-			witness = res.witness
-		}
+	in.count("search.candidates", examined)
+	in.count("search.parallel.raced_past", racedPast.Load())
+	if hits, misses := checker.CacheCounts(); in != nil {
+		in.count("match.cache_hits", hits)
+		in.count("match.cache_misses", misses)
 	}
-	if witness != nil {
+	if in != nil && in.m != nil {
+		minC, maxC := checked[0], checked[0]
+		for _, c := range checked[1:] {
+			minC, maxC = min(minC, c), max(maxC, c)
+		}
+		in.m.Gauge("search.parallel.workers").Set(int64(workers))
+		in.m.Gauge("search.parallel.worker_checked_min").Set(minC)
+		in.m.Gauge("search.parallel.worker_checked_max").Set(maxC)
+	}
+
+	if firstErr != nil {
+		return Verdict{}, firstErr
+	}
+	if bestWitness != nil {
+		in.event("search.done",
+			telemetry.F("conflict", true),
+			telemetry.F("candidates", examined),
+			telemetry.F("witness_nodes", bestWitness.Size()),
+			telemetry.F("witness_seq", bestSeq.Load()),
+			telemetry.F("raced_past", racedPast.Load()))
 		return Verdict{
 			Conflict: true,
-			Witness:  witness,
+			Witness:  bestWitness,
 			Method:   "search-parallel",
 			Complete: true,
-			Detail:   fmt.Sprintf("witness found with %d workers after ~%d candidates", workers, examined),
+			Detail: fmt.Sprintf("canonical witness at candidate %d with %d workers (%d candidates raced past)",
+				bestSeq.Load(), workers, racedPast.Load()),
+			Candidates: int(examined),
 		}, nil
 	}
 	complete := !truncated && maxNodes >= bound
+	if truncated {
+		in.count("search.truncated", 1)
+	}
+	in.event("search.done",
+		telemetry.F("conflict", false),
+		telemetry.F("candidates", examined),
+		telemetry.F("complete", complete),
+		telemetry.F("truncated", truncated))
 	detail := fmt.Sprintf("no witness among %d trees of <= %d nodes (%d workers)", examined, maxNodes, workers)
 	if truncated {
 		detail = fmt.Sprintf("search truncated at %d candidates (bound %d nodes)", maxCand, maxNodes)
 	}
-	return Verdict{Method: "search-parallel", Complete: complete, Detail: detail}, nil
+	return Verdict{Method: "search-parallel", Complete: complete, Detail: detail, Candidates: int(examined)}, nil
 }

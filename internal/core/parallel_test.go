@@ -1,12 +1,15 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
 	"xmlconflict/internal/ops"
 	"xmlconflict/internal/pattern"
+	"xmlconflict/internal/telemetry"
 	"xmlconflict/internal/xmltree"
 	"xmlconflict/internal/xpath"
 )
@@ -60,6 +63,93 @@ func TestParallelSearchErrorPropagation(t *testing.T) {
 	}
 }
 
+// TestParallelSearchSingleWorker pins the workers=1 degenerate case: one
+// worker, no racing, and the verdict (witness included) must match the
+// sequential search exactly.
+func TestParallelSearchSingleWorker(t *testing.T) {
+	r := ops.Read{P: xpath.MustParse("a[q]/b")}
+	ins := mustInsert("a", "<b/>")
+	opts := SearchOptions{MaxNodes: 4}
+	seq, err := SearchConflict(r, ins, ops.NodeSemantics, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SearchConflictParallel(r, ins, ops.NodeSemantics, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Conflict || par.Witness == nil {
+		t.Fatalf("no conflict found: %+v", par)
+	}
+	if !xmltree.Isomorphic(seq.Witness, par.Witness) {
+		t.Fatalf("workers=1 witness differs: seq %s, par %s", seq.Witness, par.Witness)
+	}
+	if seq.Witness.Size() != par.Witness.Size() {
+		t.Fatalf("witness sizes differ: %d vs %d", seq.Witness.Size(), par.Witness.Size())
+	}
+}
+
+// TestParallelSearchCapIncomplete pins that hitting the candidate cap
+// marks the verdict incomplete at every worker count, with the examined
+// count surfaced in Candidates.
+func TestParallelSearchCapIncomplete(t *testing.T) {
+	r := ops.Read{P: xpath.MustParse("a[b][c]/d")}
+	d := mustDelete("z/w")
+	for _, workers := range []int{1, 2, 8} {
+		v, err := SearchConflictParallel(r, d, ops.NodeSemantics,
+			SearchOptions{MaxNodes: 8, MaxCandidates: 25}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Conflict || v.Complete {
+			t.Fatalf("workers=%d: truncated search must be incomplete negative: %+v", workers, v)
+		}
+		if v.Candidates < 25 {
+			t.Fatalf("workers=%d: want >= 25 candidates examined, got %d", workers, v.Candidates)
+		}
+	}
+}
+
+// TestParallelConcurrentMix drives sequential and parallel searches from
+// many goroutines at once over a shared Stats registry — the scenario the
+// race detector must bless (CI runs the suite under -race).
+func TestParallelConcurrentMix(t *testing.T) {
+	r := ops.Read{P: xpath.MustParse("a[q]/b")}
+	ins := mustInsert("a", "<b/>")
+	st := telemetry.New()
+	opts := SearchOptions{MaxNodes: 4}.WithStats(st)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var v Verdict
+			var err error
+			if i%2 == 0 {
+				v, err = SearchConflict(r, ins, ops.NodeSemantics, opts)
+			} else {
+				v, err = SearchConflictParallel(r, ins, ops.NodeSemantics, opts, 3)
+			}
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !v.Conflict {
+				errs <- fmt.Errorf("goroutine %d: no conflict: %+v", i, v)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st.Snapshot().Counter("search.candidates") == 0 {
+		t.Fatalf("shared stats recorded no candidates")
+	}
+}
+
 func TestParallelSearchAgreesWithSequential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("search cross-check")
@@ -96,7 +186,16 @@ func TestParallelSearchAgreesWithSequential(t *testing.T) {
 		}
 		if par.Conflict {
 			ok, err := ops.NodeConflictWitness(r, u, par.Witness)
-			return err == nil && ok
+			if err != nil || !ok {
+				return false
+			}
+			// Determinism: the canonically-first witness wins the race,
+			// so the parallel witness is the sequential one exactly.
+			if !xmltree.Isomorphic(seq.Witness, par.Witness) {
+				t.Logf("r=%s u=%s: seq witness %s != par witness %s", r.P, u.Pattern(), seq.Witness, par.Witness)
+				return false
+			}
+			return true
 		}
 		return seq.Complete == par.Complete
 	}

@@ -5,6 +5,7 @@ import (
 
 	"xmlconflict/internal/ops"
 	"xmlconflict/internal/pattern"
+	"xmlconflict/internal/telemetry"
 	"xmlconflict/internal/xmltree"
 )
 
@@ -24,6 +25,13 @@ import (
 // the constructive halves of the proofs and re-verified with the Lemma 1
 // checker before being returned.
 func ReadDeleteLinear(r *pattern.Pattern, d ops.Delete, sem ops.Semantics) (Verdict, error) {
+	return readDeleteLinearI(r, d, sem, nil)
+}
+
+// readDeleteLinearI is ReadDeleteLinear with instrumentation: per-edge
+// crossing decisions are counted and traced, and the automata products
+// behind each decision report their sizes.
+func readDeleteLinearI(r *pattern.Pattern, d ops.Delete, sem ops.Semantics, in *instr) (Verdict, error) {
 	if !r.IsLinear() {
 		return Verdict{}, fmt.Errorf("core: ReadDeleteLinear: read pattern %v is not linear", r)
 	}
@@ -38,6 +46,7 @@ func ReadDeleteLinear(r *pattern.Pattern, d ops.Delete, sem ops.Semantics) (Verd
 	spine := r.Spine()
 	for i := 1; i < len(spine); i++ {
 		n, np := spine[i-1], spine[i]
+		in.count("linear.edges_checked", 1)
 		var word []string
 		var ok bool
 		var err error
@@ -46,20 +55,23 @@ func ReadDeleteLinear(r *pattern.Pattern, d ops.Delete, sem ops.Semantics) (Verd
 			if serr != nil {
 				return Verdict{}, serr
 			}
-			word, ok, err = MatchWeak(dspine, prefix, fresh)
+			word, ok, err = matchWeakI(dspine, prefix, fresh, in)
 		} else {
 			prefix, serr := r.Seq(r.Root(), np)
 			if serr != nil {
 				return Verdict{}, serr
 			}
-			word, ok, err = MatchStrong(dspine, prefix, fresh)
+			word, ok, err = matchStrongI(dspine, prefix, fresh, in)
 		}
 		if err != nil {
 			return Verdict{}, err
 		}
 		if !ok {
+			in.event("linear.edge", telemetry.F("edge", i), telemetry.F("axis", np.Axis().String()), telemetry.F("cut", false), telemetry.F("why", "delete spine does not reach the edge"))
 			continue
 		}
+		in.count("linear.cut_edges", 1)
+		in.event("linear.edge", telemetry.F("edge", i), telemetry.F("axis", np.Axis().String()), telemetry.F("cut", true), telemetry.F("word_len", len(word)))
 		w, err := buildDeleteWitness(word, r, i, d, fresh)
 		if err != nil {
 			return Verdict{}, err
@@ -95,7 +107,7 @@ func ReadDeleteLinear(r *pattern.Pattern, d ops.Delete, sem ops.Semantics) (Verd
 
 	// Tree/value conflicts without a node conflict: Ø(R) maps at or above
 	// a deletion point, i.e. D' and R match weakly.
-	word, ok, err := MatchWeak(dspine, r, fresh)
+	word, ok, err := matchWeakI(dspine, r, fresh, in)
 	if err != nil {
 		return Verdict{}, err
 	}

@@ -6,6 +6,7 @@ import (
 	"xmlconflict/internal/match"
 	"xmlconflict/internal/ops"
 	"xmlconflict/internal/pattern"
+	"xmlconflict/internal/telemetry"
 )
 
 // ReadInsertLinear decides whether READ_r conflicts with INSERT_{i.P, i.X}
@@ -22,6 +23,13 @@ import (
 // and value conflicts coincide with tree conflicts for linear patterns
 // (Lemma 2).
 func ReadInsertLinear(r *pattern.Pattern, ins ops.Insert, sem ops.Semantics) (Verdict, error) {
+	return readInsertLinearI(r, ins, sem, nil)
+}
+
+// readInsertLinearI is ReadInsertLinear with instrumentation: per-edge
+// cut decisions are counted and traced, and the automata products behind
+// each decision report their sizes.
+func readInsertLinearI(r *pattern.Pattern, ins ops.Insert, sem ops.Semantics, in *instr) (Verdict, error) {
 	if !r.IsLinear() {
 		return Verdict{}, fmt.Errorf("core: ReadInsertLinear: read pattern %v is not linear", r)
 	}
@@ -33,6 +41,7 @@ func ReadInsertLinear(r *pattern.Pattern, ins ops.Insert, sem ops.Semantics) (Ve
 	spine := r.Spine()
 	for i := 1; i < len(spine); i++ {
 		n, np := spine[i-1], spine[i]
+		in.count("linear.edges_checked", 1)
 		tail, err := r.Seq(np, r.Output())
 		if err != nil {
 			return Verdict{}, err
@@ -44,22 +53,29 @@ func ReadInsertLinear(r *pattern.Pattern, ins ops.Insert, sem ops.Semantics) (Ve
 		var word []string
 		var ok bool
 		if np.Axis() == pattern.Child {
+			in.count("linear.embed_attempts", 1)
 			if !match.EmbedsAt(tail, ins.X, ins.X.Root()) {
+				in.event("linear.edge", telemetry.F("edge", i), telemetry.F("axis", np.Axis().String()), telemetry.F("cut", false), telemetry.F("why", "tail does not embed at X root"))
 				continue
 			}
-			word, ok, err = MatchStrong(ispine, prefix, fresh)
+			word, ok, err = matchStrongI(ispine, prefix, fresh, in)
 		} else {
+			in.count("linear.embed_attempts", 1)
 			if !match.EmbedsAnywhere(tail, ins.X) {
+				in.event("linear.edge", telemetry.F("edge", i), telemetry.F("axis", np.Axis().String()), telemetry.F("cut", false), telemetry.F("why", "tail does not embed in X"))
 				continue
 			}
-			word, ok, err = MatchWeak(ispine, prefix, fresh)
+			word, ok, err = matchWeakI(ispine, prefix, fresh, in)
 		}
 		if err != nil {
 			return Verdict{}, err
 		}
 		if !ok {
+			in.event("linear.edge", telemetry.F("edge", i), telemetry.F("axis", np.Axis().String()), telemetry.F("cut", false), telemetry.F("why", "spines do not match"))
 			continue
 		}
+		in.count("linear.cut_edges", 1)
+		in.event("linear.edge", telemetry.F("edge", i), telemetry.F("axis", np.Axis().String()), telemetry.F("cut", true), telemetry.F("word_len", len(word)))
 		// Constructive half of Lemma 6: the chain spelled by the word ends
 		// at the insertion point u; models of the insert's off-spine
 		// subpatterns make the full insert pattern embed (Lemma 8); the
@@ -93,7 +109,7 @@ func ReadInsertLinear(r *pattern.Pattern, ins ops.Insert, sem ops.Semantics) (Ve
 
 	// Tree/value conflicts without a node conflict: Ø(R) maps at or above
 	// an insertion point, i.e. I' and R match weakly.
-	word, ok, err := MatchWeak(ispine, r, fresh)
+	word, ok, err := matchWeakI(ispine, r, fresh, in)
 	if err != nil {
 		return Verdict{}, err
 	}

@@ -5,6 +5,7 @@ import (
 
 	"xmlconflict/internal/match"
 	"xmlconflict/internal/ops"
+	"xmlconflict/internal/telemetry"
 	"xmlconflict/internal/xmltree"
 )
 
@@ -52,6 +53,18 @@ func pathNodeCount(u, v *xmltree.Node) int {
 // slack of Lemma 11. The result is re-verified to still witness the
 // conflict before being returned.
 func ShrinkWitness(w *xmltree.Tree, r ops.Read, u ops.Update) (*xmltree.Tree, error) {
+	return ShrinkWitnessObserved(w, r, u, SearchOptions{})
+}
+
+// ShrinkWitnessObserved is ShrinkWitness reporting its work through the
+// telemetry channels of opts (Stats and Tracer; Progress is unused):
+// counters shrink.calls, shrink.marked_nodes, shrink.reparent_steps,
+// shrink.nodes_before, and shrink.nodes_after, plus one shrink.done trace
+// event summarizing the reduction.
+func ShrinkWitnessObserved(w *xmltree.Tree, r ops.Read, u ops.Update, opts SearchOptions) (*xmltree.Tree, error) {
+	in := observer(opts)
+	in.count("shrink.calls", 1)
+	in.count("shrink.nodes_before", int64(w.Size()))
 	t := w.Clone()
 	t.ClearModified()
 	after, err := ops.ApplyCopy(u, t)
@@ -164,8 +177,11 @@ func ShrinkWitness(w *xmltree.Tree, r ops.Read, u ops.Update) (*xmltree.Tree, er
 	k := r.P.StarLength()
 	alpha := freshSymbol(r.P.Labels(), u.Pattern().Labels(), t.Labels())
 
+	in.count("shrink.marked_nodes", int64(len(marked)))
+
 	// Iteratively reparent marked nodes that are too far from their
 	// nearest marked ancestor (Lemma 10 preserves the conflict).
+	reparents := 0
 	for {
 		var nFar, nAnc *xmltree.Node
 		for m := range marked {
@@ -187,7 +203,9 @@ func ShrinkWitness(w *xmltree.Tree, r ops.Read, u ops.Update) (*xmltree.Tree, er
 		if err := Reparent(t, nAnc, nFar, k, alpha); err != nil {
 			return nil, err
 		}
+		reparents++
 	}
+	in.count("shrink.reparent_steps", int64(reparents))
 
 	// Prune subtrees containing no marked node.
 	hasMarked := map[*xmltree.Node]bool{}
@@ -223,6 +241,12 @@ func ShrinkWitness(w *xmltree.Tree, r ops.Read, u ops.Update) (*xmltree.Tree, er
 	if err := verifyWitness(ops.NodeSemantics, r, u, t, "ShrinkWitness"); err != nil {
 		return nil, err
 	}
+	in.count("shrink.nodes_after", int64(t.Size()))
+	in.event("shrink.done",
+		telemetry.F("nodes_before", w.Size()),
+		telemetry.F("nodes_after", t.Size()),
+		telemetry.F("marked", len(marked)),
+		telemetry.F("reparent_steps", reparents))
 	return t, nil
 }
 

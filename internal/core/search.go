@@ -6,6 +6,7 @@ import (
 
 	"xmlconflict/internal/containment"
 	"xmlconflict/internal/ops"
+	"xmlconflict/internal/telemetry"
 	"xmlconflict/internal/xmltree"
 )
 
@@ -25,6 +26,19 @@ type SearchOptions struct {
 	// MaxCandidates caps the number of trees examined (0 = 1,000,000).
 	// When the cap is hit, the verdict is marked incomplete.
 	MaxCandidates int
+
+	// Stats, when non-nil, accumulates counters, gauges, and timers from
+	// the decision procedures (candidates examined, automata product
+	// sizes, cache traffic, ...). See the WithStats helper.
+	Stats *telemetry.Metrics
+	// Tracer, when non-nil, receives structured decision-trace events
+	// (method selection, per-edge cut decisions, search lifecycle,
+	// final verdicts). See WithTracer.
+	Tracer telemetry.Tracer
+	// Progress, when non-nil, receives throttled progress reports from
+	// the candidate enumeration of the bounded searches. See
+	// WithProgress.
+	Progress *telemetry.Progress
 }
 
 // DefaultMaxCandidates is the candidate cap applied when
@@ -45,11 +59,13 @@ func WitnessBound(r ops.Read, u ops.Update) int {
 // in the bound, which is exactly the complexity shape the paper proves
 // unavoidable (unless P = NP) for branching patterns.
 func SearchConflict(r ops.Read, u ops.Update, sem ops.Semantics, opts SearchOptions) (Verdict, error) {
+	in := observer(opts)
+	defer in.timer("search.time")()
 	// Minimization preserves [[p]](t) on every tree (homomorphism-
 	// witnessed redundancy only), so the minimized instance has exactly
 	// the same conflicts — with a smaller Lemma 11 bound and alphabet.
-	r = ops.Read{P: containment.Minimize(r.P)}
-	u = minimizeUpdate(u)
+	r = ops.Read{P: containment.MinimizeStats(r.P, in.metrics())}
+	u = minimizeUpdateStats(u, in.metrics())
 	bound := WitnessBound(r, u)
 	maxNodes := opts.MaxNodes
 	if maxNodes <= 0 || maxNodes > bound {
@@ -63,18 +79,26 @@ func SearchConflict(r ops.Read, u ops.Update, sem ops.Semantics, opts SearchOpti
 	if maxCand <= 0 {
 		maxCand = DefaultMaxCandidates
 	}
+	in.event("search.start",
+		telemetry.F("bound", bound),
+		telemetry.F("max_nodes", maxNodes),
+		telemetry.F("max_candidates", maxCand),
+		telemetry.F("alphabet", len(labels)))
+	in.progressStart("search", int64(maxCand))
 
+	checker := ops.NewChecker(sem, r, u, nil, in.metrics())
 	var witness *xmltree.Tree
 	var checkErr error
 	examined := 0
 	truncated := false
 	EnumerateTrees(labels, maxNodes, func(t *xmltree.Tree) bool {
-		examined++
-		if examined > maxCand {
+		if examined >= maxCand {
 			truncated = true
 			return false
 		}
-		ok, err := ops.ConflictWitness(sem, r, u, t)
+		examined++
+		in.progressStep(1)
+		ok, err := checker.Witness(t)
 		if err != nil {
 			checkErr = err
 			return false
@@ -85,37 +109,60 @@ func SearchConflict(r ops.Read, u ops.Update, sem ops.Semantics, opts SearchOpti
 		}
 		return true
 	})
+	in.progressFinish()
+	in.count("search.candidates", int64(examined))
+	if hits, misses := checker.CacheCounts(); in != nil {
+		in.count("match.cache_hits", hits)
+		in.count("match.cache_misses", misses)
+	}
 	if checkErr != nil {
 		return Verdict{}, checkErr
 	}
 	if witness != nil {
+		in.event("search.done",
+			telemetry.F("conflict", true),
+			telemetry.F("candidates", examined),
+			telemetry.F("witness_nodes", witness.Size()))
 		return Verdict{
-			Conflict: true,
-			Witness:  witness,
-			Method:   "search",
-			Complete: true,
-			Detail:   fmt.Sprintf("witness found after %d candidates", examined),
+			Conflict:   true,
+			Witness:    witness,
+			Method:     "search",
+			Complete:   true,
+			Detail:     fmt.Sprintf("witness found after %d candidates", examined),
+			Candidates: examined,
 		}, nil
 	}
 	complete := !truncated && maxNodes >= bound
+	if truncated {
+		in.count("search.truncated", 1)
+	}
+	in.event("search.done",
+		telemetry.F("conflict", false),
+		telemetry.F("candidates", examined),
+		telemetry.F("complete", complete),
+		telemetry.F("truncated", truncated))
 	detail := fmt.Sprintf("no witness among %d trees of <= %d nodes", examined, maxNodes)
 	if truncated {
 		detail = fmt.Sprintf("search truncated at %d candidates (bound %d nodes)", maxCand, maxNodes)
 	}
-	return Verdict{Method: "search", Complete: complete, Detail: detail}, nil
+	return Verdict{Method: "search", Complete: complete, Detail: detail, Candidates: examined}, nil
 }
 
 // minimizeUpdate rebuilds an update with its pattern minimized.
-func minimizeUpdate(u ops.Update) ops.Update {
+func minimizeUpdate(u ops.Update) ops.Update { return minimizeUpdateStats(u, nil) }
+
+// minimizeUpdateStats is minimizeUpdate recording minimization metrics
+// into m (nil = disabled).
+func minimizeUpdateStats(u ops.Update, m *telemetry.Metrics) ops.Update {
 	switch v := u.(type) {
 	case ops.Insert:
-		return ops.Insert{P: containment.Minimize(v.P), X: v.X}
+		return ops.Insert{P: containment.MinimizeStats(v.P, m), X: v.X}
 	case *ops.Insert:
-		return ops.Insert{P: containment.Minimize(v.P), X: v.X}
+		return ops.Insert{P: containment.MinimizeStats(v.P, m), X: v.X}
 	case ops.Delete:
-		return ops.Delete{P: containment.Minimize(v.P)}
+		return ops.Delete{P: containment.MinimizeStats(v.P, m)}
 	case *ops.Delete:
-		return ops.Delete{P: containment.Minimize(v.P)}
+		return ops.Delete{P: containment.MinimizeStats(v.P, m)}
 	default:
 		return u
 	}

@@ -19,6 +19,7 @@ import (
 	"xmlconflict/internal/pattern"
 	"xmlconflict/internal/program"
 	"xmlconflict/internal/schema"
+	"xmlconflict/internal/telemetry"
 	"xmlconflict/internal/xmltree"
 	"xmlconflict/internal/xpath"
 )
@@ -30,6 +31,21 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Metrics carries the telemetry counters accumulated while the
+	// experiment ran (candidates examined, automata products, cache
+	// traffic, ...). Experiments that do not exercise the instrumented
+	// decision procedures leave it nil. xbench -json emits it verbatim.
+	Metrics map[string]int64
+}
+
+// counterMap extracts the counters of a metrics registry as a plain map
+// for Table.Metrics, or nil when nothing was recorded.
+func counterMap(m *telemetry.Metrics) map[string]int64 {
+	snap := m.Snapshot()
+	if len(snap.Counters) == 0 {
+		return nil
+	}
+	return snap.Counters
 }
 
 // All runs every experiment and returns the tables in order. The seed
@@ -197,6 +213,7 @@ func E2() Table {
 // linearConflictSweep times a linear detector over random pairs of
 // growing size.
 func linearConflictSweep(id, title string, seed int64, reps int, isInsert bool) Table {
+	m := telemetry.New()
 	t := Table{
 		ID:     id,
 		Title:  title,
@@ -225,7 +242,7 @@ func linearConflictSweep(id, title string, seed int64, reps int, isInsert bool) 
 		}
 		conflicts := 0
 		for _, in := range insts {
-			v, err := core.Detect(in.r, in.u, ops.NodeSemantics, core.SearchOptions{})
+			v, err := core.Detect(in.r, in.u, ops.NodeSemantics, core.SearchOptions{}.WithStats(m))
 			if err != nil {
 				t.Notes = append(t.Notes, "ERROR: "+err.Error())
 				continue
@@ -244,6 +261,7 @@ func linearConflictSweep(id, title string, seed int64, reps int, isInsert bool) 
 		})
 	}
 	t.Notes = append(t.Notes, "expected shape: polynomial growth (roughly quadratic in pattern size)")
+	t.Metrics = counterMap(m)
 	return t
 }
 
@@ -346,6 +364,7 @@ func E6(seed int64) Table {
 // blind exhaustive search (the literal NP oracle) faces a search space
 // that explodes with the instance size.
 func hardnessSweep(id, title string, useDelete bool) Table {
+	m := telemetry.New()
 	t := Table{
 		ID:    id,
 		Title: title,
@@ -417,7 +436,7 @@ func hardnessSweep(id, title string, useDelete bool) Table {
 		start = time.Now()
 		v, err := core.SearchConflict(r, u, ops.NodeSemantics, core.SearchOptions{
 			MaxNodes: maxInt(wSize, 6), MaxCandidates: 150_000,
-		})
+		}.WithStats(m))
 		dSearch := time.Since(start)
 		searchCol := "error"
 		if err == nil {
@@ -442,6 +461,7 @@ func hardnessSweep(id, title string, useDelete bool) Table {
 		"smallest instance within its candidate cap — witnesses of 7+ nodes over 6+ labels sit",
 		"beyond millions of candidates (see the search-space column)",
 		"HardPair(1) is the contained (conflict-free) member of the family")
+	t.Metrics = counterMap(m)
 	return t
 }
 

@@ -1,0 +1,53 @@
+package match
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"xmlconflict/internal/pattern"
+)
+
+// Cache memoizes compiled Evaluators by pattern identity, for callers
+// that evaluate a fixed set of patterns against many trees (the witness
+// searches, the program analyzer). It tracks hit/miss counts for
+// telemetry.
+//
+// The cache is keyed by pointer and does not observe pattern mutation:
+// a caller must not mutate a pattern (AddChild, SetOutput, Attach)
+// while a Cache holding it is in use. The detection engine creates one
+// Cache per search, within which patterns are immutable, so the
+// restriction is structural there. A Cache is safe for concurrent use.
+type Cache struct {
+	mu           sync.RWMutex
+	ev           map[*pattern.Pattern]*Evaluator
+	hits, misses atomic.Int64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{ev: map[*pattern.Pattern]*Evaluator{}} }
+
+// Get returns the compiled evaluator for p, compiling it on first use.
+func (c *Cache) Get(p *pattern.Pattern) *Evaluator {
+	c.mu.RLock()
+	e := c.ev[p]
+	c.mu.RUnlock()
+	if e != nil {
+		c.hits.Add(1)
+		return e
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e = c.ev[p]; e != nil {
+		c.hits.Add(1)
+		return e
+	}
+	c.misses.Add(1)
+	e = Compile(p)
+	c.ev[p] = e
+	return e
+}
+
+// Counts returns the accumulated hit and miss counts.
+func (c *Cache) Counts() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,115 @@
+package ops
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xmlconflict/internal/pattern"
+	"xmlconflict/internal/telemetry"
+	"xmlconflict/internal/xmltree"
+)
+
+// chainPat builds a linear child-axis pattern with the last node as
+// output.
+func chainPat(labels ...string) *pattern.Pattern {
+	p := pattern.New(labels[0])
+	n := p.Root()
+	for _, l := range labels[1:] {
+		n = p.AddChild(n, pattern.Child, l)
+	}
+	p.SetOutput(n)
+	return p
+}
+
+// TestCheckerAgreesWithConflictWitness is the soundness property the
+// search hot loop rests on: the compiled-evaluator Checker and the
+// reference ConflictWitness must agree on every (semantics, read,
+// update, tree) combination, errors included.
+func TestCheckerAgreesWithConflictWitness(t *testing.T) {
+	labels := []string{"a", "b"}
+	f := func(seed int64, semPick uint8, isInsert bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sem := Semantics(semPick % 3)
+		r := Read{P: pattern.Random(rng, pattern.RandomConfig{
+			Size: rng.Intn(4) + 1, Labels: labels,
+			PWildcard: 0.3, PDescendant: 0.3, PBranch: 0.5,
+		})}
+		var u Update
+		if isInsert {
+			u = Insert{
+				P: pattern.Random(rng, pattern.RandomConfig{
+					Size: rng.Intn(3) + 1, Labels: labels,
+					PWildcard: 0.2, PDescendant: 0.3, PBranch: 0.4,
+				}),
+				X: xmltree.Random(rng, xmltree.RandomConfig{Size: rng.Intn(3) + 1, Labels: labels}),
+			}
+		} else {
+			// Root-selecting deletes stay in: both sides must then error.
+			u = Delete{P: pattern.Random(rng, pattern.RandomConfig{
+				Size: rng.Intn(3) + 1, Labels: labels,
+				PWildcard: 0.2, PDescendant: 0.3, PBranch: 0.4,
+			})}
+		}
+		doc := xmltree.Random(rng, xmltree.RandomConfig{Size: rng.Intn(7) + 1, Labels: []string{"a", "b", "c"}})
+		want, errRef := ConflictWitness(sem, r, u, doc)
+		got, errChk := NewChecker(sem, r, u, nil, nil).Witness(doc)
+		if (errRef == nil) != (errChk == nil) {
+			t.Logf("error mismatch: ref=%v chk=%v", errRef, errChk)
+			return false
+		}
+		if errRef != nil {
+			return true
+		}
+		if want != got {
+			t.Logf("sem=%v r=%s u=%s doc=%s: ref=%v chk=%v", sem, r.P, u.Pattern(), doc.XML(), want, got)
+		}
+		return want == got
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckerPointerUpdates(t *testing.T) {
+	r := Read{P: chainPat("a", "b")}
+	ins := &Insert{P: chainPat("a"), X: xmltree.New("b")}
+	doc := xmltree.New("a")
+	got, err := NewChecker(NodeSemantics, r, ins, nil, nil).Witness(doc)
+	if err != nil || !got {
+		t.Fatalf("pointer insert: got=%v err=%v", got, err)
+	}
+	del := &Delete{P: chainPat("a", "b")}
+	doc2 := xmltree.New("a")
+	doc2.AddChild(doc2.Root(), "b")
+	got, err = NewChecker(NodeSemantics, r, del, nil, nil).Witness(doc2)
+	if err != nil || !got {
+		t.Fatalf("pointer delete: got=%v err=%v", got, err)
+	}
+}
+
+func TestCheckerCacheAndMetrics(t *testing.T) {
+	m := telemetry.New()
+	r := Read{P: chainPat("a", "b")}
+	ins := Insert{P: chainPat("a"), X: xmltree.New("b")}
+	c := NewChecker(NodeSemantics, r, ins, nil, m)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Witness(xmltree.New("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := c.CacheCounts()
+	if misses != 2 {
+		t.Fatalf("misses = %d, want 2 (one compile per pattern)", misses)
+	}
+	if hits != 10 {
+		t.Fatalf("hits = %d, want 10 (two lookups per check)", hits)
+	}
+	s := m.Snapshot()
+	if s.Counter("witness.checks") != 5 {
+		t.Fatalf("witness.checks = %d", s.Counter("witness.checks"))
+	}
+	if s.Counter("match.compiled_evals") != 15 {
+		t.Fatalf("match.compiled_evals = %d", s.Counter("match.compiled_evals"))
+	}
+}

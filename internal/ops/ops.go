@@ -59,11 +59,18 @@ func (i Insert) Kind() string { return "insert" }
 // t is unchanged.
 func (i Insert) Apply(t *xmltree.Tree) ([]*xmltree.Node, error) {
 	points := match.Eval(i.P, t)
+	return points, i.ApplyAt(t, points)
+}
+
+// ApplyAt performs the insertion at precomputed insertion points (an
+// already-evaluated [[p]](t)), for callers that amortize pattern
+// evaluation (the compiled-evaluator witness Checker).
+func (i Insert) ApplyAt(t *xmltree.Tree, points []*xmltree.Node) error {
 	for _, n := range points {
 		t.Graft(n, i.X)
 		t.MarkModified(n)
 	}
-	return points, nil
+	return nil
 }
 
 // Delete is DELETE_p: evaluate p on t and delete the subtree rooted at
@@ -95,17 +102,24 @@ func (d Delete) Apply(t *xmltree.Tree) ([]*xmltree.Node, error) {
 		return nil, err
 	}
 	points := match.Eval(d.P, t)
+	return points, d.ApplyAt(t, points)
+}
+
+// ApplyAt performs the deletion at precomputed deletion points (an
+// already-evaluated [[p]](t)), for callers that amortize pattern
+// evaluation. It does not re-run Validate.
+func (d Delete) ApplyAt(t *xmltree.Tree, points []*xmltree.Node) error {
 	for _, n := range points {
 		if !t.Contains(n) {
 			continue // already removed with a deleted ancestor
 		}
 		parent := n.Parent()
 		if err := t.DeleteSubtree(n); err != nil {
-			return nil, err
+			return err
 		}
 		t.MarkModified(parent)
 	}
-	return points, nil
+	return nil
 }
 
 // ApplyCopy runs the update on an identity-preserving clone of t and

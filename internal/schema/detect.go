@@ -5,6 +5,7 @@ import (
 
 	"xmlconflict/internal/core"
 	"xmlconflict/internal/ops"
+	"xmlconflict/internal/telemetry"
 	"xmlconflict/internal/xmltree"
 )
 
@@ -27,7 +28,22 @@ func DetectUnderSchema(r ops.Read, u ops.Update, sem ops.Semantics, s *Schema, o
 	if err := u.Pattern().Validate(); err != nil {
 		return core.Verdict{}, fmt.Errorf("schema: invalid %s pattern: %w", u.Kind(), err)
 	}
+	m := opts.Stats
+	m.Add("detect.calls", 1)
+	telemetry.Emit(opts.Tracer, "detect.method",
+		telemetry.F("method", "schema"),
+		telemetry.F("kind", u.Kind()),
+		telemetry.F("semantics", sem.String()),
+		telemetry.F("read_size", r.P.Size()),
+		telemetry.F("update_size", u.Pattern().Size()))
 	if !s.SatisfiablePattern(u.Pattern()) {
+		m.Add("schema.static_prunes", 1)
+		telemetry.Emit(opts.Tracer, "detect.verdict",
+			telemetry.F("conflict", false),
+			telemetry.F("method", "schema-static"),
+			telemetry.F("complete", true),
+			telemetry.F("candidates", 0),
+			telemetry.F("detail", "the update pattern cannot fire on any schema-valid document"))
 		return core.Verdict{
 			Method:   "schema-static",
 			Complete: true,
@@ -36,6 +52,13 @@ func DetectUnderSchema(r ops.Read, u ops.Update, sem ops.Semantics, s *Schema, o
 	}
 	if u.Kind() == "delete" && !s.SatisfiablePattern(r.P) {
 		// Deletion only removes nodes, so R stays empty on valid trees.
+		m.Add("schema.static_prunes", 1)
+		telemetry.Emit(opts.Tracer, "detect.verdict",
+			telemetry.F("conflict", false),
+			telemetry.F("method", "schema-static"),
+			telemetry.F("complete", true),
+			telemetry.F("candidates", 0),
+			telemetry.F("detail", "the read pattern is unsatisfiable under the schema"))
 		return core.Verdict{
 			Method:   "schema-static",
 			Complete: true,
@@ -51,17 +74,24 @@ func DetectUnderSchema(r ops.Read, u ops.Update, sem ops.Semantics, s *Schema, o
 	if maxCand <= 0 {
 		maxCand = core.DefaultMaxCandidates
 	}
+	telemetry.Emit(opts.Tracer, "search.start",
+		telemetry.F("max_nodes", maxNodes),
+		telemetry.F("max_candidates", maxCand),
+		telemetry.F("schema", true))
+	opts.Progress.Start("schema-search", int64(maxCand))
+	checker := ops.NewChecker(sem, r, u, nil, m)
 	var witness *xmltree.Tree
 	var checkErr error
 	examined := 0
 	truncated := false
 	s.EnumerateValid(maxNodes, func(t *xmltree.Tree) bool {
 		examined++
+		opts.Progress.Step(1)
 		if examined > maxCand {
 			truncated = true
 			return false
 		}
-		ok, err := ops.ConflictWitness(sem, r, u, t)
+		ok, err := checker.Witness(t)
 		if err != nil {
 			checkErr = err
 			return false
@@ -72,25 +102,47 @@ func DetectUnderSchema(r ops.Read, u ops.Update, sem ops.Semantics, s *Schema, o
 		}
 		return true
 	})
+	opts.Progress.Finish()
+	m.Add("schema.candidates", int64(examined))
+	if hits, misses := checker.CacheCounts(); hits+misses > 0 {
+		m.Add("match.cache_hits", hits)
+		m.Add("match.cache_misses", misses)
+	}
 	if checkErr != nil {
 		return core.Verdict{}, checkErr
 	}
 	if witness != nil {
+		telemetry.Emit(opts.Tracer, "detect.verdict",
+			telemetry.F("conflict", true),
+			telemetry.F("method", "schema-search"),
+			telemetry.F("complete", true),
+			telemetry.F("candidates", examined),
+			telemetry.F("witness_nodes", witness.Size()))
 		return core.Verdict{
-			Conflict: true,
-			Witness:  witness,
-			Method:   "schema-search",
-			Complete: true,
-			Detail:   fmt.Sprintf("valid witness found after %d candidates", examined),
+			Conflict:   true,
+			Witness:    witness,
+			Method:     "schema-search",
+			Complete:   true,
+			Detail:     fmt.Sprintf("valid witness found after %d candidates", examined),
+			Candidates: examined,
 		}, nil
+	}
+	if truncated {
+		m.Add("schema.truncated", 1)
 	}
 	detail := fmt.Sprintf("no valid witness among %d trees of <= %d nodes", examined, maxNodes)
 	if truncated {
 		detail = fmt.Sprintf("search truncated at %d candidates (bound %d nodes)", maxCand, maxNodes)
 	}
+	telemetry.Emit(opts.Tracer, "detect.verdict",
+		telemetry.F("conflict", false),
+		telemetry.F("method", "schema-search"),
+		telemetry.F("complete", false),
+		telemetry.F("candidates", examined),
+		telemetry.F("truncated", truncated))
 	// Never complete: the schema-aware witness-size bound is the paper's
 	// open problem.
-	return core.Verdict{Method: "schema-search", Complete: false, Detail: detail}, nil
+	return core.Verdict{Method: "schema-search", Complete: false, Detail: detail, Candidates: examined}, nil
 }
 
 // ValidityPreserving searches for a schema-valid document that the update

@@ -29,6 +29,8 @@ func (s *Schema) RevalidateInsert(t *xmltree.Tree, ins ops.Insert, points []*xml
 	// and internally consistent. Its root's label must also be admitted
 	// as a child of each insertion point, which the content re-check
 	// below covers via the counts.
+	s.metrics.Add("schema.revalidate.insert_points", int64(len(points)))
+	s.metrics.Add("schema.revalidate.payload_nodes", int64(ins.X.Size()))
 	if err := s.validateSubtree(ins.X.Root()); err != nil {
 		return fmt.Errorf("schema: inserted payload: %w", err)
 	}
@@ -45,6 +47,7 @@ func (s *Schema) RevalidateInsert(t *xmltree.Tree, ins ops.Insert, points []*xml
 // parents' content constraints can be affected. Parents that were
 // themselves deleted (nested deletion points) are skipped.
 func (s *Schema) RevalidateDelete(t *xmltree.Tree, parents []*xmltree.Node) error {
+	s.metrics.Add("schema.revalidate.delete_parents", int64(len(parents)))
 	for _, p := range parents {
 		if p == nil || !t.Contains(p) {
 			continue
@@ -58,6 +61,7 @@ func (s *Schema) RevalidateDelete(t *xmltree.Tree, parents []*xmltree.Node) erro
 
 // checkContent re-checks one node's child-multiplicity constraints.
 func (s *Schema) checkContent(n *xmltree.Node) error {
+	s.metrics.Add("schema.revalidate.content_checks", 1)
 	decl, ok := s.Elems[n.Label()]
 	if !ok {
 		return fmt.Errorf("schema: undeclared element %q", n.Label())

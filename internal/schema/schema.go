@@ -30,6 +30,7 @@ import (
 	"sort"
 	"strings"
 
+	"xmlconflict/internal/telemetry"
 	"xmlconflict/internal/xmltree"
 )
 
@@ -54,7 +55,17 @@ type ElementDecl struct {
 type Schema struct {
 	Roots map[string]bool
 	Elems map[string]ElementDecl
+
+	// metrics, when set via Instrument, accumulates revalidation-region
+	// telemetry (points revalidated, payload sizes, content re-checks).
+	metrics *telemetry.Metrics
 }
+
+// Instrument makes the schema record revalidation telemetry into m:
+// schema.revalidate.insert_points, schema.revalidate.payload_nodes,
+// schema.revalidate.delete_parents, and schema.revalidate.content_checks —
+// the "region size" of each incremental revalidation. Pass nil to disable.
+func (s *Schema) Instrument(m *telemetry.Metrics) { s.metrics = m }
 
 // Labels returns all labels declared by the schema, sorted.
 func (s *Schema) Labels() []string {

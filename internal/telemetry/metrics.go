@@ -1,0 +1,285 @@
+// Package telemetry is the zero-dependency observability substrate of the
+// conflict-detection engine: atomic counters/gauges/timers collected in a
+// Metrics registry (snapshot-able and exportable via expvar), a structured
+// trace-event stream (Tracer, with JSON-lines and human-text sinks), and a
+// throttled progress reporter for long-running searches (Progress).
+//
+// Everything is safe for concurrent use, and every hot-path entry point is
+// nil-receiver-safe: instrumented code holds a possibly-nil handle and
+// pays a single pointer check when telemetry is disabled.
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The nil *Counter
+// discards all updates.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 for the nil counter).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. The nil *Gauge discards all
+// updates.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value (0 for the nil gauge).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Timer accumulates durations: a count of observations and their total.
+// The nil *Timer discards all updates.
+type Timer struct{ n, total atomic.Int64 }
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	if t != nil {
+		t.n.Add(1)
+		t.total.Add(int64(d))
+	}
+}
+
+// Start begins timing and returns a stop function that records the
+// elapsed duration when called.
+func (t *Timer) Start() func() {
+	if t == nil {
+		return func() {}
+	}
+	begin := time.Now()
+	return func() { t.Observe(time.Since(begin)) }
+}
+
+// Count returns the number of observations.
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.n.Load()
+}
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.total.Load())
+}
+
+// Mean returns the average observed duration (0 with no observations).
+func (t *Timer) Mean() time.Duration {
+	n := t.Count()
+	if n == 0 {
+		return 0
+	}
+	return t.Total() / time.Duration(n)
+}
+
+// Metrics is a registry of named counters, gauges, and timers, created
+// lazily on first use. The nil *Metrics is a valid disabled registry:
+// lookups return nil instruments, which in turn discard updates.
+type Metrics struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+}
+
+// New returns an empty registry.
+func New() *Metrics { return &Metrics{} }
+
+// Counter returns the named counter, creating it on first use.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	c := m.counters[name]
+	m.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.counters == nil {
+		m.counters = map[string]*Counter{}
+	}
+	if c = m.counters[name]; c == nil {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Add increments the named counter by n; a convenience for m.Counter(name).Add(n).
+func (m *Metrics) Add(name string, n int64) { m.Counter(name).Add(n) }
+
+// Gauge returns the named gauge, creating it on first use.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	g := m.gauges[name]
+	m.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.gauges == nil {
+		m.gauges = map[string]*Gauge{}
+	}
+	if g = m.gauges[name]; g == nil {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named timer, creating it on first use.
+func (m *Metrics) Timer(name string) *Timer {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	t := m.timers[name]
+	m.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.timers == nil {
+		m.timers = map[string]*Timer{}
+	}
+	if t = m.timers[name]; t == nil {
+		t = &Timer{}
+		m.timers[name] = t
+	}
+	return t
+}
+
+// TimerStats is the snapshot of one timer.
+type TimerStats struct {
+	Count int64         `json:"count"`
+	Total time.Duration `json:"total_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+}
+
+// Snapshot is a point-in-time copy of a registry's values.
+type Snapshot struct {
+	Counters map[string]int64      `json:"counters,omitempty"`
+	Gauges   map[string]int64      `json:"gauges,omitempty"`
+	Timers   map[string]TimerStats `json:"timers,omitempty"`
+}
+
+// Snapshot copies the current values of every registered instrument.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]int64{},
+		Timers:   map[string]TimerStats{},
+	}
+	if m == nil {
+		return s
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for name, c := range m.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range m.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, t := range m.timers {
+		s.Timers[name] = TimerStats{Count: t.Count(), Total: t.Total(), Mean: t.Mean()}
+	}
+	return s
+}
+
+// Counter returns the snapshotted value of a counter (0 when absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// String renders the snapshot as sorted "name value" lines, one
+// instrument per line, suitable for a -stats dump.
+func (s Snapshot) String() string {
+	var lines []string
+	for name, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%-40s %d", name, v))
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%-40s %d", name, v))
+	}
+	for name, t := range s.Timers {
+		lines = append(lines, fmt.Sprintf("%-40s %d obs, total %v, mean %v", name, t.Count, t.Total, t.Mean))
+	}
+	sort.Strings(lines)
+	if len(lines) == 0 {
+		return ""
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+var publishMu sync.Mutex
+
+// Publish exports the registry under the given expvar name; subsequent
+// reads of the variable serve live snapshots. The first registry
+// published under a name wins; later calls with the same name are
+// no-ops (expvar forbids re-registration).
+func (m *Metrics) Publish(name string) {
+	if m == nil {
+		return
+	}
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+}

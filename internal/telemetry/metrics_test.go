@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeTimer(t *testing.T) {
+	m := New()
+	m.Counter("c").Add(3)
+	m.Counter("c").Inc()
+	if got := m.Counter("c").Load(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	m.Add("c2", 7)
+	if got := m.Counter("c2").Load(); got != 7 {
+		t.Fatalf("Add shortcut = %d, want 7", got)
+	}
+	g := m.Gauge("g")
+	g.Set(10)
+	g.SetMax(5)
+	if got := g.Load(); got != 10 {
+		t.Fatalf("SetMax lowered the gauge: %d", got)
+	}
+	g.SetMax(12)
+	if got := g.Load(); got != 12 {
+		t.Fatalf("SetMax failed to raise: %d", got)
+	}
+	tm := m.Timer("t")
+	tm.Observe(10 * time.Millisecond)
+	tm.Observe(30 * time.Millisecond)
+	if tm.Count() != 2 || tm.Total() != 40*time.Millisecond || tm.Mean() != 20*time.Millisecond {
+		t.Fatalf("timer stats: count=%d total=%v mean=%v", tm.Count(), tm.Total(), tm.Mean())
+	}
+	stop := m.Timer("t2").Start()
+	stop()
+	if m.Timer("t2").Count() != 1 {
+		t.Fatalf("Start/stop did not observe")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var m *Metrics
+	// None of these may panic, and lookups on the nil registry must
+	// return usable nil instruments.
+	m.Counter("x").Add(1)
+	m.Add("x", 1)
+	m.Gauge("x").Set(1)
+	m.Gauge("x").SetMax(1)
+	m.Timer("x").Observe(time.Second)
+	m.Timer("x").Start()()
+	m.Publish("telemetry-test-nil")
+	if s := m.Snapshot(); len(s.Counters) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+	var c *Counter
+	c.Add(1)
+	if c.Load() != 0 {
+		t.Fatal("nil counter")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.SetMax(1)
+	if g.Load() != 0 {
+		t.Fatal("nil gauge")
+	}
+	var tm *Timer
+	tm.Observe(time.Second)
+	tm.Start()()
+	if tm.Count() != 0 || tm.Total() != 0 || tm.Mean() != 0 {
+		t.Fatal("nil timer")
+	}
+}
+
+func TestSnapshotAndString(t *testing.T) {
+	m := New()
+	m.Add("b.count", 2)
+	m.Add("a.count", 1)
+	m.Gauge("depth").Set(9)
+	m.Timer("phase").Observe(time.Millisecond)
+	s := m.Snapshot()
+	if s.Counter("a.count") != 1 || s.Counter("missing") != 0 {
+		t.Fatalf("snapshot counters: %+v", s.Counters)
+	}
+	out := s.String()
+	for _, want := range []string{"a.count", "b.count", "depth", "phase"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted: a.count before b.count.
+	if strings.Index(out, "a.count") > strings.Index(out, "b.count") {
+		t.Fatalf("String() not sorted:\n%s", out)
+	}
+	// Snapshot is a copy: later updates must not appear.
+	m.Add("a.count", 100)
+	if s.Counter("a.count") != 1 {
+		t.Fatal("snapshot aliased live registry")
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Counter("n").Inc()
+				m.Gauge("max").SetMax(int64(j))
+				m.Timer("t").Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("n").Load(); got != 8000 {
+		t.Fatalf("lost counter updates: %d", got)
+	}
+	if got := m.Gauge("max").Load(); got != 999 {
+		t.Fatalf("gauge max = %d", got)
+	}
+	if got := m.Timer("t").Count(); got != 8000 {
+		t.Fatalf("lost timer updates: %d", got)
+	}
+}
+
+func TestPublish(t *testing.T) {
+	m := New()
+	m.Add("hits", 5)
+	m.Publish("telemetry-test-publish")
+	// Publishing a second registry under the same name is a no-op, not a
+	// panic.
+	New().Publish("telemetry-test-publish")
+	v := expvar.Get("telemetry-test-publish")
+	if v == nil {
+		t.Fatal("expvar not registered")
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &s); err != nil {
+		t.Fatalf("expvar JSON: %v", err)
+	}
+	if s.Counter("hits") != 5 {
+		t.Fatalf("expvar snapshot: %+v", s)
+	}
+}

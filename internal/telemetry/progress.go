@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Update is one progress report from a long-running enumeration.
+type Update struct {
+	// Phase names the running activity (e.g. "search").
+	Phase string
+	// Done is the number of items processed so far.
+	Done int64
+	// Total is the item budget (the candidate cap for searches); 0 when
+	// unknown.
+	Total int64
+	// Rate is items per second since the phase started.
+	Rate float64
+	// Elapsed is the time since the phase started.
+	Elapsed time.Duration
+	// ETA estimates the remaining time to exhaust Total at the current
+	// rate; 0 when Total is unknown. A search may of course finish
+	// earlier — ETA bounds the worst case.
+	ETA time.Duration
+	// Final marks the closing report of the phase.
+	Final bool
+}
+
+// Progress throttles per-item progress callbacks: Step is cheap enough
+// for the innermost search loop (an atomic add, with the clock consulted
+// only every few steps), and the callback fires at most once per
+// interval. The nil *Progress discards everything. A Progress instance
+// reports one phase at a time but accepts Step calls from concurrent
+// workers.
+type Progress struct {
+	fn       func(Update)
+	interval time.Duration
+
+	mu    sync.Mutex
+	phase string
+	begin time.Time
+
+	done  atomic.Int64
+	total atomic.Int64
+	ticks atomic.Int64
+	last  atomic.Int64 // UnixNano of the last report
+}
+
+// clockEvery is how many Step calls pass between clock reads.
+const clockEvery = 32
+
+// NewProgress returns a Progress delivering throttled Updates to fn.
+// interval <= 0 selects 200ms.
+func NewProgress(fn func(Update), interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	return &Progress{fn: fn, interval: interval, begin: time.Now()}
+}
+
+// NewProgressWriter returns a Progress that formats each report as one
+// line on w, e.g.
+//
+//	search: 120000/1000000 (12.0%) 48120/s eta 18.3s
+func NewProgressWriter(w io.Writer, interval time.Duration) *Progress {
+	return NewProgress(func(u Update) {
+		line := fmt.Sprintf("%s: %d", u.Phase, u.Done)
+		if u.Total > 0 {
+			line += fmt.Sprintf("/%d (%.1f%%)", u.Total, 100*float64(u.Done)/float64(u.Total))
+		}
+		line += fmt.Sprintf(" %.0f/s", u.Rate)
+		if u.ETA > 0 && !u.Final {
+			line += fmt.Sprintf(" eta %s", u.ETA.Round(100*time.Millisecond))
+		}
+		if u.Final {
+			line += fmt.Sprintf(" done in %s", u.Elapsed.Round(time.Millisecond))
+		}
+		fmt.Fprintln(w, line)
+	}, interval)
+}
+
+// Start begins a phase: it resets the item count and stamps the start
+// time. total is the item budget (0 = unknown).
+func (p *Progress) Start(phase string, total int64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.phase = phase
+	p.begin = time.Now()
+	p.mu.Unlock()
+	p.done.Store(0)
+	p.ticks.Store(0)
+	p.total.Store(total)
+	p.last.Store(time.Now().UnixNano())
+}
+
+// Step records n processed items and possibly emits a throttled report.
+func (p *Progress) Step(n int64) {
+	if p == nil {
+		return
+	}
+	done := p.done.Add(n)
+	if p.ticks.Add(1)%clockEvery != 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := p.last.Load()
+	if now-last < int64(p.interval) {
+		return
+	}
+	if !p.last.CompareAndSwap(last, now) {
+		return // a concurrent worker is reporting
+	}
+	p.emit(done, false)
+}
+
+// Finish emits the closing report for the phase.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.emit(p.done.Load(), true)
+}
+
+func (p *Progress) emit(done int64, final bool) {
+	p.mu.Lock()
+	phase := p.phase
+	begin := p.begin
+	p.mu.Unlock()
+	elapsed := time.Since(begin)
+	u := Update{
+		Phase:   phase,
+		Done:    done,
+		Total:   p.total.Load(),
+		Elapsed: elapsed,
+		Final:   final,
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		u.Rate = float64(done) / secs
+	}
+	if u.Total > 0 && u.Rate > 0 && done < u.Total {
+		u.ETA = time.Duration(float64(u.Total-done) / u.Rate * float64(time.Second))
+	}
+	if p.fn != nil {
+		p.fn(u)
+	}
+}

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProgressThrottlesAndFinishes(t *testing.T) {
+	var mu sync.Mutex
+	var updates []Update
+	p := NewProgress(func(u Update) {
+		mu.Lock()
+		updates = append(updates, u)
+		mu.Unlock()
+	}, time.Hour) // throttle everything except the final report
+	p.Start("search", 1000)
+	for i := 0; i < 500; i++ {
+		p.Step(1)
+	}
+	p.Finish()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(updates) != 1 {
+		t.Fatalf("got %d updates, want only the final one", len(updates))
+	}
+	u := updates[0]
+	if !u.Final || u.Done != 500 || u.Total != 1000 || u.Phase != "search" {
+		t.Fatalf("final update: %+v", u)
+	}
+}
+
+func TestProgressReportsUnderShortInterval(t *testing.T) {
+	var mu sync.Mutex
+	count := 0
+	p := NewProgress(func(Update) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	}, time.Nanosecond)
+	p.Start("scan", 0)
+	// clockEvery steps guarantee at least one clock check and, with a
+	// nanosecond interval, at least one report.
+	for i := 0; i < 10*clockEvery; i++ {
+		p.Step(1)
+		time.Sleep(time.Microsecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count == 0 {
+		t.Fatal("no throttled reports emitted")
+	}
+}
+
+func TestProgressRateAndETA(t *testing.T) {
+	var got Update
+	p := NewProgress(func(u Update) { got = u }, time.Hour)
+	p.Start("search", 100)
+	p.Step(50)
+	time.Sleep(5 * time.Millisecond)
+	p.Finish()
+	if got.Rate <= 0 {
+		t.Fatalf("rate = %v", got.Rate)
+	}
+	if got.Elapsed <= 0 {
+		t.Fatalf("elapsed = %v", got.Elapsed)
+	}
+	// ETA is suppressed on final reports (nothing remains to estimate
+	// once the phase is over) and when done >= total.
+	if got.ETA < 0 {
+		t.Fatalf("eta = %v", got.ETA)
+	}
+}
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	p.Start("x", 1)
+	p.Step(1)
+	p.Finish() // must not panic
+}
+
+func TestProgressWriterFormat(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgressWriter(&buf, time.Hour)
+	p.Start("search", 200)
+	p.Step(100)
+	p.Finish()
+	out := buf.String()
+	for _, want := range []string{"search: 100/200", "50.0%", "done in"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestProgressConcurrentSteps(t *testing.T) {
+	var mu sync.Mutex
+	var last Update
+	p := NewProgress(func(u Update) {
+		mu.Lock()
+		last = u
+		mu.Unlock()
+	}, time.Nanosecond)
+	p.Start("par", 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				p.Step(1)
+			}
+		}()
+	}
+	wg.Wait()
+	p.Finish()
+	mu.Lock()
+	defer mu.Unlock()
+	if last.Done != 8000 {
+		t.Fatalf("final done = %d, want 8000", last.Done)
+	}
+}

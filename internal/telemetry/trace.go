@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Field is one key/value attribute of a trace event.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Tracer receives structured trace events from the detection engine. The
+// engine holds a possibly-nil Tracer and emits through Emit, so a
+// disabled trace costs one nil check per event site. Implementations
+// must be safe for concurrent use (the parallel searcher emits from
+// worker goroutines).
+type Tracer interface {
+	Event(name string, fields ...Field)
+}
+
+// Emit sends an event to t if tracing is enabled; the nil Tracer
+// discards it.
+func Emit(t Tracer, name string, fields ...Field) {
+	if t != nil {
+		t.Event(name, fields...)
+	}
+}
+
+// JSONTracer writes one JSON object per event, one event per line. Each
+// record carries "event" (the event name) and "us" (microseconds since
+// the tracer was created) plus the event's fields.
+type JSONTracer struct {
+	mu    sync.Mutex
+	enc   *json.Encoder
+	start time.Time
+}
+
+// NewJSONTracer returns a JSONTracer writing to w.
+func NewJSONTracer(w io.Writer) *JSONTracer {
+	return &JSONTracer{enc: json.NewEncoder(w), start: time.Now()}
+}
+
+// Event writes the event as one JSON line.
+func (t *JSONTracer) Event(name string, fields ...Field) {
+	rec := make(map[string]any, len(fields)+2)
+	rec["event"] = name
+	rec["us"] = time.Since(t.start).Microseconds()
+	for _, f := range fields {
+		if f.Key != "event" && f.Key != "us" {
+			rec[f.Key] = f.Value
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_ = t.enc.Encode(rec) // a broken sink must not fail the detection
+}
+
+// TextTracer writes one human-readable "name key=value ..." line per
+// event, fields in emission order.
+type TextTracer struct {
+	mu    sync.Mutex
+	w     io.Writer
+	start time.Time
+}
+
+// NewTextTracer returns a TextTracer writing to w.
+func NewTextTracer(w io.Writer) *TextTracer {
+	return &TextTracer{w: w, start: time.Now()}
+}
+
+// Event writes the event as one text line.
+func (t *TextTracer) Event(name string, fields ...Field) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.3fms %s", float64(time.Since(t.start).Microseconds())/1000, name)
+	for _, f := range fields {
+		fmt.Fprintf(&b, " %s=%v", f.Key, f.Value)
+	}
+	b.WriteByte('\n')
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, _ = io.WriteString(t.w, b.String())
+}
+
+// TraceEvent is one recorded event of a Recorder.
+type TraceEvent struct {
+	Name   string
+	Fields []Field
+}
+
+// Field returns the value of the named field (nil when absent).
+func (e TraceEvent) Field(key string) any {
+	for _, f := range e.Fields {
+		if f.Key == key {
+			return f.Value
+		}
+	}
+	return nil
+}
+
+// Recorder is a Tracer that keeps events in memory, for tests and
+// programmatic inspection.
+type Recorder struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Event records the event.
+func (r *Recorder) Event(name string, fields ...Field) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, TraceEvent{Name: name, Fields: append([]Field(nil), fields...)})
+}
+
+// Events returns a copy of the recorded events in order.
+func (r *Recorder) Events() []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]TraceEvent(nil), r.events...)
+}
+
+// Names returns the recorded event names in order.
+func (r *Recorder) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, len(r.events))
+	for i, e := range r.events {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// First returns the first recorded event with the given name, or false.
+func (r *Recorder) First(name string) (TraceEvent, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.events {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return TraceEvent{}, false
+}

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJSONTracerLines(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONTracer(&buf)
+	tr.Event("search.start", F("bound", 6), F("alphabet", 3))
+	tr.Event("search.done", F("examined", 120), F("conflict", true))
+	sc := bufio.NewScanner(&buf)
+	var recs []map[string]any
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0]["event"] != "search.start" || recs[0]["bound"] != float64(6) {
+		t.Fatalf("first record: %v", recs[0])
+	}
+	if _, ok := recs[0]["us"]; !ok {
+		t.Fatal("missing us timestamp")
+	}
+	if recs[1]["conflict"] != true {
+		t.Fatalf("second record: %v", recs[1])
+	}
+}
+
+func TestJSONTracerReservedKeys(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONTracer(&buf)
+	tr.Event("e", F("event", "spoofed"), F("us", -1))
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["event"] != "e" {
+		t.Fatalf("event key overridden: %v", rec)
+	}
+	if rec["us"] == float64(-1) {
+		t.Fatalf("us key overridden: %v", rec)
+	}
+}
+
+func TestTextTracer(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTextTracer(&buf)
+	tr.Event("detect.method", F("method", "linear"), F("edges", 3))
+	line := buf.String()
+	for _, want := range []string{"detect.method", "method=linear", "edges=3"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("missing %q in %q", want, line)
+		}
+	}
+}
+
+func TestEmitNilSafe(t *testing.T) {
+	Emit(nil, "ignored", F("k", 1)) // must not panic
+	r := &Recorder{}
+	Emit(r, "kept")
+	if names := r.Names(); len(names) != 1 || names[0] != "kept" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := &Recorder{}
+	r.Event("a", F("x", 1))
+	r.Event("b")
+	r.Event("a", F("x", 2))
+	ev, ok := r.First("a")
+	if !ok || ev.Field("x") != 1 {
+		t.Fatalf("First(a) = %+v, %v", ev, ok)
+	}
+	if ev.Field("missing") != nil {
+		t.Fatal("absent field not nil")
+	}
+	if _, ok := r.First("zzz"); ok {
+		t.Fatal("First on absent name")
+	}
+	if len(r.Events()) != 3 {
+		t.Fatalf("events = %v", r.Events())
+	}
+}
+
+func TestTracersConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONTracer(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.Event("e", F("j", j))
+			}
+		}()
+	}
+	wg.Wait()
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("interleaved write produced bad JSON: %v", err)
+		}
+		n++
+	}
+	if n != 800 {
+		t.Fatalf("got %d lines, want 800", n)
+	}
+}

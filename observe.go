@@ -1,0 +1,89 @@
+package xmlconflict
+
+import (
+	"io"
+	"time"
+
+	"xmlconflict/internal/core"
+	"xmlconflict/internal/telemetry"
+)
+
+// This file is the observability facade: metrics, decision traces, and
+// progress reporting for the detection engine. All instrumentation is
+// opt-in through SearchOptions (see WithStats, WithTracer, WithProgress
+// on SearchOptions); with no channels attached the engine pays a single
+// nil check per event site.
+//
+//	st := xmlconflict.NewStats()
+//	tr := xmlconflict.NewJSONTracer(os.Stderr)
+//	v, err := xmlconflict.Detect(r, u, sem,
+//		xmlconflict.SearchOptions{}.WithStats(st).WithTracer(tr))
+//	fmt.Print(st.Snapshot())
+
+// Stats is a concurrency-safe registry of named counters, gauges, and
+// timers that the decision procedures populate: candidates examined,
+// per-edge cut decisions, NFA product sizes, pattern-minimization
+// savings, compiled-pattern cache traffic, witness-shrinking steps, and
+// more. Attach one with SearchOptions.WithStats and read it afterwards
+// with Snapshot. A single Stats may be shared across many calls (and
+// goroutines) to aggregate.
+type Stats = telemetry.Metrics
+
+// NewStats returns an empty metrics registry.
+func NewStats() *Stats { return telemetry.New() }
+
+// StatsSnapshot is a point-in-time copy of a Stats registry. Its String
+// method renders a sorted human-readable listing.
+type StatsSnapshot = telemetry.Snapshot
+
+// Tracer receives the engine's structured decision-trace events: method
+// selection (detect.method), per-edge cut decisions (linear.edge), search
+// lifecycle (search.start, search.done), witness shrinking (shrink.done),
+// and final verdicts (detect.verdict). Attach one with
+// SearchOptions.WithTracer.
+type Tracer = telemetry.Tracer
+
+// TraceField is one key/value pair of a trace event.
+type TraceField = telemetry.Field
+
+// TraceEvent is a recorded trace event (see NewTraceRecorder).
+type TraceEvent = telemetry.TraceEvent
+
+// NewJSONTracer returns a Tracer writing one JSON object per event to w:
+// {"event":"search.start","us":12,...}. Safe for concurrent use.
+func NewJSONTracer(w io.Writer) Tracer { return telemetry.NewJSONTracer(w) }
+
+// NewTextTracer returns a Tracer writing one human-readable line per
+// event to w. Safe for concurrent use.
+func NewTextTracer(w io.Writer) Tracer { return telemetry.NewTextTracer(w) }
+
+// NewTraceRecorder returns a Tracer that records events in memory (for
+// tests and programmatic inspection).
+func NewTraceRecorder() *telemetry.Recorder { return telemetry.NewRecorder() }
+
+// Progress delivers throttled progress reports from the candidate
+// enumerations of the bounded witness searches: candidates done versus
+// the cap, rate, and ETA. Attach one with SearchOptions.WithProgress.
+type Progress = telemetry.Progress
+
+// ProgressUpdate is one progress report.
+type ProgressUpdate = telemetry.Update
+
+// NewProgress returns a Progress invoking fn at most once per interval
+// (0 = 200ms), plus once at the end of each phase.
+func NewProgress(fn func(ProgressUpdate), interval time.Duration) *Progress {
+	return telemetry.NewProgress(fn, interval)
+}
+
+// NewProgressWriter returns a Progress rendering reports as single text
+// lines to w, e.g. "search: 15000/150000 (10.0%) 48120/s eta 2.8s".
+func NewProgressWriter(w io.Writer, interval time.Duration) *Progress {
+	return telemetry.NewProgressWriter(w, interval)
+}
+
+// ShrinkWitnessObserved is ShrinkWitness reporting the minimization's
+// work (nodes marked, reparenting steps, size before and after) through
+// the telemetry channels of opts.
+func ShrinkWitnessObserved(w *Tree, r Read, u Update, opts SearchOptions) (*Tree, error) {
+	return core.ShrinkWitnessObserved(w, r, u, opts)
+}

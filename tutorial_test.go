@@ -71,7 +71,43 @@ func TestTutorialClaims(t *testing.T) {
 		t.Fatalf("§6 witness: %v %v", ok, err)
 	}
 
-	// §7: the xdep walkthrough program parses and optimizes with a CSE.
+	// §7: observing a detection. The quickstart pair under a recorder
+	// traces the linear method choice, per-edge cut decisions, and the
+	// verdict; stats count the automata products behind them.
+	st := xmlconflict.NewStats()
+	rec := xmlconflict.NewTraceRecorder()
+	v, err = xmlconflict.Detect(read, ins, xmlconflict.NodeSemantics,
+		xmlconflict.SearchOptions{}.WithStats(st).WithTracer(rec))
+	if err != nil || !v.Conflict {
+		t.Fatalf("§7 detect: %+v %v", v, err)
+	}
+	if m, ok := rec.First("detect.method"); !ok || m.Field("method") != "linear" {
+		t.Fatalf("§7 detect.method: %v", rec.Names())
+	}
+	if _, ok := rec.First("linear.edge"); !ok {
+		t.Fatalf("§7 no linear.edge event: %v", rec.Names())
+	}
+	if vd, ok := rec.First("detect.verdict"); !ok || vd.Field("conflict") != true {
+		t.Fatalf("§7 detect.verdict: %v", rec.Names())
+	}
+	snap := st.Snapshot()
+	if snap.Counter("automata.products") == 0 || snap.Counter("automata.product_states") == 0 {
+		t.Fatalf("§7 automata counters: %s", snap)
+	}
+	// A branching read goes through the search and reports candidates.
+	v, err = xmlconflict.Detect(
+		xmlconflict.Read{P: xmlconflict.MustParseXPath("a[q]/b")},
+		xmlconflict.Insert{P: xmlconflict.MustParseXPath("a"), X: xmlconflict.MustParseXML("<b/>")},
+		xmlconflict.NodeSemantics,
+		xmlconflict.SearchOptions{MaxNodes: 4}.WithTracer(rec))
+	if err != nil || !v.Conflict || v.Candidates == 0 {
+		t.Fatalf("§7 search candidates: %+v %v", v, err)
+	}
+	if _, ok := rec.First("search.start"); !ok {
+		t.Fatalf("§7 no search.start event: %v", rec.Names())
+	}
+
+	// §8: the xdep walkthrough program parses and optimizes with a CSE.
 	prog, err := xmlconflict.ParseProgram(`
 x = doc <x><B/><A/></x>
 y = read $x/*/A
@@ -92,18 +128,18 @@ u = read $x/*/A
 		}
 	}
 	if !cse {
-		t.Fatalf("§7 CSE missing: %+v", opt.Applied)
+		t.Fatalf("§8 CSE missing: %+v", opt.Applied)
 	}
 	a, err := xmlconflict.AnalyzeProgram(prog, xmlconflict.AnalyzeOptions{Sem: xmlconflict.NodeSemantics})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a.ParallelSchedule().Depth() != 2 {
-		t.Fatalf("§7 schedule depth: %d", a.ParallelSchedule().Depth())
+		t.Fatalf("§8 schedule depth: %d", a.ParallelSchedule().Depth())
 	}
 
-	// §8: minimization example.
+	// §9: minimization example.
 	if m := xmlconflict.MinimizePattern(xmlconflict.MustParseXPath("/a[b/c][b][.//b]/d")); m.String() != "/a[b[c]]/d" {
-		t.Fatalf("§8 minimize: %s", m)
+		t.Fatalf("§9 minimize: %s", m)
 	}
 }

@@ -200,8 +200,13 @@ func ReadDeleteConflictFast(readPattern *Pattern, del Delete, sem Semantics) (Ve
 
 // DetectParallel is Detect with the NP-case witness search fanned out
 // over a worker pool (0 workers = GOMAXPROCS). Linear reads still use the
-// polynomial algorithms; for branching reads the parallel searcher may
-// return a non-minimal witness (workers race), with identical verdicts.
+// polynomial algorithms. Verdicts — including the witness — are identical
+// to Detect's: candidates carry their canonical enumeration order, and
+// when workers race to a witness the canonically first one wins, so the
+// returned witness is deterministic. Only the incidental counts
+// (candidates examined before the enumeration halted, candidates raced
+// past — both reported in the verdict Detail and via telemetry) vary
+// between runs.
 func DetectParallel(r Read, u Update, sem Semantics, opts SearchOptions, workers int) (Verdict, error) {
 	if r.P.IsLinear() {
 		return core.Detect(r, u, sem, opts)
