@@ -7,8 +7,10 @@ package xmlconflict_test
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"testing"
+	"time"
 
 	"xmlconflict/internal/containment"
 	"xmlconflict/internal/core"
@@ -17,6 +19,7 @@ import (
 	"xmlconflict/internal/ops"
 	"xmlconflict/internal/pattern"
 	"xmlconflict/internal/schema"
+	"xmlconflict/internal/telemetry"
 	"xmlconflict/internal/xmltree"
 	"xmlconflict/internal/xpath"
 )
@@ -429,6 +432,54 @@ restock:
 		b.Run(fmt.Sprintf("full/books=%d", books), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if err := s.Validate(after); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE18TelemetryOverhead is the testing.B anchor for experiment
+// E18: the cost of the observability layer on the bounded-search and
+// linear decision procedures, with telemetry channels detached ("off",
+// one nil check per event site), with a stats registry attached, and
+// with the full channel set (stats + JSON tracer + throttled progress).
+func BenchmarkE18TelemetryOverhead(b *testing.B) {
+	searchRead := ops.Read{P: xpath.MustParse("a[b][c]/d")}
+	searchDel := ops.Delete{P: xpath.MustParse("z/w")}
+	rng := rand.New(rand.NewSource(1))
+	linRead, linUpd := generate.LinearPair(rng, 24)
+	if linUpd.Output() == linUpd.Root() {
+		n := linUpd.AddChild(linUpd.Output(), pattern.Child, "a")
+		linUpd.SetOutput(n)
+	}
+	modes := []struct {
+		name string
+		with func(core.SearchOptions) core.SearchOptions
+	}{
+		{"off", func(o core.SearchOptions) core.SearchOptions { return o }},
+		{"stats", func(o core.SearchOptions) core.SearchOptions {
+			return o.WithStats(telemetry.New())
+		}},
+		{"full", func(o core.SearchOptions) core.SearchOptions {
+			return o.WithStats(telemetry.New()).
+				WithTracer(telemetry.NewJSONTracer(io.Discard)).
+				WithProgress(telemetry.NewProgress(func(telemetry.Update) {}, time.Hour))
+		}},
+	}
+	for _, m := range modes {
+		opts := m.with(core.SearchOptions{MaxNodes: 6, MaxCandidates: 10_000})
+		b.Run("search/"+m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Detect(searchRead, searchDel, ops.NodeSemantics, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		lopts := m.with(core.SearchOptions{})
+		b.Run("linear/"+m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Detect(ops.Read{P: linRead}, ops.Delete{P: linUpd}, ops.NodeSemantics, lopts); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"xmlconflict/internal/experiments"
 )
 
 func quietly(t *testing.T, f func() int) int {
@@ -82,5 +85,61 @@ func TestJSONOutput(t *testing.T) {
 	}
 	if e3.Metrics["detect.calls"] == 0 || e3.Metrics["automata.products"] == 0 {
 		t.Fatalf("E3 metrics missing counters: %v", e3.Metrics)
+	}
+}
+
+func TestTrajectoryOutAndCompare(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_test.json")
+	if code := quietly(t, func() int {
+		return run([]string{"-json", "-run", "E2", "-reps", "1", "-samples", "2", "-out", out})
+	}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	f, err := experiments.LoadBenchFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Label != "test" || len(f.Results) != 1 || f.Results[0].ID != "E2" {
+		t.Fatalf("trajectory file: %+v", f)
+	}
+	if f.Results[0].Samples != 2 || f.Results[0].P99Ns <= 0 {
+		t.Fatalf("quantiles missing: %+v", f.Results[0])
+	}
+
+	// Self-comparison is clean (exit 0); a fabricated slowdown trips
+	// exit 1; garbage input trips exit 2.
+	if code := quietly(t, func() int { return run([]string{"-compare", out + "," + out}) }); code != 0 {
+		t.Fatalf("self compare exit = %d", code)
+	}
+	slow := f
+	slow.Results = []experiments.BenchResult{f.Results[0]}
+	slow.Results[0].NsPerOp = f.Results[0].NsPerOp * 2
+	slowPath := filepath.Join(dir, "BENCH_slow.json")
+	if err := experiments.WriteBenchFile(slowPath, slow); err != nil {
+		t.Fatal(err)
+	}
+	if code := quietly(t, func() int { return run([]string{"-compare", out + "," + slowPath}) }); code != 1 {
+		t.Fatalf("regression compare exit = %d", code)
+	}
+	if code := quietly(t, func() int { return run([]string{"-compare", out}) }); code != 2 {
+		t.Fatalf("malformed -compare exit = %d", code)
+	}
+	if code := quietly(t, func() int { return run([]string{"-compare", out + ",/nonexistent.json"}) }); code != 2 {
+		t.Fatalf("missing file exit = %d", code)
+	}
+}
+
+func TestTrajectoryLabel(t *testing.T) {
+	for _, tc := range []struct{ label, out, want string }{
+		{"", "BENCH_ci.json", "ci"},
+		{"", "results/BENCH_seed.json", "seed"},
+		{"", "plain.json", "plain"},
+		{"", "BENCH_.json", "run"},
+		{"explicit", "BENCH_ci.json", "explicit"},
+	} {
+		if got := trajectoryLabel(tc.label, tc.out); got != tc.want {
+			t.Errorf("trajectoryLabel(%q, %q) = %q, want %q", tc.label, tc.out, got, tc.want)
+		}
 	}
 }

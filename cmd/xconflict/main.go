@@ -20,6 +20,8 @@
 //	-trace   stream JSON-lines decision-trace events to stderr
 //	-stats   print a telemetry counter snapshot to stderr afterwards
 //	-progress  report live search progress on stderr
+//	-listen  serve /metrics, /debug/pprof, and health probes on this
+//	         address while the detection runs (live profiling)
 //
 // Exactly one of -insert/-delete must be given. On a conflict the witness
 // document is printed; the exit status is 0 for "no conflict", 1 for
@@ -68,6 +70,7 @@ func run(args []string) int {
 	trace := fs.Bool("trace", false, "stream JSON-lines decision-trace events to stderr")
 	stats := fs.Bool("stats", false, "print a telemetry counter snapshot to stderr afterwards")
 	progress := fs.Bool("progress", false, "report live search progress on stderr")
+	listen := fs.String("listen", "", "serve /metrics, /debug/pprof, and health probes on this address while running")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -120,9 +123,18 @@ func run(args []string) int {
 
 	opts := xmlconflict.SearchOptions{MaxNodes: *maxNodes}
 	var st *xmlconflict.Stats
-	if *stats {
+	if *stats || *listen != "" {
 		st = xmlconflict.NewStats()
 		opts = opts.WithStats(st)
+	}
+	if *listen != "" {
+		obs, addr, err := xmlconflict.ServeObservability(*listen, st)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xconflict: %v\n", err)
+			return 2
+		}
+		defer obs.Close()
+		fmt.Fprintf(os.Stderr, "xconflict: observability on http://%s\n", addr)
 	}
 	if *trace {
 		opts = opts.WithTracer(xmlconflict.NewJSONTracer(os.Stderr))

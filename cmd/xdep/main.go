@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	xdep [-sem node|tree|value] [-O] [-run] [-trace] [-stats] [-progress] [program.xup]
+//	xdep [-sem node|tree|value] [-O] [-run] [-trace] [-stats] [-progress]
+//	     [-listen addr] [program.xup]
 //
 // The program is read from the named file, or stdin if none is given.
 // With -O the optimizer applies the rewrites the analysis licenses
@@ -45,6 +46,7 @@ func run(args []string) int {
 	trace := fs.Bool("trace", false, "stream JSON-lines decision-trace events to stderr")
 	stats := fs.Bool("stats", false, "print a telemetry counter snapshot to stderr afterwards")
 	progress := fs.Bool("progress", false, "report live search progress on stderr")
+	listen := fs.String("listen", "", "serve /metrics, /debug/pprof, and health probes on this address while running")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -80,9 +82,18 @@ func run(args []string) int {
 	}
 	var search xmlconflict.SearchOptions
 	var st *xmlconflict.Stats
-	if *stats {
+	if *stats || *listen != "" {
 		st = xmlconflict.NewStats()
 		search = search.WithStats(st)
+	}
+	if *listen != "" {
+		obs, addr, err := xmlconflict.ServeObservability(*listen, st)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xdep: %v\n", err)
+			return 2
+		}
+		defer obs.Close()
+		fmt.Fprintf(os.Stderr, "xdep: observability on http://%s\n", addr)
 	}
 	if *trace {
 		search = search.WithTracer(xmlconflict.NewJSONTracer(os.Stderr))

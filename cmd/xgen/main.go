@@ -22,6 +22,7 @@ import (
 
 	"xmlconflict/internal/generate"
 	"xmlconflict/internal/pattern"
+	"xmlconflict/internal/telemetry/obshttp"
 	"xmlconflict/internal/xmltree"
 )
 
@@ -32,8 +33,18 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("xgen", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "random seed")
+	listen := fs.String("listen", "", "serve /metrics, /debug/pprof, and health probes on this address while running")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *listen != "" {
+		obs, addr, err := obshttp.Serve(*listen, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xgen: %v\n", err)
+			return 2
+		}
+		defer obs.Close()
+		fmt.Fprintf(os.Stderr, "xgen: observability on http://%s\n", addr)
 	}
 	if fs.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "xgen: need a subcommand: doc, inventory, pattern, hardpair")

@@ -36,6 +36,7 @@ func run(args []string) int {
 	trace := fs.Bool("trace", false, "stream JSON-lines decision-trace events to stderr")
 	stats := fs.Bool("stats", false, "print a telemetry counter snapshot to stderr afterwards")
 	progress := fs.Bool("progress", false, "report live search progress on stderr")
+	listen := fs.String("listen", "", "serve /metrics, /debug/pprof, and health probes on this address while running")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -56,11 +57,22 @@ func run(args []string) int {
 
 	opts := xmlconflict.SearchOptions{MaxNodes: *maxNodes, MaxCandidates: *maxCand}
 	var st *xmlconflict.Stats
-	if *stats {
+	if *stats || *listen != "" {
 		st = xmlconflict.NewStats()
 		opts = opts.WithStats(st)
 		s.Instrument(st)
-		defer func() { fmt.Fprint(os.Stderr, st.Snapshot()) }()
+		if *stats {
+			defer func() { fmt.Fprint(os.Stderr, st.Snapshot()) }()
+		}
+	}
+	if *listen != "" {
+		obs, addr, err := xmlconflict.ServeObservability(*listen, st)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xschema: %v\n", err)
+			return 2
+		}
+		defer obs.Close()
+		fmt.Fprintf(os.Stderr, "xschema: observability on http://%s\n", addr)
 	}
 	if *trace {
 		opts = opts.WithTracer(xmlconflict.NewJSONTracer(os.Stderr))

@@ -1,0 +1,367 @@
+// Command xserve is the long-running conflict-detection daemon: the
+// engine of "Conflicting XML Updates" (EDBT 2006) behind an HTTP API,
+// with the full live observability surface of internal/telemetry.
+//
+// Usage:
+//
+//	xserve [-listen :8344] [-pool N] [-queue-timeout 2s] [-max-body 1048576]
+//
+// API:
+//
+//	POST /v1/detect
+//	    {"read": "//A[B]", "insert": "/*/B", "x": "<C/>",
+//	     "semantics": "node", "max_nodes": 8, "max_candidates": 100000,
+//	     "schema": "...", "tree": "<a>...</a>", "workers": 0}
+//	    -> {"conflict": true, "method": "search", "complete": true,
+//	        "witness": "<a>...</a>", "candidates": 712, "elapsed_us": 3100}
+//
+// Exactly one of "insert"/"delete" must be given. With "tree" the
+// request is a witness check on that document (Lemma 1, polynomial);
+// with "schema" the search is restricted to schema-valid witnesses;
+// with "workers" > 0 the NP-case search fans out over that many
+// goroutines. All other fields bound the witness search exactly like
+// xconflict's flags.
+//
+// Observability (same mux):
+//
+//	GET /metrics        Prometheus text exposition: serve_detect_seconds
+//	                    p50/p90/p99, request/error/conflict counters, and
+//	                    every engine counter (candidates, cache traffic, ...)
+//	GET /debug/vars     expvar JSON snapshot
+//	GET /debug/pprof/*  live CPU/heap/trace profiling
+//	GET /healthz        liveness
+//	GET /readyz         readiness (503 while draining)
+//
+// Detection work runs on a bounded worker pool (-pool, default
+// GOMAXPROCS): excess requests wait up to -queue-timeout for a slot and
+// are then rejected with 503 + Retry-After, keeping tail latency bounded
+// under overload instead of collapsing. SIGINT/SIGTERM drain gracefully:
+// readiness flips first, in-flight detections finish.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"xmlconflict"
+	"xmlconflict/internal/telemetry"
+	"xmlconflict/internal/telemetry/obshttp"
+)
+
+// detectRequest is the POST /v1/detect body, stable for tooling.
+type detectRequest struct {
+	Read          string `json:"read"`
+	Insert        string `json:"insert,omitempty"`
+	X             string `json:"x,omitempty"`
+	Delete        string `json:"delete,omitempty"`
+	Semantics     string `json:"semantics,omitempty"`
+	MaxNodes      int    `json:"max_nodes,omitempty"`
+	MaxCandidates int    `json:"max_candidates,omitempty"`
+	Schema        string `json:"schema,omitempty"`
+	Tree          string `json:"tree,omitempty"`
+	Workers       int    `json:"workers,omitempty"`
+}
+
+// detectResponse is the POST /v1/detect reply, stable for tooling.
+type detectResponse struct {
+	Conflict   bool     `json:"conflict"`
+	Method     string   `json:"method"`
+	Complete   bool     `json:"complete"`
+	Semantics  string   `json:"semantics"`
+	Detail     string   `json:"detail,omitempty"`
+	Edge       int      `json:"edge,omitempty"`
+	Word       []string `json:"word,omitempty"`
+	Witness    string   `json:"witness,omitempty"`
+	Candidates int      `json:"candidates,omitempty"`
+	ElapsedUs  int64    `json:"elapsed_us"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// server carries the daemon's shared state: the metrics registry every
+// request records into, the bounded worker pool, and the readiness bit.
+type server struct {
+	metrics      *telemetry.Metrics
+	pool         chan struct{}
+	queueTimeout time.Duration
+	maxBody      int64
+	ready        atomic.Bool
+}
+
+func newServer(pool int, queueTimeout time.Duration, maxBody int64) *server {
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	if queueTimeout <= 0 {
+		queueTimeout = 2 * time.Second
+	}
+	if maxBody <= 0 {
+		maxBody = 1 << 20
+	}
+	s := &server{
+		metrics:      telemetry.New(),
+		pool:         make(chan struct{}, pool),
+		queueTimeout: queueTimeout,
+		maxBody:      maxBody,
+	}
+	s.ready.Store(true)
+	return s
+}
+
+// routes mounts the API and the observability surface on one mux.
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/detect", s.handleDetect)
+	obshttp.Mount(mux, obshttp.Options{Metrics: s.metrics, Ready: s.ready.Load})
+	return mux
+}
+
+func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	s.metrics.Add("serve.requests", 1)
+
+	var req detectRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.metrics.Add("serve.bad_requests", 1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
+		return
+	}
+
+	// Acquire a worker-pool slot; bounded waiting keeps overload
+	// failures fast and explicit instead of queueing unboundedly.
+	slotTimer := time.NewTimer(s.queueTimeout)
+	defer slotTimer.Stop()
+	select {
+	case s.pool <- struct{}{}:
+		defer func() { <-s.pool }()
+	case <-r.Context().Done():
+		s.metrics.Add("serve.canceled", 1)
+		return
+	case <-slotTimer.C:
+		s.metrics.Add("serve.rejected", 1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"worker pool saturated"})
+		return
+	}
+
+	s.metrics.Gauge("serve.inflight").Set(int64(len(s.pool)))
+	stop := s.metrics.Timer("serve.detect").Start()
+	resp, status, err := s.detect(req)
+	stop()
+	if err != nil {
+		s.metrics.Add("serve.errors", 1)
+		writeJSON(w, status, errorResponse{err.Error()})
+		return
+	}
+	if resp.Conflict {
+		s.metrics.Add("serve.conflicts", 1)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// detect parses and runs one request against the facade. Returned
+// errors carry the HTTP status to report (400 for request defects).
+func (s *server) detect(req detectRequest) (detectResponse, int, error) {
+	if req.Read == "" || (req.Insert == "") == (req.Delete == "") {
+		return detectResponse{}, http.StatusBadRequest,
+			errors.New(`need "read" and exactly one of "insert"/"delete"`)
+	}
+	var sem xmlconflict.Semantics
+	switch req.Semantics {
+	case "", "node":
+		sem = xmlconflict.NodeSemantics
+	case "tree":
+		sem = xmlconflict.TreeSemantics
+	case "value":
+		sem = xmlconflict.ValueSemantics
+	default:
+		return detectResponse{}, http.StatusBadRequest,
+			fmt.Errorf("unknown semantics %q", req.Semantics)
+	}
+	rp, err := xmlconflict.ParseXPath(req.Read)
+	if err != nil {
+		return detectResponse{}, http.StatusBadRequest, fmt.Errorf("read: %w", err)
+	}
+	read := xmlconflict.Read{P: rp}
+	var upd xmlconflict.Update
+	if req.Insert != "" {
+		ip, err := xmlconflict.ParseXPath(req.Insert)
+		if err != nil {
+			return detectResponse{}, http.StatusBadRequest, fmt.Errorf("insert: %w", err)
+		}
+		xs := req.X
+		if xs == "" {
+			xs = "<new/>"
+		}
+		x, err := xmlconflict.ParseXMLString(xs)
+		if err != nil {
+			return detectResponse{}, http.StatusBadRequest, fmt.Errorf("x: %w", err)
+		}
+		upd = xmlconflict.Insert{P: ip, X: x}
+	} else {
+		dp, err := xmlconflict.ParseXPath(req.Delete)
+		if err != nil {
+			return detectResponse{}, http.StatusBadRequest, fmt.Errorf("delete: %w", err)
+		}
+		upd = xmlconflict.Delete{P: dp}
+	}
+
+	begin := time.Now()
+
+	// With a concrete document the request is a Lemma 1 witness check on
+	// that tree rather than an existential search over all trees.
+	if req.Tree != "" {
+		doc, err := xmlconflict.ParseXMLString(req.Tree)
+		if err != nil {
+			return detectResponse{}, http.StatusBadRequest, fmt.Errorf("tree: %w", err)
+		}
+		ok, err := xmlconflict.IsConflictWitness(sem, read, upd, doc)
+		if err != nil {
+			return detectResponse{}, http.StatusUnprocessableEntity, err
+		}
+		resp := detectResponse{
+			Conflict:  ok,
+			Method:    "witness-check",
+			Complete:  true,
+			Semantics: sem.String(),
+			Detail:    "checked the supplied document only",
+			ElapsedUs: time.Since(begin).Microseconds(),
+		}
+		if ok {
+			resp.Witness = doc.XML()
+		}
+		return resp, 0, nil
+	}
+
+	opts := xmlconflict.SearchOptions{
+		MaxNodes:      req.MaxNodes,
+		MaxCandidates: req.MaxCandidates,
+	}.WithStats(s.metrics)
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = 8
+	}
+	if opts.MaxCandidates <= 0 {
+		opts.MaxCandidates = 100_000
+	}
+
+	var v xmlconflict.Verdict
+	if req.Schema != "" {
+		sch, err := xmlconflict.ParseSchema(req.Schema)
+		if err != nil {
+			return detectResponse{}, http.StatusBadRequest, fmt.Errorf("schema: %w", err)
+		}
+		sch.Instrument(s.metrics)
+		v, err = xmlconflict.DetectUnderSchema(read, upd, sem, sch, opts)
+		if err != nil {
+			return detectResponse{}, http.StatusUnprocessableEntity, err
+		}
+	} else if req.Workers > 0 {
+		v, err = xmlconflict.DetectParallel(read, upd, sem, opts, req.Workers)
+		if err != nil {
+			return detectResponse{}, http.StatusUnprocessableEntity, err
+		}
+	} else {
+		v, err = xmlconflict.Detect(read, upd, sem, opts)
+		if err != nil {
+			return detectResponse{}, http.StatusUnprocessableEntity, err
+		}
+	}
+	resp := detectResponse{
+		Conflict:   v.Conflict,
+		Method:     v.Method,
+		Complete:   v.Complete,
+		Semantics:  sem.String(),
+		Detail:     v.Detail,
+		Edge:       v.Edge,
+		Word:       v.Word,
+		Candidates: v.Candidates,
+		ElapsedUs:  time.Since(begin).Microseconds(),
+	}
+	if v.Witness != nil {
+		resp.Witness = v.Witness.XML()
+	}
+	return resp, 0, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("xserve", flag.ContinueOnError)
+	listen := fs.String("listen", ":8344", "address to serve on")
+	pool := fs.Int("pool", 0, "worker pool size (0 = GOMAXPROCS)")
+	queueTimeout := fs.Duration("queue-timeout", 2*time.Second, "how long a request waits for a pool slot before 503")
+	maxBody := fs.Int64("max-body", 1<<20, "request body size limit in bytes")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful drain budget on SIGINT/SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	s := newServer(*pool, *queueTimeout, *maxBody)
+	if !s.metrics.Publish("xmlconflict") {
+		fmt.Fprintln(os.Stderr, "xserve: expvar name xmlconflict already taken; /debug/vars serves the earlier registry")
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xserve: %v\n", err)
+		return 2
+	}
+	srv := &http.Server{Handler: s.routes()}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "xserve: serving on http://%s (pool %d)\n", ln.Addr(), cap(s.pool))
+
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "xserve: %v\n", err)
+			return 2
+		}
+		return 0
+	case <-ctx.Done():
+	}
+
+	// Drain: stop advertising readiness, then let in-flight detections
+	// finish inside the shutdown budget.
+	s.ready.Store(false)
+	fmt.Fprintln(os.Stderr, "xserve: draining")
+	sctx, scancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		fmt.Fprintf(os.Stderr, "xserve: forced shutdown: %v\n", err)
+		srv.Close()
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "xserve: drained")
+	return 0
+}

@@ -31,8 +31,18 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("xupdate", flag.ContinueOnError)
 	pretty := fs.Bool("pretty", false, "indent the output")
+	listen := fs.String("listen", "", "serve /metrics, /debug/pprof, and health probes on this address while running")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *listen != "" {
+		obs, addr, err := xmlconflict.ServeObservability(*listen, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xupdate: %v\n", err)
+			return 2
+		}
+		defer obs.Close()
+		fmt.Fprintf(os.Stderr, "xupdate: observability on http://%s\n", addr)
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {

@@ -69,6 +69,7 @@ func All(seed int64, reps int) []Table {
 		E15(seed, reps),
 		E16(),
 		E17(seed, reps),
+		E18(seed, reps),
 	}
 }
 
@@ -109,6 +110,8 @@ func ByID(id string, seed int64, reps int) (Table, error) {
 		return E16(), nil
 	case "E17":
 		return E17(seed, reps), nil
+	case "E18":
+		return E18(seed, reps), nil
 	default:
 		return Table{}, fmt.Errorf("experiments: unknown experiment %q", id)
 	}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"xmlconflict/internal/core"
+	"xmlconflict/internal/generate"
+	"xmlconflict/internal/ops"
+	"xmlconflict/internal/pattern"
+	"xmlconflict/internal/telemetry"
+	"xmlconflict/internal/xpath"
+)
+
+// E18 — telemetry overhead. The observability layer's contract is that
+// instrumented hot paths pay a single nil check per event site when no
+// channel is attached; this experiment puts a number on that claim (and
+// on the real cost of attaching each channel) for both decision-
+// procedure shapes: the per-candidate NP-case search loop, where the
+// event sites sit innermost, and the PTIME linear detector.
+// bench_test.go's BenchmarkE18TelemetryOverhead is the testing.B anchor
+// for the same comparison.
+func E18(seed int64, reps int) Table {
+	t := Table{
+		ID:     "E18",
+		Title:  "Telemetry overhead: channels disabled vs enabled",
+		Header: []string{"workload", "telemetry", "ns/op", "vs off"},
+	}
+
+	// NP-case workload: a branching read against a far-away delete, so
+	// the bounded search grinds its whole candidate budget with the
+	// instrumentation sites (progress steps, counters) in the inner loop.
+	searchRead := ops.Read{P: xpath.MustParse("a[b][c]/d")}
+	searchDel := ops.Delete{P: xpath.MustParse("z/w")}
+	searchOpts := core.SearchOptions{MaxNodes: 6, MaxCandidates: 10_000}
+
+	// PTIME workload: a linear pair through the automata-product
+	// detectors, whose event sites are per-edge rather than per-candidate.
+	rng := rand.New(rand.NewSource(seed))
+	linRead, linUpd := generate.LinearPair(rng, 24)
+	if linUpd.Output() == linUpd.Root() {
+		// A delete pattern must not select the root.
+		n := linUpd.AddChild(linUpd.Output(), pattern.Child, "a")
+		linUpd.SetOutput(n)
+	}
+
+	type mode struct {
+		name string
+		with func(core.SearchOptions) core.SearchOptions
+	}
+	stats := telemetry.New()
+	modes := []mode{
+		{"off", func(o core.SearchOptions) core.SearchOptions { return o }},
+		{"stats", func(o core.SearchOptions) core.SearchOptions {
+			return o.WithStats(stats)
+		}},
+		{"stats+trace+progress", func(o core.SearchOptions) core.SearchOptions {
+			return o.WithStats(stats).
+				WithTracer(telemetry.NewJSONTracer(io.Discard)).
+				WithProgress(telemetry.NewProgress(func(telemetry.Update) {}, time.Hour))
+		}},
+	}
+
+	workloads := []struct {
+		name  string
+		scale int // iteration multiplier: fast workloads need many calls per timing
+		opts  core.SearchOptions
+		run   func(core.SearchOptions)
+	}{
+		{"bounded search (NP case)", 1, searchOpts, func(o core.SearchOptions) {
+			_, _ = core.Detect(searchRead, searchDel, ops.NodeSemantics, o)
+		}},
+		{"linear detect (PTIME)", 100, core.SearchOptions{}, func(o core.SearchOptions) {
+			_, _ = core.Detect(ops.Read{P: linRead}, ops.Delete{P: linUpd}, ops.NodeSemantics, o)
+		}},
+	}
+
+	for _, w := range workloads {
+		var base time.Duration
+		for _, m := range modes {
+			opts := m.with(w.opts)
+			w.run(opts) // warm caches before timing
+			d := timeIt(max(1, reps)*w.scale, func() { w.run(opts) })
+			ratio := "1.00x"
+			if m.name == "off" {
+				base = d
+			} else if base > 0 {
+				ratio = fmt.Sprintf("%.2fx", float64(d)/float64(base))
+			}
+			t.Rows = append(t.Rows, []string{w.name, m.name, fmt.Sprint(d.Nanoseconds()), ratio})
+		}
+	}
+	t.Metrics = counterMap(stats)
+	t.Notes = append(t.Notes,
+		"expected shape: \"off\" equals an uninstrumented build within noise (the one-nil-check",
+		"claim); \"stats\" adds atomic increments on every event site; the full channel set adds",
+		"JSON encoding per trace event, so its cost is dominated by trace volume")
+	return t
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"xmlconflict/internal/telemetry"
+)
+
+// BenchSchemaVersion identifies the BENCH_*.json layout. Bump it only
+// with a loader that still reads every older version: trajectory files
+// are committed at the repo root and diffed across arbitrary commits.
+const BenchSchemaVersion = 1
+
+// BenchResult is one experiment's measurement in a trajectory file.
+type BenchResult struct {
+	ID      string `json:"id"`
+	Name    string `json:"name"`
+	Rows    int    `json:"rows"`
+	Samples int    `json:"samples"`
+	// NsPerOp is the fastest sample's wall time divided by the row
+	// count — the noise-resistant point estimate the regression
+	// comparator diffs.
+	NsPerOp int64 `json:"ns_per_op"`
+	// P50/P90/P99 are quantiles of per-sample wall time, from a
+	// telemetry.Histogram over the samples: the experiment's latency
+	// distribution, not just its best case.
+	P50Ns   int64            `json:"p50_ns"`
+	P90Ns   int64            `json:"p90_ns"`
+	P99Ns   int64            `json:"p99_ns"`
+	Metrics map[string]int64 `json:"metrics,omitempty"`
+}
+
+// BenchFile is the schema-stable trajectory file `xbench -json -out`
+// writes and the regression comparator loads.
+type BenchFile struct {
+	SchemaVersion int           `json:"schema_version"`
+	Label         string        `json:"label"`
+	Seed          int64         `json:"seed"`
+	Reps          int           `json:"reps"`
+	GoVersion     string        `json:"go_version,omitempty"`
+	Results       []BenchResult `json:"results"`
+}
+
+// Measure runs one experiment `samples` times (>= 1), recording each
+// sample's wall time into a histogram, and returns the measurement plus
+// the last run's table. NsPerOp uses the fastest sample so background
+// noise inflates the quantiles, not the comparator's point estimate.
+func Measure(id string, seed int64, reps, samples int) (BenchResult, Table, error) {
+	if samples < 1 {
+		samples = 1
+	}
+	h := telemetry.NewHistogram()
+	var tb Table
+	best := int64(math.MaxInt64)
+	for i := 0; i < samples; i++ {
+		start := time.Now()
+		t, err := ByID(id, seed, reps)
+		elapsed := time.Since(start).Nanoseconds()
+		if err != nil {
+			return BenchResult{}, Table{}, err
+		}
+		tb = t
+		h.Observe(elapsed)
+		if elapsed < best {
+			best = elapsed
+		}
+	}
+	denom := int64(len(tb.Rows))
+	if denom == 0 {
+		denom = 1
+	}
+	return BenchResult{
+		ID:      tb.ID,
+		Name:    tb.Title,
+		Rows:    len(tb.Rows),
+		Samples: samples,
+		NsPerOp: best / denom,
+		P50Ns:   h.Quantile(0.50),
+		P90Ns:   h.Quantile(0.90),
+		P99Ns:   h.Quantile(0.99),
+		Metrics: tb.Metrics,
+	}, tb, nil
+}
+
+// NewBenchFile assembles a trajectory file around a result set.
+func NewBenchFile(label string, seed int64, reps int, results []BenchResult) BenchFile {
+	return BenchFile{
+		SchemaVersion: BenchSchemaVersion,
+		Label:         label,
+		Seed:          seed,
+		Reps:          reps,
+		GoVersion:     runtime.Version(),
+		Results:       results,
+	}
+}
+
+// WriteBenchFile writes f as indented JSON (stable formatting keeps the
+// committed baseline's diffs readable).
+func WriteBenchFile(path string, f BenchFile) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBenchFile reads and validates a trajectory file.
+func LoadBenchFile(path string) (BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return BenchFile{}, err
+	}
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return BenchFile{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.SchemaVersion == 0 || f.SchemaVersion > BenchSchemaVersion {
+		return BenchFile{}, fmt.Errorf("%s: unsupported bench schema version %d", path, f.SchemaVersion)
+	}
+	return f, nil
+}
+
+// Regression is one flagged slowdown between two trajectory files.
+type Regression struct {
+	ID    string
+	Name  string
+	OldNs int64   // baseline ns/op
+	NewNs int64   // current ns/op
+	Ratio float64 // NewNs / OldNs
+}
+
+// DefaultRegressionThreshold flags experiments that got more than 30%
+// slower per op — wide enough to ride out CI noise on the fastest
+// experiments, tight enough to catch a real hot-path slip.
+const DefaultRegressionThreshold = 0.30
+
+// CompareBench diffs two trajectory files: every experiment present in
+// both whose ns/op grew by more than threshold (0.30 = +30%) is
+// returned as a regression, sorted worst-first. Notes report structural
+// drift (experiments only in one file, seed/reps mismatches) that makes
+// the numeric comparison weaker.
+func CompareBench(oldF, newF BenchFile, threshold float64) ([]Regression, []string) {
+	if threshold <= 0 {
+		threshold = DefaultRegressionThreshold
+	}
+	var notes []string
+	if oldF.Seed != newF.Seed || oldF.Reps != newF.Reps {
+		notes = append(notes, fmt.Sprintf(
+			"workload mismatch: baseline seed=%d reps=%d vs current seed=%d reps=%d",
+			oldF.Seed, oldF.Reps, newF.Seed, newF.Reps))
+	}
+	oldByID := map[string]BenchResult{}
+	for _, r := range oldF.Results {
+		oldByID[r.ID] = r
+	}
+	var regs []Regression
+	seen := map[string]bool{}
+	for _, nr := range newF.Results {
+		seen[nr.ID] = true
+		or, ok := oldByID[nr.ID]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("%s: new experiment, no baseline", nr.ID))
+			continue
+		}
+		if or.NsPerOp <= 0 {
+			continue
+		}
+		ratio := float64(nr.NsPerOp) / float64(or.NsPerOp)
+		if ratio > 1+threshold {
+			regs = append(regs, Regression{
+				ID: nr.ID, Name: nr.Name,
+				OldNs: or.NsPerOp, NewNs: nr.NsPerOp, Ratio: ratio,
+			})
+		}
+	}
+	for _, or := range oldF.Results {
+		if !seen[or.ID] {
+			notes = append(notes, fmt.Sprintf("%s: present in baseline only", or.ID))
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Ratio > regs[j].Ratio })
+	return regs, notes
+}
+
+// FormatComparison renders a comparison as the human-readable report
+// the CI step prints.
+func FormatComparison(oldF, newF BenchFile, regs []Regression, notes []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bench comparison: %s (baseline) vs %s (current), %d vs %d experiments\n",
+		labelOr(oldF.Label, "old"), labelOr(newF.Label, "new"),
+		len(oldF.Results), len(newF.Results))
+	if len(regs) == 0 {
+		b.WriteString("no ns/op regressions above threshold\n")
+	}
+	for _, r := range regs {
+		fmt.Fprintf(&b, "REGRESSION %-4s %+.0f%%  %d -> %d ns/op  (%s)\n",
+			r.ID, (r.Ratio-1)*100, r.OldNs, r.NewNs, r.Name)
+	}
+	for _, n := range notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func labelOr(label, fallback string) string {
+	if label == "" {
+		return fallback
+	}
+	return label
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMeasureProducesQuantiles(t *testing.T) {
+	res, tb, err := Measure("E2", 1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "E2" || res.ID != tb.ID {
+		t.Fatalf("result id = %q", res.ID)
+	}
+	if res.Samples != 3 || res.Rows != len(tb.Rows) || res.Rows == 0 {
+		t.Fatalf("result shape: %+v", res)
+	}
+	if res.NsPerOp <= 0 {
+		t.Fatalf("ns_per_op = %d", res.NsPerOp)
+	}
+	// Quantiles are of whole-sample wall time: ordered and >= the
+	// per-op figure (each sample spans all rows).
+	if res.P50Ns <= 0 || res.P50Ns > res.P90Ns || res.P90Ns > res.P99Ns {
+		t.Fatalf("quantiles not ordered: %+v", res)
+	}
+	if _, _, err := Measure("E99", 1, 1, 1); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestBenchFileRoundTrip(t *testing.T) {
+	f := NewBenchFile("test", 7, 2, []BenchResult{
+		{ID: "E2", Name: "semantics", Rows: 4, Samples: 3, NsPerOp: 1000,
+			P50Ns: 4000, P90Ns: 4500, P99Ns: 5000,
+			Metrics: map[string]int64{"detect.calls": 4}},
+	})
+	if f.SchemaVersion != BenchSchemaVersion || f.GoVersion == "" {
+		t.Fatalf("file header: %+v", f)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteBenchFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "test" || got.Seed != 7 || len(got.Results) != 1 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if got.Results[0].ID != "E2" || got.Results[0].Metrics["detect.calls"] != 4 {
+		t.Fatalf("result round trip: %+v", got.Results[0])
+	}
+	if _, err := LoadBenchFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestLoadBenchFileRejectsUnknownSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	f := NewBenchFile("x", 1, 1, nil)
+	f.SchemaVersion = BenchSchemaVersion + 1
+	if err := WriteBenchFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBenchFile(path); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompareBench(t *testing.T) {
+	old := NewBenchFile("seed", 1, 3, []BenchResult{
+		{ID: "E1", Name: "eval", NsPerOp: 1000},
+		{ID: "E2", Name: "semantics", NsPerOp: 1000},
+		{ID: "E3", Name: "linear", NsPerOp: 1000},
+		{ID: "E9", Name: "gone", NsPerOp: 1000},
+	})
+	cur := NewBenchFile("ci", 1, 3, []BenchResult{
+		{ID: "E1", Name: "eval", NsPerOp: 1299},      // +29.9%: under threshold
+		{ID: "E2", Name: "semantics", NsPerOp: 2600}, // +160%: flagged
+		{ID: "E3", Name: "linear", NsPerOp: 1400},    // +40%: flagged
+		{ID: "E18", Name: "new", NsPerOp: 5},         // no baseline: note only
+	})
+	regs, notes := CompareBench(old, cur, 0.30)
+	if len(regs) != 2 {
+		t.Fatalf("regressions: %+v", regs)
+	}
+	// Sorted worst-first.
+	if regs[0].ID != "E2" || regs[1].ID != "E3" {
+		t.Fatalf("order: %+v", regs)
+	}
+	if regs[0].OldNs != 1000 || regs[0].NewNs != 2600 || regs[0].Ratio < 2.5 {
+		t.Fatalf("E2 regression: %+v", regs[0])
+	}
+	joined := strings.Join(notes, "\n")
+	if !strings.Contains(joined, "E18: new experiment") || !strings.Contains(joined, "E9: present in baseline only") {
+		t.Fatalf("notes: %v", notes)
+	}
+
+	report := FormatComparison(old, cur, regs, notes)
+	for _, want := range []string{"REGRESSION E2", "+160%", "1000 -> 2600", "seed (baseline) vs ci"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestCompareBenchSelfIsClean is the acceptance criterion: a trajectory
+// file diffed against itself flags zero regressions.
+func TestCompareBenchSelfIsClean(t *testing.T) {
+	res, _, err := Measure("E2", 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewBenchFile("self", 1, 1, []BenchResult{res})
+	regs, notes := CompareBench(f, f, 0.30)
+	if len(regs) != 0 || len(notes) != 0 {
+		t.Fatalf("self comparison not clean: regs=%v notes=%v", regs, notes)
+	}
+}
+
+func TestCompareBenchWorkloadMismatchNoted(t *testing.T) {
+	a := NewBenchFile("a", 1, 3, nil)
+	b := NewBenchFile("b", 2, 1, nil)
+	_, notes := CompareBench(a, b, 0)
+	if len(notes) != 1 || !strings.Contains(notes[0], "workload mismatch") {
+		t.Fatalf("notes: %v", notes)
+	}
+}

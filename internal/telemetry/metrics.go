@@ -73,15 +73,15 @@ func (g *Gauge) Load() int64 {
 	return g.v.Load()
 }
 
-// Timer accumulates durations: a count of observations and their total.
-// The nil *Timer discards all updates.
-type Timer struct{ n, total atomic.Int64 }
+// Timer accumulates durations into a log-bucketed Histogram, so beyond
+// count/total/mean it serves latency quantiles (p50/p90/p99). The nil
+// *Timer discards all updates.
+type Timer struct{ h Histogram }
 
 // Observe records one duration.
 func (t *Timer) Observe(d time.Duration) {
 	if t != nil {
-		t.n.Add(1)
-		t.total.Add(int64(d))
+		t.h.ObserveDuration(d)
 	}
 }
 
@@ -100,7 +100,7 @@ func (t *Timer) Count() int64 {
 	if t == nil {
 		return 0
 	}
-	return t.n.Load()
+	return t.h.Count()
 }
 
 // Total returns the accumulated duration.
@@ -108,26 +108,44 @@ func (t *Timer) Total() time.Duration {
 	if t == nil {
 		return 0
 	}
-	return time.Duration(t.total.Load())
+	return time.Duration(t.h.Sum())
 }
 
 // Mean returns the average observed duration (0 with no observations).
 func (t *Timer) Mean() time.Duration {
-	n := t.Count()
-	if n == 0 {
+	if t == nil {
 		return 0
 	}
-	return t.Total() / time.Duration(n)
+	return time.Duration(t.h.Mean())
+}
+
+// Quantile returns the q-quantile of the observed durations (see
+// Histogram.Quantile for the error bound).
+func (t *Timer) Quantile(q float64) time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.h.Quantile(q))
+}
+
+// Hist exposes the timer's underlying histogram (nil for the nil timer),
+// e.g. for exposition formats that want the raw distribution.
+func (t *Timer) Hist() *Histogram {
+	if t == nil {
+		return nil
+	}
+	return &t.h
 }
 
 // Metrics is a registry of named counters, gauges, and timers, created
 // lazily on first use. The nil *Metrics is a valid disabled registry:
 // lookups return nil instruments, which in turn discard updates.
 type Metrics struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
 }
 
 // New returns an empty registry.
@@ -205,26 +223,55 @@ func (m *Metrics) Timer(name string) *Timer {
 	return t
 }
 
-// TimerStats is the snapshot of one timer.
+// Histogram returns the named histogram, creating it on first use.
+func (m *Metrics) Histogram(name string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	h := m.histograms[name]
+	m.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.histograms == nil {
+		m.histograms = map[string]*Histogram{}
+	}
+	if h = m.histograms[name]; h == nil {
+		h = &Histogram{}
+		m.histograms[name] = h
+	}
+	return h
+}
+
+// TimerStats is the snapshot of one timer: totals plus latency
+// quantiles drawn from the timer's histogram.
 type TimerStats struct {
 	Count int64         `json:"count"`
 	Total time.Duration `json:"total_ns"`
 	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns,omitempty"`
+	P90   time.Duration `json:"p90_ns,omitempty"`
+	P99   time.Duration `json:"p99_ns,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of a registry's values.
 type Snapshot struct {
-	Counters map[string]int64      `json:"counters,omitempty"`
-	Gauges   map[string]int64      `json:"gauges,omitempty"`
-	Timers   map[string]TimerStats `json:"timers,omitempty"`
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]int64          `json:"gauges,omitempty"`
+	Timers     map[string]TimerStats     `json:"timers,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
 }
 
 // Snapshot copies the current values of every registered instrument.
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
-		Counters: map[string]int64{},
-		Gauges:   map[string]int64{},
-		Timers:   map[string]TimerStats{},
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Timers:     map[string]TimerStats{},
+		Histograms: map[string]HistogramStats{},
 	}
 	if m == nil {
 		return s
@@ -238,7 +285,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.Gauges[name] = g.Load()
 	}
 	for name, t := range m.timers {
-		s.Timers[name] = TimerStats{Count: t.Count(), Total: t.Total(), Mean: t.Mean()}
+		s.Timers[name] = TimerStats{
+			Count: t.Count(), Total: t.Total(), Mean: t.Mean(),
+			P50: t.Quantile(0.50), P90: t.Quantile(0.90), P99: t.Quantile(0.99),
+		}
+	}
+	for name, h := range m.histograms {
+		s.Histograms[name] = h.Stats()
 	}
 	return s
 }
@@ -257,7 +310,12 @@ func (s Snapshot) String() string {
 		lines = append(lines, fmt.Sprintf("%-40s %d", name, v))
 	}
 	for name, t := range s.Timers {
-		lines = append(lines, fmt.Sprintf("%-40s %d obs, total %v, mean %v", name, t.Count, t.Total, t.Mean))
+		lines = append(lines, fmt.Sprintf("%-40s %d obs, total %v, mean %v, p50 %v, p99 %v",
+			name, t.Count, t.Total, t.Mean, t.P50, t.P99))
+	}
+	for name, h := range s.Histograms {
+		lines = append(lines, fmt.Sprintf("%-40s %d obs, mean %d, p50 %d, p90 %d, p99 %d, max %d",
+			name, h.Count, h.Mean, h.P50, h.P90, h.P99, h.Max))
 	}
 	sort.Strings(lines)
 	if len(lines) == 0 {
@@ -270,16 +328,19 @@ var publishMu sync.Mutex
 
 // Publish exports the registry under the given expvar name; subsequent
 // reads of the variable serve live snapshots. The first registry
-// published under a name wins; later calls with the same name are
-// no-ops (expvar forbids re-registration).
-func (m *Metrics) Publish(name string) {
+// published under a name wins (expvar forbids re-registration): Publish
+// reports whether THIS registry was registered, so callers can detect a
+// name collision instead of silently scraping someone else's metrics.
+// The nil registry publishes nothing and reports false.
+func (m *Metrics) Publish(name string) bool {
 	if m == nil {
-		return
+		return false
 	}
 	publishMu.Lock()
 	defer publishMu.Unlock()
 	if expvar.Get(name) != nil {
-		return
+		return false
 	}
 	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+	return true
 }

@@ -53,7 +53,10 @@ func TestNilSafety(t *testing.T) {
 	m.Gauge("x").SetMax(1)
 	m.Timer("x").Observe(time.Second)
 	m.Timer("x").Start()()
-	m.Publish("telemetry-test-nil")
+	m.Histogram("x").Observe(1)
+	if m.Publish("telemetry-test-nil") {
+		t.Fatal("nil registry must not publish")
+	}
 	if s := m.Snapshot(); len(s.Counters) != 0 {
 		t.Fatalf("nil registry snapshot not empty: %+v", s)
 	}
@@ -71,8 +74,32 @@ func TestNilSafety(t *testing.T) {
 	var tm *Timer
 	tm.Observe(time.Second)
 	tm.Start()()
-	if tm.Count() != 0 || tm.Total() != 0 || tm.Mean() != 0 {
+	if tm.Count() != 0 || tm.Total() != 0 || tm.Mean() != 0 || tm.Quantile(0.5) != 0 {
 		t.Fatal("nil timer")
+	}
+	if tm.Hist() != nil {
+		t.Fatal("nil timer must expose a nil histogram")
+	}
+}
+
+func TestTimerQuantiles(t *testing.T) {
+	tm := &Timer{}
+	for i := 1; i <= 100; i++ {
+		tm.Observe(time.Duration(i) * time.Millisecond)
+	}
+	p50 := tm.Quantile(0.5)
+	if p50 < 50*time.Millisecond || p50 > 57*time.Millisecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	p99 := tm.Quantile(0.99)
+	if p99 < 99*time.Millisecond || p99 > 112*time.Millisecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+	m := New()
+	m.Timer("lat").Observe(10 * time.Millisecond)
+	ts := m.Snapshot().Timers["lat"]
+	if ts.P50 != 10*time.Millisecond || ts.P99 != 10*time.Millisecond {
+		t.Fatalf("snapshot timer quantiles: %+v", ts)
 	}
 }
 
@@ -132,10 +159,20 @@ func TestConcurrentUpdates(t *testing.T) {
 func TestPublish(t *testing.T) {
 	m := New()
 	m.Add("hits", 5)
-	m.Publish("telemetry-test-publish")
-	// Publishing a second registry under the same name is a no-op, not a
-	// panic.
-	New().Publish("telemetry-test-publish")
+	if !m.Publish("telemetry-test-publish") {
+		t.Fatal("first Publish under a fresh name must report true")
+	}
+	// Publishing a second registry under the same name is a reported
+	// no-op, not a panic: the caller learns its registry is NOT the one
+	// being served.
+	if New().Publish("telemetry-test-publish") {
+		t.Fatal("colliding Publish must report false")
+	}
+	// Re-publishing the same registry is also a collision by expvar's
+	// rules; the variable keeps serving the original registration.
+	if m.Publish("telemetry-test-publish") {
+		t.Fatal("duplicate Publish of the same registry must report false")
+	}
 	v := expvar.Get("telemetry-test-publish")
 	if v == nil {
 		t.Fatal("expvar not registered")

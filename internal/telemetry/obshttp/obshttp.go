@@ -1,0 +1,181 @@
+// Package obshttp mounts the engine's live observability surface on any
+// *http.ServeMux:
+//
+//	/metrics        Prometheus text exposition of a telemetry registry
+//	                (counters, gauges; timers and histograms as summaries
+//	                with p50/p90/p99 quantiles) plus process basics
+//	/debug/vars     expvar JSON (everything published via Metrics.Publish)
+//	/debug/pprof/*  the standard pprof handlers (CPU profile, heap, trace)
+//	/healthz        liveness probe (always 200 while the process serves)
+//	/readyz         readiness probe (503 until/unless Options.Ready says so)
+//
+// The same surface backs the long-running xserve daemon and the -listen
+// flag of the one-shot CLIs, so a grinding xbench run or a bounded
+// witness search can be scraped and profiled live instead of observed
+// only through its exit dump.
+package obshttp
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"xmlconflict/internal/telemetry"
+)
+
+// start anchors the process uptime reported on /metrics.
+var start = time.Now()
+
+// Options configures the mounted surface.
+type Options struct {
+	// Metrics is the registry served by /metrics. Nil serves only the
+	// process-level series (uptime, goroutines, heap).
+	Metrics *telemetry.Metrics
+	// Ready gates /readyz: nil means always ready. Flip it to false
+	// during drain so load balancers stop routing before shutdown.
+	Ready func() bool
+	// Namespace prefixes every exported metric name; empty selects
+	// "xmlconflict".
+	Namespace string
+}
+
+// Mount registers the observability handlers on mux.
+func Mount(mux *http.ServeMux, opts Options) {
+	ns := opts.Namespace
+	if ns == "" {
+		ns = "xmlconflict"
+	}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, ns, opts.Metrics.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Ready != nil && !opts.Ready() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ready\n")
+	})
+}
+
+// Handler returns a fresh mux with the surface mounted.
+func Handler(opts Options) http.Handler {
+	mux := http.NewServeMux()
+	Mount(mux, opts)
+	return mux
+}
+
+// Serve starts the surface on addr (host:port; ":0" picks a free port)
+// in a background goroutine and returns the server plus the bound
+// address. This is the -listen implementation shared by the CLIs: start
+// it before the real work, profile the work live, and Close the server
+// on the way out (or just let process exit take it down).
+func Serve(addr string, m *telemetry.Metrics) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obshttp: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(Options{Metrics: m})}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4). Counters and gauges map directly;
+// timers become summaries in seconds (<name>_seconds{quantile="..."});
+// histograms become summaries in their native unit. Process-level
+// series (<ns>_uptime_seconds, <ns>_goroutines, <ns>_heap_alloc_bytes)
+// are always appended. Output order is deterministic.
+func WritePrometheus(w io.Writer, ns string, s telemetry.Snapshot) {
+	writeFamily(w, s.Counters, ns, "counter", func(v int64) string {
+		return fmt.Sprintf("%d", v)
+	})
+	writeFamily(w, s.Gauges, ns, "gauge", func(v int64) string {
+		return fmt.Sprintf("%d", v)
+	})
+
+	for _, name := range sortedKeys(s.Timers) {
+		t := s.Timers[name]
+		pn := promName(ns, name) + "_seconds"
+		fmt.Fprintf(w, "# TYPE %s summary\n", pn)
+		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %g\n", pn, t.P50.Seconds())
+		fmt.Fprintf(w, "%s{quantile=\"0.9\"} %g\n", pn, t.P90.Seconds())
+		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %g\n", pn, t.P99.Seconds())
+		fmt.Fprintf(w, "%s_sum %g\n", pn, t.Total.Seconds())
+		fmt.Fprintf(w, "%s_count %d\n", pn, t.Count)
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promName(ns, name)
+		fmt.Fprintf(w, "# TYPE %s summary\n", pn)
+		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %d\n", pn, h.P50)
+		fmt.Fprintf(w, "%s{quantile=\"0.9\"} %d\n", pn, h.P90)
+		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %d\n", pn, h.P99)
+		fmt.Fprintf(w, "%s_sum %d\n", pn, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# TYPE %s_uptime_seconds gauge\n%s_uptime_seconds %g\n",
+		ns, ns, time.Since(start).Seconds())
+	fmt.Fprintf(w, "# TYPE %s_goroutines gauge\n%s_goroutines %d\n",
+		ns, ns, runtime.NumGoroutine())
+	fmt.Fprintf(w, "# TYPE %s_heap_alloc_bytes gauge\n%s_heap_alloc_bytes %d\n",
+		ns, ns, ms.HeapAlloc)
+}
+
+func writeFamily(w io.Writer, m map[string]int64, ns, typ string, format func(int64) string) {
+	for _, name := range sortedKeys(m) {
+		pn := promName(ns, name)
+		fmt.Fprintf(w, "# TYPE %s %s\n", pn, typ)
+		fmt.Fprintf(w, "%s %s\n", pn, format(m[name]))
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// promName converts a registry name like "search.candidates" into a
+// Prometheus-legal metric name with the namespace prefix:
+// "<ns>_search_candidates".
+func promName(ns, name string) string {
+	var b strings.Builder
+	b.Grow(len(ns) + 1 + len(name))
+	b.WriteString(ns)
+	b.WriteByte('_')
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package obshttp
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"xmlconflict/internal/telemetry"
+)
+
+func testRegistry() *telemetry.Metrics {
+	m := telemetry.New()
+	m.Add("search.candidates", 42)
+	m.Gauge("search.depth").Set(7)
+	m.Timer("detect.time").Observe(3 * time.Millisecond)
+	m.Histogram("serve.detect_ns").Observe(1500)
+	return m
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	srv := httptest.NewServer(Handler(Options{Metrics: testRegistry()}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE xmlconflict_search_candidates counter",
+		"xmlconflict_search_candidates 42",
+		"# TYPE xmlconflict_search_depth gauge",
+		"xmlconflict_search_depth 7",
+		"# TYPE xmlconflict_detect_time_seconds summary",
+		`xmlconflict_detect_time_seconds{quantile="0.99"}`,
+		"xmlconflict_detect_time_seconds_count 1",
+		"# TYPE xmlconflict_serve_detect_ns summary",
+		`xmlconflict_serve_detect_ns{quantile="0.5"} 1`,
+		"xmlconflict_serve_detect_ns_count 1",
+		"xmlconflict_goroutines",
+		"xmlconflict_uptime_seconds",
+		"xmlconflict_heap_alloc_bytes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+}
+
+func TestProbesAndDebugSurface(t *testing.T) {
+	ready := true
+	srv := httptest.NewServer(Handler(Options{
+		Metrics: testRegistry(),
+		Ready:   func() bool { return ready },
+	}))
+	defer srv.Close()
+
+	get := func(path string) int {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if get("/healthz") != http.StatusOK {
+		t.Fatal("healthz not ok")
+	}
+	if get("/readyz") != http.StatusOK {
+		t.Fatal("readyz not ok while ready")
+	}
+	ready = false
+	if get("/readyz") != http.StatusServiceUnavailable {
+		t.Fatal("readyz must report 503 while draining")
+	}
+	if get("/debug/pprof/") != http.StatusOK {
+		t.Fatal("pprof index not mounted")
+	}
+	if get("/debug/vars") != http.StatusOK {
+		t.Fatal("expvar not mounted")
+	}
+	// A short CPU profile must stream successfully (the acceptance
+	// criterion "usable CPU profile"): pprof writes a binary protobuf.
+	resp, err := http.Get(srv.URL + "/debug/pprof/profile?seconds=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("cpu profile: status %d, %d bytes", resp.StatusCode, len(body))
+	}
+}
+
+func TestNilRegistryServesProcessSeries(t *testing.T) {
+	srv := httptest.NewServer(Handler(Options{}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "xmlconflict_goroutines") {
+		t.Fatalf("nil registry exposition missing process series:\n%s", body)
+	}
+}
+
+func TestServeBackground(t *testing.T) {
+	m := testRegistry()
+	srv, addr, err := Serve("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "xmlconflict_search_candidates 42") {
+		t.Fatalf("background server exposition:\n%s", body)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"search.candidates": "ns_search_candidates",
+		"a-b/c d":           "ns_a_b_c_d",
+		"ok_name:sub":       "ns_ok_name:sub",
+		"UPPER9":            "ns_UPPER9",
+	} {
+		if got := promName("ns", in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -43,10 +43,15 @@ type Progress struct {
 	phase string
 	begin time.Time
 
-	done  atomic.Int64
-	total atomic.Int64
-	ticks atomic.Int64
-	last  atomic.Int64 // UnixNano of the last report
+	done     atomic.Int64
+	total    atomic.Int64
+	ticks    atomic.Int64
+	last     atomic.Int64 // UnixNano of the last report
+	finished atomic.Bool  // the phase's final report has been claimed
+
+	// emitMu serializes callback delivery so the final report is the
+	// last one the consumer sees even when Steps race with Finish.
+	emitMu sync.Mutex
 }
 
 // clockEvery is how many Step calls pass between clock reads.
@@ -95,6 +100,7 @@ func (p *Progress) Start(phase string, total int64) {
 	p.done.Store(0)
 	p.ticks.Store(0)
 	p.total.Store(total)
+	p.finished.Store(false)
 	p.last.Store(time.Now().UnixNano())
 }
 
@@ -118,15 +124,28 @@ func (p *Progress) Step(n int64) {
 	p.emit(done, false)
 }
 
-// Finish emits the closing report for the phase.
+// Finish emits the closing report for the phase. It is guaranteed to
+// fire regardless of the throttle window — even if every Step landed
+// inside the interval and no intermediate report was ever delivered —
+// and it fires exactly once per phase: extra Finish calls are no-ops
+// until the next Start, and any Step report racing with Finish is
+// dropped rather than delivered after the final one.
 func (p *Progress) Finish() {
 	if p == nil {
 		return
+	}
+	if p.finished.Swap(true) {
+		return // this phase's final report was already emitted
 	}
 	p.emit(p.done.Load(), true)
 }
 
 func (p *Progress) emit(done int64, final bool) {
+	p.emitMu.Lock()
+	defer p.emitMu.Unlock()
+	if !final && p.finished.Load() {
+		return // the phase closed while this report was in flight
+	}
 	p.mu.Lock()
 	phase := p.phase
 	begin := p.begin

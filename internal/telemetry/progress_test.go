@@ -74,6 +74,83 @@ func TestProgressRateAndETA(t *testing.T) {
 	}
 }
 
+// TestProgressFinalInsideThrottleWindow is the regression test for the
+// completion guarantee: when every Step lands inside the throttle
+// window (so not a single intermediate report fires), Finish must still
+// deliver exactly one final report carrying the full done count.
+func TestProgressFinalInsideThrottleWindow(t *testing.T) {
+	var updates []Update
+	p := NewProgress(func(u Update) { updates = append(updates, u) }, time.Hour)
+	p.Start("search", 100)
+	// Fewer than clockEvery steps: the clock is never even consulted,
+	// the last update is deep inside the throttle window.
+	for i := 0; i < clockEvery-1; i++ {
+		p.Step(1)
+	}
+	p.Finish()
+	if len(updates) != 1 {
+		t.Fatalf("got %d updates, want exactly the final one", len(updates))
+	}
+	if u := updates[0]; !u.Final || u.Done != clockEvery-1 {
+		t.Fatalf("final update: %+v", u)
+	}
+	// Finish is once-per-phase: calling it again must not emit a second
+	// final report.
+	p.Finish()
+	if len(updates) != 1 {
+		t.Fatalf("double Finish emitted %d updates", len(updates))
+	}
+	// A new phase re-arms the guarantee.
+	p.Start("search2", 10)
+	p.Step(3)
+	p.Finish()
+	if len(updates) != 2 || !updates[1].Final || updates[1].Done != 3 || updates[1].Phase != "search2" {
+		t.Fatalf("second phase updates: %+v", updates)
+	}
+}
+
+// TestProgressNoReportAfterFinal checks that under concurrent Steps the
+// final report is the last one delivered: a throttled report racing
+// with Finish is dropped, never delivered after the closing line.
+func TestProgressNoReportAfterFinal(t *testing.T) {
+	var mu sync.Mutex
+	sawFinal := false
+	afterFinal := 0
+	p := NewProgress(func(u Update) {
+		mu.Lock()
+		defer mu.Unlock()
+		if sawFinal {
+			afterFinal++
+		}
+		if u.Final {
+			sawFinal = true
+		}
+	}, time.Nanosecond)
+	for round := 0; round < 50; round++ {
+		mu.Lock()
+		sawFinal = false
+		mu.Unlock()
+		p.Start("race", 0)
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					p.Step(1)
+				}
+			}()
+		}
+		p.Finish() // may race with in-flight Steps
+		wg.Wait()
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if afterFinal != 0 {
+		t.Fatalf("%d reports delivered after a final report", afterFinal)
+	}
+}
+
 func TestProgressNilSafe(t *testing.T) {
 	var p *Progress
 	p.Start("x", 1)

@@ -6,6 +6,7 @@ import (
 
 	"xmlconflict/internal/core"
 	"xmlconflict/internal/telemetry"
+	"xmlconflict/internal/telemetry/obshttp"
 )
 
 // This file is the observability facade: metrics, decision traces, and
@@ -79,6 +80,26 @@ func NewProgress(fn func(ProgressUpdate), interval time.Duration) *Progress {
 // lines to w, e.g. "search: 15000/150000 (10.0%) 48120/s eta 2.8s".
 func NewProgressWriter(w io.Writer, interval time.Duration) *Progress {
 	return telemetry.NewProgressWriter(w, interval)
+}
+
+// ServeObservability starts the live observability surface on addr
+// (":0" picks a free port) in a background goroutine and returns a
+// closer plus the bound address. The surface serves:
+//
+//	/metrics        Prometheus text exposition of st (nil st: process-
+//	                level series only), timers with p50/p90/p99
+//	/debug/vars     expvar
+//	/debug/pprof/*  live CPU/heap/trace profiling
+//	/healthz        liveness, /readyz readiness
+//
+// This is what the -listen flag of every CLI mounts, so a long detection
+// grind can be scraped and profiled while it runs.
+func ServeObservability(addr string, st *Stats) (io.Closer, string, error) {
+	srv, bound, err := obshttp.Serve(addr, st)
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, bound, nil
 }
 
 // ShrinkWitnessObserved is ShrinkWitness reporting the minimization's
