@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -18,6 +20,7 @@ import (
 	"xmlconflict/internal/match"
 	"xmlconflict/internal/ops"
 	"xmlconflict/internal/pattern"
+	"xmlconflict/internal/program"
 	"xmlconflict/internal/schema"
 	"xmlconflict/internal/telemetry"
 	"xmlconflict/internal/xmltree"
@@ -505,6 +508,39 @@ func BenchmarkParallelSearch(b *testing.B) {
 	b.Run("parallel", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := core.SearchConflictParallel(r, d, ops.NodeSemantics, opts, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE19BatchAnalysis is the testing.B anchor for experiment E19:
+// the pairwise dependence analysis of a 36-statement program with
+// repeated patterns, sequentially, and fanned out over a worker pool
+// sharing a warm verdict cache. Verdicts are identical in every mode;
+// only the time changes.
+func BenchmarkE19BatchAnalysis(b *testing.B) {
+	var src strings.Builder
+	src.WriteString("x = doc <r><a><q/><b/></a></r>\ny = doc <r><a/></r>\n")
+	reads := []string{"/a[q]/b", "/a[c][d]/b", "//b", "/a[q]/q", "/a[b][q]/c"}
+	upds := []string{"insert $x/a, <b/>", "delete $x/a/b", "insert $x/a, <q/>", "delete $x//q"}
+	for i := 0; i < 17; i++ {
+		fmt.Fprintf(&src, "r%d = read $x%s\n%s\n", i, reads[i%len(reads)], upds[i%len(upds)])
+	}
+	prog := program.MustParse(src.String())
+	opts := core.SearchOptions{MaxNodes: 5, MaxCandidates: 20_000}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := program.Analyze(prog, program.Options{Search: opts}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	cache := core.NewDetectorCache(0)
+	b.Run("parallel-warm-cache", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			popt := program.Options{Search: opts, Workers: runtime.GOMAXPROCS(0), Cache: cache}
+			if _, err := program.Analyze(prog, popt); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	xbench                     run all experiments (E1-E18)
+//	xbench                     run all experiments (E1-E19)
 //	xbench -run E3,E7          run selected experiments
 //	xbench -reps 10            increase averaging repetitions
 //	xbench -seed 42            change the workload seed
@@ -77,7 +77,7 @@ func run(args []string) int {
 		return runCompare(*compare)
 	}
 
-	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
+	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"}
 	if *runIDs != "" {
 		ids = ids[:0]
 		for _, id := range strings.Split(*runIDs, ",") {

@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	xdep [-sem node|tree|value] [-O] [-run] [-trace] [-stats] [-progress]
-//	     [-listen addr] [program.xup]
+//	xdep [-sem node|tree|value] [-j N] [-O] [-run] [-trace] [-stats]
+//	     [-progress] [-listen addr] [program.xup]
 //
 // The program is read from the named file, or stdin if none is given.
 // With -O the optimizer applies the rewrites the analysis licenses
@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -41,6 +42,7 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("xdep", flag.ContinueOnError)
 	semName := fs.String("sem", "node", "conflict semantics: node, tree, or value")
+	jobs := fs.Int("j", 1, "pairwise analysis workers (0 = GOMAXPROCS); verdicts are identical at any setting")
 	exec := fs.Bool("run", false, "also execute the program")
 	optimize := fs.Bool("O", false, "apply hoisting and CSE, print the rewritten program")
 	trace := fs.Bool("trace", false, "stream JSON-lines decision-trace events to stderr")
@@ -101,7 +103,21 @@ func run(args []string) int {
 	if *progress {
 		search = search.WithProgress(xmlconflict.NewProgressWriter(os.Stderr, 0))
 	}
-	aopts := xmlconflict.AnalyzeOptions{Sem: sem, Search: search}
+	workers := *jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// The cache pays off even sequentially (programs repeat patterns) and
+	// is shared by the -O re-analysis below.
+	aopts := xmlconflict.AnalyzeOptions{
+		Sem:     sem,
+		Search:  search,
+		Workers: workers,
+		Cache:   xmlconflict.NewDetectorCache(0),
+	}
+	if st != nil {
+		aopts.Cache.Instrument(st)
+	}
 	analysis, err := xmlconflict.AnalyzeProgram(prog, aopts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xdep: %v\n", err)

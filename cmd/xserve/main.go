@@ -5,6 +5,8 @@
 // Usage:
 //
 //	xserve [-listen :8344] [-pool N] [-queue-timeout 2s] [-max-body 1048576]
+//	       [-read-header-timeout 5s] [-read-timeout 30s]
+//	       [-write-timeout 2m] [-idle-timeout 2m]
 //
 // API:
 //
@@ -15,18 +17,37 @@
 //	    -> {"conflict": true, "method": "search", "complete": true,
 //	        "witness": "<a>...</a>", "candidates": 712, "elapsed_us": 3100}
 //
-// Exactly one of "insert"/"delete" must be given. With "tree" the
-// request is a witness check on that document (Lemma 1, polynomial);
-// with "schema" the search is restricted to schema-valid witnesses;
-// with "workers" > 0 the NP-case search fans out over that many
-// goroutines. All other fields bound the witness search exactly like
-// xconflict's flags.
+//	POST /v1/detect/batch
+//	    {"pairs": [{"read": ..., "insert"/"delete": ...}, ...]}
+//	    -> {"results": [...one detect reply per pair, in order...],
+//	        "elapsed_us": 4100}
+//
+//	POST /v1/analyze
+//	    {"program": "x = doc <a/>\ny = read $x//b\n...",
+//	     "semantics": "node", "max_nodes": 6, "max_candidates": 200000,
+//	     "workers": 0}
+//	    -> {"statements": [...], "dependences": [{"i":1,"j":2,"reason":...}],
+//	        "hoistable_reads": [...], "redundant_reads": [[0,3]],
+//	        "schedule": [[0],[1,2],...], "elapsed_us": 9000}
+//
+// Exactly one of "insert"/"delete" must be given per detect pair. With
+// "tree" the request is a witness check on that document (Lemma 1,
+// polynomial); with "schema" the search is restricted to schema-valid
+// witnesses; with "workers" > 0 the NP-case search fans out over that
+// many goroutines. Batch pairs accept only the plain form (no
+// schema/tree/workers). All other fields bound the witness search
+// exactly like xconflict's flags.
+//
+// Plain detections, batch pairs, and analyze cross-checks all share one
+// process-lifetime verdict cache, so repeated patterns — the common case
+// for clients deciding program fragments — are decided once.
 //
 // Observability (same mux):
 //
 //	GET /metrics        Prometheus text exposition: serve_detect_seconds
-//	                    p50/p90/p99, request/error/conflict counters, and
-//	                    every engine counter (candidates, cache traffic, ...)
+//	                    p50/p90/p99, request/error/conflict counters,
+//	                    detector-cache hits/misses, and every engine
+//	                    counter (candidates, cache traffic, ...)
 //	GET /debug/vars     expvar JSON snapshot
 //	GET /debug/pprof/*  live CPU/heap/trace profiling
 //	GET /healthz        liveness
@@ -34,8 +55,11 @@
 //
 // Detection work runs on a bounded worker pool (-pool, default
 // GOMAXPROCS): excess requests wait up to -queue-timeout for a slot and
-// are then rejected with 503 + Retry-After, keeping tail latency bounded
-// under overload instead of collapsing. SIGINT/SIGTERM drain gracefully:
+// are then rejected with 503 + Retry-After (derived from the observed
+// detection latency p90), keeping tail latency bounded under overload
+// instead of collapsing. A client that disconnects mid-request cancels
+// its detection — the search polls the request context — so abandoned
+// work frees its pool slot promptly. SIGINT/SIGTERM drain gracefully:
 // readiness flips first, in-flight detections finish.
 package main
 
@@ -45,11 +69,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -87,14 +113,56 @@ type detectResponse struct {
 	ElapsedUs  int64    `json:"elapsed_us"`
 }
 
+// batchRequest is the POST /v1/detect/batch body: plain detect pairs
+// only (no schema/tree/workers per pair).
+type batchRequest struct {
+	Pairs []detectRequest `json:"pairs"`
+}
+
+// batchResponse replies with one result per pair, in request order.
+type batchResponse struct {
+	Results   []detectResponse `json:"results"`
+	ElapsedUs int64            `json:"elapsed_us"`
+}
+
+// analyzeRequest is the POST /v1/analyze body: a pidgin program and the
+// analysis knobs.
+type analyzeRequest struct {
+	Program       string `json:"program"`
+	Semantics     string `json:"semantics,omitempty"`
+	MaxNodes      int    `json:"max_nodes,omitempty"`
+	MaxCandidates int    `json:"max_candidates,omitempty"`
+	Workers       int    `json:"workers,omitempty"`
+}
+
+// analyzeDependence is one edge of the dependence relation.
+type analyzeDependence struct {
+	I      int    `json:"i"`
+	J      int    `json:"j"`
+	Reason string `json:"reason"`
+}
+
+// analyzeResponse is the dependence matrix plus the optimization
+// opportunities the paper motivates.
+type analyzeResponse struct {
+	Statements     []string            `json:"statements"`
+	Dependences    []analyzeDependence `json:"dependences"`
+	HoistableReads []int               `json:"hoistable_reads,omitempty"`
+	RedundantReads [][2]int            `json:"redundant_reads,omitempty"`
+	Schedule       [][]int             `json:"schedule"`
+	ElapsedUs      int64               `json:"elapsed_us"`
+}
+
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
 // server carries the daemon's shared state: the metrics registry every
-// request records into, the bounded worker pool, and the readiness bit.
+// request records into, the bounded worker pool, the process-lifetime
+// verdict cache, and the readiness bit.
 type server struct {
 	metrics      *telemetry.Metrics
+	cache        *xmlconflict.DetectorCache
 	pool         chan struct{}
 	queueTimeout time.Duration
 	maxBody      int64
@@ -113,10 +181,12 @@ func newServer(pool int, queueTimeout time.Duration, maxBody int64) *server {
 	}
 	s := &server{
 		metrics:      telemetry.New(),
+		cache:        xmlconflict.NewDetectorCache(0),
 		pool:         make(chan struct{}, pool),
 		queueTimeout: queueTimeout,
 		maxBody:      maxBody,
 	}
+	s.cache.Instrument(s.metrics)
 	s.ready.Store(true)
 	return s
 }
@@ -125,88 +195,327 @@ func newServer(pool int, queueTimeout time.Duration, maxBody int64) *server {
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/detect", s.handleDetect)
+	mux.HandleFunc("/v1/detect/batch", s.handleBatch)
+	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	obshttp.Mount(mux, obshttp.Options{Metrics: s.metrics, Ready: s.ready.Load})
 	return mux
 }
 
-func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
-		return
-	}
-	s.metrics.Add("serve.requests", 1)
+// httpTimeouts bounds every phase of a connection's life so one slow or
+// stalled client (slowloris, dead TCP peer) cannot pin a connection —
+// and with it server memory — indefinitely.
+type httpTimeouts struct {
+	readHeader, read, write, idle time.Duration
+}
 
-	var req detectRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		s.metrics.Add("serve.bad_requests", 1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
-		return
+func defaultTimeouts() httpTimeouts {
+	return httpTimeouts{
+		readHeader: 5 * time.Second,
+		read:       30 * time.Second,
+		write:      2 * time.Minute,
+		idle:       2 * time.Minute,
 	}
+}
 
-	// Acquire a worker-pool slot; bounded waiting keeps overload
-	// failures fast and explicit instead of queueing unboundedly.
+// server builds the http.Server with the timeouts applied.
+func (t httpTimeouts) server(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: t.readHeader,
+		ReadTimeout:       t.read,
+		WriteTimeout:      t.write,
+		IdleTimeout:       t.idle,
+	}
+}
+
+var errQueueTimeout = errors.New("worker pool saturated")
+
+// acquireSlot blocks until a pool slot frees, the request's context
+// dies, or the queue timeout lapses. The inflight gauge tracks both
+// edges — set on acquire AND on release — so it drains back to zero when
+// the server goes idle instead of sticking at the high-water mark.
+func (s *server) acquireSlot(ctx context.Context) (release func(), err error) {
 	slotTimer := time.NewTimer(s.queueTimeout)
 	defer slotTimer.Stop()
 	select {
 	case s.pool <- struct{}{}:
-		defer func() { <-s.pool }()
-	case <-r.Context().Done():
+		s.metrics.Gauge("serve.inflight").Set(int64(len(s.pool)))
+		return func() {
+			<-s.pool
+			s.metrics.Gauge("serve.inflight").Set(int64(len(s.pool)))
+		}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-slotTimer.C:
+		return nil, errQueueTimeout
+	}
+}
+
+// rejectSlot reports a failed slot acquisition: silently for a client
+// that already went away, with 503 + Retry-After for saturation.
+func (s *server) rejectSlot(w http.ResponseWriter, err error) {
+	if !errors.Is(err, errQueueTimeout) {
 		s.metrics.Add("serve.canceled", 1)
 		return
-	case <-slotTimer.C:
-		s.metrics.Add("serve.rejected", 1)
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"worker pool saturated"})
+	}
+	s.metrics.Add("serve.rejected", 1)
+	w.Header().Set("Retry-After", s.retryAfter())
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{"worker pool saturated"})
+}
+
+// retryAfter tells a shed client how long to back off: the p90 of
+// observed detection latency — the time a pool slot realistically takes
+// to free up — rounded up to whole seconds and clamped to [1, 60].
+// Before any detection has run it is 1 second.
+func (s *server) retryAfter() string {
+	p90 := s.metrics.Timer("serve.detect").Quantile(0.9)
+	secs := int64(math.Ceil(p90.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// decode parses a JSON request body within the size limit.
+func (s *server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		s.metrics.Add("serve.bad_requests", 1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// postOnly gates a handler to POST.
+func postOnly(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return false
+	}
+	return true
+}
+
+// finish writes the reply unless the client is already gone — then the
+// work is counted canceled and nothing is written (the connection is
+// dead anyway).
+func (s *server) finish(w http.ResponseWriter, r *http.Request, status int, body any, err error) {
+	if r.Context().Err() != nil {
+		s.metrics.Add("serve.canceled", 1)
 		return
 	}
-
-	s.metrics.Gauge("serve.inflight").Set(int64(len(s.pool)))
-	stop := s.metrics.Timer("serve.detect").Start()
-	resp, status, err := s.detect(req)
-	stop()
 	if err != nil {
 		s.metrics.Add("serve.errors", 1)
 		writeJSON(w, status, errorResponse{err.Error()})
 		return
 	}
-	if resp.Conflict {
-		s.metrics.Add("serve.conflicts", 1)
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, body)
 }
 
-// detect parses and runs one request against the facade. Returned
-// errors carry the HTTP status to report (400 for request defects).
-func (s *server) detect(req detectRequest) (detectResponse, int, error) {
+func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	if !postOnly(w, r) {
+		return
+	}
+	s.metrics.Add("serve.requests", 1)
+	var req detectRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+
+	// Acquire a worker-pool slot; bounded waiting keeps overload
+	// failures fast and explicit instead of queueing unboundedly.
+	release, err := s.acquireSlot(r.Context())
+	if err != nil {
+		s.rejectSlot(w, err)
+		return
+	}
+	defer release()
+
+	stop := s.metrics.Timer("serve.detect").Start()
+	resp, status, err := s.detect(r.Context(), req)
+	stop()
+	if err == nil && resp.Conflict {
+		s.metrics.Add("serve.conflicts", 1)
+	}
+	s.finish(w, r, status, resp, err)
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !postOnly(w, r) {
+		return
+	}
+	s.metrics.Add("serve.requests", 1)
+	var req batchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Pairs) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{`"pairs" must be non-empty`})
+		return
+	}
+	items := make([]xmlconflict.BatchItem, len(req.Pairs))
+	var opts xmlconflict.SearchOptions
+	for i, p := range req.Pairs {
+		if p.Schema != "" || p.Tree != "" || p.Workers != 0 {
+			writeJSON(w, http.StatusBadRequest,
+				errorResponse{fmt.Sprintf("pair %d: schema/tree/workers are not supported in batches", i)})
+			return
+		}
+		item, bounds, err := s.parsePair(p)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("pair %d: %v", i, err)})
+			return
+		}
+		items[i] = item
+		// One bound set governs the whole batch: the loosest requested,
+		// so no pair searches shallower than it asked for.
+		if bounds.MaxNodes > opts.MaxNodes {
+			opts.MaxNodes = bounds.MaxNodes
+		}
+		if bounds.MaxCandidates > opts.MaxCandidates {
+			opts.MaxCandidates = bounds.MaxCandidates
+		}
+	}
+
+	// One slot covers the whole batch; the fan-out below is what uses
+	// the pool's parallelism.
+	release, err := s.acquireSlot(r.Context())
+	if err != nil {
+		s.rejectSlot(w, err)
+		return
+	}
+	defer release()
+
+	opts = opts.WithStats(s.metrics).WithContext(r.Context())
+	begin := time.Now()
+	stop := s.metrics.Timer("serve.detect").Start()
+	verdicts, err := xmlconflict.DetectBatch(items, opts, cap(s.pool), s.cache)
+	stop()
+	if err != nil {
+		s.finish(w, r, http.StatusUnprocessableEntity, nil, err)
+		return
+	}
+	resp := batchResponse{Results: make([]detectResponse, len(verdicts)), ElapsedUs: time.Since(begin).Microseconds()}
+	for i, v := range verdicts {
+		resp.Results[i] = verdictResponse(v, items[i].Sem)
+		if v.Conflict {
+			s.metrics.Add("serve.conflicts", 1)
+		}
+	}
+	s.finish(w, r, 0, resp, nil)
+}
+
+func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if !postOnly(w, r) {
+		return
+	}
+	s.metrics.Add("serve.requests", 1)
+	var req analyzeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Program == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{`need "program"`})
+		return
+	}
+	sem, err := parseSemantics(req.Semantics)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	prog, err := xmlconflict.ParseProgram(req.Program)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"program: " + err.Error()})
+		return
+	}
+
+	release, err := s.acquireSlot(r.Context())
+	if err != nil {
+		s.rejectSlot(w, err)
+		return
+	}
+	defer release()
+
+	workers := req.Workers
+	if workers <= 0 {
+		workers = cap(s.pool)
+	}
+	aopts := xmlconflict.AnalyzeOptions{
+		Sem: sem,
+		Search: xmlconflict.SearchOptions{
+			MaxNodes:      req.MaxNodes,
+			MaxCandidates: req.MaxCandidates,
+		}.WithStats(s.metrics).WithContext(r.Context()),
+		Workers: workers,
+		Cache:   s.cache,
+	}
+	begin := time.Now()
+	stop := s.metrics.Timer("serve.detect").Start()
+	a, err := xmlconflict.AnalyzeProgram(prog, aopts)
+	stop()
+	if err != nil {
+		s.finish(w, r, http.StatusUnprocessableEntity, nil, err)
+		return
+	}
+	resp := analyzeResponse{
+		Statements: make([]string, len(prog.Stmts)),
+		Schedule:   a.ParallelSchedule().Stages,
+		ElapsedUs:  time.Since(begin).Microseconds(),
+	}
+	for i, st := range prog.Stmts {
+		resp.Statements[i] = st.Src
+	}
+	for i := range a.Dep {
+		for j := i + 1; j < len(a.Dep); j++ {
+			if a.Dep[i][j] {
+				resp.Dependences = append(resp.Dependences, analyzeDependence{I: i, J: j, Reason: a.Reason[i][j]})
+			}
+		}
+	}
+	resp.HoistableReads = a.HoistableReads()
+	resp.RedundantReads = a.RedundantReads()
+	s.finish(w, r, 0, resp, nil)
+}
+
+// parseSemantics maps the wire name to a Semantics.
+func parseSemantics(name string) (xmlconflict.Semantics, error) {
+	switch name {
+	case "", "node":
+		return xmlconflict.NodeSemantics, nil
+	case "tree":
+		return xmlconflict.TreeSemantics, nil
+	case "value":
+		return xmlconflict.ValueSemantics, nil
+	}
+	return 0, fmt.Errorf("unknown semantics %q", name)
+}
+
+// parsePair parses the read/update/semantics core of a detect request,
+// plus its requested search bounds.
+func (s *server) parsePair(req detectRequest) (xmlconflict.BatchItem, xmlconflict.SearchOptions, error) {
+	var none xmlconflict.BatchItem
 	if req.Read == "" || (req.Insert == "") == (req.Delete == "") {
-		return detectResponse{}, http.StatusBadRequest,
+		return none, xmlconflict.SearchOptions{},
 			errors.New(`need "read" and exactly one of "insert"/"delete"`)
 	}
-	var sem xmlconflict.Semantics
-	switch req.Semantics {
-	case "", "node":
-		sem = xmlconflict.NodeSemantics
-	case "tree":
-		sem = xmlconflict.TreeSemantics
-	case "value":
-		sem = xmlconflict.ValueSemantics
-	default:
-		return detectResponse{}, http.StatusBadRequest,
-			fmt.Errorf("unknown semantics %q", req.Semantics)
+	sem, err := parseSemantics(req.Semantics)
+	if err != nil {
+		return none, xmlconflict.SearchOptions{}, err
 	}
 	rp, err := xmlconflict.ParseXPath(req.Read)
 	if err != nil {
-		return detectResponse{}, http.StatusBadRequest, fmt.Errorf("read: %w", err)
+		return none, xmlconflict.SearchOptions{}, fmt.Errorf("read: %w", err)
 	}
-	read := xmlconflict.Read{P: rp}
 	var upd xmlconflict.Update
 	if req.Insert != "" {
 		ip, err := xmlconflict.ParseXPath(req.Insert)
 		if err != nil {
-			return detectResponse{}, http.StatusBadRequest, fmt.Errorf("insert: %w", err)
+			return none, xmlconflict.SearchOptions{}, fmt.Errorf("insert: %w", err)
 		}
 		xs := req.X
 		if xs == "" {
@@ -214,16 +523,53 @@ func (s *server) detect(req detectRequest) (detectResponse, int, error) {
 		}
 		x, err := xmlconflict.ParseXMLString(xs)
 		if err != nil {
-			return detectResponse{}, http.StatusBadRequest, fmt.Errorf("x: %w", err)
+			return none, xmlconflict.SearchOptions{}, fmt.Errorf("x: %w", err)
 		}
 		upd = xmlconflict.Insert{P: ip, X: x}
 	} else {
 		dp, err := xmlconflict.ParseXPath(req.Delete)
 		if err != nil {
-			return detectResponse{}, http.StatusBadRequest, fmt.Errorf("delete: %w", err)
+			return none, xmlconflict.SearchOptions{}, fmt.Errorf("delete: %w", err)
 		}
 		upd = xmlconflict.Delete{P: dp}
 	}
+	opts := xmlconflict.SearchOptions{MaxNodes: req.MaxNodes, MaxCandidates: req.MaxCandidates}
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = 8
+	}
+	if opts.MaxCandidates <= 0 {
+		opts.MaxCandidates = 100_000
+	}
+	return xmlconflict.BatchItem{R: xmlconflict.Read{P: rp}, U: upd, Sem: sem}, opts, nil
+}
+
+// verdictResponse renders a verdict on the wire.
+func verdictResponse(v xmlconflict.Verdict, sem xmlconflict.Semantics) detectResponse {
+	resp := detectResponse{
+		Conflict:   v.Conflict,
+		Method:     v.Method,
+		Complete:   v.Complete,
+		Semantics:  sem.String(),
+		Detail:     v.Detail,
+		Edge:       v.Edge,
+		Word:       v.Word,
+		Candidates: v.Candidates,
+	}
+	if v.Witness != nil {
+		resp.Witness = v.Witness.XML()
+	}
+	return resp
+}
+
+// detect parses and runs one request against the facade, canceled by
+// ctx. Returned errors carry the HTTP status to report (400 for request
+// defects).
+func (s *server) detect(ctx context.Context, req detectRequest) (detectResponse, int, error) {
+	item, opts, err := s.parsePair(req)
+	if err != nil {
+		return detectResponse{}, http.StatusBadRequest, err
+	}
+	read, upd, sem := item.R, item.U, item.Sem
 
 	begin := time.Now()
 
@@ -252,16 +598,7 @@ func (s *server) detect(req detectRequest) (detectResponse, int, error) {
 		return resp, 0, nil
 	}
 
-	opts := xmlconflict.SearchOptions{
-		MaxNodes:      req.MaxNodes,
-		MaxCandidates: req.MaxCandidates,
-	}.WithStats(s.metrics)
-	if opts.MaxNodes <= 0 {
-		opts.MaxNodes = 8
-	}
-	if opts.MaxCandidates <= 0 {
-		opts.MaxCandidates = 100_000
-	}
+	opts = opts.WithStats(s.metrics).WithContext(ctx)
 
 	var v xmlconflict.Verdict
 	if req.Schema != "" {
@@ -280,25 +617,15 @@ func (s *server) detect(req detectRequest) (detectResponse, int, error) {
 			return detectResponse{}, http.StatusUnprocessableEntity, err
 		}
 	} else {
-		v, err = xmlconflict.Detect(read, upd, sem, opts)
+		// The plain form rides the process-lifetime verdict cache:
+		// repeated pairs are decided once for the server's life.
+		v, err = s.cache.Detect(read, upd, sem, opts)
 		if err != nil {
 			return detectResponse{}, http.StatusUnprocessableEntity, err
 		}
 	}
-	resp := detectResponse{
-		Conflict:   v.Conflict,
-		Method:     v.Method,
-		Complete:   v.Complete,
-		Semantics:  sem.String(),
-		Detail:     v.Detail,
-		Edge:       v.Edge,
-		Word:       v.Word,
-		Candidates: v.Candidates,
-		ElapsedUs:  time.Since(begin).Microseconds(),
-	}
-	if v.Witness != nil {
-		resp.Witness = v.Witness.XML()
-	}
+	resp := verdictResponse(v, sem)
+	resp.ElapsedUs = time.Since(begin).Microseconds()
 	return resp, 0, nil
 }
 
@@ -319,6 +646,11 @@ func run(args []string) int {
 	queueTimeout := fs.Duration("queue-timeout", 2*time.Second, "how long a request waits for a pool slot before 503")
 	maxBody := fs.Int64("max-body", 1<<20, "request body size limit in bytes")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful drain budget on SIGINT/SIGTERM")
+	t := defaultTimeouts()
+	fs.DurationVar(&t.readHeader, "read-header-timeout", t.readHeader, "time limit for reading a request's headers")
+	fs.DurationVar(&t.read, "read-timeout", t.read, "time limit for reading a whole request")
+	fs.DurationVar(&t.write, "write-timeout", t.write, "time limit for writing a response (covers the detection)")
+	fs.DurationVar(&t.idle, "idle-timeout", t.idle, "how long a keep-alive connection may sit idle")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -333,7 +665,7 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "xserve: %v\n", err)
 		return 2
 	}
-	srv := &http.Server{Handler: s.routes()}
+	srv := t.server(s.routes())
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()

@@ -72,6 +72,9 @@ func Detect(r ops.Read, u ops.Update, sem ops.Semantics, opts SearchOptions) (Ve
 	if err := u.Pattern().Validate(); err != nil {
 		return Verdict{}, fmt.Errorf("core: invalid %s pattern: %w", u.Kind(), err)
 	}
+	if err := opts.canceled(); err != nil {
+		return Verdict{}, fmt.Errorf("core: detect canceled: %w", err)
+	}
 	in := observer(opts)
 	in.count("detect.calls", 1)
 	linear := r.P.IsLinear()

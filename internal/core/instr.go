@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"xmlconflict/internal/telemetry"
 )
 
@@ -90,5 +92,13 @@ func (o SearchOptions) WithTracer(t telemetry.Tracer) SearchOptions {
 // reports to p.
 func (o SearchOptions) WithProgress(p *telemetry.Progress) SearchOptions {
 	o.Progress = p
+	return o
+}
+
+// WithContext returns a copy of o whose searches are canceled when ctx
+// is: the candidate enumerations poll ctx between candidates and return
+// its error instead of a verdict.
+func (o SearchOptions) WithContext(ctx context.Context) SearchOptions {
+	o.Ctx = ctx
 	return o
 }

@@ -88,7 +88,7 @@ func SearchConflictParallel(r ops.Read, u ops.Update, sem ops.Semantics, opts Se
 	var firstErr error
 	checked := make([]int64, workers)
 
-	checker := ops.NewChecker(sem, r, u, nil, in.metrics())
+	checker := ops.NewChecker(sem, r, u, opts.Patterns, in.metrics())
 
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -128,7 +128,15 @@ func SearchConflictParallel(r ops.Read, u ops.Update, sem ops.Semantics, opts Se
 
 	var examined int64
 	truncated := false
+	var ctxErr error
 	enumerateSkeletons(labels, maxNodes, func(t *encTree) bool {
+		if examined%cancelCheckInterval == 0 {
+			if err := opts.canceled(); err != nil {
+				ctxErr = fmt.Errorf("core: search canceled: %w", err)
+				in.count("search.canceled", 1)
+				return false
+			}
+		}
 		if examined >= int64(maxCand) {
 			truncated = true
 			return false
@@ -148,9 +156,11 @@ func SearchConflictParallel(r ops.Read, u ops.Update, sem ops.Semantics, opts Se
 
 	in.count("search.candidates", examined)
 	in.count("search.parallel.raced_past", racedPast.Load())
-	if hits, misses := checker.CacheCounts(); in != nil {
-		in.count("match.cache_hits", hits)
-		in.count("match.cache_misses", misses)
+	if opts.Patterns == nil {
+		if hits, misses := checker.CacheCounts(); in != nil {
+			in.count("match.cache_hits", hits)
+			in.count("match.cache_misses", misses)
+		}
 	}
 	if in != nil && in.m != nil {
 		minC, maxC := checked[0], checked[0]
@@ -164,6 +174,11 @@ func SearchConflictParallel(r ops.Read, u ops.Update, sem ops.Semantics, opts Se
 
 	if firstErr != nil {
 		return Verdict{}, firstErr
+	}
+	if ctxErr != nil && bestWitness == nil {
+		// A witness already in hand when cancellation lands is still a
+		// sound (and complete) verdict; without one the search is void.
+		return Verdict{}, ctxErr
 	}
 	if bestWitness != nil {
 		in.event("search.done",

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"xmlconflict/internal/containment"
+	"xmlconflict/internal/match"
 	"xmlconflict/internal/ops"
 	"xmlconflict/internal/telemetry"
 	"xmlconflict/internal/xmltree"
@@ -39,7 +41,33 @@ type SearchOptions struct {
 	// the candidate enumeration of the bounded searches. See
 	// WithProgress.
 	Progress *telemetry.Progress
+
+	// Ctx, when non-nil, cancels in-flight detection: the bounded
+	// searches poll it between candidates and return its error, so a
+	// caller that goes away (an HTTP client disconnecting, an aborted
+	// program analysis) stops burning a worker promptly. Nil means the
+	// work is never canceled. See WithContext.
+	Ctx context.Context
+	// Patterns, when non-nil, is a shared compiled-pattern cache the
+	// witness-search checkers draw evaluators from, extending reuse
+	// across Detect calls (the DetectorCache wires its own in). Nil
+	// gives each search a private cache.
+	Patterns *match.Cache
 }
+
+// canceled returns the context's error if the options carry a canceled
+// context, nil otherwise.
+func (o SearchOptions) canceled() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
+}
+
+// cancelCheckInterval is how many candidates a bounded search examines
+// between context polls: cheap enough to keep cancellation latency in the
+// microseconds without a per-candidate atomic load.
+const cancelCheckInterval = 64
 
 // DefaultMaxCandidates is the candidate cap applied when
 // SearchOptions.MaxCandidates is zero.
@@ -86,12 +114,19 @@ func SearchConflict(r ops.Read, u ops.Update, sem ops.Semantics, opts SearchOpti
 		telemetry.F("alphabet", len(labels)))
 	in.progressStart("search", int64(maxCand))
 
-	checker := ops.NewChecker(sem, r, u, nil, in.metrics())
+	checker := ops.NewChecker(sem, r, u, opts.Patterns, in.metrics())
 	var witness *xmltree.Tree
 	var checkErr error
 	examined := 0
 	truncated := false
 	EnumerateTrees(labels, maxNodes, func(t *xmltree.Tree) bool {
+		if examined%cancelCheckInterval == 0 {
+			if err := opts.canceled(); err != nil {
+				checkErr = fmt.Errorf("core: search canceled: %w", err)
+				in.count("search.canceled", 1)
+				return false
+			}
+		}
 		if examined >= maxCand {
 			truncated = true
 			return false
@@ -111,9 +146,14 @@ func SearchConflict(r ops.Read, u ops.Update, sem ops.Semantics, opts SearchOpti
 	})
 	in.progressFinish()
 	in.count("search.candidates", int64(examined))
-	if hits, misses := checker.CacheCounts(); in != nil {
-		in.count("match.cache_hits", hits)
-		in.count("match.cache_misses", misses)
+	if opts.Patterns == nil {
+		// A shared pattern cache accumulates counts across callers; the
+		// holder (the DetectorCache) reports them instead, so a per-search
+		// dump here would double-count.
+		if hits, misses := checker.CacheCounts(); in != nil {
+			in.count("match.cache_hits", hits)
+			in.count("match.cache_misses", misses)
+		}
 	}
 	if checkErr != nil {
 		return Verdict{}, checkErr

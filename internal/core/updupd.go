@@ -57,6 +57,12 @@ func UpdateUpdateConflict(u1, u2 ops.Update, opts SearchOptions) (Verdict, error
 	examined := 0
 	truncated := false
 	EnumerateTrees(labels, maxNodes, func(t *xmltree.Tree) bool {
+		if examined%cancelCheckInterval == 0 {
+			if err := opts.canceled(); err != nil {
+				checkErr = fmt.Errorf("core: search canceled: %w", err)
+				return false
+			}
+		}
 		examined++
 		if examined > maxCand {
 			truncated = true
@@ -131,6 +137,17 @@ func asInsert(u ops.Update) (ops.Insert, bool) {
 // search otherwise; an inconclusive search yields "not proven
 // independent", never a wrong "independent".
 func UpdatesIndependent(u1, u2 ops.Update, opts SearchOptions) (bool, string, error) {
+	return updatesIndependentWith(Detect, u1, u2, opts)
+}
+
+// DetectFunc is the signature of Detect; the DetectorCache substitutes
+// its memoized variant so independence cross-checks share the verdict
+// cache.
+type DetectFunc func(ops.Read, ops.Update, ops.Semantics, SearchOptions) (Verdict, error)
+
+// updatesIndependentWith is UpdatesIndependent with the read/update
+// cross-checks routed through detect.
+func updatesIndependentWith(detect DetectFunc, u1, u2 ops.Update, opts SearchOptions) (bool, string, error) {
 	if opts.MaxNodes == 0 {
 		opts.MaxNodes = 6
 	}
@@ -138,7 +155,7 @@ func UpdatesIndependent(u1, u2 ops.Update, opts SearchOptions) (bool, string, er
 		opts.MaxCandidates = 200_000
 	}
 	check := func(r, u ops.Update) (bool, bool, error) {
-		v, err := Detect(ops.Read{P: r.Pattern()}, u, ops.NodeSemantics, opts)
+		v, err := detect(ops.Read{P: r.Pattern()}, u, ops.NodeSemantics, opts)
 		if err != nil {
 			return false, false, err
 		}

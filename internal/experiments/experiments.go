@@ -70,6 +70,7 @@ func All(seed int64, reps int) []Table {
 		E16(),
 		E17(seed, reps),
 		E18(seed, reps),
+		E19(seed, reps),
 	}
 }
 
@@ -112,6 +113,8 @@ func ByID(id string, seed int64, reps int) (Table, error) {
 		return E17(seed, reps), nil
 	case "E18":
 		return E18(seed, reps), nil
+	case "E19":
+		return E19(seed, reps), nil
 	default:
 		return Table{}, fmt.Errorf("experiments: unknown experiment %q", id)
 	}

@@ -20,11 +20,24 @@ import (
 type Cache struct {
 	mu           sync.RWMutex
 	ev           map[*pattern.Pattern]*Evaluator
+	max          int // > 0: flush the map when it would exceed this
 	hits, misses atomic.Int64
 }
 
 // NewCache returns an empty cache.
 func NewCache() *Cache { return &Cache{ev: map[*pattern.Pattern]*Evaluator{}} }
+
+// NewCacheBounded returns a cache that holds at most maxEntries compiled
+// patterns; inserting beyond the bound flushes the whole map (recompiling
+// is cheap, and pointer-keyed entries cannot be aged individually without
+// bookkeeping the hot path would pay for). maxEntries <= 0 means
+// unbounded, i.e. NewCache. Process-lifetime holders (the DetectorCache)
+// use this so distinct patterns cannot grow the cache without limit.
+func NewCacheBounded(maxEntries int) *Cache {
+	c := NewCache()
+	c.max = maxEntries
+	return c
+}
 
 // Get returns the compiled evaluator for p, compiling it on first use.
 func (c *Cache) Get(p *pattern.Pattern) *Evaluator {
@@ -42,6 +55,9 @@ func (c *Cache) Get(p *pattern.Pattern) *Evaluator {
 		return e
 	}
 	c.misses.Add(1)
+	if c.max > 0 && len(c.ev) >= c.max {
+		c.ev = map[*pattern.Pattern]*Evaluator{}
+	}
 	e = Compile(p)
 	c.ev[p] = e
 	return e

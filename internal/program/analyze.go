@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"xmlconflict/internal/core"
 	"xmlconflict/internal/ops"
@@ -32,8 +33,35 @@ type Options struct {
 	// re-uses whole subtree values wants tree or value semantics.
 	Sem ops.Semantics
 	// Search bounds the fallback witness search used for branching read
-	// patterns and update/update pairs.
+	// patterns and update/update pairs. Search.Ctx, when set, cancels the
+	// whole analysis.
 	Search core.SearchOptions
+	// Workers fans the pairwise dependence loop over a worker pool of this
+	// size; 0 or 1 analyzes sequentially. The result is identical either
+	// way — verdicts are gathered by pair index, and on failure the error
+	// is the one the sequential sweep would have hit first.
+	Workers int
+	// Cache, when non-nil, memoizes detection verdicts (and compiled
+	// patterns) across pairs — and across Analyze calls sharing the cache.
+	// Programs repeat patterns, so the O(N²) loop hits it heavily. A
+	// parallel analysis with a nil Cache gets a private one for the call.
+	Cache *core.DetectorCache
+}
+
+// detect and independent return opt's detectors, memoized when a cache
+// is configured.
+func (opt Options) detect() core.DetectFunc {
+	if opt.Cache != nil {
+		return opt.Cache.Detect
+	}
+	return core.Detect
+}
+
+func (opt Options) independent() func(ops.Update, ops.Update, core.SearchOptions) (bool, string, error) {
+	if opt.Cache != nil {
+		return opt.Cache.UpdatesIndependent
+	}
+	return core.UpdatesIndependent
 }
 
 // Analyze computes the dependence relation. Read/read pairs never depend.
@@ -60,21 +88,83 @@ func Analyze(p *Program, opt Options) (*Analysis, error) {
 	if search.MaxCandidates == 0 {
 		search.MaxCandidates = 200_000
 	}
+	if opt.Workers > 1 && opt.Cache == nil {
+		// Workers sharing a cache is the whole point of the fan-out:
+		// repeated patterns are decided once instead of once per worker.
+		opt.Cache = core.NewDetectorCache(0)
+	}
+
+	type pair struct{ i, j int }
+	pairs := make([]pair, 0, n*(n-1)/2)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			dep, reason, err := depends(p.Stmts[i], p.Stmts[j], opt.Sem, search)
-			if err != nil {
-				return nil, fmt.Errorf("statements %d and %d: %w", p.Stmts[i].Line, p.Stmts[j].Line, err)
-			}
-			a.Dep[i][j] = dep
-			a.Reason[i][j] = reason
+			pairs = append(pairs, pair{i, j})
 		}
+	}
+	type verdict struct {
+		dep    bool
+		reason string
+		err    error
+	}
+	results := make([]verdict, len(pairs))
+
+	workers := opt.Workers
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers <= 1 {
+		for k, pr := range pairs {
+			if search.Ctx != nil && search.Ctx.Err() != nil {
+				return nil, fmt.Errorf("program: analysis canceled: %w", search.Ctx.Err())
+			}
+			dep, reason, err := depends(p.Stmts[pr.i], p.Stmts[pr.j], opt, search)
+			if err != nil {
+				return nil, fmt.Errorf("statements %d and %d: %w", p.Stmts[pr.i].Line, p.Stmts[pr.j].Line, err)
+			}
+			results[k] = verdict{dep: dep, reason: reason}
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := range jobs {
+					pr := pairs[k]
+					dep, reason, err := depends(p.Stmts[pr.i], p.Stmts[pr.j], opt, search)
+					results[k] = verdict{dep: dep, reason: reason, err: err}
+				}
+			}()
+		}
+		for k := range pairs {
+			if search.Ctx != nil && search.Ctx.Err() != nil {
+				break
+			}
+			jobs <- k
+		}
+		close(jobs)
+		wg.Wait()
+		if search.Ctx != nil && search.Ctx.Err() != nil {
+			return nil, fmt.Errorf("program: analysis canceled: %w", search.Ctx.Err())
+		}
+	}
+	// Gather by pair index: the lowest-indexed failure is the one the
+	// sequential loop would have returned, so errors are deterministic too.
+	for k, res := range results {
+		if res.err != nil {
+			pr := pairs[k]
+			return nil, fmt.Errorf("statements %d and %d: %w", p.Stmts[pr.i].Line, p.Stmts[pr.j].Line, res.err)
+		}
+		a.Dep[pairs[k].i][pairs[k].j] = res.dep
+		a.Reason[pairs[k].i][pairs[k].j] = res.reason
 	}
 	return a, nil
 }
 
 // depends decides whether two statements (in program order) depend.
-func depends(s1, s2 Stmt, sem ops.Semantics, search core.SearchOptions) (bool, string, error) {
+func depends(s1, s2 Stmt, opt Options, search core.SearchOptions) (bool, string, error) {
+	sem := opt.Sem
 	// Aliases touch no document: they depend only on their source read
 	// (and on anything redefining their own variable, which the language
 	// does not allow).
@@ -111,7 +201,7 @@ func depends(s1, s2 Stmt, sem ops.Semantics, search core.SearchOptions) (bool, s
 		if isUpd(s1) {
 			r, u = s2, s1
 		}
-		v, err := core.Detect(ops.Read{P: r.Pattern}, toUpdate(u), sem, search)
+		v, err := opt.detect()(ops.Read{P: r.Pattern}, toUpdate(u), sem, search)
 		if err != nil {
 			return false, "", err
 		}
@@ -125,7 +215,7 @@ func depends(s1, s2 Stmt, sem ops.Semantics, search core.SearchOptions) (bool, s
 		}
 		return false, "proved conflict-free", nil
 	default:
-		return updatePairDepends(s1, s2, sem, search)
+		return updatePairDepends(s1, s2, opt, search)
 	}
 }
 
@@ -133,8 +223,8 @@ func depends(s1, s2 Stmt, sem ops.Semantics, search core.SearchOptions) (bool, s
 // machinery in core: the pair is independent when core.UpdatesIndependent
 // proves the updates commute on every tree (a sound sufficient
 // condition); anything unproven is a dependence.
-func updatePairDepends(s1, s2 Stmt, sem ops.Semantics, search core.SearchOptions) (bool, string, error) {
-	ok, reason, err := core.UpdatesIndependent(toUpdate(s1), toUpdate(s2), search)
+func updatePairDepends(s1, s2 Stmt, opt Options, search core.SearchOptions) (bool, string, error) {
+	ok, reason, err := opt.independent()(toUpdate(s1), toUpdate(s2), search)
 	if err != nil {
 		return false, "", err
 	}

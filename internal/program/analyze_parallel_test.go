@@ -1,0 +1,115 @@
+package program
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"xmlconflict/internal/core"
+)
+
+// parallelProgram builds a program of 2+2*n statements whose pairwise
+// analysis mixes linear detections, NP witness searches (branching
+// reads), and update/update independence checks — with patterns repeated
+// so a verdict cache has something to hit.
+func parallelProgram(n int) *Program {
+	var b strings.Builder
+	b.WriteString("x = doc <r><a><q/><b/></a></r>\n")
+	b.WriteString("y = doc <r><a/></r>\n")
+	reads := []string{"/a[q]/b", "/a[c][d]/b", "//b", "/a[q]/q"}
+	upds := []string{"insert $x/a, <b/>", "delete $x/a/b", "insert $x/a, <q/>", "delete $x//q"}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "r%d = read $x%s\n", i, reads[i%len(reads)])
+		fmt.Fprintf(&b, "%s\n", upds[i%len(upds)])
+	}
+	return MustParse(b.String())
+}
+
+// boundedSearch keeps the NP searches in these tests quick; incomplete
+// verdicts are fine (they are conservative dependences) — the point is
+// that parallel and sequential agree byte-for-byte.
+func boundedSearch() core.SearchOptions {
+	return core.SearchOptions{MaxNodes: 4, MaxCandidates: 2_000}
+}
+
+func TestAnalyzeParallelMatchesSequential(t *testing.T) {
+	p := parallelProgram(10)
+	seq, err := Analyze(p, Options{Search: boundedSearch()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		cache := core.NewDetectorCache(0)
+		par, err := Analyze(p, Options{Search: boundedSearch(), Workers: workers, Cache: cache})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.Report() != seq.Report() {
+			t.Fatalf("workers=%d: parallel report differs from sequential:\n--- sequential\n%s--- parallel\n%s",
+				workers, seq.Report(), par.Report())
+		}
+		if hits, misses := cache.Counts(); hits == 0 || misses == 0 {
+			t.Fatalf("workers=%d: cache unused (hits=%d misses=%d)", workers, hits, misses)
+		}
+	}
+}
+
+// TestAnalyzeSharedCacheConcurrent runs many parallel analyses against
+// ONE DetectorCache at once (run under -race) and asserts every result
+// is identical to the sequential analysis.
+func TestAnalyzeSharedCacheConcurrent(t *testing.T) {
+	p := parallelProgram(8)
+	seq, err := Analyze(p, Options{Search: boundedSearch()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seq.Report()
+
+	cache := core.NewDetectorCache(0)
+	const goroutines = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			a, err := Analyze(p, Options{Search: boundedSearch(), Workers: 1 + g%3, Cache: cache})
+			if err != nil {
+				errs <- fmt.Errorf("goroutine %d: %w", g, err)
+				return
+			}
+			if got := a.Report(); got != want {
+				errs <- fmt.Errorf("goroutine %d: report differs from sequential:\n%s", g, got)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if hits, misses := cache.Counts(); hits+misses == 0 {
+		t.Fatal("shared cache never consulted")
+	}
+}
+
+func TestAnalyzeCanceled(t *testing.T) {
+	p := parallelProgram(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		opts := Options{Search: boundedSearch(), Workers: workers}
+		opts.Search = opts.Search.WithContext(ctx)
+		if _, err := Analyze(p, opts); err == nil {
+			t.Fatalf("workers=%d: expected cancellation error", workers)
+		}
+	}
+	// A live context analyzes normally.
+	opts := Options{Search: boundedSearch(), Workers: 4}
+	opts.Search = opts.Search.WithContext(context.Background())
+	if _, err := Analyze(p, opts); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -214,6 +214,28 @@ func DetectParallel(r Read, u Update, sem Semantics, opts SearchOptions, workers
 	return core.SearchConflictParallel(r, u, sem, opts, workers)
 }
 
+// DetectorCache is a bounded, concurrency-safe memo of detection
+// verdicts keyed by the canonical form of (read pattern, update pattern,
+// inserted-tree shape, semantics, search bounds). Share one across
+// Detect-heavy workloads — program analysis, batch requests, a server's
+// lifetime — to decide each distinct pair once.
+type DetectorCache = core.DetectorCache
+
+// NewDetectorCache returns an empty cache holding at most capacity
+// verdicts (<= 0 selects a default capacity).
+func NewDetectorCache(capacity int) *DetectorCache { return core.NewDetectorCache(capacity) }
+
+// BatchItem is one read/update pair of a DetectBatch call.
+type BatchItem = core.BatchItem
+
+// DetectBatch decides every pair over a worker pool (workers <= 0 =
+// GOMAXPROCS) sharing cache (nil = a private cache for the call).
+// Results are indexed like items and identical to calling Detect on each
+// pair alone; opts.Ctx cancels the whole batch.
+func DetectBatch(items []BatchItem, opts SearchOptions, workers int, cache *DetectorCache) ([]Verdict, error) {
+	return core.DetectBatch(items, opts, workers, cache)
+}
+
 // IsConflictWitness reports whether the given document witnesses a
 // conflict between the read and the update under the given semantics
 // (Lemma 1; polynomial time).
