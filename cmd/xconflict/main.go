@@ -46,6 +46,7 @@ type jsonVerdict struct {
 	Method     string   `json:"method"`
 	Complete   bool     `json:"complete"`
 	Semantics  string   `json:"semantics"`
+	Reason     string   `json:"reason,omitempty"`
 	Detail     string   `json:"detail,omitempty"`
 	Edge       int      `json:"edge,omitempty"`
 	Word       []string `json:"word,omitempty"`
@@ -67,6 +68,7 @@ func run(args []string) int {
 	shrink := fs.Bool("shrink", false, "minimize the witness (node semantics)")
 	maxNodes := fs.Int("max", 8, "witness size bound for the search fallback")
 	jobs := fs.Int("j", 1, "NP-case search workers (0 = GOMAXPROCS); the verdict is identical at any setting")
+	deadline := fs.Duration("deadline", 0, "wall-clock budget for the search; exhaustion degrades the verdict to incomplete (reason \"deadline\") instead of failing")
 	quiet := fs.Bool("quiet", false, "print only the verdict")
 	jsonOut := fs.Bool("json", false, "emit the verdict as JSON")
 	schemaPath := fs.String("schema", "", "restrict witnesses to documents valid under this schema file")
@@ -125,6 +127,9 @@ func run(args []string) int {
 	}
 
 	opts := xmlconflict.SearchOptions{MaxNodes: *maxNodes}
+	if *deadline > 0 {
+		opts = opts.WithTimeout(*deadline)
+	}
 	var st *xmlconflict.Stats
 	if *stats || *listen != "" {
 		st = xmlconflict.NewStats()
@@ -189,6 +194,7 @@ func run(args []string) int {
 			Conflict:   v.Conflict,
 			Method:     v.Method,
 			Complete:   v.Complete,
+			Reason:     v.Reason,
 			Detail:     v.Detail,
 			Semantics:  sem.String(),
 			Edge:       v.Edge,
@@ -232,6 +238,9 @@ func run(args []string) int {
 		fmt.Println("note:     the verdict rests on a bounded search that was inconclusive")
 		fmt.Println("          (detection here is NP-complete or, under a schema, of open")
 		fmt.Println("          complexity) — raise -max for more confidence")
+		if v.Reason != "" {
+			fmt.Printf("reason:   %s\n", v.Reason)
+		}
 	}
 	if v.Conflict {
 		return 1

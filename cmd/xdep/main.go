@@ -43,6 +43,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("xdep", flag.ContinueOnError)
 	semName := fs.String("sem", "node", "conflict semantics: node, tree, or value")
 	jobs := fs.Int("j", 1, "pairwise analysis workers (0 = GOMAXPROCS); verdicts are identical at any setting")
+	deadline := fs.Duration("deadline", 0, "wall-clock budget for the analysis; pairs searched past it are conservatively assumed dependent (reason \"deadline\")")
 	exec := fs.Bool("run", false, "also execute the program")
 	optimize := fs.Bool("O", false, "apply hoisting and CSE, print the rewritten program")
 	trace := fs.Bool("trace", false, "stream JSON-lines decision-trace events to stderr")
@@ -83,6 +84,9 @@ func run(args []string) int {
 		return 2
 	}
 	var search xmlconflict.SearchOptions
+	if *deadline > 0 {
+		search = search.WithTimeout(*deadline)
+	}
 	var st *xmlconflict.Stats
 	if *stats || *listen != "" {
 		st = xmlconflict.NewStats()

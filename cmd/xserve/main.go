@@ -38,6 +38,15 @@
 // schema/tree/workers). All other fields bound the witness search
 // exactly like xconflict's flags.
 //
+// Failure model: a search that exhausts its budget ("deadline_ms",
+// "max_candidates") degrades — the reply is still 200, with "complete":
+// false and a machine-readable "reason" ("deadline", "candidate-cap",
+// ...) — it never errors. Every non-2xx reply is the uniform JSON
+// envelope {"error": ..., "reason": ...}. A panic anywhere in a request
+// is contained at the handler (and, for batches, at the worker) so only
+// the offending request or pair fails; batch replies carry a per-item
+// "error" field and the daemon keeps serving.
+//
 // Plain detections, batch pairs, and analyze cross-checks all share one
 // process-lifetime verdict cache, so repeated patterns — the common case
 // for clients deciding program fragments — are decided once.
@@ -81,6 +90,7 @@ import (
 	"time"
 
 	"xmlconflict"
+	"xmlconflict/internal/faultinject"
 	"xmlconflict/internal/telemetry"
 	"xmlconflict/internal/telemetry/obshttp"
 )
@@ -94,29 +104,42 @@ type detectRequest struct {
 	Semantics     string `json:"semantics,omitempty"`
 	MaxNodes      int    `json:"max_nodes,omitempty"`
 	MaxCandidates int    `json:"max_candidates,omitempty"`
-	Schema        string `json:"schema,omitempty"`
-	Tree          string `json:"tree,omitempty"`
-	Workers       int    `json:"workers,omitempty"`
+	// DeadlineMs bounds the search in wall-clock time: when it lapses
+	// the reply is still 200, with "complete": false and "reason":
+	// "deadline" — degraded, never an error.
+	DeadlineMs int    `json:"deadline_ms,omitempty"`
+	Schema     string `json:"schema,omitempty"`
+	Tree       string `json:"tree,omitempty"`
+	Workers    int    `json:"workers,omitempty"`
 }
 
 // detectResponse is the POST /v1/detect reply, stable for tooling.
+// Reason is the machine-readable cause when "complete" is false
+// ("candidate-cap", "deadline", ...). In batch replies a pair that
+// failed on its own carries Error (and Reason "panic" for a contained
+// crash) while its batch-mates answer normally.
 type detectResponse struct {
 	Conflict   bool     `json:"conflict"`
 	Method     string   `json:"method"`
 	Complete   bool     `json:"complete"`
 	Semantics  string   `json:"semantics"`
+	Reason     string   `json:"reason,omitempty"`
 	Detail     string   `json:"detail,omitempty"`
 	Edge       int      `json:"edge,omitempty"`
 	Word       []string `json:"word,omitempty"`
 	Witness    string   `json:"witness,omitempty"`
 	Candidates int      `json:"candidates,omitempty"`
+	Error      string   `json:"error,omitempty"`
 	ElapsedUs  int64    `json:"elapsed_us"`
 }
 
 // batchRequest is the POST /v1/detect/batch body: plain detect pairs
-// only (no schema/tree/workers per pair).
+// only (no schema/tree/workers per pair). DeadlineMs bounds the whole
+// batch's wall-clock time; pairs that run out answer "complete": false
+// with "reason": "deadline".
 type batchRequest struct {
-	Pairs []detectRequest `json:"pairs"`
+	Pairs      []detectRequest `json:"pairs"`
+	DeadlineMs int             `json:"deadline_ms,omitempty"`
 }
 
 // batchResponse replies with one result per pair, in request order.
@@ -132,6 +155,7 @@ type analyzeRequest struct {
 	Semantics     string `json:"semantics,omitempty"`
 	MaxNodes      int    `json:"max_nodes,omitempty"`
 	MaxCandidates int    `json:"max_candidates,omitempty"`
+	DeadlineMs    int    `json:"deadline_ms,omitempty"`
 	Workers       int    `json:"workers,omitempty"`
 }
 
@@ -153,8 +177,34 @@ type analyzeResponse struct {
 	ElapsedUs      int64               `json:"elapsed_us"`
 }
 
+// errorResponse is the uniform error envelope every non-2xx API reply
+// uses: a human-readable message plus a machine-readable reason
+// ("bad-request", "saturated", "panic", "internal", "draining",
+// "method-not-allowed", "unprocessable").
 type errorResponse struct {
-	Error string `json:"error"`
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// writeErr writes the uniform JSON error envelope.
+func writeErr(w http.ResponseWriter, status int, reason, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg, Reason: reason})
+}
+
+// reasonFor maps an HTTP error status to the envelope's default reason.
+func reasonFor(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad-request"
+	case http.StatusMethodNotAllowed:
+		return "method-not-allowed"
+	case http.StatusServiceUnavailable:
+		return "saturated"
+	case http.StatusInternalServerError:
+		return "internal"
+	default:
+		return "unprocessable"
+	}
 }
 
 // server carries the daemon's shared state: the metrics registry every
@@ -191,14 +241,38 @@ func newServer(pool int, queueTimeout time.Duration, maxBody int64) *server {
 	return s
 }
 
-// routes mounts the API and the observability surface on one mux.
+// routes mounts the API and the observability surface on one mux. Every
+// API handler runs inside the containment wrapper: a panic fails its own
+// request with a 500 envelope while the daemon keeps serving.
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/detect", s.handleDetect)
-	mux.HandleFunc("/v1/detect/batch", s.handleBatch)
-	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
-	obshttp.Mount(mux, obshttp.Options{Metrics: s.metrics, Ready: s.ready.Load})
+	mux.HandleFunc("/v1/detect", s.contained(s.handleDetect))
+	mux.HandleFunc("/v1/detect/batch", s.contained(s.handleBatch))
+	mux.HandleFunc("/v1/analyze", s.contained(s.handleAnalyze))
+	obshttp.Mount(mux, obshttp.Options{Metrics: s.metrics, Ready: s.ready.Load, RetryAfter: s.retryAfter})
 	return mux
+}
+
+// contained is the handler-boundary half of the fault-containment layer:
+// it recovers a panicking handler into a 500 JSON envelope and the
+// serve.panics counter, so one poisoned request cannot take the process
+// (net/http would otherwise only save the connection, and a panic past a
+// pool-slot acquire could leak the slot forever). http.ErrAbortHandler
+// is re-raised: it is the stdlib's own "abandon this response" signal.
+func (s *server) contained(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				s.metrics.Add("serve.panics", 1)
+				s.metrics.Add("serve.errors", 1)
+				writeErr(w, http.StatusInternalServerError, "panic", fmt.Sprintf("internal error: %v", rec))
+			}
+		}()
+		h(w, r)
+	}
 }
 
 // httpTimeouts bounds every phase of a connection's life so one slow or
@@ -260,7 +334,7 @@ func (s *server) rejectSlot(w http.ResponseWriter, err error) {
 	}
 	s.metrics.Add("serve.rejected", 1)
 	w.Header().Set("Retry-After", s.retryAfter())
-	writeJSON(w, http.StatusServiceUnavailable, errorResponse{"worker pool saturated"})
+	writeErr(w, http.StatusServiceUnavailable, "saturated", "worker pool saturated")
 }
 
 // retryAfter tells a shed client how long to back off: the p90 of
@@ -285,7 +359,7 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
 		s.metrics.Add("serve.bad_requests", 1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
+		writeErr(w, http.StatusBadRequest, "bad-request", "bad request body: "+err.Error())
 		return false
 	}
 	return true
@@ -295,7 +369,7 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
 func postOnly(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		writeErr(w, http.StatusMethodNotAllowed, "method-not-allowed", "POST only")
 		return false
 	}
 	return true
@@ -311,7 +385,15 @@ func (s *server) finish(w http.ResponseWriter, r *http.Request, status int, body
 	}
 	if err != nil {
 		s.metrics.Add("serve.errors", 1)
-		writeJSON(w, status, errorResponse{err.Error()})
+		reason := reasonFor(status)
+		var ie *xmlconflict.InternalError
+		if errors.As(err, &ie) {
+			// A panic contained inside the engine (batch worker, cache
+			// leader) surfaces as a typed InternalError: it is this
+			// server's defect, not the client's.
+			status, reason = http.StatusInternalServerError, "panic"
+		}
+		writeErr(w, status, reason, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, body)
@@ -324,6 +406,10 @@ func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Add("serve.requests", 1)
 	var req detectRequest
 	if !s.decode(w, r, &req) {
+		return
+	}
+	if ferr := faultinject.Fire("serve.detect"); ferr != nil {
+		s.finish(w, r, http.StatusInternalServerError, nil, ferr)
 		return
 	}
 
@@ -355,20 +441,25 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Pairs) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{`"pairs" must be non-empty`})
+		writeErr(w, http.StatusBadRequest, "bad-request", `"pairs" must be non-empty`)
+		return
+	}
+	if ferr := faultinject.Fire("serve.batch"); ferr != nil {
+		s.finish(w, r, http.StatusInternalServerError, nil, ferr)
 		return
 	}
 	items := make([]xmlconflict.BatchItem, len(req.Pairs))
 	var opts xmlconflict.SearchOptions
+	deadlineMs := req.DeadlineMs
 	for i, p := range req.Pairs {
 		if p.Schema != "" || p.Tree != "" || p.Workers != 0 {
-			writeJSON(w, http.StatusBadRequest,
-				errorResponse{fmt.Sprintf("pair %d: schema/tree/workers are not supported in batches", i)})
+			writeErr(w, http.StatusBadRequest, "bad-request",
+				fmt.Sprintf("pair %d: schema/tree/workers are not supported in batches", i))
 			return
 		}
 		item, bounds, err := s.parsePair(p)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("pair %d: %v", i, err)})
+			writeErr(w, http.StatusBadRequest, "bad-request", fmt.Sprintf("pair %d: %v", i, err))
 			return
 		}
 		items[i] = item
@@ -379,6 +470,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		if bounds.MaxCandidates > opts.MaxCandidates {
 			opts.MaxCandidates = bounds.MaxCandidates
+		}
+		if p.DeadlineMs > deadlineMs {
+			deadlineMs = p.DeadlineMs
 		}
 	}
 
@@ -392,18 +486,39 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	opts = opts.WithStats(s.metrics).WithContext(r.Context())
+	if deadlineMs > 0 {
+		opts = opts.WithTimeout(time.Duration(deadlineMs) * time.Millisecond)
+	}
 	begin := time.Now()
 	stop := s.metrics.Timer("serve.detect").Start()
-	verdicts, err := xmlconflict.DetectBatch(items, opts, cap(s.pool), s.cache)
+	results, err := xmlconflict.DetectBatchResults(items, opts, cap(s.pool), s.cache)
 	stop()
 	if err != nil {
+		// Batch-wide failure (the request context died); per-pair
+		// failures land in their own slots below instead.
 		s.finish(w, r, http.StatusUnprocessableEntity, nil, err)
 		return
 	}
-	resp := batchResponse{Results: make([]detectResponse, len(verdicts)), ElapsedUs: time.Since(begin).Microseconds()}
-	for i, v := range verdicts {
-		resp.Results[i] = verdictResponse(v, items[i].Sem)
-		if v.Conflict {
+	resp := batchResponse{Results: make([]detectResponse, len(results)), ElapsedUs: time.Since(begin).Microseconds()}
+	for i, res := range results {
+		if res.Err != nil {
+			// One poisoned pair fails alone: its slot carries the error
+			// while its batch-mates answer normally.
+			s.metrics.Add("serve.errors", 1)
+			reason := "unprocessable"
+			var ie *xmlconflict.InternalError
+			if errors.As(res.Err, &ie) {
+				reason = "panic"
+			}
+			resp.Results[i] = detectResponse{
+				Semantics: items[i].Sem.String(),
+				Reason:    reason,
+				Error:     res.Err.Error(),
+			}
+			continue
+		}
+		resp.Results[i] = verdictResponse(res.Verdict, items[i].Sem)
+		if res.Verdict.Conflict {
 			s.metrics.Add("serve.conflicts", 1)
 		}
 	}
@@ -420,17 +535,21 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Program == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{`need "program"`})
+		writeErr(w, http.StatusBadRequest, "bad-request", `need "program"`)
+		return
+	}
+	if ferr := faultinject.Fire("serve.analyze"); ferr != nil {
+		s.finish(w, r, http.StatusInternalServerError, nil, ferr)
 		return
 	}
 	sem, err := parseSemantics(req.Semantics)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		writeErr(w, http.StatusBadRequest, "bad-request", err.Error())
 		return
 	}
 	prog, err := xmlconflict.ParseProgram(req.Program)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{"program: " + err.Error()})
+		writeErr(w, http.StatusBadRequest, "bad-request", "program: "+err.Error())
 		return
 	}
 
@@ -445,12 +564,16 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if workers <= 0 {
 		workers = cap(s.pool)
 	}
+	search := xmlconflict.SearchOptions{
+		MaxNodes:      req.MaxNodes,
+		MaxCandidates: req.MaxCandidates,
+	}.WithStats(s.metrics).WithContext(r.Context())
+	if req.DeadlineMs > 0 {
+		search = search.WithTimeout(time.Duration(req.DeadlineMs) * time.Millisecond)
+	}
 	aopts := xmlconflict.AnalyzeOptions{
-		Sem: sem,
-		Search: xmlconflict.SearchOptions{
-			MaxNodes:      req.MaxNodes,
-			MaxCandidates: req.MaxCandidates,
-		}.WithStats(s.metrics).WithContext(r.Context()),
+		Sem:     sem,
+		Search:  search,
 		Workers: workers,
 		Cache:   s.cache,
 	}
@@ -550,6 +673,7 @@ func verdictResponse(v xmlconflict.Verdict, sem xmlconflict.Semantics) detectRes
 		Method:     v.Method,
 		Complete:   v.Complete,
 		Semantics:  sem.String(),
+		Reason:     v.Reason,
 		Detail:     v.Detail,
 		Edge:       v.Edge,
 		Word:       v.Word,
@@ -599,6 +723,12 @@ func (s *server) detect(ctx context.Context, req detectRequest) (detectResponse,
 	}
 
 	opts = opts.WithStats(s.metrics).WithContext(ctx)
+	if req.DeadlineMs > 0 {
+		// A lapsed deadline degrades the search, it does not fail it:
+		// the verdict comes back 200 with complete:false and
+		// reason:"deadline".
+		opts = opts.WithTimeout(time.Duration(req.DeadlineMs) * time.Millisecond)
+	}
 
 	var v xmlconflict.Verdict
 	if req.Schema != "" {
@@ -651,8 +781,16 @@ func run(args []string) int {
 	fs.DurationVar(&t.read, "read-timeout", t.read, "time limit for reading a whole request")
 	fs.DurationVar(&t.write, "write-timeout", t.write, "time limit for writing a response (covers the detection)")
 	fs.DurationVar(&t.idle, "idle-timeout", t.idle, "how long a keep-alive connection may sit idle")
+	faults := fs.String("faults", "", "fault-injection spec site=kind[:delay][@after][xN][;...] for chaos testing")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *faults != "" {
+		if err := faultinject.ArmSpec(*faults); err != nil {
+			fmt.Fprintf(os.Stderr, "xserve: -faults: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "xserve: fault injection armed: %s\n", *faults)
 	}
 
 	s := newServer(*pool, *queueTimeout, *maxBody)

@@ -2,12 +2,14 @@ package core
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"xmlconflict/internal/faultinject"
 	"xmlconflict/internal/match"
 	"xmlconflict/internal/ops"
 	"xmlconflict/internal/telemetry"
@@ -103,10 +105,25 @@ func (c *DetectorCache) Detect(r ops.Read, u ops.Update, sem ops.Semantics, opts
 		if leader {
 			copts := opts
 			copts.Patterns = c.patterns
-			v, err := Detect(r, u, sem, copts)
+			// The leader MUST complete the entry even if detection
+			// panics: waiters block on e.ready, and an uncontained
+			// panic here would strand them forever. The recover turns
+			// the defect into a typed *InternalError that fails only
+			// this key.
+			v, err := func() (v Verdict, err error) {
+				defer ContainPanic("cache.leader", opts.Stats, &err)
+				if ferr := faultinject.Fire("core.cache.leader"); ferr != nil {
+					return Verdict{}, fmt.Errorf("core: cache leader: %w", ferr)
+				}
+				return Detect(r, u, sem, copts)
+			}()
 			c.complete(e, v, err)
 			if err != nil {
-				return Verdict{}, err
+				var ie *InternalError
+				if errors.As(err, &ie) && c.m != nil && c.m != opts.Stats {
+					c.m.Add("detect.panics", 1)
+				}
+				return v, err
 			}
 			c.record(&c.misses, "detector_cache.misses", opts)
 			return v, nil
@@ -177,12 +194,16 @@ func (c *DetectorCache) evictLocked() {
 
 // complete publishes a finished computation. Errors are not worth
 // keeping (and a context cancellation must not poison the key for later
-// callers), so the entry is evicted before waiters are released.
+// callers), and incomplete verdicts must not be served from cache for
+// the process lifetime — a budget-starved "no conflict" would otherwise
+// masquerade as definitive to every later caller — so in both cases the
+// entry is evicted before waiters are released. Waiters still receive
+// this computation's outcome; only FUTURE lookups recompute.
 func (c *DetectorCache) complete(e *cacheEntry, v Verdict, err error) {
 	c.mu.Lock()
 	e.v, e.err = v, err
 	e.done = true
-	if err != nil {
+	if err != nil || !v.Complete {
 		if el, ok := c.entries[e.key]; ok && el.Value.(*cacheEntry) == e {
 			c.lru.Remove(el)
 			delete(c.entries, e.key)
@@ -259,13 +280,25 @@ type BatchItem struct {
 	Sem ops.Semantics
 }
 
-// DetectBatch decides every pair, fanning the work out over a pool
-// (workers <= 0 selects GOMAXPROCS) that shares cache (nil = a private
-// cache for this batch). Results are indexed like items and identical to
-// deciding each pair alone; when pairs fail, the error of the
-// lowest-indexed failing pair is returned, matching a sequential sweep.
-// opts.Ctx cancels the whole batch.
-func DetectBatch(items []BatchItem, opts SearchOptions, workers int, cache *DetectorCache) ([]Verdict, error) {
+// BatchResult is one item's outcome in a DetectBatchResults call. Err is
+// the failure of that item alone — a panic contained at the worker
+// boundary arrives here as a *InternalError — and when it is non-nil the
+// Verdict is meaningful only as far as its Reason labels the failure.
+type BatchResult struct {
+	Verdict Verdict
+	Err     error
+}
+
+// DetectBatchResults decides every pair, fanning the work out over a
+// pool (workers <= 0 selects GOMAXPROCS) that shares cache (nil = a
+// private cache for this batch). Results are indexed like items and
+// identical to deciding each pair alone; each item's failure is
+// contained to its own slot, so one poisoned pair — even one that
+// panics the detector — cannot take down its batch-mates. The returned
+// error is non-nil only for batch-wide conditions (opts.Ctx canceling
+// the sweep); items never dispatched before the cancellation carry a
+// canceled Verdict.Reason and the same error in their slot.
+func DetectBatchResults(items []BatchItem, opts SearchOptions, workers int, cache *DetectorCache) ([]BatchResult, error) {
 	if cache == nil {
 		cache = NewDetectorCache(0)
 	}
@@ -275,14 +308,23 @@ func DetectBatch(items []BatchItem, opts SearchOptions, workers int, cache *Dete
 	if workers > len(items) {
 		workers = len(items)
 	}
-	verdicts := make([]Verdict, len(items))
-	errs := make([]error, len(items))
+	results := make([]BatchResult, len(items))
+	one := func(i int) (v Verdict, err error) {
+		defer ContainPanic("batch.worker", opts.Stats, &err)
+		if ferr := faultinject.Fire("core.batch.worker"); ferr != nil {
+			return Verdict{}, fmt.Errorf("core: batch worker: %w", ferr)
+		}
+		it := items[i]
+		return cache.Detect(it.R, it.U, it.Sem, opts)
+	}
+	dispatched := len(items)
 	if workers <= 1 {
-		for i, it := range items {
-			if err := opts.canceled(); err != nil {
-				return nil, fmt.Errorf("core: batch canceled: %w", err)
+		for i := range items {
+			if opts.canceled() != nil {
+				dispatched = i
+				break
 			}
-			verdicts[i], errs[i] = cache.Detect(it.R, it.U, it.Sem, opts)
+			results[i].Verdict, results[i].Err = one(i)
 		}
 	} else {
 		jobs := make(chan int)
@@ -292,27 +334,51 @@ func DetectBatch(items []BatchItem, opts SearchOptions, workers int, cache *Dete
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					it := items[i]
-					verdicts[i], errs[i] = cache.Detect(it.R, it.U, it.Sem, opts)
+					results[i].Verdict, results[i].Err = one(i)
 				}
 			}()
 		}
 		for i := range items {
 			if opts.canceled() != nil {
+				dispatched = i
 				break
 			}
 			jobs <- i
 		}
 		close(jobs)
 		wg.Wait()
-		if err := opts.canceled(); err != nil {
-			return nil, fmt.Errorf("core: batch canceled: %w", err)
-		}
 	}
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("pair %d: %w", i, err)
+	if err := opts.canceled(); err != nil {
+		cerr := fmt.Errorf("core: batch canceled: %w", err)
+		for i := dispatched; i < len(items); i++ {
+			results[i] = BatchResult{
+				Verdict: Verdict{Reason: ReasonCanceled, Detail: "batch canceled before this pair was dispatched"},
+				Err:     cerr,
+			}
 		}
+		return results, cerr
+	}
+	return results, nil
+}
+
+// DetectBatch decides every pair, fanning the work out over a pool
+// (workers <= 0 selects GOMAXPROCS) that shares cache (nil = a private
+// cache for this batch). Results are indexed like items and identical to
+// deciding each pair alone; when pairs fail, the error of the
+// lowest-indexed failing pair is returned, matching a sequential sweep.
+// opts.Ctx cancels the whole batch. Callers that want per-item fault
+// containment instead of all-or-nothing use DetectBatchResults.
+func DetectBatch(items []BatchItem, opts SearchOptions, workers int, cache *DetectorCache) ([]Verdict, error) {
+	results, err := DetectBatchResults(items, opts, workers, cache)
+	if err != nil {
+		return nil, err
+	}
+	verdicts := make([]Verdict, len(items))
+	for i, res := range results {
+		if res.Err != nil {
+			return nil, fmt.Errorf("pair %d: %w", i, res.Err)
+		}
+		verdicts[i] = res.Verdict
 	}
 	return verdicts, nil
 }

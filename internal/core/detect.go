@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"xmlconflict/internal/faultinject"
 	"xmlconflict/internal/ops"
 	"xmlconflict/internal/pattern"
 	"xmlconflict/internal/telemetry"
@@ -28,6 +29,13 @@ type Verdict struct {
 	// are always complete. A negative search verdict is complete only if
 	// the search covered the full Lemma 11 witness bound.
 	Complete bool
+	// Reason is the machine-readable cause of an incomplete verdict —
+	// ReasonCandidateCap, ReasonNodeCap, ReasonDeadline,
+	// ReasonStepBudget, ReasonCanceled, or ReasonNoBound — and empty
+	// for complete verdicts. Detection being NP-complete in general, an
+	// incomplete "no conflict" is a bounded best effort, and Reason says
+	// which bound gave out.
+	Reason string
 	// Detail is a human-readable explanation (e.g. which read edge is the
 	// cut edge).
 	Detail string
@@ -51,7 +59,11 @@ func (v Verdict) String() string {
 		s = "conflict"
 	}
 	if !v.Complete {
-		s += " (incomplete search)"
+		if v.Reason != "" {
+			s += fmt.Sprintf(" (incomplete search: %s)", v.Reason)
+		} else {
+			s += " (incomplete search)"
+		}
 	}
 	if v.Detail != "" {
 		s += ": " + v.Detail
@@ -73,7 +85,10 @@ func Detect(r ops.Read, u ops.Update, sem ops.Semantics, opts SearchOptions) (Ve
 		return Verdict{}, fmt.Errorf("core: invalid %s pattern: %w", u.Kind(), err)
 	}
 	if err := opts.canceled(); err != nil {
-		return Verdict{}, fmt.Errorf("core: detect canceled: %w", err)
+		return Verdict{Reason: ReasonCanceled}, fmt.Errorf("core: detect canceled: %w", err)
+	}
+	if err := faultinject.Fire("core.detect"); err != nil {
+		return Verdict{}, fmt.Errorf("core: detect: %w", err)
 	}
 	in := observer(opts)
 	in.count("detect.calls", 1)
@@ -115,6 +130,9 @@ func Detect(r ops.Read, u ops.Update, sem ops.Semantics, opts SearchOptions) (Ve
 		telemetry.F("method", v.Method),
 		telemetry.F("complete", v.Complete),
 		telemetry.F("candidates", v.Candidates),
+	}
+	if v.Reason != "" {
+		fields = append(fields, telemetry.F("reason", v.Reason))
 	}
 	if v.Detail != "" {
 		fields = append(fields, telemetry.F("detail", v.Detail))

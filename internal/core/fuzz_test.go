@@ -1,0 +1,112 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"xmlconflict/internal/ops"
+	"xmlconflict/internal/xmltree"
+	"xmlconflict/internal/xpath"
+)
+
+// FuzzDetect drives the whole detection stack end to end on arbitrary
+// (read, update, semantics) triples, seeded from the conformance corpus.
+// Inputs the parsers reject are skipped; for the rest the target holds
+// the engine to its structural invariants:
+//
+//   - no panics anywhere in the stack (the fuzz engine catches them),
+//   - a positive verdict carries a witness that re-verifies under the
+//     Lemma 1 checker,
+//   - Complete and Reason agree (complete verdicts carry no reason,
+//     incomplete verdicts always say why),
+//   - the linear-dispatch Detect and the bounded search agree whenever
+//     both return complete verdicts.
+func FuzzDetect(f *testing.F) {
+	for _, c := range conformanceCorpus {
+		f.Add(c.read, c.ins, c.x, c.del, int(c.sem))
+	}
+	f.Fuzz(func(t *testing.T, read, ins, x, del string, semRaw int) {
+		rp, err := xpath.Parse(read)
+		if err != nil {
+			t.Skip()
+		}
+		var u ops.Update
+		switch {
+		case ins != "":
+			ip, err := xpath.Parse(ins)
+			if err != nil {
+				t.Skip()
+			}
+			if x == "" {
+				x = "<new/>"
+			}
+			xt, err := xmltree.ParseString(x)
+			if err != nil {
+				t.Skip()
+			}
+			u = ops.Insert{P: ip, X: xt}
+		case del != "":
+			dp, err := xpath.Parse(del)
+			if err != nil {
+				t.Skip()
+			}
+			u = ops.Delete{P: dp}
+		default:
+			t.Skip()
+		}
+		sem := ops.Semantics(((semRaw % 3) + 3) % 3)
+		r := ops.Read{P: rp}
+		// Small bounds keep each input cheap; the invariants hold at any
+		// setting.
+		opts := SearchOptions{MaxNodes: 5, MaxCandidates: 3000}
+
+		v, err := Detect(r, u, sem, opts)
+		if err != nil {
+			// Parseable but semantically rejected input (pattern
+			// validation): fine, as long as it did not panic.
+			t.Skip()
+		}
+		checkVerdictInvariants(t, "detect", v, sem, r, u)
+
+		// Where both methods apply, they must agree: Detect dispatches
+		// linear reads to the polynomial detectors, so running the
+		// bounded search explicitly cross-checks the two on the same
+		// input. (For branching reads this re-runs the search; still a
+		// determinism check.)
+		sv, serr := SearchConflict(r, u, sem, opts)
+		if serr != nil {
+			t.Fatalf("Detect succeeded but SearchConflict errored: %v", serr)
+		}
+		checkVerdictInvariants(t, "search", sv, sem, r, u)
+		if v.Complete && sv.Complete && v.Conflict != sv.Conflict {
+			t.Fatalf("complete verdicts disagree: %s=%v vs %s=%v (read %q, update %s %q)",
+				v.Method, v.Conflict, sv.Method, sv.Conflict, read, u.Kind(), u.Pattern())
+		}
+	})
+}
+
+// checkVerdictInvariants asserts the structural contract every verdict
+// obeys regardless of input.
+func checkVerdictInvariants(t *testing.T, label string, v Verdict, sem ops.Semantics, r ops.Read, u ops.Update) {
+	t.Helper()
+	if v.Conflict {
+		if v.Witness == nil && !strings.Contains(v.Method, "linear") && v.Method != "automata" {
+			t.Fatalf("%s: positive search verdict without witness: %+v", label, v)
+		}
+		if v.Witness != nil {
+			ok, err := ops.ConflictWitness(sem, r, u, v.Witness)
+			if err != nil {
+				t.Fatalf("%s: witness re-verification errored: %v", label, err)
+			}
+			if !ok {
+				t.Fatalf("%s: witness fails Lemma 1 re-verification: %s", label, v.Witness.XML())
+			}
+		}
+	}
+	if v.Complete && v.Reason != "" {
+		t.Fatalf("%s: complete verdict carries reason %q", label, v.Reason)
+	}
+	if !v.Complete && v.Reason == "" {
+		t.Fatalf("%s: incomplete verdict carries no reason: %+v", label, v)
+	}
+}

@@ -127,7 +127,7 @@ func SearchConflictParallel(r ops.Read, u ops.Update, sem ops.Semantics, opts Se
 	}
 
 	var examined int64
-	truncated := false
+	truncated, deadlined, starved := false, false, false
 	var ctxErr error
 	enumerateSkeletons(labels, maxNodes, func(t *encTree) bool {
 		if examined%cancelCheckInterval == 0 {
@@ -136,9 +136,19 @@ func SearchConflictParallel(r ops.Read, u ops.Update, sem ops.Semantics, opts Se
 				in.count("search.canceled", 1)
 				return false
 			}
+			if opts.expired() {
+				deadlined = true
+				in.count("search.deadline", 1)
+				return false
+			}
 		}
 		if examined >= int64(maxCand) {
 			truncated = true
+			return false
+		}
+		if !opts.Steps.Take() {
+			starved = true
+			in.count("search.step_budget", 1)
 			return false
 		}
 		examined++
@@ -177,8 +187,15 @@ func SearchConflictParallel(r ops.Read, u ops.Update, sem ops.Semantics, opts Se
 	}
 	if ctxErr != nil && bestWitness == nil {
 		// A witness already in hand when cancellation lands is still a
-		// sound (and complete) verdict; without one the search is void.
-		return Verdict{}, ctxErr
+		// sound (and complete) verdict; without one the search is void —
+		// the verdict labels the partial sweep for partial-result
+		// consumers, the error stays authoritative.
+		return Verdict{
+			Method:     "search-parallel",
+			Reason:     ReasonCanceled,
+			Detail:     fmt.Sprintf("search canceled after %d candidates", examined),
+			Candidates: int(examined),
+		}, ctxErr
 	}
 	if bestWitness != nil {
 		in.event("search.done",
@@ -197,7 +214,8 @@ func SearchConflictParallel(r ops.Read, u ops.Update, sem ops.Semantics, opts Se
 			Candidates: int(examined),
 		}, nil
 	}
-	complete := !truncated && maxNodes >= bound
+	reason := incompleteReason(truncated, deadlined, starved, maxNodes, bound)
+	complete := reason == ""
 	if truncated {
 		in.count("search.truncated", 1)
 	}
@@ -205,10 +223,15 @@ func SearchConflictParallel(r ops.Read, u ops.Update, sem ops.Semantics, opts Se
 		telemetry.F("conflict", false),
 		telemetry.F("candidates", examined),
 		telemetry.F("complete", complete),
-		telemetry.F("truncated", truncated))
+		telemetry.F("reason", reason))
 	detail := fmt.Sprintf("no witness among %d trees of <= %d nodes (%d workers)", examined, maxNodes, workers)
-	if truncated {
+	switch {
+	case truncated:
 		detail = fmt.Sprintf("search truncated at %d candidates (bound %d nodes)", maxCand, maxNodes)
+	case deadlined:
+		detail = fmt.Sprintf("deadline passed after %d candidates (bound %d nodes)", examined, maxNodes)
+	case starved:
+		detail = fmt.Sprintf("step budget exhausted after %d candidates (bound %d nodes)", examined, maxNodes)
 	}
-	return Verdict{Method: "search-parallel", Complete: complete, Detail: detail, Candidates: int(examined)}, nil
+	return Verdict{Method: "search-parallel", Complete: complete, Reason: reason, Detail: detail, Candidates: int(examined)}, nil
 }

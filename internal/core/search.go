@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"xmlconflict/internal/containment"
 	"xmlconflict/internal/match"
@@ -48,6 +49,20 @@ type SearchOptions struct {
 	// program analysis) stops burning a worker promptly. Nil means the
 	// work is never canceled. See WithContext.
 	Ctx context.Context
+	// Deadline, when non-zero, is a wall-clock budget: the bounded
+	// searches poll it alongside the context and, once it passes, stop
+	// and return an INCOMPLETE verdict with Reason = ReasonDeadline —
+	// graceful degradation, not an error, because a best-effort answer
+	// within the budget is exactly what a bounded NP search owes its
+	// caller. See WithDeadline / WithTimeout.
+	Deadline time.Time
+	// Steps, when non-nil, is a step budget shared by every search
+	// drawing from the same options: each candidate examined consumes
+	// one step, and exhaustion ends the search with an incomplete
+	// verdict (Reason = ReasonStepBudget). Unlike MaxCandidates it
+	// bounds the TOTAL work of a batch or analysis, however the pairs
+	// split it. See WithSteps.
+	Steps *StepBudget
 	// Patterns, when non-nil, is a shared compiled-pattern cache the
 	// witness-search checkers draw evaluators from, extending reuse
 	// across Detect calls (the DetectorCache wires its own in). Nil
@@ -118,17 +133,28 @@ func SearchConflict(r ops.Read, u ops.Update, sem ops.Semantics, opts SearchOpti
 	var witness *xmltree.Tree
 	var checkErr error
 	examined := 0
-	truncated := false
+	truncated, deadlined, starved, canceled := false, false, false, false
 	EnumerateTrees(labels, maxNodes, func(t *xmltree.Tree) bool {
 		if examined%cancelCheckInterval == 0 {
 			if err := opts.canceled(); err != nil {
 				checkErr = fmt.Errorf("core: search canceled: %w", err)
+				canceled = true
 				in.count("search.canceled", 1)
+				return false
+			}
+			if opts.expired() {
+				deadlined = true
+				in.count("search.deadline", 1)
 				return false
 			}
 		}
 		if examined >= maxCand {
 			truncated = true
+			return false
+		}
+		if !opts.Steps.Take() {
+			starved = true
+			in.count("search.step_budget", 1)
 			return false
 		}
 		examined++
@@ -155,6 +181,16 @@ func SearchConflict(r ops.Read, u ops.Update, sem ops.Semantics, opts SearchOpti
 			in.count("match.cache_misses", misses)
 		}
 	}
+	if canceled {
+		// The error is authoritative; the verdict labels the partial
+		// sweep for callers assembling well-formed partial results.
+		return Verdict{
+			Method:     "search",
+			Reason:     ReasonCanceled,
+			Detail:     fmt.Sprintf("search canceled after %d candidates", examined),
+			Candidates: examined,
+		}, checkErr
+	}
 	if checkErr != nil {
 		return Verdict{}, checkErr
 	}
@@ -172,7 +208,8 @@ func SearchConflict(r ops.Read, u ops.Update, sem ops.Semantics, opts SearchOpti
 			Candidates: examined,
 		}, nil
 	}
-	complete := !truncated && maxNodes >= bound
+	reason := incompleteReason(truncated, deadlined, starved, maxNodes, bound)
+	complete := reason == ""
 	if truncated {
 		in.count("search.truncated", 1)
 	}
@@ -180,12 +217,17 @@ func SearchConflict(r ops.Read, u ops.Update, sem ops.Semantics, opts SearchOpti
 		telemetry.F("conflict", false),
 		telemetry.F("candidates", examined),
 		telemetry.F("complete", complete),
-		telemetry.F("truncated", truncated))
+		telemetry.F("reason", reason))
 	detail := fmt.Sprintf("no witness among %d trees of <= %d nodes", examined, maxNodes)
-	if truncated {
+	switch {
+	case truncated:
 		detail = fmt.Sprintf("search truncated at %d candidates (bound %d nodes)", maxCand, maxNodes)
+	case deadlined:
+		detail = fmt.Sprintf("deadline passed after %d candidates (bound %d nodes)", examined, maxNodes)
+	case starved:
+		detail = fmt.Sprintf("step budget exhausted after %d candidates (bound %d nodes)", examined, maxNodes)
 	}
-	return Verdict{Method: "search", Complete: complete, Detail: detail, Candidates: examined}, nil
+	return Verdict{Method: "search", Complete: complete, Reason: reason, Detail: detail, Candidates: examined}, nil
 }
 
 // minimizeUpdate rebuilds an update with its pattern minimized.

@@ -55,13 +55,22 @@ func UpdateUpdateConflict(u1, u2 ops.Update, opts SearchOptions) (Verdict, error
 	var witness *xmltree.Tree
 	var checkErr error
 	examined := 0
-	truncated := false
+	truncated, deadlined, starved, canceled := false, false, false, false
 	EnumerateTrees(labels, maxNodes, func(t *xmltree.Tree) bool {
 		if examined%cancelCheckInterval == 0 {
 			if err := opts.canceled(); err != nil {
 				checkErr = fmt.Errorf("core: search canceled: %w", err)
+				canceled = true
 				return false
 			}
+			if opts.expired() {
+				deadlined = true
+				return false
+			}
+		}
+		if !opts.Steps.Take() {
+			starved = true
+			return false
 		}
 		examined++
 		if examined > maxCand {
@@ -79,6 +88,14 @@ func UpdateUpdateConflict(u1, u2 ops.Update, opts SearchOptions) (Verdict, error
 		}
 		return true
 	})
+	if canceled {
+		return Verdict{
+			Method:     "search",
+			Reason:     ReasonCanceled,
+			Detail:     fmt.Sprintf("search canceled after %d candidates", examined),
+			Candidates: examined,
+		}, checkErr
+	}
 	if checkErr != nil {
 		return Verdict{}, checkErr
 	}
@@ -91,9 +108,11 @@ func UpdateUpdateConflict(u1, u2 ops.Update, opts SearchOptions) (Verdict, error
 			Detail:   fmt.Sprintf("non-commuting witness found after %d candidates", examined),
 		}, nil
 	}
+	reason := incompleteReason(truncated, deadlined, starved, maxNodes, bound)
 	return Verdict{
 		Method:   "search",
-		Complete: !truncated && maxNodes >= bound,
+		Complete: reason == "",
+		Reason:   reason,
 		Detail:   fmt.Sprintf("no non-commuting tree among %d candidates of <= %d nodes", examined, maxNodes),
 	}, nil
 }

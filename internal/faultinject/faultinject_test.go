@@ -1,0 +1,161 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledFireIsNil(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("enabled with nothing armed")
+	}
+	if err := Fire("anything"); err != nil {
+		t.Fatalf("disarmed Fire returned %v", err)
+	}
+}
+
+func TestErrorFault(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("a.site", Fault{Kind: KindError})
+	err := Fire("a.site")
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Site != "a.site" {
+		t.Fatalf("Fire = %v, want *Error for a.site", err)
+	}
+	if err := Fire("other.site"); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	if got := Fired("a.site"); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("p", Fault{Kind: KindPanic})
+	defer func() {
+		r := recover()
+		if _, ok := r.(*Panic); !ok {
+			t.Fatalf("recovered %v, want *Panic", r)
+		}
+	}()
+	Fire("p")
+	t.Fatal("Fire did not panic")
+}
+
+func TestCancelFault(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("c", Fault{Kind: KindCancel})
+	if err := Fire("c"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Fire = %v, want context.Canceled", err)
+	}
+}
+
+func TestLatencyFault(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("l", Fault{Kind: KindLatency, Delay: 30 * time.Millisecond})
+	begin := time.Now()
+	if err := Fire("l"); err != nil {
+		t.Fatalf("latency Fire returned %v", err)
+	}
+	if d := time.Since(begin); d < 30*time.Millisecond {
+		t.Fatalf("latency fault slept %v, want >= 30ms", d)
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("s", Fault{Kind: KindError, After: 2, Times: 1})
+	var errs int
+	for i := 0; i < 5; i++ {
+		if Fire("s") != nil {
+			errs++
+		}
+	}
+	if errs != 1 {
+		t.Fatalf("fired %d times, want exactly 1 (after 2, times 1)", errs)
+	}
+	if got := Fired("s"); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+}
+
+func TestArmSpec(t *testing.T) {
+	t.Cleanup(Reset)
+	err := ArmSpec("core.detect=panic; serve.detect=latency:5ms, core.batch.worker=error@2x3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"core.batch.worker", "core.detect", "serve.detect"}
+	got := Sites()
+	if len(got) != len(want) {
+		t.Fatalf("Sites = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sites = %v, want %v", got, want)
+		}
+	}
+	mu.Lock()
+	bw := sites["core.batch.worker"].f
+	lat := sites["serve.detect"].f
+	mu.Unlock()
+	if bw.Kind != KindError || bw.After != 2 || bw.Times != 3 {
+		t.Fatalf("core.batch.worker fault = %+v", bw)
+	}
+	if lat.Kind != KindLatency || lat.Delay != 5*time.Millisecond {
+		t.Fatalf("serve.detect fault = %+v", lat)
+	}
+}
+
+func TestArmSpecErrors(t *testing.T) {
+	t.Cleanup(Reset)
+	for _, spec := range []string{
+		"nosite",
+		"s=",
+		"s=blowup",
+		"s=latency",
+		"s=panic:3ms",
+		"s=error@x",
+	} {
+		if err := ArmSpec(spec); err == nil {
+			t.Fatalf("ArmSpec(%q) accepted", spec)
+		}
+	}
+}
+
+func TestResetDisarmsEverything(t *testing.T) {
+	Arm("x", Fault{Kind: KindError})
+	Arm("y", Fault{Kind: KindError})
+	Reset()
+	if Enabled() {
+		t.Fatal("still enabled after Reset")
+	}
+	if err := Fire("x"); err != nil {
+		t.Fatalf("Fire after Reset = %v", err)
+	}
+}
+
+func TestConcurrentFire(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("hot", Fault{Kind: KindError, After: 50})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				Fire("hot")
+			}
+		}()
+	}
+	wg.Wait()
+	// 800 hits, first 50 skipped: every later hit fires.
+	if got := Fired("hot"); got != 750 {
+		t.Fatalf("Fired = %d, want 750", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"xmlconflict/internal/core"
+	"xmlconflict/internal/faultinject"
 	"xmlconflict/internal/ops"
 	"xmlconflict/internal/pattern"
 	"xmlconflict/internal/xmltree"
@@ -162,8 +163,21 @@ func Analyze(p *Program, opt Options) (*Analysis, error) {
 	return a, nil
 }
 
-// depends decides whether two statements (in program order) depend.
-func depends(s1, s2 Stmt, opt Options, search core.SearchOptions) (bool, string, error) {
+// depends decides whether two statements (in program order) depend. A
+// panic in the decision procedures is contained here, at the pair
+// boundary, so one pathological pair fails the analysis with a typed
+// error instead of crashing the worker pool (and, under Workers > 1,
+// instead of leaking pool goroutines).
+func depends(s1, s2 Stmt, opt Options, search core.SearchOptions) (dep bool, reason string, err error) {
+	defer core.ContainPanic("analyze.pair", search.Stats, &err)
+	if ferr := faultinject.Fire("program.analyze.pair"); ferr != nil {
+		return false, "", fmt.Errorf("program: analyze pair: %w", ferr)
+	}
+	return dependsOn(s1, s2, opt, search)
+}
+
+// dependsOn is the uncontained decision body of depends.
+func dependsOn(s1, s2 Stmt, opt Options, search core.SearchOptions) (bool, string, error) {
 	sem := opt.Sem
 	// Aliases touch no document: they depend only on their source read
 	// (and on anything redefining their own variable, which the language
@@ -210,7 +224,11 @@ func depends(s1, s2 Stmt, opt Options, search core.SearchOptions) (bool, string,
 		}
 		if !v.Complete {
 			// NP-complete territory (branching read) with an inconclusive
-			// search: stay conservative.
+			// search: stay conservative. The verdict's machine-readable
+			// reason says which budget ended the search.
+			if v.Reason != "" {
+				return true, "assumed (incomplete search: " + v.Reason + ")", nil
+			}
 			return true, "assumed (incomplete search)", nil
 		}
 		return false, "proved conflict-free", nil

@@ -2,6 +2,7 @@ package schema
 
 import (
 	"fmt"
+	"time"
 
 	"xmlconflict/internal/core"
 	"xmlconflict/internal/ops"
@@ -83,8 +84,25 @@ func DetectUnderSchema(r ops.Read, u ops.Update, sem ops.Semantics, s *Schema, o
 	var witness *xmltree.Tree
 	var checkErr error
 	examined := 0
-	truncated := false
+	truncated, deadlined, starved, canceled := false, false, false, false
 	s.EnumerateValid(maxNodes, func(t *xmltree.Tree) bool {
+		if examined%64 == 0 {
+			if opts.Ctx != nil {
+				if err := opts.Ctx.Err(); err != nil {
+					checkErr = fmt.Errorf("schema: search canceled: %w", err)
+					canceled = true
+					return false
+				}
+			}
+			if !opts.Deadline.IsZero() && !time.Now().Before(opts.Deadline) {
+				deadlined = true
+				return false
+			}
+		}
+		if !opts.Steps.Take() {
+			starved = true
+			return false
+		}
 		examined++
 		opts.Progress.Step(1)
 		if examined > maxCand {
@@ -108,6 +126,14 @@ func DetectUnderSchema(r ops.Read, u ops.Update, sem ops.Semantics, s *Schema, o
 		m.Add("match.cache_hits", hits)
 		m.Add("match.cache_misses", misses)
 	}
+	if canceled {
+		return core.Verdict{
+			Method:     "schema-search",
+			Reason:     core.ReasonCanceled,
+			Detail:     fmt.Sprintf("search canceled after %d candidates", examined),
+			Candidates: examined,
+		}, checkErr
+	}
 	if checkErr != nil {
 		return core.Verdict{}, checkErr
 	}
@@ -130,19 +156,29 @@ func DetectUnderSchema(r ops.Read, u ops.Update, sem ops.Semantics, s *Schema, o
 	if truncated {
 		m.Add("schema.truncated", 1)
 	}
+	// Never complete: the schema-aware witness-size bound is the paper's
+	// open problem. The reason says which limit actually ended the sweep
+	// so callers can tell a budgeted answer from the intrinsic one.
+	reason := core.ReasonNoBound
 	detail := fmt.Sprintf("no valid witness among %d trees of <= %d nodes", examined, maxNodes)
-	if truncated {
+	switch {
+	case truncated:
+		reason = core.ReasonCandidateCap
 		detail = fmt.Sprintf("search truncated at %d candidates (bound %d nodes)", maxCand, maxNodes)
+	case deadlined:
+		reason = core.ReasonDeadline
+		detail = fmt.Sprintf("deadline passed after %d candidates (bound %d nodes)", examined, maxNodes)
+	case starved:
+		reason = core.ReasonStepBudget
+		detail = fmt.Sprintf("step budget exhausted after %d candidates (bound %d nodes)", examined, maxNodes)
 	}
 	telemetry.Emit(opts.Tracer, "detect.verdict",
 		telemetry.F("conflict", false),
 		telemetry.F("method", "schema-search"),
 		telemetry.F("complete", false),
 		telemetry.F("candidates", examined),
-		telemetry.F("truncated", truncated))
-	// Never complete: the schema-aware witness-size bound is the paper's
-	// open problem.
-	return core.Verdict{Method: "schema-search", Complete: false, Detail: detail, Candidates: examined}, nil
+		telemetry.F("reason", reason))
+	return core.Verdict{Method: "schema-search", Complete: false, Reason: reason, Detail: detail, Candidates: examined}, nil
 }
 
 // ValidityPreserving searches for a schema-valid document that the update

@@ -41,6 +41,10 @@ type Options struct {
 	// Ready gates /readyz: nil means always ready. Flip it to false
 	// during drain so load balancers stop routing before shutdown.
 	Ready func() bool
+	// RetryAfter, when non-nil, supplies the Retry-After header value
+	// (whole seconds) sent with the draining 503, telling probes and
+	// balancers when to look again.
+	RetryAfter func() string
 	// Namespace prefixes every exported metric name; empty selects
 	// "xmlconflict".
 	Namespace string
@@ -67,7 +71,14 @@ func Mount(mux *http.ServeMux, opts Options) {
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		if opts.Ready != nil && !opts.Ready() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
+			// The drain 503 mirrors the API's error envelope so every
+			// machine-read failure off this server parses the same way.
+			if opts.RetryAfter != nil {
+				w.Header().Set("Retry-After", opts.RetryAfter())
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, `{"error":"draining","reason":"draining"}`+"\n")
 			return
 		}
 		io.WriteString(w, "ready\n")

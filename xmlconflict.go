@@ -236,6 +236,45 @@ func DetectBatch(items []BatchItem, opts SearchOptions, workers int, cache *Dete
 	return core.DetectBatch(items, opts, workers, cache)
 }
 
+// BatchResult is one item's outcome in a DetectBatchResults call: the
+// verdict, or that item's own failure (a contained panic arrives as a
+// *InternalError).
+type BatchResult = core.BatchResult
+
+// DetectBatchResults is DetectBatch with per-item fault containment:
+// each item's failure — including a panic inside the detector — lands in
+// its own slot instead of aborting the batch. The batch-level error is
+// non-nil only for batch-wide conditions (opts.Ctx cancellation).
+func DetectBatchResults(items []BatchItem, opts SearchOptions, workers int, cache *DetectorCache) ([]BatchResult, error) {
+	return core.DetectBatchResults(items, opts, workers, cache)
+}
+
+// InternalError is a panic contained at one of the engine's isolation
+// boundaries (batch worker, analysis pair, verdict-cache leader),
+// carrying the recovered value and the captured stack.
+type InternalError = core.InternalError
+
+// StepBudget is a shared, concurrency-safe bound on total search work:
+// thread one through SearchOptions.Steps (see SearchOptions.WithSteps)
+// to cap the candidates examined across a whole batch or analysis.
+// Exhaustion degrades searches to incomplete verdicts with Reason =
+// ReasonStepBudget; it never errors.
+type StepBudget = core.StepBudget
+
+// NewStepBudget returns a budget of n search steps.
+func NewStepBudget(n int64) *StepBudget { return core.NewStepBudget(n) }
+
+// Machine-readable reasons an incomplete Verdict carries in
+// Verdict.Reason; complete verdicts have an empty Reason.
+const (
+	ReasonCandidateCap = core.ReasonCandidateCap
+	ReasonNodeCap      = core.ReasonNodeCap
+	ReasonDeadline     = core.ReasonDeadline
+	ReasonStepBudget   = core.ReasonStepBudget
+	ReasonCanceled     = core.ReasonCanceled
+	ReasonNoBound      = core.ReasonNoBound
+)
+
 // IsConflictWitness reports whether the given document witnesses a
 // conflict between the read and the update under the given semantics
 // (Lemma 1; polynomial time).
