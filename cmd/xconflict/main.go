@@ -18,6 +18,7 @@
 //	-j       NP-case search workers (0 = GOMAXPROCS, 1 = sequential);
 //	         verdicts are identical at any setting
 //	-schema  restrict witnesses to documents valid under a schema file
+//	-max-input  largest -schema file accepted in bytes (default 16 MiB)
 //	-quiet   print only "conflict" or "no conflict"
 //	-trace   stream JSON-lines decision-trace events to stderr
 //	-stats   print a telemetry counter snapshot to stderr afterwards
@@ -38,6 +39,7 @@ import (
 	"os"
 
 	"xmlconflict"
+	"xmlconflict/internal/cliio"
 )
 
 // jsonVerdict is the -json output shape, stable for tooling.
@@ -76,6 +78,7 @@ func run(args []string) int {
 	stats := fs.Bool("stats", false, "print a telemetry counter snapshot to stderr afterwards")
 	progress := fs.Bool("progress", false, "report live search progress on stderr")
 	listen := fs.String("listen", "", "serve /metrics, /debug/pprof, and health probes on this address while running")
+	maxInput := fs.Int64("max-input", cliio.DefaultMaxInput, "largest -schema file accepted, in bytes")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -153,7 +156,7 @@ func run(args []string) int {
 
 	var v xmlconflict.Verdict
 	if *schemaPath != "" {
-		src, err := os.ReadFile(*schemaPath)
+		src, err := cliio.ReadFile(*schemaPath, *maxInput)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xconflict: %v\n", err)
 			return 2

@@ -152,3 +152,24 @@ func TestStatsFlag(t *testing.T) {
 		}
 	}
 }
+
+func TestMaxInputFlag(t *testing.T) {
+	schema := `
+root inventory
+inventory: book*
+book:
+`
+	path := t.TempDir() + "/inv.xds"
+	if err := os.WriteFile(path, []byte(schema), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-read", "//book", "-insert", "/inventory", "-x", "<book/>", "-schema", path}
+	// A schema file over -max-input fails cleanly with exit 2.
+	if got := run(append([]string{"-max-input", "8"}, args...)); got != 2 {
+		t.Fatalf("oversized schema accepted: exit %d", got)
+	}
+	// The same file under a sufficient cap runs the detection.
+	if got := run(append([]string{"-max-input", "4096"}, args...)); got == 2 {
+		t.Fatalf("within-cap schema rejected")
+	}
+}

@@ -6,9 +6,12 @@
 // Usage:
 //
 //	xdep [-sem node|tree|value] [-j N] [-O] [-run] [-trace] [-stats]
-//	     [-progress] [-listen addr] [program.xup]
+//	     [-progress] [-listen addr] [-max-input N] [program.xup]
 //
-// The program is read from the named file, or stdin if none is given.
+// The program is read from the named file, or stdin if none is given;
+// -max-input bounds how many bytes are accepted (default 16 MiB) so an
+// oversized or runaway input fails cleanly instead of exhausting
+// memory.
 // With -O the optimizer applies the rewrites the analysis licenses
 // (hoisting, common subexpression elimination) and prints the rewritten
 // program. With -run the (possibly optimized) program is also executed
@@ -26,13 +29,13 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"runtime"
 	"sort"
 	"strings"
 
 	"xmlconflict"
+	"xmlconflict/internal/cliio"
 )
 
 func main() {
@@ -50,6 +53,7 @@ func run(args []string) int {
 	stats := fs.Bool("stats", false, "print a telemetry counter snapshot to stderr afterwards")
 	progress := fs.Bool("progress", false, "report live search progress on stderr")
 	listen := fs.String("listen", "", "serve /metrics, /debug/pprof, and health probes on this address while running")
+	maxInput := fs.Int64("max-input", cliio.DefaultMaxInput, "largest program input accepted, in bytes")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -69,9 +73,9 @@ func run(args []string) int {
 	var src []byte
 	var err error
 	if fs.NArg() > 0 {
-		src, err = os.ReadFile(fs.Arg(0))
+		src, err = cliio.ReadFile(fs.Arg(0), *maxInput)
 	} else {
-		src, err = io.ReadAll(os.Stdin)
+		src, err = cliio.ReadAll(os.Stdin, "stdin", *maxInput)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xdep: %v\n", err)

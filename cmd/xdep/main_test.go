@@ -76,3 +76,36 @@ u = read $x/*/A
 		t.Fatalf("-O exit = %d", code)
 	}
 }
+
+func TestMaxInputFlag(t *testing.T) {
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old }()
+
+	path := writeProgram(t, goodProgram)
+	// A file larger than -max-input fails cleanly with exit 2.
+	if code := run([]string{"-max-input", "8", path}); code != 2 {
+		t.Fatalf("oversized program accepted: exit = %d", code)
+	}
+	// The same file passes under a sufficient cap.
+	if code := run([]string{"-max-input", "1048576", path}); code != 0 {
+		t.Fatalf("within-cap program rejected: exit = %d", code)
+	}
+
+	// The stdin path honors the same bound.
+	stdin := os.Stdin
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdin = r
+	defer func() { os.Stdin = stdin }()
+	go func() {
+		w.WriteString(goodProgram)
+		w.Close()
+	}()
+	if code := run([]string{"-max-input", "8"}); code != 2 {
+		t.Fatalf("oversized stdin accepted: exit = %d", code)
+	}
+}

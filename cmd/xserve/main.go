@@ -30,6 +30,16 @@
 //	        "hoistable_reads": [...], "redundant_reads": [[0,3]],
 //	        "schedule": [[0],[1,2],...], "elapsed_us": 9000}
 //
+// With -store-dir the daemon also serves a durable document store
+// (see store.go in this package): clients register named XML trees
+// under POST /v1/docs, read and update them through the conflict
+// detector's optimistic admission (POST /v1/docs/{id}/update), and the
+// store write-ahead-logs every commit (fsync policy -store-fsync),
+// snapshots periodically (-store-snapshot-every), and recovers to
+// exactly the acknowledged prefix after a crash. store.* counters
+// (appends, fsync timings, recoveries, torn tails, conflict
+// rejections) ride the same /metrics surface.
+//
 // Exactly one of "insert"/"delete" must be given per detect pair. With
 // "tree" the request is a witness check on that document (Lemma 1,
 // polynomial); with "schema" the search is restricted to schema-valid
@@ -91,6 +101,7 @@ import (
 
 	"xmlconflict"
 	"xmlconflict/internal/faultinject"
+	"xmlconflict/internal/store"
 	"xmlconflict/internal/telemetry"
 	"xmlconflict/internal/telemetry/obshttp"
 )
@@ -184,6 +195,10 @@ type analyzeResponse struct {
 type errorResponse struct {
 	Error  string `json:"error"`
 	Reason string `json:"reason,omitempty"`
+	// Conflict is attached to 409 rejections from the document store:
+	// the committed update the operation collided with and which
+	// conflict semantics fired.
+	Conflict *conflictInfo `json:"conflict,omitempty"`
 }
 
 // writeErr writes the uniform JSON error envelope.
@@ -217,6 +232,9 @@ type server struct {
 	queueTimeout time.Duration
 	maxBody      int64
 	ready        atomic.Bool
+	// store is the durable document store behind /v1/docs; nil unless
+	// -store-dir was given (the routes are not mounted without it).
+	store *store.Store
 }
 
 func newServer(pool int, queueTimeout time.Duration, maxBody int64) *server {
@@ -249,6 +267,9 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/v1/detect", s.contained(s.handleDetect))
 	mux.HandleFunc("/v1/detect/batch", s.contained(s.handleBatch))
 	mux.HandleFunc("/v1/analyze", s.contained(s.handleAnalyze))
+	if s.store != nil {
+		s.storeRoutes(mux)
+	}
 	obshttp.Mount(mux, obshttp.Options{Metrics: s.metrics, Ready: s.ready.Load, RetryAfter: s.retryAfter})
 	return mux
 }
@@ -782,6 +803,10 @@ func run(args []string) int {
 	fs.DurationVar(&t.write, "write-timeout", t.write, "time limit for writing a response (covers the detection)")
 	fs.DurationVar(&t.idle, "idle-timeout", t.idle, "how long a keep-alive connection may sit idle")
 	faults := fs.String("faults", "", "fault-injection spec site=kind[:delay][@after][xN][;...] for chaos testing")
+	storeDir := fs.String("store-dir", "", "durable document store directory (empty = /v1/docs disabled)")
+	storeFsync := fs.String("store-fsync", "always", "store fsync policy: always, group, or never")
+	storeFsyncInterval := fs.Duration("store-fsync-interval", 5*time.Millisecond, "group-commit fsync cadence (with -store-fsync=group)")
+	storeSnapshotEvery := fs.Int("store-snapshot-every", 1024, "auto-snapshot (and truncate the WAL) after this many records; 0 = manual only")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -794,6 +819,27 @@ func run(args []string) int {
 	}
 
 	s := newServer(*pool, *queueTimeout, *maxBody)
+	if *storeDir != "" {
+		policy, err := parseFsyncPolicy(*storeFsync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xserve: -store-fsync: %v\n", err)
+			return 2
+		}
+		st, err := store.Open(*storeDir, store.Options{
+			Fsync:         policy,
+			FsyncInterval: *storeFsyncInterval,
+			SnapshotEvery: *storeSnapshotEvery,
+			Metrics:       s.metrics, // store.* counters ride /metrics
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xserve: -store-dir: %v\n", err)
+			return 2
+		}
+		defer st.Close()
+		s.store = st
+		fmt.Fprintf(os.Stderr, "xserve: document store at %s (fsync %s, lsn %d, %d docs)\n",
+			*storeDir, policy, st.LSN(), len(st.Docs()))
+	}
 	if !s.metrics.Publish("xmlconflict") {
 		fmt.Fprintln(os.Stderr, "xserve: expvar name xmlconflict already taken; /debug/vars serves the earlier registry")
 	}

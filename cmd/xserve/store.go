@@ -1,0 +1,215 @@
+package main
+
+// The durable document store surface: when xserve is started with
+// -store-dir, clients can register named XML documents and submit
+// READ/INSERT/DELETE operations that are admitted through the conflict
+// detector (optimistic commute-or-conflict scheduling, per document)
+// and made durable through the store's WAL before they are
+// acknowledged.
+//
+//	POST   /v1/docs                {"doc": "orders", "xml": "<a/>"}
+//	GET    /v1/docs/{id}
+//	DELETE /v1/docs/{id}
+//	POST   /v1/docs/{id}/update    {"op": "insert", "pattern": "/a",
+//	                                "x": "<x/>", "semantics": "node",
+//	                                "base_lsn": 7}
+//	POST   /v1/docs/{id}/snapshot
+//
+// A rejected operation answers 409 with the uniform envelope plus a
+// machine-readable "conflict" object naming the committed update it
+// collided with and exactly which conflict semantics fired.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"xmlconflict/internal/store"
+	"xmlconflict/internal/xmltree"
+)
+
+// docCreateRequest is the POST /v1/docs body.
+type docCreateRequest struct {
+	Doc string `json:"doc"`
+	XML string `json:"xml"`
+}
+
+// docOpRequest is the POST /v1/docs/{id}/update body. BaseLSN opts into
+// the optimistic admission check: the operation commits only if it
+// commutes with (or, for reads under the chosen semantics, is untouched
+// by) every update committed after that LSN.
+type docOpRequest struct {
+	Op        string `json:"op"`
+	Pattern   string `json:"pattern"`
+	X         string `json:"x,omitempty"`
+	Semantics string `json:"semantics,omitempty"`
+	BaseLSN   uint64 `json:"base_lsn,omitempty"`
+}
+
+// docResponse is the reply for document operations. Digest is the AHU
+// digest of the document after the operation — the same digest crash
+// recovery re-verifies, so a client can confirm durability end to end.
+type docResponse struct {
+	Doc    string   `json:"doc"`
+	LSN    uint64   `json:"lsn"`
+	Digest string   `json:"digest,omitempty"`
+	Points int      `json:"points,omitempty"`
+	Nodes  []string `json:"nodes,omitempty"`
+	XML    string   `json:"xml,omitempty"`
+	Size   int      `json:"size,omitempty"`
+}
+
+// conflictInfo is the machine-readable rejection attached to a 409
+// envelope: which committed update the operation collided with and
+// which conflict notions fired.
+type conflictInfo struct {
+	Doc       string   `json:"doc"`
+	Op        string   `json:"op"`
+	Semantics string   `json:"semantics"`
+	Fired     []string `json:"fired"`
+	BaseLSN   uint64   `json:"base_lsn"`
+	WithLSN   uint64   `json:"with_lsn"`
+	WithKind  string   `json:"with_kind"`
+	Detail    string   `json:"detail"`
+}
+
+// storeRoutes mounts the document-store API (only called when a store
+// is configured). The handlers share the containment wrapper with the
+// detection API: a panic on the commit path fail-stops the store but
+// answers this request with a 500 envelope and leaves the daemon
+// serving.
+func (s *server) storeRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/docs", s.contained(s.handleDocCreate))
+	mux.HandleFunc("GET /v1/docs/{id}", s.contained(s.handleDocGet))
+	mux.HandleFunc("DELETE /v1/docs/{id}", s.contained(s.handleDocDrop))
+	mux.HandleFunc("POST /v1/docs/{id}/update", s.contained(s.handleDocUpdate))
+	mux.HandleFunc("POST /v1/docs/{id}/snapshot", s.contained(s.handleDocSnapshot))
+}
+
+// storeErr maps a store error onto the uniform envelope: 404 for
+// missing documents, 409 for create collisions and admission rejections
+// (with the conflict object attached), 400 for malformed inputs and
+// parse-limit violations, 503 for a closed (fail-stopped) store.
+func (s *server) storeErr(w http.ResponseWriter, err error) {
+	s.metrics.Add("serve.errors", 1)
+	var ce *store.ConflictError
+	var le *xmltree.LimitError
+	switch {
+	case errors.As(err, &ce):
+		writeJSON(w, http.StatusConflict, errorResponse{
+			Error:  err.Error(),
+			Reason: "conflict",
+			Conflict: &conflictInfo{
+				Doc: ce.Doc, Op: ce.Op, Semantics: ce.Sem.String(), Fired: ce.Fired,
+				BaseLSN: ce.BaseLSN, WithLSN: ce.WithLSN, WithKind: ce.WithKind, Detail: ce.Detail,
+			},
+		})
+	case errors.Is(err, store.ErrNotFound):
+		writeErr(w, http.StatusNotFound, "not-found", err.Error())
+	case errors.Is(err, store.ErrExists):
+		writeErr(w, http.StatusConflict, "exists", err.Error())
+	case errors.Is(err, store.ErrStaleBase):
+		writeErr(w, http.StatusConflict, "stale-base", err.Error())
+	case errors.Is(err, store.ErrFutureBase):
+		writeErr(w, http.StatusConflict, "future-base", err.Error())
+	case errors.Is(err, store.ErrClosed):
+		writeErr(w, http.StatusServiceUnavailable, "store-closed", err.Error())
+	case errors.As(err, &le):
+		writeErr(w, http.StatusBadRequest, "limit", err.Error())
+	default:
+		writeErr(w, http.StatusBadRequest, "bad-request", err.Error())
+	}
+}
+
+func (s *server) handleDocCreate(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Add("serve.requests", 1)
+	var req docCreateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	res, err := s.store.Create(req.Doc, req.XML)
+	if err != nil {
+		s.storeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, docResponse{Doc: res.Doc, LSN: res.LSN, Digest: res.Digest})
+}
+
+func (s *server) handleDocGet(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Add("serve.requests", 1)
+	info, err := s.store.Get(r.PathValue("id"))
+	if err != nil {
+		s.storeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, docResponse{
+		Doc: info.Doc, LSN: info.LSN, Digest: info.Digest, XML: info.XML, Size: info.Size,
+	})
+}
+
+func (s *server) handleDocDrop(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Add("serve.requests", 1)
+	res, err := s.store.Drop(r.PathValue("id"))
+	if err != nil {
+		s.storeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, docResponse{Doc: res.Doc, LSN: res.LSN})
+}
+
+func (s *server) handleDocUpdate(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Add("serve.requests", 1)
+	var req docOpRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	sem, err := parseSemantics(req.Semantics)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad-request", err.Error())
+		return
+	}
+	res, err := s.store.Submit(r.PathValue("id"), store.Op{
+		Kind:    req.Op,
+		Pattern: req.Pattern,
+		X:       req.X,
+		Sem:     sem,
+		BaseLSN: req.BaseLSN,
+	})
+	if err != nil {
+		s.storeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, docResponse{
+		Doc: res.Doc, LSN: res.LSN, Digest: res.Digest, Points: res.Points, Nodes: res.Nodes,
+	})
+}
+
+func (s *server) handleDocSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Add("serve.requests", 1)
+	// The path names a document for symmetry with the other routes, but
+	// snapshots are whole-store: verify the document exists, then
+	// capture everything at the store's current LSN.
+	if _, err := s.store.Get(r.PathValue("id")); err != nil {
+		s.storeErr(w, err)
+		return
+	}
+	lsn, err := s.store.Snapshot()
+	if err != nil {
+		s.storeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, docResponse{Doc: r.PathValue("id"), LSN: lsn})
+}
+
+// parseFsyncPolicy maps the -store-fsync flag value.
+func parseFsyncPolicy(name string) (store.FsyncPolicy, error) {
+	switch name {
+	case "", "always":
+		return store.FsyncAlways, nil
+	case "group":
+		return store.FsyncGroup, nil
+	case "never":
+		return store.FsyncNever, nil
+	}
+	return 0, fmt.Errorf("unknown fsync policy %q (want always, group, or never)", name)
+}

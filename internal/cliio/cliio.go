@@ -1,0 +1,65 @@
+// Package cliio bounds the input surfaces of the command-line tools.
+// An unbounded io.ReadAll over stdin (or a carelessly named file) lets
+// one oversized input exhaust process memory before any parser-level
+// limit can fire; these helpers cap the bytes read and fail with a
+// clean, typed error instead.
+package cliio
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// DefaultMaxInput is the default input-size cap for CLI tools: 16 MiB,
+// far above any plausible program or schema, far below trouble.
+const DefaultMaxInput = 16 << 20
+
+// OverflowError reports input larger than the configured cap.
+type OverflowError struct {
+	// Source names the input ("stdin" or the file path).
+	Source string
+	// Max is the configured cap in bytes.
+	Max int64
+}
+
+func (e *OverflowError) Error() string {
+	return fmt.Sprintf("%s exceeds the input limit of %d bytes (raise -max-input to read more)", e.Source, e.Max)
+}
+
+// ReadAll reads r to EOF, failing with an *OverflowError naming source
+// once more than max bytes appear. max <= 0 applies DefaultMaxInput.
+// Inputs of exactly max bytes are accepted.
+func ReadAll(r io.Reader, source string, max int64) ([]byte, error) {
+	if max <= 0 {
+		max = DefaultMaxInput
+	}
+	// Read one byte past the cap: distinguishes "exactly max" (fine)
+	// from "more than max" (overflow) without buffering the excess.
+	b, err := io.ReadAll(io.LimitReader(r, max+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(b)) > max {
+		return nil, &OverflowError{Source: source, Max: max}
+	}
+	return b, nil
+}
+
+// ReadFile reads a whole file under the same cap as ReadAll, checking
+// the file's size up front so an oversized file fails without reading
+// any of it.
+func ReadFile(path string, max int64) ([]byte, error) {
+	if max <= 0 {
+		max = DefaultMaxInput
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if info, err := f.Stat(); err == nil && info.Mode().IsRegular() && info.Size() > max {
+		return nil, &OverflowError{Source: path, Max: max}
+	}
+	return ReadAll(f, path, max)
+}

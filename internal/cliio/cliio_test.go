@@ -1,0 +1,62 @@
+package cliio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadAllWithinLimit(t *testing.T) {
+	b, err := ReadAll(strings.NewReader("hello"), "stdin", 10)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("got %q, %v", b, err)
+	}
+	// Exactly the cap is accepted.
+	b, err = ReadAll(strings.NewReader("12345"), "stdin", 5)
+	if err != nil || string(b) != "12345" {
+		t.Fatalf("exact-cap read: %q, %v", b, err)
+	}
+}
+
+func TestReadAllOverflow(t *testing.T) {
+	_, err := ReadAll(strings.NewReader("123456"), "stdin", 5)
+	var oe *OverflowError
+	if !errors.As(err, &oe) {
+		t.Fatalf("want OverflowError, got %v", err)
+	}
+	if oe.Source != "stdin" || oe.Max != 5 {
+		t.Fatalf("overflow fields: %+v", oe)
+	}
+	if !strings.Contains(oe.Error(), "-max-input") {
+		t.Fatalf("error should point at the flag: %s", oe.Error())
+	}
+}
+
+func TestReadAllDefaultCap(t *testing.T) {
+	if _, err := ReadAll(strings.NewReader("ok"), "stdin", 0); err != nil {
+		t.Fatalf("default cap: %v", err)
+	}
+}
+
+func TestReadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "in.txt")
+	if err := os.WriteFile(path, []byte("content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadFile(path, 100)
+	if err != nil || string(b) != "content" {
+		t.Fatalf("got %q, %v", b, err)
+	}
+	var oe *OverflowError
+	if _, err := ReadFile(path, 3); !errors.As(err, &oe) {
+		t.Fatalf("want OverflowError, got %v", err)
+	}
+	if oe.Source != path {
+		t.Fatalf("overflow names %q, want the path", oe.Source)
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing"), 100); err == nil {
+		t.Fatal("missing file: want error")
+	}
+}

@@ -2,7 +2,12 @@
 // and robustness testing of the detection engine and the serving path.
 //
 // A site is a dotted string naming a code location ("core.detect",
-// "core.batch.worker", "serve.detect"). Production code calls
+// "core.batch.worker", "serve.detect"). The durable document store
+// fires at every durability edge so crash tests can kill it mid-commit:
+// "store.append" (before a WAL frame is written), "store.append.partial"
+// (after the frame header, before the payload — a torn record),
+// "store.fsync" (before the log is synced), and "store.snapshot.write"
+// (mid-snapshot, before the atomic rename). Production code calls
 // Fire(site) at the location; with nothing armed the call is a single
 // atomic load and a return — cheap enough to leave compiled into hot
 // paths. Tests (or an operator running a chaos drill) arm faults at

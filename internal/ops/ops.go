@@ -179,6 +179,42 @@ func ValueConflictWitness(r Read, u Update, t *xmltree.Tree) (bool, error) {
 	return !xmltree.SameIsoClasses(r.Eval(t), r.Eval(after)), nil
 }
 
+// FiredSemantics reports which of the three conflict notions the tree t
+// witnesses between r and u, in declaration order (node, tree, value).
+// One update application serves all three comparisons, so the check
+// costs the same as a single witness check plus the set comparisons.
+// The durable store uses it to tell a rejected client exactly which
+// semantics its read admission failed under.
+func FiredSemantics(r Read, u Update, t *xmltree.Tree) ([]Semantics, error) {
+	after, err := ApplyCopy(u, t)
+	if err != nil {
+		return nil, err
+	}
+	before := r.Eval(t)
+	res := r.Eval(after)
+	var fired []Semantics
+	sameNodes := xmltree.SameNodeSet(before, res)
+	if !sameNodes {
+		fired = append(fired, NodeSemantics)
+	}
+	treeFired := !sameNodes
+	if !treeFired {
+		for _, n := range res {
+			if n.Modified() {
+				treeFired = true
+				break
+			}
+		}
+	}
+	if treeFired {
+		fired = append(fired, TreeSemantics)
+	}
+	if !xmltree.SameIsoClasses(before, res) {
+		fired = append(fired, ValueSemantics)
+	}
+	return fired, nil
+}
+
 // ConflictWitness dispatches on the conflict semantics.
 func ConflictWitness(sem Semantics, r Read, u Update, t *xmltree.Tree) (bool, error) {
 	switch sem {

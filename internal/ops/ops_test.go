@@ -314,3 +314,76 @@ func TestInsertPointsEvaluatedBeforeMutation(t *testing.T) {
 		t.Fatalf("//a after insert = %d, want 2", len(got))
 	}
 }
+
+func TestFiredSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		read string
+		upd  Update
+		want []Semantics
+	}{
+		{
+			name: "insert below the result fires tree and value only",
+			doc:  "<a><b/></a>",
+			read: "//b",
+			upd:  Insert{P: xpath.MustParse("/a/b"), X: xmltree.MustParse("<c/>")},
+			want: []Semantics{TreeSemantics, ValueSemantics},
+		},
+		{
+			name: "delete of the result fires all three",
+			doc:  "<a><b/></a>",
+			read: "//b",
+			upd:  Delete{P: xpath.MustParse("/a/b")},
+			want: []Semantics{NodeSemantics, TreeSemantics, ValueSemantics},
+		},
+		{
+			name: "disjoint insert fires nothing",
+			doc:  "<a><b/><c/></a>",
+			read: "//b",
+			upd:  Insert{P: xpath.MustParse("/a/c"), X: xmltree.MustParse("<d/>")},
+			want: nil,
+		},
+		{
+			name: "no-op delete fires nothing",
+			doc:  "<a><b/><b/></a>",
+			read: "/a/b",
+			upd:  Delete{P: xpath.MustParse("/a/b[missing]")},
+			want: nil,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tr := xmltree.MustParse(c.doc)
+			got, err := FiredSemantics(Read{P: xpath.MustParse(c.read)}, c.upd, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(c.want) {
+				t.Fatalf("fired %v, want %v", got, c.want)
+			}
+			for i := range got {
+				if got[i] != c.want[i] {
+					t.Fatalf("fired %v, want %v", got, c.want)
+				}
+			}
+			// FiredSemantics must agree with the individual witness
+			// checkers on every notion.
+			for _, sem := range []Semantics{NodeSemantics, TreeSemantics, ValueSemantics} {
+				single, err := ConflictWitness(sem, Read{P: xpath.MustParse(c.read)}, c.upd, tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fired := false
+				for _, f := range got {
+					if f == sem {
+						fired = true
+					}
+				}
+				if single != fired {
+					t.Fatalf("%s: FiredSemantics says %v, ConflictWitness says %v", sem, fired, single)
+				}
+			}
+		})
+	}
+}

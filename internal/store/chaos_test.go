@@ -1,0 +1,186 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"xmlconflict/internal/faultinject"
+)
+
+// The chaos suite drills every faultinject crash site on the
+// durability path: a KindPanic fault stands in for the process dying at
+// that exact instruction. The store object is abandoned without Close —
+// exactly what a crash leaves behind — and a fresh Open on the same
+// directory must reproduce a prefix-consistent document whose AHU
+// digest matches the last acknowledged commit.
+
+// crashAt submits an update expecting the armed panic at site, and
+// returns once the panic has been observed and faults are reset.
+func crashAt(t *testing.T, s *Store, site string, f func() error) {
+	t.Helper()
+	faultinject.Arm(site, faultinject.Fault{Kind: faultinject.KindPanic, Times: 1})
+	defer faultinject.Reset()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("site %s: expected injected panic", site)
+		}
+		if _, ok := r.(*faultinject.Panic); !ok {
+			panic(r) // a real bug, not the drill
+		}
+	}()
+	f()
+	t.Fatalf("site %s: operation returned without panicking", site)
+}
+
+// reopenAndCheck recovers the directory and asserts the document came
+// back with exactly the acknowledged digest and LSN.
+func reopenAndCheck(t *testing.T, dir, doc string, want Result) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	info, err := s.Get(doc)
+	if err != nil {
+		t.Fatalf("recovered Get(%s): %v", doc, err)
+	}
+	if info.Digest != want.Digest || info.LSN != want.LSN {
+		t.Fatalf("recovered %s: digest %.12s lsn %d, want acknowledged %.12s lsn %d",
+			doc, info.Digest, info.LSN, want.Digest, want.LSN)
+	}
+	return s
+}
+
+func TestChaosKillBeforeAppend(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{Fsync: FsyncAlways})
+	mustCreate(t, s, "d", "<a/>")
+	acked := mustSubmit(t, s, "d", Op{Kind: "insert", Pattern: "/a", X: "<x/>"})
+
+	// The crash lands before any byte reaches the log: the lost update
+	// was never acknowledged, so recovery owes exactly the prior state.
+	crashAt(t, s, "store.append", func() error {
+		_, err := s.Submit("d", Op{Kind: "insert", Pattern: "/a", X: "<y/>"})
+		return err
+	})
+	reopenAndCheck(t, dir, "d", acked)
+}
+
+func TestChaosKillMidAppend(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{Fsync: FsyncAlways})
+	mustCreate(t, s, "d", "<a/>")
+	acked := mustSubmit(t, s, "d", Op{Kind: "insert", Pattern: "/a", X: "<x/>"})
+
+	// The crash lands between the frame header and the payload: the log
+	// now ends in a torn record that recovery must cut.
+	crashAt(t, s, "store.append.partial", func() error {
+		_, err := s.Submit("d", Op{Kind: "insert", Pattern: "/a", X: "<y/>"})
+		return err
+	})
+	s2 := reopenAndCheck(t, dir, "d", acked)
+	if s2.m.Counter("store.torn_tail").Load() != 1 {
+		t.Fatal("torn tail from the mid-append kill was not detected")
+	}
+	// The recovered store accepts new commits after the cut.
+	if _, err := s2.Submit("d", Op{Kind: "insert", Pattern: "/a", X: "<z/>"}); err != nil {
+		t.Fatalf("post-recovery submit: %v", err)
+	}
+}
+
+func TestChaosFsyncErrorRollsBack(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{Fsync: FsyncAlways})
+	mustCreate(t, s, "d", "<a/>")
+	acked := mustSubmit(t, s, "d", Op{Kind: "insert", Pattern: "/a", X: "<x/>"})
+
+	// A failed fsync under FsyncAlways is a failed commit: the record
+	// is rolled out of the file and the in-memory state is untouched.
+	faultinject.Arm("store.fsync", faultinject.Fault{Kind: faultinject.KindError, Times: 1})
+	_, err := s.Submit("d", Op{Kind: "insert", Pattern: "/a", X: "<y/>"})
+	var fe *faultinject.Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("want injected fsync error, got %v", err)
+	}
+	info, _ := s.Get("d")
+	if info.Digest != acked.Digest || info.LSN != acked.LSN {
+		t.Fatalf("state changed on failed fsync: %+v", info)
+	}
+	faultinject.Reset()
+
+	// The same store retries successfully, and the retry is durable.
+	retried := mustSubmit(t, s, "d", Op{Kind: "insert", Pattern: "/a", X: "<y/>"})
+	s.Close()
+	reopenAndCheck(t, dir, "d", retried)
+}
+
+func TestChaosKillMidSnapshot(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{Fsync: FsyncAlways})
+	mustCreate(t, s, "d", "<a/>")
+	if _, err := s.Snapshot(); err != nil {
+		t.Fatalf("first snapshot: %v", err)
+	}
+	acked := mustSubmit(t, s, "d", Op{Kind: "insert", Pattern: "/a", X: "<x/>"})
+
+	// The crash lands after the snapshot temp file is created but
+	// before its payload is written: the torn temp file must never be
+	// renamed into place, leaving the older snapshot + intact WAL
+	// authoritative.
+	crashAt(t, s, "store.snapshot.write", func() error {
+		_, err := s.Snapshot()
+		return err
+	})
+	s2 := reopenAndCheck(t, dir, "d", acked)
+	if got := s2.m.Counter("store.bad_snapshots").Load(); got != 0 {
+		t.Fatalf("a torn snapshot became visible (%d bad snapshots seen)", got)
+	}
+}
+
+func TestChaosSnapshotLatency(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{Fsync: FsyncAlways})
+	mustCreate(t, s, "d", "<a/>")
+	// A slow snapshot device delays but does not corrupt.
+	faultinject.Arm("store.snapshot.write", faultinject.Fault{Kind: faultinject.KindLatency, Times: 1})
+	if _, err := s.Snapshot(); err != nil {
+		t.Fatalf("slow snapshot: %v", err)
+	}
+	acked := mustSubmit(t, s, "d", Op{Kind: "insert", Pattern: "/a", X: "<x/>"})
+	s.Close()
+	reopenAndCheck(t, dir, "d", acked)
+}
+
+// TestChaosKillEverySite runs the full kill-restart-verify loop over
+// every crash site in sequence on one directory, interleaved with
+// successful commits, so recovery composes across repeated crashes.
+func TestChaosKillEverySite(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{Fsync: FsyncAlways})
+	mustCreate(t, s, "d", "<a/>")
+	acked := mustSubmit(t, s, "d", Op{Kind: "insert", Pattern: "/a", X: "<x/>"})
+
+	for _, site := range []string{"store.append", "store.append.partial", "store.snapshot.write"} {
+		crashAt(t, s, site, func() error {
+			if site == "store.snapshot.write" {
+				_, err := s.Snapshot()
+				return err
+			}
+			_, err := s.Submit("d", Op{Kind: "insert", Pattern: "/a", X: "<y/>"})
+			return err
+		})
+		s = reopenAndCheck(t, dir, "d", acked)
+		// A fresh acknowledged commit on the recovered store becomes the
+		// new expected state for the next crash.
+		acked = mustSubmit(t, s, "d", Op{Kind: "insert", Pattern: "/a", X: "<z/>"})
+	}
+	reopenAndCheck(t, dir, "d", acked)
+}

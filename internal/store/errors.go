@@ -1,0 +1,68 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"xmlconflict/internal/ops"
+)
+
+// Sentinel errors, matchable with errors.Is through the wrapped errors
+// the Store methods return.
+var (
+	// ErrNotFound: the named document is not in the store.
+	ErrNotFound = errors.New("document not found")
+	// ErrExists: Create on an id that is already registered.
+	ErrExists = errors.New("document already exists")
+	// ErrStaleBase: the operation's BaseLSN predates the per-document
+	// admission window, so the store can no longer prove or refute
+	// commutation; the client must re-read and resubmit.
+	ErrStaleBase = errors.New("base lsn predates the admission window")
+	// ErrFutureBase: the operation's BaseLSN is beyond the document's
+	// current LSN — the client is talking about a state that does not
+	// exist yet.
+	ErrFutureBase = errors.New("base lsn is in the future")
+	// ErrClosed: the store has been closed.
+	ErrClosed = errors.New("store is closed")
+)
+
+// ConflictError is the machine-readable rejection of an operation whose
+// optimistic admission failed: some update committed after the client's
+// BaseLSN neither commutes with nor is invisible to the submitted
+// operation. It carries exactly which conflict notions fired so clients
+// can distinguish "my read set moved" (node) from "only subtree values
+// changed" (value) and react accordingly.
+type ConflictError struct {
+	// Doc is the document the operation targeted.
+	Doc string
+	// Op is the rejected operation's kind: "read", "insert", or
+	// "delete".
+	Op string
+	// Sem is the semantics the admission check ran under (client-chosen
+	// for reads; updates always use value semantics, the Section 6
+	// commutation notion).
+	Sem ops.Semantics
+	// Fired lists the conflict notions the intervening state witnesses,
+	// in increasing strictness order: a subset of "node", "tree",
+	// "value".
+	Fired []string
+	// BaseLSN is the stale base the client submitted against.
+	BaseLSN uint64
+	// WithLSN is the LSN of the committed update the operation
+	// conflicts with.
+	WithLSN uint64
+	// WithKind is that committed update's kind ("insert" or "delete").
+	WithKind string
+	// Detail is a human-readable account of the check that failed.
+	Detail string
+}
+
+func (e *ConflictError) Error() string {
+	fired := strings.Join(e.Fired, ",")
+	if fired == "" {
+		fired = e.Sem.String()
+	}
+	return fmt.Sprintf("store: %s on doc %q conflicts with the %s committed at lsn %d (base lsn %d, %s semantics fired): %s",
+		e.Op, e.Doc, e.WithKind, e.WithLSN, e.BaseLSN, fired, e.Detail)
+}

@@ -1,0 +1,753 @@
+// Package store is the durable document store that turns the conflict
+// detector from an oracle into a concurrency-control mechanism over
+// real state. Clients register named XML trees and submit READ, INSERT,
+// and DELETE operations (the paper's Section 3 vocabulary) against
+// them; operations carrying an optimistic base LSN are admitted through
+// the detector — an operation commits only if it commutes with (or is
+// untouched by, for reads) every update that landed after its base —
+// and rejected operations fail with a machine-readable ConflictError
+// naming the node/tree/value semantics that fired.
+//
+// Durability is a checksummed, length-prefixed write-ahead log with a
+// configurable fsync policy (always / group-commit / never) and
+// monotonic LSNs, plus periodic whole-store snapshots (canonical
+// serialization + AHU digests) that truncate the log. Recovery replays
+// the WAL over the newest valid snapshot, cleanly cutting any torn
+// tail and re-verifying every replayed record's checksum and digest,
+// so a crash anywhere — including mid-append — converges to exactly
+// the longest durable prefix of acknowledged commits.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"xmlconflict/internal/ops"
+	"xmlconflict/internal/telemetry"
+	"xmlconflict/internal/xmltree"
+	"xmlconflict/internal/xpath"
+)
+
+// Options configures a Store. The zero value is a usable default:
+// fsync on every commit, a 32-update admission window, snapshots only
+// on demand.
+type Options struct {
+	// Fsync selects the durability policy for commits.
+	Fsync FsyncPolicy
+	// FsyncInterval is the group-commit cadence under FsyncGroup
+	// (default 5ms).
+	FsyncInterval time.Duration
+	// SnapshotEvery takes an automatic snapshot (and truncates the WAL)
+	// after this many appended records; 0 snapshots only on demand.
+	SnapshotEvery int
+	// HistoryWindow is how many committed updates per document remain
+	// available for optimistic admission checks (default 32). Bases
+	// older than the window are rejected with ErrStaleBase.
+	HistoryWindow int
+	// KeepSnapshots is how many snapshot generations survive pruning
+	// (default 2: the newest plus one fallback).
+	KeepSnapshots int
+	// Limits bounds document parsing everywhere the store parses XML
+	// (Create, WAL replay, snapshot load). Zero value means
+	// xmltree.DefaultParseLimits.
+	Limits xmltree.ParseLimits
+	// Metrics receives the store.* counters and timers; nil gets a
+	// private registry.
+	Metrics *telemetry.Metrics
+}
+
+func (o Options) withDefaults() Options {
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = 5 * time.Millisecond
+	}
+	if o.HistoryWindow <= 0 {
+		o.HistoryWindow = 32
+	}
+	if o.KeepSnapshots <= 0 {
+		o.KeepSnapshots = 2
+	}
+	if o.Limits == (xmltree.ParseLimits{}) {
+		o.Limits = xmltree.DefaultParseLimits()
+	}
+	if o.Metrics == nil {
+		o.Metrics = telemetry.New()
+	}
+	return o
+}
+
+// Op is one submitted operation against a document.
+type Op struct {
+	// Kind is "read", "insert", or "delete".
+	Kind string
+	// Pattern is the operation's XPath expression.
+	Pattern string
+	// X is the XML fragment an insert grafts (default "<new/>").
+	X string
+	// Sem is the conflict semantics a read's admission check runs
+	// under (updates always use value semantics — commutation).
+	Sem ops.Semantics
+	// BaseLSN is the LSN the client last observed for the document; 0
+	// submits against the current state with no admission check.
+	BaseLSN uint64
+}
+
+// Result reports a committed (or evaluated) operation.
+type Result struct {
+	// Doc is the document id.
+	Doc string
+	// LSN is the document's LSN after the operation (unchanged by
+	// reads).
+	LSN uint64
+	// Digest is the document's AHU digest after the operation.
+	Digest string
+	// Points is how many pattern matches an update applied at.
+	Points int
+	// Nodes holds, for reads, the canonical XML of each subtree the
+	// pattern selected, in node-identity order.
+	Nodes []string
+}
+
+// Info describes a stored document.
+type Info struct {
+	Doc    string
+	LSN    uint64
+	Digest string
+	XML    string
+	Size   int
+}
+
+// histEntry is one committed update retained for optimistic admission:
+// the update itself plus the (immutable) tree it applied to.
+type histEntry struct {
+	lsn    uint64 // the update's commit LSN
+	preLSN uint64 // the document LSN the update applied on
+	kind   string
+	upd    ops.Update
+	pre    *xmltree.Tree
+}
+
+type doc struct {
+	id     string
+	tree   *xmltree.Tree
+	lsn    uint64
+	digest string
+	hist   []histEntry
+}
+
+// Store is a durable, conflict-scheduled document store. All methods
+// are safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+	m    *telemetry.Metrics
+
+	mu        sync.Mutex
+	w         *wal
+	docs      map[string]*doc
+	lsn       uint64
+	sinceSnap int
+	closed    bool
+}
+
+// Open loads (or initializes) a store rooted at dir: the newest valid
+// snapshot is loaded, the WAL is replayed over it with full checksum
+// and digest re-verification, and any torn tail is truncated away.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := ensureDir(dir); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:  dir,
+		opts: opts,
+		m:    opts.Metrics,
+		docs: map[string]*doc{},
+	}
+
+	// 1. Newest snapshot that verifies end to end wins; invalid ones
+	// are counted and skipped in favor of older generations.
+	names, err := listSnapshots(dir)
+	if err != nil {
+		return nil, err
+	}
+	var snapLSN uint64
+	hadState := len(names) > 0
+	for _, name := range names {
+		snap, trees, err := loadSnapshot(filepath.Join(dir, name), opts.Limits)
+		if err != nil {
+			s.m.Add("store.bad_snapshots", 1)
+			continue
+		}
+		for _, sd := range snap.Docs {
+			s.docs[sd.ID] = &doc{id: sd.ID, tree: trees[sd.ID], lsn: sd.LSN, digest: sd.Digest}
+		}
+		snapLSN = snap.LSN
+		s.lsn = snap.LSN
+		break
+	}
+
+	// 2. Open the log, cutting any torn tail the framing scan finds.
+	w, payloads, torn, err := openWAL(filepath.Join(dir, "wal.log"), opts.Fsync, opts.FsyncInterval, s.m)
+	if err != nil {
+		return nil, err
+	}
+	s.w = w
+	if torn {
+		s.m.Add("store.torn_tail", 1)
+	}
+	hadState = hadState || len(payloads) > 0
+
+	// 3. Replay records past the snapshot. A record that fails to
+	// decode, apply, or re-verify its digest ends the durable prefix
+	// right there: it and everything after it are truncated, exactly
+	// as a torn tail is.
+	off := int64(len(walMagic))
+	prevLSN := uint64(0)
+	for _, payload := range payloads {
+		abort := func(counter string) error {
+			s.m.Add(counter, 1)
+			if err := w.truncateTo(off); err != nil {
+				return err
+			}
+			return nil
+		}
+		rec, derr := decodeRecord(payload)
+		if derr != nil || rec.LSN == 0 || rec.LSN <= prevLSN {
+			// Undecodable or LSN-regressing records are corruption the
+			// checksum happened to bless; stop trusting the file here.
+			if err := abort("store.replay_aborts"); err != nil {
+				return nil, err
+			}
+			break
+		}
+		prevLSN = rec.LSN
+		if rec.LSN > snapLSN {
+			if err := s.applyReplayed(rec); err != nil {
+				if err := abort("store.replay_aborts"); err != nil {
+					return nil, err
+				}
+				break
+			}
+			s.m.Add("store.replayed", 1)
+			s.lsn = rec.LSN
+		}
+		off += int64(frameHead + len(payload))
+	}
+
+	if hadState {
+		s.m.Add("store.recoveries", 1)
+	}
+	s.m.Gauge("store.docs").Set(int64(len(s.docs)))
+	return s, nil
+}
+
+// truncateTo cuts the WAL at off (used when replay stops trusting the
+// file mid-way).
+func (w *wal) truncateTo(off int64) error {
+	if err := w.f.Truncate(off); err != nil {
+		return fmt.Errorf("store: truncate wal: %w", err)
+	}
+	if _, err := w.f.Seek(off, 0); err != nil {
+		return fmt.Errorf("store: seek wal: %w", err)
+	}
+	w.off = off
+	return nil
+}
+
+// applyReplayed applies one WAL record during recovery through the
+// same mutation path live commits use, then re-verifies the digest the
+// record promised.
+func (s *Store) applyReplayed(rec record) error {
+	switch rec.Type {
+	case "create":
+		if _, ok := s.docs[rec.Doc]; ok {
+			return fmt.Errorf("store: replay create %q: already exists", rec.Doc)
+		}
+		t, err := xmltree.ParseWithLimits(strings.NewReader(rec.XML), s.opts.Limits)
+		if err != nil {
+			return err
+		}
+		digest := t.Digest()
+		if digest != rec.Digest {
+			return fmt.Errorf("store: replay create %q: digest mismatch", rec.Doc)
+		}
+		s.docs[rec.Doc] = &doc{id: rec.Doc, tree: t, lsn: rec.LSN, digest: digest}
+		return nil
+	case "update":
+		d, ok := s.docs[rec.Doc]
+		if !ok {
+			return fmt.Errorf("store: replay update %q: no such doc", rec.Doc)
+		}
+		u, _, err := s.parseUpdate(Op{Kind: rec.Kind, Pattern: rec.Pattern, X: rec.X})
+		if err != nil {
+			return err
+		}
+		newTree, _, digest, err := applyUpdate(d, u)
+		if err != nil {
+			return err
+		}
+		if digest != rec.Digest {
+			return fmt.Errorf("store: replay update %q lsn %d: digest mismatch (stored %.12s, replayed %.12s)",
+				rec.Doc, rec.LSN, rec.Digest, digest)
+		}
+		s.commitUpdate(d, rec.LSN, rec.Kind, u, newTree, digest)
+		return nil
+	case "drop":
+		if _, ok := s.docs[rec.Doc]; !ok {
+			return fmt.Errorf("store: replay drop %q: no such doc", rec.Doc)
+		}
+		delete(s.docs, rec.Doc)
+		return nil
+	}
+	return fmt.Errorf("store: replay: unknown record type %q", rec.Type)
+}
+
+// parseUpdate compiles an Op into an executable update. The returned
+// string is the canonical fragment serialization stored in the WAL.
+func (s *Store) parseUpdate(op Op) (ops.Update, string, error) {
+	p, err := xpath.Parse(op.Pattern)
+	if err != nil {
+		return nil, "", fmt.Errorf("store: pattern: %w", err)
+	}
+	switch op.Kind {
+	case "insert":
+		xs := op.X
+		if xs == "" {
+			xs = "<new/>"
+		}
+		x, err := xmltree.ParseWithLimits(strings.NewReader(xs), s.opts.Limits)
+		if err != nil {
+			return nil, "", fmt.Errorf("store: x: %w", err)
+		}
+		return ops.Insert{P: p, X: x}, x.XML(), nil
+	case "delete":
+		d := ops.Delete{P: p}
+		if err := d.Validate(); err != nil {
+			return nil, "", err
+		}
+		return d, "", nil
+	}
+	return nil, "", fmt.Errorf("store: unknown update kind %q", op.Kind)
+}
+
+// applyUpdate runs u on an identity-preserving clone of d's tree and
+// returns the new tree, the application points, and the new digest.
+// The document itself is untouched until commitUpdate swaps the clone
+// in — so a failed append never leaves a half-applied document.
+func applyUpdate(d *doc, u ops.Update) (*xmltree.Tree, int, string, error) {
+	clone := d.tree.Clone()
+	clone.ClearModified()
+	points, err := u.Apply(clone)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	return clone, len(points), clone.Digest(), nil
+}
+
+// commitUpdate publishes an applied update: the old tree becomes the
+// newest admission-window entry (it is immutable from here on), the
+// clone becomes current, and the LSNs advance.
+func (s *Store) commitUpdate(d *doc, lsn uint64, kind string, u ops.Update, newTree *xmltree.Tree, digest string) {
+	d.hist = append(d.hist, histEntry{lsn: lsn, preLSN: d.lsn, kind: kind, upd: u, pre: d.tree})
+	if excess := len(d.hist) - s.opts.HistoryWindow; excess > 0 {
+		d.hist = append([]histEntry(nil), d.hist[excess:]...)
+	}
+	d.tree = newTree
+	d.lsn = lsn
+	d.digest = digest
+	if lsn > s.lsn {
+		s.lsn = lsn
+	}
+}
+
+// admit runs the optimistic admission check: every update committed
+// after base must be invisible to a read (under op.Sem) or commute
+// with an update (value semantics, the Section 6 notion). The checks
+// are concrete witness checks on the retained pre-states — polynomial
+// (Lemma 1), not the NP-hard existential search.
+func (s *Store) admit(d *doc, op Op, rd *ops.Read, upd ops.Update) error {
+	base := op.BaseLSN
+	if base == 0 || base >= d.lsn {
+		if base > s.lsn {
+			return fmt.Errorf("store: doc %q: base lsn %d beyond store lsn %d: %w", d.id, base, s.lsn, ErrFutureBase)
+		}
+		return nil
+	}
+	if len(d.hist) == 0 || d.hist[0].preLSN > base {
+		return fmt.Errorf("store: doc %q: base lsn %d: %w", d.id, base, ErrStaleBase)
+	}
+	for _, e := range d.hist {
+		if e.lsn <= base {
+			continue
+		}
+		if rd != nil {
+			fired, err := ops.FiredSemantics(*rd, e.upd, e.pre)
+			if err != nil {
+				return err
+			}
+			if !semFired(fired, op.Sem) {
+				continue
+			}
+			names := make([]string, len(fired))
+			for i, f := range fired {
+				names[i] = f.String()
+			}
+			s.m.Add("store.conflict_rejections", 1)
+			return &ConflictError{
+				Doc: d.id, Op: "read", Sem: op.Sem, Fired: names,
+				BaseLSN: base, WithLSN: e.lsn, WithKind: e.kind,
+				Detail: fmt.Sprintf("READ %s returns a different result across the %s applied at the pre-state of lsn %d", op.Pattern, e.kind, e.lsn),
+			}
+		}
+		noncommute, err := ops.CommuteWitness(upd, e.upd, e.pre)
+		if err != nil {
+			return err
+		}
+		if noncommute {
+			s.m.Add("store.conflict_rejections", 1)
+			return &ConflictError{
+				Doc: d.id, Op: op.Kind, Sem: ops.ValueSemantics, Fired: []string{ops.ValueSemantics.String()},
+				BaseLSN: base, WithLSN: e.lsn, WithKind: e.kind,
+				Detail: fmt.Sprintf("the two application orders yield non-isomorphic documents on the pre-state of lsn %d", e.lsn),
+			}
+		}
+	}
+	return nil
+}
+
+// semFired reports whether the admission semantics is among the fired
+// ones.
+func semFired(fired []ops.Semantics, sem ops.Semantics) bool {
+	for _, f := range fired {
+		if f == sem {
+			return true
+		}
+	}
+	return false
+}
+
+// Create registers a new document under id. The WAL record stores the
+// canonical serialization, so replay is deterministic regardless of
+// how the input was formatted.
+func (s *Store) Create(id, xml string) (Result, error) {
+	if err := validateID(id); err != nil {
+		return Result{}, err
+	}
+	t, err := xmltree.ParseWithLimits(strings.NewReader(xml), s.opts.Limits)
+	if err != nil {
+		return Result{}, err
+	}
+	digest := t.Digest()
+
+	s.mu.Lock()
+	locked := true
+	defer s.guardCommit(&locked)
+	unlock := func() { locked = false; s.mu.Unlock() }
+	if s.closed {
+		unlock()
+		return Result{}, ErrClosed
+	}
+	if _, ok := s.docs[id]; ok {
+		unlock()
+		return Result{}, fmt.Errorf("store: doc %q: %w", id, ErrExists)
+	}
+	lsn := s.lsn + 1
+	ack, err := s.append(record{LSN: lsn, Type: "create", Doc: id, XML: t.XML(), Digest: digest})
+	if err != nil {
+		unlock()
+		return Result{}, err
+	}
+	s.docs[id] = &doc{id: id, tree: t, lsn: lsn, digest: digest}
+	s.lsn = lsn
+	s.m.Gauge("store.docs").Set(int64(len(s.docs)))
+	s.maybeSnapshotLocked()
+	unlock()
+
+	if err := awaitAck(ack); err != nil {
+		return Result{}, err
+	}
+	return Result{Doc: id, LSN: lsn, Digest: digest}, nil
+}
+
+// Get returns the current state of a document.
+func (s *Store) Get(id string) (Info, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Info{}, ErrClosed
+	}
+	d, ok := s.docs[id]
+	if !ok {
+		return Info{}, fmt.Errorf("store: doc %q: %w", id, ErrNotFound)
+	}
+	return Info{Doc: id, LSN: d.lsn, Digest: d.digest, XML: d.tree.XML(), Size: d.tree.Size()}, nil
+}
+
+// Drop removes a document. The removal is itself a durable WAL record.
+func (s *Store) Drop(id string) (Result, error) {
+	s.mu.Lock()
+	locked := true
+	defer s.guardCommit(&locked)
+	unlock := func() { locked = false; s.mu.Unlock() }
+	if s.closed {
+		unlock()
+		return Result{}, ErrClosed
+	}
+	if _, ok := s.docs[id]; !ok {
+		unlock()
+		return Result{}, fmt.Errorf("store: doc %q: %w", id, ErrNotFound)
+	}
+	lsn := s.lsn + 1
+	ack, err := s.append(record{LSN: lsn, Type: "drop", Doc: id})
+	if err != nil {
+		unlock()
+		return Result{}, err
+	}
+	delete(s.docs, id)
+	s.lsn = lsn
+	s.m.Gauge("store.docs").Set(int64(len(s.docs)))
+	s.maybeSnapshotLocked()
+	unlock()
+
+	if err := awaitAck(ack); err != nil {
+		return Result{}, err
+	}
+	return Result{Doc: id, LSN: lsn}, nil
+}
+
+// Submit evaluates a READ or durably applies an INSERT/DELETE against
+// a document, running the optimistic admission check when the Op
+// carries a BaseLSN. Rejections are *ConflictError (or ErrStaleBase /
+// ErrFutureBase); an acknowledged update is durable per the store's
+// fsync policy.
+func (s *Store) Submit(id string, op Op) (Result, error) {
+	switch op.Kind {
+	case "read":
+		return s.submitRead(id, op)
+	case "insert", "delete":
+		return s.submitUpdate(id, op)
+	}
+	return Result{}, fmt.Errorf("store: unknown op kind %q (want read, insert, or delete)", op.Kind)
+}
+
+func (s *Store) submitRead(id string, op Op) (Result, error) {
+	p, err := xpath.Parse(op.Pattern)
+	if err != nil {
+		return Result{}, fmt.Errorf("store: pattern: %w", err)
+	}
+	rd := ops.Read{P: p}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Result{}, ErrClosed
+	}
+	d, ok := s.docs[id]
+	if !ok {
+		return Result{}, fmt.Errorf("store: doc %q: %w", id, ErrNotFound)
+	}
+	if err := s.admit(d, op, &rd, nil); err != nil {
+		return Result{}, err
+	}
+	nodes := xmltree.SortByID(rd.Eval(d.tree))
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = d.tree.CloneSubtree(n).XML()
+	}
+	s.m.Add("store.reads", 1)
+	return Result{Doc: id, LSN: d.lsn, Digest: d.digest, Nodes: out}, nil
+}
+
+func (s *Store) submitUpdate(id string, op Op) (Result, error) {
+	u, canonX, err := s.parseUpdate(op)
+	if err != nil {
+		return Result{}, err
+	}
+
+	s.mu.Lock()
+	locked := true
+	defer s.guardCommit(&locked)
+	unlock := func() { locked = false; s.mu.Unlock() }
+	if s.closed {
+		unlock()
+		return Result{}, ErrClosed
+	}
+	d, ok := s.docs[id]
+	if !ok {
+		unlock()
+		return Result{}, fmt.Errorf("store: doc %q: %w", id, ErrNotFound)
+	}
+	if err := s.admit(d, op, nil, u); err != nil {
+		unlock()
+		return Result{}, err
+	}
+	newTree, points, digest, err := applyUpdate(d, u)
+	if err != nil {
+		unlock()
+		return Result{}, err
+	}
+	lsn := s.lsn + 1
+	ack, err := s.append(record{
+		LSN: lsn, Type: "update", Doc: id,
+		Kind: op.Kind, Pattern: op.Pattern, X: canonX, Digest: digest,
+	})
+	if err != nil {
+		unlock()
+		return Result{}, err
+	}
+	s.commitUpdate(d, lsn, op.Kind, u, newTree, digest)
+	s.m.Add("store.updates", 1)
+	s.maybeSnapshotLocked()
+	unlock()
+
+	if err := awaitAck(ack); err != nil {
+		return Result{}, err
+	}
+	return Result{Doc: id, LSN: lsn, Digest: digest, Points: points}, nil
+}
+
+// append encodes and appends one record; the caller holds s.mu.
+func (s *Store) append(rec record) (func() error, error) {
+	payload, err := encodeRecord(rec)
+	if err != nil {
+		return nil, err
+	}
+	return s.w.Append(payload)
+}
+
+// guardCommit is deferred by mutating operations while they hold s.mu.
+// A panic mid-commit (a crash drill via faultinject, or a real bug
+// mid-append) may leave the WAL offset inconsistent with the file, so
+// the store fail-stops: it is poisoned (marked closed) before the lock
+// is released and the panic rethrown. A containment layer above can
+// keep the process alive, but the store refuses further operations
+// until a restart re-runs recovery over what actually hit the disk.
+func (s *Store) guardCommit(lockedp *bool) {
+	if r := recover(); r != nil {
+		if *lockedp {
+			s.closed = true
+			s.mu.Unlock()
+		}
+		panic(r)
+	}
+}
+
+// awaitAck waits out a group-commit acknowledgment, if any.
+func awaitAck(ack func() error) error {
+	if ack == nil {
+		return nil
+	}
+	return ack()
+}
+
+// maybeSnapshotLocked auto-snapshots when the configured append count
+// has accumulated. Failures degrade (the WAL still has everything) and
+// are counted, never surfaced to the committing client.
+func (s *Store) maybeSnapshotLocked() {
+	s.sinceSnap++
+	if s.opts.SnapshotEvery <= 0 || s.sinceSnap < s.opts.SnapshotEvery {
+		return
+	}
+	if _, err := s.snapshotLocked(); err != nil {
+		s.m.Add("store.snapshot_errors", 1)
+	}
+}
+
+// Snapshot durably captures the whole store at its current LSN and
+// truncates the WAL. Returns the snapshot LSN.
+func (s *Store) Snapshot() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	return s.snapshotLocked()
+}
+
+func (s *Store) snapshotLocked() (uint64, error) {
+	snap := snapshot{LSN: s.lsn}
+	for _, id := range sortedIDs(s.docs) {
+		d := s.docs[id]
+		snap.Docs = append(snap.Docs, snapDoc{ID: id, LSN: d.lsn, XML: d.tree.XML(), Digest: d.digest})
+	}
+	if _, err := writeSnapshot(s.dir, snap); err != nil {
+		return 0, err
+	}
+	// The snapshot now durably carries every record's effect: the WAL
+	// can restart empty, and pending group commits are satisfied.
+	if err := s.w.reset(); err != nil {
+		// Leftover records are harmless — recovery skips LSNs the
+		// snapshot already covers — so a failed truncation only wastes
+		// space.
+		s.m.Add("store.snapshot_errors", 1)
+	}
+	pruneSnapshots(s.dir, s.opts.KeepSnapshots)
+	s.sinceSnap = 0
+	s.m.Add("store.snapshots", 1)
+	return snap.LSN, nil
+}
+
+// LSN returns the store-wide LSN of the latest committed record.
+func (s *Store) LSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lsn
+}
+
+// Docs lists the registered document ids, sorted.
+func (s *Store) Docs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sortedIDs(s.docs)
+}
+
+// Close flushes and closes the WAL. Further operations fail with
+// ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.w.Close()
+}
+
+func sortedIDs(docs map[string]*doc) []string {
+	ids := make([]string, 0, len(docs))
+	for id := range docs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// validateID keeps document ids path- and log-safe.
+func validateID(id string) error {
+	if id == "" || len(id) > 128 {
+		return fmt.Errorf("store: doc id must be 1-128 characters")
+	}
+	for _, r := range id {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' ||
+			r == '-' || r == '_' || r == '.' {
+			continue
+		}
+		return fmt.Errorf("store: doc id %q: only letters, digits, '-', '_', '.' are allowed", id)
+	}
+	return nil
+}
+
+func ensureDir(dir string) error {
+	if dir == "" {
+		return fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: create dir: %w", err)
+	}
+	return nil
+}

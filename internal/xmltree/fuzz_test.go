@@ -1,9 +1,16 @@
 package xmltree
 
-import "testing"
+import (
+	"errors"
+	"strings"
+	"testing"
+)
 
 // FuzzParse checks XML parsing robustness: no panics, and every accepted
-// document serializes and re-parses to an isomorphic tree.
+// document serializes and re-parses to an isomorphic tree. Deep-nesting
+// seeds steer the fuzzer toward the ParseLimits guard rails: inputs past
+// a bound must fail with the typed *LimitError, never by exhausting
+// memory or by a panic.
 func FuzzParse(f *testing.F) {
 	for _, seed := range []string{
 		"<a/>",
@@ -15,12 +22,23 @@ func FuzzParse(f *testing.F) {
 		"",
 		"<a><a><a/></a></a>",
 		"<?xml version=\"1.0\"?><r><x/></r>",
+		// Deep-nesting corpus: at, below, and beyond the default depth
+		// bound, plus an unclosed spine (torn bomb).
+		strings.Repeat("<a>", 512) + "<b/>" + strings.Repeat("</a>", 512),
+		strings.Repeat("<x>", 4096) + strings.Repeat("</x>", 4096),
+		strings.Repeat("<x>", 4200) + strings.Repeat("</x>", 4200),
+		strings.Repeat("<deep>", 1000),
+		"<r>" + strings.Repeat("<c/>", 2000) + "</r>",
 	} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
 		tr, err := ParseString(src)
 		if err != nil {
+			var le *LimitError
+			if errors.As(err, &le) && le.Limit == "" {
+				t.Fatalf("limit error names no dimension: %v", err)
+			}
 			return
 		}
 		if tr.Size() < 1 {

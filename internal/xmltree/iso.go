@@ -1,6 +1,8 @@
 package xmltree
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"sort"
 	"strings"
 )
@@ -40,6 +42,16 @@ func escapeLabel(l string) string {
 	}
 	r := strings.NewReplacer(`\`, `\\`, `(`, `\(`, `)`, `\)`)
 	return r.Replace(l)
+}
+
+// Digest returns a fixed-length hex digest of the tree's canonical AHU
+// code: two trees have equal digests iff they are isomorphic (up to
+// SHA-256 collisions). The durable store records it with every WAL
+// record and snapshot so recovery can re-verify that replay reproduced
+// exactly the tree that was acknowledged.
+func (t *Tree) Digest() string {
+	sum := sha256.Sum256([]byte(Code(t.root)))
+	return hex.EncodeToString(sum[:])
 }
 
 // Isomorphic reports whether two trees are isomorphic (Definition 1).

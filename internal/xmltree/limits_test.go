@@ -1,0 +1,89 @@
+package xmltree
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func deepDoc(depth int) string {
+	return strings.Repeat("<a>", depth-1) + "<a/>" + strings.Repeat("</a>", depth-1)
+}
+
+func TestParseLimitsDepth(t *testing.T) {
+	lim := ParseLimits{MaxDepth: 10}
+	if _, err := ParseWithLimits(strings.NewReader(deepDoc(10)), lim); err != nil {
+		t.Fatalf("depth exactly at the bound rejected: %v", err)
+	}
+	_, err := ParseWithLimits(strings.NewReader(deepDoc(11)), lim)
+	var le *LimitError
+	if !errors.As(err, &le) || le.Limit != "depth" {
+		t.Fatalf("depth 11 under MaxDepth 10: err = %v, want *LimitError{depth}", err)
+	}
+}
+
+func TestParseLimitsNodes(t *testing.T) {
+	doc := "<r>" + strings.Repeat("<c/>", 9) + "</r>" // 10 elements
+	lim := ParseLimits{MaxNodes: 10}
+	if _, err := ParseWithLimits(strings.NewReader(doc), lim); err != nil {
+		t.Fatalf("node count at the bound rejected: %v", err)
+	}
+	lim.MaxNodes = 9
+	_, err := ParseWithLimits(strings.NewReader(doc), lim)
+	var le *LimitError
+	if !errors.As(err, &le) || le.Limit != "nodes" {
+		t.Fatalf("11th node under MaxNodes 9: err = %v, want *LimitError{nodes}", err)
+	}
+}
+
+func TestParseLimitsBytes(t *testing.T) {
+	doc := "<root><child/></root>"
+	lim := ParseLimits{MaxBytes: int64(len(doc))}
+	if _, err := ParseWithLimits(strings.NewReader(doc), lim); err != nil {
+		t.Fatalf("input of exactly MaxBytes rejected: %v", err)
+	}
+	lim.MaxBytes = int64(len(doc)) - 1
+	_, err := ParseWithLimits(strings.NewReader(doc), lim)
+	var le *LimitError
+	if !errors.As(err, &le) || le.Limit != "bytes" {
+		t.Fatalf("oversized input: err = %v, want *LimitError{bytes}", err)
+	}
+}
+
+func TestParseLimitsZeroValueUnbounded(t *testing.T) {
+	// The zero value means no bounds: a document past every default
+	// dimension's scale still parses (kept small here for test speed).
+	doc := deepDoc(5000) // beyond DefaultParseLimits().MaxDepth
+	if _, err := ParseWithLimits(strings.NewReader(doc), ParseLimits{}); err != nil {
+		t.Fatalf("unbounded parse rejected deep doc: %v", err)
+	}
+	if _, err := ParseString(doc); err == nil {
+		t.Fatal("ParseString applied no default depth bound")
+	}
+}
+
+func TestParseDefaultLimitsRejectBomb(t *testing.T) {
+	// An "element flood" line: one million siblings is within defaults,
+	// but a crafted >4096 nesting is not. Parse (the default entry
+	// point every CLI and endpoint uses) must fail with the typed error.
+	_, err := ParseString(deepDoc(5000))
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("XML bomb: err = %v, want *LimitError", err)
+	}
+}
+
+func TestDigestTracksIsomorphism(t *testing.T) {
+	a := MustParse("<r><x><y/></x><z/></r>")
+	b := MustParse("<r><z/><x><y/></x></r>") // same tree, different order
+	c := MustParse("<r><z/><x><w/></x></r>")
+	if a.Digest() != b.Digest() {
+		t.Fatal("isomorphic trees digest differently")
+	}
+	if a.Digest() == c.Digest() {
+		t.Fatal("distinct trees share a digest")
+	}
+	if len(a.Digest()) != 64 {
+		t.Fatalf("digest length = %d, want 64 hex chars", len(a.Digest()))
+	}
+}

@@ -2,31 +2,119 @@ package xmltree
 
 import (
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 )
 
+// ParseLimits bounds what Parse will accept, so hostile documents (XML
+// bombs: pathologically deep nesting, element floods, endless input)
+// are rejected with a typed *LimitError instead of exhausting memory.
+// A zero field means "no bound on that dimension"; the zero value is
+// therefore fully unbounded parsing.
+type ParseLimits struct {
+	// MaxDepth bounds element nesting depth (the root is depth 1).
+	MaxDepth int
+	// MaxNodes bounds the number of elements in the document.
+	MaxNodes int
+	// MaxBytes bounds how much input is read, in bytes.
+	MaxBytes int64
+}
+
+// DefaultParseLimits are the bounds Parse applies: generous enough for
+// any document the algorithms here can process, tight enough that an
+// XML bomb fails fast. Endpoints handling untrusted input should tighten
+// them further (xserve caps MaxBytes at its request-body limit).
+func DefaultParseLimits() ParseLimits {
+	return ParseLimits{MaxDepth: 4096, MaxNodes: 1 << 20, MaxBytes: 64 << 20}
+}
+
+// LimitError is the typed error ParseWithLimits returns when input
+// exceeds a ParseLimits bound. Limit names the dimension that fired:
+// "depth", "nodes", or "bytes".
+type LimitError struct {
+	Limit string
+	Max   int64
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("xmltree: parse: input exceeds max %s %d", e.Limit, e.Max)
+}
+
+// limitReader enforces ParseLimits.MaxBytes, surfacing a *LimitError
+// instead of silently truncating (which would misparse the document).
+type limitReader struct {
+	r    io.Reader
+	left int64
+	max  int64
+}
+
+func (l *limitReader) Read(p []byte) (int, error) {
+	if l.left <= 0 {
+		// The budget is spent; the limit fires only if more input
+		// actually exists (a document of exactly MaxBytes is fine).
+		var probe [1]byte
+		for {
+			n, err := l.r.Read(probe[:])
+			if n > 0 {
+				return 0, &LimitError{Limit: "bytes", Max: l.max}
+			}
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	if int64(len(p)) > l.left {
+		p = p[:l.left]
+	}
+	n, err := l.r.Read(p)
+	l.left -= int64(n)
+	return n, err
+}
+
 // Parse reads an XML document from r and returns its element structure as a
 // labeled tree. The data model of the paper has no attributes, text, or
 // order, so attributes, character data, comments, and processing
 // instructions are discarded; element local names become node labels.
+// DefaultParseLimits apply; use ParseWithLimits to loosen or tighten them.
 func Parse(r io.Reader) (*Tree, error) {
+	return ParseWithLimits(r, DefaultParseLimits())
+}
+
+// ParseWithLimits is Parse under explicit resource bounds. Inputs that
+// exceed a bound fail with a *LimitError identifying the dimension; zero
+// fields of lim are unbounded.
+func ParseWithLimits(r io.Reader, lim ParseLimits) (*Tree, error) {
+	if lim.MaxBytes > 0 {
+		r = &limitReader{r: r, left: lim.MaxBytes, max: lim.MaxBytes}
+	}
 	dec := xml.NewDecoder(r)
 	var t *Tree
 	var stack []*Node
+	nodes := 0
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
+			var le *LimitError
+			if errors.As(err, &le) {
+				return nil, le
+			}
 			return nil, fmt.Errorf("xmltree: parse: %w", err)
 		}
 		switch el := tok.(type) {
 		case xml.StartElement:
 			label := el.Name.Local
+			if nodes++; lim.MaxNodes > 0 && nodes > lim.MaxNodes {
+				return nil, &LimitError{Limit: "nodes", Max: int64(lim.MaxNodes)}
+			}
+			if lim.MaxDepth > 0 && len(stack) >= lim.MaxDepth {
+				return nil, &LimitError{Limit: "depth", Max: int64(lim.MaxDepth)}
+			}
 			if t == nil {
 				t = New(label)
 				stack = append(stack, t.Root())

@@ -1,6 +1,7 @@
 package xpath
 
 import (
+	"strings"
 	"testing"
 
 	"xmlconflict/internal/pattern"
@@ -8,9 +9,15 @@ import (
 
 // FuzzParse checks parser robustness: Parse must never panic, and any
 // accepted expression must yield a valid pattern that round-trips through
-// the pattern's String rendering.
+// the pattern's String rendering. Deep-nesting seeds (long step spines,
+// deeply nested predicates) steer the fuzzer toward the recursive-descent
+// paths where stack depth tracks input depth.
 func FuzzParse(f *testing.F) {
 	for _, seed := range []string{
+		strings.Repeat("/a", 500),
+		strings.Repeat("a[", 300) + "b" + strings.Repeat("]", 300),
+		"//" + strings.Repeat("*[.//x]/", 100) + "y",
+		strings.Repeat("a[", 400), // torn deep predicate nest
 		"a",
 		"/a/b//c",
 		"//book[.//quantity]",

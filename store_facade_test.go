@@ -1,0 +1,92 @@
+package xmlconflict_test
+
+import (
+	"errors"
+	"testing"
+
+	"xmlconflict"
+)
+
+// TestStoreFacade drives the durable document store through the root
+// package's aliases, as a downstream user would.
+func TestStoreFacade(t *testing.T) {
+	dir := t.TempDir()
+	st, err := xmlconflict.OpenStore(dir, xmlconflict.StoreOptions{Fsync: xmlconflict.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := st.Create("inv", "<inventory><book/></inventory>"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Create("inv", "<inventory/>"); !errors.Is(err, xmlconflict.ErrDocExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+
+	res, err := st.Submit("inv", xmlconflict.StoreOp{Kind: "insert", Pattern: "/inventory/book", X: "<quantity/>"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points != 1 || res.LSN == 0 || res.Digest == "" {
+		t.Fatalf("insert result: %+v", res)
+	}
+
+	// A value-semantics read based before that insert is rejected with
+	// the machine-readable conflict naming the semantics that fired.
+	_, err = st.Submit("inv", xmlconflict.StoreOp{
+		Kind: "read", Pattern: "//quantity", Sem: xmlconflict.ValueSemantics, BaseLSN: res.LSN - 1,
+	})
+	var ce *xmlconflict.StoreConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("stale read: %v, want StoreConflictError", err)
+	}
+	if len(ce.Fired) == 0 || ce.WithKind != "insert" {
+		t.Fatalf("conflict detail: %+v", ce)
+	}
+
+	if _, err := st.Submit("inv", xmlconflict.StoreOp{Kind: "read", Pattern: "//book", BaseLSN: res.LSN + 7}); !errors.Is(err, xmlconflict.ErrFutureBase) {
+		t.Fatalf("future base: %v", err)
+	}
+	if _, err := st.Get("gone"); !errors.Is(err, xmlconflict.ErrDocNotFound) {
+		t.Fatalf("missing doc: %v", err)
+	}
+
+	// Recovery through the facade: reopen and the committed state is back.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := xmlconflict.OpenStore(dir, xmlconflict.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	info, err := st2.Get("inv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Digest != res.Digest || info.LSN != res.LSN {
+		t.Fatalf("recovered doc %+v, want digest %s lsn %d", info, res.Digest, res.LSN)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Get("inv"); !errors.Is(err, xmlconflict.ErrStoreClosed) {
+		t.Fatalf("closed store: %v", err)
+	}
+}
+
+// TestParseLimitsFacade checks the hardened-parsing aliases.
+func TestParseLimitsFacade(t *testing.T) {
+	def := xmlconflict.DefaultParseLimits()
+	if def.MaxDepth <= 0 || def.MaxNodes <= 0 || def.MaxBytes <= 0 {
+		t.Fatalf("default limits unbounded: %+v", def)
+	}
+	if _, err := xmlconflict.ParseXMLLimited("<a><b/></a>", xmlconflict.ParseLimits{MaxDepth: 4}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := xmlconflict.ParseXMLLimited("<a><b><c/></b></a>", xmlconflict.ParseLimits{MaxDepth: 2})
+	var le *xmlconflict.ParseLimitError
+	if !errors.As(err, &le) || le.Limit != "depth" {
+		t.Fatalf("depth overflow: %v", err)
+	}
+}
