@@ -114,6 +114,8 @@ func (s *server) storeErr(w http.ResponseWriter, err error) {
 		writeErr(w, http.StatusConflict, "future-base", err.Error())
 	case errors.Is(err, store.ErrClosed):
 		writeErr(w, http.StatusServiceUnavailable, "store-closed", err.Error())
+	case errors.Is(err, store.ErrUnsafeLabel):
+		writeErr(w, http.StatusBadRequest, "unsafe-label", err.Error())
 	case errors.As(err, &le):
 		writeErr(w, http.StatusBadRequest, "limit", err.Error())
 	default:

@@ -25,6 +25,12 @@ var (
 	ErrFutureBase = errors.New("base lsn is in the future")
 	// ErrClosed: the store has been closed.
 	ErrClosed = errors.New("store is closed")
+	// ErrUnsafeLabel: a document or inserted fragment carries an element
+	// label the canonical XML serializer would escape rather than
+	// round-trip. WAL records and snapshots persist that serialization,
+	// so accepting the label would acknowledge a commit recovery could
+	// never re-verify (the re-parsed tree's digest would not match).
+	ErrUnsafeLabel = errors.New("element label does not round-trip through XML serialization")
 )
 
 // ConflictError is the machine-readable rejection of an operation whose

@@ -246,3 +246,74 @@ func TestRecoveryIdempotent(t *testing.T) {
 		ri.Close()
 	}
 }
+
+// TestRecoveryRefusesLSNGapAfterSnapshotFallback: the WAL is truncated
+// at each snapshot, so when the newest snapshot fails verification and
+// recovery falls back to an older generation, the WAL's records start
+// past a hole of acknowledged commits. Replaying them onto the older
+// base would fabricate a state that never existed; Open must refuse.
+func TestRecoveryRefusesLSNGapAfterSnapshotFallback(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	mustCreate(t, s, "d", "<a/>") // lsn 1
+	if _, err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	mustSubmit(t, s, "d", Op{Kind: "insert", Pattern: "/a", X: "<x/>"}) // lsn 2
+	if _, err := s.Snapshot(); err != nil {
+		t.Fatal(err) // snapshot at lsn 2; the WAL restarts empty
+	}
+	mustSubmit(t, s, "d", Op{Kind: "insert", Pattern: "/a", X: "<y/>"}) // lsn 3, in the WAL
+	s.Close()
+
+	names, _ := listSnapshots(dir)
+	if len(names) != 2 {
+		t.Fatalf("want 2 snapshot generations, got %v", names)
+	}
+	corruptFile(t, filepath.Join(dir, names[0]), -3)
+
+	// Fallback lands on the lsn-1 snapshot, but the WAL resumes at
+	// lsn 3: lsn 2 is an acknowledged commit nothing on disk can
+	// reproduce.
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("want Open to refuse the lsn gap")
+	}
+}
+
+// TestRecoveryAbortsOnLSNGapMidWAL: commit-time LSNs are contiguous, so
+// a strictly-increasing-but-gapped record inside the WAL is corruption
+// the checksum happened to bless; replay ends the durable prefix there.
+func TestRecoveryAbortsOnLSNGapMidWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{Fsync: FsyncNever})
+	mustCreate(t, s, "d", "<a/>")
+	keep := mustSubmit(t, s, "d", Op{Kind: "insert", Pattern: "/a", X: "<x/>"})
+	mustSubmit(t, s, "d", Op{Kind: "insert", Pattern: "/a", X: "<y/>"})
+	s.Close()
+
+	walPath := filepath.Join(dir, "wal.log")
+	whole, _ := os.ReadFile(walPath)
+	payloads, _, _ := scanFrames(whole[len(walMagic):])
+	rec, err := decodeRecord(payloads[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.LSN = 7 // skips 4..6: a gap, not believable history
+	bad, _ := encodeRecord(rec)
+	rewritten := append([]byte{}, walMagic...)
+	rewritten = append(rewritten, encodeFrame(payloads[0])...)
+	rewritten = append(rewritten, encodeFrame(payloads[1])...)
+	rewritten = append(rewritten, encodeFrame(bad)...)
+	if err := os.WriteFile(walPath, rewritten, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, Options{})
+	if s2.m.Counter("store.replay_aborts").Load() != 1 {
+		t.Fatal("lsn gap not treated as corruption")
+	}
+	info, err := s2.Get("d")
+	if err != nil || info.Digest != keep.Digest {
+		t.Fatalf("prefix after gap abort: %+v, %v", info, err)
+	}
+}

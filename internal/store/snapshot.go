@@ -83,6 +83,13 @@ func writeSnapshot(dir string, snap snapshot) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("store: encode snapshot: %w", err)
 	}
+	// loadSnapshot's frame scan rejects payloads past maxRecordBytes as
+	// corrupt, so writing one would publish a snapshot recovery refuses
+	// to read — and the caller would then reset the WAL, losing the
+	// whole store. Fail here instead; the WAL keeps everything.
+	if len(payload) > maxRecordBytes {
+		return "", fmt.Errorf("store: snapshot payload %d bytes exceeds the %d-byte frame limit", len(payload), maxRecordBytes)
+	}
 	final := filepath.Join(dir, snapName(snap.LSN))
 	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
 	if err != nil {

@@ -202,12 +202,15 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	hadState = hadState || len(payloads) > 0
 
-	// 3. Replay records past the snapshot. A record that fails to
-	// decode, apply, or re-verify its digest ends the durable prefix
-	// right there: it and everything after it are truncated, exactly
-	// as a torn tail is.
+	// 3. Replay records past the snapshot. LSNs are assigned
+	// contiguously at commit time, so the WAL must be a contiguous run:
+	// a gap or regression is corruption the checksum happened to bless.
+	// A record that fails to decode, apply, or re-verify its digest
+	// ends the durable prefix right there: it and everything after it
+	// are truncated, exactly as a torn tail is.
 	off := int64(len(walMagic))
 	prevLSN := uint64(0)
+	replayed := false
 	for _, payload := range payloads {
 		abort := func(counter string) error {
 			s.m.Add(counter, 1)
@@ -217,9 +220,7 @@ func Open(dir string, opts Options) (*Store, error) {
 			return nil
 		}
 		rec, derr := decodeRecord(payload)
-		if derr != nil || rec.LSN == 0 || rec.LSN <= prevLSN {
-			// Undecodable or LSN-regressing records are corruption the
-			// checksum happened to bless; stop trusting the file here.
+		if derr != nil || rec.LSN == 0 || (prevLSN != 0 && rec.LSN != prevLSN+1) {
 			if err := abort("store.replay_aborts"); err != nil {
 				return nil, err
 			}
@@ -227,6 +228,19 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 		prevLSN = rec.LSN
 		if rec.LSN > snapLSN {
+			// The first replayed record must sit exactly one past the
+			// snapshot. A gap means the WAL was truncated at a newer
+			// snapshot that failed verification: the missing LSNs are
+			// acknowledged commits nothing on disk can reproduce, so
+			// refuse to open rather than recover a state that never
+			// existed (an older base with newer creates/drops applied).
+			if !replayed && rec.LSN != snapLSN+1 {
+				w.Close()
+				return nil, fmt.Errorf(
+					"store: wal resumes at lsn %d but the newest loadable snapshot is at lsn %d: acknowledged commits %d..%d are unrecoverable (a newer snapshot failed verification); refusing to open",
+					rec.LSN, snapLSN, snapLSN+1, rec.LSN-1)
+			}
+			replayed = true
 			if err := s.applyReplayed(rec); err != nil {
 				if err := abort("store.replay_aborts"); err != nil {
 					return nil, err
@@ -323,6 +337,9 @@ func (s *Store) parseUpdate(op Op) (ops.Update, string, error) {
 		x, err := xmltree.ParseWithLimits(strings.NewReader(xs), s.opts.Limits)
 		if err != nil {
 			return nil, "", fmt.Errorf("store: x: %w", err)
+		}
+		if l, bad := x.UnsafeLabel(); bad {
+			return nil, "", fmt.Errorf("store: x: element label %q: %w", l, ErrUnsafeLabel)
 		}
 		return ops.Insert{P: p, X: x}, x.XML(), nil
 	case "delete":
@@ -442,6 +459,9 @@ func (s *Store) Create(id, xml string) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if l, bad := t.UnsafeLabel(); bad {
+		return Result{}, fmt.Errorf("store: doc %q: element label %q: %w", id, l, ErrUnsafeLabel)
+	}
 	digest := t.Digest()
 
 	s.mu.Lock()
@@ -468,7 +488,7 @@ func (s *Store) Create(id, xml string) (Result, error) {
 	s.maybeSnapshotLocked()
 	unlock()
 
-	if err := awaitAck(ack); err != nil {
+	if err := s.awaitAck(ack); err != nil {
 		return Result{}, err
 	}
 	return Result{Doc: id, LSN: lsn, Digest: digest}, nil
@@ -514,7 +534,7 @@ func (s *Store) Drop(id string) (Result, error) {
 	s.maybeSnapshotLocked()
 	unlock()
 
-	if err := awaitAck(ack); err != nil {
+	if err := s.awaitAck(ack); err != nil {
 		return Result{}, err
 	}
 	return Result{Doc: id, LSN: lsn}, nil
@@ -605,7 +625,7 @@ func (s *Store) submitUpdate(id string, op Op) (Result, error) {
 	s.maybeSnapshotLocked()
 	unlock()
 
-	if err := awaitAck(ack); err != nil {
+	if err := s.awaitAck(ack); err != nil {
 		return Result{}, err
 	}
 	return Result{Doc: id, LSN: lsn, Digest: digest, Points: points}, nil
@@ -637,12 +657,25 @@ func (s *Store) guardCommit(lockedp *bool) {
 	}
 }
 
-// awaitAck waits out a group-commit acknowledgment, if any.
-func awaitAck(ack func() error) error {
+// awaitAck waits out a group-commit acknowledgment, if any. A failed
+// ack means a commit already published to in-memory state was reported
+// lost to its client, so the store fail-stops — the same rule the panic
+// path enforces: state the store disclaimed is never served. A restart
+// re-runs recovery over what actually reached the disk.
+func (s *Store) awaitAck(ack func() error) error {
 	if ack == nil {
 		return nil
 	}
-	return ack()
+	err := ack()
+	if err != nil {
+		s.mu.Lock()
+		if !s.closed {
+			s.closed = true
+			s.w.Close()
+		}
+		s.mu.Unlock()
+	}
+	return err
 }
 
 // maybeSnapshotLocked auto-snapshots when the configured append count

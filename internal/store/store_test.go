@@ -396,3 +396,31 @@ func TestClosedStore(t *testing.T) {
 		t.Fatalf("Snapshot after close: %v", err)
 	}
 }
+
+func TestUnsafeLabelRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	// "café" is well-formed XML, but the canonical serializer the WAL
+	// and snapshots persist escapes it lossily — the replayed tree's
+	// digest could never match. The store must refuse up front rather
+	// than acknowledge an unrecoverable commit.
+	if _, err := s.Create("d", "<café><x/></café>"); !errors.Is(err, ErrUnsafeLabel) {
+		t.Fatalf("create: want ErrUnsafeLabel, got %v", err)
+	}
+	mustCreate(t, s, "d", "<a/>")
+	if _, err := s.Submit("d", Op{Kind: "insert", Pattern: "/a", X: "<café/>"}); !errors.Is(err, ErrUnsafeLabel) {
+		t.Fatalf("insert fragment: want ErrUnsafeLabel, got %v", err)
+	}
+	want := mustSubmit(t, s, "d", Op{Kind: "insert", Pattern: "/a", X: "<x/>"})
+	s.Close()
+
+	// Nothing unrecoverable hit the log: recovery replays cleanly.
+	s2 := openTest(t, dir, Options{})
+	info, err := s2.Get("d")
+	if err != nil || info.Digest != want.Digest || info.LSN != want.LSN {
+		t.Fatalf("recovered: %+v, %v", info, err)
+	}
+	if s2.m.Counter("store.replay_aborts").Load() != 0 {
+		t.Fatal("rejected labels reached the WAL")
+	}
+}

@@ -30,8 +30,10 @@ import (
 const (
 	walMagic  = "XCWAL001"
 	frameHead = 8 // 4-byte length + 4-byte CRC
-	// maxRecordBytes bounds a frame's declared payload length: anything
-	// larger is a corrupt length field, not a believable record.
+	// maxRecordBytes bounds a frame's payload length, enforced on both
+	// sides of the disk: Append and writeSnapshot refuse to produce a
+	// larger frame, so on the read side anything larger is a corrupt
+	// length field, not a believable record.
 	maxRecordBytes = 64 << 20
 )
 
@@ -224,6 +226,12 @@ func (w *wal) Append(payload []byte) (ack func() error, err error) {
 	w.mu.Unlock()
 	if sticky != nil {
 		return nil, fmt.Errorf("store: wal poisoned by earlier fsync failure: %w", sticky)
+	}
+	// Refuse, before anything touches the file, any record the recovery
+	// scan would reject as corrupt: writing it would acknowledge a
+	// commit that is durable but unreadable on restart.
+	if len(payload) > maxRecordBytes {
+		return nil, fmt.Errorf("store: wal append: record payload %d bytes exceeds the %d-byte frame limit", len(payload), maxRecordBytes)
 	}
 	if err := faultinject.Fire("store.append"); err != nil {
 		return nil, err

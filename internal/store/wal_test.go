@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"os"
+	"strings"
 	"testing"
 
 	"xmlconflict/internal/telemetry"
@@ -173,5 +174,41 @@ func TestRecordRoundTrip(t *testing.T) {
 	}
 	if _, err := decodeRecord([]byte("not json")); err == nil {
 		t.Fatal("want decode error")
+	}
+}
+
+func TestAppendRejectsOversizedRecord(t *testing.T) {
+	path := t.TempDir() + "/wal.log"
+	m := telemetry.New()
+	w, _, _, err := openWAL(path, FsyncNever, 0, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A payload the recovery scan would refuse to read must be refused
+	// on the write side too — before any byte reaches the file.
+	if _, err := w.Append(make([]byte, maxRecordBytes+1)); err == nil {
+		t.Fatal("oversized append: want error")
+	}
+	if _, err := w.Append([]byte("ok")); err != nil {
+		t.Fatalf("small append after rejection: %v", err)
+	}
+	w.Close()
+	_, payloads, torn, err := openWAL(path, FsyncNever, 0, m)
+	if err != nil || torn || len(payloads) != 1 || string(payloads[0]) != "ok" {
+		t.Fatalf("reopen after oversized rejection: %v torn=%v payloads=%q", err, torn, payloads)
+	}
+}
+
+func TestWriteSnapshotRejectsOversizedPayload(t *testing.T) {
+	dir := t.TempDir()
+	snap := snapshot{LSN: 1, Docs: []snapDoc{{ID: "d", LSN: 1, XML: strings.Repeat("x", maxRecordBytes)}}}
+	// An over-limit snapshot must error before publication: the caller
+	// resets the WAL only on success, so the log still holds everything.
+	if _, err := writeSnapshot(dir, snap); err == nil {
+		t.Fatal("oversized snapshot: want error")
+	}
+	names, err := listSnapshots(dir)
+	if err != nil || len(names) != 0 {
+		t.Fatalf("oversized snapshot published: %v, %v", names, err)
 	}
 }

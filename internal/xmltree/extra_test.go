@@ -72,3 +72,35 @@ func TestStringCompact(t *testing.T) {
 		t.Fatalf("String = %q", got)
 	}
 }
+
+func TestSafeLabelRoundTrip(t *testing.T) {
+	safe := []string{"a", "_x", "A-1.b", "root", "n-cafue9"}
+	unsafe := []string{"", "café", "1x", "a b", "-a", ".a", "a:b", "日本"}
+	for _, l := range safe {
+		if !SafeLabel(l) {
+			t.Errorf("SafeLabel(%q) = false, want true", l)
+		}
+		// The guarantee SafeLabel makes: serialization round-trips.
+		back, err := ParseString(New(l).XML())
+		if err != nil || back.Root().Label() != l {
+			t.Errorf("round trip of %q: got %v, %v", l, back, err)
+		}
+	}
+	for _, l := range unsafe {
+		if SafeLabel(l) {
+			t.Errorf("SafeLabel(%q) = true, want false", l)
+		}
+	}
+}
+
+func TestUnsafeLabel(t *testing.T) {
+	tr := MustParse("<a><b/><c/></a>")
+	if l, bad := tr.UnsafeLabel(); bad {
+		t.Fatalf("all-safe tree flagged label %q", l)
+	}
+	tr.AddChild(tr.Root(), "café")
+	l, bad := tr.UnsafeLabel()
+	if !bad || l != "café" {
+		t.Fatalf("UnsafeLabel = %q, %v; want café, true", l, bad)
+	}
+}

@@ -226,11 +226,18 @@ func writeXMLIndent(w *errWriter, n *Node, depth int) {
 	w.writef("%s</%s>\n", pad, name)
 }
 
-// xmlName renders a label as an XML element name. Labels produced by the
-// algorithms in this module are plain identifiers; anything else is
-// escaped conservatively so the output stays well-formed.
-func xmlName(label string) string {
-	ok := label != ""
+// SafeLabel reports whether a label survives XML serialization
+// verbatim: Write emits it unchanged, so Parse reads the same label
+// back and the tree's AHU digest is stable across a round trip. Safe
+// labels are the plain ASCII identifiers the algorithms in this module
+// produce — a letter or '_' first, then letters, digits, '-', '.'.
+// Anything else (e.g. a non-ASCII name like "café", legal XML but
+// outside this alphabet) is escaped lossily by serialization; callers
+// that persist the serialized form must reject such labels up front.
+func SafeLabel(label string) bool {
+	if label == "" {
+		return false
+	}
 	for i, r := range label {
 		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' {
 			continue
@@ -238,10 +245,32 @@ func xmlName(label string) string {
 		if i > 0 && (r >= '0' && r <= '9' || r == '-' || r == '.') {
 			continue
 		}
-		ok = false
-		break
+		return false
 	}
-	if ok {
+	return true
+}
+
+// UnsafeLabel returns some label in t that SafeLabel rejects — one the
+// XML serializer would escape rather than round-trip — or "", false if
+// every label in the tree serializes verbatim.
+func (t *Tree) UnsafeLabel() (string, bool) {
+	bad, found := "", false
+	t.Walk(func(n *Node) bool {
+		if !SafeLabel(n.label) {
+			bad, found = n.label, true
+			return false
+		}
+		return true
+	})
+	return bad, found
+}
+
+// xmlName renders a label as an XML element name. Labels produced by the
+// algorithms in this module are plain identifiers; anything else is
+// escaped conservatively so the output stays well-formed (but does not
+// round-trip — see SafeLabel).
+func xmlName(label string) string {
+	if SafeLabel(label) {
 		return label
 	}
 	var b strings.Builder
