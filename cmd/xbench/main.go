@@ -60,6 +60,7 @@ func run(args []string) int {
 	out := fs.String("out", "", "write results as a BENCH_<label>.json trajectory file")
 	label := fs.String("label", "", "trajectory label (default: derived from -out filename)")
 	compare := fs.String("compare", "", "compare two trajectory files: baseline.json,current.json")
+	withSpan := fs.Bool("span", false, "trace one representative iteration per experiment and embed its span tree in the -out report")
 	listen := fs.String("listen", "", "serve /metrics, /debug/pprof, and health probes on this address while running")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -91,6 +92,16 @@ func run(args []string) int {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xbench: %v\n", err)
 			return 2
+		}
+		if *withSpan {
+			// A separate reps=1 run outside the timed samples, so the
+			// trace never distorts the measurement it explains.
+			sv, err := experiments.MeasureSpan(id, *seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xbench: -span %s: %v\n", id, err)
+				return 2
+			}
+			res.Span = sv
 		}
 		if *out != "" {
 			results = append(results, res)

@@ -33,6 +33,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -75,6 +76,7 @@ func run(args []string) int {
 	jsonOut := fs.Bool("json", false, "emit the verdict as JSON")
 	schemaPath := fs.String("schema", "", "restrict witnesses to documents valid under this schema file")
 	trace := fs.Bool("trace", false, "stream JSON-lines decision-trace events to stderr")
+	spanTree := fs.Bool("span", false, "print the request's span tree (method choice, search budget spend, durations) to stderr afterwards")
 	stats := fs.Bool("stats", false, "print a telemetry counter snapshot to stderr afterwards")
 	progress := fs.Bool("progress", false, "report live search progress on stderr")
 	listen := fs.String("listen", "", "serve /metrics, /debug/pprof, and health probes on this address while running")
@@ -152,6 +154,16 @@ func run(args []string) int {
 	}
 	if *progress {
 		opts = opts.WithProgress(xmlconflict.NewProgressWriter(os.Stderr, 0))
+	}
+	var spanTr *xmlconflict.SpanTrace
+	if *spanTree {
+		ctx, tr := xmlconflict.StartTrace(context.Background(), "xconflict")
+		spanTr = tr
+		opts = opts.WithContext(ctx)
+		defer func() {
+			spanTr.Finish()
+			spanTr.View().WriteTree(os.Stderr)
+		}()
 	}
 
 	var v xmlconflict.Verdict

@@ -140,6 +140,26 @@ func TestTraceFlag(t *testing.T) {
 	}
 }
 
+func TestSpanFlag(t *testing.T) {
+	// -span prints the request's span tree to stderr: a trace header
+	// with a hex ID, a detect span, and — for a branching read that
+	// needs the NP search — a nested search span with its budget spend.
+	out := captureStderr(t, func() {
+		if got := run([]string{"-span", "-quiet", "-read", "/a[q]/b", "-insert", "/a", "-x", "<b/>", "-max", "4"}); got != 1 {
+			t.Errorf("exit %d, want 1", got)
+		}
+	})
+	if !strings.Contains(out, "trace ") || !strings.Contains(out, "xconflict") {
+		t.Fatalf("no trace header in span output:\n%s", out)
+	}
+	if !strings.Contains(out, "detect ") {
+		t.Fatalf("no detect span in span output:\n%s", out)
+	}
+	if !strings.Contains(out, "search ") || !strings.Contains(out, "candidates=") {
+		t.Fatalf("no search span with budget spend in span output:\n%s", out)
+	}
+}
+
 func TestStatsFlag(t *testing.T) {
 	out := captureStderr(t, func() {
 		if got := run([]string{"-stats", "-quiet", "-read", "//C", "-insert", "/*/B", "-x", "<C/>"}); got != 1 {

@@ -27,6 +27,7 @@ func TestChaosHandlerPanicContained(t *testing.T) {
 	faultinject.Arm("serve.detect", faultinject.Fault{Kind: faultinject.KindPanic, Times: 1})
 
 	s := newServer(2, time.Second, 1<<20)
+	dumpTracesOnFailure(t, s)
 	ts := httptest.NewServer(s.routes())
 	t.Cleanup(ts.Close)
 
@@ -75,6 +76,7 @@ func TestChaosBatchItemPanicIsolated(t *testing.T) {
 	faultinject.Arm("core.batch.worker", faultinject.Fault{Kind: faultinject.KindPanic, Times: 1})
 
 	s := newServer(2, time.Second, 1<<20)
+	dumpTracesOnFailure(t, s)
 	ts := httptest.NewServer(s.routes())
 	t.Cleanup(ts.Close)
 
@@ -130,6 +132,7 @@ func TestChaosDeadlineDegradesNotErrors(t *testing.T) {
 	faultinject.Arm("core.detect", faultinject.Fault{Kind: faultinject.KindLatency, Delay: 30 * time.Millisecond})
 
 	s := newServer(2, time.Second, 1<<20)
+	dumpTracesOnFailure(t, s)
 	ts := httptest.NewServer(s.routes())
 	t.Cleanup(ts.Close)
 
@@ -163,6 +166,7 @@ func TestChaosMidBatchCancelFreesSlots(t *testing.T) {
 	faultinject.Arm("core.batch.worker", faultinject.Fault{Kind: faultinject.KindLatency, Delay: 50 * time.Millisecond})
 
 	s := newServer(2, time.Second, 1<<20)
+	dumpTracesOnFailure(t, s)
 	ts := httptest.NewServer(s.routes())
 	t.Cleanup(ts.Close)
 
@@ -219,6 +223,7 @@ func TestChaosMidBatchCancelFreesSlots(t *testing.T) {
 // JSON envelope as the API errors and tells probes when to come back.
 func TestChaosDrainEnvelopeAndRetryAfter(t *testing.T) {
 	s := newServer(2, time.Second, 1<<20)
+	dumpTracesOnFailure(t, s)
 	ts := httptest.NewServer(s.routes())
 	t.Cleanup(ts.Close)
 
@@ -251,6 +256,7 @@ func TestChaosDrainEnvelopeAndRetryAfter(t *testing.T) {
 // the {"error", "reason"} envelope.
 func TestChaosErrorEnvelopeUniform(t *testing.T) {
 	s := newServer(2, time.Second, 1<<20)
+	dumpTracesOnFailure(t, s)
 	ts := httptest.NewServer(s.routes())
 	t.Cleanup(ts.Close)
 

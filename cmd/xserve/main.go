@@ -104,6 +104,7 @@ import (
 	"xmlconflict/internal/store"
 	"xmlconflict/internal/telemetry"
 	"xmlconflict/internal/telemetry/obshttp"
+	"xmlconflict/internal/telemetry/span"
 )
 
 // detectRequest is the POST /v1/detect body, stable for tooling.
@@ -199,6 +200,10 @@ type errorResponse struct {
 	// the committed update the operation collided with and which
 	// conflict semantics fired.
 	Conflict *conflictInfo `json:"conflict,omitempty"`
+	// TraceID names the request's span tree for conflict forensics:
+	// rejected and errored traces are always kept by the flight
+	// recorder, replayable via GET /v1/trace/{id}.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // writeErr writes the uniform JSON error envelope.
@@ -232,6 +237,16 @@ type server struct {
 	queueTimeout time.Duration
 	maxBody      int64
 	ready        atomic.Bool
+	// recorder holds completed request traces: a ring of recent ones
+	// plus always-kept captures of slow/errored/degraded/conflicting
+	// requests, served at /debug/requests and /v1/trace/{id}.
+	recorder *span.FlightRecorder
+	// retryVal/retryUntil memoize the Retry-After derivation for
+	// retryTTL: under saturation every shed request would otherwise walk
+	// the latency histogram.
+	retryTTL   time.Duration
+	retryVal   atomic.Value // string
+	retryUntil atomic.Int64 // unix nanos
 	// store is the durable document store behind /v1/docs; nil unless
 	// -store-dir was given (the routes are not mounted without it).
 	store *store.Store
@@ -253,6 +268,8 @@ func newServer(pool int, queueTimeout time.Duration, maxBody int64) *server {
 		pool:         make(chan struct{}, pool),
 		queueTimeout: queueTimeout,
 		maxBody:      maxBody,
+		recorder:     span.NewFlightRecorder(span.RecorderOptions{}),
+		retryTTL:     time.Second,
 	}
 	s.cache.Instrument(s.metrics)
 	s.ready.Store(true)
@@ -264,13 +281,18 @@ func newServer(pool int, queueTimeout time.Duration, maxBody int64) *server {
 // request with a 500 envelope while the daemon keeps serving.
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/detect", s.contained(s.handleDetect))
-	mux.HandleFunc("/v1/detect/batch", s.contained(s.handleBatch))
-	mux.HandleFunc("/v1/analyze", s.contained(s.handleAnalyze))
+	mux.HandleFunc("/v1/detect", s.traced("detect", s.contained(s.handleDetect)))
+	mux.HandleFunc("/v1/detect/batch", s.traced("batch", s.contained(s.handleBatch)))
+	mux.HandleFunc("/v1/analyze", s.traced("analyze", s.contained(s.handleAnalyze)))
+	// Trace inspection is itself untraced: reading the recorder must not
+	// churn the rings it reads.
+	mux.HandleFunc("GET /v1/trace/{id}", s.handleTraceGet)
 	if s.store != nil {
 		s.storeRoutes(mux)
 	}
-	obshttp.Mount(mux, obshttp.Options{Metrics: s.metrics, Ready: s.ready.Load, RetryAfter: s.retryAfter})
+	obshttp.Mount(mux, obshttp.Options{
+		Metrics: s.metrics, Ready: s.ready.Load, RetryAfter: s.retryAfter, Recorder: s.recorder,
+	})
 	return mux
 }
 
@@ -330,18 +352,26 @@ var errQueueTimeout = errors.New("worker pool saturated")
 // edges — set on acquire AND on release — so it drains back to zero when
 // the server goes idle instead of sticking at the high-water mark.
 func (s *server) acquireSlot(ctx context.Context) (release func(), err error) {
+	// The queue wait is its own span: under saturation it is where a
+	// request's latency actually goes.
+	_, qsp := span.Start(ctx, "queue.wait")
 	slotTimer := time.NewTimer(s.queueTimeout)
 	defer slotTimer.Stop()
 	select {
 	case s.pool <- struct{}{}:
+		qsp.End()
 		s.metrics.Gauge("serve.inflight").Set(int64(len(s.pool)))
 		return func() {
 			<-s.pool
 			s.metrics.Gauge("serve.inflight").Set(int64(len(s.pool)))
 		}, nil
 	case <-ctx.Done():
+		qsp.Fail(ctx.Err())
+		qsp.End()
 		return nil, ctx.Err()
 	case <-slotTimer.C:
+		qsp.Fail(errQueueTimeout)
+		qsp.End()
 		return nil, errQueueTimeout
 	}
 }
@@ -361,8 +391,16 @@ func (s *server) rejectSlot(w http.ResponseWriter, err error) {
 // retryAfter tells a shed client how long to back off: the p90 of
 // observed detection latency — the time a pool slot realistically takes
 // to free up — rounded up to whole seconds and clamped to [1, 60].
-// Before any detection has run it is 1 second.
+// Before any detection has run it is 1 second. The derivation walks the
+// latency histogram, so it is memoized for retryTTL: overload is
+// exactly when every request would otherwise recompute it.
 func (s *server) retryAfter() string {
+	now := time.Now().UnixNano()
+	if now < s.retryUntil.Load() {
+		if v, ok := s.retryVal.Load().(string); ok {
+			return v
+		}
+	}
 	p90 := s.metrics.Timer("serve.detect").Quantile(0.9)
 	secs := int64(math.Ceil(p90.Seconds()))
 	if secs < 1 {
@@ -371,7 +409,12 @@ func (s *server) retryAfter() string {
 	if secs > 60 {
 		secs = 60
 	}
-	return strconv.FormatInt(secs, 10)
+	v := strconv.FormatInt(secs, 10)
+	// Value before deadline: a reader that sees the fresh deadline must
+	// find the fresh value.
+	s.retryVal.Store(v)
+	s.retryUntil.Store(now + int64(s.retryTTL))
+	return v
 }
 
 // decode parses a JSON request body within the size limit.
@@ -443,11 +486,14 @@ func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	stop := s.metrics.Timer("serve.detect").Start()
+	begin := time.Now()
 	resp, status, err := s.detect(r.Context(), req)
-	stop()
-	if err == nil && resp.Conflict {
-		s.metrics.Add("serve.conflicts", 1)
+	s.metrics.Timer("serve.detect").ObserveTraced(time.Since(begin), traceID(r))
+	if err == nil {
+		flagDegraded(r, resp.Complete)
+		if resp.Conflict {
+			s.metrics.Add("serve.conflicts", 1)
+		}
 	}
 	s.finish(w, r, status, resp, err)
 }
@@ -511,9 +557,8 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		opts = opts.WithTimeout(time.Duration(deadlineMs) * time.Millisecond)
 	}
 	begin := time.Now()
-	stop := s.metrics.Timer("serve.detect").Start()
 	results, err := xmlconflict.DetectBatchResults(items, opts, cap(s.pool), s.cache)
-	stop()
+	s.metrics.Timer("serve.detect").ObserveTraced(time.Since(begin), traceID(r))
 	if err != nil {
 		// Batch-wide failure (the request context died); per-pair
 		// failures land in their own slots below instead.
@@ -539,6 +584,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		resp.Results[i] = verdictResponse(res.Verdict, items[i].Sem)
+		flagDegraded(r, res.Verdict.Complete)
 		if res.Verdict.Conflict {
 			s.metrics.Add("serve.conflicts", 1)
 		}
@@ -599,9 +645,8 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		Cache:   s.cache,
 	}
 	begin := time.Now()
-	stop := s.metrics.Timer("serve.detect").Start()
 	a, err := xmlconflict.AnalyzeProgram(prog, aopts)
-	stop()
+	s.metrics.Timer("serve.detect").ObserveTraced(time.Since(begin), traceID(r))
 	if err != nil {
 		s.finish(w, r, http.StatusUnprocessableEntity, nil, err)
 		return
@@ -803,6 +848,8 @@ func run(args []string) int {
 	fs.DurationVar(&t.write, "write-timeout", t.write, "time limit for writing a response (covers the detection)")
 	fs.DurationVar(&t.idle, "idle-timeout", t.idle, "how long a keep-alive connection may sit idle")
 	faults := fs.String("faults", "", "fault-injection spec site=kind[:delay][@after][xN][;...] for chaos testing")
+	traceDir := fs.String("trace-dir", "", "dump captured request traces (slow/error/degraded/conflict) as JSON into this directory")
+	traceSlow := fs.Duration("trace-slow", 0, "latency above which a request trace is always kept (0 = recorder default)")
 	storeDir := fs.String("store-dir", "", "durable document store directory (empty = /v1/docs disabled)")
 	storeFsync := fs.String("store-fsync", "always", "store fsync policy: always, group, or never")
 	storeFsyncInterval := fs.Duration("store-fsync-interval", 5*time.Millisecond, "group-commit fsync cadence (with -store-fsync=group)")
@@ -819,6 +866,12 @@ func run(args []string) int {
 	}
 
 	s := newServer(*pool, *queueTimeout, *maxBody)
+	if *traceDir != "" || *traceSlow > 0 {
+		s.recorder = span.NewFlightRecorder(span.RecorderOptions{Dir: *traceDir, SlowThreshold: *traceSlow})
+		if *traceDir != "" {
+			fmt.Fprintf(os.Stderr, "xserve: capturing request traces into %s\n", *traceDir)
+		}
+	}
 	if *storeDir != "" {
 		policy, err := parseFsyncPolicy(*storeFsync)
 		if err != nil {

@@ -124,6 +124,9 @@ func TestCanceledRequestFreesSlot(t *testing.T) {
 // detection latency p90 instead of a hardcoded constant.
 func TestRetryAfterTracksLatency(t *testing.T) {
 	s, ts := testServer(t, 1)
+	// Disable the short-TTL memo so the hint reflects the observations
+	// injected below immediately (memoization has its own test).
+	s.retryTTL = 0
 	if got := s.retryAfter(); got != "1" {
 		t.Fatalf("retryAfter with no observations = %q, want \"1\"", got)
 	}

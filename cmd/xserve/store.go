@@ -57,6 +57,10 @@ type docResponse struct {
 	Nodes  []string `json:"nodes,omitempty"`
 	XML    string   `json:"xml,omitempty"`
 	Size   int      `json:"size,omitempty"`
+	// TraceID names this request's span tree: while the flight recorder
+	// holds it, GET /v1/trace/{id} replays the admission, WAL-append,
+	// and fsync timeline behind this acknowledgment.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // conflictInfo is the machine-readable rejection attached to a 409
@@ -79,48 +83,51 @@ type conflictInfo struct {
 // answers this request with a 500 envelope and leaves the daemon
 // serving.
 func (s *server) storeRoutes(mux *http.ServeMux) {
-	mux.HandleFunc("POST /v1/docs", s.contained(s.handleDocCreate))
-	mux.HandleFunc("GET /v1/docs/{id}", s.contained(s.handleDocGet))
-	mux.HandleFunc("DELETE /v1/docs/{id}", s.contained(s.handleDocDrop))
-	mux.HandleFunc("POST /v1/docs/{id}/update", s.contained(s.handleDocUpdate))
-	mux.HandleFunc("POST /v1/docs/{id}/snapshot", s.contained(s.handleDocSnapshot))
+	mux.HandleFunc("POST /v1/docs", s.traced("docs.create", s.contained(s.handleDocCreate)))
+	mux.HandleFunc("GET /v1/docs/{id}", s.traced("docs.get", s.contained(s.handleDocGet)))
+	mux.HandleFunc("DELETE /v1/docs/{id}", s.traced("docs.drop", s.contained(s.handleDocDrop)))
+	mux.HandleFunc("POST /v1/docs/{id}/update", s.traced("docs.update", s.contained(s.handleDocUpdate)))
+	mux.HandleFunc("POST /v1/docs/{id}/snapshot", s.traced("docs.snapshot", s.contained(s.handleDocSnapshot)))
 }
 
 // storeErr maps a store error onto the uniform envelope: 404 for
 // missing documents, 409 for create collisions and admission rejections
 // (with the conflict object attached), 400 for malformed inputs and
-// parse-limit violations, 503 for a closed (fail-stopped) store.
-func (s *server) storeErr(w http.ResponseWriter, err error) {
+// parse-limit violations, 503 for a closed (fail-stopped) store. Every
+// envelope carries the request's trace ID: the flight recorder always
+// keeps conflicting and errored traces, so the client can fetch the
+// full span tree — fired semantics, BaseLSN window, WAL timings — from
+// /v1/trace/{id} after the fact.
+func (s *server) storeErr(w http.ResponseWriter, r *http.Request, err error) {
 	s.metrics.Add("serve.errors", 1)
+	resp := errorResponse{Error: err.Error(), TraceID: traceID(r)}
+	status := http.StatusBadRequest
+	resp.Reason = "bad-request"
 	var ce *store.ConflictError
 	var le *xmltree.LimitError
 	switch {
 	case errors.As(err, &ce):
-		writeJSON(w, http.StatusConflict, errorResponse{
-			Error:  err.Error(),
-			Reason: "conflict",
-			Conflict: &conflictInfo{
-				Doc: ce.Doc, Op: ce.Op, Semantics: ce.Sem.String(), Fired: ce.Fired,
-				BaseLSN: ce.BaseLSN, WithLSN: ce.WithLSN, WithKind: ce.WithKind, Detail: ce.Detail,
-			},
-		})
+		status, resp.Reason = http.StatusConflict, "conflict"
+		resp.Conflict = &conflictInfo{
+			Doc: ce.Doc, Op: ce.Op, Semantics: ce.Sem.String(), Fired: ce.Fired,
+			BaseLSN: ce.BaseLSN, WithLSN: ce.WithLSN, WithKind: ce.WithKind, Detail: ce.Detail,
+		}
 	case errors.Is(err, store.ErrNotFound):
-		writeErr(w, http.StatusNotFound, "not-found", err.Error())
+		status, resp.Reason = http.StatusNotFound, "not-found"
 	case errors.Is(err, store.ErrExists):
-		writeErr(w, http.StatusConflict, "exists", err.Error())
+		status, resp.Reason = http.StatusConflict, "exists"
 	case errors.Is(err, store.ErrStaleBase):
-		writeErr(w, http.StatusConflict, "stale-base", err.Error())
+		status, resp.Reason = http.StatusConflict, "stale-base"
 	case errors.Is(err, store.ErrFutureBase):
-		writeErr(w, http.StatusConflict, "future-base", err.Error())
+		status, resp.Reason = http.StatusConflict, "future-base"
 	case errors.Is(err, store.ErrClosed):
-		writeErr(w, http.StatusServiceUnavailable, "store-closed", err.Error())
+		status, resp.Reason = http.StatusServiceUnavailable, "store-closed"
 	case errors.Is(err, store.ErrUnsafeLabel):
-		writeErr(w, http.StatusBadRequest, "unsafe-label", err.Error())
+		resp.Reason = "unsafe-label"
 	case errors.As(err, &le):
-		writeErr(w, http.StatusBadRequest, "limit", err.Error())
-	default:
-		writeErr(w, http.StatusBadRequest, "bad-request", err.Error())
+		resp.Reason = "limit"
 	}
+	writeJSON(w, status, resp)
 }
 
 func (s *server) handleDocCreate(w http.ResponseWriter, r *http.Request) {
@@ -129,34 +136,35 @@ func (s *server) handleDocCreate(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	res, err := s.store.Create(req.Doc, req.XML)
+	res, err := s.store.CreateCtx(r.Context(), req.Doc, req.XML)
 	if err != nil {
-		s.storeErr(w, err)
+		s.storeErr(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, docResponse{Doc: res.Doc, LSN: res.LSN, Digest: res.Digest})
+	writeJSON(w, http.StatusCreated, docResponse{Doc: res.Doc, LSN: res.LSN, Digest: res.Digest, TraceID: traceID(r)})
 }
 
 func (s *server) handleDocGet(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Add("serve.requests", 1)
 	info, err := s.store.Get(r.PathValue("id"))
 	if err != nil {
-		s.storeErr(w, err)
+		s.storeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, docResponse{
 		Doc: info.Doc, LSN: info.LSN, Digest: info.Digest, XML: info.XML, Size: info.Size,
+		TraceID: traceID(r),
 	})
 }
 
 func (s *server) handleDocDrop(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Add("serve.requests", 1)
-	res, err := s.store.Drop(r.PathValue("id"))
+	res, err := s.store.DropCtx(r.Context(), r.PathValue("id"))
 	if err != nil {
-		s.storeErr(w, err)
+		s.storeErr(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, docResponse{Doc: res.Doc, LSN: res.LSN})
+	writeJSON(w, http.StatusOK, docResponse{Doc: res.Doc, LSN: res.LSN, TraceID: traceID(r)})
 }
 
 func (s *server) handleDocUpdate(w http.ResponseWriter, r *http.Request) {
@@ -170,7 +178,15 @@ func (s *server) handleDocUpdate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad-request", err.Error())
 		return
 	}
-	res, err := s.store.Submit(r.PathValue("id"), store.Op{
+	// Admission runs the commute/fired-semantics checks — detection
+	// work — so it rides the same bounded worker pool as /v1/detect.
+	release, err := s.acquireSlot(r.Context())
+	if err != nil {
+		s.rejectSlot(w, err)
+		return
+	}
+	defer release()
+	res, err := s.store.SubmitCtx(r.Context(), r.PathValue("id"), store.Op{
 		Kind:    req.Op,
 		Pattern: req.Pattern,
 		X:       req.X,
@@ -178,11 +194,12 @@ func (s *server) handleDocUpdate(w http.ResponseWriter, r *http.Request) {
 		BaseLSN: req.BaseLSN,
 	})
 	if err != nil {
-		s.storeErr(w, err)
+		s.storeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, docResponse{
 		Doc: res.Doc, LSN: res.LSN, Digest: res.Digest, Points: res.Points, Nodes: res.Nodes,
+		TraceID: traceID(r),
 	})
 }
 
@@ -192,12 +209,12 @@ func (s *server) handleDocSnapshot(w http.ResponseWriter, r *http.Request) {
 	// snapshots are whole-store: verify the document exists, then
 	// capture everything at the store's current LSN.
 	if _, err := s.store.Get(r.PathValue("id")); err != nil {
-		s.storeErr(w, err)
+		s.storeErr(w, r, err)
 		return
 	}
 	lsn, err := s.store.Snapshot()
 	if err != nil {
-		s.storeErr(w, err)
+		s.storeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, docResponse{Doc: r.PathValue("id"), LSN: lsn})

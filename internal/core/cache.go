@@ -13,6 +13,7 @@ import (
 	"xmlconflict/internal/match"
 	"xmlconflict/internal/ops"
 	"xmlconflict/internal/telemetry"
+	"xmlconflict/internal/telemetry/span"
 	"xmlconflict/internal/xmltree"
 )
 
@@ -98,13 +99,24 @@ func (c *DetectorCache) Detect(r ops.Read, u ops.Update, sem ops.Semantics, opts
 	if !ok {
 		// An update kind we cannot canonicalize: stay correct, skip the
 		// cache.
+		if sp := span.FromContext(opts.Ctx); sp != nil {
+			sp.Event("cache", span.A("disposition", "uncacheable"))
+		}
 		return Detect(r, u, sem, opts)
 	}
+	rsp := span.FromContext(opts.Ctx)
 	for {
 		e, leader := c.acquire(key)
 		if leader {
 			copts := opts
 			copts.Patterns = c.patterns
+			// The cache span wraps the leading computation so the detect
+			// span nests under it and the disposition reads off the tree.
+			csp := rsp.Child("detect.cached")
+			if csp != nil {
+				csp.Set("disposition", "miss")
+				copts.Ctx = span.Context(copts.Ctx, csp)
+			}
 			// The leader MUST complete the entry even if detection
 			// panics: waiters block on e.ready, and an uncontained
 			// panic here would strand them forever. The recover turns
@@ -118,6 +130,8 @@ func (c *DetectorCache) Detect(r ops.Read, u ops.Update, sem ops.Semantics, opts
 				return Detect(r, u, sem, copts)
 			}()
 			c.complete(e, v, err)
+			csp.Fail(err)
+			csp.End()
 			if err != nil {
 				var ie *InternalError
 				if errors.As(err, &ie) && c.m != nil && c.m != opts.Stats {
@@ -128,6 +142,20 @@ func (c *DetectorCache) Detect(r ops.Read, u ops.Update, sem ops.Semantics, opts
 			c.record(&c.misses, "detector_cache.misses", opts)
 			return v, nil
 		}
+		var csp *span.Span
+		if rsp != nil {
+			// Distinguish an already-published verdict (hit) from joining
+			// an in-flight computation (leader-wait); the span's duration
+			// is the wait.
+			disposition := "leader-wait"
+			select {
+			case <-e.ready:
+				disposition = "hit"
+			default:
+			}
+			csp = rsp.Child("detect.cached")
+			csp.Set("disposition", disposition)
+		}
 		var done <-chan struct{}
 		if opts.Ctx != nil {
 			done = opts.Ctx.Done()
@@ -135,8 +163,12 @@ func (c *DetectorCache) Detect(r ops.Read, u ops.Update, sem ops.Semantics, opts
 		select {
 		case <-e.ready:
 		case <-done:
-			return Verdict{}, fmt.Errorf("core: detect canceled: %w", opts.Ctx.Err())
+			err := fmt.Errorf("core: detect canceled: %w", opts.Ctx.Err())
+			csp.Fail(err)
+			csp.End()
+			return Verdict{}, err
 		}
+		csp.End()
 		if e.err == nil {
 			c.record(&c.hits, "detector_cache.hits", opts)
 			return e.v, nil
@@ -309,13 +341,27 @@ func DetectBatchResults(items []BatchItem, opts SearchOptions, workers int, cach
 		workers = len(items)
 	}
 	results := make([]BatchResult, len(items))
+	batchSpan := span.FromContext(opts.Ctx)
+	if batchSpan != nil {
+		bsp := batchSpan.Child("batch")
+		bsp.Set("items", len(items))
+		bsp.Set("workers", workers)
+		defer bsp.End()
+		batchSpan = bsp
+	}
 	one := func(i int) (v Verdict, err error) {
 		defer ContainPanic("batch.worker", opts.Stats, &err)
 		if ferr := faultinject.Fire("core.batch.worker"); ferr != nil {
 			return Verdict{}, fmt.Errorf("core: batch worker: %w", ferr)
 		}
 		it := items[i]
-		return cache.Detect(it.R, it.U, it.Sem, opts)
+		iopts := opts
+		if isp := batchSpan.Child("batch.item"); isp != nil {
+			isp.Set("index", i)
+			defer isp.End()
+			iopts.Ctx = span.Context(opts.Ctx, isp)
+		}
+		return cache.Detect(it.R, it.U, it.Sem, iopts)
 	}
 	dispatched := len(items)
 	if workers <= 1 {

@@ -7,6 +7,7 @@ import (
 	"xmlconflict/internal/ops"
 	"xmlconflict/internal/pattern"
 	"xmlconflict/internal/telemetry"
+	"xmlconflict/internal/telemetry/span"
 	"xmlconflict/internal/xmltree"
 )
 
@@ -104,6 +105,13 @@ func Detect(r ops.Read, u ops.Update, sem ops.Semantics, opts SearchOptions) (Ve
 		telemetry.F("read_linear", linear),
 		telemetry.F("read_size", r.P.Size()),
 		telemetry.F("update_size", u.Pattern().Size()))
+	sp := span.FromContext(opts.Ctx).Child("detect")
+	if sp != nil {
+		sp.Set("kind", u.Kind())
+		sp.Set("semantics", sem.String())
+		// Nest the search under the detect span.
+		opts.Ctx = span.Context(opts.Ctx, sp)
+	}
 	var v Verdict
 	var err error
 	if linear {
@@ -122,6 +130,7 @@ func Detect(r ops.Read, u ops.Update, sem ops.Semantics, opts SearchOptions) (Ve
 	} else {
 		v, err = SearchConflict(r, u, sem, opts)
 	}
+	endDetectSpan(sp, v, err)
 	if err != nil {
 		return v, err
 	}

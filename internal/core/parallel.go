@@ -30,7 +30,7 @@ import (
 // to run; the verdict itself does not. Completeness semantics are
 // identical: a negative verdict is complete iff every candidate up to the
 // bound was checked.
-func SearchConflictParallel(r ops.Read, u ops.Update, sem ops.Semantics, opts SearchOptions, workers int) (Verdict, error) {
+func SearchConflictParallel(r ops.Read, u ops.Update, sem ops.Semantics, opts SearchOptions, workers int) (verdict Verdict, rerr error) {
 	in := observer(opts)
 	defer in.timer("search.time")()
 	r = ops.Read{P: containment.MinimizeStats(r.P, in.metrics())}
@@ -57,6 +57,8 @@ func SearchConflictParallel(r ops.Read, u ops.Update, sem ops.Semantics, opts Se
 		telemetry.F("max_candidates", maxCand),
 		telemetry.F("alphabet", len(labels)),
 		telemetry.F("workers", workers))
+	sp := startSearchSpan(opts, bound, maxNodes, maxCand, len(labels), workers)
+	defer func() { endSearchSpan(sp, verdict, rerr) }()
 	in.progressStart("search", int64(maxCand))
 
 	// Skeletons, not built trees, cross the channel: the build cost runs

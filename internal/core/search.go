@@ -101,7 +101,7 @@ func WitnessBound(r ops.Read, u ops.Update) int {
 // size at most the Lemma 11 bound exists. The running time is exponential
 // in the bound, which is exactly the complexity shape the paper proves
 // unavoidable (unless P = NP) for branching patterns.
-func SearchConflict(r ops.Read, u ops.Update, sem ops.Semantics, opts SearchOptions) (Verdict, error) {
+func SearchConflict(r ops.Read, u ops.Update, sem ops.Semantics, opts SearchOptions) (verdict Verdict, rerr error) {
 	in := observer(opts)
 	defer in.timer("search.time")()
 	// Minimization preserves [[p]](t) on every tree (homomorphism-
@@ -127,6 +127,8 @@ func SearchConflict(r ops.Read, u ops.Update, sem ops.Semantics, opts SearchOpti
 		telemetry.F("max_nodes", maxNodes),
 		telemetry.F("max_candidates", maxCand),
 		telemetry.F("alphabet", len(labels)))
+	sp := startSearchSpan(opts, bound, maxNodes, maxCand, len(labels), 1)
+	defer func() { endSearchSpan(sp, verdict, rerr) }()
 	in.progressStart("search", int64(maxCand))
 
 	checker := ops.NewChecker(sem, r, u, opts.Patterns, in.metrics())

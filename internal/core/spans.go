@@ -1,0 +1,73 @@
+package core
+
+import (
+	"xmlconflict/internal/telemetry/span"
+)
+
+// Span integration of the decision procedures. Spans ride
+// SearchOptions.Ctx (span.FromContext), mirroring the event stream of
+// the Tracer at request-tree granularity: detect → search / cache →
+// batch items. With no span in the context every hook is one nil
+// check, so untraced library calls (and the benchmarks) pay nothing.
+
+// startSearchSpan opens the "search" child carrying the bounds the
+// sweep will run under. Returns nil (inert) when tracing is off.
+func startSearchSpan(opts SearchOptions, bound, maxNodes, maxCand, alphabet, workers int) *span.Span {
+	sp := span.FromContext(opts.Ctx).Child("search")
+	if sp == nil {
+		return nil
+	}
+	sp.Set("bound", bound)
+	sp.Set("max_nodes", maxNodes)
+	sp.Set("max_candidates", maxCand)
+	sp.Set("alphabet", alphabet)
+	if workers > 1 {
+		sp.Set("workers", workers)
+	}
+	return sp
+}
+
+// endSearchSpan closes a search span with the sweep's outcome: budget
+// spend (candidates examined), the verdict, and — for incomplete
+// sweeps — the degradation reason.
+func endSearchSpan(sp *span.Span, v Verdict, err error) {
+	if sp == nil {
+		return
+	}
+	sp.Set("candidates", v.Candidates)
+	sp.Set("conflict", v.Conflict)
+	sp.Set("complete", v.Complete)
+	if v.Reason != "" {
+		sp.Set("reason", v.Reason)
+	}
+	if v.Witness != nil {
+		sp.Set("witness_nodes", v.Witness.Size())
+	}
+	sp.Fail(err)
+	sp.End()
+}
+
+// endDetectSpan closes a detect span with the verdict.
+func endDetectSpan(sp *span.Span, v Verdict, err error) {
+	if sp == nil {
+		return
+	}
+	if err != nil {
+		sp.Fail(err)
+		sp.End()
+		return
+	}
+	sp.Set("conflict", v.Conflict)
+	sp.Set("method", v.Method)
+	sp.Set("complete", v.Complete)
+	if v.Reason != "" {
+		sp.Set("reason", v.Reason)
+	}
+	if v.Candidates > 0 {
+		sp.Set("candidates", v.Candidates)
+	}
+	if v.Witness != nil {
+		sp.Set("witness_nodes", v.Witness.Size())
+	}
+	sp.End()
+}

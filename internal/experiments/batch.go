@@ -43,7 +43,7 @@ func E19(seed int64, reps int) Table {
 		Header: []string{"mode", "ns/analysis", "speedup", "verdicts"},
 	}
 	prog := batchProgram(17) // 36 statements, 630 pairs
-	opts := core.SearchOptions{MaxNodes: 5, MaxCandidates: 20_000}
+	opts := tracedOpts(core.SearchOptions{MaxNodes: 5, MaxCandidates: 20_000})
 	workers := max(2, runtime.GOMAXPROCS(0))
 
 	st := telemetry.New()

@@ -248,7 +248,7 @@ func linearConflictSweep(id, title string, seed int64, reps int, isInsert bool) 
 		}
 		conflicts := 0
 		for _, in := range insts {
-			v, err := core.Detect(in.r, in.u, ops.NodeSemantics, core.SearchOptions{}.WithStats(m))
+			v, err := core.Detect(in.r, in.u, ops.NodeSemantics, tracedOpts(core.SearchOptions{}.WithStats(m)))
 			if err != nil {
 				t.Notes = append(t.Notes, "ERROR: "+err.Error())
 				continue
@@ -259,7 +259,7 @@ func linearConflictSweep(id, title string, seed int64, reps int, isInsert bool) 
 		}
 		d := timeIt(max(1, reps), func() {
 			for _, in := range insts {
-				_, _ = core.Detect(in.r, in.u, ops.NodeSemantics, core.SearchOptions{})
+				_, _ = core.Detect(in.r, in.u, ops.NodeSemantics, tracedOpts(core.SearchOptions{}))
 			}
 		}) / pairs
 		t.Rows = append(t.Rows, []string{
@@ -440,9 +440,9 @@ func hardnessSweep(id, title string, useDelete bool) Table {
 
 		// Blind exhaustive search with a candidate cap (the NP oracle).
 		start = time.Now()
-		v, err := core.SearchConflict(r, u, ops.NodeSemantics, core.SearchOptions{
+		v, err := core.SearchConflict(r, u, ops.NodeSemantics, tracedOpts(core.SearchOptions{
 			MaxNodes: maxInt(wSize, 6), MaxCandidates: 150_000,
-		}.WithStats(m))
+		}.WithStats(m)))
 		dSearch := time.Since(start)
 		searchCol := "error"
 		if err == nil {
@@ -591,7 +591,7 @@ func E11() Table {
 			res = fmt.Sprint(!diff)
 		}
 		decision := "error"
-		if v, err := core.UpdateUpdateConflict(c.u1, c.u2, core.SearchOptions{MaxNodes: 4}); err == nil {
+		if v, err := core.UpdateUpdateConflict(c.u1, c.u2, tracedOpts(core.SearchOptions{MaxNodes: 4})); err == nil {
 			if v.Conflict {
 				decision = "conflict [" + v.Method + "]"
 			} else {
@@ -653,9 +653,9 @@ restock:
 	}
 	for _, sc := range scenarios {
 		read := ops.Read{P: xpath.MustParse(sc.read)}
-		vFree, err1 := core.Detect(read, sc.u, ops.NodeSemantics, core.SearchOptions{})
+		vFree, err1 := core.Detect(read, sc.u, ops.NodeSemantics, tracedOpts(core.SearchOptions{}))
 		vSchema, err2 := schema.DetectUnderSchema(read, sc.u, ops.NodeSemantics, s,
-			core.SearchOptions{MaxNodes: 7, MaxCandidates: 100_000})
+			tracedOpts(core.SearchOptions{MaxNodes: 7, MaxCandidates: 100_000}))
 		col := func(v core.Verdict, err error) string {
 			if err != nil {
 				return "error"

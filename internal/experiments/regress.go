@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"xmlconflict/internal/telemetry"
+	"xmlconflict/internal/telemetry/span"
 )
 
 // BenchSchemaVersion identifies the BENCH_*.json layout. Bump it only
@@ -35,6 +36,10 @@ type BenchResult struct {
 	P90Ns   int64            `json:"p90_ns"`
 	P99Ns   int64            `json:"p99_ns"`
 	Metrics map[string]int64 `json:"metrics,omitempty"`
+	// Span is the span tree of one representative iteration (xbench
+	// -span): the per-detection breakdown behind the numbers above.
+	// Optional so existing trajectory files keep loading unchanged.
+	Span *span.TraceView `json:"span,omitempty"`
 }
 
 // BenchFile is the schema-stable trajectory file `xbench -json -out`

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"context"
+
+	"xmlconflict/internal/core"
+	"xmlconflict/internal/telemetry/span"
+)
+
+// spanCtx carries the trace context during a MeasureSpan run; nil
+// everywhere else, so regular measurements pay one nil check per
+// tracedOpts call and the engine's span hooks stay dormant.
+var spanCtx context.Context
+
+// tracedOpts attaches the active -span trace context (if any) to an
+// experiment's search options.
+func tracedOpts(o core.SearchOptions) core.SearchOptions {
+	if spanCtx == nil {
+		return o
+	}
+	return o.WithContext(spanCtx)
+}
+
+// MeasureSpan runs one representative iteration (reps=1) of the
+// experiment under a span trace and returns the resulting tree: the
+// per-detection breakdown — method choices, cache dispositions, budget
+// spend — behind the single number a BENCH entry records. Long
+// experiments overflow the trace's span cap; the tree then holds the
+// leading spans and DroppedSpans counts the rest. Not safe to run
+// concurrently with other measurements (xbench runs experiments
+// sequentially).
+func MeasureSpan(id string, seed int64) (*span.TraceView, error) {
+	tr := span.New("bench." + id)
+	spanCtx = span.Context(context.Background(), tr.Root())
+	defer func() { spanCtx = nil }()
+	if _, err := ByID(id, seed, 1); err != nil {
+		return nil, err
+	}
+	tr.Finish()
+	v := tr.View()
+	return &v, nil
+}

@@ -19,6 +19,8 @@
 package store
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -29,6 +31,7 @@ import (
 
 	"xmlconflict/internal/ops"
 	"xmlconflict/internal/telemetry"
+	"xmlconflict/internal/telemetry/span"
 	"xmlconflict/internal/xmltree"
 	"xmlconflict/internal/xpath"
 )
@@ -452,7 +455,20 @@ func semFired(fired []ops.Semantics, sem ops.Semantics) bool {
 // canonical serialization, so replay is deterministic regardless of
 // how the input was formatted.
 func (s *Store) Create(id, xml string) (Result, error) {
+	return s.CreateCtx(context.Background(), id, xml)
+}
+
+// CreateCtx is Create carrying a request context: a span in ctx (see
+// telemetry/span) receives the store.create sub-tree, including the
+// WAL append and fsync.
+func (s *Store) CreateCtx(ctx context.Context, id, xml string) (Result, error) {
+	sp := span.FromContext(ctx).Child("store.create")
+	if sp != nil {
+		sp.Set("doc", id)
+		defer sp.End()
+	}
 	if err := validateID(id); err != nil {
+		sp.Fail(err)
 		return Result{}, err
 	}
 	t, err := xmltree.ParseWithLimits(strings.NewReader(xml), s.opts.Limits)
@@ -477,9 +493,10 @@ func (s *Store) Create(id, xml string) (Result, error) {
 		return Result{}, fmt.Errorf("store: doc %q: %w", id, ErrExists)
 	}
 	lsn := s.lsn + 1
-	ack, err := s.append(record{LSN: lsn, Type: "create", Doc: id, XML: t.XML(), Digest: digest})
+	ack, err := s.append(record{LSN: lsn, Type: "create", Doc: id, XML: t.XML(), Digest: digest}, sp)
 	if err != nil {
 		unlock()
+		sp.Fail(err)
 		return Result{}, err
 	}
 	s.docs[id] = &doc{id: id, tree: t, lsn: lsn, digest: digest}
@@ -488,9 +505,10 @@ func (s *Store) Create(id, xml string) (Result, error) {
 	s.maybeSnapshotLocked()
 	unlock()
 
-	if err := s.awaitAck(ack); err != nil {
+	if err := s.awaitAck(ack, sp); err != nil {
 		return Result{}, err
 	}
+	sp.Set("lsn", lsn)
 	return Result{Doc: id, LSN: lsn, Digest: digest}, nil
 }
 
@@ -510,6 +528,16 @@ func (s *Store) Get(id string) (Info, error) {
 
 // Drop removes a document. The removal is itself a durable WAL record.
 func (s *Store) Drop(id string) (Result, error) {
+	return s.DropCtx(context.Background(), id)
+}
+
+// DropCtx is Drop carrying a request context for span propagation.
+func (s *Store) DropCtx(ctx context.Context, id string) (Result, error) {
+	sp := span.FromContext(ctx).Child("store.drop")
+	if sp != nil {
+		sp.Set("doc", id)
+		defer sp.End()
+	}
 	s.mu.Lock()
 	locked := true
 	defer s.guardCommit(&locked)
@@ -523,9 +551,10 @@ func (s *Store) Drop(id string) (Result, error) {
 		return Result{}, fmt.Errorf("store: doc %q: %w", id, ErrNotFound)
 	}
 	lsn := s.lsn + 1
-	ack, err := s.append(record{LSN: lsn, Type: "drop", Doc: id})
+	ack, err := s.append(record{LSN: lsn, Type: "drop", Doc: id}, sp)
 	if err != nil {
 		unlock()
+		sp.Fail(err)
 		return Result{}, err
 	}
 	delete(s.docs, id)
@@ -534,9 +563,10 @@ func (s *Store) Drop(id string) (Result, error) {
 	s.maybeSnapshotLocked()
 	unlock()
 
-	if err := s.awaitAck(ack); err != nil {
+	if err := s.awaitAck(ack, sp); err != nil {
 		return Result{}, err
 	}
+	sp.Set("lsn", lsn)
 	return Result{Doc: id, LSN: lsn}, nil
 }
 
@@ -546,32 +576,51 @@ func (s *Store) Drop(id string) (Result, error) {
 // ErrFutureBase); an acknowledged update is durable per the store's
 // fsync policy.
 func (s *Store) Submit(id string, op Op) (Result, error) {
+	return s.SubmitCtx(context.Background(), id, op)
+}
+
+// SubmitCtx is Submit carrying a request context: a span in ctx
+// receives the operation's forensic sub-tree — the admission check
+// (BaseLSN window and, on rejection, the fired semantics), the apply,
+// the WAL append/fsync, and the group-commit ack wait.
+func (s *Store) SubmitCtx(ctx context.Context, id string, op Op) (Result, error) {
 	switch op.Kind {
 	case "read":
-		return s.submitRead(id, op)
+		return s.submitRead(ctx, id, op)
 	case "insert", "delete":
-		return s.submitUpdate(id, op)
+		return s.submitUpdate(ctx, id, op)
 	}
 	return Result{}, fmt.Errorf("store: unknown op kind %q (want read, insert, or delete)", op.Kind)
 }
 
-func (s *Store) submitRead(id string, op Op) (Result, error) {
+func (s *Store) submitRead(ctx context.Context, id string, op Op) (Result, error) {
+	sp := span.FromContext(ctx).Child("store.read")
+	if sp != nil {
+		sp.Set("doc", id)
+		sp.Set("base_lsn", op.BaseLSN)
+		defer sp.End()
+	}
 	p, err := xpath.Parse(op.Pattern)
 	if err != nil {
-		return Result{}, fmt.Errorf("store: pattern: %w", err)
+		err = fmt.Errorf("store: pattern: %w", err)
+		sp.Fail(err)
+		return Result{}, err
 	}
 	rd := ops.Read{P: p}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		sp.Fail(ErrClosed)
 		return Result{}, ErrClosed
 	}
 	d, ok := s.docs[id]
 	if !ok {
-		return Result{}, fmt.Errorf("store: doc %q: %w", id, ErrNotFound)
+		err := fmt.Errorf("store: doc %q: %w", id, ErrNotFound)
+		sp.Fail(err)
+		return Result{}, err
 	}
-	if err := s.admit(d, op, &rd, nil); err != nil {
+	if err := s.admitSpanned(sp, d, op, &rd, nil); err != nil {
 		return Result{}, err
 	}
 	nodes := xmltree.SortByID(rd.Eval(d.tree))
@@ -580,12 +629,21 @@ func (s *Store) submitRead(id string, op Op) (Result, error) {
 		out[i] = d.tree.CloneSubtree(n).XML()
 	}
 	s.m.Add("store.reads", 1)
+	sp.Set("nodes", len(out))
 	return Result{Doc: id, LSN: d.lsn, Digest: d.digest, Nodes: out}, nil
 }
 
-func (s *Store) submitUpdate(id string, op Op) (Result, error) {
+func (s *Store) submitUpdate(ctx context.Context, id string, op Op) (Result, error) {
+	sp := span.FromContext(ctx).Child("store.update")
+	if sp != nil {
+		sp.Set("doc", id)
+		sp.Set("kind", op.Kind)
+		sp.Set("base_lsn", op.BaseLSN)
+		defer sp.End()
+	}
 	u, canonX, err := s.parseUpdate(op)
 	if err != nil {
+		sp.Fail(err)
 		return Result{}, err
 	}
 
@@ -595,29 +653,41 @@ func (s *Store) submitUpdate(id string, op Op) (Result, error) {
 	unlock := func() { locked = false; s.mu.Unlock() }
 	if s.closed {
 		unlock()
+		sp.Fail(ErrClosed)
 		return Result{}, ErrClosed
 	}
 	d, ok := s.docs[id]
 	if !ok {
 		unlock()
-		return Result{}, fmt.Errorf("store: doc %q: %w", id, ErrNotFound)
+		err := fmt.Errorf("store: doc %q: %w", id, ErrNotFound)
+		sp.Fail(err)
+		return Result{}, err
 	}
-	if err := s.admit(d, op, nil, u); err != nil {
+	if err := s.admitSpanned(sp, d, op, nil, u); err != nil {
 		unlock()
 		return Result{}, err
 	}
+	asp := sp.Child("store.apply")
 	newTree, points, digest, err := applyUpdate(d, u)
 	if err != nil {
 		unlock()
+		asp.Fail(err)
+		asp.End()
+		sp.Fail(err)
 		return Result{}, err
+	}
+	if asp != nil {
+		asp.Set("points", points)
+		asp.End()
 	}
 	lsn := s.lsn + 1
 	ack, err := s.append(record{
 		LSN: lsn, Type: "update", Doc: id,
 		Kind: op.Kind, Pattern: op.Pattern, X: canonX, Digest: digest,
-	})
+	}, sp)
 	if err != nil {
 		unlock()
+		sp.Fail(err)
 		return Result{}, err
 	}
 	s.commitUpdate(d, lsn, op.Kind, u, newTree, digest)
@@ -625,19 +695,64 @@ func (s *Store) submitUpdate(id string, op Op) (Result, error) {
 	s.maybeSnapshotLocked()
 	unlock()
 
-	if err := s.awaitAck(ack); err != nil {
+	if err := s.awaitAck(ack, sp); err != nil {
 		return Result{}, err
 	}
+	sp.Set("lsn", lsn)
 	return Result{Doc: id, LSN: lsn, Digest: digest, Points: points}, nil
 }
 
-// append encodes and appends one record; the caller holds s.mu.
-func (s *Store) append(rec record) (func() error, error) {
+// admitSpanned wraps the admission check in a "store.admit" span
+// carrying the BaseLSN window it scheduled against and — on a conflict
+// rejection — the fired semantics and the committed update the
+// operation collided with: the forensic payload of a 409.
+func (s *Store) admitSpanned(parent *span.Span, d *doc, op Op, rd *ops.Read, upd ops.Update) error {
+	asp := parent.Child("store.admit")
+	if asp != nil {
+		asp.Set("base_lsn", op.BaseLSN)
+		asp.Set("doc_lsn", d.lsn)
+		asp.Set("window", len(d.hist))
+		// Admission checks run against concrete committed pre-states
+		// (Lemma 1 witness checks), so the existential DetectorCache
+		// never applies here.
+		asp.Set("cache", "bypass")
+	}
+	err := s.admit(d, op, rd, upd)
+	if asp != nil {
+		if err != nil {
+			var ce *ConflictError
+			if errors.As(err, &ce) {
+				asp.Set("conflict", true)
+				asp.Set("sem", ce.Sem.String())
+				asp.Set("fired", strings.Join(ce.Fired, ","))
+				asp.Set("with_lsn", ce.WithLSN)
+				asp.Set("with_kind", ce.WithKind)
+				asp.Flag("conflict")
+			}
+			asp.Fail(err)
+		}
+		asp.End()
+	}
+	return err
+}
+
+// append encodes and appends one record under a "store.wal.append"
+// span (a child of parent); the caller holds s.mu.
+func (s *Store) append(rec record, parent *span.Span) (func() error, error) {
 	payload, err := encodeRecord(rec)
 	if err != nil {
 		return nil, err
 	}
-	return s.w.Append(payload)
+	wsp := parent.Child("store.wal.append")
+	if wsp != nil {
+		wsp.Set("lsn", rec.LSN)
+		wsp.Set("type", rec.Type)
+		wsp.Set("bytes", len(payload))
+	}
+	ack, err := s.w.Append(payload, wsp)
+	wsp.Fail(err)
+	wsp.End()
+	return ack, err
 }
 
 // guardCommit is deferred by mutating operations while they hold s.mu.
@@ -657,16 +772,20 @@ func (s *Store) guardCommit(lockedp *bool) {
 	}
 }
 
-// awaitAck waits out a group-commit acknowledgment, if any. A failed
+// awaitAck waits out a group-commit acknowledgment, if any, under a
+// "store.ack" span (the wait for the covering group fsync). A failed
 // ack means a commit already published to in-memory state was reported
 // lost to its client, so the store fail-stops — the same rule the panic
 // path enforces: state the store disclaimed is never served. A restart
 // re-runs recovery over what actually reached the disk.
-func (s *Store) awaitAck(ack func() error) error {
+func (s *Store) awaitAck(ack func() error, parent *span.Span) error {
 	if ack == nil {
 		return nil
 	}
+	ksp := parent.Child("store.ack")
 	err := ack()
+	ksp.Fail(err)
+	ksp.End()
 	if err != nil {
 		s.mu.Lock()
 		if !s.closed {

@@ -11,6 +11,7 @@ import (
 
 	"xmlconflict/internal/faultinject"
 	"xmlconflict/internal/telemetry"
+	"xmlconflict/internal/telemetry/span"
 )
 
 // The write-ahead log is a single append-only file:
@@ -214,13 +215,15 @@ func openWAL(path string, policy FsyncPolicy, every time.Duration, m *telemetry.
 // Append writes one framed record. The returned ack is non-nil only
 // under FsyncGroup: the caller must invoke it (after releasing the
 // store lock) and treat its error as a failed commit. Under FsyncAlways
-// the record is durable — or rolled back — before Append returns.
+// the record is durable — or rolled back — before Append returns. sp,
+// when non-nil, is the caller's wal-append span; the synchronous fsync
+// of FsyncAlways is timed under a "store.fsync" child of it.
 //
 // Fault-injection sites, in write order: "store.append" before anything
 // touches the file, "store.append.partial" between the frame header and
 // the payload (a panic here leaves a torn record, exactly what a crash
 // mid-write does), and "store.fsync" before the synchronous fsync.
-func (w *wal) Append(payload []byte) (ack func() error, err error) {
+func (w *wal) Append(payload []byte, sp *span.Span) (ack func() error, err error) {
 	w.mu.Lock()
 	sticky := w.err
 	w.mu.Unlock()
@@ -257,10 +260,14 @@ func (w *wal) Append(payload []byte) (ack func() error, err error) {
 
 	switch w.policy {
 	case FsyncAlways:
+		fsp := sp.Child("store.fsync")
 		if err := w.syncNow(); err != nil {
+			fsp.Fail(err)
+			fsp.End()
 			w.rollback(start)
 			return nil, err
 		}
+		fsp.End()
 		return nil, nil
 	case FsyncNever:
 		return nil, nil

@@ -72,10 +72,10 @@ func TestOpenWALFreshAndReopen(t *testing.T) {
 	if err != nil || torn || len(payloads) != 0 {
 		t.Fatalf("fresh open: %v torn=%v n=%d", err, torn, len(payloads))
 	}
-	if _, err := w.Append([]byte("one")); err != nil {
+	if _, err := w.Append([]byte("one"), nil); err != nil {
 		t.Fatalf("append: %v", err)
 	}
-	if _, err := w.Append([]byte("two")); err != nil {
+	if _, err := w.Append([]byte("two"), nil); err != nil {
 		t.Fatalf("append: %v", err)
 	}
 	if err := w.Close(); err != nil {
@@ -99,7 +99,7 @@ func TestOpenWALTruncatesTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := w.Append([]byte("keep")); err != nil {
+	if _, err := w.Append([]byte("keep"), nil); err != nil {
 		t.Fatal(err)
 	}
 	w.Close()
@@ -121,7 +121,7 @@ func TestOpenWALTruncatesTornTail(t *testing.T) {
 	}
 	// The tail is gone from disk, and new appends land cleanly after
 	// the surviving record.
-	if _, err := w2.Append([]byte("after")); err != nil {
+	if _, err := w2.Append([]byte("after"), nil); err != nil {
 		t.Fatal(err)
 	}
 	w2.Close()
@@ -186,10 +186,10 @@ func TestAppendRejectsOversizedRecord(t *testing.T) {
 	}
 	// A payload the recovery scan would refuse to read must be refused
 	// on the write side too — before any byte reaches the file.
-	if _, err := w.Append(make([]byte, maxRecordBytes+1)); err == nil {
+	if _, err := w.Append(make([]byte, maxRecordBytes+1), nil); err == nil {
 		t.Fatal("oversized append: want error")
 	}
-	if _, err := w.Append([]byte("ok")); err != nil {
+	if _, err := w.Append([]byte("ok"), nil); err != nil {
 		t.Fatalf("small append after rejection: %v", err)
 	}
 	w.Close()

@@ -32,7 +32,22 @@ type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64
 	max     atomic.Int64
+	exem    atomic.Pointer[exemplar]
 	buckets [numBuckets]atomic.Int64
+}
+
+// exemplarEpoch is the observation-count window over which a max
+// exemplar competes. Scoping the exemplar to an epoch (rather than the
+// process lifetime) means a p99 spike NOW replaces the exemplar even if
+// some earlier observation was larger, so the retained trace ID links
+// to a flight-recorder entry that is still likely to be held.
+const exemplarEpoch = 1024
+
+// exemplar pairs an observation with the trace that produced it.
+type exemplar struct {
+	value int64
+	epoch int64
+	trace string
 }
 
 // NewHistogram returns an empty histogram.
@@ -90,6 +105,43 @@ func (h *Histogram) Observe(v int64) {
 
 // ObserveDuration records a duration in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// ObserveTraced records one value and, when traceID is non-empty,
+// offers it as the max exemplar of the current epoch: the exemplar is
+// replaced when the epoch has rolled over or the value is at least the
+// held one. Cost over Observe is one extra load on the non-max path.
+func (h *Histogram) ObserveTraced(v int64, traceID string) {
+	h.Observe(v)
+	if h == nil || traceID == "" {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	ep := h.count.Load() / exemplarEpoch
+	for {
+		cur := h.exem.Load()
+		if cur != nil && cur.epoch == ep && v < cur.value {
+			return
+		}
+		if h.exem.CompareAndSwap(cur, &exemplar{value: v, epoch: ep, trace: traceID}) {
+			return
+		}
+	}
+}
+
+// MaxExemplar returns the current epoch-max observation and the trace
+// ID that produced it ("" when no traced observation has been made).
+func (h *Histogram) MaxExemplar() (int64, string) {
+	if h == nil {
+		return 0, ""
+	}
+	e := h.exem.Load()
+	if e == nil {
+		return 0, ""
+	}
+	return e.value, e.trace
+}
 
 // Count returns the number of observations (0 for the nil histogram).
 func (h *Histogram) Count() int64 {
@@ -162,15 +214,19 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.max.Load()
 }
 
-// HistogramStats is the snapshot of one histogram.
+// HistogramStats is the snapshot of one histogram. Exemplar/MaxTraceID
+// identify the epoch-max observation (see ObserveTraced), so a latency
+// spike in /debug/vars links straight to a flight-recorder trace.
 type HistogramStats struct {
-	Count int64 `json:"count"`
-	Sum   int64 `json:"sum"`
-	Mean  int64 `json:"mean"`
-	Max   int64 `json:"max"`
-	P50   int64 `json:"p50"`
-	P90   int64 `json:"p90"`
-	P99   int64 `json:"p99"`
+	Count      int64  `json:"count"`
+	Sum        int64  `json:"sum"`
+	Mean       int64  `json:"mean"`
+	Max        int64  `json:"max"`
+	P50        int64  `json:"p50"`
+	P90        int64  `json:"p90"`
+	P99        int64  `json:"p99"`
+	Exemplar   int64  `json:"exemplar,omitempty"`
+	MaxTraceID string `json:"max_trace_id,omitempty"`
 }
 
 // Stats captures count, sum, mean, max, and the standard latency
@@ -181,13 +237,16 @@ func (h *Histogram) Stats() HistogramStats {
 	if h == nil {
 		return HistogramStats{}
 	}
+	ev, et := h.MaxExemplar()
 	return HistogramStats{
-		Count: h.Count(),
-		Sum:   h.Sum(),
-		Mean:  h.Mean(),
-		Max:   h.Max(),
-		P50:   h.Quantile(0.50),
-		P90:   h.Quantile(0.90),
-		P99:   h.Quantile(0.99),
+		Count:      h.Count(),
+		Sum:        h.Sum(),
+		Mean:       h.Mean(),
+		Max:        h.Max(),
+		P50:        h.Quantile(0.50),
+		P90:        h.Quantile(0.90),
+		P99:        h.Quantile(0.99),
+		Exemplar:   ev,
+		MaxTraceID: et,
 	}
 }

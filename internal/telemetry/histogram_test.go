@@ -170,3 +170,56 @@ func TestMetricsHistogramRegistry(t *testing.T) {
 	var nilM *Metrics
 	nilM.Histogram("x").Observe(1) // nil registry -> nil histogram -> no-op
 }
+
+func TestHistogramExemplar(t *testing.T) {
+	h := NewHistogram()
+	if v, id := h.MaxExemplar(); v != 0 || id != "" {
+		t.Fatalf("fresh histogram exemplar = %d %q", v, id)
+	}
+
+	h.ObserveTraced(100, "aaa")
+	h.ObserveTraced(50, "bbb") // smaller within the same epoch: keep aaa
+	if v, id := h.MaxExemplar(); v != 100 || id != "aaa" {
+		t.Fatalf("exemplar = %d %q, want 100 aaa", v, id)
+	}
+	h.ObserveTraced(300, "ccc") // larger: replace
+	if v, id := h.MaxExemplar(); v != 300 || id != "ccc" {
+		t.Fatalf("exemplar = %d %q, want 300 ccc", v, id)
+	}
+	h.Observe(10_000)           // untraced never competes
+	h.ObserveTraced(10_000, "") // empty trace ID never competes
+	if _, id := h.MaxExemplar(); id != "ccc" {
+		t.Fatalf("exemplar trace = %q, want ccc", id)
+	}
+
+	st := h.Stats()
+	if st.MaxTraceID != "ccc" || st.Exemplar != 300 {
+		t.Fatalf("stats exemplar = %+v", st)
+	}
+
+	// Epoch rollover: after exemplarEpoch more observations, a smaller
+	// observation still replaces a stale larger one.
+	for i := 0; i < exemplarEpoch; i++ {
+		h.Observe(1)
+	}
+	h.ObserveTraced(5, "ddd")
+	if v, id := h.MaxExemplar(); v != 5 || id != "ddd" {
+		t.Fatalf("post-epoch exemplar = %d %q, want 5 ddd", v, id)
+	}
+
+	var nilH *Histogram
+	nilH.ObserveTraced(1, "x")
+	if v, id := nilH.MaxExemplar(); v != 0 || id != "" {
+		t.Fatal("nil histogram exemplar must be empty")
+	}
+}
+
+func TestTimerExemplarInSnapshot(t *testing.T) {
+	m := New()
+	m.Timer("serve.detect").ObserveTraced(40*time.Millisecond, "deadbeef")
+	m.Timer("serve.detect").Observe(1 * time.Millisecond)
+	ts := m.Snapshot().Timers["serve.detect"]
+	if ts.MaxTraceID != "deadbeef" {
+		t.Fatalf("timer snapshot MaxTraceID = %q, want deadbeef", ts.MaxTraceID)
+	}
+}

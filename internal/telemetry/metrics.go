@@ -85,6 +85,14 @@ func (t *Timer) Observe(d time.Duration) {
 	}
 }
 
+// ObserveTraced records one duration carrying the trace ID that
+// produced it as a max-latency exemplar (see Histogram.ObserveTraced).
+func (t *Timer) ObserveTraced(d time.Duration, traceID string) {
+	if t != nil {
+		t.h.ObserveTraced(int64(d), traceID)
+	}
+}
+
 // Start begins timing and returns a stop function that records the
 // elapsed duration when called.
 func (t *Timer) Start() func() {
@@ -247,14 +255,17 @@ func (m *Metrics) Histogram(name string) *Histogram {
 }
 
 // TimerStats is the snapshot of one timer: totals plus latency
-// quantiles drawn from the timer's histogram.
+// quantiles drawn from the timer's histogram. MaxTraceID is the trace
+// exemplar of the epoch-max observation, when one was recorded via
+// ObserveTraced.
 type TimerStats struct {
-	Count int64         `json:"count"`
-	Total time.Duration `json:"total_ns"`
-	Mean  time.Duration `json:"mean_ns"`
-	P50   time.Duration `json:"p50_ns,omitempty"`
-	P90   time.Duration `json:"p90_ns,omitempty"`
-	P99   time.Duration `json:"p99_ns,omitempty"`
+	Count      int64         `json:"count"`
+	Total      time.Duration `json:"total_ns"`
+	Mean       time.Duration `json:"mean_ns"`
+	P50        time.Duration `json:"p50_ns,omitempty"`
+	P90        time.Duration `json:"p90_ns,omitempty"`
+	P99        time.Duration `json:"p99_ns,omitempty"`
+	MaxTraceID string        `json:"max_trace_id,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of a registry's values.
@@ -285,9 +296,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.Gauges[name] = g.Load()
 	}
 	for name, t := range m.timers {
+		_, exTrace := t.h.MaxExemplar()
 		s.Timers[name] = TimerStats{
 			Count: t.Count(), Total: t.Total(), Mean: t.Mean(),
 			P50: t.Quantile(0.50), P90: t.Quantile(0.90), P99: t.Quantile(0.99),
+			MaxTraceID: exTrace,
 		}
 	}
 	for name, h := range m.histograms {

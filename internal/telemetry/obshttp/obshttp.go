@@ -16,6 +16,7 @@
 package obshttp
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"xmlconflict/internal/telemetry"
+	"xmlconflict/internal/telemetry/span"
 )
 
 // start anchors the process uptime reported on /metrics.
@@ -48,6 +50,9 @@ type Options struct {
 	// Namespace prefixes every exported metric name; empty selects
 	// "xmlconflict".
 	Namespace string
+	// Recorder, when non-nil, serves the flight recorder's holdings at
+	// /debug/requests (JSON list) and /debug/requests/{id} (one trace).
+	Recorder *span.FlightRecorder
 }
 
 // Mount registers the observability handlers on mux.
@@ -61,6 +66,28 @@ func Mount(mux *http.ServeMux, opts Options) {
 		WritePrometheus(w, ns, opts.Metrics.Snapshot())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	if opts.Recorder != nil {
+		rec := opts.Recorder
+		mux.HandleFunc("GET /debug/requests", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(rec.List())
+		})
+		mux.HandleFunc("GET /debug/requests/{id}", func(w http.ResponseWriter, r *http.Request) {
+			v, ok := rec.Get(r.PathValue("id"))
+			if !ok {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusNotFound)
+				io.WriteString(w, `{"error":"trace not held","reason":"not-found"}`+"\n")
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(v)
+		})
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -130,6 +157,11 @@ func WritePrometheus(w io.Writer, ns string, s telemetry.Snapshot) {
 		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %g\n", pn, t.P99.Seconds())
 		fmt.Fprintf(w, "%s_sum %g\n", pn, t.Total.Seconds())
 		fmt.Fprintf(w, "%s_count %d\n", pn, t.Count)
+		if t.MaxTraceID != "" {
+			// Exemplar as a comment: links the epoch-max observation to a
+			// flight-recorder trace without leaving text-format v0.0.4.
+			fmt.Fprintf(w, "# EXEMPLAR %s trace_id=%q\n", pn, t.MaxTraceID)
+		}
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
@@ -140,6 +172,9 @@ func WritePrometheus(w io.Writer, ns string, s telemetry.Snapshot) {
 		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %d\n", pn, h.P99)
 		fmt.Fprintf(w, "%s_sum %d\n", pn, h.Sum)
 		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+		if h.MaxTraceID != "" {
+			fmt.Fprintf(w, "# EXEMPLAR %s trace_id=%q value=%d\n", pn, h.MaxTraceID, h.Exemplar)
+		}
 	}
 
 	var ms runtime.MemStats

@@ -1,0 +1,41 @@
+package span
+
+import "context"
+
+type ctxKey struct{}
+
+// Context returns a context carrying sp; detection/store code reads it
+// back with FromContext. A nil ctx is treated as context.Background().
+func Context(ctx context.Context, sp *Span) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the span carried by ctx, or nil. The nil context
+// short-circuits before the value lookup, so untraced library calls
+// (SearchOptions with no Ctx) pay one pointer comparison.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// Start opens a child of the span carried by ctx and returns a context
+// carrying the child. With no span in ctx (or the cap reached) it
+// returns ctx unchanged and a nil span — callers End/Set the result
+// unconditionally.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	sp := FromContext(ctx)
+	if sp == nil {
+		return ctx, nil
+	}
+	c := sp.Child(name)
+	if c == nil {
+		return ctx, nil
+	}
+	return Context(ctx, c), c
+}

@@ -1,0 +1,230 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func finishedTrace(name string, flags ...string) *Trace {
+	tr := New(name)
+	c := tr.Root().Child("work")
+	c.Set("n", 1)
+	c.End()
+	for _, f := range flags {
+		tr.Flag(f)
+	}
+	tr.Finish()
+	return tr
+}
+
+func TestRecorderCategories(t *testing.T) {
+	r := NewFlightRecorder(RecorderOptions{Recent: 4, Captures: 2})
+
+	conflict := finishedTrace("update", CatConflict)
+	r.Record(conflict)
+	for i := 0; i < 10; i++ {
+		r.Record(finishedTrace("fast"))
+	}
+
+	// The conflict capture must survive eviction from the recent ring.
+	if _, ok := r.Get(conflict.ID()); !ok {
+		t.Fatal("conflicting trace evicted by fast traffic")
+	}
+	snap := r.List()
+	if snap.Total != 11 {
+		t.Fatalf("total = %d, want 11", snap.Total)
+	}
+	if len(snap.Recent) != 4 {
+		t.Fatalf("recent = %d entries, want 4", len(snap.Recent))
+	}
+	if got := snap.Captures[CatConflict]; len(got) != 1 || got[0].TraceID != conflict.ID() {
+		t.Fatalf("conflict captures = %+v", got)
+	}
+	if _, ok := r.Get("no-such-id"); ok {
+		t.Fatal("Get of unknown id must miss")
+	}
+}
+
+func TestRecorderSlowThreshold(t *testing.T) {
+	r := NewFlightRecorder(RecorderOptions{SlowThreshold: time.Nanosecond})
+	tr := finishedTrace("anything")
+	r.Record(tr)
+	v, ok := r.Get(tr.ID())
+	if !ok {
+		t.Fatal("trace not retrievable")
+	}
+	if len(v.Flags) != 1 || v.Flags[0] != CatSlow {
+		t.Fatalf("flags = %v, want [slow]", v.Flags)
+	}
+	if len(r.List().Captures[CatSlow]) != 1 {
+		t.Fatal("slow trace not captured")
+	}
+}
+
+func TestRecorderDirWritesCaptures(t *testing.T) {
+	dir := t.TempDir()
+	r := NewFlightRecorder(RecorderOptions{Dir: dir, SlowThreshold: time.Hour})
+	fast := finishedTrace("fast")
+	errored := finishedTrace("bad", CatError)
+	r.Record(fast)
+	r.Record(errored)
+
+	if _, err := os.Stat(filepath.Join(dir, fast.ID()+".json")); !os.IsNotExist(err) {
+		t.Fatal("uncaptured trace must not be written to Dir")
+	}
+	b, err := os.ReadFile(filepath.Join(dir, errored.ID()+".json"))
+	if err != nil {
+		t.Fatalf("captured trace not written: %v", err)
+	}
+	var v TraceView
+	if err := json.Unmarshal(b, &v); err != nil || v.TraceID != errored.ID() {
+		t.Fatalf("bad trace file: %v %+v", err, v)
+	}
+}
+
+func TestRecorderDumpDir(t *testing.T) {
+	r := NewFlightRecorder(RecorderOptions{Recent: 8, SlowThreshold: time.Hour})
+	ids := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		tr := finishedTrace("t")
+		ids[tr.ID()] = true
+		r.Record(tr)
+	}
+	dir := filepath.Join(t.TempDir(), "dump")
+	n, err := r.DumpDir(dir)
+	if err != nil || n != 3 {
+		t.Fatalf("DumpDir = %d, %v; want 3, nil", n, err)
+	}
+	for id := range ids {
+		if _, err := os.Stat(filepath.Join(dir, id+".json")); err != nil {
+			t.Fatalf("missing dump for %s: %v", id, err)
+		}
+	}
+
+	empty := NewFlightRecorder(RecorderOptions{})
+	if n, err := empty.DumpDir(filepath.Join(t.TempDir(), "nothing")); n != 0 || err != nil {
+		t.Fatalf("empty DumpDir = %d, %v", n, err)
+	}
+}
+
+// TestRecorderHammer exercises concurrent record/read traffic under
+// -race: every recorded trace must come back as a complete, never-torn
+// span tree, and flagged captures must survive a storm of fast traces.
+func TestRecorderHammer(t *testing.T) {
+	r := NewFlightRecorder(RecorderOptions{Recent: 16, Captures: 8, SlowThreshold: time.Hour})
+
+	const (
+		writers   = 8
+		perWriter = 200
+	)
+	var wg sync.WaitGroup
+	errIDs := make([][]string, writers)
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tr := New(fmt.Sprintf("w%d-%d", w, i))
+				for k := 0; k < 3; k++ {
+					c := tr.Root().Child("stage")
+					c.Set("k", k)
+					c.Event("tick", A("i", i))
+					c.End()
+				}
+				// Every 50th trace is an error capture.
+				if i%50 == 0 {
+					tr.Flag(CatError)
+					errIDs[w] = append(errIDs[w], tr.ID())
+				}
+				r.Record(tr)
+			}
+		}()
+	}
+
+	// Concurrent readers: List/Get must serve consistent snapshots.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.List()
+				if _, err := json.Marshal(snap); err != nil {
+					t.Errorf("snapshot not serializable: %v", err)
+					return
+				}
+				for _, s := range snap.Recent {
+					if v, ok := r.Get(s.TraceID); ok {
+						checkComplete(t, v)
+					}
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if t.Failed() {
+		return
+	}
+
+	if got := r.List().Total; got != writers*perWriter {
+		t.Fatalf("total = %d, want %d", got, writers*perWriter)
+	}
+	// The newest `Captures` error traces must still be retrievable and
+	// complete, despite ~50x as many fast traces recorded meanwhile.
+	caps := r.List().Captures[CatError]
+	if len(caps) != 8 {
+		t.Fatalf("error captures = %d, want full ring of 8", len(caps))
+	}
+	allErr := map[string]bool{}
+	for _, ids := range errIDs {
+		for _, id := range ids {
+			allErr[id] = true
+		}
+	}
+	for _, s := range caps {
+		if !allErr[s.TraceID] {
+			t.Fatalf("capture %s is not one of the flagged traces", s.TraceID)
+		}
+		v, ok := r.Get(s.TraceID)
+		if !ok {
+			t.Fatalf("captured trace %s not retrievable", s.TraceID)
+		}
+		checkComplete(t, v)
+	}
+}
+
+// checkComplete asserts the snapshot is a full, closed span tree: a
+// root with all three stages, each ended, each with its attr and event.
+// It uses Errorf (not Fatalf) so it is safe from reader goroutines.
+func checkComplete(t *testing.T, v TraceView) {
+	t.Helper()
+	if v.Root.Open {
+		t.Errorf("trace %s recorded with open root", v.TraceID)
+		return
+	}
+	if len(v.Root.Children) != 3 {
+		t.Errorf("trace %s torn: %d children, want 3", v.TraceID, len(v.Root.Children))
+		return
+	}
+	for i, c := range v.Root.Children {
+		if c.Open || c.Name != "stage" || c.Attrs["k"] != i || len(c.Events) != 1 {
+			t.Errorf("trace %s torn child %d: %+v", v.TraceID, i, c)
+			return
+		}
+	}
+}

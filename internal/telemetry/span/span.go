@@ -1,0 +1,315 @@
+// Package span is the request-tracing layer of the observability
+// substrate: lightweight process-local span trees created per request
+// and propagated via context.Context through every layer that already
+// carries telemetry hooks — HTTP handlers, worker-pool queueing, the
+// detector cache, batch fan-out, the bounded witness searches, and the
+// store's schedule→WAL-append→fsync→ack pipeline.
+//
+// A Trace owns one tree of Spans. Each Span records a name, start time,
+// duration, key/value attributes, point-in-time events, and children.
+// Everything is safe for concurrent use (batch workers add sibling
+// spans from separate goroutines) and nil-receiver-safe: code holds a
+// possibly-nil *Span and pays one pointer check when tracing is off —
+// a request with no trace attached costs exactly one context lookup per
+// instrumented call.
+//
+// Trace IDs are W3C-trace-context compatible: ParseTraceparent accepts
+// an incoming `traceparent` header so external callers can correlate,
+// and Trace.Traceparent renders the outgoing one.
+package span
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultMaxSpans caps the spans of one trace. A request that fans out
+// into hundreds of detections (a big /v1/analyze) would otherwise grow
+// an unbounded tree; past the cap Child returns nil (all operations on
+// which are no-ops) and the trace counts the drop.
+const DefaultMaxSpans = 512
+
+// Trace is one request's span tree plus its identity and flags.
+type Trace struct {
+	id    string
+	name  string
+	start time.Time
+	root  *Span
+	max   int64
+
+	// nspans doubles as the span-ID counter: every span of the trace
+	// gets the next value, so IDs are unique and the count is the cap
+	// test.
+	nspans  atomic.Int64
+	dropped atomic.Int64
+
+	mu       sync.Mutex
+	flags    map[string]bool
+	finished bool
+	dur      time.Duration
+}
+
+// New starts a trace with a fresh random W3C trace ID; the root span is
+// open and named like the trace.
+func New(name string) *Trace { return newTrace(name, randHex(16)) }
+
+// Resume starts a trace continuing an external caller's trace ID (as
+// parsed from a `traceparent` header). An invalid ID falls back to a
+// fresh one.
+func Resume(name, traceID string) *Trace {
+	if !isHex(traceID, 32) || isZeroHex(traceID) {
+		traceID = randHex(16)
+	}
+	return newTrace(name, traceID)
+}
+
+func newTrace(name, id string) *Trace {
+	t := &Trace{id: id, name: name, start: time.Now(), max: DefaultMaxSpans, flags: map[string]bool{}}
+	t.root = &Span{tr: t, id: t.nextSpanID(), name: name, start: t.start}
+	return t
+}
+
+func (t *Trace) nextSpanID() string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(t.nspans.Add(1)))
+	return hex.EncodeToString(b[:])
+}
+
+// ID returns the 32-hex-digit trace ID.
+func (t *Trace) ID() string { return t.id }
+
+// Name returns the trace's name (the root span's name).
+func (t *Trace) Name() string { return t.name }
+
+// Start returns when the trace began.
+func (t *Trace) Start() time.Time { return t.start }
+
+// Root returns the root span.
+func (t *Trace) Root() *Span { return t.root }
+
+// Dropped returns how many Child calls the span cap rejected.
+func (t *Trace) Dropped() int64 { return t.dropped.Load() }
+
+// Flag marks the trace with a named condition ("error", "degraded",
+// "conflict", ...). The flight recorder keeps flagged traces in their
+// own capture rings, so they are never evicted by unflagged traffic.
+func (t *Trace) Flag(name string) {
+	if t == nil || name == "" {
+		return
+	}
+	t.mu.Lock()
+	t.flags[name] = true
+	t.mu.Unlock()
+}
+
+// Flags returns the trace's flags, sorted.
+func (t *Trace) Flags() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.flags))
+	for f := range t.flags {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Finish ends the root span (and with it the trace); the duration
+// freezes at the first call. Finish is idempotent and safe to call
+// while other goroutines still touch child spans — late spans simply
+// report their own (longer) lifetimes.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.root.End()
+	t.mu.Lock()
+	if !t.finished {
+		t.finished = true
+		t.dur = t.root.duration()
+	}
+	t.mu.Unlock()
+}
+
+// Duration returns the trace's duration: frozen once Finish has run,
+// live (time since start) before.
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.finished {
+		return t.dur
+	}
+	return time.Since(t.start)
+}
+
+// Attr is one key/value attribute of a span or event.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A builds an Attr.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Span is one timed operation in a trace. The nil *Span discards every
+// operation, so instrumented code never branches on "is tracing on".
+type Span struct {
+	tr    *Trace
+	id    string
+	name  string
+	start time.Time
+
+	mu     sync.Mutex
+	ended  bool
+	end    time.Time
+	attrs  []Attr
+	events []eventRec
+	kids   []*Span
+}
+
+type eventRec struct {
+	name  string
+	at    time.Time
+	attrs []Attr
+}
+
+// Child opens a sub-span. Returns nil (a valid no-op span) when the
+// receiver is nil or the trace's span cap is exhausted.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.tr
+	if t.nspans.Load() >= t.max {
+		t.dropped.Add(1)
+		return nil
+	}
+	c := &Span{tr: t, id: t.nextSpanID(), name: name, start: time.Now()}
+	s.mu.Lock()
+	s.kids = append(s.kids, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span; the first call wins.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Set records (or overrides) an attribute.
+func (s *Span) Set(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Event records a point-in-time annotation on the span.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	s.events = append(s.events, eventRec{name: name, at: now, attrs: attrs})
+	s.mu.Unlock()
+}
+
+// Fail records a non-nil error as the span's "error" attribute.
+func (s *Span) Fail(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.Set("error", err.Error())
+}
+
+// Flag marks the span's whole trace (see Trace.Flag).
+func (s *Span) Flag(name string) {
+	if s == nil {
+		return
+	}
+	s.tr.Flag(name)
+}
+
+// TraceID returns the 32-hex-digit ID of the span's trace ("" for the
+// nil span) — what response envelopes carry so a client can fetch the
+// forensic span tree afterwards.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.tr.id
+}
+
+func (s *Span) duration() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.end.Sub(s.start)
+	}
+	return time.Since(s.start)
+}
+
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// No entropy source: fall back to the clock; uniqueness within
+		// the process still holds well enough for local forensics.
+		binary.BigEndian.PutUint64(b, uint64(time.Now().UnixNano()))
+	}
+	allZero := true
+	for _, c := range b {
+		if c != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		b[len(b)-1] = 1
+	}
+	return hex.EncodeToString(b)
+}
+
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= '0' && c <= '9' || c >= 'a' && c <= 'f' {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+func isZeroHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,211 @@
+package span
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceBasics(t *testing.T) {
+	tr := New("req")
+	if len(tr.ID()) != 32 || isZeroHex(tr.ID()) {
+		t.Fatalf("trace ID %q not a 32-hex non-zero id", tr.ID())
+	}
+	root := tr.Root()
+	root.Set("path", "/v1/docs")
+	c := root.Child("detect")
+	c.Set("verdict", "conflict")
+	c.Event("cache", A("disposition", "miss"))
+	c.End()
+	tr.Flag("conflict")
+	tr.Finish()
+
+	v := tr.View()
+	if v.TraceID != tr.ID() || v.Name != "req" {
+		t.Fatalf("view identity wrong: %+v", v)
+	}
+	if got := v.Root.Attrs["path"]; got != "/v1/docs" {
+		t.Fatalf("root attr = %v", got)
+	}
+	if len(v.Root.Children) != 1 || v.Root.Children[0].Name != "detect" {
+		t.Fatalf("children = %+v", v.Root.Children)
+	}
+	d := v.Root.Children[0]
+	if d.Attrs["verdict"] != "conflict" || len(d.Events) != 1 || d.Events[0].Attrs["disposition"] != "miss" {
+		t.Fatalf("detect span = %+v", d)
+	}
+	if d.Open {
+		t.Fatal("ended span reported open")
+	}
+	if got := v.Flags; len(got) != 1 || got[0] != "conflict" {
+		t.Fatalf("flags = %v", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var sp *Span
+	sp.Set("k", 1)
+	sp.Event("e")
+	sp.End()
+	sp.Fail(nil)
+	sp.Flag("x")
+	if sp.Child("c") != nil {
+		t.Fatal("nil span Child must be nil")
+	}
+	if sp.TraceID() != "" {
+		t.Fatal("nil span TraceID must be empty")
+	}
+	var tr *Trace
+	tr.Flag("x")
+	tr.Finish()
+	if tr.Flags() != nil || tr.Duration() != 0 {
+		t.Fatal("nil trace must be inert")
+	}
+	var r *FlightRecorder
+	r.Record(nil)
+	if _, ok := r.Get("x"); ok {
+		t.Fatal("nil recorder Get must miss")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	if FromContext(nil) != nil {
+		t.Fatal("FromContext(nil ctx) must be nil")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("FromContext(empty ctx) must be nil")
+	}
+	ctx, sp := Start(context.Background(), "x")
+	if sp != nil || FromContext(ctx) != nil {
+		t.Fatal("Start with no span in ctx must pass through")
+	}
+
+	tr := New("req")
+	ctx = Context(context.Background(), tr.Root())
+	ctx2, child := Start(ctx, "stage")
+	if child == nil || FromContext(ctx2) != child {
+		t.Fatal("Start must create and carry a child")
+	}
+	if child.TraceID() != tr.ID() {
+		t.Fatal("child belongs to the wrong trace")
+	}
+}
+
+func TestSpanCap(t *testing.T) {
+	tr := New("big")
+	root := tr.Root()
+	made := 0
+	for i := 0; i < DefaultMaxSpans+100; i++ {
+		if root.Child("c") != nil {
+			made++
+		}
+	}
+	if made != DefaultMaxSpans-1 { // root counts against the cap
+		t.Fatalf("made %d children, want %d", made, DefaultMaxSpans-1)
+	}
+	if tr.Dropped() != 101 {
+		t.Fatalf("dropped = %d, want 101", tr.Dropped())
+	}
+	v := tr.View()
+	if v.DroppedSpans != 101 || len(v.Root.Children) != DefaultMaxSpans-1 {
+		t.Fatalf("view dropped=%d children=%d", v.DroppedSpans, len(v.Root.Children))
+	}
+}
+
+func TestTraceparent(t *testing.T) {
+	tr := New("req")
+	h := tr.Traceparent()
+	tid, pid, ok := ParseTraceparent(h)
+	if !ok || tid != tr.ID() || len(pid) != 16 {
+		t.Fatalf("round trip failed: %q -> %q %q %v", h, tid, pid, ok)
+	}
+
+	res := Resume("req", tid)
+	if res.ID() != tid {
+		t.Fatalf("Resume dropped the trace id: %q != %q", res.ID(), tid)
+	}
+	if bad := Resume("req", "zz"); bad.ID() == "zz" || len(bad.ID()) != 32 {
+		t.Fatalf("Resume of invalid id must regenerate, got %q", bad.ID())
+	}
+
+	for _, bad := range []string{
+		"",
+		"00-abc-def-01",
+		"01-" + tid + "-" + pid + "-01", // unknown version
+		"00-" + strings.Repeat("0", 32) + "-" + pid + "-01",
+		"00-" + tid + "-" + strings.Repeat("0", 16) + "-01",
+		"00-" + strings.Repeat("g", 32) + "-" + pid + "-01",
+	} {
+		if _, _, ok := ParseTraceparent(bad); ok {
+			t.Fatalf("ParseTraceparent accepted %q", bad)
+		}
+	}
+	if _, _, ok := ParseTraceparent("00-" + strings.ToUpper(tid) + "-" + pid + "-01"); !ok {
+		t.Fatal("uppercase hex must be accepted (case-insensitive header)")
+	}
+}
+
+func TestFinishFreezesDuration(t *testing.T) {
+	tr := New("req")
+	tr.Finish()
+	d1 := tr.Duration()
+	time.Sleep(5 * time.Millisecond)
+	if d2 := tr.Duration(); d2 != d1 {
+		t.Fatalf("duration moved after Finish: %v -> %v", d1, d2)
+	}
+}
+
+func TestViewWhileMutating(t *testing.T) {
+	// View must be safe and complete while other goroutines grow the tree.
+	tr := New("req")
+	root := tr.Root()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c := root.Child("w")
+				c.Set("k", 1)
+				c.Event("e", A("a", 2))
+				c.End()
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		v := tr.View()
+		if _, err := json.Marshal(v); err != nil {
+			t.Fatalf("snapshot not serializable: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestWriteTree(t *testing.T) {
+	tr := New("GET /v1/docs/{id}")
+	tr.Root().Set("status", 200)
+	c := tr.Root().Child("store.get")
+	c.Event("snapshot", A("lsn", 7))
+	c.End()
+	tr.Finish()
+
+	var b bytes.Buffer
+	tr.View().WriteTree(&b)
+	out := b.String()
+	for _, want := range []string{tr.ID(), "GET /v1/docs/{id}", "store.get", "· snapshot", "lsn=7", "status=200"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tree output missing %q:\n%s", want, out)
+		}
+	}
+}

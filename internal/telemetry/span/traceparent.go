@@ -1,0 +1,29 @@
+package span
+
+import "strings"
+
+// ParseTraceparent parses a W3C trace-context `traceparent` header
+// (version 00): "00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>".
+// It reports the trace and parent IDs, and false for a malformed or
+// all-zero header.
+func ParseTraceparent(h string) (traceID, parentID string, ok bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) != 4 || parts[0] != "00" {
+		return "", "", false
+	}
+	tid, pid := strings.ToLower(parts[1]), strings.ToLower(parts[2])
+	if !isHex(tid, 32) || isZeroHex(tid) || !isHex(pid, 16) || isZeroHex(pid) || !isHex(strings.ToLower(parts[3]), 2) {
+		return "", "", false
+	}
+	return tid, pid, true
+}
+
+// Traceparent renders the outgoing header for the trace, naming the
+// root span as the parent and marking the trace sampled (the flight
+// recorder records every completed request).
+func (t *Trace) Traceparent() string {
+	if t == nil {
+		return ""
+	}
+	return "00-" + t.id + "-" + t.root.id + "-01"
+}

@@ -1,12 +1,14 @@
 package xmlconflict
 
 import (
+	"context"
 	"io"
 	"time"
 
 	"xmlconflict/internal/core"
 	"xmlconflict/internal/telemetry"
 	"xmlconflict/internal/telemetry/obshttp"
+	"xmlconflict/internal/telemetry/span"
 )
 
 // This file is the observability facade: metrics, decision traces, and
@@ -100,6 +102,28 @@ func ServeObservability(addr string, st *Stats) (io.Closer, string, error) {
 		return nil, "", err
 	}
 	return srv, bound, nil
+}
+
+// SpanTrace is one request-scoped span tree: the engine's layers
+// (detection method choice, cache disposition, search budget spend,
+// store admission and WAL pipeline) attach child spans to whatever
+// trace rides the SearchOptions context. Create one with StartTrace,
+// thread its context via SearchOptions.Ctx (or store CreateCtx /
+// SubmitCtx), Finish it, and render or serialize the View.
+type SpanTrace = span.Trace
+
+// SpanView is the immutable snapshot of a finished (or in-flight)
+// trace, JSON-serializable and renderable as an indented tree with
+// WriteTree.
+type SpanView = span.TraceView
+
+// StartTrace opens a new span trace and returns it with a context
+// carrying its root span, ready to pass through SearchOptions.Ctx.
+// Layers that see no span in their context pay one pointer check and
+// allocate nothing.
+func StartTrace(ctx context.Context, name string) (context.Context, *SpanTrace) {
+	tr := span.New(name)
+	return span.Context(ctx, tr.Root()), tr
 }
 
 // ShrinkWitnessObserved is ShrinkWitness reporting the minimization's
