@@ -1,0 +1,181 @@
+// Command xload is the open-loop load harness for xserve: named
+// workload scenarios driven at a production-shaped arrival rate, with
+// SLO-gated JSON reports and trace-linked tail forensics.
+//
+// Usage:
+//
+//	xload -scenario conflict-heavy -duration 10s -out r.json
+//	xload -scenario read-heavy -rate 800 -arrival constant
+//	xload -list
+//	xload -compare old.json,new.json
+//	xload -check r.json
+//
+// A run preflights the target (GET /readyz must answer 200; GET
+// /healthz contributes the server's build/config identity to the
+// report), materializes an open-loop arrival schedule (constant or
+// Poisson at -rate, reproducible per -seed), and drives the scenario's
+// request mix with -concurrency workers. Latency is measured from each
+// request's *scheduled* arrival — coordinated-omission-safe: a server
+// that builds backlog sees that backlog in the percentiles.
+//
+// Scenarios (xload -list):
+//
+//	read-heavy      POST /v1/detect, 90% cache-friendly pairs
+//	conflict-heavy  /v1/docs update storm; stale-base ops rejected 409
+//	batch-analyze   /v1/detect/batch + /v1/analyze mixes
+//	store-churn     create/update/drop document lifecycles (WAL churn)
+//
+// The report (-out) is schema-stable JSON: counts, CO-safe and
+// service-time percentiles, shed/409/timeout rates, the server
+// identity that produced them, the SLO verdict, and tail samples whose
+// trace_id replays server-side via GET /v1/trace/{id}. -compare diffs
+// two reports deterministically (latency regressions > 30%, outcome-
+// rate drift > 2pp); -check validates a report's consistency and its
+// trace-forensics invariant (CI's smoke gate).
+//
+// Exit codes: 0 clean (or -report-only), 1 SLO violation / drift /
+// failed check, 2 harness errors (unreachable target, bad flags).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"xmlconflict/internal/loadgen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("xload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	target := fs.String("target", "http://127.0.0.1:8344", "base URL of the xserve under load")
+	scenario := fs.String("scenario", "", "scenario to run (see -list)")
+	list := fs.Bool("list", false, "list built-in scenarios and exit")
+	duration := fs.Duration("duration", 10*time.Second, "how long to schedule arrivals for")
+	rate := fs.Float64("rate", 0, "arrivals per second (0 = scenario default)")
+	arrival := fs.String("arrival", "", "arrival process: poisson or constant (default: scenario's)")
+	concurrency := fs.Int("concurrency", 0, "max in-flight requests (0 = scenario default)")
+	seed := fs.Int64("seed", 1, "workload seed (schedule and op mix are reproducible per seed)")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request budget; beyond it the request counts as a timeout")
+	tail := fs.Int("tail", 5, "kept tail samples per outcome kind")
+	out := fs.String("out", "", "write the JSON report here")
+	label := fs.String("label", "", "report label (default: scenario name)")
+	compare := fs.String("compare", "", "compare two reports: baseline.json,current.json")
+	check := fs.String("check", "", "validate a report file's consistency and trace-linked tails")
+	reportOnly := fs.Bool("report-only", false, "report SLO violations without failing the exit code")
+	quiet := fs.Bool("quiet", false, "suppress the live progress line")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch {
+	case *list:
+		for _, sc := range loadgen.Scenarios() {
+			store := ""
+			if sc.NeedsStore {
+				store = " [needs -store-dir]"
+			}
+			fmt.Fprintf(stdout, "%-15s %4.0f rps %-8s  %s%s\n", sc.Name, sc.Rate, sc.Arrival, sc.Description, store)
+		}
+		return 0
+	case *compare != "":
+		return runCompare(*compare, stdout, stderr)
+	case *check != "":
+		rep, err := loadgen.LoadReport(*check)
+		if err != nil {
+			fmt.Fprintf(stderr, "xload: %v\n", err)
+			return 2
+		}
+		if err := loadgen.Check(rep); err != nil {
+			fmt.Fprintf(stderr, "xload: check %s: %v\n", *check, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "xload: %s ok: scenario %s, %d sent, %d tail samples\n",
+			*check, rep.Scenario, rep.Counts.Sent, len(rep.Tail))
+		return 0
+	case *scenario == "":
+		fmt.Fprintln(stderr, "xload: need -scenario (or -list, -compare, -check)")
+		return 2
+	}
+
+	sc, err := loadgen.Lookup(*scenario)
+	if err != nil {
+		fmt.Fprintf(stderr, "xload: %v\n", err)
+		return 2
+	}
+	opts := loadgen.Options{
+		Target:      *target,
+		Duration:    *duration,
+		Rate:        *rate,
+		Arrival:     *arrival,
+		Concurrency: *concurrency,
+		Seed:        *seed,
+		Timeout:     *timeout,
+		TailSamples: *tail,
+		Label:       *label,
+	}
+	if !*quiet {
+		opts.Progress = stderr
+	}
+
+	// SIGINT/SIGTERM abort the run; whatever completed is still
+	// reported, so a soak cut short keeps its evidence.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	rep, err := loadgen.Run(ctx, sc, opts)
+	if err != nil && rep.Counts.Sent == 0 {
+		fmt.Fprintf(stderr, "xload: %v\n", err)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "xload: run aborted: %v (reporting the completed part)\n", err)
+	}
+	fmt.Fprint(stdout, loadgen.FormatReport(rep))
+	if *out != "" {
+		if werr := loadgen.WriteReport(*out, rep); werr != nil {
+			fmt.Fprintf(stderr, "xload: %v\n", werr)
+			return 2
+		}
+		fmt.Fprintf(stderr, "xload: wrote %s\n", *out)
+	}
+	if !rep.SLO.Pass && !*reportOnly {
+		return 1
+	}
+	return 0
+}
+
+// runCompare is the -compare mode. Exit 0 = no drift, 1 = drift,
+// 2 = errors.
+func runCompare(spec string, stdout, stderr *os.File) int {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		fmt.Fprintln(stderr, "xload: -compare needs baseline.json,current.json")
+		return 2
+	}
+	oldR, err := loadgen.LoadReport(strings.TrimSpace(parts[0]))
+	if err != nil {
+		fmt.Fprintf(stderr, "xload: %v\n", err)
+		return 2
+	}
+	newR, err := loadgen.LoadReport(strings.TrimSpace(parts[1]))
+	if err != nil {
+		fmt.Fprintf(stderr, "xload: %v\n", err)
+		return 2
+	}
+	findings, notes := loadgen.Compare(oldR, newR)
+	fmt.Fprint(stdout, loadgen.FormatComparison(oldR, newR, findings, notes))
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"xmlconflict/internal/loadgen"
+)
+
+// capture runs the CLI with file-backed stdout/stderr and returns the
+// exit code plus both streams.
+func capture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	outF, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errF, err := os.CreateTemp(t.TempDir(), "err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := run(args, outF, errF)
+	readBack := func(f *os.File) string {
+		data, rerr := os.ReadFile(f.Name())
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		f.Close()
+		return string(data)
+	}
+	return code, readBack(outF), readBack(errF)
+}
+
+func writeReport(t *testing.T, dir, name string, mut func(*loadgen.Report)) string {
+	t.Helper()
+	rep := loadgen.Report{
+		SchemaVersion: loadgen.ReportSchemaVersion,
+		Scenario:      "conflict-heavy",
+		Target:        "http://x",
+		Seed:          1,
+		Started:       time.Date(2026, 8, 7, 0, 0, 0, 0, time.UTC),
+		Config:        loadgen.RunConfig{Rate: 100, Arrival: loadgen.ArrivalPoisson, DurationMs: 1000},
+		Counts:        loadgen.Counts{Offered: 50, Sent: 50, OK: 40, Conflicts: 10},
+		Rates:         loadgen.Rates{ThroughputRPS: 50, OK: 0.8, Conflict: 0.2},
+		Latency:       loadgen.LatencyStats{P50Us: 1000, P90Us: 2000, P99Us: 5000, MaxUs: 6000, MeanUs: 1200},
+		Service:       loadgen.LatencyStats{P50Us: 900, P90Us: 1800, P99Us: 4500, MaxUs: 5500, MeanUs: 1100},
+		SLO:           loadgen.SLOResult{Pass: true},
+		Tail: []loadgen.TailSample{{
+			Kind: loadgen.TailConflict, Op: "docs.update", Status: 409,
+			LatencyUs: 2000, ServiceUs: 1800, TraceID: "beef", Resolved: true, TraceName: "http.docs.update",
+		}},
+	}
+	if mut != nil {
+		mut(&rep)
+	}
+	path := filepath.Join(dir, name)
+	if err := loadgen.WriteReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestListScenarios(t *testing.T) {
+	code, out, _ := capture(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, name := range []string{"read-heavy", "conflict-heavy", "batch-analyze", "store-churn"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestNoModeIsUsageError(t *testing.T) {
+	code, _, errOut := capture(t)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "need -scenario") {
+		t.Fatalf("stderr: %s", errOut)
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	code, _, errOut := capture(t, "-scenario", "nope")
+	if code != 2 || !strings.Contains(errOut, "nope") {
+		t.Fatalf("exit %d, stderr %s", code, errOut)
+	}
+}
+
+func TestCheckMode(t *testing.T) {
+	dir := t.TempDir()
+	good := writeReport(t, dir, "good.json", nil)
+	code, out, _ := capture(t, "-check", good)
+	if code != 0 || !strings.Contains(out, "ok") {
+		t.Fatalf("check of valid report: exit %d, out %s", code, out)
+	}
+
+	bad := writeReport(t, dir, "bad.json", func(r *loadgen.Report) { r.Tail = nil })
+	code, _, errOut := capture(t, "-check", bad)
+	if code != 1 || !strings.Contains(errOut, "tail") {
+		t.Fatalf("check of tail-less report: exit %d, stderr %s", code, errOut)
+	}
+
+	if code, _, _ = capture(t, "-check", filepath.Join(dir, "missing.json")); code != 2 {
+		t.Fatalf("check of missing file: exit %d, want 2", code)
+	}
+}
+
+func TestCompareMode(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", nil)
+	same := writeReport(t, dir, "same.json", nil)
+	worse := writeReport(t, dir, "worse.json", func(r *loadgen.Report) {
+		r.Latency.P99Us = 50_000
+	})
+
+	code, out, _ := capture(t, "-compare", base+","+same)
+	if code != 0 || !strings.Contains(out, "no drift") {
+		t.Fatalf("identical compare: exit %d, out %s", code, out)
+	}
+
+	code, out, _ = capture(t, "-compare", base+","+worse)
+	if code != 1 || !strings.Contains(out, "latency.p99_us") {
+		t.Fatalf("regressed compare: exit %d, out %s", code, out)
+	}
+
+	if code, _, _ = capture(t, "-compare", base); code != 2 {
+		t.Fatalf("malformed -compare spec: exit %d, want 2", code)
+	}
+}
+
+func TestRunModeUnreachableTarget(t *testing.T) {
+	// A run against a dead port must fail preflight with exit 2 and
+	// send nothing — not hang for the full duration.
+	start := time.Now()
+	code, _, errOut := capture(t,
+		"-scenario", "read-heavy", "-target", "http://127.0.0.1:1",
+		"-duration", "5s", "-quiet")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; stderr %s", code, errOut)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("preflight failure took %v", elapsed)
+	}
+}

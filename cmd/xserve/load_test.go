@@ -1,0 +1,94 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"xmlconflict/internal/loadgen"
+)
+
+// TestLoadgenConflictHeavyInProcess drives the conflict-heavy xload
+// scenario against an in-process xserve with the document store
+// mounted: the end-to-end contract the CI smoke job asserts out of
+// process. The run must produce a consistent report, observe real
+// 409s from stale-base updates, and carry at least one tail sample
+// whose trace ID resolved against GET /v1/trace/{id}.
+func TestLoadgenConflictHeavyInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load run takes ~2s")
+	}
+	s := newStoreServer(t, t.TempDir())
+	s.identity["store"] = "on"
+	s.identity["store_fsync"] = "never"
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+
+	sc, err := loadgen.Lookup("conflict-heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := loadgen.Run(context.Background(), sc, loadgen.Options{
+		Target:   ts.URL,
+		Duration: 2 * time.Second,
+		Rate:     80,
+		Seed:     7,
+		Label:    "in-process",
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	if err := loadgen.Check(rep); err != nil {
+		t.Fatalf("Check: %v\nreport: %s", err, loadgen.FormatReport(rep))
+	}
+	if rep.Counts.Conflicts == 0 {
+		t.Fatalf("conflict-heavy run saw no 409s:\n%s", loadgen.FormatReport(rep))
+	}
+	if rep.Identity["store"] != "on" {
+		t.Fatalf("report identity missing store=on: %v", rep.Identity)
+	}
+	resolved := false
+	for _, smp := range rep.Tail {
+		if smp.Resolved {
+			resolved = true
+			if smp.TraceName == "" {
+				t.Fatalf("resolved tail sample has empty trace name: %+v", smp)
+			}
+		}
+	}
+	if !resolved {
+		t.Fatalf("no tail sample resolved via /v1/trace/{id}:\n%s", loadgen.FormatReport(rep))
+	}
+
+	// Same report against itself: the comparison must be clean — the
+	// determinism -compare relies on.
+	findings, _ := loadgen.Compare(rep, rep)
+	if len(findings) != 0 {
+		t.Fatalf("self-compare found drift: %+v", findings)
+	}
+}
+
+// TestLoadgenPreflightRejectsStorelessTarget checks the preflight
+// contract: a NeedsStore scenario must refuse a target whose identity
+// says the store is off, before offering any load.
+func TestLoadgenPreflightRejectsStorelessTarget(t *testing.T) {
+	_, ts := testServer(t, 2) // no store mounted; identity says store=off
+
+	sc, err := loadgen.Lookup("conflict-heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := loadgen.Run(context.Background(), sc, loadgen.Options{
+		Target:   ts.URL,
+		Duration: time.Second,
+		Rate:     10,
+	})
+	if err == nil {
+		t.Fatalf("Run succeeded against a store-less target: %s", loadgen.FormatReport(rep))
+	}
+	if rep.Counts.Sent != 0 {
+		t.Fatalf("preflight failure still sent %d requests", rep.Counts.Sent)
+	}
+}

@@ -250,6 +250,11 @@ type server struct {
 	// store is the durable document store behind /v1/docs; nil unless
 	// -store-dir was given (the routes are not mounted without it).
 	store *store.Store
+	// identity is the server's build/config identity served on /healthz:
+	// what a load harness records so a report names exactly the
+	// configuration that produced its numbers. Written before serving
+	// starts, read-only afterwards.
+	identity map[string]string
 }
 
 func newServer(pool int, queueTimeout time.Duration, maxBody int64) *server {
@@ -273,6 +278,15 @@ func newServer(pool int, queueTimeout time.Duration, maxBody int64) *server {
 	}
 	s.cache.Instrument(s.metrics)
 	s.ready.Store(true)
+	s.identity = map[string]string{
+		"service":       "xserve",
+		"go":            runtime.Version(),
+		"pool":          strconv.Itoa(cap(s.pool)),
+		"queue_timeout": s.queueTimeout.String(),
+		"max_body":      strconv.FormatInt(s.maxBody, 10),
+		"cache_cap":     strconv.Itoa(s.cache.Cap()),
+		"store":         "off",
+	}
 	return s
 }
 
@@ -292,6 +306,7 @@ func (s *server) routes() *http.ServeMux {
 	}
 	obshttp.Mount(mux, obshttp.Options{
 		Metrics: s.metrics, Ready: s.ready.Load, RetryAfter: s.retryAfter, Recorder: s.recorder,
+		Identity: func() map[string]string { return s.identity },
 	})
 	return mux
 }
@@ -854,6 +869,7 @@ func run(args []string) int {
 	storeFsync := fs.String("store-fsync", "always", "store fsync policy: always, group, or never")
 	storeFsyncInterval := fs.Duration("store-fsync-interval", 5*time.Millisecond, "group-commit fsync cadence (with -store-fsync=group)")
 	storeSnapshotEvery := fs.Int("store-snapshot-every", 1024, "auto-snapshot (and truncate the WAL) after this many records; 0 = manual only")
+	addrFile := fs.String("addr-file", "", "write the bound listen address to this file once serving (harness hook: lets xload/CI find a :0 port)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -890,6 +906,10 @@ func run(args []string) int {
 		}
 		defer st.Close()
 		s.store = st
+		s.identity["store"] = "on"
+		s.identity["store_fsync"] = policy.String()
+		s.identity["store_fsync_interval"] = storeFsyncInterval.String()
+		s.identity["store_snapshot_every"] = strconv.Itoa(*storeSnapshotEvery)
 		fmt.Fprintf(os.Stderr, "xserve: document store at %s (fsync %s, lsn %d, %d docs)\n",
 			*storeDir, policy, st.LSN(), len(st.Docs()))
 	}
@@ -901,6 +921,14 @@ func run(args []string) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xserve: %v\n", err)
 		return 2
+	}
+	if *addrFile != "" {
+		// The hook a harness polls: once this file exists, the port is
+		// bound and the address inside it is connectable.
+		if werr := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); werr != nil {
+			fmt.Fprintf(os.Stderr, "xserve: -addr-file: %v\n", werr)
+			return 2
+		}
 	}
 	srv := t.server(s.routes())
 

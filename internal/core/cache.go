@@ -89,6 +89,10 @@ func (c *DetectorCache) Counts() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
 }
 
+// Cap returns the cache's verdict capacity (the effective value after
+// defaulting) — part of the configuration identity a server reports.
+func (c *DetectorCache) Cap() int { return c.cap }
+
 // Detect is core.Detect memoized: on a hit the cached verdict is
 // returned without touching the decision procedures; on a miss the
 // verdict is computed (with the cache's shared compiled-pattern cache

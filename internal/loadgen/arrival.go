@@ -1,0 +1,52 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// MaxArrivals bounds one run's schedule: the schedule is materialized
+// up front (so the dispatcher never does rate math under load), and a
+// misplaced -rate/-duration pair should fail preflight loudly instead
+// of silently truncating the run or exhausting memory.
+const MaxArrivals = 2_000_000
+
+// Schedule materializes the open-loop arrival offsets of a run: the
+// times (relative to the run start) at which requests are *scheduled*
+// to depart, independent of how fast earlier requests complete. The
+// constant process spaces arrivals exactly 1/rate apart; the Poisson
+// process draws exponential inter-arrival gaps (mean 1/rate) from the
+// seeded rng, so a run's schedule is reproducible per seed.
+func Schedule(arrival string, rate float64, d time.Duration, seed int64) ([]time.Duration, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("loadgen: arrival rate must be positive, got %g", rate)
+	}
+	if d <= 0 {
+		return nil, fmt.Errorf("loadgen: duration must be positive, got %v", d)
+	}
+	if expect := rate * d.Seconds(); expect > MaxArrivals {
+		return nil, fmt.Errorf("loadgen: rate %g over %v schedules ~%.0f arrivals, above the %d cap",
+			rate, d, expect, MaxArrivals)
+	}
+	gap := time.Duration(float64(time.Second) / rate)
+	var out []time.Duration
+	switch arrival {
+	case ArrivalConstant:
+		for t := time.Duration(0); t < d; t += gap {
+			out = append(out, t)
+		}
+	case ArrivalPoisson:
+		rng := rand.New(rand.NewSource(seed))
+		for t := time.Duration(0); ; {
+			t += time.Duration(rng.ExpFloat64() * float64(gap))
+			if t >= d {
+				break
+			}
+			out = append(out, t)
+		}
+	default:
+		return nil, fmt.Errorf("loadgen: unknown arrival process %q", arrival)
+	}
+	return out, nil
+}

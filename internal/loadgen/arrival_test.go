@@ -1,0 +1,114 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestScheduleConstantSpacing(t *testing.T) {
+	offs, err := Schedule(ArrivalConstant, 100, time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offs) != 100 {
+		t.Fatalf("100 rps over 1s scheduled %d arrivals, want 100", len(offs))
+	}
+	gap := 10 * time.Millisecond
+	for i, off := range offs {
+		if off != time.Duration(i)*gap {
+			t.Fatalf("arrival %d at %v, want %v", i, off, time.Duration(i)*gap)
+		}
+	}
+}
+
+func TestSchedulePoissonSeededAndShaped(t *testing.T) {
+	a, err := Schedule(ArrivalPoisson, 500, 2*time.Second, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Schedule(ArrivalPoisson, 500, 2*time.Second, 42)
+	c, _ := Schedule(ArrivalPoisson, 500, 2*time.Second, 43)
+
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different schedule lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverges at arrival %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical Poisson schedule")
+	}
+
+	// The count concentrates around rate*duration (=1000); a 3-sigma
+	// band for Poisson(1000) is roughly ±95.
+	if n := len(a); n < 850 || n > 1150 {
+		t.Fatalf("Poisson 500rps*2s scheduled %d arrivals, far from 1000", n)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatalf("schedule not monotone at %d: %v after %v", i, a[i], a[i-1])
+		}
+	}
+	if last := a[len(a)-1]; last >= 2*time.Second {
+		t.Fatalf("arrival %v scheduled at or past the %v horizon", last, 2*time.Second)
+	}
+}
+
+func TestScheduleRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name    string
+		arrival string
+		rate    float64
+		d       time.Duration
+		frag    string
+	}{
+		{"zero rate", ArrivalConstant, 0, time.Second, "rate must be positive"},
+		{"negative rate", ArrivalPoisson, -5, time.Second, "rate must be positive"},
+		{"zero duration", ArrivalConstant, 10, 0, "duration must be positive"},
+		{"over cap", ArrivalConstant, 1e9, time.Hour, "cap"},
+		{"unknown process", "bursty", 10, time.Second, "unknown arrival process"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Schedule(tc.arrival, tc.rate, tc.d, 1); err == nil || !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestScenarioCatalogValid(t *testing.T) {
+	scs := Scenarios()
+	if len(scs) < 4 {
+		t.Fatalf("catalog has %d scenarios, want at least 4", len(scs))
+	}
+	for i, sc := range scs {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("scenario %s invalid: %v", sc.Name, err)
+		}
+		if err := sc.SLO.Validate(); err != nil {
+			t.Errorf("scenario %s SLO invalid: %v", sc.Name, err)
+		}
+		if i > 0 && scs[i-1].Name >= sc.Name {
+			t.Errorf("catalog not sorted: %s before %s", scs[i-1].Name, sc.Name)
+		}
+		if _, err := Lookup(sc.Name); err != nil {
+			t.Errorf("Lookup(%s): %v", sc.Name, err)
+		}
+	}
+	if _, err := Lookup("no-such-scenario"); err == nil {
+		t.Fatal("Lookup of unknown scenario succeeded")
+	}
+}

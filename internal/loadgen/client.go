@@ -1,0 +1,278 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// Outcome classes a completed operation lands in; these are the
+// report's count buckets.
+const (
+	ClassOK       = "ok"       // 2xx
+	ClassConflict = "conflict" // 409 (detector admission rejection, stale base, exists)
+	ClassShed     = "shed"     // 503 (worker pool saturated, draining, store closed)
+	ClassTimeout  = "timeout"  // per-request budget exhausted client-side
+	ClassError    = "error"    // transport failure or any other status
+)
+
+// Client is the harness's HTTP side: preflight probes, request
+// execution, and post-run trace resolution against one target server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the target base URL ("http://host:port");
+// timeout bounds each individual request.
+func NewClient(target string, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return &Client{
+		base: strings.TrimRight(target, "/"),
+		hc: &http.Client{
+			Timeout: timeout,
+			Transport: &http.Transport{
+				// The open-loop harness holds up to Concurrency sockets to
+				// one host; the default per-host idle cap (2) would force a
+				// fresh TCP handshake onto most requests and measure the
+				// dialer instead of the server.
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 256,
+				IdleConnTimeout:     30 * time.Second,
+			},
+		},
+	}
+}
+
+// Target returns the base URL the client drives.
+func (c *Client) Target() string { return c.base }
+
+// Ready probes GET /readyz; any non-200 (or transport failure) is a
+// preflight error, carrying the body so a draining 503's envelope shows
+// up in the error message.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("loadgen: preflight /readyz: %w", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: preflight /readyz: %d %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+// Identity probes GET /healthz and returns the server's build/config
+// identity when it serves one (xserve answers JSON
+// {"status":"ok","identity":{...}}). A plain "ok" body — an older or
+// minimal server — yields an empty map, not an error: identity is
+// evidence for the report, not a gate.
+func (c *Client) Identity(ctx context.Context) (map[string]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: preflight /healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: preflight /healthz: %d %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var h struct {
+		Identity map[string]string `json:"identity"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil || h.Identity == nil {
+		return map[string]string{}, nil
+	}
+	return h.Identity, nil
+}
+
+// CreateDoc registers a document (scenario setup) and returns the
+// acknowledged LSN.
+func (c *Client) CreateDoc(doc, xml string) (uint64, error) {
+	body := jsonBody(map[string]any{"doc": doc, "xml": xml})
+	resp, err := c.hc.Post(c.base+"/v1/docs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	// 409 "exists" means a previous run (same seed) left the document
+	// behind; reuse it.
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+		return 0, fmt.Errorf("create %s: %d %s", doc, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	var ack struct {
+		LSN uint64 `json:"lsn"`
+	}
+	_ = json.Unmarshal(data, &ack)
+	return ack.LSN, nil
+}
+
+// result is one executed operation, classified.
+type result struct {
+	op      string
+	class   string
+	status  int
+	service time.Duration // send-to-done, excluding harness queueing
+	traceID string
+	lsn     uint64 // newest LSN the response reported (0 = none)
+	note    string // short failure detail for tail samples
+}
+
+// Do executes a generated request (and its chained follow-ups) and
+// classifies the outcome. A chain is measured as one composite
+// operation: its service time spans every link, its class is the first
+// non-OK link's (the remaining links are skipped — a failed create
+// makes the follow-up updates meaningless), and its trace ID is the
+// failing link's, or the last link's when all succeed.
+func (c *Client) Do(ctx context.Context, g genRequest) result {
+	begin := time.Now()
+	res := c.doOne(ctx, g)
+	for _, next := range g.chain {
+		if res.class != ClassOK {
+			break
+		}
+		link := c.doOne(ctx, next)
+		link.op = g.op
+		if link.lsn == 0 {
+			link.lsn = res.lsn
+		}
+		res = link
+	}
+	res.service = time.Since(begin)
+	return res
+}
+
+func (c *Client) doOne(ctx context.Context, g genRequest) result {
+	res := result{op: g.op}
+	var rd io.Reader
+	if len(g.body) > 0 {
+		rd = bytes.NewReader(g.body)
+	}
+	req, err := http.NewRequestWithContext(ctx, g.method, c.base+g.path, rd)
+	if err != nil {
+		res.class, res.note = ClassError, err.Error()
+		return res
+	}
+	if rd != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		res.note = err.Error()
+		res.class = ClassError
+		if errors.Is(err, context.DeadlineExceeded) || os.IsTimeout(err) {
+			res.class = ClassTimeout
+		}
+		return res
+	}
+	defer resp.Body.Close()
+	res.status = resp.StatusCode
+	res.traceID = resp.Header.Get("X-Trace-Id")
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 256<<10))
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		res.class = ClassOK
+	case resp.StatusCode == http.StatusConflict:
+		res.class = ClassConflict
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		res.class = ClassShed
+	default:
+		res.class = ClassError
+	}
+	if res.class != ClassOK {
+		res.note = envelopeNote(data)
+	}
+	if g.wantLSN && (res.class == ClassOK || res.class == ClassConflict) {
+		var ack struct {
+			LSN uint64 `json:"lsn"`
+			// A 409 envelope names the committed LSN it collided with:
+			// also a sighting of the store head.
+			Conflict struct {
+				WithLSN uint64 `json:"with_lsn"`
+			} `json:"conflict"`
+		}
+		if json.Unmarshal(data, &ack) == nil {
+			res.lsn = ack.LSN
+			if ack.Conflict.WithLSN > res.lsn {
+				res.lsn = ack.Conflict.WithLSN
+			}
+		}
+	}
+	return res
+}
+
+// envelopeNote extracts the machine-readable reason from a non-2xx
+// envelope for tail samples ("saturated", "conflict", ...).
+func envelopeNote(data []byte) string {
+	var e struct {
+		Reason string `json:"reason"`
+		Error  string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) != nil {
+		return ""
+	}
+	if e.Reason != "" {
+		return e.Reason
+	}
+	if len(e.Error) > 80 {
+		return e.Error[:80]
+	}
+	return e.Error
+}
+
+// ResolvedTrace is what trace resolution learned about one tail
+// sample's server-side span tree.
+type ResolvedTrace struct {
+	Name       string
+	DurationUs int64
+	Flags      []string
+	Spans      int
+}
+
+// ResolveTrace fetches GET /v1/trace/{id}: whether the server's flight
+// recorder still holds the trace, and its summary if so.
+func (c *Client) ResolveTrace(ctx context.Context, id string) (ResolvedTrace, bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/trace/"+id, nil)
+	if err != nil {
+		return ResolvedTrace{}, false
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return ResolvedTrace{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ResolvedTrace{}, false
+	}
+	var v struct {
+		Name       string   `json:"name"`
+		DurationUs int64    `json:"duration_us"`
+		Flags      []string `json:"flags"`
+		Root       struct {
+			Children []json.RawMessage `json:"children"`
+		} `json:"root"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&v); err != nil {
+		return ResolvedTrace{}, false
+	}
+	return ResolvedTrace{Name: v.Name, DurationUs: v.DurationUs, Flags: v.Flags, Spans: 1 + len(v.Root.Children)}, true
+}

@@ -1,0 +1,166 @@
+// Package loadgen is the production-shaped load harness behind cmd/xload:
+// named workload scenarios driven at an open-loop arrival rate against a
+// live xserve, with client-side latency recording that is safe against
+// coordinated omission, SLO gates evaluated over the run, and tail
+// forensics that link the slowest/errored/conflicting requests back to
+// their server-side span trees via X-Trace-Id and GET /v1/trace/{id}.
+//
+// The harness is open-loop: arrivals are scheduled by the arrival
+// process (constant or Poisson at -rate), not by completions, so a
+// slow server faces a growing backlog exactly like production traffic
+// instead of an accidentally self-throttling client. Latency is
+// measured from each request's *scheduled* arrival time — queueing
+// delay inside the harness counts against the server — which is what
+// makes the percentiles coordinated-omission-safe.
+//
+// A run produces a schema-stable JSON Report (xload -out) diffable
+// across commits (xload -compare, in the style of xbench trajectories)
+// and gated by per-scenario SLOs (p99 ceilings, shed/error/timeout
+// rate ceilings) that decide the process exit code.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Arrival process names accepted by Scenario.Arrival and -arrival.
+const (
+	ArrivalPoisson  = "poisson"
+	ArrivalConstant = "constant"
+)
+
+// genRequest is one generated API call: what to send and how to account
+// for it. Generation happens in the single dispatcher goroutine with a
+// seeded rng, so the op sequence of a run is deterministic per seed.
+type genRequest struct {
+	op     string // scenario-local op name, e.g. "detect.pool", "update.stale-delete"
+	method string
+	path   string
+	body   []byte
+	// wantLSN marks responses whose "lsn" field advances the scenario's
+	// view of the store head (the base for lagged-conflict ops).
+	wantLSN bool
+	// chain holds follow-up calls executed synchronously after this one
+	// by the same worker (store-churn cycles); the composite is measured
+	// and classified as one operation.
+	chain []genRequest
+}
+
+// Scenario is one named workload shape. Rate, Arrival, and Concurrency
+// are defaults a run may override; SLO is the gate the report is judged
+// against.
+type Scenario struct {
+	Name        string
+	Description string
+	Rate        float64 // arrivals per second
+	Arrival     string  // ArrivalPoisson or ArrivalConstant
+	Concurrency int     // max in-flight requests
+	NeedsStore  bool    // requires xserve -store-dir (the /v1/docs surface)
+	SLO         SLO
+
+	// setup runs once before the clock starts (create the scenario's
+	// documents, warm nothing else); nil when there is nothing to set up.
+	setup func(st *runState) error
+	// gen produces the next request of the run. Called from the
+	// dispatcher goroutine only.
+	gen func(st *runState, rng *rand.Rand) genRequest
+}
+
+// Validate checks a scenario definition (also applied after CLI
+// overrides, so a bad -rate fails preflight instead of mid-run).
+func (sc Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("loadgen: scenario has no name")
+	}
+	if sc.Rate <= 0 {
+		return fmt.Errorf("loadgen: scenario %s: rate must be positive, got %g", sc.Name, sc.Rate)
+	}
+	if sc.Arrival != ArrivalPoisson && sc.Arrival != ArrivalConstant {
+		return fmt.Errorf("loadgen: scenario %s: unknown arrival process %q (want %s or %s)",
+			sc.Name, sc.Arrival, ArrivalPoisson, ArrivalConstant)
+	}
+	if sc.Concurrency <= 0 {
+		return fmt.Errorf("loadgen: scenario %s: concurrency must be positive, got %d", sc.Name, sc.Concurrency)
+	}
+	if sc.gen == nil {
+		return fmt.Errorf("loadgen: scenario %s: no request generator", sc.Name)
+	}
+	return sc.SLO.Validate()
+}
+
+// Scenarios returns the built-in scenario catalog, sorted by name.
+func Scenarios() []Scenario {
+	out := []Scenario{
+		readHeavyScenario(),
+		conflictHeavyScenario(),
+		batchAnalyzeScenario(),
+		storeChurnScenario(),
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup finds a built-in scenario by name.
+func Lookup(name string) (Scenario, error) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	names := make([]string, 0, 4)
+	for _, sc := range Scenarios() {
+		names = append(names, sc.Name)
+	}
+	return Scenario{}, fmt.Errorf("loadgen: unknown scenario %q (have %v)", name, names)
+}
+
+// Options configures one run; zero values select the scenario defaults.
+type Options struct {
+	Target      string        // base URL of the xserve under load
+	Duration    time.Duration // how long arrivals are scheduled for
+	Rate        float64       // override Scenario.Rate when > 0
+	Arrival     string        // override Scenario.Arrival when non-empty
+	Concurrency int           // override Scenario.Concurrency when > 0
+	Seed        int64         // workload seed (0 = 1)
+	Timeout     time.Duration // per-request budget (0 = 5s)
+	TailSamples int           // kept samples per tail category (0 = 5)
+	Label       string        // report label ("" = scenario name)
+	// Progress, when non-nil, receives a throttled one-line status every
+	// ProgressEvery (0 = 1s) during the run.
+	Progress      progressSink
+	ProgressEvery time.Duration
+}
+
+func (o Options) withDefaults(sc Scenario) (Scenario, Options) {
+	if o.Rate > 0 {
+		sc.Rate = o.Rate
+	}
+	if o.Arrival != "" {
+		sc.Arrival = o.Arrival
+	}
+	if o.Concurrency > 0 {
+		sc.Concurrency = o.Concurrency
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.TailSamples <= 0 {
+		o.TailSamples = 5
+	}
+	if o.Duration <= 0 {
+		o.Duration = 10 * time.Second
+	}
+	if o.Label == "" {
+		o.Label = sc.Name
+	}
+	if o.ProgressEvery <= 0 {
+		o.ProgressEvery = time.Second
+	}
+	return sc, o
+}

@@ -1,0 +1,60 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"xmlconflict/internal/telemetry"
+)
+
+// progressSink is where the live run status line goes (stderr in the
+// CLI, a buffer in tests).
+type progressSink = io.Writer
+
+// progressLoop emits one throttled status line per interval while the
+// run is in flight — enough to watch a 10-minute soak without grepping
+// the report afterwards, cheap enough (atomic loads plus one histogram
+// walk per tick) to never distort the measurement.
+type progressLoop struct {
+	done chan struct{}
+	wait chan struct{}
+}
+
+func startProgress(opts Options, sc Scenario, cnt *counters, co *telemetry.Histogram, start time.Time) *progressLoop {
+	p := &progressLoop{done: make(chan struct{}), wait: make(chan struct{})}
+	if opts.Progress == nil {
+		close(p.wait)
+		return p
+	}
+	go func() {
+		defer close(p.wait)
+		tick := time.NewTicker(opts.ProgressEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-p.done:
+				return
+			case <-tick.C:
+				fmt.Fprintf(opts.Progress,
+					"xload %s: %.0fs/%.0fs sent=%d ok=%d 409=%d shed=%d timeout=%d err=%d p99=%s\n",
+					sc.Name, time.Since(start).Seconds(), opts.Duration.Seconds(),
+					cnt.sent.Load(), cnt.ok.Load(), cnt.conflict.Load(), cnt.shed.Load(),
+					cnt.timeout.Load(), cnt.errored.Load(),
+					time.Duration(co.Quantile(0.99)).Round(100*time.Microsecond))
+			}
+		}
+	}()
+	return p
+}
+
+// stop ends the loop and waits for the last line to flush, so the
+// final report never interleaves with a progress line.
+func (p *progressLoop) stop() {
+	select {
+	case <-p.done:
+	default:
+		close(p.done)
+	}
+	<-p.wait
+}

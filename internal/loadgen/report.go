@@ -1,0 +1,347 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ReportSchemaVersion identifies the xload report layout. Bump only
+// with a loader that still reads every older version: reports are
+// committed/archived and diffed across arbitrary commits.
+const ReportSchemaVersion = 1
+
+// Tail sample kinds.
+const (
+	TailSlow     = "slow"
+	TailConflict = "conflict"
+	TailShed     = "shed"
+	TailError    = "error"
+	TailTimeout  = "timeout"
+)
+
+// RunConfig records exactly how the run was driven.
+type RunConfig struct {
+	Rate        float64 `json:"rate"`
+	Arrival     string  `json:"arrival"`
+	DurationMs  int64   `json:"duration_ms"`
+	Concurrency int     `json:"concurrency"`
+	TimeoutMs   int64   `json:"timeout_ms"`
+}
+
+// Counts are the outcome buckets of a run. Offered is how many
+// arrivals the schedule contained; Sent is how many were actually
+// issued (a canceled run sends fewer).
+type Counts struct {
+	Offered   int64 `json:"offered"`
+	Sent      int64 `json:"sent"`
+	OK        int64 `json:"ok"`
+	Conflicts int64 `json:"conflicts"`
+	Shed      int64 `json:"shed"`
+	Timeouts  int64 `json:"timeouts"`
+	Errors    int64 `json:"errors"`
+}
+
+// Rates are the counts as fractions of sent requests, plus the
+// achieved throughput; all rounded to 3 decimals so committed reports
+// diff cleanly.
+type Rates struct {
+	ThroughputRPS float64 `json:"throughput_rps"`
+	OK            float64 `json:"ok"`
+	Conflict      float64 `json:"conflict"`
+	Shed          float64 `json:"shed"`
+	Timeout       float64 `json:"timeout"`
+	Error         float64 `json:"error"`
+}
+
+// LatencyStats are microsecond quantiles of one latency distribution.
+type LatencyStats struct {
+	P50Us  int64 `json:"p50_us"`
+	P90Us  int64 `json:"p90_us"`
+	P99Us  int64 `json:"p99_us"`
+	MaxUs  int64 `json:"max_us"`
+	MeanUs int64 `json:"mean_us"`
+}
+
+// TailSample is one kept forensic sample: the request, its latency,
+// and the server-side trace it links to. Resolved reports whether
+// GET /v1/trace/{id} replayed the trace after the run (the flight
+// recorder pins conflicting/errored/slow traces, so tails should
+// resolve; fast OK traffic may have been evicted).
+type TailSample struct {
+	Kind      string `json:"kind"`
+	Op        string `json:"op"`
+	Status    int    `json:"status,omitempty"`
+	Note      string `json:"note,omitempty"`
+	LatencyUs int64  `json:"latency_us"`
+	ServiceUs int64  `json:"service_us"`
+	TraceID   string `json:"trace_id,omitempty"`
+	Resolved  bool   `json:"resolved,omitempty"`
+	// Trace summary, present when Resolved: what the server's span tree
+	// says this request spent its time on.
+	TraceName       string   `json:"trace_name,omitempty"`
+	TraceDurationUs int64    `json:"trace_duration_us,omitempty"`
+	TraceFlags      []string `json:"trace_flags,omitempty"`
+}
+
+// Report is the schema-stable JSON artifact of one run: everything
+// needed to reproduce it (scenario, seed, config, server identity) and
+// everything needed to judge it (counts, CO-safe latency, SLO verdict,
+// trace-linked tails).
+type Report struct {
+	SchemaVersion int               `json:"schema_version"`
+	Label         string            `json:"label"`
+	Scenario      string            `json:"scenario"`
+	Description   string            `json:"description,omitempty"`
+	Target        string            `json:"target"`
+	Seed          int64             `json:"seed"`
+	Started       time.Time         `json:"started"`
+	Config        RunConfig         `json:"config"`
+	Identity      map[string]string `json:"identity,omitempty"`
+	Counts        Counts            `json:"counts"`
+	Rates         Rates             `json:"rates"`
+	// Latency is coordinated-omission-safe: measured from each request's
+	// scheduled arrival time, so harness queueing under an overloaded
+	// server inflates these percentiles instead of hiding in omitted
+	// sends. Service is send-to-done only — the pair's gap is the
+	// backlog the server built.
+	Latency LatencyStats `json:"latency"`
+	Service LatencyStats `json:"service"`
+	SLO     SLOResult    `json:"slo"`
+	Tail    []TailSample `json:"tail,omitempty"`
+}
+
+// worstTrace returns the trace ID of the worst (highest-latency) tail
+// sample of the given kind, "" when none was kept.
+func (r *Report) worstTrace(kind string) string {
+	var best string
+	var bestLat int64 = -1
+	for _, t := range r.Tail {
+		if t.Kind == kind && t.TraceID != "" && t.LatencyUs > bestLat {
+			best, bestLat = t.TraceID, t.LatencyUs
+		}
+	}
+	return best
+}
+
+// round3 rounds to 3 decimals for diff-stable committed reports.
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+// WriteReport writes the report as indented JSON.
+func WriteReport(path string, r Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadReport reads and version-checks a report file.
+func LoadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.SchemaVersion == 0 || r.SchemaVersion > ReportSchemaVersion {
+		return Report{}, fmt.Errorf("%s: unsupported report schema version %d", path, r.SchemaVersion)
+	}
+	return r, nil
+}
+
+// Check validates a report's internal consistency — what the CI smoke
+// job asserts about an artifact before trusting its numbers. Beyond
+// schema shape it demands the trace-forensics invariant: a run that
+// kept tail samples must have at least one that carries a trace ID,
+// and at least one trace must have resolved server-side.
+func Check(r Report) error {
+	if r.Scenario == "" {
+		return fmt.Errorf("loadgen: report has no scenario")
+	}
+	c := r.Counts
+	if c.Sent > c.Offered {
+		return fmt.Errorf("loadgen: report sent %d > offered %d", c.Sent, c.Offered)
+	}
+	if sum := c.OK + c.Conflicts + c.Shed + c.Timeouts + c.Errors; sum != c.Sent {
+		return fmt.Errorf("loadgen: outcome classes sum to %d, sent %d", sum, c.Sent)
+	}
+	if c.Sent == 0 {
+		return fmt.Errorf("loadgen: report sent nothing")
+	}
+	if c.OK > 0 && r.Latency.P99Us == 0 && r.Service.P99Us == 0 {
+		return fmt.Errorf("loadgen: %d ok requests but empty latency distribution", c.OK)
+	}
+	if len(r.Tail) == 0 {
+		return fmt.Errorf("loadgen: report kept no tail samples")
+	}
+	traced, resolved := 0, 0
+	for _, t := range r.Tail {
+		if t.TraceID != "" {
+			traced++
+		}
+		if t.Resolved {
+			resolved++
+		}
+	}
+	if traced == 0 {
+		return fmt.Errorf("loadgen: no tail sample carries a trace id")
+	}
+	if resolved == 0 {
+		return fmt.Errorf("loadgen: no tail trace resolved via /v1/trace/{id}")
+	}
+	return nil
+}
+
+// CompareThreshold flags latency quantiles that grew by more than 30%
+// between two reports — aligned with the xbench trajectory comparator.
+const CompareThreshold = 0.30
+
+// RateDriftPP flags outcome-rate changes above 2 percentage points:
+// a run whose shed or conflict rate moved that much is a different
+// workload outcome, whatever the latencies did.
+const RateDriftPP = 0.02
+
+// CompareFinding is one flagged drift between two reports.
+type CompareFinding struct {
+	Metric string
+	Old    float64
+	New    float64
+}
+
+// Compare diffs two reports of the same scenario: latency quantile
+// regressions beyond CompareThreshold and outcome-rate drifts beyond
+// RateDriftPP, deterministically ordered. Notes report comparability
+// hazards (different scenarios, seeds, rates, or server identities).
+func Compare(oldR, newR Report) (findings []CompareFinding, notes []string) {
+	if oldR.Scenario != newR.Scenario {
+		notes = append(notes, fmt.Sprintf("scenario mismatch: %s vs %s — numbers are not comparable",
+			oldR.Scenario, newR.Scenario))
+		return nil, notes
+	}
+	if oldR.Seed != newR.Seed {
+		notes = append(notes, fmt.Sprintf("seed mismatch: %d vs %d", oldR.Seed, newR.Seed))
+	}
+	if oldR.Config.Rate != newR.Config.Rate || oldR.Config.Arrival != newR.Config.Arrival {
+		notes = append(notes, fmt.Sprintf("drive mismatch: %g/%s vs %g/%s",
+			oldR.Config.Rate, oldR.Config.Arrival, newR.Config.Rate, newR.Config.Arrival))
+	}
+	for _, k := range identityDrift(oldR.Identity, newR.Identity) {
+		notes = append(notes, fmt.Sprintf("identity drift: %s: %q vs %q",
+			k, oldR.Identity[k], newR.Identity[k]))
+	}
+	lat := func(name string, o, n int64) {
+		if o > 0 && float64(n) > float64(o)*(1+CompareThreshold) {
+			findings = append(findings, CompareFinding{Metric: name, Old: float64(o), New: float64(n)})
+		}
+	}
+	lat("latency.p50_us", oldR.Latency.P50Us, newR.Latency.P50Us)
+	lat("latency.p90_us", oldR.Latency.P90Us, newR.Latency.P90Us)
+	lat("latency.p99_us", oldR.Latency.P99Us, newR.Latency.P99Us)
+	lat("service.p99_us", oldR.Service.P99Us, newR.Service.P99Us)
+	rate := func(name string, o, n float64) {
+		if n-o > RateDriftPP || o-n > RateDriftPP {
+			findings = append(findings, CompareFinding{Metric: name, Old: o, New: n})
+		}
+	}
+	rate("rates.shed", oldR.Rates.Shed, newR.Rates.Shed)
+	rate("rates.conflict", oldR.Rates.Conflict, newR.Rates.Conflict)
+	rate("rates.timeout", oldR.Rates.Timeout, newR.Rates.Timeout)
+	rate("rates.error", oldR.Rates.Error, newR.Rates.Error)
+	if o, n := oldR.Rates.ThroughputRPS, newR.Rates.ThroughputRPS; o > 0 && n < o*(1-CompareThreshold) {
+		findings = append(findings, CompareFinding{Metric: "rates.throughput_rps", Old: o, New: n})
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].Metric < findings[j].Metric })
+	return findings, notes
+}
+
+// identityDrift returns the sorted keys whose values differ between
+// two identity maps (including keys present on one side only).
+func identityDrift(a, b map[string]string) []string {
+	keys := map[string]bool{}
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	var out []string
+	for k := range keys {
+		if a[k] != b[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FormatComparison renders a comparison as the human-readable report
+// the CLI prints.
+func FormatComparison(oldR, newR Report, findings []CompareFinding, notes []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "xload comparison: %s (baseline) vs %s (current), scenario %s\n",
+		labelOr(oldR.Label, "old"), labelOr(newR.Label, "new"), newR.Scenario)
+	if len(findings) == 0 {
+		b.WriteString("no drift above thresholds\n")
+	}
+	for _, f := range findings {
+		fmt.Fprintf(&b, "DRIFT %-22s %g -> %g\n", f.Metric, round3(f.Old), round3(f.New))
+	}
+	for _, n := range notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func labelOr(label, fallback string) string {
+	if label == "" {
+		return fallback
+	}
+	return label
+}
+
+// FormatReport renders the run summary the CLI prints after a run.
+func FormatReport(r Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s against %s: %d offered, %d sent over %gs (%.1f rps achieved)\n",
+		r.Scenario, r.Target, r.Counts.Offered, r.Counts.Sent,
+		float64(r.Config.DurationMs)/1000, r.Rates.ThroughputRPS)
+	fmt.Fprintf(&b, "  outcomes: ok %d (%.1f%%), 409 %d (%.1f%%), shed %d (%.1f%%), timeout %d, error %d\n",
+		r.Counts.OK, r.Rates.OK*100, r.Counts.Conflicts, r.Rates.Conflict*100,
+		r.Counts.Shed, r.Rates.Shed*100, r.Counts.Timeouts, r.Counts.Errors)
+	fmt.Fprintf(&b, "  latency (CO-safe): p50 %s p90 %s p99 %s max %s; service p99 %s\n",
+		fmtUs(r.Latency.P50Us), fmtUs(r.Latency.P90Us), fmtUs(r.Latency.P99Us),
+		fmtUs(r.Latency.MaxUs), fmtUs(r.Service.P99Us))
+	if r.SLO.Pass {
+		b.WriteString("  SLO: pass\n")
+	} else {
+		for _, v := range r.SLO.Violations {
+			fmt.Fprintf(&b, "  SLO VIOLATION: %s\n", v)
+		}
+	}
+	for _, t := range r.Tail {
+		res := "unresolved"
+		if t.Resolved {
+			res = fmt.Sprintf("resolved: %s %s flags=%v", t.TraceName, fmtUs(t.TraceDurationUs), t.TraceFlags)
+		}
+		fmt.Fprintf(&b, "  tail %-8s %-18s %s trace=%s %s\n", t.Kind, t.Op, fmtUs(t.LatencyUs), orDash(t.TraceID), res)
+	}
+	return b.String()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func fmtUs(us int64) string {
+	return time.Duration(us * int64(time.Microsecond)).Round(10 * time.Microsecond).String()
+}

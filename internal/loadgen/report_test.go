@@ -1,0 +1,155 @@
+package loadgen
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// validReport builds the smallest report Check accepts.
+func validReport() Report {
+	return Report{
+		SchemaVersion: ReportSchemaVersion,
+		Label:         "t",
+		Scenario:      "conflict-heavy",
+		Target:        "http://x",
+		Seed:          1,
+		Started:       time.Date(2026, 8, 7, 0, 0, 0, 0, time.UTC),
+		Config:        RunConfig{Rate: 100, Arrival: ArrivalPoisson, DurationMs: 1000, Concurrency: 8, TimeoutMs: 5000},
+		Identity:      map[string]string{"service": "xserve", "store": "on"},
+		Counts:        Counts{Offered: 100, Sent: 100, OK: 80, Conflicts: 15, Shed: 5},
+		Rates:         Rates{ThroughputRPS: 100, OK: 0.8, Conflict: 0.15, Shed: 0.05},
+		Latency:       LatencyStats{P50Us: 900, P90Us: 2000, P99Us: 9000, MaxUs: 12000, MeanUs: 1100},
+		Service:       LatencyStats{P50Us: 800, P90Us: 1800, P99Us: 8000, MaxUs: 11000, MeanUs: 1000},
+		SLO:           SLOResult{Pass: true},
+		Tail: []TailSample{
+			{Kind: TailSlow, Op: "docs.update", Status: 200, LatencyUs: 12000, ServiceUs: 11000,
+				TraceID: "cafe", Resolved: true, TraceName: "http.docs.update", TraceDurationUs: 10900},
+			{Kind: TailConflict, Op: "docs.update", Status: 409, Note: "conflict",
+				LatencyUs: 2000, ServiceUs: 1800, TraceID: "dead"},
+		},
+	}
+}
+
+func TestReportRoundTripAndVersionGate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.json")
+	rep := validReport()
+	if err := WriteReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scenario != rep.Scenario || got.Counts != rep.Counts || got.Latency != rep.Latency {
+		t.Fatalf("round-trip mutated the report:\n%+v\nvs\n%+v", got, rep)
+	}
+	if got.Identity["store"] != "on" {
+		t.Fatalf("identity lost in round-trip: %v", got.Identity)
+	}
+
+	future := rep
+	future.SchemaVersion = ReportSchemaVersion + 1
+	fpath := filepath.Join(dir, "future.json")
+	if err := WriteReport(fpath, future); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(fpath); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Fatalf("future schema loaded without error: %v", err)
+	}
+}
+
+func TestCheckCatchesInconsistencies(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Report)
+		frag string
+	}{
+		{"no scenario", func(r *Report) { r.Scenario = "" }, "no scenario"},
+		{"sent exceeds offered", func(r *Report) { r.Counts.Sent = 200 }, "sent 200 > offered"},
+		{"classes do not sum", func(r *Report) { r.Counts.Shed = 0 }, "sum to"},
+		{"empty run", func(r *Report) { r.Counts = Counts{Offered: 10} }, "sent nothing"},
+		{"ok without latency", func(r *Report) { r.Latency, r.Service = LatencyStats{}, LatencyStats{} }, "empty latency"},
+		{"no tail", func(r *Report) { r.Tail = nil }, "no tail samples"},
+		{"untraced tail", func(r *Report) {
+			for i := range r.Tail {
+				r.Tail[i].TraceID, r.Tail[i].Resolved = "", false
+			}
+		}, "no tail sample carries a trace id"},
+		{"unresolved tails", func(r *Report) {
+			for i := range r.Tail {
+				r.Tail[i].Resolved = false
+			}
+		}, "no tail trace resolved"},
+	}
+	if err := Check(validReport()); err != nil {
+		t.Fatalf("valid report failed check: %v", err)
+	}
+	for _, tc := range mutations {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := validReport()
+			tc.mut(&rep)
+			if err := Check(rep); err == nil || !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("Check = %v, want mention of %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestCompareFlagsRegressionsDeterministically(t *testing.T) {
+	oldR := validReport()
+	if f, _ := Compare(oldR, oldR); len(f) != 0 {
+		t.Fatalf("self-compare drifted: %+v", f)
+	}
+
+	newR := validReport()
+	newR.Latency.P99Us = oldR.Latency.P99Us * 2      // > +30%
+	newR.Latency.P50Us = oldR.Latency.P50Us + 100    // ~+11%, under threshold
+	newR.Rates.Shed = oldR.Rates.Shed + 0.05         // > 2pp drift
+	newR.Rates.Conflict = oldR.Rates.Conflict + 0.01 // under 2pp
+	newR.Rates.ThroughputRPS = 60                    // > 30% drop
+
+	findings, _ := Compare(oldR, newR)
+	var metrics []string
+	for _, f := range findings {
+		metrics = append(metrics, f.Metric)
+	}
+	want := []string{"latency.p99_us", "rates.shed", "rates.throughput_rps"}
+	if strings.Join(metrics, ",") != strings.Join(want, ",") {
+		t.Fatalf("findings = %v, want exactly %v (sorted)", metrics, want)
+	}
+
+	// Repeatability: same inputs, same findings in the same order.
+	again, _ := Compare(oldR, newR)
+	for i := range findings {
+		if findings[i] != again[i] {
+			t.Fatalf("comparison not deterministic: %+v vs %+v", findings[i], again[i])
+		}
+	}
+}
+
+func TestCompareNotesComparabilityHazards(t *testing.T) {
+	oldR, newR := validReport(), validReport()
+	newR.Scenario = "read-heavy"
+	findings, notes := Compare(oldR, newR)
+	if len(findings) != 0 {
+		t.Fatalf("scenario mismatch still produced findings: %+v", findings)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "scenario mismatch") {
+		t.Fatalf("notes = %v, want a scenario-mismatch note", notes)
+	}
+
+	newR = validReport()
+	newR.Seed = 9
+	newR.Config.Rate = 200
+	newR.Identity["store_fsync"] = "never"
+	_, notes = Compare(oldR, newR)
+	joined := strings.Join(notes, "\n")
+	for _, frag := range []string{"seed mismatch", "drive mismatch", "identity drift: store_fsync"} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("notes missing %q:\n%s", frag, joined)
+		}
+	}
+}

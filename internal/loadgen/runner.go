@@ -1,0 +1,342 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xmlconflict/internal/telemetry"
+)
+
+// counters aggregates run outcomes; all fields are touched by worker
+// goroutines concurrently.
+type counters struct {
+	offered, sent                        atomic.Int64
+	ok, conflict, shed, timeout, errored atomic.Int64
+}
+
+func (c *counters) bucket(class string) *atomic.Int64 {
+	switch class {
+	case ClassOK:
+		return &c.ok
+	case ClassConflict:
+		return &c.conflict
+	case ClassShed:
+		return &c.shed
+	case ClassTimeout:
+		return &c.timeout
+	default:
+		return &c.errored
+	}
+}
+
+// tailEntry is one candidate forensic sample.
+type tailEntry struct {
+	res result
+	co  time.Duration
+}
+
+// tailKeeper retains, per outcome kind, the worst-K samples by
+// CO-safe latency plus the most recent one: the worst carry the SLO
+// story, the most recent is near-certain to still be held by the
+// server's flight recorder when the run resolves traces.
+type tailKeeper struct {
+	mu     sync.Mutex
+	k      int
+	worst  map[string][]tailEntry
+	latest map[string]tailEntry
+	has    map[string]bool
+}
+
+func newTailKeeper(k int) *tailKeeper {
+	return &tailKeeper{
+		k:      k,
+		worst:  map[string][]tailEntry{},
+		latest: map[string]tailEntry{},
+		has:    map[string]bool{},
+	}
+}
+
+// kindFor maps an outcome class to its tail category.
+func kindFor(class string) string {
+	switch class {
+	case ClassOK:
+		return TailSlow
+	case ClassConflict:
+		return TailConflict
+	case ClassShed:
+		return TailShed
+	case ClassTimeout:
+		return TailTimeout
+	default:
+		return TailError
+	}
+}
+
+func (t *tailKeeper) add(e tailEntry) {
+	kind := kindFor(e.res.class)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e.res.traceID != "" {
+		t.latest[kind], t.has[kind] = e, true
+	}
+	w := t.worst[kind]
+	if len(w) < t.k {
+		w = append(w, e)
+	} else {
+		// Replace the mildest kept sample if this one is worse.
+		min := 0
+		for i := range w {
+			if w[i].co < w[min].co {
+				min = i
+			}
+		}
+		if e.co <= w[min].co {
+			return
+		}
+		w[min] = e
+	}
+	t.worst[kind] = w
+}
+
+// drain returns the kept samples in deterministic order: kinds in
+// fixed order, worst-first within a kind, the latest sample appended
+// when it is not already among the worst.
+func (t *tailKeeper) drain() []tailEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []tailEntry
+	for _, kind := range []string{TailSlow, TailConflict, TailShed, TailTimeout, TailError} {
+		w := append([]tailEntry(nil), t.worst[kind]...)
+		for i := 0; i < len(w); i++ {
+			for j := i + 1; j < len(w); j++ {
+				if w[j].co > w[i].co {
+					w[i], w[j] = w[j], w[i]
+				}
+			}
+		}
+		if t.has[kind] {
+			dup := false
+			for _, e := range w {
+				if e.res.traceID == t.latest[kind].res.traceID {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				w = append(w, t.latest[kind])
+			}
+		}
+		out = append(out, w...)
+	}
+	return out
+}
+
+// Run drives one scenario against the target and returns its report.
+// The error covers harness failures (unreachable target, failed
+// preflight, invalid scenario); SLO violations are not an error — they
+// live in Report.SLO and the caller decides the exit code.
+func Run(ctx context.Context, sc Scenario, opts Options) (Report, error) {
+	sc, opts = opts.withDefaults(sc)
+	if opts.Target == "" {
+		return Report{}, fmt.Errorf("loadgen: no target")
+	}
+	if err := sc.Validate(); err != nil {
+		return Report{}, err
+	}
+	client := NewClient(opts.Target, opts.Timeout)
+
+	// Preflight: the server must be ready, and its identity is recorded
+	// so the report says exactly which build/config produced the numbers.
+	pctx, pcancel := context.WithTimeout(ctx, 10*time.Second)
+	defer pcancel()
+	if err := client.Ready(pctx); err != nil {
+		return Report{}, err
+	}
+	identity, err := client.Identity(pctx)
+	if err != nil {
+		return Report{}, err
+	}
+	if sc.NeedsStore && identity["store"] == "off" {
+		return Report{}, fmt.Errorf("loadgen: scenario %s needs the document store, but the target reports store=off (start xserve with -store-dir)", sc.Name)
+	}
+
+	st := &runState{seed: opts.Seed, client: client}
+	if sc.setup != nil {
+		if err := sc.setup(st); err != nil {
+			return Report{}, err
+		}
+	}
+
+	schedule, err := Schedule(sc.Arrival, sc.Rate, opts.Duration, opts.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	if len(schedule) == 0 {
+		return Report{}, fmt.Errorf("loadgen: empty schedule (rate %g over %v)", sc.Rate, opts.Duration)
+	}
+
+	var (
+		cnt   counters
+		co    = telemetry.NewHistogram() // scheduled-arrival -> done
+		svc   = telemetry.NewHistogram() // send -> done
+		tails = newTailKeeper(opts.TailSamples)
+		rng   = rand.New(rand.NewSource(opts.Seed))
+		jobs  = make(chan job, len(schedule))
+		wg    sync.WaitGroup
+	)
+	start := time.Now()
+
+	prog := startProgress(opts, sc, &cnt, co, start)
+
+	// Dispatcher: the open loop. Arrivals depart on schedule no matter
+	// how the earlier ones are doing; backlog shows up as CO latency.
+	go func() {
+		defer close(jobs)
+		for _, off := range schedule {
+			if !sleepUntil(ctx, start.Add(off)) {
+				return
+			}
+			cnt.offered.Add(1)
+			jobs <- job{off: off, g: sc.gen(st, rng)}
+		}
+	}()
+
+	for w := 0; w < sc.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if ctx.Err() != nil {
+					continue // aborted run: drain without sending
+				}
+				res := client.Do(ctx, j.g)
+				coLat := time.Since(start.Add(j.off))
+				cnt.sent.Add(1)
+				cnt.bucket(res.class).Add(1)
+				co.Observe(int64(coLat))
+				svc.Observe(int64(res.service))
+				if res.lsn > 0 {
+					st.noteLSN(res.lsn)
+				}
+				tails.add(tailEntry{res: res, co: coLat})
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	prog.stop()
+
+	rep := buildReport(sc, opts, identity, &cnt, co, svc, elapsed, start)
+
+	// Tail forensics: link each kept sample to its server-side span
+	// tree while the flight recorder still holds it.
+	rctx, rcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer rcancel()
+	for _, e := range tails.drain() {
+		ts := TailSample{
+			Kind:      kindFor(e.res.class),
+			Op:        e.res.op,
+			Status:    e.res.status,
+			Note:      e.res.note,
+			LatencyUs: e.co.Microseconds(),
+			ServiceUs: e.res.service.Microseconds(),
+			TraceID:   e.res.traceID,
+		}
+		if ts.TraceID != "" {
+			if rt, ok := client.ResolveTrace(rctx, ts.TraceID); ok {
+				ts.Resolved = true
+				ts.TraceName = rt.Name
+				ts.TraceDurationUs = rt.DurationUs
+				ts.TraceFlags = rt.Flags
+			}
+		}
+		rep.Tail = append(rep.Tail, ts)
+	}
+
+	rep.SLO = sc.SLO.Evaluate(&rep)
+	return rep, ctx.Err()
+}
+
+// job is one scheduled arrival handed from the dispatcher to a worker.
+type job struct {
+	off time.Duration
+	g   genRequest
+}
+
+// sleepUntil waits for the wall-clock deadline; false means the run
+// context died first.
+func sleepUntil(ctx context.Context, t time.Time) bool {
+	d := time.Until(t)
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func buildReport(sc Scenario, opts Options, identity map[string]string,
+	cnt *counters, co, svc *telemetry.Histogram, elapsed time.Duration, start time.Time) Report {
+	counts := Counts{
+		Offered:   cnt.offered.Load(),
+		Sent:      cnt.sent.Load(),
+		OK:        cnt.ok.Load(),
+		Conflicts: cnt.conflict.Load(),
+		Shed:      cnt.shed.Load(),
+		Timeouts:  cnt.timeout.Load(),
+		Errors:    cnt.errored.Load(),
+	}
+	rates := Rates{}
+	if counts.Sent > 0 {
+		n := float64(counts.Sent)
+		rates = Rates{
+			OK:       round3(float64(counts.OK) / n),
+			Conflict: round3(float64(counts.Conflicts) / n),
+			Shed:     round3(float64(counts.Shed) / n),
+			Timeout:  round3(float64(counts.Timeouts) / n),
+			Error:    round3(float64(counts.Errors) / n),
+		}
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rates.ThroughputRPS = round3(float64(counts.Sent) / secs)
+	}
+	stats := func(h *telemetry.Histogram) LatencyStats {
+		return LatencyStats{
+			P50Us:  h.Quantile(0.50) / 1000,
+			P90Us:  h.Quantile(0.90) / 1000,
+			P99Us:  h.Quantile(0.99) / 1000,
+			MaxUs:  h.Max() / 1000,
+			MeanUs: h.Mean() / 1000,
+		}
+	}
+	return Report{
+		SchemaVersion: ReportSchemaVersion,
+		Label:         opts.Label,
+		Scenario:      sc.Name,
+		Description:   sc.Description,
+		Target:        opts.Target,
+		Seed:          opts.Seed,
+		Started:       start.UTC(),
+		Config: RunConfig{
+			Rate:        sc.Rate,
+			Arrival:     sc.Arrival,
+			DurationMs:  opts.Duration.Milliseconds(),
+			Concurrency: sc.Concurrency,
+			TimeoutMs:   opts.Timeout.Milliseconds(),
+		},
+		Identity: identity,
+		Counts:   counts,
+		Rates:    rates,
+		Latency:  stats(co),
+		Service:  stats(svc),
+	}
+}

@@ -1,0 +1,157 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubTarget fakes just enough of xserve's surface for the runner:
+// readiness, identity, a detect endpoint that sheds every fifth
+// request, and a trace endpoint that resolves every ID it minted.
+func stubTarget(t *testing.T) *httptest.Server {
+	t.Helper()
+	var n atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"status":"ok","identity":{"service":"stub","store":"off"}}`)
+	})
+	mux.HandleFunc("POST /v1/detect", func(w http.ResponseWriter, r *http.Request) {
+		i := n.Add(1)
+		w.Header().Set("X-Trace-Id", fmt.Sprintf("trace-%04d", i))
+		if i%5 == 0 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error":"worker pool saturated","reason":"saturated"}`)
+			return
+		}
+		fmt.Fprintln(w, `{"conflict":false}`)
+	})
+	mux.HandleFunc("GET /v1/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.PathValue("id"), "trace-") {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, `{"name":"http.detect","duration_us":1234,"flags":["degraded"],"root":{"children":[{}]}}`)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRunAgainstStubClassifiesAndLinksTraces(t *testing.T) {
+	ts := stubTarget(t)
+	sc, err := Lookup("read-heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), sc, Options{
+		Target:   ts.URL,
+		Duration: 500 * time.Millisecond,
+		Rate:     200,
+		Arrival:  ArrivalConstant,
+		Seed:     3,
+		Label:    "stub",
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Counts.Offered != 100 {
+		t.Fatalf("constant 200rps over 500ms offered %d, want 100", rep.Counts.Offered)
+	}
+	if rep.Counts.Sent != rep.Counts.Offered {
+		t.Fatalf("sent %d of %d offered against an idle stub", rep.Counts.Sent, rep.Counts.Offered)
+	}
+	// Every fifth detect sheds: exactly 20 of 100.
+	if rep.Counts.Shed != 20 || rep.Counts.OK != 80 {
+		t.Fatalf("counts = %+v, want ok=80 shed=20", rep.Counts)
+	}
+	if rep.Rates.Shed != 0.2 {
+		t.Fatalf("shed rate = %g, want 0.2", rep.Rates.Shed)
+	}
+	if rep.Identity["service"] != "stub" {
+		t.Fatalf("identity = %v", rep.Identity)
+	}
+	if rep.Latency.P99Us == 0 || rep.Service.P99Us == 0 {
+		t.Fatalf("empty latency stats: %+v / %+v", rep.Latency, rep.Service)
+	}
+	// CO-safe latency is measured from scheduled arrival, so it can
+	// only exceed send-to-done service time.
+	if rep.Latency.P99Us < rep.Service.P99Us {
+		t.Fatalf("CO latency p99 %d below service p99 %d", rep.Latency.P99Us, rep.Service.P99Us)
+	}
+	if err := Check(rep); err != nil {
+		t.Fatalf("Check: %v\n%s", err, FormatReport(rep))
+	}
+	// The shed SLO gate (1%) must fire at a 20% shed rate, linking the
+	// worst shed sample's trace.
+	if rep.SLO.Pass {
+		t.Fatalf("20%% shed passed the read-heavy SLO: %+v", rep.SLO)
+	}
+	found := false
+	for _, v := range rep.SLO.Violations {
+		if v.Gate == "max_shed_rate" {
+			found = true
+			if !strings.HasPrefix(v.TraceID, "trace-") {
+				t.Fatalf("shed violation not trace-linked: %+v", v)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no max_shed_rate violation in %+v", rep.SLO.Violations)
+	}
+	for _, smp := range rep.Tail {
+		if smp.Resolved && smp.TraceName != "http.detect" {
+			t.Fatalf("resolved tail carries trace name %q", smp.TraceName)
+		}
+	}
+}
+
+func TestRunPreflightFailureSendsNothing(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"error":"draining","reason":"draining"}`)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	sc, _ := Lookup("read-heavy")
+	rep, err := Run(context.Background(), sc, Options{Target: ts.URL, Duration: time.Second, Rate: 10})
+	if err == nil || !strings.Contains(err.Error(), "readyz") {
+		t.Fatalf("err = %v, want a /readyz preflight failure", err)
+	}
+	if rep.Counts.Sent != 0 {
+		t.Fatalf("preflight failure still sent %d", rep.Counts.Sent)
+	}
+}
+
+func TestRunCanceledMidRunReportsPartial(t *testing.T) {
+	ts := stubTarget(t)
+	sc, _ := Lookup("read-heavy")
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	rep, err := Run(ctx, sc, Options{
+		Target:   ts.URL,
+		Duration: 10 * time.Second,
+		Rate:     100,
+		Arrival:  ArrivalConstant,
+	})
+	if err == nil {
+		t.Fatal("canceled run returned no error")
+	}
+	if rep.Counts.Sent == 0 {
+		t.Fatal("canceled run reported nothing sent")
+	}
+	if rep.Counts.Sent >= 1000 {
+		t.Fatalf("canceled run sent the whole schedule: %+v", rep.Counts)
+	}
+}

@@ -1,0 +1,258 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync/atomic"
+)
+
+// runState is the mutable cross-request state of one run: the store
+// head LSN as last observed by completed operations (workers advance
+// it, the dispatcher's generator reads it to build lagged bases), and
+// the scenario's document names.
+type runState struct {
+	seed   int64
+	client *Client
+	doc    string        // conflict-heavy's shared document
+	lsn    atomic.Uint64 // newest LSN seen in any response
+	cycle  int64         // store-churn cycle counter
+}
+
+// noteLSN advances the observed store head.
+func (st *runState) noteLSN(lsn uint64) {
+	for {
+		cur := st.lsn.Load()
+		if lsn <= cur || st.lsn.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// jsonBody marshals a request body; the inputs are all library-built
+// maps, so a marshal failure is a programming error.
+func jsonBody(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("loadgen: marshal request body: %v", err))
+	}
+	return b
+}
+
+// detectBody builds a POST /v1/detect body.
+func detectBody(read, kind, pattern, x string) []byte {
+	m := map[string]any{"read": read, kind: pattern}
+	if x != "" {
+		m["x"] = x
+	}
+	return jsonBody(m)
+}
+
+// detectPool is the fixed pair pool of the read-heavy scenario: small
+// patterns a production client would re-ask constantly, so the server's
+// process-lifetime verdict cache decides each exactly once.
+var detectPool = []struct {
+	read, kind, pattern, x string
+}{
+	{"//C", "insert", "/*/B", "<C/>"},
+	{"//A", "delete", "//B", ""},
+	{"//A[B]", "insert", "/*/B", "<A><B/></A>"},
+	{"/a/b//c", "insert", "/a/b", "<c/>"},
+	{"//X", "insert", "/*/Y", "<Z/>"},
+	{"//Q[R]", "delete", "//Q", ""},
+	{"/r//s[t]", "insert", "/r", "<s><t/></s>"},
+	{"//M", "delete", "/m/M", ""},
+}
+
+// readHeavyScenario is the cache-friendly serving workload: 90% of
+// detections come from a fixed pair pool (hot after the first asks),
+// 10% are fresh pairs that miss the verdict cache and run a real
+// bounded search.
+func readHeavyScenario() Scenario {
+	return Scenario{
+		Name:        "read-heavy",
+		Description: "POST /v1/detect: 90% cache-friendly pair pool, 10% fresh cache-missing pairs",
+		Rate:        400,
+		Arrival:     ArrivalPoisson,
+		Concurrency: 64,
+		SLO: SLO{
+			P99MaxMs:       250,
+			MaxShedRate:    0.01,
+			MaxErrorRate:   0.01,
+			MaxTimeoutRate: 0.005,
+		},
+		gen: func(st *runState, rng *rand.Rand) genRequest {
+			if rng.Intn(10) == 0 {
+				// A fresh label per ask defeats the verdict cache: this is
+				// the 10% that measures real search latency.
+				n := rng.Intn(1 << 20)
+				return genRequest{
+					op: "detect.fresh", method: http.MethodPost, path: "/v1/detect",
+					body: detectBody(fmt.Sprintf("//K%d", n), "insert", fmt.Sprintf("/*/K%d", n), "<W/>"),
+				}
+			}
+			p := detectPool[rng.Intn(len(detectPool))]
+			return genRequest{
+				op: "detect.pool", method: http.MethodPost, path: "/v1/detect",
+				body: detectBody(p.read, p.kind, p.pattern, p.x),
+			}
+		},
+	}
+}
+
+// conflictHeavyScenario is the /v1/docs update storm: concurrent
+// writers race one document through the detector's optimistic
+// admission. Inserts with base 0 always commit and advance the LSN;
+// deletes and reads pin a slightly stale base, so admission re-checks
+// them against the commits they missed — the delete does not commute
+// with a racing insert and the read's node semantics fire, so both are
+// rejected 409 with full conflict forensics. This is the paper's
+// commute-vs-conflict scheduling exercised as a workload.
+func conflictHeavyScenario() Scenario {
+	return Scenario{
+		Name:        "conflict-heavy",
+		Description: "/v1/docs update storm: committing inserts vs stale-base deletes/reads rejected 409 by detector admission",
+		Rate:        250,
+		Arrival:     ArrivalPoisson,
+		Concurrency: 32,
+		NeedsStore:  true,
+		SLO: SLO{
+			P99MaxMs:        500,
+			MaxShedRate:     0.10,
+			MaxErrorRate:    0.01,
+			MaxTimeoutRate:  0.01,
+			MinConflictRate: 0.05,
+		},
+		setup: func(st *runState) error {
+			st.doc = fmt.Sprintf("xload-inv-%d", st.seed)
+			res, err := st.client.CreateDoc(st.doc, "<inv><item><sku/></item></inv>")
+			if err != nil {
+				return fmt.Errorf("loadgen: conflict-heavy setup: %w", err)
+			}
+			st.noteLSN(res)
+			return nil
+		},
+		gen: func(st *runState, rng *rand.Rand) genRequest {
+			docPath := "/v1/docs/" + st.doc
+			// A lagged base: 1-4 commits behind the newest LSN this client
+			// has seen, which keeps the admission window short (bounded by
+			// the store's HistoryWindow) while still racing real commits.
+			base := st.lsn.Load()
+			if lag := uint64(1 + rng.Intn(4)); base > lag {
+				base -= lag
+			}
+			switch r := rng.Intn(100); {
+			case r < 40:
+				return genRequest{
+					op: "update.insert", method: http.MethodPost, path: docPath + "/update",
+					body:    jsonBody(map[string]any{"op": "insert", "pattern": "/inv", "x": "<item><new/></item>"}),
+					wantLSN: true,
+				}
+			case r < 65:
+				return genRequest{
+					op: "update.stale-delete", method: http.MethodPost, path: docPath + "/update",
+					body:    jsonBody(map[string]any{"op": "delete", "pattern": "//item", "base_lsn": base}),
+					wantLSN: true,
+				}
+			case r < 85:
+				return genRequest{
+					op: "read.stale", method: http.MethodPost, path: docPath + "/update",
+					body:    jsonBody(map[string]any{"op": "read", "pattern": "//item", "semantics": "node", "base_lsn": base}),
+					wantLSN: true,
+				}
+			default:
+				return genRequest{op: "doc.get", method: http.MethodGet, path: docPath, wantLSN: true}
+			}
+		},
+	}
+}
+
+// analyzeProgram is the pidgin program of the batch-analyze scenario: a
+// small read/insert mix with both independent and dependent statements,
+// so /v1/analyze exercises the full pairwise dependence matrix.
+const analyzeProgram = "x = doc <x><B/><A/></x>\n" +
+	"y = read $x//A\n" +
+	"insert $x/B, <C/>\n" +
+	"z = read $x//C\n" +
+	"delete $x//B\n" +
+	"w = read $x/*/A\n"
+
+// batchAnalyzeScenario mixes the two fan-out endpoints: batches of
+// detect pairs (60%) and whole-program dependence analyses (40%), both
+// of which ride the server's worker pool and verdict cache.
+func batchAnalyzeScenario() Scenario {
+	return Scenario{
+		Name:        "batch-analyze",
+		Description: "60% POST /v1/detect/batch (6-pair batches), 40% POST /v1/analyze (6-statement program)",
+		Rate:        120,
+		Arrival:     ArrivalPoisson,
+		Concurrency: 32,
+		SLO: SLO{
+			P99MaxMs:       1000,
+			MaxShedRate:    0.05,
+			MaxErrorRate:   0.01,
+			MaxTimeoutRate: 0.01,
+		},
+		gen: func(st *runState, rng *rand.Rand) genRequest {
+			if rng.Intn(100) < 60 {
+				pairs := make([]map[string]any, 6)
+				for i := range pairs {
+					p := detectPool[rng.Intn(len(detectPool))]
+					m := map[string]any{"read": p.read, p.kind: p.pattern}
+					if p.x != "" {
+						m["x"] = p.x
+					}
+					pairs[i] = m
+				}
+				return genRequest{
+					op: "batch", method: http.MethodPost, path: "/v1/detect/batch",
+					body: jsonBody(map[string]any{"pairs": pairs}),
+				}
+			}
+			return genRequest{
+				op: "analyze", method: http.MethodPost, path: "/v1/analyze",
+				body: jsonBody(map[string]any{"program": analyzeProgram}),
+			}
+		},
+	}
+}
+
+// storeChurnScenario measures the durable commit path end to end: each
+// arrival is one full document lifecycle — create, three admitted
+// inserts (each based on the LSN the previous ack returned), drop —
+// executed synchronously by one worker and measured as a single
+// composite operation. With xserve's -store-snapshot-every this also
+// churns snapshot+truncate cycles, and after a crash the same workload
+// doubles as recovery pressure.
+func storeChurnScenario() Scenario {
+	return Scenario{
+		Name:        "store-churn",
+		Description: "per-arrival document lifecycle: create, 3 chained inserts, drop (WAL commit + snapshot churn)",
+		Rate:        60,
+		Arrival:     ArrivalConstant,
+		Concurrency: 16,
+		NeedsStore:  true,
+		SLO: SLO{
+			P99MaxMs:       800,
+			MaxShedRate:    0.05,
+			MaxErrorRate:   0.01,
+			MaxTimeoutRate: 0.01,
+		},
+		gen: func(st *runState, rng *rand.Rand) genRequest {
+			c := st.cycle
+			st.cycle++
+			doc := fmt.Sprintf("xload-churn-%d-%d", st.seed, c)
+			docPath := "/v1/docs/" + doc
+			ins := genRequest{
+				op: "churn.insert", method: http.MethodPost, path: docPath + "/update",
+				body: jsonBody(map[string]any{"op": "insert", "pattern": "/log", "x": "<entry><v/></entry>"}),
+			}
+			return genRequest{
+				op: "churn.cycle", method: http.MethodPost, path: "/v1/docs",
+				body:  jsonBody(map[string]any{"doc": doc, "xml": "<log/>"}),
+				chain: []genRequest{ins, ins, ins, {op: "churn.drop", method: http.MethodDelete, path: docPath}},
+			}
+		},
+	}
+}

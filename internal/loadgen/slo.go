@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SLO is a scenario's service-level gate, evaluated over a finished
+// run's report. Zero fields are not enforced. Rates are fractions of
+// sent requests in [0,1]. MinConflictRate is a workload-shape
+// assertion (the conflict-heavy scenario is meaningless if nothing
+// conflicts), not a service property.
+type SLO struct {
+	P99MaxMs        float64 `json:"p99_max_ms,omitempty"`
+	P50MaxMs        float64 `json:"p50_max_ms,omitempty"`
+	MaxShedRate     float64 `json:"max_shed_rate,omitempty"`
+	MaxErrorRate    float64 `json:"max_error_rate,omitempty"`
+	MaxTimeoutRate  float64 `json:"max_timeout_rate,omitempty"`
+	MinConflictRate float64 `json:"min_conflict_rate,omitempty"`
+}
+
+// Validate rejects nonsense thresholds.
+func (s SLO) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"p99_max_ms", s.P99MaxMs}, {"p50_max_ms", s.P50MaxMs},
+		{"max_shed_rate", s.MaxShedRate}, {"max_error_rate", s.MaxErrorRate},
+		{"max_timeout_rate", s.MaxTimeoutRate}, {"min_conflict_rate", s.MinConflictRate},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("loadgen: slo %s must be non-negative, got %g", f.name, f.v)
+		}
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"max_shed_rate", s.MaxShedRate}, {"max_error_rate", s.MaxErrorRate},
+		{"max_timeout_rate", s.MaxTimeoutRate}, {"min_conflict_rate", s.MinConflictRate},
+	} {
+		if f.v > 1 {
+			return fmt.Errorf("loadgen: slo %s is a fraction in [0,1], got %g", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// SLOViolation is one failed gate. TraceID, when non-empty, names the
+// worst tail sample of the violating class — the server-side span tree
+// to replay via GET /v1/trace/{id} when diagnosing the violation.
+type SLOViolation struct {
+	Gate    string  `json:"gate"`
+	Limit   float64 `json:"limit"`
+	Actual  float64 `json:"actual"`
+	TraceID string  `json:"trace_id,omitempty"`
+}
+
+func (v SLOViolation) String() string {
+	s := fmt.Sprintf("SLO %s: %g exceeds limit %g", v.Gate, v.Actual, v.Limit)
+	if v.Gate == "min_conflict_rate" {
+		s = fmt.Sprintf("SLO %s: %g below floor %g", v.Gate, v.Actual, v.Limit)
+	}
+	if v.TraceID != "" {
+		s += " (worst trace " + v.TraceID + ")"
+	}
+	return s
+}
+
+// SLOResult is the report's verdict: every gate that fired, or a pass.
+type SLOResult struct {
+	Pass       bool           `json:"pass"`
+	Violations []SLOViolation `json:"violations,omitempty"`
+}
+
+// Evaluate judges a report against the SLO. Tail samples link each
+// violation to forensics: the p99 gates pick the slowest kept sample,
+// the rate gates the worst sample of their own class.
+func (s SLO) Evaluate(rep *Report) SLOResult {
+	var out SLOResult
+	add := func(gate string, limit, actual float64, tailKind string) {
+		out.Violations = append(out.Violations, SLOViolation{
+			Gate: gate, Limit: limit, Actual: actual, TraceID: rep.worstTrace(tailKind),
+		})
+	}
+	p99Ms := float64(rep.Latency.P99Us) / 1000
+	p50Ms := float64(rep.Latency.P50Us) / 1000
+	if s.P99MaxMs > 0 && p99Ms > s.P99MaxMs {
+		add("p99_max_ms", s.P99MaxMs, round3(p99Ms), TailSlow)
+	}
+	if s.P50MaxMs > 0 && p50Ms > s.P50MaxMs {
+		add("p50_max_ms", s.P50MaxMs, round3(p50Ms), TailSlow)
+	}
+	if s.MaxShedRate > 0 && rep.Rates.Shed > s.MaxShedRate {
+		add("max_shed_rate", s.MaxShedRate, rep.Rates.Shed, TailShed)
+	}
+	if s.MaxErrorRate > 0 && rep.Rates.Error > s.MaxErrorRate {
+		add("max_error_rate", s.MaxErrorRate, rep.Rates.Error, TailError)
+	}
+	if s.MaxTimeoutRate > 0 && rep.Rates.Timeout > s.MaxTimeoutRate {
+		add("max_timeout_rate", s.MaxTimeoutRate, rep.Rates.Timeout, TailTimeout)
+	}
+	if s.MinConflictRate > 0 && rep.Rates.Conflict < s.MinConflictRate {
+		add("min_conflict_rate", s.MinConflictRate, rep.Rates.Conflict, TailConflict)
+	}
+	sort.Slice(out.Violations, func(i, j int) bool { return out.Violations[i].Gate < out.Violations[j].Gate })
+	out.Pass = len(out.Violations) == 0
+	return out
+}

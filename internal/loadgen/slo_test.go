@@ -1,0 +1,62 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSLOValidate(t *testing.T) {
+	if err := (SLO{P99MaxMs: 250, MaxShedRate: 0.01}).Validate(); err != nil {
+		t.Fatalf("sane SLO rejected: %v", err)
+	}
+	if err := (SLO{P99MaxMs: -1}).Validate(); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+	if err := (SLO{MaxShedRate: 1.5}).Validate(); err == nil {
+		t.Fatal("shed rate above 1 accepted")
+	}
+}
+
+func TestSLOEvaluateGatesAndTraceLinks(t *testing.T) {
+	rep := validReport()
+	slo := SLO{P99MaxMs: 100, MaxShedRate: 0.01, MinConflictRate: 0.5}
+	// Breach all three gates.
+	rep.Latency.P99Us = 250_000 // 250ms > 100ms
+	rep.Rates.Shed = 0.05       // > 1%
+	rep.Rates.Conflict = 0.15   // < 50% floor
+
+	res := slo.Evaluate(&rep)
+	if res.Pass {
+		t.Fatal("breached SLO evaluated as pass")
+	}
+	if len(res.Violations) != 3 {
+		t.Fatalf("violations = %+v, want 3", res.Violations)
+	}
+	// Sorted by gate name: max_shed_rate, min_conflict_rate, p99_max_ms.
+	gates := []string{res.Violations[0].Gate, res.Violations[1].Gate, res.Violations[2].Gate}
+	if gates[0] != "max_shed_rate" || gates[1] != "min_conflict_rate" || gates[2] != "p99_max_ms" {
+		t.Fatalf("violations not sorted by gate: %v", gates)
+	}
+	// The p99 gate links the slowest kept tail sample; validReport's
+	// slow sample carries trace "cafe".
+	for _, v := range res.Violations {
+		if v.Gate == "p99_max_ms" && v.TraceID != "cafe" {
+			t.Fatalf("p99 violation trace = %q, want the slow tail's %q", v.TraceID, "cafe")
+		}
+		if v.Gate == "min_conflict_rate" && v.TraceID != "dead" {
+			t.Fatalf("conflict-floor violation trace = %q, want the conflict tail's %q", v.TraceID, "dead")
+		}
+	}
+	if s := res.Violations[1].String(); !strings.Contains(s, "below floor") {
+		t.Fatalf("floor violation renders as %q, want 'below floor'", s)
+	}
+
+	// The same report passes an SLO whose gates it meets; zero-valued
+	// gates are not enforced.
+	if res := (SLO{}).Evaluate(&rep); !res.Pass {
+		t.Fatalf("empty SLO failed: %+v", res.Violations)
+	}
+	if res := (SLO{P99MaxMs: 500, MaxShedRate: 0.10}).Evaluate(&rep); !res.Pass {
+		t.Fatalf("satisfied SLO failed: %+v", res.Violations)
+	}
+}

@@ -257,7 +257,8 @@ func (m *Metrics) Histogram(name string) *Histogram {
 // TimerStats is the snapshot of one timer: totals plus latency
 // quantiles drawn from the timer's histogram. MaxTraceID is the trace
 // exemplar of the epoch-max observation, when one was recorded via
-// ObserveTraced.
+// ObserveTraced; Exemplar is that observation's duration (what the
+// OpenMetrics exposition attaches alongside the trace ID).
 type TimerStats struct {
 	Count      int64         `json:"count"`
 	Total      time.Duration `json:"total_ns"`
@@ -265,6 +266,7 @@ type TimerStats struct {
 	P50        time.Duration `json:"p50_ns,omitempty"`
 	P90        time.Duration `json:"p90_ns,omitempty"`
 	P99        time.Duration `json:"p99_ns,omitempty"`
+	Exemplar   time.Duration `json:"exemplar_ns,omitempty"`
 	MaxTraceID string        `json:"max_trace_id,omitempty"`
 }
 
@@ -296,11 +298,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.Gauges[name] = g.Load()
 	}
 	for name, t := range m.timers {
-		_, exTrace := t.h.MaxExemplar()
+		exVal, exTrace := t.h.MaxExemplar()
 		s.Timers[name] = TimerStats{
 			Count: t.Count(), Total: t.Total(), Mean: t.Mean(),
 			P50: t.Quantile(0.50), P90: t.Quantile(0.90), P99: t.Quantile(0.99),
-			MaxTraceID: exTrace,
+			Exemplar: time.Duration(exVal), MaxTraceID: exTrace,
 		}
 	}
 	for name, h := range m.histograms {

@@ -43,6 +43,12 @@ type Options struct {
 	// Ready gates /readyz: nil means always ready. Flip it to false
 	// during drain so load balancers stop routing before shutdown.
 	Ready func() bool
+	// Identity, when non-nil, supplies the server's build/config
+	// identity (fsync policy, worker count, cache size, ...). /healthz
+	// then answers JSON {"status":"ok","identity":{...}} instead of the
+	// plain "ok", so a load harness's report can record exactly which
+	// configuration produced its numbers.
+	Identity func() map[string]string
 	// RetryAfter, when non-nil, supplies the Retry-After header value
 	// (whole seconds) sent with the draining 503, telling probes and
 	// balancers when to look again.
@@ -62,6 +68,15 @@ func Mount(mux *http.ServeMux, opts Options) {
 		ns = "xmlconflict"
 	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Content negotiation: a scraper that accepts the OpenMetrics
+		// exposition gets real exemplars ({trace_id="..."} on the sample
+		// lines); everyone else gets text-format v0.0.4, where exemplars
+		// survive only as # EXEMPLAR comments.
+		if negotiateOpenMetrics(r.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", openMetricsContentType)
+			WriteOpenMetrics(w, ns, opts.Metrics.Snapshot())
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WritePrometheus(w, ns, opts.Metrics.Snapshot())
 	})
@@ -94,6 +109,14 @@ func Mount(mux *http.ServeMux, opts Options) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Identity != nil {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(struct {
+				Status   string            `json:"status"`
+				Identity map[string]string `json:"identity"`
+			}{Status: "ok", Identity: opts.Identity()})
+			return
+		}
 		io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
@@ -134,19 +157,56 @@ func Serve(addr string, m *telemetry.Metrics) (*http.Server, string, error) {
 	return srv, ln.Addr().String(), nil
 }
 
+// openMetricsContentType is the negotiated OpenMetrics exposition type.
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// negotiateOpenMetrics reports whether the Accept header asks for the
+// OpenMetrics exposition. Prometheus sends the full media type with
+// version parameters; a plain substring match covers every client that
+// means it without a q-value parser.
+func negotiateOpenMetrics(accept string) bool {
+	return strings.Contains(accept, "application/openmetrics-text")
+}
+
 // WritePrometheus renders a registry snapshot in the Prometheus text
 // exposition format (version 0.0.4). Counters and gauges map directly;
 // timers become summaries in seconds (<name>_seconds{quantile="..."});
 // histograms become summaries in their native unit. Process-level
 // series (<ns>_uptime_seconds, <ns>_goroutines, <ns>_heap_alloc_bytes)
-// are always appended. Output order is deterministic.
+// are always appended. Output order is deterministic. Exemplars appear
+// only as # EXEMPLAR comments (scrapers of this format drop them);
+// WriteOpenMetrics carries them as real exemplars.
 func WritePrometheus(w io.Writer, ns string, s telemetry.Snapshot) {
-	writeFamily(w, s.Counters, ns, "counter", func(v int64) string {
-		return fmt.Sprintf("%d", v)
-	})
-	writeFamily(w, s.Gauges, ns, "gauge", func(v int64) string {
-		return fmt.Sprintf("%d", v)
-	})
+	writeExposition(w, ns, s, false)
+}
+
+// WriteOpenMetrics renders the snapshot in the OpenMetrics text
+// exposition (version 1.0.0): counter samples take the mandatory
+// _total suffix, the output terminates with # EOF, and the epoch-max
+// trace exemplars recorded via ObserveTraced ride the summary _count
+// sample as `# {trace_id="..."} value` — the syntax Prometheus stores
+// and surfaces next to the series, where the # EXEMPLAR comment of the
+// plain-text path is silently dropped.
+func WriteOpenMetrics(w io.Writer, ns string, s telemetry.Snapshot) {
+	writeExposition(w, ns, s, true)
+}
+
+func writeExposition(w io.Writer, ns string, s telemetry.Snapshot, om bool) {
+	counterSuffix := ""
+	if om {
+		// OpenMetrics requires counter sample names to end in _total.
+		counterSuffix = "_total"
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(ns, name)
+		fmt.Fprintf(w, "# TYPE %s counter\n", pn)
+		fmt.Fprintf(w, "%s%s %d\n", pn, counterSuffix, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(ns, name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", pn)
+		fmt.Fprintf(w, "%s %d\n", pn, s.Gauges[name])
+	}
 
 	for _, name := range sortedKeys(s.Timers) {
 		t := s.Timers[name]
@@ -156,11 +216,16 @@ func WritePrometheus(w io.Writer, ns string, s telemetry.Snapshot) {
 		fmt.Fprintf(w, "%s{quantile=\"0.9\"} %g\n", pn, t.P90.Seconds())
 		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %g\n", pn, t.P99.Seconds())
 		fmt.Fprintf(w, "%s_sum %g\n", pn, t.Total.Seconds())
-		fmt.Fprintf(w, "%s_count %d\n", pn, t.Count)
-		if t.MaxTraceID != "" {
-			// Exemplar as a comment: links the epoch-max observation to a
-			// flight-recorder trace without leaving text-format v0.0.4.
-			fmt.Fprintf(w, "# EXEMPLAR %s trace_id=%q\n", pn, t.MaxTraceID)
+		switch {
+		case om && t.MaxTraceID != "":
+			fmt.Fprintf(w, "%s_count %d # {trace_id=%q} %g\n", pn, t.Count, t.MaxTraceID, t.Exemplar.Seconds())
+		default:
+			fmt.Fprintf(w, "%s_count %d\n", pn, t.Count)
+			if t.MaxTraceID != "" {
+				// Exemplar as a comment: links the epoch-max observation to
+				// a flight-recorder trace without leaving text-format 0.0.4.
+				fmt.Fprintf(w, "# EXEMPLAR %s trace_id=%q\n", pn, t.MaxTraceID)
+			}
 		}
 	}
 	for _, name := range sortedKeys(s.Histograms) {
@@ -171,9 +236,14 @@ func WritePrometheus(w io.Writer, ns string, s telemetry.Snapshot) {
 		fmt.Fprintf(w, "%s{quantile=\"0.9\"} %d\n", pn, h.P90)
 		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %d\n", pn, h.P99)
 		fmt.Fprintf(w, "%s_sum %d\n", pn, h.Sum)
-		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
-		if h.MaxTraceID != "" {
-			fmt.Fprintf(w, "# EXEMPLAR %s trace_id=%q value=%d\n", pn, h.MaxTraceID, h.Exemplar)
+		switch {
+		case om && h.MaxTraceID != "":
+			fmt.Fprintf(w, "%s_count %d # {trace_id=%q} %d\n", pn, h.Count, h.MaxTraceID, h.Exemplar)
+		default:
+			fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+			if h.MaxTraceID != "" {
+				fmt.Fprintf(w, "# EXEMPLAR %s trace_id=%q value=%d\n", pn, h.MaxTraceID, h.Exemplar)
+			}
 		}
 	}
 
@@ -185,13 +255,8 @@ func WritePrometheus(w io.Writer, ns string, s telemetry.Snapshot) {
 		ns, ns, runtime.NumGoroutine())
 	fmt.Fprintf(w, "# TYPE %s_heap_alloc_bytes gauge\n%s_heap_alloc_bytes %d\n",
 		ns, ns, ms.HeapAlloc)
-}
-
-func writeFamily(w io.Writer, m map[string]int64, ns, typ string, format func(int64) string) {
-	for _, name := range sortedKeys(m) {
-		pn := promName(ns, name)
-		fmt.Fprintf(w, "# TYPE %s %s\n", pn, typ)
-		fmt.Fprintf(w, "%s %s\n", pn, format(m[name]))
+	if om {
+		fmt.Fprint(w, "# EOF\n")
 	}
 }
 

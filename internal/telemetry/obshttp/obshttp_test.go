@@ -57,6 +57,123 @@ func TestPrometheusExposition(t *testing.T) {
 	}
 }
 
+// TestOpenMetricsNegotiation covers the content-negotiated exemplar
+// contract: a scraper that accepts application/openmetrics-text gets
+// the OpenMetrics exposition — counter samples suffixed _total,
+// exemplars as `# {trace_id="..."} value` on the summary _count lines,
+// `# EOF` terminator — while a plain scraper keeps text-format 0.0.4
+// exactly as before, with exemplars demoted to # EXEMPLAR comments.
+func TestOpenMetricsNegotiation(t *testing.T) {
+	m := testRegistry()
+	m.Timer("detect.time").ObserveTraced(8*time.Millisecond, "feedbeef")
+	m.Histogram("serve.detect_ns").ObserveTraced(9000, "cafe0123")
+	srv := httptest.NewServer(Handler(Options{Metrics: m}))
+	defer srv.Close()
+
+	fetch := func(accept string) (string, string) {
+		req, err := http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	// Prometheus's real Accept header lists openmetrics-text first.
+	om, ct := fetch("application/openmetrics-text;version=1.0.0;q=0.75,text/plain;version=0.0.4;q=0.5")
+	if !strings.Contains(ct, "application/openmetrics-text") {
+		t.Fatalf("negotiated content type = %q", ct)
+	}
+	for _, want := range []string{
+		"xmlconflict_search_candidates_total 42",
+		`xmlconflict_detect_time_seconds_count 2 # {trace_id="feedbeef"} 0.008`,
+		`xmlconflict_serve_detect_ns_count 2 # {trace_id="cafe0123"} 9000`,
+		"# EOF\n",
+	} {
+		if !strings.Contains(om, want) {
+			t.Fatalf("OpenMetrics exposition missing %q:\n%s", want, om)
+		}
+	}
+	if !strings.HasSuffix(om, "# EOF\n") {
+		t.Fatalf("OpenMetrics exposition does not end with # EOF:\n...%s", om[len(om)-80:])
+	}
+	if strings.Contains(om, "# EXEMPLAR") {
+		t.Fatal("OpenMetrics exposition still carries comment-form exemplars")
+	}
+
+	// No Accept header: plain text 0.0.4, bare counter names, exemplars
+	// only as comments, no EOF marker.
+	plain, ct := fetch("")
+	if !strings.Contains(ct, "text/plain") {
+		t.Fatalf("default content type = %q", ct)
+	}
+	for _, want := range []string{
+		"xmlconflict_search_candidates 42",
+		`# EXEMPLAR xmlconflict_detect_time_seconds trace_id="feedbeef"`,
+		`# EXEMPLAR xmlconflict_serve_detect_ns trace_id="cafe0123" value=9000`,
+	} {
+		if !strings.Contains(plain, want) {
+			t.Fatalf("plain exposition missing %q:\n%s", want, plain)
+		}
+	}
+	for _, reject := range []string{"_total", "# EOF", `# {trace_id=`} {
+		if strings.Contains(plain, reject) {
+			t.Fatalf("plain exposition leaks OpenMetrics syntax %q:\n%s", reject, plain)
+		}
+	}
+
+	// An Accept that does not mention OpenMetrics stays on plain text.
+	if _, ct := fetch("text/plain;version=0.0.4"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("text/plain Accept negotiated %q", ct)
+	}
+}
+
+// TestHealthzIdentity covers the /healthz upgrade: with an Identity
+// callback the probe answers JSON carrying the server's build/config
+// identity; without one it stays the plain "ok" liveness answer.
+func TestHealthzIdentity(t *testing.T) {
+	srv := httptest.NewServer(Handler(Options{
+		Identity: func() map[string]string {
+			return map[string]string{"service": "xserve", "store_fsync": "group"}
+		},
+	}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("content type = %q", ct)
+	}
+	for _, want := range []string{`"status":"ok"`, `"store_fsync":"group"`} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("healthz missing %q:\n%s", want, body)
+		}
+	}
+
+	bare := httptest.NewServer(Handler(Options{}))
+	defer bare.Close()
+	resp2, err := http.Get(bare.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body2, _ := io.ReadAll(resp2.Body)
+	if string(body2) != "ok\n" {
+		t.Fatalf("identity-less healthz = %q, want plain ok", body2)
+	}
+}
+
 func TestProbesAndDebugSurface(t *testing.T) {
 	ready := true
 	srv := httptest.NewServer(Handler(Options{

@@ -1,0 +1,124 @@
+package span
+
+import (
+	"strings"
+	"testing"
+)
+
+const (
+	goodTraceID  = "0af7651916cd43dd8448eb211c80319c"
+	goodParentID = "b7ad6b7169203331"
+)
+
+func TestParseTraceparentAccepts(t *testing.T) {
+	cases := []struct {
+		name       string
+		header     string
+		wantTrace  string
+		wantParent string
+	}{
+		{"canonical", "00-" + goodTraceID + "-" + goodParentID + "-01", goodTraceID, goodParentID},
+		{"unsampled flags", "00-" + goodTraceID + "-" + goodParentID + "-00", goodTraceID, goodParentID},
+		{"surrounding whitespace", "  00-" + goodTraceID + "-" + goodParentID + "-01\t", goodTraceID, goodParentID},
+		{"uppercase hex normalized", "00-" + strings.ToUpper(goodTraceID) + "-" + strings.ToUpper(goodParentID) + "-01",
+			goodTraceID, goodParentID},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tid, pid, ok := ParseTraceparent(tc.header)
+			if !ok {
+				t.Fatalf("rejected %q", tc.header)
+			}
+			if tid != tc.wantTrace || pid != tc.wantParent {
+				t.Fatalf("parsed %q/%q, want %q/%q", tid, pid, tc.wantTrace, tc.wantParent)
+			}
+		})
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		header string
+	}{
+		{"empty", ""},
+		{"future version", "01-" + goodTraceID + "-" + goodParentID + "-01"},
+		{"ff version", "ff-" + goodTraceID + "-" + goodParentID + "-01"},
+		{"missing field", "00-" + goodTraceID + "-01"},
+		{"extra field", "00-" + goodTraceID + "-" + goodParentID + "-01-extra"},
+		{"short trace id", "00-" + goodTraceID[:31] + "-" + goodParentID + "-01"},
+		{"long trace id", "00-" + goodTraceID + "0-" + goodParentID + "-01"},
+		{"odd-length parent id", "00-" + goodTraceID + "-" + goodParentID[:15] + "-01"},
+		{"all-zero trace id", "00-" + strings.Repeat("0", 32) + "-" + goodParentID + "-01"},
+		{"all-zero parent id", "00-" + goodTraceID + "-" + strings.Repeat("0", 16) + "-01"},
+		{"non-hex trace id", "00-" + "zz" + goodTraceID[2:] + "-" + goodParentID + "-01"},
+		{"garbage flags", "00-" + goodTraceID + "-" + goodParentID + "-xy"},
+		{"long flags", "00-" + goodTraceID + "-" + goodParentID + "-001"},
+		{"internal whitespace", "00 -" + goodTraceID + "-" + goodParentID + "-01"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tid, pid, ok := ParseTraceparent(tc.header); ok {
+				t.Fatalf("accepted %q as %q/%q", tc.header, tid, pid)
+			}
+		})
+	}
+}
+
+// TestResumeFallsBackToFresh pins the resume-vs-fresh contract: a valid
+// 32-hex trace ID is continued verbatim, anything else (short, odd
+// length, non-hex, all-zero, empty) silently gets a fresh random ID —
+// an attacker or a broken proxy cannot poison trace identity.
+func TestResumeFallsBackToFresh(t *testing.T) {
+	tr := Resume("req", goodTraceID)
+	if tr.ID() != goodTraceID {
+		t.Fatalf("valid ID not resumed: %q", tr.ID())
+	}
+
+	for _, bad := range []string{
+		"",
+		goodTraceID[:31],             // short
+		goodTraceID + "0",            // long
+		goodTraceID[:30] + "zz",      // non-hex tail
+		strings.Repeat("0", 32),      // all-zero
+		strings.ToUpper(goodTraceID), // uppercase is not canonical W3C form
+	} {
+		tr := Resume("req", bad)
+		if tr.ID() == bad {
+			t.Fatalf("invalid ID %q resumed verbatim", bad)
+		}
+		if !isHex(tr.ID(), 32) || isZeroHex(tr.ID()) {
+			t.Fatalf("fallback ID %q is not a valid 32-hex trace ID", tr.ID())
+		}
+	}
+
+	// Fresh fallbacks must not collide (they are random, not a fixed
+	// sentinel some downstream would alias on).
+	a, b := Resume("req", "bogus"), Resume("req", "bogus")
+	if a.ID() == b.ID() {
+		t.Fatalf("two fallback traces share ID %q", a.ID())
+	}
+}
+
+// TestTraceparentRoundTrip: the header a trace emits parses back to the
+// same trace ID, so a downstream xserve resumes the caller's trace.
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := New("client")
+	tid, pid, ok := ParseTraceparent(tr.Traceparent())
+	if !ok {
+		t.Fatalf("emitted header %q does not parse", tr.Traceparent())
+	}
+	if tid != tr.ID() {
+		t.Fatalf("round-trip trace ID %q, want %q", tid, tr.ID())
+	}
+	if pid == "" {
+		t.Fatal("round-trip lost the parent span ID")
+	}
+	resumed := Resume("server", tid)
+	if resumed.ID() != tr.ID() {
+		t.Fatalf("downstream resumed %q, want %q", resumed.ID(), tr.ID())
+	}
+	if (*Trace)(nil).Traceparent() != "" {
+		t.Fatal("nil trace must emit an empty traceparent")
+	}
+}
