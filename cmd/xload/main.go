@@ -24,6 +24,8 @@
 //	conflict-heavy  /v1/docs update storm; stale-base ops rejected 409
 //	batch-analyze   /v1/detect/batch + /v1/analyze mixes
 //	store-churn     create/update/drop document lifecycles (WAL churn)
+//	store-churn-sharded  churn under 16 tenant-prefixed doc names
+//	                     (routes across every shard of a -shards server)
 //
 // The report (-out) is schema-stable JSON: counts, CO-safe and
 // service-time percentiles, shed/409/timeout rates, the server

@@ -101,6 +101,7 @@ import (
 
 	"xmlconflict"
 	"xmlconflict/internal/faultinject"
+	"xmlconflict/internal/shard"
 	"xmlconflict/internal/store"
 	"xmlconflict/internal/telemetry"
 	"xmlconflict/internal/telemetry/obshttp"
@@ -241,15 +242,20 @@ type server struct {
 	// plus always-kept captures of slow/errored/degraded/conflicting
 	// requests, served at /debug/requests and /v1/trace/{id}.
 	recorder *span.FlightRecorder
-	// retryVal/retryUntil memoize the Retry-After derivation for
-	// retryTTL: under saturation every shed request would otherwise walk
-	// the latency histogram.
-	retryTTL   time.Duration
-	retryVal   atomic.Value // string
-	retryUntil atomic.Int64 // unix nanos
-	// store is the durable document store behind /v1/docs; nil unless
-	// -store-dir was given (the routes are not mounted without it).
-	store *store.Store
+	// retry memoizes the Retry-After derivation per route for retryTTL:
+	// under saturation every shed request would otherwise walk a latency
+	// histogram. Scoped per route because the routes saturate
+	// independently — a fsync-bound docs shard must not inherit the
+	// detect route's p90 (or its cold 1s floor) and vice versa.
+	retryTTL time.Duration
+	retry    map[string]*retryMemo
+	// store routes /v1/docs operations to the shard owning each
+	// document; nil unless -store-dir was given (the routes are not
+	// mounted without it). With -shards 1 it wraps a single store.
+	store *shard.Router
+	// tenants bounds per-tenant inflight document operations (429 past
+	// the allowance) and records per-tenant traffic.
+	tenants *shard.TenantLimiter
 	// identity is the server's build/config identity served on /healthz:
 	// what a load harness records so a report names exactly the
 	// configuration that produced its numbers. Written before serving
@@ -275,7 +281,9 @@ func newServer(pool int, queueTimeout time.Duration, maxBody int64) *server {
 		maxBody:      maxBody,
 		recorder:     span.NewFlightRecorder(span.RecorderOptions{}),
 		retryTTL:     time.Second,
+		retry:        map[string]*retryMemo{"detect": {}, "docs": {}},
 	}
+	s.tenants = shard.NewTenantLimiter(0, s.metrics)
 	s.cache.Instrument(s.metrics)
 	s.ready.Store(true)
 	s.identity = map[string]string{
@@ -305,7 +313,7 @@ func (s *server) routes() *http.ServeMux {
 		s.storeRoutes(mux)
 	}
 	obshttp.Mount(mux, obshttp.Options{
-		Metrics: s.metrics, Ready: s.ready.Load, RetryAfter: s.retryAfter, Recorder: s.recorder,
+		Metrics: s.metrics, Ready: s.ready.Load, RetryAfter: func() string { return s.retryAfter("detect") }, Recorder: s.recorder,
 		Identity: func() map[string]string { return s.identity },
 	})
 	return mux
@@ -392,31 +400,45 @@ func (s *server) acquireSlot(ctx context.Context) (release func(), err error) {
 }
 
 // rejectSlot reports a failed slot acquisition: silently for a client
-// that already went away, with 503 + Retry-After for saturation.
-func (s *server) rejectSlot(w http.ResponseWriter, err error) {
+// that already went away, with 503 + Retry-After for saturation. route
+// selects which latency distribution the Retry-After hint derives from.
+func (s *server) rejectSlot(w http.ResponseWriter, err error, route string) {
 	if !errors.Is(err, errQueueTimeout) {
 		s.metrics.Add("serve.canceled", 1)
 		return
 	}
 	s.metrics.Add("serve.rejected", 1)
-	w.Header().Set("Retry-After", s.retryAfter())
+	w.Header().Set("Retry-After", s.retryAfter(route))
 	writeErr(w, http.StatusServiceUnavailable, "saturated", "worker pool saturated")
 }
 
-// retryAfter tells a shed client how long to back off: the p90 of
-// observed detection latency — the time a pool slot realistically takes
-// to free up — rounded up to whole seconds and clamped to [1, 60].
-// Before any detection has run it is 1 second. The derivation walks the
-// latency histogram, so it is memoized for retryTTL: overload is
-// exactly when every request would otherwise recompute it.
-func (s *server) retryAfter() string {
+// retryMemo caches one route's derived Retry-After value until a
+// deadline, so overload — exactly when every shed request would
+// recompute it — does not walk the histogram per rejection.
+type retryMemo struct {
+	val   atomic.Value // string
+	until atomic.Int64 // unix nanos
+}
+
+// retryAfter tells a shed client how long to back off: the p90 of the
+// named route's observed service latency ("detect" → serve.detect,
+// "docs" → serve.docs) — the time a pool slot realistically takes to
+// free up — rounded up to whole seconds and clamped to [1, 60]. A
+// route with no observations yet answers the 1-second floor. The
+// derivation is memoized per route for retryTTL; an unknown route
+// falls back to the detect distribution.
+func (s *server) retryAfter(route string) string {
+	if _, ok := s.retry[route]; !ok {
+		route = "detect"
+	}
+	memo := s.retry[route]
 	now := time.Now().UnixNano()
-	if now < s.retryUntil.Load() {
-		if v, ok := s.retryVal.Load().(string); ok {
+	if now < memo.until.Load() {
+		if v, ok := memo.val.Load().(string); ok {
 			return v
 		}
 	}
-	p90 := s.metrics.Timer("serve.detect").Quantile(0.9)
+	p90 := s.metrics.Timer("serve." + route).Quantile(0.9)
 	secs := int64(math.Ceil(p90.Seconds()))
 	if secs < 1 {
 		secs = 1
@@ -427,8 +449,8 @@ func (s *server) retryAfter() string {
 	v := strconv.FormatInt(secs, 10)
 	// Value before deadline: a reader that sees the fresh deadline must
 	// find the fresh value.
-	s.retryVal.Store(v)
-	s.retryUntil.Store(now + int64(s.retryTTL))
+	memo.val.Store(v)
+	memo.until.Store(now + int64(s.retryTTL))
 	return v
 }
 
@@ -496,7 +518,7 @@ func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	// failures fast and explicit instead of queueing unboundedly.
 	release, err := s.acquireSlot(r.Context())
 	if err != nil {
-		s.rejectSlot(w, err)
+		s.rejectSlot(w, err, "detect")
 		return
 	}
 	defer release()
@@ -562,7 +584,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// the pool's parallelism.
 	release, err := s.acquireSlot(r.Context())
 	if err != nil {
-		s.rejectSlot(w, err)
+		s.rejectSlot(w, err, "detect")
 		return
 	}
 	defer release()
@@ -637,7 +659,7 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	release, err := s.acquireSlot(r.Context())
 	if err != nil {
-		s.rejectSlot(w, err)
+		s.rejectSlot(w, err, "detect")
 		return
 	}
 	defer release()
@@ -869,6 +891,8 @@ func run(args []string) int {
 	storeFsync := fs.String("store-fsync", "always", "store fsync policy: always, group, or never")
 	storeFsyncInterval := fs.Duration("store-fsync-interval", 5*time.Millisecond, "group-commit fsync cadence (with -store-fsync=group)")
 	storeSnapshotEvery := fs.Int("store-snapshot-every", 1024, "auto-snapshot (and truncate the WAL) after this many records; 0 = manual only")
+	shards := fs.Int("shards", 1, "partition the document space across this many store shards (each with its own WAL, snapshots, and recovery)")
+	tenantInflight := fs.Int("tenant-inflight", 0, "max in-flight /v1/docs operations per tenant before 429 (0 = unlimited)")
 	addrFile := fs.String("addr-file", "", "write the bound listen address to this file once serving (harness hook: lets xload/CI find a :0 port)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -894,24 +918,30 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stderr, "xserve: -store-fsync: %v\n", err)
 			return 2
 		}
-		st, err := store.Open(*storeDir, store.Options{
-			Fsync:         policy,
-			FsyncInterval: *storeFsyncInterval,
-			SnapshotEvery: *storeSnapshotEvery,
-			Metrics:       s.metrics, // store.* counters ride /metrics
+		rt, err := shard.Open(*storeDir, shard.Options{
+			Shards: *shards,
+			Store: store.Options{
+				Fsync:         policy,
+				FsyncInterval: *storeFsyncInterval,
+				SnapshotEvery: *storeSnapshotEvery,
+				Metrics:       s.metrics, // store.* counters ride /metrics, labeled per shard
+			},
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xserve: -store-dir: %v\n", err)
 			return 2
 		}
-		defer st.Close()
-		s.store = st
+		defer rt.Close()
+		s.store = rt
+		s.tenants = shard.NewTenantLimiter(*tenantInflight, s.metrics)
 		s.identity["store"] = "on"
 		s.identity["store_fsync"] = policy.String()
 		s.identity["store_fsync_interval"] = storeFsyncInterval.String()
 		s.identity["store_snapshot_every"] = strconv.Itoa(*storeSnapshotEvery)
-		fmt.Fprintf(os.Stderr, "xserve: document store at %s (fsync %s, lsn %d, %d docs)\n",
-			*storeDir, policy, st.LSN(), len(st.Docs()))
+		s.identity["store_shards"] = strconv.Itoa(rt.Shards())
+		s.identity["tenant_inflight"] = strconv.Itoa(*tenantInflight)
+		fmt.Fprintf(os.Stderr, "xserve: document store at %s (%d shards, fsync %s, %d docs)\n",
+			*storeDir, rt.Shards(), policy, len(rt.Docs()))
 	}
 	if !s.metrics.Publish("xmlconflict") {
 		fmt.Fprintln(os.Stderr, "xserve: expvar name xmlconflict already taken; /debug/vars serves the earlier registry")

@@ -127,7 +127,7 @@ func TestRetryAfterTracksLatency(t *testing.T) {
 	// Disable the short-TTL memo so the hint reflects the observations
 	// injected below immediately (memoization has its own test).
 	s.retryTTL = 0
-	if got := s.retryAfter(); got != "1" {
+	if got := s.retryAfter("detect"); got != "1" {
 		t.Fatalf("retryAfter with no observations = %q, want \"1\"", got)
 	}
 	for i := 0; i < 20; i++ {

@@ -1,0 +1,267 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"xmlconflict/internal/faultinject"
+	"xmlconflict/internal/shard"
+)
+
+// shardedDocs returns one document name owned by each shard.
+func shardedDocs(t *testing.T, s *server) []string {
+	t.Helper()
+	docs := make([]string, s.store.Shards())
+	for i := range docs {
+		for n := 0; ; n++ {
+			name := fmt.Sprintf("doc-%d", n)
+			if s.store.ShardFor(name) == i {
+				docs[i] = name
+				break
+			}
+			if n > 10000 {
+				t.Fatalf("no doc name found for shard %d", i)
+			}
+		}
+	}
+	return docs
+}
+
+// TestChaosShardFailStop503Scoped: a kill-site fault on one shard's
+// WAL fail-stops exactly that shard — its documents answer 503
+// store-closed — while documents on every other shard (and /v1/detect)
+// keep serving. The sharded form of the fail-stop containment domain.
+func TestChaosShardFailStop503Scoped(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	s := newShardedServer(t, t.TempDir(), 4)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+	c := ts.Client()
+
+	docs := shardedDocs(t, s)
+	for _, doc := range docs {
+		if resp, out := doJSON(t, c, "POST", ts.URL+"/v1/docs", map[string]any{"doc": doc, "xml": "<a/>"}); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %s: %d %v", doc, resp.StatusCode, out)
+		}
+	}
+
+	const victim = 2
+	faultinject.Arm("store.append", faultinject.Fault{Kind: faultinject.KindPanic, Times: 1})
+	resp, out := doJSON(t, c, "POST", ts.URL+"/v1/docs/"+docs[victim]+"/update",
+		map[string]any{"op": "insert", "pattern": "/a", "x": "<x/>"})
+	if resp.StatusCode != http.StatusInternalServerError || out["reason"] != "panic" {
+		t.Fatalf("killed commit: %d %v", resp.StatusCode, out)
+	}
+
+	// The victim shard's documents are 503 store-closed...
+	resp, out = doJSON(t, c, "POST", ts.URL+"/v1/docs/"+docs[victim]+"/update",
+		map[string]any{"op": "read", "pattern": "/a"})
+	if resp.StatusCode != http.StatusServiceUnavailable || out["reason"] != "store-closed" {
+		t.Fatalf("victim shard post-kill: %d %v", resp.StatusCode, out)
+	}
+	// ...while every other shard keeps committing.
+	for i, doc := range docs {
+		if i == victim {
+			continue
+		}
+		resp, out = doJSON(t, c, "POST", ts.URL+"/v1/docs/"+doc+"/update",
+			map[string]any{"op": "insert", "pattern": "/a", "x": "<z/>"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthy shard %d rejected an update after shard %d died: %d %v", i, victim, resp.StatusCode, out)
+		}
+	}
+	// Detection is untouched.
+	resp, _ = doJSON(t, c, "POST", ts.URL+"/v1/detect",
+		map[string]any{"read": "//a", "insert": "/*", "x": "<c/>"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("detection after shard kill: %d", resp.StatusCode)
+	}
+}
+
+// TestDocsListCrossShard: GET /v1/docs gathers every shard into one
+// sorted listing with shard attribution.
+func TestDocsListCrossShard(t *testing.T) {
+	s := newShardedServer(t, t.TempDir(), 4)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+	c := ts.Client()
+
+	for i := 0; i < 12; i++ {
+		doc := fmt.Sprintf("doc-%02d", i)
+		if resp, out := doJSON(t, c, "POST", ts.URL+"/v1/docs", map[string]any{"doc": doc, "xml": "<a/>"}); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %s: %d %v", doc, resp.StatusCode, out)
+		}
+	}
+	resp, out := doJSON(t, c, "GET", ts.URL+"/v1/docs", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: %d %v", resp.StatusCode, out)
+	}
+	if int(out["shards"].(float64)) != 4 {
+		t.Fatalf("list shards = %v, want 4", out["shards"])
+	}
+	entries := out["docs"].([]any)
+	if len(entries) != 12 {
+		t.Fatalf("list returned %d docs, want 12", len(entries))
+	}
+	prev := ""
+	for _, e := range entries {
+		m := e.(map[string]any)
+		doc := m["doc"].(string)
+		if doc <= prev {
+			t.Fatalf("listing not sorted: %q after %q", doc, prev)
+		}
+		prev = doc
+		if got := int(m["shard"].(float64)); got != s.store.ShardFor(doc) {
+			t.Fatalf("doc %s listed on shard %d, router says %d", doc, got, s.store.ShardFor(doc))
+		}
+	}
+}
+
+// TestTenantQuota429: a tenant at its inflight allowance gets the 429
+// quota envelope (with a Retry-After hint) whether the tenant comes
+// from the X-Tenant header or the doc-name prefix, while other tenants
+// are untouched.
+func TestTenantQuota429(t *testing.T) {
+	s := newStoreServer(t, t.TempDir())
+	s.tenants = shard.NewTenantLimiter(1, s.metrics)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+	c := ts.Client()
+
+	// Pin acme's single slot so the next acme request finds it taken.
+	release, err := s.tenants.Acquire("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/docs", strings.NewReader(`{"doc":"d1","xml":"<a/>"}`))
+	req.Header.Set("X-Tenant", "acme")
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("header tenant over quota: %d (%s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if !strings.Contains(string(body), `"tenant-quota"`) {
+		t.Fatalf("429 body missing tenant-quota reason: %s", body)
+	}
+
+	// Doc-name prefix carries the same tenant.
+	resp2, out := doJSON(t, c, "POST", ts.URL+"/v1/docs", map[string]any{"doc": "acme--d2", "xml": "<a/>"})
+	if resp2.StatusCode != http.StatusTooManyRequests || out["reason"] != "tenant-quota" {
+		t.Fatalf("prefix tenant over quota: %d %v", resp2.StatusCode, out)
+	}
+
+	// A different tenant sails through.
+	resp3, out := doJSON(t, c, "POST", ts.URL+"/v1/docs", map[string]any{"doc": "beta--d3", "xml": "<a/>"})
+	if resp3.StatusCode != http.StatusCreated {
+		t.Fatalf("other tenant blocked: %d %v", resp3.StatusCode, out)
+	}
+
+	if s.metrics.Counter("serve.tenant_rejected").Load() != 2 {
+		t.Fatalf("serve.tenant_rejected = %d, want 2", s.metrics.Counter("serve.tenant_rejected").Load())
+	}
+	snap := s.metrics.Snapshot()
+	if snap.Counter("tenant.rejected|tenant=acme") != 2 {
+		t.Fatalf("tenant.rejected|tenant=acme = %d, want 2", snap.Counter("tenant.rejected|tenant=acme"))
+	}
+}
+
+// TestShardedMetricsExposition: with S > 1 every shard's store.*
+// series appears on /metrics as a labeled sample under a single TYPE
+// line per family.
+func TestShardedMetricsExposition(t *testing.T) {
+	s := newShardedServer(t, t.TempDir(), 2)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+	c := ts.Client()
+
+	for _, doc := range shardedDocs(t, s) {
+		if resp, out := doJSON(t, c, "POST", ts.URL+"/v1/docs", map[string]any{"doc": doc, "xml": "<a/>"}); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %s: %d %v", doc, resp.StatusCode, out)
+		}
+	}
+	resp, err := c.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for i := 0; i < 2; i++ {
+		want := fmt.Sprintf(`store_appends{shard="%d"}`, i)
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	if n := strings.Count(text, "# TYPE xmlconflict_store_appends counter"); n != 1 {
+		t.Errorf("TYPE line for store_appends appears %d times, want 1", n)
+	}
+}
+
+// TestRetryAfterPerRouteScope is the regression for the process-global
+// p90 bug: saturating the docs route (fsync-bound shards) must not
+// inflate the detect route's backoff hint, and — the cold-start case —
+// a route with no observations answers the 1-second floor even while
+// the other route's p90 is high. The post-drain case: when a route's
+// saturation ends, its next hint (after the memo TTL) re-derives from
+// its own distribution, not the other route's.
+func TestRetryAfterPerRouteScope(t *testing.T) {
+	s := newServer(1, time.Second, 1<<20)
+	s.retryTTL = 0 // derive fresh each call; memoization has its own test
+
+	// Cold start: both routes floor at 1s.
+	if got := s.retryAfter("docs"); got != "1" {
+		t.Fatalf("docs cold start: %q, want 1", got)
+	}
+	// Saturate docs (slow fsync-bound commits); detect stays cold.
+	for i := 0; i < 20; i++ {
+		s.metrics.Timer("serve.docs").Observe(8 * time.Second)
+	}
+	if got := s.retryAfter("detect"); got != "1" {
+		t.Fatalf("detect hint inherited docs saturation: %q, want 1", got)
+	}
+	if got := s.retryAfter("docs"); got == "1" {
+		t.Fatalf("docs hint ignores its own 8s p90: %q", got)
+	}
+
+	// And the reverse: detect saturation must not leak into docs' memo.
+	s2 := newServer(1, time.Second, 1<<20)
+	s2.retryTTL = time.Hour
+	for i := 0; i < 20; i++ {
+		s2.metrics.Timer("serve.detect").Observe(30 * time.Second)
+	}
+	if got := s2.retryAfter("docs"); got != "1" {
+		t.Fatalf("docs cold start under detect load: %q, want 1", got)
+	}
+	// Post-drain: docs observations arrive, the stale memo holds until
+	// its deadline, then the hint tracks the docs distribution.
+	for i := 0; i < 20; i++ {
+		s2.metrics.Timer("serve.docs").Observe(8 * time.Second)
+	}
+	if got := s2.retryAfter("docs"); got != "1" {
+		t.Fatalf("docs hint recomputed inside TTL: %q, want memoized 1", got)
+	}
+	s2.retry["docs"].until.Store(0)
+	if got := s2.retryAfter("docs"); got == "1" || got == "30" {
+		t.Fatalf("docs hint after memo expiry: %q, want its own ~8s p90, not the floor or detect's 30s", got)
+	}
+
+	// Unknown routes fall back to the detect distribution.
+	s2.retry["detect"].until.Store(0)
+	if got := s2.retryAfter("no-such-route"); got == "1" {
+		t.Fatalf("unknown route ignored detect's 30s p90: %q", got)
+	}
+}

@@ -23,8 +23,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
+	"xmlconflict/internal/shard"
 	"xmlconflict/internal/store"
+	"xmlconflict/internal/telemetry/span"
 	"xmlconflict/internal/xmltree"
 )
 
@@ -84,6 +87,7 @@ type conflictInfo struct {
 // serving.
 func (s *server) storeRoutes(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/docs", s.traced("docs.create", s.contained(s.handleDocCreate)))
+	mux.HandleFunc("GET /v1/docs", s.traced("docs.list", s.contained(s.handleDocList)))
 	mux.HandleFunc("GET /v1/docs/{id}", s.traced("docs.get", s.contained(s.handleDocGet)))
 	mux.HandleFunc("DELETE /v1/docs/{id}", s.traced("docs.drop", s.contained(s.handleDocDrop)))
 	mux.HandleFunc("POST /v1/docs/{id}/update", s.traced("docs.update", s.contained(s.handleDocUpdate)))
@@ -130,12 +134,38 @@ func (s *server) storeErr(w http.ResponseWriter, r *http.Request, err error) {
 	writeJSON(w, status, resp)
 }
 
+// tenantSlot stamps the request's tenant on its span and claims the
+// tenant's inflight allowance. A tenant past its allowance gets the
+// 429 quota envelope (Retry-After from the docs route's latency) and
+// ok=false; the caller must defer the release when ok.
+func (s *server) tenantSlot(w http.ResponseWriter, r *http.Request, doc string) (release func(), ok bool) {
+	tenant := shard.TenantOf(r.Header.Get("X-Tenant"), doc)
+	span.FromContext(r.Context()).Set("tenant", tenant)
+	release, err := s.tenants.Acquire(tenant)
+	if err != nil {
+		s.metrics.Add("serve.tenant_rejected", 1)
+		w.Header().Set("Retry-After", s.retryAfter("docs"))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{
+			Error:   fmt.Sprintf("tenant %q has its full inflight allowance of %d in use", tenant, s.tenants.Limit()),
+			Reason:  "tenant-quota",
+			TraceID: traceID(r),
+		})
+		return nil, false
+	}
+	return release, true
+}
+
 func (s *server) handleDocCreate(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Add("serve.requests", 1)
 	var req docCreateRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
+	release, ok := s.tenantSlot(w, r, req.Doc)
+	if !ok {
+		return
+	}
+	defer release()
 	res, err := s.store.CreateCtx(r.Context(), req.Doc, req.XML)
 	if err != nil {
 		s.storeErr(w, r, err)
@@ -159,6 +189,11 @@ func (s *server) handleDocGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleDocDrop(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Add("serve.requests", 1)
+	release, ok := s.tenantSlot(w, r, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	defer release()
 	res, err := s.store.DropCtx(r.Context(), r.PathValue("id"))
 	if err != nil {
 		s.storeErr(w, r, err)
@@ -178,14 +213,20 @@ func (s *server) handleDocUpdate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad-request", err.Error())
 		return
 	}
+	tenantRelease, ok := s.tenantSlot(w, r, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	defer tenantRelease()
 	// Admission runs the commute/fired-semantics checks — detection
 	// work — so it rides the same bounded worker pool as /v1/detect.
 	release, err := s.acquireSlot(r.Context())
 	if err != nil {
-		s.rejectSlot(w, err)
+		s.rejectSlot(w, err, "docs")
 		return
 	}
 	defer release()
+	begin := time.Now()
 	res, err := s.store.SubmitCtx(r.Context(), r.PathValue("id"), store.Op{
 		Kind:    req.Op,
 		Pattern: req.Pattern,
@@ -193,6 +234,9 @@ func (s *server) handleDocUpdate(w http.ResponseWriter, r *http.Request) {
 		Sem:     sem,
 		BaseLSN: req.BaseLSN,
 	})
+	// The docs route keeps its own latency distribution: its Retry-After
+	// hint must track fsync-bound store latency, not detect latency.
+	s.metrics.Timer("serve.docs").ObserveTraced(time.Since(begin), traceID(r))
 	if err != nil {
 		s.storeErr(w, r, err)
 		return
@@ -206,18 +250,41 @@ func (s *server) handleDocUpdate(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleDocSnapshot(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Add("serve.requests", 1)
 	// The path names a document for symmetry with the other routes, but
-	// snapshots are whole-store: verify the document exists, then
-	// capture everything at the store's current LSN.
-	if _, err := s.store.Get(r.PathValue("id")); err != nil {
+	// snapshots are whole-space: verify the document exists, then
+	// snapshot every shard. The reply LSN is the owning shard's — the
+	// one that covers the named document.
+	id := r.PathValue("id")
+	if _, err := s.store.Get(id); err != nil {
 		s.storeErr(w, r, err)
 		return
 	}
-	lsn, err := s.store.Snapshot()
+	lsns, err := s.store.SnapshotAll()
 	if err != nil {
 		s.storeErr(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, docResponse{Doc: r.PathValue("id"), LSN: lsn})
+	writeJSON(w, http.StatusOK, docResponse{Doc: id, LSN: lsns[s.store.ShardFor(id)]})
+}
+
+// docListResponse is the GET /v1/docs reply: every stored document
+// across all shards, gathered deterministically (sorted by id), each
+// naming the shard that owns it.
+type docListResponse struct {
+	Docs   []shard.DocEntry `json:"docs"`
+	Shards int              `json:"shards"`
+}
+
+func (s *server) handleDocList(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Add("serve.requests", 1)
+	entries, err := s.store.List()
+	if err != nil {
+		s.storeErr(w, r, err)
+		return
+	}
+	if entries == nil {
+		entries = []shard.DocEntry{}
+	}
+	writeJSON(w, http.StatusOK, docListResponse{Docs: entries, Shards: s.store.Shards()})
 }
 
 // parseFsyncPolicy maps the -store-fsync flag value.

@@ -11,20 +11,27 @@ import (
 	"time"
 
 	"xmlconflict/internal/faultinject"
+	"xmlconflict/internal/shard"
 	"xmlconflict/internal/store"
 )
 
 // newStoreServer builds a server with the document store mounted on a
-// fresh directory.
+// fresh directory (unsharded; see newShardedServer for S > 1).
 func newStoreServer(t *testing.T, dir string) *server {
+	return newShardedServer(t, dir, 1)
+}
+
+// newShardedServer builds a server whose document space spans n store
+// shards rooted at dir.
+func newShardedServer(t *testing.T, dir string, n int) *server {
 	t.Helper()
 	s := newServer(2, time.Second, 1<<20)
-	st, err := store.Open(dir, store.Options{Metrics: s.metrics})
+	rt, err := shard.Open(dir, shard.Options{Shards: n, Store: store.Options{Metrics: s.metrics}})
 	if err != nil {
-		t.Fatalf("store.Open: %v", err)
+		t.Fatalf("shard.Open: %v", err)
 	}
-	t.Cleanup(func() { st.Close() })
-	s.store = st
+	t.Cleanup(func() { rt.Close() })
+	s.store = rt
 	return s
 }
 
@@ -272,12 +279,12 @@ func TestChaosStoreKillMidCommit(t *testing.T) {
 	// "Restart": recovery over the same directory reproduces exactly
 	// the acknowledged state — torn tail cut, digest verified.
 	faultinject.Reset()
-	st, err := store.Open(dir, store.Options{})
+	rt, err := shard.Open(dir, shard.Options{Shards: 1})
 	if err != nil {
 		t.Fatalf("recovery: %v", err)
 	}
-	defer st.Close()
-	info, err := st.Get("d")
+	defer rt.Close()
+	info, err := rt.Get("d")
 	if err != nil {
 		t.Fatalf("recovered Get: %v", err)
 	}

@@ -197,19 +197,19 @@ func TestTraceparentContinuation(t *testing.T) {
 // re-walking the latency histogram per rejection.
 func TestRetryAfterClampAndMemoization(t *testing.T) {
 	s := newServer(1, time.Second, 1<<20)
-	if got := s.retryAfter(); got != "1" {
+	if got := s.retryAfter("detect"); got != "1" {
 		t.Fatalf("no observations: %q, want 1 (lower clamp)", got)
 	}
 	for i := 0; i < 20; i++ {
 		s.metrics.Timer("serve.detect").Observe(2 * time.Hour)
 	}
 	// Inside the TTL the derivation must not rerun: stale hint.
-	if got := s.retryAfter(); got != "1" {
+	if got := s.retryAfter("detect"); got != "1" {
 		t.Fatalf("inside TTL: %q, want memoized 1", got)
 	}
 	// After expiry the recomputed hint hits the upper clamp.
-	s.retryUntil.Store(0)
-	if got := s.retryAfter(); got != "60" {
+	s.retry["detect"].until.Store(0)
+	if got := s.retryAfter("detect"); got != "60" {
 		t.Fatalf("after expiry: %q, want 60 (upper clamp)", got)
 	}
 }

@@ -18,7 +18,7 @@ import (
 const (
 	ClassOK       = "ok"       // 2xx
 	ClassConflict = "conflict" // 409 (detector admission rejection, stale base, exists)
-	ClassShed     = "shed"     // 503 (worker pool saturated, draining, store closed)
+	ClassShed     = "shed"     // 503 (pool saturated, draining, store closed) or 429 (tenant quota)
 	ClassTimeout  = "timeout"  // per-request budget exhausted client-side
 	ClassError    = "error"    // transport failure or any other status
 )
@@ -175,6 +175,9 @@ func (c *Client) doOne(ctx context.Context, g genRequest) result {
 	if rd != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if g.tenant != "" {
+		req.Header.Set("X-Tenant", g.tenant)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		res.note = err.Error()
@@ -193,7 +196,11 @@ func (c *Client) doOne(ctx context.Context, g genRequest) result {
 		res.class = ClassOK
 	case resp.StatusCode == http.StatusConflict:
 		res.class = ClassConflict
-	case resp.StatusCode == http.StatusServiceUnavailable:
+	case resp.StatusCode == http.StatusServiceUnavailable,
+		resp.StatusCode == http.StatusTooManyRequests:
+		// Both are the server shedding load it cannot take right now —
+		// 503 for pool/drain/store pressure, 429 for a tenant past its
+		// inflight quota. Either way the request was refused, not failed.
 		res.class = ClassShed
 	default:
 		res.class = ClassError

@@ -43,6 +43,9 @@ type genRequest struct {
 	// wantLSN marks responses whose "lsn" field advances the scenario's
 	// view of the store head (the base for lagged-conflict ops).
 	wantLSN bool
+	// tenant, when non-empty, is sent as the X-Tenant header so the
+	// server attributes the request to that tenant's quota envelope.
+	tenant string
 	// chain holds follow-up calls executed synchronously after this one
 	// by the same worker (store-churn cycles); the composite is measured
 	// and classified as one operation.
@@ -98,6 +101,7 @@ func Scenarios() []Scenario {
 		conflictHeavyScenario(),
 		batchAnalyzeScenario(),
 		storeChurnScenario(),
+		storeChurnShardedScenario(),
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

@@ -245,15 +245,31 @@ func Compare(oldR, newR Report) (findings []CompareFinding, notes []string) {
 	lat("latency.p90_us", oldR.Latency.P90Us, newR.Latency.P90Us)
 	lat("latency.p99_us", oldR.Latency.P99Us, newR.Latency.P99Us)
 	lat("service.p99_us", oldR.Service.P99Us, newR.Service.P99Us)
-	rate := func(name string, o, n float64) {
-		if n-o > RateDriftPP || o-n > RateDriftPP {
-			findings = append(findings, CompareFinding{Metric: name, Old: o, New: n})
+	// Outcome-rate drift is derived from the raw counts, not the stored
+	// (rounded) Rates fields, and guards the degenerate denominators: a
+	// class empty on both sides has no rate to drift (comparing the 0/0
+	// "rates" of two runs that never shed would previously manufacture a
+	// finding from rounding noise), and a side that sent nothing has no
+	// rates at all — that is a comparability note, not a drift.
+	zeroSent := oldR.Counts.Sent == 0 || newR.Counts.Sent == 0
+	if zeroSent {
+		notes = append(notes, fmt.Sprintf("sent counts: %d vs %d — a zero-request side has no outcome rates; rate drift skipped",
+			oldR.Counts.Sent, newR.Counts.Sent))
+	}
+	rate := func(name string, o, n int64) {
+		if zeroSent || (o == 0 && n == 0) {
+			return
+		}
+		or := float64(o) / float64(oldR.Counts.Sent)
+		nr := float64(n) / float64(newR.Counts.Sent)
+		if math.Abs(nr-or) > RateDriftPP {
+			findings = append(findings, CompareFinding{Metric: name, Old: or, New: nr})
 		}
 	}
-	rate("rates.shed", oldR.Rates.Shed, newR.Rates.Shed)
-	rate("rates.conflict", oldR.Rates.Conflict, newR.Rates.Conflict)
-	rate("rates.timeout", oldR.Rates.Timeout, newR.Rates.Timeout)
-	rate("rates.error", oldR.Rates.Error, newR.Rates.Error)
+	rate("rates.shed", oldR.Counts.Shed, newR.Counts.Shed)
+	rate("rates.conflict", oldR.Counts.Conflicts, newR.Counts.Conflicts)
+	rate("rates.timeout", oldR.Counts.Timeouts, newR.Counts.Timeouts)
+	rate("rates.error", oldR.Counts.Errors, newR.Counts.Errors)
 	if o, n := oldR.Rates.ThroughputRPS, newR.Rates.ThroughputRPS; o > 0 && n < o*(1-CompareThreshold) {
 		findings = append(findings, CompareFinding{Metric: "rates.throughput_rps", Old: o, New: n})
 	}

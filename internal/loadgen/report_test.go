@@ -105,11 +105,12 @@ func TestCompareFlagsRegressionsDeterministically(t *testing.T) {
 	}
 
 	newR := validReport()
-	newR.Latency.P99Us = oldR.Latency.P99Us * 2      // > +30%
-	newR.Latency.P50Us = oldR.Latency.P50Us + 100    // ~+11%, under threshold
-	newR.Rates.Shed = oldR.Rates.Shed + 0.05         // > 2pp drift
-	newR.Rates.Conflict = oldR.Rates.Conflict + 0.01 // under 2pp
-	newR.Rates.ThroughputRPS = 60                    // > 30% drop
+	newR.Latency.P99Us = oldR.Latency.P99Us * 2   // > +30%
+	newR.Latency.P50Us = oldR.Latency.P50Us + 100 // ~+11%, under threshold
+	newR.Counts.Shed += 5                         // 5% -> 10%: > 2pp drift
+	newR.Counts.Conflicts += 1                    // 15% -> 16%: under 2pp
+	newR.Counts.OK -= 6                           // keep the classes summing to sent
+	newR.Rates.ThroughputRPS = 60                 // > 30% drop
 
 	findings, _ := Compare(oldR, newR)
 	var metrics []string
@@ -151,5 +152,79 @@ func TestCompareNotesComparabilityHazards(t *testing.T) {
 		if !strings.Contains(joined, frag) {
 			t.Errorf("notes missing %q:\n%s", frag, joined)
 		}
+	}
+}
+
+// TestCompareRateDriftZeroClasses pins the rate-drift math on the
+// degenerate denominators: classes with zero requests on both sides
+// carry no rate and must not manufacture findings, and a side that
+// sent nothing has no rates at all — rate drift is skipped with a
+// comparability note instead of dividing 0/0.
+func TestCompareRateDriftZeroClasses(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		mutOld      func(*Report)
+		mutNew      func(*Report)
+		wantMetrics []string
+		wantNote    string
+	}{
+		{
+			// Neither run ever shed, timed out, or errored: those classes
+			// are empty on both sides and must produce no finding.
+			name:   "classes empty on both sides",
+			mutOld: func(r *Report) { r.Counts = Counts{Offered: 100, Sent: 100, OK: 90, Conflicts: 10} },
+			mutNew: func(r *Report) { r.Counts = Counts{Offered: 100, Sent: 100, OK: 90, Conflicts: 10} },
+		},
+		{
+			// A class present on one side only still drifts normally.
+			name:        "class appears on one side",
+			mutOld:      func(r *Report) { r.Counts = Counts{Offered: 100, Sent: 100, OK: 100} },
+			mutNew:      func(r *Report) { r.Counts = Counts{Offered: 100, Sent: 100, OK: 90, Shed: 10} },
+			wantMetrics: []string{"rates.shed"},
+		},
+		{
+			// The baseline sent nothing: 0/0 on every class. No spurious
+			// findings; one note explaining why rates were skipped.
+			name:     "old side sent nothing",
+			mutOld:   func(r *Report) { r.Counts = Counts{Offered: 100} },
+			mutNew:   func(r *Report) { r.Counts = Counts{Offered: 100, Sent: 100, OK: 50, Shed: 50} },
+			wantNote: "rate drift skipped",
+		},
+		{
+			name:     "new side sent nothing",
+			mutOld:   func(r *Report) { r.Counts = Counts{Offered: 100, Sent: 100, OK: 50, Shed: 50} },
+			mutNew:   func(r *Report) { r.Counts = Counts{Offered: 100} },
+			wantNote: "rate drift skipped",
+		},
+		{
+			// Both sent nothing: nothing to compare, still no findings.
+			name:     "both sides sent nothing",
+			mutOld:   func(r *Report) { r.Counts = Counts{Offered: 100} },
+			mutNew:   func(r *Report) { r.Counts = Counts{Offered: 100} },
+			wantNote: "rate drift skipped",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			oldR, newR := validReport(), validReport()
+			tc.mutOld(&oldR)
+			tc.mutNew(&newR)
+			findings, notes := Compare(oldR, newR)
+			var metrics []string
+			for _, f := range findings {
+				if strings.HasPrefix(f.Metric, "rates.") && f.Metric != "rates.throughput_rps" {
+					metrics = append(metrics, f.Metric)
+				}
+			}
+			if strings.Join(metrics, ",") != strings.Join(tc.wantMetrics, ",") {
+				t.Fatalf("rate findings = %v, want %v", metrics, tc.wantMetrics)
+			}
+			joined := strings.Join(notes, "\n")
+			if tc.wantNote != "" && !strings.Contains(joined, tc.wantNote) {
+				t.Fatalf("notes = %v, want mention of %q", notes, tc.wantNote)
+			}
+			if tc.wantNote == "" && strings.Contains(joined, "rate drift skipped") {
+				t.Fatalf("unexpected skip note: %v", notes)
+			}
+		})
 	}
 }

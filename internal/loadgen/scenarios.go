@@ -256,3 +256,46 @@ func storeChurnScenario() Scenario {
 		},
 	}
 }
+
+// storeChurnShardedScenario is store-churn spread across the sharded,
+// multi-tenant document space: each lifecycle's document belongs to one
+// of 16 tenants (the t%02d-- doc-name prefix the server's tenant
+// attribution recognizes, echoed in X-Tenant), so the doc names hash
+// across every shard and every commit carries tenant accounting. This
+// is the workload behind the shards=1 vs shards=4 fsync-bound
+// throughput experiment: with one shard every lifecycle serializes on
+// one WAL, with S shards they ride S independent WALs.
+func storeChurnShardedScenario() Scenario {
+	return Scenario{
+		Name:        "store-churn-sharded",
+		Description: "store-churn lifecycles under 16 tenant-prefixed doc names: routes across every shard, exercises tenant attribution",
+		Rate:        60,
+		Arrival:     ArrivalConstant,
+		Concurrency: 16,
+		NeedsStore:  true,
+		SLO: SLO{
+			P99MaxMs:       800,
+			MaxShedRate:    0.05,
+			MaxErrorRate:   0.01,
+			MaxTimeoutRate: 0.01,
+		},
+		gen: func(st *runState, rng *rand.Rand) genRequest {
+			c := st.cycle
+			st.cycle++
+			tenant := fmt.Sprintf("t%02d", c%16)
+			doc := fmt.Sprintf("%s--churn-%d-%d", tenant, st.seed, c)
+			docPath := "/v1/docs/" + doc
+			ins := genRequest{
+				op: "churn.insert", method: http.MethodPost, path: docPath + "/update",
+				body:   jsonBody(map[string]any{"op": "insert", "pattern": "/log", "x": "<entry><v/></entry>"}),
+				tenant: tenant,
+			}
+			return genRequest{
+				op: "churn.cycle", method: http.MethodPost, path: "/v1/docs",
+				body:   jsonBody(map[string]any{"doc": doc, "xml": "<log/>"}),
+				tenant: tenant,
+				chain:  []genRequest{ins, ins, ins, {op: "churn.drop", method: http.MethodDelete, path: docPath, tenant: tenant}},
+			}
+		},
+	}
+}

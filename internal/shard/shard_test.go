@@ -1,0 +1,318 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"xmlconflict/internal/store"
+	"xmlconflict/internal/telemetry"
+)
+
+// openTest opens a router over a temp dir and closes it with the test.
+func openTest(t *testing.T, dir string, opts Options) *Router {
+	t.Helper()
+	r, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// docOnShard finds a document name the router maps to the given shard.
+func docOnShard(t *testing.T, r *Router, shard int) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		name := fmt.Sprintf("doc-%d", i)
+		if r.ShardFor(name) == shard {
+			return name
+		}
+	}
+	t.Fatalf("no doc name found for shard %d", shard)
+	return ""
+}
+
+func TestRoutingIsDeterministicAndCoversAllShards(t *testing.T) {
+	r := openTest(t, t.TempDir(), Options{Shards: 4})
+	seen := map[int]int{}
+	for i := 0; i < 4000; i++ {
+		name := fmt.Sprintf("doc-%d", i)
+		s1, s2 := r.ShardFor(name), r.ShardFor(name)
+		if s1 != s2 {
+			t.Fatalf("ShardFor(%q) unstable: %d then %d", name, s1, s2)
+		}
+		if s1 < 0 || s1 >= 4 {
+			t.Fatalf("ShardFor(%q) = %d out of range", name, s1)
+		}
+		seen[s1]++
+	}
+	for i := 0; i < 4; i++ {
+		if seen[i] == 0 {
+			t.Fatalf("shard %d owns no documents out of 4000: %v", i, seen)
+		}
+	}
+}
+
+func TestRoutedOpsLandOnOwningStore(t *testing.T) {
+	r := openTest(t, t.TempDir(), Options{Shards: 3})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		id := docOnShard(t, r, i)
+		if _, err := r.CreateCtx(ctx, id, "<a/>"); err != nil {
+			t.Fatalf("create %s: %v", id, err)
+		}
+		// The owning store holds it; the others must not.
+		for j := 0; j < 3; j++ {
+			_, err := r.Store(j).Get(id)
+			if j == i && err != nil {
+				t.Fatalf("shard %d should own %s: %v", j, id, err)
+			}
+			if j != i && !errors.Is(err, store.ErrNotFound) {
+				t.Fatalf("shard %d unexpectedly knows %s (err=%v)", j, id, err)
+			}
+		}
+		if _, err := r.SubmitCtx(ctx, id, store.Op{Kind: "insert", Pattern: "/a", X: "<x/>"}); err != nil {
+			t.Fatalf("submit %s: %v", id, err)
+		}
+		if _, err := r.Get(id); err != nil {
+			t.Fatalf("router Get %s: %v", id, err)
+		}
+	}
+	ids := r.Docs()
+	if len(ids) != 3 {
+		t.Fatalf("Docs() = %v, want 3 ids", ids)
+	}
+}
+
+func TestManifestRefusesShardCountChange(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if _, err := Open(dir, Options{Shards: 2}); err == nil {
+		t.Fatal("reopen with a different shard count succeeded; documents would misroute")
+	}
+	r2, err := Open(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatalf("reopen with matching count: %v", err)
+	}
+	r2.Close()
+}
+
+func TestLegacyUnshardedDirectory(t *testing.T) {
+	dir := t.TempDir()
+	// A pre-sharding store rooted at dir, as PR 5 laid it out.
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Create("legacy-doc", "<a/>"); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	if _, err := Open(dir, Options{Shards: 4}); err == nil {
+		t.Fatal("sharded open over a legacy store succeeded; its documents would be unreachable")
+	}
+	r := openTest(t, dir, Options{Shards: 1})
+	if _, err := r.Get("legacy-doc"); err != nil {
+		t.Fatalf("legacy document lost after shard.Open: %v", err)
+	}
+}
+
+func TestCrossShardListDeterminism(t *testing.T) {
+	r := openTest(t, t.TempDir(), Options{Shards: 4})
+	ctx := context.Background()
+	for i := 0; i < 40; i++ {
+		id := fmt.Sprintf("doc-%03d", i)
+		if _, err := r.CreateCtx(ctx, id, "<a/>"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, err := r.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(first) != 40 {
+		t.Fatalf("List returned %d entries, want 40", len(first))
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1].Doc >= first[i].Doc {
+			t.Fatalf("listing not sorted: %q before %q", first[i-1].Doc, first[i].Doc)
+		}
+	}
+	for _, e := range first {
+		if e.Shard != r.ShardFor(e.Doc) {
+			t.Fatalf("entry %q reports shard %d, router says %d", e.Doc, e.Shard, r.ShardFor(e.Doc))
+		}
+	}
+	// The gather must be deterministic run over run, whatever order the
+	// per-shard goroutines finish in.
+	for rep := 0; rep < 10; rep++ {
+		again, err := r.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != len(first) {
+			t.Fatalf("rep %d: %d entries, want %d", rep, len(again), len(first))
+		}
+		for i := range again {
+			if again[i] != first[i] {
+				t.Fatalf("rep %d: entry %d drifted: %+v vs %+v", rep, i, again[i], first[i])
+			}
+		}
+	}
+}
+
+func TestPerShardMetricsLabeled(t *testing.T) {
+	m := telemetry.New()
+	r := openTest(t, t.TempDir(), Options{Shards: 2, Store: store.Options{Metrics: m}})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := r.CreateCtx(ctx, docOnShard(t, r, i), "<a/>"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := m.Snapshot()
+	for i := 0; i < 2; i++ {
+		key := fmt.Sprintf("store.appends|shard=%d", i)
+		if snap.Counter(key) == 0 {
+			t.Fatalf("no %s series after a create on shard %d; counters: %v", key, i, snap.Counters)
+		}
+	}
+}
+
+func TestSnapshotAllAndLSNs(t *testing.T) {
+	r := openTest(t, t.TempDir(), Options{Shards: 3})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := r.CreateCtx(ctx, docOnShard(t, r, i), "<a/>"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lsns, err := r.SnapshotAll()
+	if err != nil {
+		t.Fatalf("SnapshotAll: %v", err)
+	}
+	if len(lsns) != 3 {
+		t.Fatalf("SnapshotAll returned %d lsns, want 3", len(lsns))
+	}
+	for i, lsn := range lsns {
+		if lsn == 0 {
+			t.Fatalf("shard %d snapshot LSN 0 after a create", i)
+		}
+		if got := r.LSNs()[i]; got != lsn {
+			t.Fatalf("shard %d: LSNs()=%d, snapshot said %d", i, got, lsn)
+		}
+	}
+}
+
+func TestTenantOf(t *testing.T) {
+	cases := []struct{ header, doc, want string }{
+		{"acme", "x--doc", "acme"},       // header wins
+		{"", "acme--doc-1", "acme"},      // doc prefix
+		{"", "--doc", DefaultTenant},     // empty prefix is no tenant
+		{"", "plain-doc", DefaultTenant}, // no signal
+		{"", "", DefaultTenant},
+	}
+	for _, c := range cases {
+		if got := TenantOf(c.header, c.doc); got != c.want {
+			t.Errorf("TenantOf(%q, %q) = %q, want %q", c.header, c.doc, got, c.want)
+		}
+	}
+}
+
+func TestTenantLimiterBoundsInflight(t *testing.T) {
+	m := telemetry.New()
+	l := NewTenantLimiter(2, m)
+	rel1, err := l.Acquire("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := l.Acquire("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Acquire("acme"); !errors.Is(err, ErrTenantLimit) {
+		t.Fatalf("third acquire: %v, want ErrTenantLimit", err)
+	}
+	// Another tenant is unaffected: the limit is per tenant.
+	relB, err := l.Acquire("beta")
+	if err != nil {
+		t.Fatalf("other tenant rejected: %v", err)
+	}
+	relB()
+	rel1()
+	rel3, err := l.Acquire("acme")
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	rel3()
+	rel2()
+
+	snap := m.Snapshot()
+	if snap.Counter("tenant.requests|tenant=acme") != 4 {
+		t.Fatalf("acme requests = %d, want 4", snap.Counter("tenant.requests|tenant=acme"))
+	}
+	if snap.Counter("tenant.rejected|tenant=acme") != 1 {
+		t.Fatalf("acme rejected = %d, want 1", snap.Counter("tenant.rejected|tenant=acme"))
+	}
+	if got := snap.Gauges["tenant.inflight|tenant=acme"]; got != 0 {
+		t.Fatalf("acme inflight gauge = %d after releases, want 0", got)
+	}
+}
+
+func TestTenantLimiterZeroIsUnlimitedButCounted(t *testing.T) {
+	m := telemetry.New()
+	l := NewTenantLimiter(0, m)
+	for i := 0; i < 50; i++ {
+		rel, err := l.Acquire("acme")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rel()
+	}
+	if n := m.Snapshot().Counter("tenant.requests|tenant=acme"); n != 50 {
+		t.Fatalf("requests = %d, want 50", n)
+	}
+}
+
+func TestTenantLimiterOverflowBucket(t *testing.T) {
+	l := NewTenantLimiter(1, telemetry.New())
+	l.mu.Lock()
+	for i := 0; i < maxTrackedTenants; i++ {
+		l.state(fmt.Sprintf("t%d", i))
+	}
+	l.mu.Unlock()
+	rel, err := l.Acquire("one-too-many")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	if _, err := l.Acquire("another-fresh-tenant"); !errors.Is(err, ErrTenantLimit) {
+		t.Fatalf("tenants past the cap must share the overflow allowance, got %v", err)
+	}
+	if _, ok := l.tenants["one-too-many"]; ok {
+		t.Fatal("tenant past the cap was tracked individually")
+	}
+}
+
+func TestLabeledMetricsSanitizeTenantNames(t *testing.T) {
+	m := telemetry.New()
+	l := NewTenantLimiter(0, m)
+	rel, err := l.Acquire(`evil|tenant="x",y=z`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	for name := range m.Snapshot().Counters {
+		if strings.Count(name, "|") > 1 || strings.Contains(name, `"`) {
+			t.Fatalf("unsanitized series name %q", name)
+		}
+	}
+}

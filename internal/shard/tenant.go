@@ -1,0 +1,117 @@
+package shard
+
+import (
+	"errors"
+	"strings"
+	"sync"
+
+	"xmlconflict/internal/telemetry"
+)
+
+// ErrTenantLimit is returned by TenantLimiter.Acquire when a tenant
+// already holds its full inflight allowance; servers map it to a 429
+// quota envelope so one hot tenant backs off instead of starving the
+// rest of the pool.
+var ErrTenantLimit = errors.New("shard: tenant inflight limit reached")
+
+// DefaultTenant names requests that carry no tenant signal at all.
+const DefaultTenant = "default"
+
+// maxTrackedTenants bounds the limiter's per-tenant state (and the
+// cardinality of the tenant.* metric series). Tenants past the cap
+// share one overflow bucket: they are still limited — collectively —
+// and the overflow is observable, rather than letting an id-spraying
+// client grow process memory without bound.
+const maxTrackedTenants = 4096
+
+// overflowTenant is the shared bucket for tenants past the cap.
+const overflowTenant = "~overflow"
+
+// TenantOf extracts the tenant for a request: an explicit X-Tenant
+// header value wins; otherwise a "tenant--doc" name prefix on the
+// document id; otherwise DefaultTenant.
+func TenantOf(header, doc string) string {
+	if header != "" {
+		return header
+	}
+	if i := strings.Index(doc, "--"); i > 0 {
+		return doc[:i]
+	}
+	return DefaultTenant
+}
+
+// tenantState is one tenant's live accounting.
+type tenantState struct {
+	inflight int
+	m        *telemetry.Metrics // labeled view: tenant.* series for this tenant
+}
+
+// TenantLimiter bounds per-tenant inflight operations. The zero limit
+// disables limiting (Acquire always admits) but still counts per-
+// tenant traffic, so the tenant dimension is observable before quotas
+// are turned on.
+type TenantLimiter struct {
+	max  int
+	base *telemetry.Metrics
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+}
+
+// NewTenantLimiter returns a limiter admitting at most max concurrent
+// operations per tenant (0 = unlimited). Per-tenant series record
+// into labeled views of m: tenant.requests, tenant.rejected,
+// tenant.inflight — each suffixed |tenant=<name>.
+func NewTenantLimiter(max int, m *telemetry.Metrics) *TenantLimiter {
+	return &TenantLimiter{max: max, base: m, tenants: map[string]*tenantState{}}
+}
+
+// Limit returns the per-tenant inflight allowance (0 = unlimited).
+func (l *TenantLimiter) Limit() int {
+	if l == nil {
+		return 0
+	}
+	return l.max
+}
+
+// state returns the accounting bucket for tenant, folding tenants
+// past the tracking cap into the shared overflow bucket. Caller holds
+// l.mu.
+func (l *TenantLimiter) state(tenant string) *tenantState {
+	if ts := l.tenants[tenant]; ts != nil {
+		return ts
+	}
+	if len(l.tenants) >= maxTrackedTenants && tenant != overflowTenant {
+		return l.state(overflowTenant)
+	}
+	ts := &tenantState{m: l.base.Labeled("tenant", tenant)}
+	l.tenants[tenant] = ts
+	return ts
+}
+
+// Acquire admits one operation for tenant, returning a release
+// function, or ErrTenantLimit when the tenant's allowance is fully in
+// flight. The release function is idempotent-unsafe (call it exactly
+// once, typically deferred).
+func (l *TenantLimiter) Acquire(tenant string) (func(), error) {
+	if l == nil {
+		return func() {}, nil
+	}
+	l.mu.Lock()
+	ts := l.state(tenant)
+	ts.m.Add("tenant.requests", 1)
+	if l.max > 0 && ts.inflight >= l.max {
+		ts.m.Add("tenant.rejected", 1)
+		l.mu.Unlock()
+		return nil, ErrTenantLimit
+	}
+	ts.inflight++
+	ts.m.Gauge("tenant.inflight").Set(int64(ts.inflight))
+	l.mu.Unlock()
+	return func() {
+		l.mu.Lock()
+		ts.inflight--
+		ts.m.Gauge("tenant.inflight").Set(int64(ts.inflight))
+		l.mu.Unlock()
+	}, nil
+}

@@ -1,0 +1,84 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xmlconflict/internal/telemetry"
+)
+
+func writeTestSnap(t *testing.T, dir string, lsn uint64) {
+	t.Helper()
+	if _, err := writeSnapshot(dir, snapshot{LSN: lsn}); err != nil {
+		t.Fatalf("writeSnapshot lsn %d: %v", lsn, err)
+	}
+}
+
+func snapFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := listSnapshots(dir)
+	if err != nil {
+		t.Fatalf("listSnapshots: %v", err)
+	}
+	return names
+}
+
+// TestPruneSnapshotsKeepsNewest is the plain case: prune removes all
+// but the keep newest snapshots and reports no errors.
+func TestPruneSnapshotsKeepsNewest(t *testing.T) {
+	dir := t.TempDir()
+	for _, lsn := range []uint64{1, 2, 3, 4, 5} {
+		writeTestSnap(t, dir, lsn)
+	}
+	m := telemetry.New()
+	pruneSnapshots(dir, 2, 5, m)
+	got := snapFiles(t, dir)
+	want := []string{snapName(5), snapName(4)}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("after prune: %v, want %v", got, want)
+	}
+	if n := m.Snapshot().Counter("store.snapshot.prune_errors"); n != 0 {
+		t.Fatalf("prune_errors = %d, want 0", n)
+	}
+}
+
+// TestPruneSnapshotsRaceNeverDeletesOwnNewest models a prune racing a
+// concurrent Open in a directory another store instance also writes:
+// foreign snapshots with newer LSNs fill the keep window, pushing this
+// store's just-published snapshot past it. The prune must still never
+// remove a snapshot at or beyond the LSN it just published — that file
+// is the newest state THIS store can recover from.
+func TestPruneSnapshotsRaceNeverDeletesOwnNewest(t *testing.T) {
+	dir := t.TempDir()
+	for _, lsn := range []uint64{3, 4, 5} {
+		writeTestSnap(t, dir, lsn) // ours; 5 is the one just published
+	}
+	for _, lsn := range []uint64{7, 8, 9} {
+		writeTestSnap(t, dir, lsn) // foreign, written by the racing store
+	}
+	m := telemetry.New()
+	pruneSnapshots(dir, 2, 5, m)
+	if _, err := os.Stat(filepath.Join(dir, snapName(5))); err != nil {
+		t.Fatalf("prune deleted the just-published snapshot: %v\nremaining: %v", err, snapFiles(t, dir))
+	}
+	// Older fallbacks below curLSN outside the keep window do go.
+	for _, lsn := range []uint64{3, 4} {
+		if _, err := os.Stat(filepath.Join(dir, snapName(lsn))); err == nil {
+			t.Fatalf("snapshot lsn %d survived prune (keep=2): %v", lsn, snapFiles(t, dir))
+		}
+	}
+	if n := m.Snapshot().Counter("store.snapshot.prune_errors"); n != 0 {
+		t.Fatalf("prune_errors = %d, want 0", n)
+	}
+}
+
+// TestPruneSnapshotsCountsErrors: a prune that cannot list its
+// directory must be observable, not silent.
+func TestPruneSnapshotsCountsErrors(t *testing.T) {
+	m := telemetry.New()
+	pruneSnapshots(filepath.Join(t.TempDir(), "missing"), 1, 1, m)
+	if n := m.Snapshot().Counter("store.snapshot.prune_errors"); n != 1 {
+		t.Fatalf("prune_errors = %d, want 1", n)
+	}
+}

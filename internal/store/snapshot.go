@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"xmlconflict/internal/faultinject"
+	"xmlconflict/internal/telemetry"
 	"xmlconflict/internal/xmltree"
 )
 
@@ -160,14 +161,31 @@ func loadSnapshot(path string, lim xmltree.ParseLimits) (snapshot, map[string]*x
 	return snap, trees, nil
 }
 
-// pruneSnapshots removes all but the keep newest snapshot files.
-func pruneSnapshots(dir string, keep int) {
+// pruneSnapshots removes all but the keep newest snapshot files,
+// counting every listing or removal failure in the
+// "store.snapshot.prune_errors" counter so an undeletable backlog is
+// observable instead of silently accumulating. curLSN is the LSN of
+// the snapshot this store just published: no snapshot at or beyond it
+// is ever removed, even when the directory listing says it fell past
+// the keep window — a prune racing another Open writing newer-LSN
+// snapshots into the same directory must not delete the newest state
+// this store can recover from.
+func pruneSnapshots(dir string, keep int, curLSN uint64, m *telemetry.Metrics) {
 	names, err := listSnapshots(dir)
-	if err != nil || len(names) <= keep {
+	if err != nil {
+		m.Add("store.snapshot.prune_errors", 1)
+		return
+	}
+	if len(names) <= keep {
 		return
 	}
 	for _, name := range names[keep:] {
-		os.Remove(filepath.Join(dir, name))
+		if lsn, ok := snapLSNFromName(name); ok && lsn >= curLSN {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
+			m.Add("store.snapshot.prune_errors", 1)
+		}
 	}
 }
 

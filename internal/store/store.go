@@ -838,7 +838,7 @@ func (s *Store) snapshotLocked() (uint64, error) {
 		// space.
 		s.m.Add("store.snapshot_errors", 1)
 	}
-	pruneSnapshots(s.dir, s.opts.KeepSnapshots)
+	pruneSnapshots(s.dir, s.opts.KeepSnapshots, snap.LSN, s.m)
 	s.sinceSnap = 0
 	s.m.Add("store.snapshots", 1)
 	return snap.LSN, nil

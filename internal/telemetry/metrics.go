@@ -148,22 +148,104 @@ func (t *Timer) Hist() *Histogram {
 // Metrics is a registry of named counters, gauges, and timers, created
 // lazily on first use. The nil *Metrics is a valid disabled registry:
 // lookups return nil instruments, which in turn discard updates.
+//
+// Labeled returns a *view* of a registry that stamps a label pair onto
+// every instrument name it touches ("store.appends" becomes
+// "store.appends|shard=0"): the shard router hands each shard's store a
+// labeled view of the shared registry, so per-shard series coexist in
+// one /metrics exposition without the instrumented code knowing it was
+// sharded. The label suffix uses '|' followed by comma-separated k=v
+// pairs; obshttp renders it as a Prometheus label block.
 type Metrics struct {
 	mu         sync.RWMutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	timers     map[string]*Timer
 	histograms map[string]*Histogram
+
+	// parent/labels make this a labeled view: instruments live in the
+	// parent's maps under label-suffixed names. Both are immutable after
+	// Labeled returns the view, so only root registries take mu.
+	parent *Metrics
+	labels string
 }
 
 // New returns an empty registry.
 func New() *Metrics { return &Metrics{} }
+
+// root resolves a view to the registry that owns the instrument maps.
+func (m *Metrics) root() *Metrics {
+	if m.parent != nil {
+		return m.parent
+	}
+	return m
+}
+
+// full appends the view's label suffix to an instrument name.
+func (m *Metrics) full(name string) string {
+	if m.labels == "" {
+		return name
+	}
+	return name + "|" + m.labels
+}
+
+// Labeled returns a view of this registry that records every instrument
+// under name|key=value (labels accumulate across nested views). The
+// view shares the underlying storage: its series appear in the root's
+// Snapshot and exposition alongside everything else. Label keys and
+// values are sanitized so they cannot corrupt the name encoding.
+func (m *Metrics) Labeled(key, value string) *Metrics {
+	if m == nil {
+		return nil
+	}
+	pair := sanitizeLabel(key) + "=" + sanitizeLabel(value)
+	labels := pair
+	if m.labels != "" {
+		labels = m.labels + "," + pair
+	}
+	return &Metrics{parent: m.root(), labels: labels}
+}
+
+// sanitizeLabel strips the characters the name encoding reserves
+// ('|', ',', '=', '"') plus whitespace, replacing them with '_'.
+func sanitizeLabel(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '|', ',', '=', '"', ' ', '\t', '\n', '\r':
+			b.WriteByte('_')
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// SplitLabels decodes an instrument name as stored by a labeled view:
+// the base name plus the label pairs in recorded order. Names without a
+// label suffix return nil pairs.
+func SplitLabels(name string) (base string, pairs [][2]string) {
+	i := strings.IndexByte(name, '|')
+	if i < 0 {
+		return name, nil
+	}
+	base = name[:i]
+	for _, kv := range strings.Split(name[i+1:], ",") {
+		if j := strings.IndexByte(kv, '='); j >= 0 {
+			pairs = append(pairs, [2]string{kv[:j], kv[j+1:]})
+		}
+	}
+	return base, pairs
+}
 
 // Counter returns the named counter, creating it on first use.
 func (m *Metrics) Counter(name string) *Counter {
 	if m == nil {
 		return nil
 	}
+	name = m.full(name)
+	m = m.root()
 	m.mu.RLock()
 	c := m.counters[name]
 	m.mu.RUnlock()
@@ -190,6 +272,8 @@ func (m *Metrics) Gauge(name string) *Gauge {
 	if m == nil {
 		return nil
 	}
+	name = m.full(name)
+	m = m.root()
 	m.mu.RLock()
 	g := m.gauges[name]
 	m.mu.RUnlock()
@@ -213,6 +297,8 @@ func (m *Metrics) Timer(name string) *Timer {
 	if m == nil {
 		return nil
 	}
+	name = m.full(name)
+	m = m.root()
 	m.mu.RLock()
 	t := m.timers[name]
 	m.mu.RUnlock()
@@ -236,6 +322,8 @@ func (m *Metrics) Histogram(name string) *Histogram {
 	if m == nil {
 		return nil
 	}
+	name = m.full(name)
+	m = m.root()
 	m.mu.RLock()
 	h := m.histograms[name]
 	m.mu.RUnlock()
@@ -289,6 +377,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	if m == nil {
 		return s
 	}
+	m = m.root()
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	for name, c := range m.counters {
@@ -351,6 +440,7 @@ func (m *Metrics) Publish(name string) bool {
 	if m == nil {
 		return false
 	}
+	m = m.root()
 	publishMu.Lock()
 	defer publishMu.Unlock()
 	if expvar.Get(name) != nil {

@@ -185,3 +185,68 @@ func TestPublish(t *testing.T) {
 		t.Fatalf("expvar snapshot: %+v", s)
 	}
 }
+
+// TestLabeledViews: a labeled view writes into the parent registry
+// under name|k=v keys, views compose, and label values are sanitized
+// so they cannot forge the |-separated series encoding.
+func TestLabeledViews(t *testing.T) {
+	m := New()
+	m.Labeled("shard", "0").Add("store.appends", 2)
+	m.Labeled("shard", "1").Add("store.appends", 5)
+	m.Add("store.appends", 1) // unlabeled series is distinct
+
+	s := m.Snapshot()
+	if s.Counter("store.appends") != 1 ||
+		s.Counter("store.appends|shard=0") != 2 ||
+		s.Counter("store.appends|shard=1") != 5 {
+		t.Fatalf("labeled counters: %+v", s.Counters)
+	}
+
+	// Views compose: Labeled on a view accumulates pairs on the root.
+	m.Labeled("shard", "0").Labeled("tenant", "acme").Gauge("tenant.inflight").Set(3)
+	if got := m.Gauge("tenant.inflight|shard=0,tenant=acme").Load(); got != 3 {
+		t.Fatalf("composed labels: gauge = %d", got)
+	}
+
+	// The same series is shared between the view and the root key.
+	v := m.Labeled("shard", "1")
+	v.Counter("store.appends").Inc()
+	if got := m.Counter("store.appends|shard=1").Load(); got != 6 {
+		t.Fatalf("view and root diverged: %d", got)
+	}
+
+	// Hostile label values cannot split series or break parsing.
+	m.Labeled("tenant", `a|b,c=d"e`).Add("tenant.requests", 1)
+	if got := m.Counter("tenant.requests|tenant=a_b_c_d_e").Load(); got != 1 {
+		t.Fatalf("unsanitized label leaked: %+v", m.Snapshot().Counters)
+	}
+
+	// Nil receivers stay nil-safe through Labeled.
+	var nilM *Metrics
+	nilM.Labeled("shard", "9").Add("x", 1)
+	nilM.Labeled("shard", "9").Timer("t").Observe(time.Millisecond)
+}
+
+func TestSplitLabels(t *testing.T) {
+	for _, tc := range []struct {
+		in, base string
+		pairs    [][2]string
+	}{
+		{"store.appends", "store.appends", nil},
+		{"store.appends|shard=0", "store.appends", [][2]string{{"shard", "0"}}},
+		{"t.x|shard=2,tenant=acme", "t.x", [][2]string{{"shard", "2"}, {"tenant", "acme"}}},
+	} {
+		base, pairs := SplitLabels(tc.in)
+		if base != tc.base {
+			t.Fatalf("SplitLabels(%q) base = %q, want %q", tc.in, base, tc.base)
+		}
+		if len(pairs) != len(tc.pairs) {
+			t.Fatalf("SplitLabels(%q) pairs = %v, want %v", tc.in, pairs, tc.pairs)
+		}
+		for i := range pairs {
+			if pairs[i] != tc.pairs[i] {
+				t.Fatalf("SplitLabels(%q) pair %d = %v, want %v", tc.in, i, pairs[i], tc.pairs[i])
+			}
+		}
+	}
+}

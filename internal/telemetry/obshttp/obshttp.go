@@ -197,52 +197,64 @@ func writeExposition(w io.Writer, ns string, s telemetry.Snapshot, om bool) {
 		// OpenMetrics requires counter sample names to end in _total.
 		counterSuffix = "_total"
 	}
-	for _, name := range sortedKeys(s.Counters) {
-		pn := promName(ns, name)
-		fmt.Fprintf(w, "# TYPE %s counter\n", pn)
-		fmt.Fprintf(w, "%s%s %d\n", pn, counterSuffix, s.Counters[name])
+	// Labeled registry views record series under "name|k=v,..." keys;
+	// the family groups series sorted by base name so each # TYPE line
+	// is emitted exactly once per family, with every labeled sample
+	// under it (OpenMetrics forbids interleaved metric families).
+	lastType := ""
+	typeLine := func(pn, kind string) {
+		if pn != lastType {
+			fmt.Fprintf(w, "# TYPE %s %s\n", pn, kind)
+			lastType = pn
+		}
 	}
-	for _, name := range sortedKeys(s.Gauges) {
-		pn := promName(ns, name)
-		fmt.Fprintf(w, "# TYPE %s gauge\n", pn)
-		fmt.Fprintf(w, "%s %d\n", pn, s.Gauges[name])
+	for _, name := range sortedSeries(s.Counters) {
+		pn, lb := promSeries(ns, name)
+		typeLine(pn, "counter")
+		fmt.Fprintf(w, "%s%s%s %d\n", pn, counterSuffix, lb, s.Counters[name])
+	}
+	for _, name := range sortedSeries(s.Gauges) {
+		pn, lb := promSeries(ns, name)
+		typeLine(pn, "gauge")
+		fmt.Fprintf(w, "%s%s %d\n", pn, lb, s.Gauges[name])
 	}
 
-	for _, name := range sortedKeys(s.Timers) {
+	for _, name := range sortedSeries(s.Timers) {
 		t := s.Timers[name]
-		pn := promName(ns, name) + "_seconds"
-		fmt.Fprintf(w, "# TYPE %s summary\n", pn)
-		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %g\n", pn, t.P50.Seconds())
-		fmt.Fprintf(w, "%s{quantile=\"0.9\"} %g\n", pn, t.P90.Seconds())
-		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %g\n", pn, t.P99.Seconds())
-		fmt.Fprintf(w, "%s_sum %g\n", pn, t.Total.Seconds())
+		pn, lb := promSeries(ns, name)
+		pn += "_seconds"
+		typeLine(pn, "summary")
+		fmt.Fprintf(w, "%s%s %g\n", pn, withQuantile(lb, "0.5"), t.P50.Seconds())
+		fmt.Fprintf(w, "%s%s %g\n", pn, withQuantile(lb, "0.9"), t.P90.Seconds())
+		fmt.Fprintf(w, "%s%s %g\n", pn, withQuantile(lb, "0.99"), t.P99.Seconds())
+		fmt.Fprintf(w, "%s_sum%s %g\n", pn, lb, t.Total.Seconds())
 		switch {
 		case om && t.MaxTraceID != "":
-			fmt.Fprintf(w, "%s_count %d # {trace_id=%q} %g\n", pn, t.Count, t.MaxTraceID, t.Exemplar.Seconds())
+			fmt.Fprintf(w, "%s_count%s %d # {trace_id=%q} %g\n", pn, lb, t.Count, t.MaxTraceID, t.Exemplar.Seconds())
 		default:
-			fmt.Fprintf(w, "%s_count %d\n", pn, t.Count)
+			fmt.Fprintf(w, "%s_count%s %d\n", pn, lb, t.Count)
 			if t.MaxTraceID != "" {
 				// Exemplar as a comment: links the epoch-max observation to
 				// a flight-recorder trace without leaving text-format 0.0.4.
-				fmt.Fprintf(w, "# EXEMPLAR %s trace_id=%q\n", pn, t.MaxTraceID)
+				fmt.Fprintf(w, "# EXEMPLAR %s%s trace_id=%q\n", pn, lb, t.MaxTraceID)
 			}
 		}
 	}
-	for _, name := range sortedKeys(s.Histograms) {
+	for _, name := range sortedSeries(s.Histograms) {
 		h := s.Histograms[name]
-		pn := promName(ns, name)
-		fmt.Fprintf(w, "# TYPE %s summary\n", pn)
-		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %d\n", pn, h.P50)
-		fmt.Fprintf(w, "%s{quantile=\"0.9\"} %d\n", pn, h.P90)
-		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %d\n", pn, h.P99)
-		fmt.Fprintf(w, "%s_sum %d\n", pn, h.Sum)
+		pn, lb := promSeries(ns, name)
+		typeLine(pn, "summary")
+		fmt.Fprintf(w, "%s%s %d\n", pn, withQuantile(lb, "0.5"), h.P50)
+		fmt.Fprintf(w, "%s%s %d\n", pn, withQuantile(lb, "0.9"), h.P90)
+		fmt.Fprintf(w, "%s%s %d\n", pn, withQuantile(lb, "0.99"), h.P99)
+		fmt.Fprintf(w, "%s_sum%s %d\n", pn, lb, h.Sum)
 		switch {
 		case om && h.MaxTraceID != "":
-			fmt.Fprintf(w, "%s_count %d # {trace_id=%q} %d\n", pn, h.Count, h.MaxTraceID, h.Exemplar)
+			fmt.Fprintf(w, "%s_count%s %d # {trace_id=%q} %d\n", pn, lb, h.Count, h.MaxTraceID, h.Exemplar)
 		default:
-			fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+			fmt.Fprintf(w, "%s_count%s %d\n", pn, lb, h.Count)
 			if h.MaxTraceID != "" {
-				fmt.Fprintf(w, "# EXEMPLAR %s trace_id=%q value=%d\n", pn, h.MaxTraceID, h.Exemplar)
+				fmt.Fprintf(w, "# EXEMPLAR %s%s trace_id=%q value=%d\n", pn, lb, h.MaxTraceID, h.Exemplar)
 			}
 		}
 	}
@@ -260,13 +272,72 @@ func writeExposition(w io.Writer, ns string, s telemetry.Snapshot, om bool) {
 	}
 }
 
-func sortedKeys[V any](m map[string]V) []string {
+// sortedSeries orders series keys by (base name, label suffix) so every
+// labeled sample of a family is adjacent to its unlabeled sibling — a
+// plain string sort would let "store.appendsx" land between
+// "store.appends" and "store.appends|shard=0" and split the family.
+func sortedSeries[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	sort.Slice(keys, func(i, j int) bool {
+		bi, _ := telemetry.SplitLabels(keys[i])
+		bj, _ := telemetry.SplitLabels(keys[j])
+		if bi != bj {
+			return bi < bj
+		}
+		return keys[i] < keys[j]
+	})
 	return keys
+}
+
+// promSeries splits a registry series key into its Prometheus metric
+// name and rendered label block: "store.appends|shard=0" becomes
+// ("<ns>_store_appends", `{shard="0"}`); an unlabeled key returns an
+// empty block.
+func promSeries(ns, name string) (pn, labels string) {
+	base, pairs := telemetry.SplitLabels(name)
+	if len(pairs) == 0 {
+		return promName(ns, base), ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promLabelName(kv[0]))
+		fmt.Fprintf(&b, "=%q", kv[1])
+	}
+	b.WriteByte('}')
+	return promName(ns, base), b.String()
+}
+
+// withQuantile merges the summary quantile label into an existing label
+// block (or opens a fresh one).
+func withQuantile(labels, q string) string {
+	if labels == "" {
+		return `{quantile="` + q + `"}`
+	}
+	return labels[:len(labels)-1] + `,quantile="` + q + `"}`
+}
+
+// promLabelName sanitizes a label key to Prometheus-legal form.
+func promLabelName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_',
+			c >= '0' && c <= '9' && i > 0:
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
 }
 
 // promName converts a registry name like "search.candidates" into a

@@ -264,3 +264,39 @@ func TestPromName(t *testing.T) {
 		}
 	}
 }
+
+// TestLabeledSeriesExposition: per-shard and per-tenant series render
+// as Prometheus label blocks, with exactly one TYPE line per family
+// even though the labeled series sort after unrelated base names.
+func TestLabeledSeriesExposition(t *testing.T) {
+	m := telemetry.New()
+	m.Labeled("shard", "0").Add("store.appends", 2)
+	m.Labeled("shard", "1").Add("store.appends", 5)
+	m.Add("store.appendsx", 1) // sorts between the base name and '|'-keyed series
+	m.Labeled("tenant", "acme").Gauge("tenant.inflight").Set(3)
+	m.Labeled("shard", "1").Timer("store.fsync.time").Observe(2 * time.Millisecond)
+
+	srv := httptest.NewServer(Handler(Options{Metrics: m}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	out := string(body)
+	for _, want := range []string{
+		`xmlconflict_store_appends{shard="0"} 2`,
+		`xmlconflict_store_appends{shard="1"} 5`,
+		`xmlconflict_tenant_inflight{tenant="acme"} 3`,
+		`xmlconflict_store_fsync_time_seconds{shard="1",quantile="0.5"}`,
+		`xmlconflict_store_fsync_time_seconds_count{shard="1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE xmlconflict_store_appends counter"); n != 1 {
+		t.Fatalf("TYPE xmlconflict_store_appends appears %d times, want exactly 1:\n%s", n, out)
+	}
+}
