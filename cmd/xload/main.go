@@ -26,6 +26,11 @@
 //	store-churn     create/update/drop document lifecycles (WAL churn)
 //	store-churn-sharded  churn under 16 tenant-prefixed doc names
 //	                     (routes across every shard of a -shards server)
+//	failover        marked writes against a replicated cluster
+//	                (-targets node1,node2,...); kill the primary mid-run
+//	                and the report's repl block shows time-to-ready, the
+//	                promotion window, and the lost-ack audit (an
+//	                acknowledged write missing afterward fails the run)
 //
 // The report (-out) is schema-stable JSON: counts, CO-safe and
 // service-time percentiles, shed/409/timeout rates, the server
@@ -60,6 +65,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("xload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	target := fs.String("target", "http://127.0.0.1:8344", "base URL of the xserve under load")
+	targets := fs.String("targets", "", "comma-separated cluster fan-out (replicated xserve nodes; overrides -target)")
 	scenario := fs.String("scenario", "", "scenario to run (see -list)")
 	list := fs.Bool("list", false, "list built-in scenarios and exit")
 	duration := fs.Duration("duration", 10*time.Second, "how long to schedule arrivals for")
@@ -116,6 +122,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	opts := loadgen.Options{
 		Target:      *target,
+		Targets:     splitTargets(*targets),
 		Duration:    *duration,
 		Rate:        *rate,
 		Arrival:     *arrival,
@@ -154,6 +161,17 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 1
 	}
 	return 0
+}
+
+// splitTargets parses the -targets fan-out list.
+func splitTargets(spec string) []string {
+	var out []string
+	for _, t := range strings.Split(spec, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // runCompare is the -compare mode. Exit 0 = no drift, 1 = drift,

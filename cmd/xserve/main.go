@@ -101,6 +101,7 @@ import (
 
 	"xmlconflict"
 	"xmlconflict/internal/faultinject"
+	"xmlconflict/internal/replica"
 	"xmlconflict/internal/shard"
 	"xmlconflict/internal/store"
 	"xmlconflict/internal/telemetry"
@@ -253,6 +254,12 @@ type server struct {
 	// document; nil unless -store-dir was given (the routes are not
 	// mounted without it). With -shards 1 it wraps a single store.
 	store *shard.Router
+	// node is the replication layer over the store; nil unless
+	// -repl-node was given. When set, store is node.Router() and
+	// /v1/docs writes commit through the node (see repl.go).
+	node             *replica.Node
+	replHC           *http.Client
+	replProxyTimeout time.Duration
 	// tenants bounds per-tenant inflight document operations (429 past
 	// the allowance) and records per-tenant traffic.
 	tenants *shard.TenantLimiter
@@ -282,6 +289,9 @@ func newServer(pool int, queueTimeout time.Duration, maxBody int64) *server {
 		recorder:     span.NewFlightRecorder(span.RecorderOptions{}),
 		retryTTL:     time.Second,
 		retry:        map[string]*retryMemo{"detect": {}, "docs": {}},
+
+		replHC:           &http.Client{Timeout: 5 * time.Second},
+		replProxyTimeout: 5 * time.Second,
 	}
 	s.tenants = shard.NewTenantLimiter(0, s.metrics)
 	s.cache.Instrument(s.metrics)
@@ -311,6 +321,11 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/trace/{id}", s.handleTraceGet)
 	if s.store != nil {
 		s.storeRoutes(mux)
+	}
+	if s.node != nil {
+		// The replication protocol rides the same mux: peers call
+		// /v1/repl/append etc. on the public listener.
+		mux.Handle("/v1/repl/", s.node.Handler())
 	}
 	obshttp.Mount(mux, obshttp.Options{
 		Metrics: s.metrics, Ready: s.ready.Load, RetryAfter: func() string { return s.retryAfter("detect") }, Recorder: s.recorder,
@@ -894,6 +909,13 @@ func run(args []string) int {
 	shards := fs.Int("shards", 1, "partition the document space across this many store shards (each with its own WAL, snapshots, and recovery)")
 	tenantInflight := fs.Int("tenant-inflight", 0, "max in-flight /v1/docs operations per tenant before 429 (0 = unlimited)")
 	addrFile := fs.String("addr-file", "", "write the bound listen address to this file once serving (harness hook: lets xload/CI find a :0 port)")
+	replNode := fs.String("repl-node", "", "this node's id in a replicated cluster (requires -store-dir and -repl-peers)")
+	replPeers := fs.String("repl-peers", "", "full cluster membership as id=url,id=url (first peer is the initial primary)")
+	replAck := fs.String("repl-ack", "quorum", "replication level a write waits for: local, quorum, or all")
+	replHeartbeat := fs.Duration("repl-heartbeat", 100*time.Millisecond, "primary heartbeat cadence / backup detection tick")
+	replFailoverAfter := fs.Duration("repl-failover-after", 0, "primary silence a backup tolerates before standing for promotion (0 = 10 heartbeats)")
+	replStaleness := fs.Duration("repl-staleness", 5*time.Second, "staleness bound past which a backup refuses reads")
+	replTentative := fs.Bool("repl-tentative", false, "let a disconnected backup queue optimistic writes for detector-arbitrated merge")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -912,13 +934,17 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stderr, "xserve: capturing request traces into %s\n", *traceDir)
 		}
 	}
+	if *replNode != "" && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "xserve: -repl-node requires -store-dir")
+		return 2
+	}
 	if *storeDir != "" {
 		policy, err := parseFsyncPolicy(*storeFsync)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xserve: -store-fsync: %v\n", err)
 			return 2
 		}
-		rt, err := shard.Open(*storeDir, shard.Options{
+		shardOpts := shard.Options{
 			Shards: *shards,
 			Store: store.Options{
 				Fsync:         policy,
@@ -926,22 +952,59 @@ func run(args []string) int {
 				SnapshotEvery: *storeSnapshotEvery,
 				Metrics:       s.metrics, // store.* counters ride /metrics, labeled per shard
 			},
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "xserve: -store-dir: %v\n", err)
-			return 2
 		}
-		defer rt.Close()
-		s.store = rt
+		if *replNode != "" {
+			peers, err := parsePeers(*replPeers)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xserve: -repl-peers: %v\n", err)
+				return 2
+			}
+			ack, err := replica.ParseAckLevel(*replAck)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xserve: -repl-ack: %v\n", err)
+				return 2
+			}
+			node, err := replica.Open(*storeDir, shardOpts, replica.Options{
+				NodeID:         *replNode,
+				Peers:          peers,
+				Ack:            ack,
+				HeartbeatEvery: *replHeartbeat,
+				FailoverAfter:  *replFailoverAfter,
+				StalenessBound: *replStaleness,
+				Tentative:      *replTentative,
+				Metrics:        s.metrics,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xserve: -repl-node: %v\n", err)
+				return 2
+			}
+			defer node.Close()
+			s.node = node
+			s.store = node.Router()
+			s.identity["repl_node"] = *replNode
+			s.identity["repl_peers"] = strconv.Itoa(len(peers))
+			s.identity["repl_ack"] = ack.String()
+			s.identity["repl_tentative"] = strconv.FormatBool(*replTentative)
+			fmt.Fprintf(os.Stderr, "xserve: replica %s of %d peers (%s, ack %s, epoch %d)\n",
+				*replNode, len(peers), node.Role(), ack, node.Epoch())
+		} else {
+			rt, err := shard.Open(*storeDir, shardOpts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xserve: -store-dir: %v\n", err)
+				return 2
+			}
+			defer rt.Close()
+			s.store = rt
+		}
 		s.tenants = shard.NewTenantLimiter(*tenantInflight, s.metrics)
 		s.identity["store"] = "on"
 		s.identity["store_fsync"] = policy.String()
 		s.identity["store_fsync_interval"] = storeFsyncInterval.String()
 		s.identity["store_snapshot_every"] = strconv.Itoa(*storeSnapshotEvery)
-		s.identity["store_shards"] = strconv.Itoa(rt.Shards())
+		s.identity["store_shards"] = strconv.Itoa(s.store.Shards())
 		s.identity["tenant_inflight"] = strconv.Itoa(*tenantInflight)
 		fmt.Fprintf(os.Stderr, "xserve: document store at %s (%d shards, fsync %s, %d docs)\n",
-			*storeDir, rt.Shards(), policy, len(rt.Docs()))
+			*storeDir, s.store.Shards(), policy, len(s.store.Docs()))
 	}
 	if !s.metrics.Publish("xmlconflict") {
 		fmt.Fprintln(os.Stderr, "xserve: expvar name xmlconflict already taken; /debug/vars serves the earlier registry")

@@ -1,0 +1,254 @@
+package main
+
+// Replication surface: with -repl-node/-repl-peers the document store
+// becomes one node of a primary/backup cluster (internal/replica). The
+// /v1/docs API stays identical for clients; underneath it:
+//
+//   - Writes commit through the replica node, which ships the WAL
+//     frames and blocks for the -repl-ack level. A write landing on a
+//     backup is transparently proxied to the primary (one hop,
+//     X-Repl-Forwarded guards the loop). If the primary is unreachable
+//     and -repl-tentative is on, an insert/delete update is queued
+//     optimistically and answered 202 with its queue sequence; its
+//     fate is decided by the conflict detector at merge (see
+//     GET /v1/repl/merges).
+//   - Reads are served locally on every node. A backup stamps
+//     X-Replica-Staleness-Ms (time since last primary contact) and
+//     refuses with 503 "stale-replica" once that exceeds
+//     -repl-staleness.
+//   - The replication protocol itself (append/heartbeat/since/state/
+//     merge/status) mounts under /v1/repl/.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"xmlconflict/internal/replica"
+	"xmlconflict/internal/store"
+	"xmlconflict/internal/telemetry/span"
+)
+
+// replForwardHeader marks a proxied write so a misdirected hop answers
+// instead of bouncing forever.
+const replForwardHeader = "X-Repl-Forwarded"
+
+// parsePeers parses the -repl-peers value: "id=url,id=url,...".
+func parsePeers(spec string) ([]replica.Peer, error) {
+	var peers []replica.Peer
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad peer %q (want id=url)", part)
+		}
+		peers = append(peers, replica.Peer{ID: strings.TrimSpace(id), URL: strings.TrimRight(strings.TrimSpace(url), "/")})
+	}
+	if len(peers) == 0 {
+		return nil, errors.New("no peers in spec")
+	}
+	return peers, nil
+}
+
+// replSpan stamps the node's replication coordinates on the request
+// span, so a trace shows which role/epoch served it.
+func (s *server) replSpan(ctx context.Context) {
+	if s.node == nil {
+		return
+	}
+	sp := span.FromContext(ctx)
+	sp.Set("repl.node", s.node.Self().ID)
+	sp.Set("repl.role", s.node.Role().String())
+	sp.Set("repl.epoch", s.node.Epoch())
+}
+
+// createDoc / dropDoc / submitDoc route a mutation through the replica
+// node when replication is on, and straight at the sharded store when
+// it is off.
+func (s *server) createDoc(ctx context.Context, id, xml string) (store.Result, error) {
+	if s.node != nil {
+		s.replSpan(ctx)
+		return s.node.CreateCtx(ctx, id, xml)
+	}
+	return s.store.CreateCtx(ctx, id, xml)
+}
+
+func (s *server) dropDoc(ctx context.Context, id string) (store.Result, error) {
+	if s.node != nil {
+		s.replSpan(ctx)
+		return s.node.DropCtx(ctx, id)
+	}
+	return s.store.DropCtx(ctx, id)
+}
+
+func (s *server) submitDoc(ctx context.Context, id string, op store.Op) (store.Result, error) {
+	if s.node != nil {
+		s.replSpan(ctx)
+		return s.node.SubmitCtx(ctx, id, op)
+	}
+	return s.store.SubmitCtx(ctx, id, op)
+}
+
+// replRedirect handles a write that the local node cannot commit
+// because it is a backup: proxy it to the primary (one hop), or — when
+// the primary is unreachable and tentative mode allows — queue it
+// optimistically. Returns true when it wrote a response.
+func (s *server) replRedirect(w http.ResponseWriter, r *http.Request, err error, doc string, op *store.Op, body any) bool {
+	var np *replica.NotPrimaryError
+	if s.node == nil || !errors.As(err, &np) {
+		return false
+	}
+	s.metrics.Add("repl.redirects", 1)
+	span.FromContext(r.Context()).Flag("repl-redirect")
+	if r.Header.Get(replForwardHeader) != "" {
+		// Already proxied once and still not at the primary: the
+		// topology is mid-failover. Tell the client to retry rather
+		// than hop in circles.
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+			Error:   "replica topology is settling; retry",
+			Reason:  "no-primary",
+			TraceID: traceID(r),
+		})
+		return true
+	}
+	if np.Primary.URL != "" {
+		if s.proxyToPrimary(w, r, np.Primary, body) {
+			return true
+		}
+	}
+	// The primary is unknown or unreachable. Optimistic fallback for
+	// plain updates when the operator enabled it; everything else is an
+	// honest 503.
+	if op != nil && (op.Kind == "insert" || op.Kind == "delete") {
+		if seq, qerr := s.node.QueueTentative(doc, *op); qerr == nil {
+			s.metrics.Add("repl.tentative_accepted", 1)
+			span.FromContext(r.Context()).Flag("repl-tentative")
+			writeJSON(w, http.StatusAccepted, map[string]any{
+				"doc":       doc,
+				"tentative": true,
+				"seq":       seq,
+				"node":      s.node.Self().ID,
+				"detail":    "queued for detector-arbitrated merge; outcome at GET /v1/repl/merges",
+				"trace_id":  traceID(r),
+			})
+			return true
+		}
+	}
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+		Error:   np.Error(),
+		Reason:  "not-primary",
+		TraceID: traceID(r),
+	})
+	return true
+}
+
+// proxyToPrimary replays the request body against the primary and
+// streams its answer back. Returns false when the primary could not be
+// reached (the caller falls back to tentative/503).
+func (s *server) proxyToPrimary(w http.ResponseWriter, r *http.Request, primary replica.Peer, body any) bool {
+	b, err := encodeJSON(body)
+	if err != nil {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.replProxyTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, r.Method, primary.URL+r.URL.Path, bytes.NewReader(b))
+	if err != nil {
+		return false
+	}
+	if len(b) > 0 {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set(replForwardHeader, s.node.Self().ID)
+	if tenant := r.Header.Get("X-Tenant"); tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	if tp := w.Header().Get("traceparent"); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
+	resp, err := s.replHC.Do(req)
+	if err != nil {
+		s.metrics.Add("repl.proxy_errors", 1)
+		return false
+	}
+	defer resp.Body.Close()
+	s.metrics.Add("repl.proxied_writes", 1)
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.Header().Set("X-Repl-Proxied-To", primary.ID)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, io.LimitReader(resp.Body, s.maxBody)) //nolint:errcheck // client gone is fine
+	return true
+}
+
+// encodeJSON marshals a proxy body (nil means an empty body, for
+// DELETE).
+func encodeJSON(body any) ([]byte, error) {
+	if body == nil {
+		return nil, nil
+	}
+	return json.Marshal(body)
+}
+
+// replReadGate serves the bounded-staleness contract on reads: a
+// backup within -repl-staleness answers with X-Replica-Staleness-Ms;
+// one beyond it refuses with 503 "stale-replica" so a client never
+// mistakes a partitioned node's state for fresh data. Returns true
+// when it wrote the refusal.
+func (s *server) replReadGate(w http.ResponseWriter, r *http.Request) bool {
+	if s.node == nil {
+		return false
+	}
+	s.replSpan(r.Context())
+	lag, ok := s.node.Staleness()
+	w.Header().Set("X-Replica-Staleness-Ms", strconv.FormatInt(lag.Milliseconds(), 10))
+	if ok {
+		return false
+	}
+	s.metrics.Add("repl.stale_reads_refused", 1)
+	span.FromContext(r.Context()).Flag("stale-replica")
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+		Error: fmt.Sprintf("replica is %s behind the primary (bound %s); retry against the primary",
+			lag.Round(time.Millisecond), s.node.StalenessBound()),
+		Reason:  "stale-replica",
+		TraceID: traceID(r),
+	})
+	return true
+}
+
+// replStoreErr maps replication-layer write failures onto the uniform
+// envelope. Returns true when it handled the error.
+func (s *server) replStoreErr(w http.ResponseWriter, r *http.Request, err error) bool {
+	var fe *replica.FencedError
+	var ae *replica.AckError
+	switch {
+	case errors.As(err, &fe):
+		// This node was deposed mid-write: the commit may not survive
+		// resync, so the only honest answer is an error.
+		s.metrics.Add("serve.errors", 1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+			Error: err.Error(), Reason: "fenced", TraceID: traceID(r),
+		})
+		return true
+	case errors.As(err, &ae):
+		// Committed locally, but the replication level was not reached:
+		// the client must treat the write as unacknowledged.
+		s.metrics.Add("serve.errors", 1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+			Error: err.Error(), Reason: "repl-ack", TraceID: traceID(r),
+		})
+		return true
+	}
+	return false
+}

@@ -1,0 +1,267 @@
+package main
+
+// End-to-end replication tests at the HTTP surface: two full xserve
+// servers (detector pool, tracing, tenant limits, store) joined into a
+// primary/backup pair. Clients speak only /v1/docs — the proxying,
+// staleness stamping, and tentative fallback must be invisible until
+// they matter.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xmlconflict/internal/faultinject"
+	"xmlconflict/internal/replica"
+	"xmlconflict/internal/shard"
+	"xmlconflict/internal/store"
+)
+
+// replSwap lets the httptest listener exist before the server behind it
+// does (the replica node needs every peer URL at Open time). A nil
+// handler answers 503 — an unreachable-but-listening node.
+type replSwap struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (sw *replSwap) set(h http.Handler) {
+	sw.mu.Lock()
+	sw.h = h
+	sw.mu.Unlock()
+}
+
+func (sw *replSwap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sw.mu.Lock()
+	h := sw.h
+	sw.mu.Unlock()
+	if h == nil {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+type replServer struct {
+	s    *server
+	ts   *httptest.Server
+	node *replica.Node
+	swap *replSwap
+}
+
+// newReplPair boots a 2-node xserve cluster ("a" primary, "b" backup)
+// whose replication traffic flows through the same mux clients use.
+func newReplPair(t *testing.T, tentative bool) map[string]*replServer {
+	t.Helper()
+	ids := []string{"a", "b"}
+	swaps := map[string]*replSwap{}
+	tss := map[string]*httptest.Server{}
+	var peers []replica.Peer
+	for _, id := range ids {
+		sw := &replSwap{}
+		ts := httptest.NewServer(sw)
+		t.Cleanup(ts.Close)
+		swaps[id], tss[id] = sw, ts
+		peers = append(peers, replica.Peer{ID: id, URL: ts.URL})
+	}
+	out := map[string]*replServer{}
+	for _, id := range ids {
+		s := newServer(2, time.Second, 1<<20)
+		node, err := replica.Open(t.TempDir(),
+			shard.Options{Shards: 1, Store: store.Options{Metrics: s.metrics}},
+			replica.Options{
+				NodeID:         id,
+				Peers:          peers,
+				Ack:            replica.AckQuorum,
+				HeartbeatEvery: 20 * time.Millisecond,
+				// Keep roles pinned: these tests exercise the serving
+				// path, not failover (internal/replica covers that).
+				FailoverAfter:  time.Hour,
+				StalenessBound: time.Second,
+				Tentative:      tentative,
+				Metrics:        s.metrics,
+			})
+		if err != nil {
+			t.Fatalf("replica.Open(%s): %v", id, err)
+		}
+		t.Cleanup(func() { node.Close() })
+		s.node = node
+		s.store = node.Router()
+		swaps[id].set(s.routes())
+		out[id] = &replServer{s: s, ts: tss[id], node: node, swap: swaps[id]}
+	}
+	return out
+}
+
+func TestReplWriteOnBackupProxiesToPrimary(t *testing.T) {
+	c := newReplPair(t, false)
+	b := c["b"]
+	client := b.ts.Client()
+
+	// Create lands on the backup; the client still gets a 201, served
+	// by the primary behind one proxy hop.
+	resp, out := doJSON(t, client, "POST", b.ts.URL+"/v1/docs", map[string]any{"doc": "d", "xml": "<r/>"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("proxied create: %d %v", resp.StatusCode, out)
+	}
+	if got := resp.Header.Get("X-Repl-Proxied-To"); got != "a" {
+		t.Fatalf("X-Repl-Proxied-To = %q, want a", got)
+	}
+
+	// Same for an update.
+	resp, out = doJSON(t, client, "POST", b.ts.URL+"/v1/docs/d/update",
+		map[string]any{"op": "insert", "pattern": "/r", "x": "<x/>"})
+	if resp.StatusCode != http.StatusOK || out["lsn"].(float64) < 2 {
+		t.Fatalf("proxied update: %d %v", resp.StatusCode, out)
+	}
+
+	// The backup serves the replicated read locally, stamping how far
+	// behind the primary it might be.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, out = doJSON(t, client, "GET", b.ts.URL+"/v1/docs/d", nil)
+		if resp.StatusCode == http.StatusOK && strings.Contains(out["xml"].(string), "<x") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backup never served the replicated doc: %d %v", resp.StatusCode, out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if resp.Header.Get("X-Replica-Staleness-Ms") == "" {
+		t.Fatal("backup read missing X-Replica-Staleness-Ms")
+	}
+}
+
+func TestReplForwardLoopGuard(t *testing.T) {
+	c := newReplPair(t, false)
+	b := c["b"]
+
+	// A request already carrying the forwarded marker must not hop
+	// again — the topology is settling, so the client gets an honest
+	// 503 and retries.
+	body := strings.NewReader(`{"doc":"d","xml":"<r/>"}`)
+	req, err := http.NewRequest("POST", b.ts.URL+"/v1/docs", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(replForwardHeader, "a")
+	resp, err := b.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	if resp.StatusCode != http.StatusServiceUnavailable || out["reason"] != "no-primary" {
+		t.Fatalf("loop guard: %d %v", resp.StatusCode, out)
+	}
+}
+
+func TestReplStaleBackupRefusesReads(t *testing.T) {
+	c := newReplPair(t, false)
+	a, b := c["a"], c["b"]
+	client := b.ts.Client()
+
+	if resp, out := doJSON(t, a.ts.Client(), "POST", a.ts.URL+"/v1/docs", map[string]any{"doc": "d", "xml": "<r/>"}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %v", resp.StatusCode, out)
+	}
+
+	// Silence the primary — the partition site severs its outbound
+	// heartbeats too, not just its listener. Once the backup's last
+	// contact ages past the staleness bound it must refuse reads rather
+	// than serve state of unknown age.
+	a.swap.set(nil)
+	faultinject.Arm("repl.partition.a", faultinject.Fault{Kind: faultinject.KindError})
+	defer faultinject.Disarm("repl.partition.a")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, out := doJSON(t, client, "GET", b.ts.URL+"/v1/docs/d", nil)
+		if resp.StatusCode == http.StatusServiceUnavailable && out["reason"] == "stale-replica" {
+			if resp.Header.Get("X-Replica-Staleness-Ms") == "" {
+				t.Fatal("stale refusal missing staleness header")
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backup kept serving past the staleness bound: %d %v", resp.StatusCode, out)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func TestReplTentativeAcceptsWhenPrimaryUnreachable(t *testing.T) {
+	c := newReplPair(t, true)
+	a, b := c["a"], c["b"]
+	client := b.ts.Client()
+
+	if resp, out := doJSON(t, a.ts.Client(), "POST", a.ts.URL+"/v1/docs", map[string]any{"doc": "d", "xml": "<r/>"}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %v", resp.StatusCode, out)
+	}
+	waitReplicated(t, b, "d")
+
+	// Kill the primary's listener outright: the proxy attempt gets a
+	// transport error, so the backup queues the update optimistically
+	// and answers 202 with its queue coordinates.
+	a.ts.CloseClientConnections()
+	a.ts.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, out := doJSON(t, client, "POST", b.ts.URL+"/v1/docs/d/update",
+			map[string]any{"op": "insert", "pattern": "/r", "x": "<t/>"})
+		if resp.StatusCode == http.StatusAccepted {
+			if out["tentative"] != true || out["node"] != "b" || out["seq"].(float64) < 1 {
+				t.Fatalf("202 body: %v", out)
+			}
+			if b.node.TentativeBacklog() == 0 {
+				t.Fatal("202 answered but backlog is empty")
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tentative fallback never engaged: %d %v", resp.StatusCode, out)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func TestReplCreateOnUnreachablePrimaryIs503(t *testing.T) {
+	// Creates and drops have no optimistic path — with the primary gone
+	// they fail honestly even in tentative mode.
+	c := newReplPair(t, true)
+	a, b := c["a"], c["b"]
+	a.ts.CloseClientConnections()
+	a.ts.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, out := doJSON(t, b.ts.Client(), "POST", b.ts.URL+"/v1/docs", map[string]any{"doc": "d", "xml": "<r/>"})
+		if resp.StatusCode == http.StatusServiceUnavailable && out["reason"] == "not-primary" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("create against dead primary: %d %v", resp.StatusCode, out)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// waitReplicated blocks until the named doc is readable on the backup.
+func waitReplicated(t *testing.T, b *replServer, doc string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := b.node.Router().Get(doc); err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("doc %s never replicated to backup", doc)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -179,6 +179,77 @@ func TestTenantQuota429(t *testing.T) {
 	}
 }
 
+// TestTenantHeaderInjectionFoldsToInvalid: hostile X-Tenant values —
+// label separators, newlines, oversized ids — must not mint metric
+// series named by attacker bytes. They all fold into the one ~invalid
+// bucket; the requests themselves are still served and counted there.
+func TestTenantHeaderInjectionFoldsToInvalid(t *testing.T) {
+	s := newStoreServer(t, t.TempDir())
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+	c := ts.Client()
+
+	hostile := []string{
+		"evil|tenant=x",         // label separator injection
+		"a=b",                   // key=value injection
+		"tab\there",             // control byte (newlines can't cross net/http; see the unit test)
+		"../../etc/passwd",      // path traversal shape
+		strings.Repeat("x", 65), // over the length cap
+		"name with spaces",      // whitespace
+	}
+	for i, h := range hostile {
+		body := fmt.Sprintf(`{"doc":"h%d","xml":"<a/>"}`, i)
+		req, _ := http.NewRequest("POST", ts.URL+"/v1/docs", strings.NewReader(body))
+		req.Header.Set("X-Tenant", h)
+		resp, err := c.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("hostile header %q rejected the request itself: %d", h, resp.StatusCode)
+		}
+	}
+
+	snap := s.metrics.Snapshot()
+	if got := snap.Counter("tenant.requests|tenant=~invalid"); got != int64(len(hostile)) {
+		t.Fatalf("tenant.requests|tenant=~invalid = %d, want %d", got, len(hostile))
+	}
+	// No attacker-named series leaked into the registry.
+	for name := range snap.Counters {
+		if strings.Contains(name, "evil") || strings.Contains(name, "passwd") ||
+			strings.Contains(name, "\n") || strings.Contains(name, "tenant=x") {
+			t.Fatalf("attacker-controlled series in registry: %q", name)
+		}
+	}
+	// The /metrics exposition stays parseable: no raw header bytes.
+	resp, err := c.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, frag := range []string{"evil", "passwd", "a=b"} {
+		if strings.Contains(string(text), frag) {
+			t.Fatalf("/metrics carries hostile fragment %q", frag)
+		}
+	}
+
+	// A well-formed tenant id still gets its own series.
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/docs", strings.NewReader(`{"doc":"ok1","xml":"<a/>"}`))
+	req.Header.Set("X-Tenant", "acme-1.prod_2")
+	resp2, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if got := s.metrics.Snapshot().Counter("tenant.requests|tenant=acme-1.prod_2"); got != 1 {
+		t.Fatalf("legit tenant series = %d, want 1", got)
+	}
+}
+
 // TestShardedMetricsExposition: with S > 1 every shard's store.*
 // series appears on /metrics as a labeled sample under a single TYPE
 // line per family.

@@ -166,8 +166,11 @@ func (s *server) handleDocCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	res, err := s.store.CreateCtx(r.Context(), req.Doc, req.XML)
+	res, err := s.createDoc(r.Context(), req.Doc, req.XML)
 	if err != nil {
+		if s.replRedirect(w, r, err, req.Doc, nil, req) || s.replStoreErr(w, r, err) {
+			return
+		}
 		s.storeErr(w, r, err)
 		return
 	}
@@ -176,6 +179,9 @@ func (s *server) handleDocCreate(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleDocGet(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Add("serve.requests", 1)
+	if s.replReadGate(w, r) {
+		return
+	}
 	info, err := s.store.Get(r.PathValue("id"))
 	if err != nil {
 		s.storeErr(w, r, err)
@@ -194,8 +200,11 @@ func (s *server) handleDocDrop(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	res, err := s.store.DropCtx(r.Context(), r.PathValue("id"))
+	res, err := s.dropDoc(r.Context(), r.PathValue("id"))
 	if err != nil {
+		if s.replRedirect(w, r, err, r.PathValue("id"), nil, nil) || s.replStoreErr(w, r, err) {
+			return
+		}
 		s.storeErr(w, r, err)
 		return
 	}
@@ -227,17 +236,21 @@ func (s *server) handleDocUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	begin := time.Now()
-	res, err := s.store.SubmitCtx(r.Context(), r.PathValue("id"), store.Op{
+	op := store.Op{
 		Kind:    req.Op,
 		Pattern: req.Pattern,
 		X:       req.X,
 		Sem:     sem,
 		BaseLSN: req.BaseLSN,
-	})
+	}
+	res, err := s.submitDoc(r.Context(), r.PathValue("id"), op)
 	// The docs route keeps its own latency distribution: its Retry-After
 	// hint must track fsync-bound store latency, not detect latency.
 	s.metrics.Timer("serve.docs").ObserveTraced(time.Since(begin), traceID(r))
 	if err != nil {
+		if s.replRedirect(w, r, err, r.PathValue("id"), &op, req) || s.replStoreErr(w, r, err) {
+			return
+		}
 		s.storeErr(w, r, err)
 		return
 	}
@@ -276,6 +289,9 @@ type docListResponse struct {
 
 func (s *server) handleDocList(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Add("serve.requests", 1)
+	if s.replReadGate(w, r) {
+		return
+	}
 	entries, err := s.store.List()
 	if err != nil {
 		s.storeErr(w, r, err)

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -24,20 +25,34 @@ const (
 )
 
 // Client is the harness's HTTP side: preflight probes, request
-// execution, and post-run trace resolution against one target server.
+// execution, and post-run trace resolution. With more than one target
+// (a replicated cluster) it fans out: all traffic goes to the current
+// preferred node, and a transport failure or a replication refusal
+// (no-primary, stale-replica, fenced) rotates the preference to the
+// next node — the same retry a production client of the cluster runs.
 type Client struct {
-	base string
-	hc   *http.Client
+	bases []string
+	cur   atomic.Int32
+	hc    *http.Client
 }
 
 // NewClient builds a client for the target base URL ("http://host:port");
 // timeout bounds each individual request.
 func NewClient(target string, timeout time.Duration) *Client {
+	return NewFanoutClient([]string{target}, timeout)
+}
+
+// NewFanoutClient builds a client over a cluster of targets.
+func NewFanoutClient(targets []string, timeout time.Duration) *Client {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
+	bases := make([]string, 0, len(targets))
+	for _, t := range targets {
+		bases = append(bases, strings.TrimRight(t, "/"))
+	}
 	return &Client{
-		base: strings.TrimRight(target, "/"),
+		bases: bases,
 		hc: &http.Client{
 			Timeout: timeout,
 			Transport: &http.Transport{
@@ -53,27 +68,65 @@ func NewClient(target string, timeout time.Duration) *Client {
 	}
 }
 
-// Target returns the base URL the client drives.
-func (c *Client) Target() string { return c.base }
+// Target returns the base URL the client currently prefers.
+func (c *Client) Target() string { return c.bases[c.cur.Load()] }
+
+// Targets returns every base URL the client fans out over.
+func (c *Client) Targets() []string { return append([]string(nil), c.bases...) }
+
+// pick returns the preferred base and its index (for rotate).
+func (c *Client) pick() (string, int32) {
+	i := c.cur.Load()
+	return c.bases[i], i
+}
+
+// rotate moves the preference past the target at index i. The CAS means
+// concurrent workers failing against the same node rotate it once, not
+// once each — otherwise a burst of failures would spin the preference
+// all the way around and back onto the dead node.
+func (c *Client) rotate(i int32) {
+	if len(c.bases) > 1 {
+		c.cur.CompareAndSwap(i, (i+1)%int32(len(c.bases)))
+	}
+}
+
+// replRefusal reports whether a shed note names a replication-topology
+// condition another node of the cluster might not be in.
+func replRefusal(note string) bool {
+	switch note {
+	case "no-primary", "not-primary", "stale-replica", "fenced", "repl-ack":
+		return true
+	}
+	return false
+}
 
 // Ready probes GET /readyz; any non-200 (or transport failure) is a
 // preflight error, carrying the body so a draining 503's envelope shows
-// up in the error message.
+// up in the error message. With a fan-out, an unreachable node rotates
+// the preference — a cluster run may legitimately start with one node
+// already down.
 func (c *Client) Ready(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
-	if err != nil {
-		return err
+	var lastErr error
+	for attempt := 0; attempt < len(c.bases); attempt++ {
+		base, idx := c.pick()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/readyz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("loadgen: preflight /readyz: %w", err)
+			c.rotate(idx)
+			continue
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("loadgen: preflight /readyz: %d %s", resp.StatusCode, bytes.TrimSpace(body))
+		}
+		return nil
 	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return fmt.Errorf("loadgen: preflight /readyz: %w", err)
-	}
-	defer resp.Body.Close()
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("loadgen: preflight /readyz: %d %s", resp.StatusCode, bytes.TrimSpace(body))
-	}
-	return nil
+	return lastErr
 }
 
 // Identity probes GET /healthz and returns the server's build/config
@@ -82,7 +135,7 @@ func (c *Client) Ready(ctx context.Context) error {
 // minimal server — yields an empty map, not an error: identity is
 // evidence for the report, not a gate.
 func (c *Client) Identity(ctx context.Context) (map[string]string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Target()+"/healthz", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +161,7 @@ func (c *Client) Identity(ctx context.Context) (map[string]string, error) {
 // acknowledged LSN.
 func (c *Client) CreateDoc(doc, xml string) (uint64, error) {
 	body := jsonBody(map[string]any{"doc": doc, "xml": xml})
-	resp, err := c.hc.Post(c.base+"/v1/docs", "application/json", bytes.NewReader(body))
+	resp, err := c.hc.Post(c.Target()+"/v1/docs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return 0, err
 	}
@@ -124,6 +177,36 @@ func (c *Client) CreateDoc(doc, xml string) (uint64, error) {
 	}
 	_ = json.Unmarshal(data, &ack)
 	return ack.LSN, nil
+}
+
+// GetDocXML fetches a document's current XML — the failover scenario's
+// post-run verification reads the surviving cluster's state through it.
+func (c *Client) GetDocXML(ctx context.Context, doc string) (string, error) {
+	base, idx := c.pick()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/docs/"+doc, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.rotate(idx)
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if resp.StatusCode != http.StatusOK {
+		if replRefusal(envelopeNote(data)) {
+			c.rotate(idx)
+		}
+		return "", fmt.Errorf("get %s: %d %s", doc, resp.StatusCode, bytes.TrimSpace(data[:min(len(data), 200)]))
+	}
+	var v struct {
+		XML string `json:"xml"`
+	}
+	if err := json.Unmarshal(data, &v); err != nil {
+		return "", fmt.Errorf("get %s: %w", doc, err)
+	}
+	return v.XML, nil
 }
 
 // result is one executed operation, classified.
@@ -167,7 +250,8 @@ func (c *Client) doOne(ctx context.Context, g genRequest) result {
 	if len(g.body) > 0 {
 		rd = bytes.NewReader(g.body)
 	}
-	req, err := http.NewRequestWithContext(ctx, g.method, c.base+g.path, rd)
+	base, idx := c.pick()
+	req, err := http.NewRequestWithContext(ctx, g.method, base+g.path, rd)
 	if err != nil {
 		res.class, res.note = ClassError, err.Error()
 		return res
@@ -180,6 +264,9 @@ func (c *Client) doOne(ctx context.Context, g genRequest) result {
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		// A dead node: move the fan-out preference along before the next
+		// arrival lands on the same socket error.
+		c.rotate(idx)
 		res.note = err.Error()
 		res.class = ClassError
 		if errors.Is(err, context.DeadlineExceeded) || os.IsTimeout(err) {
@@ -207,6 +294,13 @@ func (c *Client) doOne(ctx context.Context, g genRequest) result {
 	}
 	if res.class != ClassOK {
 		res.note = envelopeNote(data)
+		// A replication refusal is about THIS node's place in the
+		// topology (fenced, stale, not primary) — another target may be
+		// fine, so rotate. Plain shedding (saturated pool, tenant quota)
+		// stays put: it is cluster-wide load, not topology.
+		if replRefusal(res.note) {
+			c.rotate(idx)
+		}
 	}
 	if g.wantLSN && (res.class == ClassOK || res.class == ClassConflict) {
 		var ack struct {
@@ -258,7 +352,7 @@ type ResolvedTrace struct {
 // ResolveTrace fetches GET /v1/trace/{id}: whether the server's flight
 // recorder still holds the trace, and its summary if so.
 func (c *Client) ResolveTrace(ctx context.Context, id string) (ResolvedTrace, bool) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/trace/"+id, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Target()+"/v1/trace/"+id, nil)
 	if err != nil {
 		return ResolvedTrace{}, false
 	}

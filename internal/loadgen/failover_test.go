@@ -1,0 +1,206 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubCluster fakes the replicated /v1/docs surface behind any number
+// of frontends: one shared document log, so a client rotating between
+// targets sees the same state everywhere (the real cluster's WAL
+// shipping, collapsed). Knobs: drop acks writes without recording them
+// (a lying cluster, for the lost-ack audit), down makes update writes
+// refuse with the not-primary envelope (a failover window).
+type stubCluster struct {
+	mu    sync.Mutex
+	lsn   uint64
+	marks []string
+	drop  bool
+	down  atomic.Bool
+}
+
+func (sc *stubCluster) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"status":"ok","identity":{"service":"stub","store":"on"}}`)
+	})
+	mux.HandleFunc("POST /v1/docs", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprintln(w, `{"doc":"d","lsn":1}`)
+	})
+	mux.HandleFunc("POST /v1/docs/{id}/update", func(w http.ResponseWriter, r *http.Request) {
+		if sc.down.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error":"no primary","reason":"not-primary"}`)
+			return
+		}
+		var req struct {
+			X string `json:"x"`
+		}
+		json.NewDecoder(r.Body).Decode(&req)
+		sc.mu.Lock()
+		sc.lsn++
+		lsn := sc.lsn
+		if !sc.drop {
+			sc.marks = append(sc.marks, req.X)
+		}
+		sc.mu.Unlock()
+		w.Header().Set("X-Trace-Id", fmt.Sprintf("trace-%04d", lsn))
+		fmt.Fprintf(w, `{"doc":"%s","lsn":%d}`+"\n", r.PathValue("id"), lsn)
+	})
+	mux.HandleFunc("GET /v1/docs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		sc.mu.Lock()
+		xml := "<log>" + strings.Join(sc.marks, "") + "</log>"
+		lsn := sc.lsn
+		sc.mu.Unlock()
+		body, _ := json.Marshal(map[string]any{"doc": r.PathValue("id"), "lsn": lsn, "xml": xml})
+		w.Write(body)
+	})
+	mux.HandleFunc("GET /v1/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.PathValue("id"), "trace-") {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, `{"name":"docs.update","duration_us":500,"flags":[],"root":{"children":[{}]}}`)
+	})
+	return mux
+}
+
+func runFailover(t *testing.T, targets []string, dur time.Duration) (Report, error) {
+	t.Helper()
+	sc, err := Lookup("failover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Run(context.Background(), sc, Options{
+		Targets:  targets,
+		Duration: dur,
+		Rate:     100,
+		Seed:     7,
+	})
+}
+
+func TestFailoverCleanRunAuditsEveryAck(t *testing.T) {
+	st := &stubCluster{}
+	ts := httptest.NewServer(st.handler())
+	t.Cleanup(ts.Close)
+
+	rep, err := runFailover(t, []string{ts.URL}, 300*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Repl == nil {
+		t.Fatal("failover report has no repl block")
+	}
+	if rep.Repl.AckedWrites == 0 || rep.Repl.AckedWrites != rep.Counts.OK {
+		t.Fatalf("acked %d vs ok %d", rep.Repl.AckedWrites, rep.Counts.OK)
+	}
+	if rep.Repl.LostAcks != 0 || rep.Repl.Outages != 0 {
+		t.Fatalf("clean run reported loss/outage: %+v", rep.Repl)
+	}
+	if rep.Repl.TimeToReadyMs < 0 || rep.Repl.VerifiedAgainst == "" {
+		t.Fatalf("repl block: %+v", rep.Repl)
+	}
+	if !rep.SLO.Pass {
+		t.Fatalf("clean failover run failed SLO: %+v", rep.SLO.Violations)
+	}
+	if err := Check(rep); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+}
+
+func TestFailoverLyingClusterFailsLostAckGate(t *testing.T) {
+	st := &stubCluster{drop: true}
+	ts := httptest.NewServer(st.handler())
+	t.Cleanup(ts.Close)
+
+	rep, err := runFailover(t, []string{ts.URL}, 300*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Repl == nil || rep.Repl.LostAcks == 0 {
+		t.Fatalf("dropped writes not detected: %+v", rep.Repl)
+	}
+	if rep.Repl.LostAcks != rep.Repl.AckedWrites {
+		t.Fatalf("every acked write was dropped, but lost %d of %d", rep.Repl.LostAcks, rep.Repl.AckedWrites)
+	}
+	if rep.SLO.Pass {
+		t.Fatal("lost acks passed the SLO")
+	}
+	found := false
+	for _, v := range rep.SLO.Violations {
+		if v.Gate == "no_lost_acks" && v.Actual == float64(rep.Repl.LostAcks) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no no_lost_acks violation in %+v", rep.SLO.Violations)
+	}
+}
+
+func TestFailoverMeasuresOutageWindow(t *testing.T) {
+	st := &stubCluster{}
+	ts := httptest.NewServer(st.handler())
+	t.Cleanup(ts.Close)
+
+	// Open a failover window a beat into the run and close it ~100ms
+	// later: the report must show one outage whose width is at least
+	// that, and still no lost acks (refused writes were never acked).
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		st.down.Store(true)
+		time.Sleep(100 * time.Millisecond)
+		st.down.Store(false)
+	}()
+	rep, err := runFailover(t, []string{ts.URL}, 500*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Repl == nil || rep.Repl.Outages == 0 {
+		t.Fatalf("outage window not observed: %+v", rep.Repl)
+	}
+	if rep.Repl.PromotionLatencyMs < 50 {
+		t.Fatalf("promotion latency %dms for a ~100ms outage", rep.Repl.PromotionLatencyMs)
+	}
+	if rep.Repl.LostAcks != 0 {
+		t.Fatalf("refused writes counted as lost: %+v", rep.Repl)
+	}
+	if !rep.SLO.Pass {
+		t.Fatalf("outage run failed SLO (no loss occurred): %+v", rep.SLO.Violations)
+	}
+}
+
+func TestFanoutRotatesOffDeadTarget(t *testing.T) {
+	st := &stubCluster{}
+	dead := httptest.NewServer(st.handler())
+	live := httptest.NewServer(st.handler())
+	t.Cleanup(live.Close)
+
+	// The preferred target dies before the run: preflight and traffic
+	// must rotate to the survivor rather than fail the harness.
+	dead.Close()
+	rep, err := runFailover(t, []string{dead.URL, live.URL}, 300*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Run with dead first target: %v", err)
+	}
+	if rep.Repl == nil || rep.Repl.AckedWrites == 0 || rep.Repl.LostAcks != 0 {
+		t.Fatalf("repl block after rotation: %+v", rep.Repl)
+	}
+	if rep.Repl.VerifiedAgainst != live.URL {
+		t.Fatalf("audit read %q, want the live target %q", rep.Repl.VerifiedAgainst, live.URL)
+	}
+	if len(rep.Repl.Targets) != 2 {
+		t.Fatalf("targets: %v", rep.Repl.Targets)
+	}
+}

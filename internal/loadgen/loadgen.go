@@ -20,6 +20,7 @@
 package loadgen
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -50,6 +51,9 @@ type genRequest struct {
 	// by the same worker (store-churn cycles); the composite is measured
 	// and classified as one operation.
 	chain []genRequest
+	// mark tags the write with a payload marker the scenario can look
+	// for afterward (failover's acked-write verification).
+	mark string
 }
 
 // Scenario is one named workload shape. Rate, Arrival, and Concurrency
@@ -70,6 +74,14 @@ type Scenario struct {
 	// gen produces the next request of the run. Called from the
 	// dispatcher goroutine only.
 	gen func(st *runState, rng *rand.Rand) genRequest
+	// observe, when non-nil, sees every completed operation (called from
+	// worker goroutines; must be internally synchronized). The failover
+	// scenario uses it to track acknowledged writes and outage windows.
+	observe func(st *runState, g genRequest, res result)
+	// verify, when non-nil, runs after the clock stops and may attach
+	// scenario-specific evidence to the report (failover's lost-ack
+	// audit). An error is a harness failure, not an SLO verdict.
+	verify func(ctx context.Context, st *runState, rep *Report) error
 }
 
 // Validate checks a scenario definition (also applied after CLI
@@ -102,6 +114,7 @@ func Scenarios() []Scenario {
 		batchAnalyzeScenario(),
 		storeChurnScenario(),
 		storeChurnShardedScenario(),
+		failoverScenario(),
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -124,6 +137,7 @@ func Lookup(name string) (Scenario, error) {
 // Options configures one run; zero values select the scenario defaults.
 type Options struct {
 	Target      string        // base URL of the xserve under load
+	Targets     []string      // replicated-cluster fan-out (overrides Target when set)
 	Duration    time.Duration // how long arrivals are scheduled for
 	Rate        float64       // override Scenario.Rate when > 0
 	Arrival     string        // override Scenario.Arrival when non-empty
@@ -139,6 +153,12 @@ type Options struct {
 }
 
 func (o Options) withDefaults(sc Scenario) (Scenario, Options) {
+	if len(o.Targets) == 0 && o.Target != "" {
+		o.Targets = []string{o.Target}
+	}
+	if len(o.Targets) > 0 {
+		o.Target = o.Targets[0]
+	}
 	if o.Rate > 0 {
 		sc.Rate = o.Rate
 	}

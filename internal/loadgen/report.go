@@ -13,7 +13,11 @@ import (
 // ReportSchemaVersion identifies the xload report layout. Bump only
 // with a loader that still reads every older version: reports are
 // committed/archived and diffed across arbitrary commits.
-const ReportSchemaVersion = 1
+//
+// v2 added the optional "repl" block (failover forensics: targets,
+// acked/lost writes, time-to-ready, promotion latency). v1 reports —
+// which never carry it — still load.
+const ReportSchemaVersion = 2
 
 // Tail sample kinds.
 const (
@@ -113,6 +117,35 @@ type Report struct {
 	Service LatencyStats `json:"service"`
 	SLO     SLOResult    `json:"slo"`
 	Tail    []TailSample `json:"tail,omitempty"`
+	// Repl is the failover scenario's replication forensics (schema v2);
+	// nil for every other scenario.
+	Repl *ReplReport `json:"repl,omitempty"`
+}
+
+// ReplReport is what a failover run learned about the cluster, from the
+// client's chair: how the fan-out targets behaved, which writes were
+// acknowledged, and whether the cluster kept every promise it made.
+type ReplReport struct {
+	// Targets is the fan-out set the run rotated across.
+	Targets []string `json:"targets"`
+	// AckedWrites counts writes the cluster acknowledged 2xx.
+	AckedWrites int64 `json:"acked_writes"`
+	// LostAcks counts acknowledged writes MISSING from the surviving
+	// cluster's document afterward — the replication invariant says this
+	// must be zero, and the SLO gate enforces it.
+	LostAcks int64 `json:"lost_acks"`
+	// TimeToReadyMs is run start to the first acknowledged write.
+	TimeToReadyMs int64 `json:"time_to_ready_ms"`
+	// PromotionLatencyMs is the longest client-observed outage window: a
+	// run where the primary was killed shows the failure-detection +
+	// promotion + catch-up interval here; 0 means no write ever failed
+	// after the first success.
+	PromotionLatencyMs int64 `json:"promotion_latency_ms"`
+	// Outages counts distinct fail->recover windows.
+	Outages int64 `json:"outages"`
+	// VerifiedAgainst is the target whose document state the lost-ack
+	// audit read.
+	VerifiedAgainst string `json:"verified_against,omitempty"`
 }
 
 // worstTrace returns the trace ID of the worst (highest-latency) tail
@@ -334,6 +367,11 @@ func FormatReport(r Report) string {
 	fmt.Fprintf(&b, "  latency (CO-safe): p50 %s p90 %s p99 %s max %s; service p99 %s\n",
 		fmtUs(r.Latency.P50Us), fmtUs(r.Latency.P90Us), fmtUs(r.Latency.P99Us),
 		fmtUs(r.Latency.MaxUs), fmtUs(r.Service.P99Us))
+	if r.Repl != nil {
+		fmt.Fprintf(&b, "  repl: %d targets, %d acked, %d lost; ready in %dms, %d outage(s), worst %dms\n",
+			len(r.Repl.Targets), r.Repl.AckedWrites, r.Repl.LostAcks,
+			r.Repl.TimeToReadyMs, r.Repl.Outages, r.Repl.PromotionLatencyMs)
+	}
 	if r.SLO.Pass {
 		b.WriteString("  SLO: pass\n")
 	} else {

@@ -141,13 +141,13 @@ func (t *tailKeeper) drain() []tailEntry {
 // live in Report.SLO and the caller decides the exit code.
 func Run(ctx context.Context, sc Scenario, opts Options) (Report, error) {
 	sc, opts = opts.withDefaults(sc)
-	if opts.Target == "" {
+	if len(opts.Targets) == 0 {
 		return Report{}, fmt.Errorf("loadgen: no target")
 	}
 	if err := sc.Validate(); err != nil {
 		return Report{}, err
 	}
-	client := NewClient(opts.Target, opts.Timeout)
+	client := NewFanoutClient(opts.Targets, opts.Timeout)
 
 	// Preflight: the server must be ready, and its identity is recorded
 	// so the report says exactly which build/config produced the numbers.
@@ -222,6 +222,9 @@ func Run(ctx context.Context, sc Scenario, opts Options) (Report, error) {
 				if res.lsn > 0 {
 					st.noteLSN(res.lsn)
 				}
+				if sc.observe != nil {
+					sc.observe(st, j.g, res)
+				}
 				tails.add(tailEntry{res: res, co: coLat})
 			}
 		}()
@@ -231,6 +234,18 @@ func Run(ctx context.Context, sc Scenario, opts Options) (Report, error) {
 	prog.stop()
 
 	rep := buildReport(sc, opts, identity, &cnt, co, svc, elapsed, start)
+
+	// Scenario-specific post-run audit (failover's lost-ack check) runs
+	// before the SLO verdict so its evidence is gated too.
+	if sc.verify != nil {
+		vctx, vcancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err := sc.verify(vctx, st, &rep)
+		vcancel()
+		if err != nil {
+			rep.SLO = sc.SLO.Evaluate(&rep)
+			return rep, err
+		}
+	}
 
 	// Tail forensics: link each kept sample to its server-side span
 	// tree while the flight recorder still holds it.

@@ -1,11 +1,15 @@
 package loadgen
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net/http"
+	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // runState is the mutable cross-request state of one run: the store
@@ -15,9 +19,54 @@ import (
 type runState struct {
 	seed   int64
 	client *Client
-	doc    string        // conflict-heavy's shared document
+	doc    string        // conflict-heavy's / failover's shared document
 	lsn    atomic.Uint64 // newest LSN seen in any response
 	cycle  int64         // store-churn cycle counter
+	fo     foState       // failover scenario bookkeeping
+}
+
+// foState is the failover scenario's observer state: which write
+// markers the cluster acknowledged, and the fail->recover windows the
+// client lived through. Workers update it concurrently.
+type foState struct {
+	mu          sync.Mutex
+	start       time.Time
+	acked       []string      // markers of 2xx-acknowledged writes
+	sawOK       bool          // at least one write has succeeded
+	firstOK     time.Duration // start -> first success (time to ready)
+	inOutage    bool
+	outageStart time.Time
+	outages     int64
+	worstOutage time.Duration
+}
+
+// note classifies one completed failover write into the outage state
+// machine: the first success marks readiness, a failure after any
+// success opens an outage window, and the success that ends the window
+// measures the promotion the client sat through.
+func (f *foState) note(mark string, ok bool) {
+	now := time.Now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ok {
+		if !f.sawOK {
+			f.sawOK, f.firstOK = true, now.Sub(f.start)
+		}
+		if f.inOutage {
+			f.inOutage = false
+			if d := now.Sub(f.outageStart); d > f.worstOutage {
+				f.worstOutage = d
+			}
+		}
+		if mark != "" {
+			f.acked = append(f.acked, mark)
+		}
+		return
+	}
+	if f.sawOK && !f.inOutage {
+		f.inOutage, f.outageStart = true, now
+		f.outages++
+	}
 }
 
 // noteLSN advances the observed store head.
@@ -253,6 +302,109 @@ func storeChurnScenario() Scenario {
 				body:  jsonBody(map[string]any{"doc": doc, "xml": "<log/>"}),
 				chain: []genRequest{ins, ins, ins, {op: "churn.drop", method: http.MethodDelete, path: docPath}},
 			}
+		},
+	}
+}
+
+// failoverScenario drives steady writes at a replicated cluster and
+// audits the replication promise afterward. Run it with every cluster
+// node in -targets; kill the primary mid-run (CI's smoke leg does, a
+// soak operator can at will). The client lives through the outage —
+// rotation follows the topology refusals to the promoted node — and the
+// report's repl block records what production would have felt:
+// time_to_ready_ms, each outage window (promotion_latency_ms is the
+// worst), and the lost-ack audit: every write the cluster acknowledged
+// must be present in the surviving cluster's document, enforced by the
+// no_lost_acks SLO gate.
+func failoverScenario() Scenario {
+	return Scenario{
+		Name:        "failover",
+		Description: "steady marked writes across a replicated cluster; post-run audit proves no acknowledged write was lost",
+		Rate:        50,
+		Arrival:     ArrivalConstant,
+		Concurrency: 8,
+		NeedsStore:  true,
+		SLO: SLO{
+			NoLostAcks: true,
+			// Latency and error gates stay off: a failover run EXPECTS an
+			// outage window full of refused writes — the gates that matter
+			// are the promise gates above.
+		},
+		setup: func(st *runState) error {
+			st.fo.start = time.Now()
+			st.doc = fmt.Sprintf("xload-fo-%d", st.seed)
+			if _, err := st.client.CreateDoc(st.doc, "<log/>"); err != nil {
+				return fmt.Errorf("loadgen: failover setup: %w", err)
+			}
+			return nil
+		},
+		gen: func(st *runState, rng *rand.Rand) genRequest {
+			c := st.cycle
+			st.cycle++
+			// The marker is the element name itself (the tree model keeps
+			// element structure, not attributes), unique per seed+cycle and
+			// terminated by "/" on lookup so w1x4 never matches w1x42.
+			mark := fmt.Sprintf("w%dx%d", st.seed, c)
+			return genRequest{
+				op: "failover.insert", method: http.MethodPost,
+				path:    "/v1/docs/" + st.doc + "/update",
+				body:    jsonBody(map[string]any{"op": "insert", "pattern": "/log", "x": "<" + mark + "/>"}),
+				wantLSN: true,
+				mark:    mark,
+			}
+		},
+		observe: func(st *runState, g genRequest, res result) {
+			// A 202 is a *tentative* accept from a backup that cannot reach
+			// a primary: provisional, not an ack — it enters the audit set
+			// only if it later merges and gets re-acked. For the outage
+			// state machine it is a primary-unreachable signal, same as a
+			// refusal.
+			acked := res.class == ClassOK && res.status != http.StatusAccepted
+			st.fo.note(g.mark, acked)
+		},
+		verify: func(ctx context.Context, st *runState, rep *Report) error {
+			st.fo.mu.Lock()
+			// An outage still open when the run ends (e.g. a 2-node cluster
+			// that lost its quorum for good) is measured up to now — the
+			// client sat through at least this much.
+			if st.fo.inOutage {
+				if d := time.Since(st.fo.outageStart); d > st.fo.worstOutage {
+					st.fo.worstOutage = d
+				}
+			}
+			acked := append([]string(nil), st.fo.acked...)
+			repl := &ReplReport{
+				Targets:            st.client.Targets(),
+				AckedWrites:        int64(len(acked)),
+				TimeToReadyMs:      st.fo.firstOK.Milliseconds(),
+				PromotionLatencyMs: st.fo.worstOutage.Milliseconds(),
+				Outages:            st.fo.outages,
+			}
+			st.fo.mu.Unlock()
+			// Read the surviving cluster's document — with retries, since
+			// the run may end inside an outage window — and hold every
+			// acknowledged marker against it.
+			var xml string
+			var err error
+			deadline := time.Now().Add(15 * time.Second)
+			for {
+				xml, err = st.client.GetDocXML(ctx, st.doc)
+				if err == nil || time.Now().After(deadline) || ctx.Err() != nil {
+					break
+				}
+				time.Sleep(200 * time.Millisecond)
+			}
+			if err != nil {
+				return fmt.Errorf("loadgen: failover audit: %w", err)
+			}
+			repl.VerifiedAgainst = st.client.Target()
+			for _, mark := range acked {
+				if !strings.Contains(xml, "<"+mark+"/") {
+					repl.LostAcks++
+				}
+			}
+			rep.Repl = repl
+			return nil
 		},
 	}
 }

@@ -17,6 +17,13 @@ type SLO struct {
 	MaxErrorRate    float64 `json:"max_error_rate,omitempty"`
 	MaxTimeoutRate  float64 `json:"max_timeout_rate,omitempty"`
 	MinConflictRate float64 `json:"min_conflict_rate,omitempty"`
+	// NoLostAcks enforces the replication promise on a failover run: any
+	// acknowledged write missing from the surviving cluster fails the
+	// gate. Only meaningful when the scenario attaches a Repl block.
+	NoLostAcks bool `json:"no_lost_acks,omitempty"`
+	// MaxPromotionMs bounds the longest client-observed outage window of
+	// a failover run (0 = not enforced).
+	MaxPromotionMs float64 `json:"max_promotion_ms,omitempty"`
 }
 
 // Validate rejects nonsense thresholds.
@@ -28,6 +35,7 @@ func (s SLO) Validate() error {
 		{"p99_max_ms", s.P99MaxMs}, {"p50_max_ms", s.P50MaxMs},
 		{"max_shed_rate", s.MaxShedRate}, {"max_error_rate", s.MaxErrorRate},
 		{"max_timeout_rate", s.MaxTimeoutRate}, {"min_conflict_rate", s.MinConflictRate},
+		{"max_promotion_ms", s.MaxPromotionMs},
 	} {
 		if f.v < 0 {
 			return fmt.Errorf("loadgen: slo %s must be non-negative, got %g", f.name, f.v)
@@ -103,6 +111,14 @@ func (s SLO) Evaluate(rep *Report) SLOResult {
 	}
 	if s.MinConflictRate > 0 && rep.Rates.Conflict < s.MinConflictRate {
 		add("min_conflict_rate", s.MinConflictRate, rep.Rates.Conflict, TailConflict)
+	}
+	if rep.Repl != nil {
+		if s.NoLostAcks && rep.Repl.LostAcks > 0 {
+			add("no_lost_acks", 0, float64(rep.Repl.LostAcks), TailError)
+		}
+		if s.MaxPromotionMs > 0 && float64(rep.Repl.PromotionLatencyMs) > s.MaxPromotionMs {
+			add("max_promotion_ms", s.MaxPromotionMs, float64(rep.Repl.PromotionLatencyMs), TailError)
+		}
 	}
 	sort.Slice(out.Violations, func(i, j int) bool { return out.Violations[i].Gate < out.Violations[j].Gate })
 	out.Pass = len(out.Violations) == 0

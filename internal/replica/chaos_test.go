@@ -1,0 +1,243 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"xmlconflict/internal/faultinject"
+	"xmlconflict/internal/store"
+)
+
+// The chaos suite proves the two replication invariants under fault
+// injection and -race:
+//
+//  1. No quorum-acked write is ever lost by failover: kill the primary
+//     mid-run and every write the cluster acknowledged at quorum is
+//     present on every node afterward.
+//  2. Divergent tentative logs converge: optimistic ops queued on a
+//     partitioned node merge through the conflict detector — commuting
+//     ops commit, conflicting ops are rejected with the forensics
+//     envelope — and every node ends on the same doc digests.
+//
+// Plus a kill-every-site drill: a panic injected at each repl.* edge
+// must degrade to a retry or an honest error, never take a node down.
+
+// writeRetry submits op against whichever node currently leads,
+// following NotPrimaryError redirects and retrying through failover
+// windows. ok reports the write was ACKNOWLEDGED; a false return says
+// nothing about whether it committed (an unacked write may survive —
+// the invariant is one-way).
+func (c *cluster) writeRetry(doc string, op store.Op, patience time.Duration) (store.Result, bool) {
+	deadline := time.Now().Add(patience)
+	for time.Now().Before(deadline) {
+		p := c.currentPrimary()
+		if p == nil {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		res, err := p.SubmitCtx(ctx, doc, op)
+		cancel()
+		if err == nil {
+			return res, true
+		}
+		var np *NotPrimaryError
+		if !errors.As(err, &np) {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	return store.Result{}, false
+}
+
+func TestChaosFailoverPreservesQuorumAckedWrites(t *testing.T) {
+	c := newCluster(t, 3, nil) // ack=quorum
+	ctx := context.Background()
+	if _, err := c.nodes["a"].CreateCtx(ctx, "log", "<log/>"); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+
+	const writes = 80
+	var acked []int
+	for i := 0; i < writes; i++ {
+		if i == writes/3 {
+			// Kill the primary mid-run, mid-stream.
+			c.kill("a")
+		}
+		op := insertOp("/log", fmt.Sprintf("<e%d/>", i))
+		if _, ok := c.writeRetry("log", op, 10*time.Second); ok {
+			acked = append(acked, i)
+		}
+	}
+	if len(acked) < writes/2 {
+		t.Fatalf("only %d/%d writes acknowledged; the cluster never recovered", len(acked), writes)
+	}
+
+	// The killed primary rejoins (fenced, resynced) and must converge
+	// too: the invariant is cluster-wide.
+	c.start("a")
+	p := c.stablePrimary(10 * time.Second)
+	want, ok := c.digest(p.Self().ID, "log")
+	if !ok {
+		t.Fatal("log doc missing on primary")
+	}
+	for id := range c.nodes {
+		id := id
+		c.waitFor(10*time.Second, "node "+id+" to converge", func() bool {
+			got, ok := c.digest(id, "log")
+			return ok && got == want
+		})
+	}
+
+	// Every acknowledged write is present on every node — nothing the
+	// cluster promised was lost in the handover.
+	for id, n := range c.nodes {
+		info, err := n.Router().Get("log")
+		if err != nil {
+			t.Fatalf("node %s: %v", id, err)
+		}
+		for _, i := range acked {
+			if !strings.Contains(info.XML, fmt.Sprintf("<e%d/>", i)) {
+				t.Fatalf("node %s lost quorum-acked write %d:\n%s", id, i, info.XML)
+			}
+		}
+	}
+	t.Logf("acked %d/%d writes across failover; all present on all 3 nodes", len(acked), writes)
+}
+
+func TestChaosDivergentTentativeLogsConverge(t *testing.T) {
+	c := newCluster(t, 3, func(id string, o *Options) { o.Tentative = true })
+	ctx := context.Background()
+	a := c.nodes["a"]
+	res, err := a.CreateCtx(ctx, "d", "<a><keep/></a>")
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	base := res.LSN
+
+	// Partition c and hand it a divergent optimistic log: an insert
+	// that commutes with everything the primary does, and a delete that
+	// will conflict with the primary's intervening insert of <x/> (one
+	// order keeps the x, the other loses it).
+	faultinject.Arm("repl.partition.c", faultinject.Fault{Kind: faultinject.KindError})
+	nodeC := c.nodes["c"]
+	if _, err := nodeC.QueueTentative("d", store.Op{Kind: "insert", Pattern: "/a/keep", X: "<from-c/>", BaseLSN: base}); err != nil {
+		t.Fatalf("queue commuting op: %v", err)
+	}
+	if _, err := nodeC.QueueTentative("d", store.Op{Kind: "delete", Pattern: "//x", BaseLSN: base}); err != nil {
+		t.Fatalf("queue conflicting op: %v", err)
+	}
+
+	// The primary commits the op both tentative windows are measured
+	// against.
+	if _, err := a.SubmitCtx(ctx, "d", insertOp("/a", "<x/>")); err != nil {
+		t.Fatalf("live insert: %v", err)
+	}
+
+	// Heal: the backlog flushes and merges through the detector.
+	faultinject.Disarm("repl.partition.c")
+	c.waitFor(10*time.Second, "tentative backlog to drain", func() bool {
+		return nodeC.TentativeBacklog() == 0
+	})
+	var committed, conflicted *MergeOutcome
+	c.waitFor(10*time.Second, "merge outcomes on origin", func() bool {
+		committed, conflicted = nil, nil
+		outs := nodeC.MergeOutcomes()
+		for i := range outs {
+			switch {
+			case outs[i].Committed:
+				committed = &outs[i]
+			case outs[i].Reason == "conflict":
+				conflicted = &outs[i]
+			}
+		}
+		return committed != nil && conflicted != nil
+	})
+
+	// The rejection carries the same forensics envelope a live 409
+	// does: which semantics fired, against which committed LSN.
+	if conflicted.Conflict == nil {
+		t.Fatalf("conflicted outcome has no envelope: %+v", conflicted)
+	}
+	ce := conflicted.Conflict
+	if ce.Doc != "d" || len(ce.Fired) == 0 || ce.BaseLSN != base || ce.WithLSN <= base {
+		t.Fatalf("conflict envelope: %+v", ce)
+	}
+
+	// Every node — primary, connected backup, and the healed divergent
+	// node — lands on the same detector-arbitrated digest.
+	want, ok := c.digest("a", "d")
+	if !ok {
+		t.Fatal("doc missing on primary")
+	}
+	for _, id := range []string{"b", "c"} {
+		id := id
+		c.waitFor(10*time.Second, "node "+id+" to converge", func() bool {
+			got, ok := c.digest(id, "d")
+			return ok && got == want
+		})
+	}
+	info, _ := a.Router().Get("d")
+	if !strings.Contains(info.XML, "from-c") || !strings.Contains(info.XML, "<x") {
+		t.Fatalf("merged doc lost a committed op: %s", info.XML)
+	}
+}
+
+// TestChaosKillEverySite injects a panic at each replication fault
+// site in turn. The failure must be contained — an aborted promotion,
+// a retried ship, an honestly-failed ack — and the cluster must still
+// converge once the fault clears.
+func TestChaosKillEverySite(t *testing.T) {
+	sites := []string{"repl.ship", "repl.ack", "repl.heartbeat", "repl.promote", "repl.partition"}
+	for _, site := range sites {
+		site := site
+		t.Run(site, func(t *testing.T) {
+			c := newCluster(t, 3, nil)
+			ctx := context.Background()
+			if _, err := c.nodes["a"].CreateCtx(ctx, "d", "<r/>"); err != nil {
+				t.Fatalf("create: %v", err)
+			}
+			faultinject.Arm(site, faultinject.Fault{Kind: faultinject.KindPanic, Times: 2})
+
+			if site == "repl.promote" {
+				// Exercise the site: kill the primary so a backup stands.
+				// The injected panic aborts the first candidacies (the
+				// monitor contains it); a later tick must still promote.
+				c.kill("a")
+				c.waitFor(15*time.Second, "promotion despite injected panic", func() bool {
+					p := c.currentPrimary()
+					return p != nil && p.Epoch() > 1
+				})
+			} else {
+				for i := 0; i < 4; i++ {
+					// Some of these fail honestly while the fault fires;
+					// none may crash the process or wedge the cluster.
+					c.writeRetry("d", insertOp("/r", fmt.Sprintf("<w%d/>", i)), 5*time.Second)
+				}
+			}
+
+			if faultinject.Fired(site) == 0 {
+				t.Fatalf("drill never reached site %s", site)
+			}
+			faultinject.Disarm(site)
+
+			// The cluster works after the drill: one more acked write,
+			// every live node converging on it.
+			if _, ok := c.writeRetry("d", insertOp("/r", "<final/>"), 10*time.Second); !ok {
+				t.Fatalf("no acked write after %s drill", site)
+			}
+			p := c.stablePrimary(10 * time.Second)
+			want, _ := c.digest(p.Self().ID, "d")
+			for id := range c.nodes {
+				id := id
+				c.waitFor(10*time.Second, "node "+id+" to converge after drill", func() bool {
+					got, ok := c.digest(id, "d")
+					return ok && got == want
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,94 @@
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The replication epoch is the fencing token: it lives in
+// repl-epoch.json next to the shard manifest and is rewritten (temp +
+// fsync + rename, like every other durable publish in this codebase)
+// on every adoption or promotion. A node that restarts reads it back
+// strictly — a half-written or corrupt file refuses to open, because a
+// node rejoining under a guessed epoch could accept frames from a
+// deposed primary and diverge silently.
+
+// epochFileName holds the persisted epoch inside the node's data dir.
+const epochFileName = "repl-epoch.json"
+
+// epochState is the persisted fencing record. Dirty marks a node that
+// was deposed while primary: its log may carry a never-quorum-acked
+// tail, and it must complete a full-state resync from the new primary
+// before applying frames again — surviving a crash mid-resync is
+// exactly why the flag is durable.
+type epochState struct {
+	Version int    `json:"version"`
+	Epoch   uint64 `json:"epoch"`
+	Primary string `json:"primary"`
+	Dirty   bool   `json:"dirty,omitempty"`
+}
+
+// loadEpoch reads the persisted epoch. A missing file is a fresh node
+// (ok=false); anything unparseable or structurally invalid is an
+// error, never a silent fresh start.
+func loadEpoch(dir string) (epochState, bool, error) {
+	var ep epochState
+	path := filepath.Join(dir, epochFileName)
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return ep, false, nil
+	}
+	if err != nil {
+		return ep, false, fmt.Errorf("replica: read %s: %w", epochFileName, err)
+	}
+	if err := json.Unmarshal(b, &ep); err != nil {
+		return ep, false, fmt.Errorf("replica: %s is corrupt or half-written (%v); refusing to rejoin under a guessed epoch — restore the file or remove it to re-init the node", epochFileName, err)
+	}
+	if ep.Version != 1 {
+		return ep, false, fmt.Errorf("replica: %s has version %d; this build reads version 1", epochFileName, ep.Version)
+	}
+	if ep.Epoch == 0 {
+		return ep, false, fmt.Errorf("replica: %s carries epoch 0 (epochs start at 1); the file is corrupt", epochFileName)
+	}
+	if ep.Primary == "" {
+		return ep, false, fmt.Errorf("replica: %s names no primary; the file is corrupt", epochFileName)
+	}
+	return ep, true, nil
+}
+
+// saveEpoch durably publishes the epoch record.
+func saveEpoch(dir string, ep epochState) error {
+	b, err := json.MarshalIndent(ep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("replica: encode epoch: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "repl-epoch-*.tmp")
+	if err != nil {
+		return fmt.Errorf("replica: epoch temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(b, '\n')); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("replica: write epoch: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("replica: close epoch: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, epochFileName)); err != nil {
+		return fmt.Errorf("replica: publish epoch: %w", err)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("replica: open dir for fsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("replica: fsync dir: %w", err)
+	}
+	return nil
+}

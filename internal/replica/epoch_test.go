@@ -1,0 +1,87 @@
+package replica
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEpochRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok, err := loadEpoch(dir); err != nil || ok {
+		t.Fatalf("fresh dir: ok=%v err=%v, want absent", ok, err)
+	}
+	want := epochState{Version: 1, Epoch: 7, Primary: "b", Dirty: true}
+	if err := saveEpoch(dir, want); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, ok, err := loadEpoch(dir)
+	if err != nil || !ok || got != want {
+		t.Fatalf("load = %+v ok=%v err=%v, want %+v", got, ok, err, want)
+	}
+}
+
+// TestEpochFileTruncation cuts a valid epoch file at every byte
+// boundary: a half-written file must refuse to load at each of them —
+// a node that guesses an epoch can accept frames from a deposed
+// primary and diverge silently.
+func TestEpochFileTruncation(t *testing.T) {
+	dir := t.TempDir()
+	if err := saveEpoch(dir, epochState{Version: 1, Epoch: 3, Primary: "node-b"}); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	path := filepath.Join(dir, epochFileName)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	// The last cut keeps everything but the trailing newline, which
+	// still parses — stop one byte earlier.
+	for cut := 1; cut < len(full)-2; cut++ {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatalf("truncate to %d: %v", cut, err)
+		}
+		if _, _, err := loadEpoch(dir); err == nil {
+			t.Fatalf("epoch file truncated to %d/%d bytes loaded cleanly:\n%s", cut, len(full), full[:cut])
+		}
+	}
+}
+
+func TestEpochFileRejectsStructuralGarbage(t *testing.T) {
+	cases := []struct {
+		name, body, want string
+	}{
+		{"not-json", "epoch three", "corrupt or half-written"},
+		{"wrong-version", `{"version":2,"epoch":3,"primary":"a"}`, "version"},
+		{"zero-epoch", `{"version":1,"epoch":0,"primary":"a"}`, "epoch 0"},
+		{"no-primary", `{"version":1,"epoch":3,"primary":""}`, "no primary"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, epochFileName), []byte(tc.body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, _, err := loadEpoch(dir)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("load(%s) = %v, want error containing %q", tc.name, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestOpenRefusesCorruptEpoch proves the refusal reaches Open: a node
+// with a mangled fencing record must not join the cluster.
+func TestOpenRefusesCorruptEpoch(t *testing.T) {
+	c := newCluster(t, 2, nil)
+	c.kill("b")
+	path := filepath.Join(c.dirs["b"], epochFileName)
+	if err := os.WriteFile(path, []byte(`{"version":1,"ep`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(c.dirs["b"], shardOptsForTest(), Options{NodeID: "b", Peers: c.peers})
+	if err == nil || !strings.Contains(err.Error(), "refusing") {
+		t.Fatalf("open over corrupt epoch file: %v, want refusal", err)
+	}
+}

@@ -1,0 +1,441 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"xmlconflict/internal/faultinject"
+	"xmlconflict/internal/store"
+)
+
+// The replication wire protocol: JSON over HTTP, every request
+// stamped with the sender's epoch and primary claim. A receiver that
+// knows a newer epoch answers 409 with it — the stale sender adopts
+// the answer and fences itself. Responses are decoded for both 200
+// and 409, so fencing is data, not an opaque transport error.
+
+// maxReplBody bounds a replication request body; frames and states are
+// already capped by the store's 64 MiB frame limit.
+const maxReplBody = 96 << 20
+
+// appendRequest ships committed WAL frames for one shard.
+type appendRequest struct {
+	Epoch   uint64            `json:"epoch"`
+	Primary string            `json:"primary"`
+	Shard   int               `json:"shard"`
+	Frames  []store.ReplFrame `json:"frames"`
+}
+
+// appendResponse reports the receiver's post-apply position. Accepted
+// is false when the sender's epoch is stale; Epoch/Primary then carry
+// the receiver's newer claim. Diverged marks a receiver mid-resync
+// (its log does not extend the sender's); LSN is always the
+// receiver's authoritative position for the shard, which on a gap
+// rewinds the sender's stream.
+type appendResponse struct {
+	Accepted bool   `json:"accepted"`
+	Epoch    uint64 `json:"epoch"`
+	Primary  string `json:"primary"`
+	LSN      uint64 `json:"lsn"`
+	Diverged bool   `json:"diverged,omitempty"`
+}
+
+// OK reports the response accepted the sender's epoch.
+func (r appendResponse) OK(epoch uint64) bool { return r.Accepted && r.Epoch == epoch }
+
+// resetRequest replaces one shard's entire state (the catch-up path
+// when the frame buffer no longer reaches the receiver).
+type resetRequest struct {
+	Epoch   uint64      `json:"epoch"`
+	Primary string      `json:"primary"`
+	Shard   int         `json:"shard"`
+	State   store.State `json:"state"`
+}
+
+// heartbeatRequest announces the primary's liveness and positions.
+type heartbeatRequest struct {
+	Epoch   uint64   `json:"epoch"`
+	Primary string   `json:"primary"`
+	LSNs    []uint64 `json:"lsns"`
+}
+
+// heartbeatResponse carries the backup's positions for lag tracking.
+type heartbeatResponse struct {
+	Accepted  bool     `json:"accepted"`
+	Epoch     uint64   `json:"epoch"`
+	Primary   string   `json:"primary"`
+	LSNs      []uint64 `json:"lsns"`
+	Tentative int      `json:"tentative"`
+}
+
+// sinceResponse answers anti-entropy catch-up: either the frames past
+// the requested LSN, or (when the buffer has been trimmed past it) a
+// full-state reset.
+type sinceResponse struct {
+	Epoch   uint64            `json:"epoch"`
+	Primary string            `json:"primary"`
+	LSN     uint64            `json:"lsn"`
+	Frames  []store.ReplFrame `json:"frames,omitempty"`
+	Reset   bool              `json:"reset,omitempty"`
+	State   *store.State      `json:"state,omitempty"`
+}
+
+// stateResponse is a full-shard export (the pull side of resync).
+type stateResponse struct {
+	Epoch   uint64      `json:"epoch"`
+	Primary string      `json:"primary"`
+	State   store.State `json:"state"`
+}
+
+// mergeRequest submits a disconnected node's tentative log for
+// detector-arbitrated merge on the primary.
+type mergeRequest struct {
+	Epoch uint64        `json:"epoch"`
+	From  string        `json:"from"`
+	Ops   []TentativeOp `json:"ops"`
+}
+
+// mergeResponse reports each op's fate. Accepted is false when the
+// receiver is not the primary; Epoch/Primary then say who is.
+type mergeResponse struct {
+	Accepted bool           `json:"accepted"`
+	Epoch    uint64         `json:"epoch"`
+	Primary  string         `json:"primary"`
+	Outcomes []MergeOutcome `json:"outcomes,omitempty"`
+}
+
+// Handler mounts the replication API. The same handler serves an
+// xserve daemon and an in-process test cluster.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/repl/append", n.handleAppend)
+	mux.HandleFunc("POST /v1/repl/reset", n.handleReset)
+	mux.HandleFunc("POST /v1/repl/heartbeat", n.handleHeartbeat)
+	mux.HandleFunc("GET /v1/repl/since/{shard}/{after}", n.handleSince)
+	mux.HandleFunc("GET /v1/repl/state/{shard}", n.handleState)
+	mux.HandleFunc("POST /v1/repl/merge", n.handleMerge)
+	mux.HandleFunc("GET /v1/repl/status", n.handleStatus)
+	mux.HandleFunc("GET /v1/repl/merges", n.handleMerges)
+	return mux
+}
+
+// partitionFault fires the partition sites: the cluster-wide
+// "repl.partition" and this node's "repl.partition.<id>", so a test
+// can sever one node of an in-process cluster (whose faultinject
+// registry is shared) or all of them.
+func (n *Node) partitionFault() error {
+	if err := faultinject.Fire("repl.partition"); err != nil {
+		return err
+	}
+	return faultinject.Fire("repl.partition." + n.self.ID)
+}
+
+// partitioned answers 503 when a partition fault is armed for this
+// node; handlers bail out first thing, so the node is unreachable in
+// both directions.
+func (n *Node) partitioned(w http.ResponseWriter) bool {
+	if err := n.partitionFault(); err != nil {
+		replJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error(), "reason": "partitioned"})
+		return true
+	}
+	return false
+}
+
+func replJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is fine
+}
+
+// decodeRepl parses a bounded JSON request body.
+func decodeRepl(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxReplBody))
+	if err == nil {
+		err = json.Unmarshal(body, v)
+	}
+	if err != nil {
+		replJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error(), "reason": "bad-request"})
+		return false
+	}
+	return true
+}
+
+// rejectEpoch answers a stale sender with the local, newer claim.
+func (n *Node) rejectEpoch(w http.ResponseWriter) {
+	n.mu.Lock()
+	epoch, primary := n.epoch, n.primaryID
+	n.mu.Unlock()
+	n.m.Add("repl.fencings_served", 1)
+	replJSON(w, http.StatusConflict, appendResponse{Accepted: false, Epoch: epoch, Primary: primary})
+}
+
+// touchPrimary refreshes the failure detector when the current
+// primary makes contact.
+func (n *Node) touchPrimary(primary string, lsns []uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if primary == n.primaryID {
+		n.lastContact = time.Now()
+	}
+	if lsns != nil && primary != n.self.ID {
+		n.peerLSNs[primary] = append([]uint64(nil), lsns...)
+	}
+}
+
+func (n *Node) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if n.partitioned(w) {
+		return
+	}
+	var req appendRequest
+	if !decodeRepl(w, r, &req) {
+		return
+	}
+	if !n.observeEpoch(req.Epoch, req.Primary) {
+		n.rejectEpoch(w)
+		return
+	}
+	n.touchPrimary(req.Primary, nil)
+	if req.Shard < 0 || req.Shard >= n.router.Shards() {
+		replJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("shard %d out of range", req.Shard), "reason": "bad-request"})
+		return
+	}
+	st := n.router.Store(req.Shard)
+	n.mu.Lock()
+	epoch, primary, dirty := n.epoch, n.primaryID, n.dirty
+	n.mu.Unlock()
+	if dirty {
+		replJSON(w, http.StatusOK, appendResponse{Accepted: true, Epoch: epoch, Primary: primary, LSN: st.LSN(), Diverged: true})
+		return
+	}
+	lsn, err := st.ApplyFrames(r.Context(), req.Frames)
+	switch {
+	case err == nil:
+		n.m.Add("repl.frames_applied", int64(len(req.Frames)))
+		replJSON(w, http.StatusOK, appendResponse{Accepted: true, Epoch: epoch, Primary: primary, LSN: lsn})
+	case errors.Is(err, store.ErrReplGap):
+		// Not an error to the sender: the LSN rewinds its stream.
+		n.m.Add("repl.gaps", 1)
+		replJSON(w, http.StatusOK, appendResponse{Accepted: true, Epoch: epoch, Primary: primary, LSN: lsn})
+	case errors.Is(err, store.ErrClosed):
+		replJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error(), "reason": "store-closed"})
+	default:
+		// The frames failed verification against local state: this
+		// replica has diverged (or the stream is corrupt). Go dirty and
+		// resync wholesale rather than guess.
+		n.m.Add("repl.diverged", 1)
+		n.markDirty()
+		replJSON(w, http.StatusOK, appendResponse{Accepted: true, Epoch: epoch, Primary: primary, LSN: st.LSN(), Diverged: true})
+	}
+}
+
+// markDirty durably flags this node for full-state resync.
+func (n *Node) markDirty() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.dirty {
+		return
+	}
+	n.dirty = true
+	if err := saveEpoch(n.dir, epochState{Version: 1, Epoch: n.epoch, Primary: n.primaryID, Dirty: true}); err != nil {
+		n.m.Add("repl.epoch_persist_errors", 1)
+	}
+}
+
+func (n *Node) handleReset(w http.ResponseWriter, r *http.Request) {
+	if n.partitioned(w) {
+		return
+	}
+	var req resetRequest
+	if !decodeRepl(w, r, &req) {
+		return
+	}
+	if !n.observeEpoch(req.Epoch, req.Primary) {
+		n.rejectEpoch(w)
+		return
+	}
+	n.touchPrimary(req.Primary, nil)
+	if req.Shard < 0 || req.Shard >= n.router.Shards() {
+		replJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("shard %d out of range", req.Shard), "reason": "bad-request"})
+		return
+	}
+	st := n.router.Store(req.Shard)
+	n.mu.Lock()
+	epoch, primary := n.epoch, n.primaryID
+	n.mu.Unlock()
+	if err := st.ImportState(r.Context(), req.State); err != nil {
+		replJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error(), "reason": "import-failed"})
+		return
+	}
+	n.m.Add("repl.state_imports", 1)
+	replJSON(w, http.StatusOK, appendResponse{Accepted: true, Epoch: epoch, Primary: primary, LSN: st.LSN()})
+}
+
+func (n *Node) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if n.partitioned(w) {
+		return
+	}
+	if err := faultinject.Fire("repl.heartbeat"); err != nil {
+		replJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error(), "reason": "fault"})
+		return
+	}
+	var req heartbeatRequest
+	if !decodeRepl(w, r, &req) {
+		return
+	}
+	if !n.observeEpoch(req.Epoch, req.Primary) {
+		n.rejectEpoch(w)
+		return
+	}
+	n.touchPrimary(req.Primary, req.LSNs)
+	n.mu.Lock()
+	epoch, primary, tent := n.epoch, n.primaryID, len(n.tent)
+	n.mu.Unlock()
+	replJSON(w, http.StatusOK, heartbeatResponse{
+		Accepted: true, Epoch: epoch, Primary: primary,
+		LSNs: n.router.LSNs(), Tentative: tent,
+	})
+}
+
+func (n *Node) handleSince(w http.ResponseWriter, r *http.Request) {
+	if n.partitioned(w) {
+		return
+	}
+	shardIdx, err1 := strconv.Atoi(r.PathValue("shard"))
+	after, err2 := strconv.ParseUint(r.PathValue("after"), 10, 64)
+	if err1 != nil || err2 != nil || shardIdx < 0 || shardIdx >= n.router.Shards() {
+		replJSON(w, http.StatusBadRequest, map[string]string{"error": "bad shard or lsn", "reason": "bad-request"})
+		return
+	}
+	st := n.router.Store(shardIdx)
+	n.mu.Lock()
+	epoch, primary := n.epoch, n.primaryID
+	n.mu.Unlock()
+	resp := sinceResponse{Epoch: epoch, Primary: primary, LSN: st.LSN()}
+	frames, ok := st.FramesSince(after)
+	if ok {
+		resp.Frames = frames
+	} else {
+		state, err := st.ExportState()
+		if err != nil {
+			replJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error(), "reason": "export-failed"})
+			return
+		}
+		resp.Reset = true
+		resp.State = &state
+	}
+	replJSON(w, http.StatusOK, resp)
+}
+
+func (n *Node) handleState(w http.ResponseWriter, r *http.Request) {
+	if n.partitioned(w) {
+		return
+	}
+	shardIdx, err := strconv.Atoi(r.PathValue("shard"))
+	if err != nil || shardIdx < 0 || shardIdx >= n.router.Shards() {
+		replJSON(w, http.StatusBadRequest, map[string]string{"error": "bad shard", "reason": "bad-request"})
+		return
+	}
+	state, err := n.router.Store(shardIdx).ExportState()
+	if err != nil {
+		replJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error(), "reason": "export-failed"})
+		return
+	}
+	n.mu.Lock()
+	epoch, primary := n.epoch, n.primaryID
+	n.mu.Unlock()
+	replJSON(w, http.StatusOK, stateResponse{Epoch: epoch, Primary: primary, State: state})
+}
+
+func (n *Node) handleMerge(w http.ResponseWriter, r *http.Request) {
+	if n.partitioned(w) {
+		return
+	}
+	var req mergeRequest
+	if !decodeRepl(w, r, &req) {
+		return
+	}
+	n.mu.Lock()
+	epoch, primary, role := n.epoch, n.primaryID, n.role
+	n.mu.Unlock()
+	// A sender carrying a NEWER epoch knows a primary this node has not
+	// heard of yet — accepting its ops here could commit them outside
+	// the live epoch's log. Refuse; the sender requeues and retries once
+	// the topology has settled (heartbeats will fence this node soon).
+	if role != RolePrimary || req.Epoch > epoch {
+		replJSON(w, http.StatusConflict, mergeResponse{Accepted: false, Epoch: epoch, Primary: primary})
+		return
+	}
+	outcomes := n.mergeLocal(r.Context(), req.Ops)
+	replJSON(w, http.StatusOK, mergeResponse{Accepted: true, Epoch: epoch, Primary: primary, Outcomes: outcomes})
+}
+
+func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if n.partitioned(w) {
+		return
+	}
+	replJSON(w, http.StatusOK, n.Status())
+}
+
+func (n *Node) handleMerges(w http.ResponseWriter, r *http.Request) {
+	if n.partitioned(w) {
+		return
+	}
+	replJSON(w, http.StatusOK, map[string]any{"merges": n.MergeOutcomes()})
+}
+
+// postPeer performs one replication POST, decoding the body for both
+// 200 and 409 (a 409 carries the receiver's newer epoch — data the
+// caller folds in, not a transport failure).
+func (n *Node) postPeer(ctx context.Context, p Peer, path string, body, out any) error {
+	if err := n.partitionFault(); err != nil {
+		return err
+	}
+	b, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("replica: encode %s: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.URL+path, bytes.NewReader(b))
+	if err != nil {
+		return fmt.Errorf("replica: %s to %s: %w", path, p.ID, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return n.doPeer(req, p, path, out)
+}
+
+// getPeer performs one replication GET.
+func (n *Node) getPeer(ctx context.Context, p Peer, path string, out any) error {
+	if err := n.partitionFault(); err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.URL+path, nil)
+	if err != nil {
+		return fmt.Errorf("replica: %s from %s: %w", path, p.ID, err)
+	}
+	return n.doPeer(req, p, path, out)
+}
+
+func (n *Node) doPeer(req *http.Request, p Peer, path string, out any) error {
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("replica: %s to %s: %w", path, p.ID, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxReplBody))
+	if err != nil {
+		return fmt.Errorf("replica: %s to %s: read: %w", path, p.ID, err)
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+		return fmt.Errorf("replica: %s to %s: status %d: %.200s", path, p.ID, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("replica: %s to %s: decode: %w", path, p.ID, err)
+	}
+	return nil
+}

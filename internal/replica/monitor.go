@@ -1,0 +1,396 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"xmlconflict/internal/faultinject"
+	"xmlconflict/internal/store"
+)
+
+// The monitor is the node's one background loop, ticking every
+// heartbeat interval. As primary it announces liveness (and collects
+// backup positions for lag gauges); as backup it watches for primary
+// silence and runs the promotion protocol; dirty (fenced) it performs
+// the full-state resync before anything else.
+
+func (n *Node) loop() {
+	defer n.wg.Done()
+	tick := time.NewTicker(n.opts.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-tick.C:
+			n.tick()
+		}
+	}
+}
+
+// tick runs one monitor step, containing panics (faultinject promote
+// drills, or real bugs) so the loop — and the node — survives them.
+func (n *Node) tick() {
+	defer func() {
+		if r := recover(); r != nil {
+			n.m.Add("repl.monitor_panics", 1)
+		}
+	}()
+	n.mu.Lock()
+	role, dirty := n.role, n.dirty
+	n.mu.Unlock()
+	switch {
+	case dirty:
+		n.resync()
+	case role == RolePrimary:
+		n.sendHeartbeats()
+	default:
+		n.checkPrimary()
+	}
+}
+
+// sendHeartbeats announces this primary to every peer concurrently.
+// Responses refresh the per-peer position map and lag gauges; a 409
+// (newer epoch) fences this node on the spot. No retry here — the next
+// tick is the retry.
+func (n *Node) sendHeartbeats() {
+	n.mu.Lock()
+	epoch := n.epoch
+	n.mu.Unlock()
+	lsns := n.router.LSNs()
+	ctx, cancel := context.WithTimeout(context.Background(), n.opts.HeartbeatEvery*3)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, p := range n.peers {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var resp heartbeatResponse
+			err := n.contain(func() error {
+				if err := faultinject.Fire("repl.heartbeat"); err != nil {
+					return err
+				}
+				return n.postPeer(ctx, p, "/v1/repl/heartbeat", heartbeatRequest{Epoch: epoch, Primary: n.self.ID, LSNs: lsns}, &resp)
+			})
+			if err != nil {
+				n.m.Add("repl.heartbeat_errors", 1)
+				return
+			}
+			n.m.Add("repl.heartbeats", 1)
+			if !resp.Accepted {
+				n.observeEpoch(resp.Epoch, resp.Primary)
+				return
+			}
+			n.recordPeerLSNs(p.ID, resp.LSNs, lsns)
+		}()
+	}
+	wg.Wait()
+}
+
+// recordPeerLSNs stores a peer's reported positions and refreshes its
+// lag gauge (the max per-shard LSN deficit against ours).
+func (n *Node) recordPeerLSNs(id string, theirs, ours []uint64) {
+	n.mu.Lock()
+	n.peerLSNs[id] = append([]uint64(nil), theirs...)
+	n.mu.Unlock()
+	var lag uint64
+	for i := 0; i < len(ours) && i < len(theirs); i++ {
+		if ours[i] > theirs[i] && ours[i]-theirs[i] > lag {
+			lag = ours[i] - theirs[i]
+		}
+	}
+	n.m.Labeled("peer", id).Gauge("repl.lag").Set(int64(lag))
+}
+
+// rank is this backup's position among the non-primary membership (in
+// Peers order): rank 0 stands for promotion first, rank 1 one
+// FailoverAfter later, and so on — staggering keeps concurrent
+// candidacies rare (the epoch tie-break resolves the rest).
+func (n *Node) rank() int {
+	n.mu.Lock()
+	primary := n.primaryID
+	n.mu.Unlock()
+	r := 0
+	for _, p := range n.opts.Peers {
+		if p.ID == primary {
+			continue
+		}
+		if p.ID == n.self.ID {
+			return r
+		}
+		r++
+	}
+	return r
+}
+
+// checkPrimary is the backup's failure detector: flush any tentative
+// backlog while the primary is reachable, and stand for promotion
+// once it has been silent past this node's staggered threshold.
+func (n *Node) checkPrimary() {
+	n.mu.Lock()
+	silent := time.Since(n.lastContact)
+	tent := len(n.tent)
+	n.mu.Unlock()
+	if silent <= n.opts.FailoverAfter {
+		if tent > 0 {
+			n.flushTentative()
+		}
+		n.catchUp()
+		return
+	}
+	threshold := time.Duration(1+n.rank()) * n.opts.FailoverAfter
+	if silent <= threshold {
+		return
+	}
+	n.promote(silent)
+}
+
+// promote runs the candidacy protocol:
+//
+//  1. Poll every peer's status. Anyone announcing a newer epoch (or
+//     the supposedly-dead primary answering) aborts the candidacy.
+//  2. Require contact with a quorum of the membership (counting this
+//     node; the dead primary naturally cannot be part of it). In a
+//     two-node cluster the survivor stands alone — epoch fencing
+//     resolves the symmetric-partition race at heal time. A minority
+//     partition never promotes: it stays a backup and (if enabled)
+//     queues tentative writes instead.
+//  3. Pull from the most advanced reachable peer any frames beyond
+//     this node's log, so a write acknowledged at quorum — durable on
+//     a majority, by definition including someone reachable here — is
+//     never lost by the handover.
+//  4. Bump and persist the epoch, become primary, merge the local
+//     tentative backlog through the detector, and announce.
+func (n *Node) promote(silent time.Duration) {
+	begin := time.Now()
+	n.mu.Lock()
+	if n.role != RoleBackup || n.dirty {
+		n.mu.Unlock()
+		return
+	}
+	epoch := n.epoch
+	oldPrimary := n.primaryID
+	n.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), n.opts.FailoverAfter)
+	defer cancel()
+
+	type polled struct {
+		peer Peer
+		st   Status
+	}
+	var pmu sync.Mutex
+	var reachable []polled
+	var wg sync.WaitGroup
+	for _, p := range n.peers {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var st Status
+			if err := n.contain(func() error { return n.getPeer(ctx, p, "/v1/repl/status", &st) }); err != nil {
+				return
+			}
+			pmu.Lock()
+			reachable = append(reachable, polled{peer: p, st: st})
+			pmu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	for _, r := range reachable {
+		if r.st.Epoch > epoch || (r.st.Epoch == epoch && r.st.Primary != oldPrimary) {
+			// Someone already moved on; fold their claim in and stand down.
+			n.observeEpoch(r.st.Epoch, r.st.Primary)
+			return
+		}
+		if r.peer.ID == oldPrimary && r.st.Role == RolePrimary.String() {
+			// The primary is alive after all (the silence was on our
+			// side); reset the detector instead of deposing it.
+			n.touchPrimary(oldPrimary, nil)
+			return
+		}
+	}
+
+	minReach := n.quorum()
+	if n.ClusterSize()-1 < minReach {
+		minReach = n.ClusterSize() - 1
+	}
+	if 1+len(reachable) < minReach {
+		n.m.Add("repl.promote_aborts", 1)
+		return
+	}
+
+	// Catch up: adopt any suffix a surviving peer holds beyond ours.
+	for shardIdx := 0; shardIdx < n.router.Shards(); shardIdx++ {
+		st := n.router.Store(shardIdx)
+		best := Peer{}
+		var bestLSN uint64
+		for _, r := range reachable {
+			if shardIdx < len(r.st.LSNs) && r.st.LSNs[shardIdx] > bestLSN {
+				bestLSN = r.st.LSNs[shardIdx]
+				best = r.peer
+			}
+		}
+		if best.ID == "" || bestLSN <= st.LSN() {
+			continue
+		}
+		if err := n.pullSince(ctx, best, shardIdx, st); err != nil {
+			// Without the most advanced reachable log this node cannot
+			// guarantee the quorum-ack invariant; abort and let the next
+			// tick (or a better-positioned peer) retry.
+			n.m.Add("repl.promote_aborts", 1)
+			return
+		}
+	}
+
+	if err := faultinject.Fire("repl.promote"); err != nil {
+		n.m.Add("repl.promote_aborts", 1)
+		return
+	}
+
+	n.mu.Lock()
+	if n.role != RoleBackup || n.epoch != epoch || n.dirty {
+		n.mu.Unlock()
+		return
+	}
+	n.epoch = epoch + 1
+	n.primaryID = n.self.ID
+	n.role = RolePrimary
+	n.promotedAt = time.Now()
+	if err := saveEpoch(n.dir, epochState{Version: 1, Epoch: n.epoch, Primary: n.self.ID}); err != nil {
+		// Without a durable epoch claim this node must not lead: a
+		// restart would rejoin under the old epoch and split the brain.
+		n.epoch = epoch
+		n.primaryID = oldPrimary
+		n.role = RoleBackup
+		n.m.Add("repl.epoch_persist_errors", 1)
+		n.mu.Unlock()
+		return
+	}
+	tent := n.tent
+	n.tent = nil
+	n.mu.Unlock()
+	n.publishState()
+	n.m.Add("repl.promotions", 1)
+	n.m.Timer("repl.promotion").Observe(silent + time.Since(begin))
+
+	// The backlog this node queued while disconnected goes through the
+	// same detector-arbitrated merge a remote log would.
+	if len(tent) > 0 {
+		n.recordOutcomes(n.mergeLocal(context.Background(), tent))
+	}
+	n.sendHeartbeats()
+}
+
+// catchUp is the backup's anti-entropy loop: every heartbeat announces
+// the primary's per-shard positions, and a backup that finds itself
+// behind one — it missed a ship while the primary reached quorum
+// through other peers — pulls the gap itself instead of waiting for
+// the next write to re-ship it.
+func (n *Node) catchUp() {
+	n.mu.Lock()
+	primaryID := n.primaryID
+	announced := append([]uint64(nil), n.peerLSNs[primaryID]...)
+	n.mu.Unlock()
+	if primaryID == n.self.ID || len(announced) == 0 {
+		return
+	}
+	primary := n.peerByID(primaryID)
+	var ctx context.Context
+	var cancel context.CancelFunc
+	for shardIdx := 0; shardIdx < n.router.Shards() && shardIdx < len(announced); shardIdx++ {
+		st := n.router.Store(shardIdx)
+		if st.LSN() >= announced[shardIdx] {
+			continue
+		}
+		if ctx == nil {
+			ctx, cancel = context.WithTimeout(context.Background(), n.opts.FailoverAfter)
+			defer cancel()
+		}
+		if err := n.pullSince(ctx, primary, shardIdx, st); err != nil {
+			return // next tick retries
+		}
+		n.m.Add("repl.catchups", 1)
+	}
+}
+
+// pullSince brings one local shard up to peer's log via anti-entropy:
+// frames when the peer still buffers them, full state otherwise.
+func (n *Node) pullSince(ctx context.Context, p Peer, shardIdx int, st *store.Store) error {
+	for {
+		var resp sinceResponse
+		if err := n.getPeer(ctx, p, fmt.Sprintf("/v1/repl/since/%d/%d", shardIdx, st.LSN()), &resp); err != nil {
+			return err
+		}
+		if resp.Reset {
+			if resp.State == nil {
+				return fmt.Errorf("replica: peer %s shard %d: reset without state", p.ID, shardIdx)
+			}
+			if err := st.ImportState(ctx, *resp.State); err != nil {
+				return err
+			}
+			n.m.Add("repl.state_imports", 1)
+			return nil
+		}
+		if len(resp.Frames) == 0 {
+			return nil
+		}
+		if _, err := st.ApplyFrames(ctx, resp.Frames); err != nil {
+			return err
+		}
+		if st.LSN() >= resp.LSN {
+			return nil
+		}
+	}
+}
+
+// resync is the fenced path: replace every shard wholesale from the
+// current primary, then clear the dirty flag. Runs on the monitor
+// tick until it succeeds.
+func (n *Node) resync() {
+	primary := n.Primary()
+	if primary.ID == "" {
+		return
+	}
+	if primary.ID == n.self.ID {
+		// Degenerate persisted state (dirty but self-primary): nothing
+		// to resync from; reclaim the role.
+		n.mu.Lock()
+		n.dirty = false
+		n.role = RolePrimary
+		if err := saveEpoch(n.dir, epochState{Version: 1, Epoch: n.epoch, Primary: n.primaryID}); err != nil {
+			n.m.Add("repl.epoch_persist_errors", 1)
+		}
+		n.mu.Unlock()
+		n.publishState()
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.opts.FailoverAfter)
+	defer cancel()
+	for shardIdx := 0; shardIdx < n.router.Shards(); shardIdx++ {
+		var resp stateResponse
+		if err := n.getPeer(ctx, primary, fmt.Sprintf("/v1/repl/state/%d", shardIdx), &resp); err != nil {
+			return // next tick retries
+		}
+		if resp.Epoch > n.Epoch() {
+			n.observeEpoch(resp.Epoch, resp.Primary)
+			return
+		}
+		if err := n.router.Store(shardIdx).ImportState(ctx, resp.State); err != nil {
+			n.m.Add("repl.resync_errors", 1)
+			return
+		}
+	}
+	n.mu.Lock()
+	n.dirty = false
+	n.lastContact = time.Now()
+	if err := saveEpoch(n.dir, epochState{Version: 1, Epoch: n.epoch, Primary: n.primaryID}); err != nil {
+		n.m.Add("repl.epoch_persist_errors", 1)
+	}
+	n.mu.Unlock()
+	n.m.Add("repl.resyncs", 1)
+}

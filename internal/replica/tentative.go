@@ -1,0 +1,217 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"xmlconflict/internal/store"
+)
+
+// Tentative writes are the Bayou layer: a disconnected backup (with
+// -repl-tentative on) queues optimistic updates instead of refusing
+// them. Each queued op carries the BaseLSN window its client observed.
+// At merge — the primary reachable again, or this node promoted — every
+// op re-runs through the conflict detector's admission check against
+// the committed log: commuting ops reorder silently into it, ops whose
+// windows now witness a conflict are rejected carrying the same
+// machine-readable envelope a live 409 carries. Because merges commit
+// through a single primary log per epoch, divergent tentative logs
+// from different nodes converge to one detector-arbitrated order
+// everywhere.
+
+// ErrTentativeOff reports tentative mode is not enabled on this node.
+var ErrTentativeOff = errors.New("replica: tentative writes are not enabled")
+
+// ErrTentativeFull reports the tentative queue hit its bound.
+var ErrTentativeFull = errors.New("replica: tentative queue is full")
+
+// maxTentative bounds the disconnected backlog.
+const maxTentative = 4096
+
+// TentativeOp is one queued optimistic update.
+type TentativeOp struct {
+	Seq  uint64   `json:"seq"`
+	Node string   `json:"node"` // origin node
+	Doc  string   `json:"doc"`
+	Op   store.Op `json:"op"`
+}
+
+// ConflictInfo mirrors the 409 envelope's machine-readable conflict
+// object, so a merge rejection carries the same forensics a live
+// rejection does.
+type ConflictInfo struct {
+	Doc       string   `json:"doc"`
+	Op        string   `json:"op"`
+	Semantics string   `json:"semantics"`
+	Fired     []string `json:"fired"`
+	BaseLSN   uint64   `json:"base_lsn"`
+	WithLSN   uint64   `json:"with_lsn"`
+	WithKind  string   `json:"with_kind"`
+	Detail    string   `json:"detail"`
+}
+
+// MergeOutcome is one tentative op's fate at merge.
+type MergeOutcome struct {
+	Seq       uint64        `json:"seq"`
+	Node      string        `json:"node"`
+	Doc       string        `json:"doc"`
+	Kind      string        `json:"kind"`
+	Committed bool          `json:"committed"`
+	LSN       uint64        `json:"lsn,omitempty"`
+	Reason    string        `json:"reason,omitempty"`
+	Error     string        `json:"error,omitempty"`
+	Conflict  *ConflictInfo `json:"conflict,omitempty"`
+}
+
+// maxMergeOutcomes bounds the retained merge history.
+const maxMergeOutcomes = 256
+
+// QueueTentative queues one optimistic update on a disconnected
+// backup, returning its sequence number. The op is not applied
+// locally — its fate is decided at merge by the detector, against the
+// committed log.
+func (n *Node) QueueTentative(doc string, op store.Op) (uint64, error) {
+	if op.Kind != "insert" && op.Kind != "delete" {
+		return 0, fmt.Errorf("replica: only insert/delete may be tentative, not %q", op.Kind)
+	}
+	if !n.opts.Tentative {
+		return 0, ErrTentativeOff
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role == RolePrimary {
+		return 0, fmt.Errorf("replica: the primary does not queue tentative writes")
+	}
+	if len(n.tent) >= maxTentative {
+		n.m.Add("repl.tentative_overflow", 1)
+		return 0, ErrTentativeFull
+	}
+	n.tentSeq++
+	n.tent = append(n.tent, TentativeOp{Seq: n.tentSeq, Node: n.self.ID, Doc: doc, Op: op})
+	n.m.Add("repl.tentative_queued", 1)
+	n.m.Gauge("repl.tentative_backlog").Set(int64(len(n.tent)))
+	return n.tentSeq, nil
+}
+
+// TentativeBacklog reports the queued-but-unmerged op count.
+func (n *Node) TentativeBacklog() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.tent)
+}
+
+// mergeLocal commits tentative ops through this primary's replicated
+// write path, one at a time in sequence order, classifying each
+// rejection. Called on the primary — by the merge handler for remote
+// logs, and directly for a just-promoted node's own backlog.
+func (n *Node) mergeLocal(ctx context.Context, ops []TentativeOp) []MergeOutcome {
+	outcomes := make([]MergeOutcome, 0, len(ops))
+	for _, t := range ops {
+		out := MergeOutcome{Seq: t.Seq, Node: t.Node, Doc: t.Doc, Kind: t.Op.Kind}
+		res, err := n.SubmitCtx(ctx, t.Doc, t.Op)
+		switch {
+		case err == nil:
+			out.Committed = true
+			out.LSN = res.LSN
+			n.m.Add("repl.tentative_committed", 1)
+		default:
+			out.Error = err.Error()
+			out.Reason = mergeReason(err)
+			var ce *store.ConflictError
+			if errors.As(err, &ce) {
+				out.Conflict = &ConflictInfo{
+					Doc: ce.Doc, Op: ce.Op, Semantics: ce.Sem.String(), Fired: ce.Fired,
+					BaseLSN: ce.BaseLSN, WithLSN: ce.WithLSN, WithKind: ce.WithKind, Detail: ce.Detail,
+				}
+			}
+			n.m.Add("repl.tentative_rejected", 1)
+		}
+		outcomes = append(outcomes, out)
+	}
+	n.recordOutcomes(outcomes)
+	return outcomes
+}
+
+// mergeReason classifies a merge rejection the way the HTTP layer
+// classifies a 409.
+func mergeReason(err error) string {
+	var ce *store.ConflictError
+	switch {
+	case errors.As(err, &ce):
+		return "conflict"
+	case errors.Is(err, store.ErrStaleBase):
+		return "stale-base"
+	case errors.Is(err, store.ErrFutureBase):
+		return "future-base"
+	case errors.Is(err, store.ErrNotFound):
+		return "not-found"
+	case errors.Is(err, store.ErrClosed):
+		return "store-closed"
+	}
+	return "error"
+}
+
+// recordOutcomes retains merge results for /v1/repl/merges.
+func (n *Node) recordOutcomes(outcomes []MergeOutcome) {
+	if len(outcomes) == 0 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.merges = append(n.merges, outcomes...)
+	if excess := len(n.merges) - maxMergeOutcomes; excess > 0 {
+		n.merges = append([]MergeOutcome(nil), n.merges[excess:]...)
+	}
+}
+
+// MergeOutcomes returns the retained merge history, oldest first.
+func (n *Node) MergeOutcomes() []MergeOutcome {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]MergeOutcome, len(n.merges))
+	copy(out, n.merges)
+	return out
+}
+
+// flushTentative drains the backlog to the primary once contact is
+// restored. On any failure the ops are restored to the queue head for
+// the next tick.
+func (n *Node) flushTentative() {
+	n.mu.Lock()
+	ops := n.tent
+	n.tent = nil
+	n.mu.Unlock()
+	if len(ops) == 0 {
+		return
+	}
+	requeue := func() {
+		n.mu.Lock()
+		n.tent = append(ops, n.tent...)
+		n.m.Gauge("repl.tentative_backlog").Set(int64(len(n.tent)))
+		n.mu.Unlock()
+	}
+	primary := n.Primary()
+	if primary.ID == "" || primary.ID == n.self.ID {
+		requeue()
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.opts.FailoverAfter)
+	defer cancel()
+	var resp mergeResponse
+	err := n.postPeer(ctx, primary, "/v1/repl/merge", mergeRequest{Epoch: n.Epoch(), From: n.self.ID, Ops: ops}, &resp)
+	if err != nil {
+		requeue()
+		return
+	}
+	if !resp.Accepted {
+		n.observeEpoch(resp.Epoch, resp.Primary)
+		requeue()
+		return
+	}
+	// Keep the origin's copy of the outcomes too: the client that got
+	// a 202 asks this node, not the primary, what became of its write.
+	n.recordOutcomes(resp.Outcomes)
+	n.m.Add("repl.tentative_merges", 1)
+	n.m.Gauge("repl.tentative_backlog").Set(int64(n.TentativeBacklog()))
+}

@@ -169,6 +169,13 @@ func legacyLayout(dir string) (bool, error) {
 	return false, fmt.Errorf("shard: probe legacy layout: %w", err)
 }
 
+// readManifest loads and strictly validates the layout manifest. Only
+// a missing file means "no manifest"; anything else that is not a
+// complete, well-formed layout — truncated JSON, an empty file, a
+// half-written rename survivor, unknown versions, nonsense shard
+// counts — refuses to open. Guessing a layout here would route
+// documents to the wrong WAL, which is silent data loss; refusing is
+// the only honest answer.
 func readManifest(dir string) (manifest, bool, error) {
 	var man manifest
 	b, err := os.ReadFile(filepath.Join(dir, manifestName))
@@ -179,7 +186,16 @@ func readManifest(dir string) (manifest, bool, error) {
 		return man, false, fmt.Errorf("shard: read manifest: %w", err)
 	}
 	if err := json.Unmarshal(b, &man); err != nil {
-		return man, false, fmt.Errorf("shard: parse %s: %w", manifestName, err)
+		return man, false, fmt.Errorf("shard: %s is corrupt or half-written (%v); refusing to guess a layout", manifestName, err)
+	}
+	if man.Version != 1 {
+		return man, false, fmt.Errorf("shard: %s has version %d; this build reads version 1", manifestName, man.Version)
+	}
+	if man.Shards <= 0 {
+		return man, false, fmt.Errorf("shard: %s is corrupt or half-written (shard count %d); refusing to guess a layout", manifestName, man.Shards)
+	}
+	if man.Scheme == "" {
+		return man, false, fmt.Errorf("shard: %s is corrupt or half-written (no hash scheme); refusing to guess a layout", manifestName)
 	}
 	return man, true, nil
 }

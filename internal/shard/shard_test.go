@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -102,6 +104,71 @@ func TestManifestRefusesShardCountChange(t *testing.T) {
 		t.Fatalf("reopen with matching count: %v", err)
 	}
 	r2.Close()
+}
+
+// TestManifestTruncationRefusesToOpen cuts a valid shards.json at
+// every byte: no prefix may open. A crash mid-write (without the
+// temp+rename discipline) or a torn copy must refuse loudly — guessing
+// a layout routes documents to the wrong WAL, which is silent loss.
+func TestManifestTruncationRefusesToOpen(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	path := filepath.Join(dir, manifestName)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Up to len-2: the final bytes are "}\n", and the cut at len-1 keeps
+	// the closing brace — a complete (if newline-less) manifest.
+	for i := 1; i < len(full)-1; i++ {
+		if err := os.WriteFile(path, full[:i], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if r2, err := Open(dir, Options{Shards: 2}); err == nil {
+			r2.Close()
+			t.Fatalf("opened with %s truncated to %d of %d bytes", manifestName, i, len(full))
+		}
+	}
+	// The intact manifest still opens: the strictness rejects damage,
+	// not age.
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := Open(dir, Options{Shards: 2})
+	if err != nil {
+		t.Fatalf("reopen after restore: %v", err)
+	}
+	r3.Close()
+}
+
+func TestManifestRejectsStructuralGarbage(t *testing.T) {
+	cases := []struct{ name, content, wantSub string }{
+		{"empty-file", "", "corrupt or half-written"},
+		{"not-json", "not a manifest", "corrupt or half-written"},
+		{"wrong-version", `{"version":2,"shards":2,"scheme":"crc32c-ring/v1"}`, "version"},
+		{"zero-shards", `{"version":1,"shards":0,"scheme":"crc32c-ring/v1"}`, "corrupt or half-written"},
+		{"negative-shards", `{"version":1,"shards":-3,"scheme":"crc32c-ring/v1"}`, "corrupt or half-written"},
+		{"no-scheme", `{"version":1,"shards":2}`, "no hash scheme"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(c.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := Open(dir, Options{Shards: 2})
+			if err == nil {
+				t.Fatal("opened over a damaged manifest")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not name the damage (%q)", err, c.wantSub)
+			}
+		})
+	}
 }
 
 func TestLegacyUnshardedDirectory(t *testing.T) {
@@ -282,11 +349,13 @@ func TestTenantLimiterZeroIsUnlimitedButCounted(t *testing.T) {
 	}
 }
 
-func TestTenantLimiterOverflowBucket(t *testing.T) {
+func TestTenantLimiterOverflowBucketWhenAllBusy(t *testing.T) {
 	l := NewTenantLimiter(1, telemetry.New())
 	l.mu.Lock()
 	for i := 0; i < maxTrackedTenants; i++ {
-		l.state(fmt.Sprintf("t%d", i))
+		// Every tracked tenant is mid-flight: nothing is evictable, so
+		// newcomers must share the overflow bucket.
+		l.state(fmt.Sprintf("t%d", i)).inflight = 1
 	}
 	l.mu.Unlock()
 	rel, err := l.Acquire("one-too-many")
@@ -299,6 +368,75 @@ func TestTenantLimiterOverflowBucket(t *testing.T) {
 	}
 	if _, ok := l.tenants["one-too-many"]; ok {
 		t.Fatal("tenant past the cap was tracked individually")
+	}
+}
+
+// TestTenantLimiterEvictsIdleAfterSpray is the regression for the
+// permanent overflow fold: an id-spraying client used to fill the
+// tracking table with dead states forever, wedging every later
+// legitimate tenant into the shared overflow bucket (where one hot
+// stranger's traffic would 429 them). Idle states are evicted instead.
+func TestTenantLimiterEvictsIdleAfterSpray(t *testing.T) {
+	m := telemetry.New()
+	l := NewTenantLimiter(1, m)
+	for i := 0; i < maxTrackedTenants+50; i++ {
+		rel, err := l.Acquire(fmt.Sprintf("spray-%d", i))
+		if err != nil {
+			t.Fatalf("spray %d: %v", i, err)
+		}
+		rel()
+	}
+	l.mu.Lock()
+	tracked := len(l.tenants)
+	l.mu.Unlock()
+	if tracked > maxTrackedTenants {
+		t.Fatalf("%d tracked states after spray, cap %d", tracked, maxTrackedTenants)
+	}
+	// A legitimate tenant arriving after the spray gets its own
+	// accounting and its own allowance, not the overflow bucket's.
+	rel, err := l.Acquire("legit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	l.mu.Lock()
+	_, own := l.tenants["legit"]
+	l.mu.Unlock()
+	if !own {
+		t.Fatal("post-spray tenant folded into overflow despite idle evictable states")
+	}
+	if _, err := l.Acquire("legit"); !errors.Is(err, ErrTenantLimit) {
+		t.Fatalf("own allowance not enforced: %v", err)
+	}
+	if n := m.Snapshot().Counter("tenant.evicted"); n == 0 {
+		t.Fatal("no evictions recorded")
+	}
+}
+
+// TestTenantOfSanitizesHostileHeaders: X-Tenant is attacker-controlled
+// and flows into metric labels and quota keys; anything malformed
+// folds into the shared ~invalid bucket instead of minting
+// per-payload series.
+func TestTenantOfSanitizesHostileHeaders(t *testing.T) {
+	long := strings.Repeat("a", maxTenantLen+1)
+	cases := []struct{ header, doc, want string }{
+		{"acme-1.prod_2", "", "acme-1.prod_2"}, // well-formed survives
+		{strings.Repeat("a", maxTenantLen), "", strings.Repeat("a", maxTenantLen)},
+		{long, "", invalidTenant},
+		{"evil|tenant=x", "", invalidTenant},    // label separator injection
+		{"a=b", "", invalidTenant},              // label assignment injection
+		{"line\nbreak", "", invalidTenant},      // line protocol injection
+		{"../../etc/passwd", "", invalidTenant}, // path chars
+		{"tab\there", "", invalidTenant},        // control byte
+		{"spa ce", "", invalidTenant},           // whitespace
+		{"", "evil|t--doc", invalidTenant},      // hostile doc prefix too
+		{"", long + "--doc", invalidTenant},     // oversized doc prefix
+		{"", "fine.tenant--doc", "fine.tenant"}, // well-formed prefix survives
+	}
+	for _, c := range cases {
+		if got := TenantOf(c.header, c.doc); got != c.want {
+			t.Errorf("TenantOf(%q, %q) = %q, want %q", c.header, c.doc, got, c.want)
+		}
 	}
 }
 

@@ -27,17 +27,51 @@ const maxTrackedTenants = 4096
 // overflowTenant is the shared bucket for tenants past the cap.
 const overflowTenant = "~overflow"
 
+// invalidTenant is the shared bucket for hostile or malformed tenant
+// signals. One bucket, not per-value series: an attacker varying a
+// hostile header must not mint unbounded metric label cardinality.
+const invalidTenant = "~invalid"
+
+// maxTenantLen bounds an accepted tenant id.
+const maxTenantLen = 64
+
 // TenantOf extracts the tenant for a request: an explicit X-Tenant
 // header value wins; otherwise a "tenant--doc" name prefix on the
 // document id; otherwise DefaultTenant.
+//
+// The header is attacker-controlled and the result flows into metric
+// label values and quota keys, so it is sanitized, not trusted: ids
+// longer than maxTenantLen or containing anything outside
+// [A-Za-z0-9._-] (control bytes, label separators like '|' and '=',
+// path characters) fold into the shared invalidTenant bucket — the
+// request is still admitted and counted, under a name that cannot
+// corrupt the telemetry line protocol or explode series cardinality.
 func TenantOf(header, doc string) string {
 	if header != "" {
-		return header
+		return sanitizeTenant(header)
 	}
 	if i := strings.Index(doc, "--"); i > 0 {
-		return doc[:i]
+		return sanitizeTenant(doc[:i])
 	}
 	return DefaultTenant
+}
+
+// sanitizeTenant admits a well-formed tenant id unchanged and folds
+// everything else into invalidTenant.
+func sanitizeTenant(s string) string {
+	if len(s) == 0 || len(s) > maxTenantLen {
+		return invalidTenant
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return invalidTenant
+		}
+	}
+	return s
 }
 
 // tenantState is one tenant's live accounting.
@@ -74,19 +108,41 @@ func (l *TenantLimiter) Limit() int {
 	return l.max
 }
 
-// state returns the accounting bucket for tenant, folding tenants
-// past the tracking cap into the shared overflow bucket. Caller holds
-// l.mu.
+// state returns the accounting bucket for tenant. At the tracking cap
+// it first evicts an idle (zero-inflight) state to make room — an
+// id-spraying client churns the table instead of permanently wedging
+// every later legitimate tenant into the overflow bucket. Only when
+// every tracked tenant is genuinely in flight does a new tenant fold
+// into the shared overflow bucket. Caller holds l.mu.
 func (l *TenantLimiter) state(tenant string) *tenantState {
 	if ts := l.tenants[tenant]; ts != nil {
 		return ts
 	}
 	if len(l.tenants) >= maxTrackedTenants && tenant != overflowTenant {
-		return l.state(overflowTenant)
+		if !l.evictIdleLocked() {
+			return l.state(overflowTenant)
+		}
 	}
 	ts := &tenantState{m: l.base.Labeled("tenant", tenant)}
 	l.tenants[tenant] = ts
 	return ts
+}
+
+// evictIdleLocked removes one zero-inflight tenant state, reporting
+// whether it found one. The evicted tenant loses nothing but its slot:
+// its counters persist in the metrics registry, and its next request
+// re-admits it (possibly evicting someone else idle). The overflow
+// bucket itself is evictable once drained — it exists only while
+// needed. Caller holds l.mu.
+func (l *TenantLimiter) evictIdleLocked() bool {
+	for name, ts := range l.tenants {
+		if ts.inflight == 0 {
+			delete(l.tenants, name)
+			l.base.Add("tenant.evicted", 1)
+			return true
+		}
+	}
+	return false
 }
 
 // Acquire admits one operation for tenant, returning a release

@@ -1,0 +1,312 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"xmlconflict/internal/telemetry/span"
+)
+
+// Replication support: a store can export the committed WAL frames past
+// an LSN (the primary side of log shipping) and apply frames produced
+// elsewhere (the backup side), with the same verify-then-commit
+// discipline the live path and recovery use. Frames carry the exact
+// payload bytes that hit the primary's WAL plus their CRC-32C, so a
+// backup re-verifies the checksum on receipt, re-applies the record
+// through the normal mutation path, and re-checks the AHU digest the
+// record promised — byte corruption in flight, on either disk, or a
+// divergent replica all surface as hard errors, never silent skew.
+
+// ReplFrame is one committed WAL record in transit between replicas.
+// Payload is the record's exact WAL payload bytes; CRC is their
+// CRC-32C, verified again by the receiver before anything is applied.
+type ReplFrame struct {
+	LSN     uint64 `json:"lsn"`
+	CRC     uint32 `json:"crc"`
+	Payload []byte `json:"payload"`
+}
+
+// ErrReplGap reports that ApplyFrames was handed a frame that does not
+// extend the local log contiguously: the shipper must back up and
+// re-send from the receiver's actual LSN (or fall back to full-state
+// transfer).
+var ErrReplGap = errors.New("store: replication frame gap")
+
+// State is a full-store transfer unit: every document's canonical
+// serialization and digest at one LSN. It is the anti-entropy fallback
+// when the in-memory frame log no longer reaches back far enough.
+type State struct {
+	LSN  uint64     `json:"lsn"`
+	Docs []StateDoc `json:"docs"`
+}
+
+// StateDoc is one document inside a State.
+type StateDoc struct {
+	ID     string `json:"id"`
+	LSN    uint64 `json:"lsn"`
+	XML    string `json:"xml"`
+	Digest string `json:"digest"`
+}
+
+// pushReplFrame retains a just-committed record for shipping; the
+// caller holds s.mu. The log is bounded: once it exceeds the configured
+// buffer, the oldest frames fall off and lagging peers must catch up by
+// full-state transfer instead.
+func (s *Store) pushReplFrame(lsn uint64, payload []byte) {
+	if s.opts.ReplBuffer <= 0 {
+		return
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	s.replLog = append(s.replLog, ReplFrame{
+		LSN:     lsn,
+		CRC:     crc32.Checksum(cp, castagnoli),
+		Payload: cp,
+	})
+	if excess := len(s.replLog) - s.opts.ReplBuffer; excess > 0 {
+		s.replLog = append([]ReplFrame(nil), s.replLog[excess:]...)
+	}
+}
+
+// FramesSince returns the committed frames with LSN > after, oldest
+// first. ok is false when the bounded frame log no longer reaches back
+// to after+1 — the caller must fall back to ExportState. An up-to-date
+// peer (after >= current LSN) gets an empty slice and ok=true.
+func (s *Store) FramesSince(after uint64) (frames []ReplFrame, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if after >= s.lsn {
+		return nil, true
+	}
+	if len(s.replLog) == 0 || s.replLog[0].LSN > after+1 {
+		return nil, false
+	}
+	for _, f := range s.replLog {
+		if f.LSN > after {
+			frames = append(frames, f)
+		}
+	}
+	return frames, true
+}
+
+// ApplyFrames applies replicated frames to this store in order,
+// returning the store's LSN afterwards. Each frame is CRC-verified,
+// decoded, checked for contiguity (duplicates below the current LSN
+// are skipped; a gap fails with ErrReplGap carrying nothing applied
+// beyond the contiguous prefix), verified to apply cleanly with the
+// promised digest, and only then durably appended to the local WAL and
+// committed in memory — the same never-acknowledge-what-recovery-
+// cannot-read-back ordering the live path uses.
+func (s *Store) ApplyFrames(ctx context.Context, frames []ReplFrame) (uint64, error) {
+	sp := span.FromContext(ctx).Child("store.repl.apply")
+	if sp != nil {
+		sp.Set("frames", len(frames))
+		defer sp.End()
+	}
+
+	s.mu.Lock()
+	locked := true
+	defer s.guardCommit(&locked)
+	unlock := func() { locked = false; s.mu.Unlock() }
+	if s.closed {
+		unlock()
+		sp.Fail(ErrClosed)
+		return 0, ErrClosed
+	}
+	var lastAck func() error
+	applied := 0
+	var ferr error
+	for _, f := range frames {
+		if f.LSN <= s.lsn {
+			continue // duplicate re-ship; already committed here
+		}
+		if crc32.Checksum(f.Payload, castagnoli) != f.CRC {
+			ferr = fmt.Errorf("store: repl frame lsn %d: crc mismatch", f.LSN)
+			break
+		}
+		rec, err := decodeRecord(f.Payload)
+		if err != nil {
+			ferr = fmt.Errorf("store: repl frame lsn %d: %w", f.LSN, err)
+			break
+		}
+		if rec.LSN != f.LSN {
+			ferr = fmt.Errorf("store: repl frame lsn %d: payload claims lsn %d", f.LSN, rec.LSN)
+			break
+		}
+		if rec.LSN != s.lsn+1 {
+			ferr = fmt.Errorf("store: repl frame lsn %d does not extend local lsn %d: %w", rec.LSN, s.lsn, ErrReplGap)
+			break
+		}
+		// Verify the record applies cleanly (and reproduces its digest)
+		// before any byte reaches the local WAL.
+		prep, err := s.prepareReplayed(rec)
+		if err != nil {
+			ferr = fmt.Errorf("store: repl frame lsn %d: %w", rec.LSN, err)
+			break
+		}
+		ack, err := s.w.Append(f.Payload, sp)
+		if err != nil {
+			ferr = err
+			break
+		}
+		if ack != nil {
+			lastAck = ack
+		}
+		prep()
+		s.lsn = rec.LSN
+		s.pushReplFrame(rec.LSN, f.Payload)
+		s.m.Add("store.repl.applied", 1)
+		applied++
+		s.maybeSnapshotLocked()
+	}
+	lsn := s.lsn
+	s.m.Gauge("store.docs").Set(int64(len(s.docs)))
+	unlock()
+
+	if sp != nil {
+		sp.Set("applied", applied)
+		sp.Set("lsn", lsn)
+	}
+	// Group-commit: one wait covers every append above (flush
+	// generations are monotone).
+	if err := s.awaitAck(lastAck, sp); err != nil {
+		return lsn, err
+	}
+	if ferr != nil {
+		sp.Fail(ferr)
+	}
+	return lsn, ferr
+}
+
+// prepareReplayed validates rec against the current in-memory state and
+// returns a commit closure that publishes its effect. Nothing is
+// mutated until the closure runs; the caller holds s.mu.
+func (s *Store) prepareReplayed(rec record) (func(), error) {
+	switch rec.Type {
+	case "create":
+		if _, ok := s.docs[rec.Doc]; ok {
+			return nil, fmt.Errorf("replicated create %q: already exists", rec.Doc)
+		}
+		t, err := s.parseLimited(rec.XML)
+		if err != nil {
+			return nil, err
+		}
+		digest := t.Digest()
+		if digest != rec.Digest {
+			return nil, fmt.Errorf("replicated create %q: digest mismatch", rec.Doc)
+		}
+		return func() {
+			s.docs[rec.Doc] = &doc{id: rec.Doc, tree: t, lsn: rec.LSN, digest: digest}
+		}, nil
+	case "update":
+		d, ok := s.docs[rec.Doc]
+		if !ok {
+			return nil, fmt.Errorf("replicated update %q: no such doc", rec.Doc)
+		}
+		u, _, err := s.parseUpdate(Op{Kind: rec.Kind, Pattern: rec.Pattern, X: rec.X})
+		if err != nil {
+			return nil, err
+		}
+		newTree, _, digest, err := applyUpdate(d, u)
+		if err != nil {
+			return nil, err
+		}
+		if digest != rec.Digest {
+			return nil, fmt.Errorf("replicated update %q lsn %d: digest mismatch (shipped %.12s, applied %.12s)",
+				rec.Doc, rec.LSN, rec.Digest, digest)
+		}
+		return func() { s.commitUpdate(d, rec.LSN, rec.Kind, u, newTree, digest) }, nil
+	case "drop":
+		if _, ok := s.docs[rec.Doc]; !ok {
+			return nil, fmt.Errorf("replicated drop %q: no such doc", rec.Doc)
+		}
+		return func() { delete(s.docs, rec.Doc) }, nil
+	}
+	return nil, fmt.Errorf("unknown record type %q", rec.Type)
+}
+
+// ExportState captures the whole store for full-state transfer.
+func (s *Store) ExportState() (State, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return State{}, ErrClosed
+	}
+	st := State{LSN: s.lsn}
+	for _, id := range sortedIDs(s.docs) {
+		d := s.docs[id]
+		st.Docs = append(st.Docs, StateDoc{ID: id, LSN: d.lsn, XML: d.tree.XML(), Digest: d.digest})
+	}
+	return st, nil
+}
+
+// ImportState replaces this store's entire contents with st: the
+// catch-up path for a replica too far behind for frame shipping, and
+// the reset path for a fenced ex-primary rejoining under a newer epoch.
+// Every document is re-parsed and digest-verified before anything is
+// replaced; the new state is then durably snapshotted (truncating the
+// WAL, whose history no longer describes this state). A snapshot
+// failure after the in-memory swap fail-stops the store — memory and
+// disk would otherwise disagree about acknowledged state.
+func (s *Store) ImportState(ctx context.Context, st State) error {
+	sp := span.FromContext(ctx).Child("store.repl.import")
+	if sp != nil {
+		sp.Set("docs", len(st.Docs))
+		sp.Set("lsn", st.LSN)
+		defer sp.End()
+	}
+	newDocs := make(map[string]*doc, len(st.Docs))
+	for _, sd := range st.Docs {
+		if sd.LSN > st.LSN {
+			err := fmt.Errorf("store: import state: doc %q lsn %d beyond state lsn %d", sd.ID, sd.LSN, st.LSN)
+			sp.Fail(err)
+			return err
+		}
+		t, err := s.parseLimited(sd.XML)
+		if err != nil {
+			err = fmt.Errorf("store: import state: doc %q: %w", sd.ID, err)
+			sp.Fail(err)
+			return err
+		}
+		if got := t.Digest(); got != sd.Digest {
+			err := fmt.Errorf("store: import state: doc %q digest mismatch (shipped %.12s, parsed %.12s)", sd.ID, sd.Digest, got)
+			sp.Fail(err)
+			return err
+		}
+		if _, dup := newDocs[sd.ID]; dup {
+			err := fmt.Errorf("store: import state: duplicate doc %q", sd.ID)
+			sp.Fail(err)
+			return err
+		}
+		newDocs[sd.ID] = &doc{id: sd.ID, tree: t, lsn: sd.LSN, digest: sd.Digest}
+	}
+
+	s.mu.Lock()
+	locked := true
+	defer s.guardCommit(&locked)
+	unlock := func() { locked = false; s.mu.Unlock() }
+	if s.closed {
+		unlock()
+		sp.Fail(ErrClosed)
+		return ErrClosed
+	}
+	s.docs = newDocs
+	s.lsn = st.LSN
+	s.replLog = nil
+	s.m.Gauge("store.docs").Set(int64(len(s.docs)))
+	if _, err := s.snapshotLocked(); err != nil {
+		// In-memory state no longer matches anything recoverable from
+		// disk: refuse to keep serving it.
+		s.closed = true
+		s.w.Close()
+		unlock()
+		err = fmt.Errorf("store: import state: snapshot failed, store fail-stopped: %w", err)
+		sp.Fail(err)
+		return err
+	}
+	s.m.Add("store.repl.imports", 1)
+	unlock()
+	return nil
+}

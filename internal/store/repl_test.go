@@ -1,0 +1,259 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"hash/crc32"
+	"strings"
+	"testing"
+)
+
+// shipAll moves every frame past dst's LSN from src to dst, the way the
+// replica shipper does.
+func shipAll(t *testing.T, src, dst *Store) {
+	t.Helper()
+	frames, ok := src.FramesSince(dst.LSN())
+	if !ok {
+		t.Fatalf("FramesSince(%d) fell off the buffer", dst.LSN())
+	}
+	if _, err := dst.ApplyFrames(context.Background(), frames); err != nil {
+		t.Fatalf("ApplyFrames: %v", err)
+	}
+}
+
+func TestReplFrameShipping(t *testing.T) {
+	primary, err := Open(t.TempDir(), Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	backup, err := Open(t.TempDir(), Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backup.Close()
+
+	if _, err := primary.Create("d", "<a><b/><c/></a>"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := primary.Submit("d", Op{Kind: "insert", Pattern: "/a/b", X: "<x/>"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := primary.Create("gone", "<t/>"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primary.Drop("gone"); err != nil {
+		t.Fatal(err)
+	}
+
+	shipAll(t, primary, backup)
+
+	if got, want := backup.LSN(), primary.LSN(); got != want {
+		t.Fatalf("backup lsn %d, primary %d", got, want)
+	}
+	pi, err := primary.Get("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, err := backup.Get("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi.Digest != bi.Digest || pi.XML != bi.XML {
+		t.Fatalf("replica diverged: primary %s %q, backup %s %q", pi.Digest, pi.XML, bi.Digest, bi.XML)
+	}
+	if _, err := backup.Get("gone"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("dropped doc survived replication: %v", err)
+	}
+
+	// Re-shipping the same frames must be an idempotent no-op.
+	frames, ok := primary.FramesSince(0)
+	if !ok {
+		t.Fatal("full history fell off the buffer")
+	}
+	if _, err := backup.ApplyFrames(context.Background(), frames); err != nil {
+		t.Fatalf("duplicate ship: %v", err)
+	}
+	if backup.LSN() != primary.LSN() {
+		t.Fatalf("lsn moved on duplicate ship")
+	}
+}
+
+func TestReplFramesSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("d", "<a/>"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit("d", Op{Kind: "insert", Pattern: "/a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: replayed records must be shippable again so a restarted
+	// primary can still serve anti-entropy for its retained tail.
+	s2, err := Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	frames, ok := s2.FramesSince(0)
+	if !ok || len(frames) != 2 {
+		t.Fatalf("after restart FramesSince(0) = %d frames, ok=%v; want 2, true", len(frames), ok)
+	}
+}
+
+func TestReplGapAndCorruption(t *testing.T) {
+	primary, err := Open(t.TempDir(), Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	backup, err := Open(t.TempDir(), Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backup.Close()
+
+	for _, id := range []string{"a", "b", "c"} {
+		if _, err := primary.Create(id, "<r/>"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frames, _ := primary.FramesSince(0)
+
+	// A gap (skipping the first frame) must be refused with ErrReplGap
+	// and leave the backup untouched.
+	if _, err := backup.ApplyFrames(context.Background(), frames[1:]); !errors.Is(err, ErrReplGap) {
+		t.Fatalf("gap: got %v, want ErrReplGap", err)
+	}
+	if backup.LSN() != 0 {
+		t.Fatalf("gap advanced backup lsn to %d", backup.LSN())
+	}
+
+	// A flipped payload byte must fail the CRC check.
+	bad := make([]ReplFrame, len(frames))
+	copy(bad, frames)
+	p := make([]byte, len(bad[0].Payload))
+	copy(p, bad[0].Payload)
+	p[len(p)/2] ^= 0xff
+	bad[0].Payload = p
+	if _, err := backup.ApplyFrames(context.Background(), bad); err == nil || !strings.Contains(err.Error(), "crc mismatch") {
+		t.Fatalf("corrupt payload: got %v, want crc mismatch", err)
+	}
+
+	// A frame whose CRC matches a tampered payload still fails the
+	// digest re-verification (payload decodes but promises the original
+	// digest) or the decode; either way nothing past it applies.
+	bad[0].CRC = crc32.Checksum(p, castagnoli)
+	if _, err := backup.ApplyFrames(context.Background(), bad); err == nil {
+		t.Fatal("tampered-but-recrc'd payload applied cleanly")
+	}
+	if backup.LSN() != 0 {
+		t.Fatalf("tampered ship advanced backup lsn to %d", backup.LSN())
+	}
+
+	// The honest frames still apply after all those rejections.
+	shipAll(t, primary, backup)
+	if backup.LSN() != primary.LSN() {
+		t.Fatalf("backup lsn %d, primary %d", backup.LSN(), primary.LSN())
+	}
+}
+
+func TestReplBufferFallsBackToState(t *testing.T) {
+	primary, err := Open(t.TempDir(), Options{Fsync: FsyncNever, ReplBuffer: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	if _, err := primary.Create("d", "<a/>"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := primary.Submit("d", Op{Kind: "insert", Pattern: "/a"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := primary.FramesSince(0); ok {
+		t.Fatal("FramesSince(0) should have fallen off a 4-frame buffer")
+	}
+
+	// Full-state transfer is the fallback.
+	st, err := primary.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	backup, err := Open(t.TempDir(), Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backup.Close()
+	if err := backup.ImportState(context.Background(), st); err != nil {
+		t.Fatal(err)
+	}
+	if backup.LSN() != primary.LSN() {
+		t.Fatalf("imported lsn %d, want %d", backup.LSN(), primary.LSN())
+	}
+	pi, _ := primary.Get("d")
+	bi, err := backup.Get("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi.Digest != bi.Digest {
+		t.Fatalf("import digest %s, want %s", bi.Digest, pi.Digest)
+	}
+
+	// And frame shipping resumes from the imported LSN.
+	if _, err := primary.Submit("d", Op{Kind: "insert", Pattern: "/a"}); err != nil {
+		t.Fatal(err)
+	}
+	shipAll(t, primary, backup)
+	if backup.LSN() != primary.LSN() {
+		t.Fatalf("post-import ship: backup %d, primary %d", backup.LSN(), primary.LSN())
+	}
+	pi, _ = primary.Get("d")
+
+	// The imported state must survive a restart (it was snapshotted).
+	dir := backup.dir
+	if err := backup.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatalf("reopen after import: %v", err)
+	}
+	defer re.Close()
+	if re.LSN() != primary.LSN() {
+		t.Fatalf("recovered lsn %d, want %d", re.LSN(), primary.LSN())
+	}
+	ri, err := re.Get("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Digest != pi.Digest {
+		t.Fatalf("recovered digest %s, want %s", ri.Digest, pi.Digest)
+	}
+}
+
+func TestImportStateRejectsBadDigest(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	st := State{LSN: 3, Docs: []StateDoc{{ID: "d", LSN: 3, XML: "<a/>", Digest: "not-the-digest"}}}
+	if err := s.ImportState(context.Background(), st); err == nil {
+		t.Fatal("bad-digest import accepted")
+	}
+	// The store must be untouched and still usable.
+	if _, err := s.Create("ok", "<r/>"); err != nil {
+		t.Fatalf("store unusable after rejected import: %v", err)
+	}
+}

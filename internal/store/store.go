@@ -59,6 +59,11 @@ type Options struct {
 	// (Create, WAL replay, snapshot load). Zero value means
 	// xmltree.DefaultParseLimits.
 	Limits xmltree.ParseLimits
+	// ReplBuffer is how many committed WAL frames stay buffered in
+	// memory for replication shipping (FramesSince); peers that fall
+	// further behind catch up by full-state transfer. 0 means the
+	// default 1024; negative disables the buffer entirely.
+	ReplBuffer int
 	// Metrics receives the store.* counters and timers; nil gets a
 	// private registry.
 	Metrics *telemetry.Metrics
@@ -73,6 +78,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.KeepSnapshots <= 0 {
 		o.KeepSnapshots = 2
+	}
+	if o.ReplBuffer == 0 {
+		o.ReplBuffer = 1024
 	}
 	if o.Limits == (xmltree.ParseLimits{}) {
 		o.Limits = xmltree.DefaultParseLimits()
@@ -155,6 +163,7 @@ type Store struct {
 	lsn       uint64
 	sinceSnap int
 	closed    bool
+	replLog   []ReplFrame // bounded tail of committed frames for shipping
 }
 
 // Open loads (or initializes) a store rooted at dir: the newest valid
@@ -252,6 +261,7 @@ func Open(dir string, opts Options) (*Store, error) {
 			}
 			s.m.Add("store.replayed", 1)
 			s.lsn = rec.LSN
+			s.pushReplFrame(rec.LSN, payload)
 		}
 		off += int64(frameHead + len(payload))
 	}
@@ -322,6 +332,12 @@ func (s *Store) applyReplayed(rec record) error {
 		return nil
 	}
 	return fmt.Errorf("store: replay: unknown record type %q", rec.Type)
+}
+
+// parseLimited parses an XML document under the store's configured
+// limits.
+func (s *Store) parseLimited(xml string) (*xmltree.Tree, error) {
+	return xmltree.ParseWithLimits(strings.NewReader(xml), s.opts.Limits)
 }
 
 // parseUpdate compiles an Op into an executable update. The returned
@@ -752,6 +768,11 @@ func (s *Store) append(rec record, parent *span.Span) (func() error, error) {
 	ack, err := s.w.Append(payload, wsp)
 	wsp.Fail(err)
 	wsp.End()
+	if err == nil {
+		// Append success means the caller commits unconditionally, so
+		// the frame is retained for replication shipping right here.
+		s.pushReplFrame(rec.LSN, payload)
+	}
 	return ack, err
 }
 
