@@ -90,6 +90,15 @@ func (c *Client) rotate(i int32) {
 	}
 }
 
+// RotateTarget advances the fan-out preference to the next node. The
+// failover audit uses it when a read SUCCEEDS but serves a view that is
+// missing acknowledged writes — a backup inside its staleness bound yet
+// behind the primary's log — to walk the preference onto a node holding
+// the authoritative state.
+func (c *Client) RotateTarget() {
+	c.rotate(c.cur.Load())
+}
+
 // replRefusal reports whether a shed note names a replication-topology
 // condition another node of the cluster might not be in.
 func replRefusal(note string) bool {

@@ -18,13 +18,16 @@ import (
 // targets sees the same state everywhere (the real cluster's WAL
 // shipping, collapsed). Knobs: drop acks writes without recording them
 // (a lying cluster, for the lost-ack audit), down makes update writes
-// refuse with the not-primary envelope (a failover window).
+// refuse with the not-primary envelope (a failover window), lagReads
+// serves that many document reads without the newest marker (a backup
+// inside its staleness bound that has not applied the last frame).
 type stubCluster struct {
-	mu    sync.Mutex
-	lsn   uint64
-	marks []string
-	drop  bool
-	down  atomic.Bool
+	mu       sync.Mutex
+	lsn      uint64
+	marks    []string
+	drop     bool
+	lagReads int
+	down     atomic.Bool
 }
 
 func (sc *stubCluster) handler() http.Handler {
@@ -61,7 +64,12 @@ func (sc *stubCluster) handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/docs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		sc.mu.Lock()
-		xml := "<log>" + strings.Join(sc.marks, "") + "</log>"
+		marks := sc.marks
+		if sc.lagReads > 0 && len(marks) > 0 {
+			sc.lagReads--
+			marks = marks[:len(marks)-1]
+		}
+		xml := "<log>" + strings.Join(marks, "") + "</log>"
 		lsn := sc.lsn
 		sc.mu.Unlock()
 		body, _ := json.Marshal(map[string]any{"doc": r.PathValue("id"), "lsn": lsn, "xml": xml})
@@ -146,6 +154,32 @@ func TestFailoverLyingClusterFailsLostAckGate(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("no no_lost_acks violation in %+v", rep.SLO.Violations)
+	}
+}
+
+// TestFailoverAuditRetriesThroughReplicationLag: the post-run audit may
+// land on a backup that is inside its staleness bound but has not yet
+// applied the last acked frames. That is replication lag, not a lost
+// write — the audit must retry (rotating targets) until the markers
+// appear, instead of failing the no_lost_acks gate on the first
+// incomplete read.
+func TestFailoverAuditRetriesThroughReplicationLag(t *testing.T) {
+	st := &stubCluster{lagReads: 3}
+	ts := httptest.NewServer(st.handler())
+	t.Cleanup(ts.Close)
+
+	rep, err := runFailover(t, []string{ts.URL}, 300*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Repl == nil || rep.Repl.AckedWrites == 0 {
+		t.Fatalf("repl block: %+v", rep.Repl)
+	}
+	if rep.Repl.LostAcks != 0 {
+		t.Fatalf("replication lag reported as %d lost acks", rep.Repl.LostAcks)
+	}
+	if !rep.SLO.Pass {
+		t.Fatalf("lagging-but-honest cluster failed SLO: %+v", rep.SLO.Violations)
 	}
 }
 

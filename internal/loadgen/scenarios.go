@@ -381,28 +381,56 @@ func failoverScenario() Scenario {
 				Outages:            st.fo.outages,
 			}
 			st.fo.mu.Unlock()
-			// Read the surviving cluster's document — with retries, since
-			// the run may end inside an outage window — and hold every
-			// acknowledged marker against it.
-			var xml string
-			var err error
+			// Read the surviving cluster's document and hold every
+			// acknowledged marker against it. Retry on read errors (the run
+			// may end inside an outage window) AND on missing markers: a
+			// successful read can come from a surviving backup that is
+			// inside its staleness bound yet has not applied the last
+			// quorum-acked frames — blaming that lag for a lost ack would
+			// fail the no_lost_acks gate on a replication-lag artifact, not
+			// a lost write. Rotating between such reads walks the fan-out
+			// onto the current primary, whose log is authoritative; only
+			// markers still missing at the deadline count as lost.
+			missing := func(xml string) int64 {
+				var lost int64
+				for _, mark := range acked {
+					if !strings.Contains(xml, "<"+mark+"/") {
+						lost++
+					}
+				}
+				return lost
+			}
+			lost := int64(-1) // no successful read yet
 			deadline := time.Now().Add(15 * time.Second)
+			// Successful-but-incomplete reads bound their own retry window:
+			// a healthy backup closes its lag well inside the default 5s
+			// staleness bound, so markers still missing past it are lost.
+			lagDeadline := time.Now().Add(5 * time.Second)
 			for {
-				xml, err = st.client.GetDocXML(ctx, st.doc)
-				if err == nil || time.Now().After(deadline) || ctx.Err() != nil {
+				target := st.client.Target()
+				xml, err := st.client.GetDocXML(ctx, st.doc)
+				if err == nil {
+					lost = missing(xml)
+					repl.VerifiedAgainst = target
+					if lost == 0 || time.Now().After(lagDeadline) {
+						break
+					}
+					st.client.RotateTarget()
+				} else if time.Now().After(deadline) {
+					if lost < 0 {
+						return fmt.Errorf("loadgen: failover audit: %w", err)
+					}
+					break
+				}
+				if ctx.Err() != nil {
+					if lost < 0 {
+						return fmt.Errorf("loadgen: failover audit: %w", ctx.Err())
+					}
 					break
 				}
 				time.Sleep(200 * time.Millisecond)
 			}
-			if err != nil {
-				return fmt.Errorf("loadgen: failover audit: %w", err)
-			}
-			repl.VerifiedAgainst = st.client.Target()
-			for _, mark := range acked {
-				if !strings.Contains(xml, "<"+mark+"/") {
-					repl.LostAcks++
-				}
-			}
+			repl.LostAcks = lost
 			rep.Repl = repl
 			return nil
 		},

@@ -23,11 +23,20 @@ const epochFileName = "repl-epoch.json"
 // tail, and it must complete a full-state resync from the new primary
 // before applying frames again — surviving a crash mid-resync is
 // exactly why the flag is durable.
+//
+// Promised/PromisedTo record an election vote: this node has durably
+// promised epoch Promised to candidate PromisedTo and rejects every
+// append or heartbeat below it, even across a crash — the write-fence
+// that makes majority intersection hold during failover. The pair is
+// only written while it outranks the established epoch; adopting an
+// epoch at or above the promise clears it.
 type epochState struct {
-	Version int    `json:"version"`
-	Epoch   uint64 `json:"epoch"`
-	Primary string `json:"primary"`
-	Dirty   bool   `json:"dirty,omitempty"`
+	Version    int    `json:"version"`
+	Epoch      uint64 `json:"epoch"`
+	Primary    string `json:"primary"`
+	Dirty      bool   `json:"dirty,omitempty"`
+	Promised   uint64 `json:"promised,omitempty"`
+	PromisedTo string `json:"promised_to,omitempty"`
 }
 
 // loadEpoch reads the persisted epoch. A missing file is a fresh node
@@ -54,6 +63,12 @@ func loadEpoch(dir string) (epochState, bool, error) {
 	}
 	if ep.Primary == "" {
 		return ep, false, fmt.Errorf("replica: %s names no primary; the file is corrupt", epochFileName)
+	}
+	if (ep.Promised != 0) != (ep.PromisedTo != "") {
+		return ep, false, fmt.Errorf("replica: %s carries a half-written election promise (promised %d to %q); the file is corrupt", epochFileName, ep.Promised, ep.PromisedTo)
+	}
+	if ep.Promised != 0 && ep.Promised <= ep.Epoch {
+		return ep, false, fmt.Errorf("replica: %s promises epoch %d at or below the established epoch %d; the file is corrupt", epochFileName, ep.Promised, ep.Epoch)
 	}
 	return ep, true, nil
 }

@@ -59,6 +59,29 @@ type resetRequest struct {
 	State   store.State `json:"state"`
 }
 
+// prepareRequest is a candidate's election vote request: "promise me
+// epoch Epoch". A peer that grants it durably persists the promise and
+// from that moment rejects every append and heartbeat below Epoch —
+// the write-fence that makes a failover unable to lose quorum-acked
+// writes even while the old primary is still up and reachable by some
+// of the cluster.
+type prepareRequest struct {
+	Epoch     uint64 `json:"epoch"`
+	Candidate string `json:"candidate"`
+}
+
+// prepareResponse reports the vote. A grant carries the voter's
+// per-shard LSNs as of the fence: any write acked at quorum under an
+// older epoch intersects the voter majority, so the max of these
+// positions bounds the candidate's required catch-up. A refusal
+// carries the voter's established claim for the candidate to fold in.
+type prepareResponse struct {
+	Granted bool     `json:"granted"`
+	Epoch   uint64   `json:"epoch"`
+	Primary string   `json:"primary"`
+	LSNs    []uint64 `json:"lsns,omitempty"`
+}
+
 // heartbeatRequest announces the primary's liveness and positions.
 type heartbeatRequest struct {
 	Epoch   uint64   `json:"epoch"`
@@ -117,6 +140,7 @@ func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/repl/append", n.handleAppend)
 	mux.HandleFunc("POST /v1/repl/reset", n.handleReset)
+	mux.HandleFunc("POST /v1/repl/prepare", n.handlePrepare)
 	mux.HandleFunc("POST /v1/repl/heartbeat", n.handleHeartbeat)
 	mux.HandleFunc("GET /v1/repl/since/{shard}/{after}", n.handleSince)
 	mux.HandleFunc("GET /v1/repl/state/{shard}", n.handleState)
@@ -167,10 +191,17 @@ func decodeRepl(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// rejectEpoch answers a stale sender with the local, newer claim.
+// rejectEpoch answers a stale sender with the local, newer claim. When
+// an election promise outranks the established epoch the answer
+// carries the promised epoch with an EMPTY primary: the sender learns
+// it is fenced (its write must not be acked) without adopting a claim
+// nobody has won yet.
 func (n *Node) rejectEpoch(w http.ResponseWriter) {
 	n.mu.Lock()
 	epoch, primary := n.epoch, n.primaryID
+	if n.promised > epoch {
+		epoch, primary = n.promised, ""
+	}
 	n.mu.Unlock()
 	n.m.Add("repl.fencings_served", 1)
 	replJSON(w, http.StatusConflict, appendResponse{Accepted: false, Epoch: epoch, Primary: primary})
@@ -209,12 +240,29 @@ func (n *Node) handleAppend(w http.ResponseWriter, r *http.Request) {
 	st := n.router.Store(req.Shard)
 	n.mu.Lock()
 	epoch, primary, dirty := n.epoch, n.primaryID, n.dirty
+	// State imported wholesale from this very (epoch, primary) verifies
+	// overlapping re-shipped frames by provenance: the import cleared
+	// the frame log, so byte-comparison cannot reach below its LSN.
+	var floor uint64
+	if mk := n.resyncBase[req.Shard]; mk.epoch == req.Epoch && mk.primary == req.Primary {
+		floor = mk.lsn
+	}
 	n.mu.Unlock()
 	if dirty {
 		replJSON(w, http.StatusOK, appendResponse{Accepted: true, Epoch: epoch, Primary: primary, LSN: st.LSN(), Diverged: true})
 		return
 	}
-	lsn, err := st.ApplyFrames(r.Context(), req.Frames)
+	lsn, err := st.ApplyFrames(r.Context(), req.Frames, floor)
+	if err == nil && n.fencedSince(req.Epoch) {
+		// An election promise landed while the frames were applying: the
+		// epoch gate above ran before the vote was granted, so the
+		// voter's fence-time positions may not include this apply.
+		// Withholding the ack keeps the write out of any epoch-e quorum;
+		// the extra local tail is caught by overlap verification (or a
+		// resync) once the new primary's log advances past it.
+		n.rejectEpoch(w)
+		return
+	}
 	switch {
 	case err == nil:
 		n.m.Add("repl.frames_applied", int64(len(req.Frames)))
@@ -226,13 +274,27 @@ func (n *Node) handleAppend(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, store.ErrClosed):
 		replJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error(), "reason": "store-closed"})
 	default:
-		// The frames failed verification against local state: this
-		// replica has diverged (or the stream is corrupt). Go dirty and
-		// resync wholesale rather than guess.
+		// The frames failed verification against local state — shipped
+		// content differing at committed LSNs (store.ErrReplDiverged), or
+		// a corrupt stream. This replica has diverged from the sender's
+		// log: go dirty and resync wholesale rather than guess, and never
+		// ack frames it does not provably hold.
 		n.m.Add("repl.diverged", 1)
 		n.markDirty()
 		replJSON(w, http.StatusOK, appendResponse{Accepted: true, Epoch: epoch, Primary: primary, LSN: st.LSN(), Diverged: true})
 	}
+}
+
+// fencedSince reports whether an epoch claim that passed the gate at
+// the top of a handler has been outranked since — by an adopted newer
+// epoch or by a durable election promise. Handlers that apply state
+// re-check after applying: the grant of a vote and an in-flight apply
+// race on different locks, and the ack must lose that race, never win
+// it.
+func (n *Node) fencedSince(epoch uint64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return epoch < n.epoch || epoch < n.promised
 }
 
 // markDirty durably flags this node for full-state resync.
@@ -243,7 +305,7 @@ func (n *Node) markDirty() {
 		return
 	}
 	n.dirty = true
-	if err := saveEpoch(n.dir, epochState{Version: 1, Epoch: n.epoch, Primary: n.primaryID, Dirty: true}); err != nil {
+	if err := saveEpoch(n.dir, n.epochStateLocked()); err != nil {
 		n.m.Add("repl.epoch_persist_errors", 1)
 	}
 }
@@ -273,8 +335,65 @@ func (n *Node) handleReset(w http.ResponseWriter, r *http.Request) {
 		replJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error(), "reason": "import-failed"})
 		return
 	}
+	n.noteImport(req.Shard, req.Epoch, req.Primary, st.LSN())
 	n.m.Add("repl.state_imports", 1)
+	if n.fencedSince(req.Epoch) {
+		// Same race as handleAppend: a vote granted mid-import means this
+		// import may postdate the fence — do not let the sender count it.
+		n.rejectEpoch(w)
+		return
+	}
 	replJSON(w, http.StatusOK, appendResponse{Accepted: true, Epoch: epoch, Primary: primary, LSN: st.LSN()})
+}
+
+// handlePrepare is the voter side of the promotion protocol. A grant
+// durably persists (Promised=req.Epoch, PromisedTo=req.Candidate)
+// BEFORE answering; from that write on, this node rejects every append
+// and heartbeat below the promised epoch, even across a crash. The
+// grant's LSNs — read after the fence is durable — are therefore an
+// upper bound on everything this voter ever acked at older epochs,
+// which is what lets the candidate's catch-up cover all quorum-acked
+// writes. Re-granting the same (epoch, candidate) is idempotent, so an
+// aborted candidacy can retry; any other claim at or below the current
+// promise or epoch is refused with the established claim.
+func (n *Node) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	if n.partitioned(w) {
+		return
+	}
+	var req prepareRequest
+	if !decodeRepl(w, r, &req) {
+		return
+	}
+	if req.Candidate == "" || n.peerByID(req.Candidate).ID == "" {
+		replJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("unknown candidate %q", req.Candidate), "reason": "bad-request"})
+		return
+	}
+	n.mu.Lock()
+	regrant := req.Epoch == n.promised && req.Epoch > n.epoch && req.Candidate == n.promisedTo
+	granted := regrant || (req.Epoch > n.epoch && req.Epoch > n.promised)
+	if granted && !regrant {
+		prevP, prevTo := n.promised, n.promisedTo
+		n.promised, n.promisedTo = req.Epoch, req.Candidate
+		if err := saveEpoch(n.dir, n.epochStateLocked()); err != nil {
+			// An unpersisted promise is no promise: a restart would forget
+			// it and un-fence the old primary.
+			n.promised, n.promisedTo = prevP, prevTo
+			n.m.Add("repl.epoch_persist_errors", 1)
+			granted = false
+		}
+	}
+	epoch, primary := n.epoch, n.primaryID
+	n.mu.Unlock()
+	if !granted {
+		n.m.Add("repl.votes_refused", 1)
+		replJSON(w, http.StatusConflict, prepareResponse{Granted: false, Epoch: epoch, Primary: primary})
+		return
+	}
+	n.m.Add("repl.votes_granted", 1)
+	// LSNs are read only after the promise is durable: an append racing
+	// the grant either finished before it (included here) or gets its
+	// ack withheld by the handler's post-apply fence re-check.
+	replJSON(w, http.StatusOK, prepareResponse{Granted: true, Epoch: epoch, Primary: primary, LSNs: n.router.LSNs()})
 }
 
 func (n *Node) handleHeartbeat(w http.ResponseWriter, r *http.Request) {

@@ -148,22 +148,33 @@ func (n *Node) checkPrimary() {
 	n.promote(silent)
 }
 
-// promote runs the candidacy protocol:
+// promote runs the candidacy protocol, a single-round Paxos-style
+// prepare that write-fences a majority before anything takes over:
 //
 //  1. Poll every peer's status. Anyone announcing a newer epoch (or
-//     the supposedly-dead primary answering) aborts the candidacy.
-//  2. Require contact with a quorum of the membership (counting this
-//     node; the dead primary naturally cannot be part of it). In a
-//     two-node cluster the survivor stands alone — epoch fencing
-//     resolves the symmetric-partition race at heal time. A minority
-//     partition never promotes: it stays a backup and (if enabled)
-//     queues tentative writes instead.
-//  3. Pull from the most advanced reachable peer any frames beyond
-//     this node's log, so a write acknowledged at quorum — durable on
-//     a majority, by definition including someone reachable here — is
-//     never lost by the handover.
+//     the supposedly-dead primary answering, unless this node already
+//     holds a durable vote above the epoch) aborts the candidacy, and
+//     a reachable set below the vote threshold aborts before anything
+//     is persisted — a minority partition never even starts a ballot:
+//     it stays a backup and (if enabled) queues tentative writes.
+//  2. Durably promise the new epoch to itself, then collect votes
+//     (POST /v1/repl/prepare) until votes+self reach a majority of the
+//     membership. Every granter persists the promise and rejects
+//     appends/heartbeats below the new epoch from that moment — so any
+//     write acked at quorum under the old epoch is already durable on
+//     some granter, and no further old-epoch write can reach quorum.
+//     In a two-node cluster the survivor's own durable vote is the
+//     fence (it sits in every quorum); epoch fencing resolves the
+//     symmetric-partition race at heal time.
+//  3. Pull any frames a granter holds beyond this node's log, using
+//     the positions each grant reported as of its fence — by majority
+//     intersection that covers every quorum-acked write.
 //  4. Bump and persist the epoch, become primary, merge the local
 //     tentative backlog through the detector, and announce.
+//
+// An aborted candidacy may leave the durable promise behind; that is
+// safe (promises only fence, they never ack) and live: the next ballot
+// — here or on a peer — simply opens above it.
 func (n *Node) promote(silent time.Duration) {
 	begin := time.Now()
 	n.mu.Lock()
@@ -173,6 +184,16 @@ func (n *Node) promote(silent time.Duration) {
 	}
 	epoch := n.epoch
 	oldPrimary := n.primaryID
+	newEpoch := n.epoch + 1
+	if n.promised >= newEpoch {
+		// A spent ballot (ours, or a vote granted to a candidate that
+		// died) floors the next one: promised epochs are never reused.
+		newEpoch = n.promised + 1
+	}
+	// With a standing vote above the epoch, the cluster is mid-election:
+	// the old primary answering status no longer vouches for a healthy
+	// topology, so skip the alive-abort below or the election wedges.
+	wedged := n.promised > n.epoch
 	n.mu.Unlock()
 
 	ctx, cancel := context.WithTimeout(context.Background(), n.opts.FailoverAfter)
@@ -207,7 +228,7 @@ func (n *Node) promote(silent time.Duration) {
 			n.observeEpoch(r.st.Epoch, r.st.Primary)
 			return
 		}
-		if r.peer.ID == oldPrimary && r.st.Role == RolePrimary.String() {
+		if !wedged && r.peer.ID == oldPrimary && r.st.Role == RolePrimary.String() {
 			// The primary is alive after all (the silence was on our
 			// side); reset the detector instead of deposing it.
 			n.touchPrimary(oldPrimary, nil)
@@ -215,33 +236,91 @@ func (n *Node) promote(silent time.Duration) {
 		}
 	}
 
-	minReach := n.quorum()
-	if n.ClusterSize()-1 < minReach {
-		minReach = n.ClusterSize() - 1
+	// needVotes is the majority of the membership, counting this node; a
+	// two-node cluster's survivor stands on its own durable vote.
+	needVotes := n.quorum()
+	if n.ClusterSize()-1 < needVotes {
+		needVotes = n.ClusterSize() - 1
 	}
-	if 1+len(reachable) < minReach {
+	if 1+len(reachable) < needVotes {
 		n.m.Add("repl.promote_aborts", 1)
 		return
 	}
 
-	// Catch up: adopt any suffix a surviving peer holds beyond ours.
+	// Self-vote, durably, before asking anyone else: from this write on
+	// this node rejects old-epoch appends even across a crash.
+	n.mu.Lock()
+	if n.role != RoleBackup || n.epoch != epoch || n.dirty || n.promised >= newEpoch {
+		n.mu.Unlock()
+		return
+	}
+	prevP, prevTo := n.promised, n.promisedTo
+	n.promised, n.promisedTo = newEpoch, n.self.ID
+	if err := saveEpoch(n.dir, n.epochStateLocked()); err != nil {
+		n.promised, n.promisedTo = prevP, prevTo
+		n.m.Add("repl.epoch_persist_errors", 1)
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+
+	// The prepare round: collect durable votes. A refusal carries an
+	// established claim to fold in; an unreachable peer simply does not
+	// vote.
+	type vote struct {
+		peer Peer
+		resp prepareResponse
+	}
+	var vmu sync.Mutex
+	var votes []vote
+	var vg sync.WaitGroup
+	for _, p := range n.peers {
+		p := p
+		vg.Add(1)
+		go func() {
+			defer vg.Done()
+			var resp prepareResponse
+			err := n.contain(func() error {
+				return n.postPeer(ctx, p, "/v1/repl/prepare", prepareRequest{Epoch: newEpoch, Candidate: n.self.ID}, &resp)
+			})
+			if err != nil {
+				return
+			}
+			if !resp.Granted {
+				n.observeEpoch(resp.Epoch, resp.Primary)
+				return
+			}
+			vmu.Lock()
+			votes = append(votes, vote{peer: p, resp: resp})
+			vmu.Unlock()
+		}()
+	}
+	vg.Wait()
+	if 1+len(votes) < needVotes {
+		n.m.Add("repl.promote_aborts", 1)
+		return
+	}
+
+	// Catch up from the write-fenced majority: adopt any suffix a
+	// granter reported beyond ours as of its fence. (A granter's later
+	// appends were never acked — its post-grant handler withholds them.)
 	for shardIdx := 0; shardIdx < n.router.Shards(); shardIdx++ {
 		st := n.router.Store(shardIdx)
 		best := Peer{}
 		var bestLSN uint64
-		for _, r := range reachable {
-			if shardIdx < len(r.st.LSNs) && r.st.LSNs[shardIdx] > bestLSN {
-				bestLSN = r.st.LSNs[shardIdx]
-				best = r.peer
+		for _, v := range votes {
+			if shardIdx < len(v.resp.LSNs) && v.resp.LSNs[shardIdx] > bestLSN {
+				bestLSN = v.resp.LSNs[shardIdx]
+				best = v.peer
 			}
 		}
 		if best.ID == "" || bestLSN <= st.LSN() {
 			continue
 		}
 		if err := n.pullSince(ctx, best, shardIdx, st); err != nil {
-			// Without the most advanced reachable log this node cannot
+			// Without the most advanced fenced log this node cannot
 			// guarantee the quorum-ack invariant; abort and let the next
-			// tick (or a better-positioned peer) retry.
+			// tick (or a better-positioned peer) retry above this ballot.
 			n.m.Add("repl.promote_aborts", 1)
 			return
 		}
@@ -253,17 +332,19 @@ func (n *Node) promote(silent time.Duration) {
 	}
 
 	n.mu.Lock()
-	if n.role != RoleBackup || n.epoch != epoch || n.dirty {
+	if n.role != RoleBackup || n.epoch != epoch || n.dirty ||
+		n.promised != newEpoch || n.promisedTo != n.self.ID {
 		n.mu.Unlock()
 		return
 	}
-	n.epoch = epoch + 1
+	n.epoch = newEpoch
 	n.primaryID = n.self.ID
 	n.role = RolePrimary
 	n.promotedAt = time.Now()
-	if err := saveEpoch(n.dir, epochState{Version: 1, Epoch: n.epoch, Primary: n.self.ID}); err != nil {
+	if err := saveEpoch(n.dir, n.epochStateLocked()); err != nil {
 		// Without a durable epoch claim this node must not lead: a
 		// restart would rejoin under the old epoch and split the brain.
+		// The durable promise stays — the next ballot opens above it.
 		n.epoch = epoch
 		n.primaryID = oldPrimary
 		n.role = RoleBackup
@@ -271,10 +352,11 @@ func (n *Node) promote(silent time.Duration) {
 		n.mu.Unlock()
 		return
 	}
+	n.promised, n.promisedTo = 0, "" // the vote is spent: the epoch holds the fence now
 	tent := n.tent
 	n.tent = nil
+	n.publishStateLocked()
 	n.mu.Unlock()
-	n.publishState()
 	n.m.Add("repl.promotions", 1)
 	n.m.Timer("repl.promotion").Observe(silent + time.Since(begin))
 
@@ -333,13 +415,16 @@ func (n *Node) pullSince(ctx context.Context, p Peer, shardIdx int, st *store.St
 			if err := st.ImportState(ctx, *resp.State); err != nil {
 				return err
 			}
+			n.noteImport(shardIdx, n.Epoch(), p.ID, resp.State.LSN)
 			n.m.Add("repl.state_imports", 1)
 			return nil
 		}
 		if len(resp.Frames) == 0 {
 			return nil
 		}
-		if _, err := st.ApplyFrames(ctx, resp.Frames); err != nil {
+		// Pulled frames start past the local LSN, so no overlap floor is
+		// needed here.
+		if _, err := st.ApplyFrames(ctx, resp.Frames, 0); err != nil {
 			return err
 		}
 		if st.LSN() >= resp.LSN {
@@ -362,11 +447,11 @@ func (n *Node) resync() {
 		n.mu.Lock()
 		n.dirty = false
 		n.role = RolePrimary
-		if err := saveEpoch(n.dir, epochState{Version: 1, Epoch: n.epoch, Primary: n.primaryID}); err != nil {
+		if err := saveEpoch(n.dir, n.epochStateLocked()); err != nil {
 			n.m.Add("repl.epoch_persist_errors", 1)
 		}
+		n.publishStateLocked()
 		n.mu.Unlock()
-		n.publishState()
 		return
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), n.opts.FailoverAfter)
@@ -384,11 +469,12 @@ func (n *Node) resync() {
 			n.m.Add("repl.resync_errors", 1)
 			return
 		}
+		n.noteImport(shardIdx, n.Epoch(), primary.ID, resp.State.LSN)
 	}
 	n.mu.Lock()
 	n.dirty = false
 	n.lastContact = time.Now()
-	if err := saveEpoch(n.dir, epochState{Version: 1, Epoch: n.epoch, Primary: n.primaryID}); err != nil {
+	if err := saveEpoch(n.dir, n.epochStateLocked()); err != nil {
 		n.m.Add("repl.epoch_persist_errors", 1)
 	}
 	n.mu.Unlock()

@@ -188,6 +188,9 @@ type FencedError struct {
 }
 
 func (e *FencedError) Error() string {
+	if e.Primary == "" {
+		return fmt.Sprintf("replica: fenced by epoch %d (election in progress)", e.Epoch)
+	}
 	return fmt.Sprintf("replica: fenced by epoch %d (primary %s)", e.Epoch, e.Primary)
 }
 
@@ -210,6 +213,27 @@ type peerShard struct {
 	acked uint64
 }
 
+// resyncMark records that one shard's state at or below LSN was
+// imported wholesale from a primary's own export — the provenance that
+// lets the store accept overlapping re-shipped frames from that same
+// (epoch, primary) without retained frames to compare against (an
+// import clears the frame log). Any other stream's overlaps must still
+// prove byte-identity or force a resync.
+type resyncMark struct {
+	epoch   uint64
+	primary string
+	lsn     uint64
+}
+
+// noteImport records a completed full-state import's provenance.
+func (n *Node) noteImport(shardIdx int, epoch uint64, primary string, lsn uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if shardIdx >= 0 && shardIdx < len(n.resyncBase) {
+		n.resyncBase[shardIdx] = resyncMark{epoch: epoch, primary: primary, lsn: lsn}
+	}
+}
+
 // Node is one replica: a shard.Router plus the replication state
 // machine. All methods are safe for concurrent use.
 type Node struct {
@@ -225,18 +249,34 @@ type Node struct {
 	// peerShard carries its own lock.
 	streams map[string][]*peerShard
 
+	// inc is this node's incarnation token, fresh per process: merge
+	// dedup keys tentative ops by (node, inc, seq) so a restarted origin
+	// whose seq counter rewound cannot collide with its former self.
+	inc uint64
+
 	mu          sync.Mutex
 	epoch       uint64
 	role        Role
 	primaryID   string
-	dirty       bool      // demoted with an unreplicated tail: full resync needed
+	promised    uint64 // durable election vote: reject appends/heartbeats below this epoch
+	promisedTo  string // the candidate the vote went to (idempotent re-grants)
+	dirty       bool   // demoted with an unreplicated tail: full resync needed
 	lastContact time.Time // backup: last heartbeat/append from the primary
 	promotedAt  time.Time
 	peerLSNs    map[string][]uint64 // latest per-shard LSNs heard from each peer
+	resyncBase  []resyncMark        // per-shard provenance of the last full-state import
 	tent        []TentativeOp
 	tentSeq     uint64
 	merges      []MergeOutcome
 	closed      bool
+
+	// mergeMu serializes detector-arbitrated merges on the primary, so a
+	// retried batch observes the outcomes of the in-flight attempt it is
+	// retrying instead of racing it; merged/mergedHi (under mu) remember
+	// each origin incarnation's applied ops for idempotent replay.
+	mergeMu  sync.Mutex
+	merged   map[string]map[uint64]MergeOutcome
+	mergedHi map[string]uint64
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -289,10 +329,14 @@ func Open(dir string, shardOpts shard.Options, opts Options) (*Node, error) {
 		self:     self,
 		peers:    remote,
 		hc:       opts.Client,
+		inc:      rand.Uint64(),
 		streams:  map[string][]*peerShard{},
 		peerLSNs: map[string][]uint64{},
+		merged:   map[string]map[uint64]MergeOutcome{},
+		mergedHi: map[string]uint64{},
 		stop:     make(chan struct{}),
 	}
+	n.resyncBase = make([]resyncMark, router.Shards())
 	for _, p := range remote {
 		ps := make([]*peerShard, router.Shards())
 		for i := range ps {
@@ -317,8 +361,14 @@ func Open(dir string, shardOpts shard.Options, opts Options) (*Node, error) {
 		router.Close()
 		return nil, fmt.Errorf("replica: persisted epoch %d names primary %q, which is not in the peer list", ep.Epoch, ep.Primary)
 	}
+	if ep.PromisedTo != "" && !seen[ep.PromisedTo] {
+		router.Close()
+		return nil, fmt.Errorf("replica: persisted promise names candidate %q, which is not in the peer list", ep.PromisedTo)
+	}
 	n.epoch = ep.Epoch
 	n.primaryID = ep.Primary
+	n.promised = ep.Promised
+	n.promisedTo = ep.PromisedTo
 	n.dirty = ep.Dirty
 	if ep.Primary == opts.NodeID && !ep.Dirty {
 		n.role = RolePrimary
@@ -411,15 +461,34 @@ func (n *Node) Staleness() (time.Duration, bool) {
 // StalenessBound returns the configured bound.
 func (n *Node) StalenessBound() time.Duration { return n.opts.StalenessBound }
 
-// publishState refreshes the role/epoch gauges; caller need not hold
-// n.mu (gauges are atomic).
+// publishState refreshes the role/epoch gauges.
 func (n *Node) publishState() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.publishStateLocked()
+}
+
+// publishStateLocked refreshes the role/epoch gauges; the caller holds
+// n.mu (role and epoch are mutated under it).
+func (n *Node) publishStateLocked() {
 	role := int64(0)
 	if n.role == RolePrimary {
 		role = 1
 	}
 	n.m.Gauge("repl.primary").Set(role)
 	n.m.Gauge("repl.epoch").Set(int64(n.epoch))
+}
+
+// epochStateLocked snapshots the node's durable fencing record; the
+// caller holds n.mu. The election promise is carried only while it
+// outranks the established epoch — once the epoch catches up the vote
+// is spent.
+func (n *Node) epochStateLocked() epochState {
+	ep := epochState{Version: 1, Epoch: n.epoch, Primary: n.primaryID, Dirty: n.dirty}
+	if n.promised > n.epoch {
+		ep.Promised, ep.PromisedTo = n.promised, n.promisedTo
+	}
+	return ep
 }
 
 // observeEpoch folds a remotely-heard (epoch, primary) claim into the
@@ -440,6 +509,10 @@ func (n *Node) observeEpoch(epoch uint64, primary string) (ok bool) {
 	switch {
 	case epoch < n.epoch:
 		return false
+	case epoch < n.promised:
+		// This node durably voted for a higher epoch: anything below the
+		// promise is write-fenced, no matter whose claim it is.
+		return false
 	case epoch == n.epoch:
 		if primary == n.primaryID {
 			return true
@@ -458,6 +531,11 @@ func (n *Node) adoptLocked(epoch uint64, primary string) {
 	wasPrimary := n.role == RolePrimary
 	n.epoch = epoch
 	n.primaryID = primary
+	if n.promised <= n.epoch {
+		// The vote is spent: the election it fenced has been decided at
+		// or above it.
+		n.promised, n.promisedTo = 0, ""
+	}
 	if primary == n.self.ID {
 		n.role = RolePrimary
 	} else {
@@ -471,10 +549,10 @@ func (n *Node) adoptLocked(epoch uint64, primary string) {
 		n.dirty = true
 		n.m.Add("repl.fenced", 1)
 	}
-	if err := saveEpoch(n.dir, epochState{Version: 1, Epoch: n.epoch, Primary: n.primaryID, Dirty: n.dirty}); err != nil {
+	if err := saveEpoch(n.dir, n.epochStateLocked()); err != nil {
 		n.m.Add("repl.epoch_persist_errors", 1)
 	}
-	n.publishState()
+	n.publishStateLocked()
 }
 
 // CreateCtx registers a document through the replicated write path.
@@ -676,9 +754,12 @@ func (n *Node) shipTo(ctx context.Context, p Peer, epoch uint64, shardIdx int, l
 				// off rather than hammering it.
 				return fmt.Errorf("replica: peer %s shard %d is resyncing", p.ID, shardIdx)
 			}
-			// The response LSN is the peer's authoritative position: on a
-			// gap it rewinds our view and the next attempt re-ships from
-			// there.
+			// The response LSN is the peer's verified watermark — the
+			// highest shipped frame it positively holds (applied, or proven
+			// byte-identical to its own log). On a gap it rewinds our view
+			// and the next attempt re-ships from there; it never claims
+			// frames the peer did not verify, so a diverged peer cannot be
+			// counted toward an ack quorum.
 			ps.acked = resp.LSN
 			return nil
 		}()
@@ -743,6 +824,8 @@ type Status struct {
 	Epoch       uint64              `json:"epoch"`
 	Primary     string              `json:"primary"`
 	Dirty       bool                `json:"dirty,omitempty"`
+	Promised    uint64              `json:"promised,omitempty"`
+	PromisedTo  string              `json:"promised_to,omitempty"`
 	LSNs        []uint64            `json:"lsns"`
 	StalenessMs int64               `json:"staleness_ms"`
 	Tentative   int                 `json:"tentative"`
@@ -762,6 +845,9 @@ func (n *Node) Status() Status {
 		Dirty:     n.dirty,
 		LSNs:      lsns,
 		Tentative: len(n.tent),
+	}
+	if n.promised > n.epoch {
+		st.Promised, st.PromisedTo = n.promised, n.promisedTo
 	}
 	if n.role == RoleBackup {
 		st.StalenessMs = time.Since(n.lastContact).Milliseconds()

@@ -29,12 +29,21 @@ var ErrTentativeFull = errors.New("replica: tentative queue is full")
 // maxTentative bounds the disconnected backlog.
 const maxTentative = 4096
 
-// TentativeOp is one queued optimistic update.
+// TentativeOp is one queued optimistic update. Inc is the origin
+// node's per-process incarnation token: (Node, Inc, Seq) identifies
+// the op globally, so the primary's merge dedup survives an origin
+// restart whose seq counter rewound to 1.
 type TentativeOp struct {
 	Seq  uint64   `json:"seq"`
+	Inc  uint64   `json:"inc,omitempty"`
 	Node string   `json:"node"` // origin node
 	Doc  string   `json:"doc"`
 	Op   store.Op `json:"op"`
+}
+
+// originKey names one origin incarnation for merge dedup.
+func originKey(t TentativeOp) string {
+	return fmt.Sprintf("%s#%x", t.Node, t.Inc)
 }
 
 // ConflictInfo mirrors the 409 envelope's machine-readable conflict
@@ -88,7 +97,7 @@ func (n *Node) QueueTentative(doc string, op store.Op) (uint64, error) {
 		return 0, ErrTentativeFull
 	}
 	n.tentSeq++
-	n.tent = append(n.tent, TentativeOp{Seq: n.tentSeq, Node: n.self.ID, Doc: doc, Op: op})
+	n.tent = append(n.tent, TentativeOp{Seq: n.tentSeq, Inc: n.inc, Node: n.self.ID, Doc: doc, Op: op})
 	n.m.Add("repl.tentative_queued", 1)
 	n.m.Gauge("repl.tentative_backlog").Set(int64(len(n.tent)))
 	return n.tentSeq, nil
@@ -105,9 +114,25 @@ func (n *Node) TentativeBacklog() int {
 // write path, one at a time in sequence order, classifying each
 // rejection. Called on the primary — by the merge handler for remote
 // logs, and directly for a just-promoted node's own backlog.
+//
+// Merges are idempotent per (node, incarnation, seq): an origin whose
+// transport failed AFTER the primary processed its batch retries the
+// whole batch, and replaying it must return the recorded outcomes, not
+// commit every op a second time. mergeMu serializes batches so a retry
+// observes the attempt it is retrying; the dedup state lives on this
+// primary only — a merge acked by a primary that then loses a failover
+// before shipping reaches quorum is re-decided by the detector like
+// any other write.
 func (n *Node) mergeLocal(ctx context.Context, ops []TentativeOp) []MergeOutcome {
+	n.mergeMu.Lock()
+	defer n.mergeMu.Unlock()
 	outcomes := make([]MergeOutcome, 0, len(ops))
 	for _, t := range ops {
+		if out, ok := n.mergedOutcome(t); ok {
+			n.m.Add("repl.tentative_dedup", 1)
+			outcomes = append(outcomes, out)
+			continue
+		}
 		out := MergeOutcome{Seq: t.Seq, Node: t.Node, Doc: t.Doc, Kind: t.Op.Kind}
 		res, err := n.SubmitCtx(ctx, t.Doc, t.Op)
 		switch {
@@ -127,10 +152,58 @@ func (n *Node) mergeLocal(ctx context.Context, ops []TentativeOp) []MergeOutcome
 			}
 			n.m.Add("repl.tentative_rejected", 1)
 		}
+		n.rememberMerged(t, out)
 		outcomes = append(outcomes, out)
 	}
 	n.recordOutcomes(outcomes)
 	return outcomes
+}
+
+// mergedOutcome looks up an op's recorded fate from an earlier merge
+// attempt; ok=false means the op has not been merged by this primary.
+func (n *Node) mergedOutcome(t TentativeOp) (MergeOutcome, bool) {
+	key := originKey(t)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if out, ok := n.merged[key][t.Seq]; ok {
+		return out, true
+	}
+	if t.Seq <= n.mergedHi[key] {
+		// Merged, but the recorded outcome aged out of the bounded
+		// window. Unreachable for an honest origin (its queue bound keeps
+		// retried seqs within the window); answer "duplicate" rather than
+		// re-commit.
+		return MergeOutcome{
+			Seq: t.Seq, Node: t.Node, Doc: t.Doc, Kind: t.Op.Kind,
+			Reason: "duplicate", Error: "already merged; recorded outcome no longer retained",
+		}, true
+	}
+	return MergeOutcome{}, false
+}
+
+// rememberMerged records an op's fate for idempotent replay, bounded
+// per origin incarnation to the tentative queue size (an honest retry
+// always re-sends seqs within that window of the highest).
+func (n *Node) rememberMerged(t TentativeOp, out MergeOutcome) {
+	key := originKey(t)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m := n.merged[key]
+	if m == nil {
+		m = make(map[uint64]MergeOutcome)
+		n.merged[key] = m
+	}
+	m[t.Seq] = out
+	if t.Seq > n.mergedHi[key] {
+		n.mergedHi[key] = t.Seq
+	}
+	if hi := n.mergedHi[key]; len(m) > maxTentative && hi > maxTentative {
+		for seq := range m {
+			if seq <= hi-maxTentative {
+				delete(m, seq)
+			}
+		}
+	}
 }
 
 // mergeReason classifies a merge rejection the way the HTTP layer
@@ -176,7 +249,10 @@ func (n *Node) MergeOutcomes() []MergeOutcome {
 
 // flushTentative drains the backlog to the primary once contact is
 // restored. On any failure the ops are restored to the queue head for
-// the next tick.
+// the next tick — safe to replay even when the failure was a transport
+// error AFTER the primary processed the batch, because the primary
+// dedups merges by (node, incarnation, seq) and answers a replay with
+// the recorded outcomes.
 func (n *Node) flushTentative() {
 	n.mu.Lock()
 	ops := n.tent

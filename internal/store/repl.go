@@ -34,6 +34,14 @@ type ReplFrame struct {
 // transfer).
 var ErrReplGap = errors.New("store: replication frame gap")
 
+// ErrReplDiverged reports that a shipped frame overlaps the local log
+// at an LSN this store has already committed, but with different
+// content (or content the bounded frame log can no longer verify). The
+// receiver does not hold the sender's write at that LSN — it holds
+// something else — and must resync wholesale rather than let the
+// sender treat it as replicated.
+var ErrReplDiverged = errors.New("store: replicated frame diverges from the local log")
+
 // State is a full-store transfer unit: every document's canonical
 // serialization and digest at one LSN. It is the anti-entropy fallback
 // when the in-memory frame log no longer reaches back far enough.
@@ -91,15 +99,29 @@ func (s *Store) FramesSince(after uint64) (frames []ReplFrame, ok bool) {
 	return frames, true
 }
 
-// ApplyFrames applies replicated frames to this store in order,
-// returning the store's LSN afterwards. Each frame is CRC-verified,
-// decoded, checked for contiguity (duplicates below the current LSN
-// are skipped; a gap fails with ErrReplGap carrying nothing applied
-// beyond the contiguous prefix), verified to apply cleanly with the
-// promised digest, and only then durably appended to the local WAL and
-// committed in memory — the same never-acknowledge-what-recovery-
-// cannot-read-back ordering the live path uses.
-func (s *Store) ApplyFrames(ctx context.Context, frames []ReplFrame) (uint64, error) {
+// ApplyFrames applies replicated frames to this store in order and
+// returns the verified watermark: the highest shipped LSN this store
+// positively holds — applied now, or proven byte-identical to the
+// already-committed local record. Each frame is CRC-verified, decoded,
+// checked for contiguity (a frame at or below the current LSN must
+// match the retained local record, else ErrReplDiverged; a gap fails
+// with ErrReplGap carrying nothing applied beyond the contiguous
+// prefix, and the returned LSN rewinds the sender), verified to apply
+// cleanly with the promised digest, and only then durably appended to
+// the local WAL and committed in memory — the same never-acknowledge-
+// what-recovery-cannot-read-back ordering the live path uses.
+//
+// The watermark is what makes the sender's ack accounting honest: a
+// store whose log is AHEAD of the shipped frames with different
+// content errors instead of claiming the sender's LSNs, so a diverged
+// peer can never satisfy an ack quorum for writes it never received.
+//
+// verifiedFloor is the caller's provenance bound: LSNs at or below it
+// are known to match the sender's log by construction (this store's
+// state was imported wholesale from that primary's own export, which
+// also cleared the frame log), so overlaps there verify without
+// retained frames. Pass 0 when no such import backs the stream.
+func (s *Store) ApplyFrames(ctx context.Context, frames []ReplFrame, verifiedFloor uint64) (uint64, error) {
 	sp := span.FromContext(ctx).Child("store.repl.apply")
 	if sp != nil {
 		sp.Set("frames", len(frames))
@@ -117,10 +139,23 @@ func (s *Store) ApplyFrames(ctx context.Context, frames []ReplFrame) (uint64, er
 	}
 	var lastAck func() error
 	applied := 0
+	var wm uint64 // highest LSN positively verified or applied this call
 	var ferr error
 	for _, f := range frames {
 		if f.LSN <= s.lsn {
-			continue // duplicate re-ship; already committed here
+			// A duplicate re-ship is only acceptable when the local log
+			// provably holds the same record — by import provenance below
+			// the floor, or byte-identity against the retained frame log.
+			// Skipping unverified would let a peer that is ahead with
+			// DIFFERENT content pass as holding writes it never saw.
+			if f.LSN > verifiedFloor {
+				if err := s.verifyOverlapLocked(f); err != nil {
+					ferr = err
+					break
+				}
+			}
+			wm = f.LSN
+			continue
 		}
 		if crc32.Checksum(f.Payload, castagnoli) != f.CRC {
 			ferr = fmt.Errorf("store: repl frame lsn %d: crc mismatch", f.LSN)
@@ -156,12 +191,18 @@ func (s *Store) ApplyFrames(ctx context.Context, frames []ReplFrame) (uint64, er
 		}
 		prep()
 		s.lsn = rec.LSN
+		wm = rec.LSN
 		s.pushReplFrame(rec.LSN, f.Payload)
 		s.m.Add("store.repl.applied", 1)
 		applied++
 		s.maybeSnapshotLocked()
 	}
-	lsn := s.lsn
+	lsn := wm
+	if lsn == 0 {
+		// Nothing verified this call (empty frames, or a gap at the first
+		// frame): report the local position so a gapped sender rewinds.
+		lsn = s.lsn
+	}
 	s.m.Gauge("store.docs").Set(int64(len(s.docs)))
 	unlock()
 
@@ -178,6 +219,28 @@ func (s *Store) ApplyFrames(ctx context.Context, frames []ReplFrame) (uint64, er
 		sp.Fail(ferr)
 	}
 	return lsn, ferr
+}
+
+// verifyOverlapLocked checks a shipped frame at or below the current
+// LSN against the retained local frame log (rebuilt from the WAL on
+// recovery, so restarts keep it verifiable). nil means the local record
+// is byte-identical — a true duplicate re-ship. Different content, or a
+// frame too old for the bounded log to check, is ErrReplDiverged: this
+// store cannot prove it holds the sender's write, so it must not be
+// counted as holding it. The caller holds s.mu.
+func (s *Store) verifyOverlapLocked(f ReplFrame) error {
+	if len(s.replLog) > 0 && f.LSN >= s.replLog[0].LSN {
+		if i := int(f.LSN - s.replLog[0].LSN); i < len(s.replLog) {
+			local := s.replLog[i]
+			if local.LSN == f.LSN && local.CRC == f.CRC && len(local.Payload) == len(f.Payload) {
+				return nil
+			}
+			return fmt.Errorf("store: repl frame lsn %d: local log holds different content (local crc %08x, shipped %08x): %w",
+				f.LSN, local.CRC, f.CRC, ErrReplDiverged)
+		}
+	}
+	return fmt.Errorf("store: repl frame lsn %d at or below local lsn %d is not retained for verification: %w",
+		f.LSN, s.lsn, ErrReplDiverged)
 }
 
 // prepareReplayed validates rec against the current in-memory state and

@@ -16,7 +16,7 @@ func shipAll(t *testing.T, src, dst *Store) {
 	if !ok {
 		t.Fatalf("FramesSince(%d) fell off the buffer", dst.LSN())
 	}
-	if _, err := dst.ApplyFrames(context.Background(), frames); err != nil {
+	if _, err := dst.ApplyFrames(context.Background(), frames, 0); err != nil {
 		t.Fatalf("ApplyFrames: %v", err)
 	}
 }
@@ -73,7 +73,7 @@ func TestReplFrameShipping(t *testing.T) {
 	if !ok {
 		t.Fatal("full history fell off the buffer")
 	}
-	if _, err := backup.ApplyFrames(context.Background(), frames); err != nil {
+	if _, err := backup.ApplyFrames(context.Background(), frames, 0); err != nil {
 		t.Fatalf("duplicate ship: %v", err)
 	}
 	if backup.LSN() != primary.LSN() {
@@ -131,7 +131,7 @@ func TestReplGapAndCorruption(t *testing.T) {
 
 	// A gap (skipping the first frame) must be refused with ErrReplGap
 	// and leave the backup untouched.
-	if _, err := backup.ApplyFrames(context.Background(), frames[1:]); !errors.Is(err, ErrReplGap) {
+	if _, err := backup.ApplyFrames(context.Background(), frames[1:], 0); !errors.Is(err, ErrReplGap) {
 		t.Fatalf("gap: got %v, want ErrReplGap", err)
 	}
 	if backup.LSN() != 0 {
@@ -145,7 +145,7 @@ func TestReplGapAndCorruption(t *testing.T) {
 	copy(p, bad[0].Payload)
 	p[len(p)/2] ^= 0xff
 	bad[0].Payload = p
-	if _, err := backup.ApplyFrames(context.Background(), bad); err == nil || !strings.Contains(err.Error(), "crc mismatch") {
+	if _, err := backup.ApplyFrames(context.Background(), bad, 0); err == nil || !strings.Contains(err.Error(), "crc mismatch") {
 		t.Fatalf("corrupt payload: got %v, want crc mismatch", err)
 	}
 
@@ -153,7 +153,7 @@ func TestReplGapAndCorruption(t *testing.T) {
 	// digest re-verification (payload decodes but promises the original
 	// digest) or the decode; either way nothing past it applies.
 	bad[0].CRC = crc32.Checksum(p, castagnoli)
-	if _, err := backup.ApplyFrames(context.Background(), bad); err == nil {
+	if _, err := backup.ApplyFrames(context.Background(), bad, 0); err == nil {
 		t.Fatal("tampered-but-recrc'd payload applied cleanly")
 	}
 	if backup.LSN() != 0 {
@@ -239,6 +239,138 @@ func TestReplBufferFallsBackToState(t *testing.T) {
 	}
 	if ri.Digest != pi.Digest {
 		t.Fatalf("recovered digest %s, want %s", ri.Digest, pi.Digest)
+	}
+}
+
+// TestReplDivergentOverlapRefused: a receiver whose log already holds
+// DIFFERENT content at a shipped LSN must refuse with ErrReplDiverged,
+// not skip the frame and let the sender count it as replicated — that
+// skip is how a diverged peer used to satisfy ack quorums for writes it
+// never saw.
+func TestReplDivergentOverlapRefused(t *testing.T) {
+	a, err := Open(t.TempDir(), Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Open(t.TempDir(), Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// Both stores commit LSN 1, with different writes.
+	if _, err := a.Create("d", "<r><from-a/></r>"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Create("d", "<r><from-b/></r>"); err != nil {
+		t.Fatal(err)
+	}
+	frames, _ := a.FramesSince(0)
+	if _, err := b.ApplyFrames(context.Background(), frames, 0); !errors.Is(err, ErrReplDiverged) {
+		t.Fatalf("divergent overlap: got %v, want ErrReplDiverged", err)
+	}
+	// b's own write is untouched — nothing from a was half-applied.
+	bi, err := b.Get("d")
+	if err != nil || !strings.Contains(bi.XML, "from-b") {
+		t.Fatalf("receiver mutated by refused ship: %q err=%v", bi.XML, err)
+	}
+
+	// The same refusal when the receiver is AHEAD of the sender: extra
+	// local commits do not make the shipped prefix verifiable.
+	if _, err := b.Submit("d", Op{Kind: "insert", Pattern: "/r", X: "<more/>"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ApplyFrames(context.Background(), frames, 0); !errors.Is(err, ErrReplDiverged) {
+		t.Fatalf("divergent overlap (receiver ahead): got %v, want ErrReplDiverged", err)
+	}
+}
+
+// TestReplWatermarkBoundsDuplicateShip: re-shipping a verified prefix
+// returns the highest SHIPPED lsn, never the receiver's own position —
+// a sender must not adopt acks for frames it did not put on the wire.
+func TestReplWatermarkBoundsDuplicateShip(t *testing.T) {
+	primary, err := Open(t.TempDir(), Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	backup, err := Open(t.TempDir(), Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backup.Close()
+
+	if _, err := primary.Create("d", "<a/>"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := primary.Submit("d", Op{Kind: "insert", Pattern: "/a"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shipAll(t, primary, backup) // backup at lsn 4
+
+	frames, _ := primary.FramesSince(0)
+	lsn, err := backup.ApplyFrames(context.Background(), frames[:2], 0)
+	if err != nil {
+		t.Fatalf("duplicate prefix ship: %v", err)
+	}
+	if lsn != 2 {
+		t.Fatalf("watermark for a 2-frame duplicate ship = %d, want 2 (receiver lsn %d must not leak)", lsn, backup.LSN())
+	}
+}
+
+// TestReplOverlapVerifiedByImportProvenance: after a full-state import
+// the frame log is empty, so overlapping re-ships cannot be verified by
+// byte-identity — only the caller's provenance floor (the import came
+// from this very sender) makes them acceptable.
+func TestReplOverlapVerifiedByImportProvenance(t *testing.T) {
+	primary, err := Open(t.TempDir(), Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	if _, err := primary.Create("d", "<a/>"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := primary.Submit("d", Op{Kind: "insert", Pattern: "/a"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := primary.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	backup, err := Open(t.TempDir(), Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backup.Close()
+	if err := backup.ImportState(context.Background(), st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without the floor, the overlap is unverifiable: refuse.
+	frames, _ := primary.FramesSince(0)
+	if _, err := backup.ApplyFrames(context.Background(), frames, 0); !errors.Is(err, ErrReplDiverged) {
+		t.Fatalf("unverifiable overlap without floor: got %v, want ErrReplDiverged", err)
+	}
+	// With the floor at the import LSN, provenance covers the overlap and
+	// the watermark reaches the end of the shipped range.
+	lsn, err := backup.ApplyFrames(context.Background(), frames, st.LSN)
+	if err != nil || lsn != st.LSN {
+		t.Fatalf("overlap under floor: lsn=%d err=%v, want %d, nil", lsn, err, st.LSN)
+	}
+	// Frames past the floor still apply normally on the same stream.
+	if _, err := primary.Submit("d", Op{Kind: "insert", Pattern: "/a"}); err != nil {
+		t.Fatal(err)
+	}
+	frames, _ = primary.FramesSince(0)
+	lsn, err = backup.ApplyFrames(context.Background(), frames, st.LSN)
+	if err != nil || lsn != primary.LSN() || backup.LSN() != primary.LSN() {
+		t.Fatalf("ship past floor: lsn=%d err=%v backup=%d, want all at %d", lsn, err, backup.LSN(), primary.LSN())
 	}
 }
 
