@@ -31,6 +31,15 @@
 //	                and the report's repl block shows time-to-ready, the
 //	                promotion window, and the lost-ack audit (an
 //	                acknowledged write missing afterward fails the run)
+//	partition-soak  marked writes while a fault flapper cuts the cluster
+//	                open on a schedule (symmetric node isolations and
+//	                one-way link cuts, injected via each node's
+//	                POST /v1/repl/faults — start xserve with -repl-admin)
+//	                and a background auditor times how long the replicas
+//	                stay apart; the soak block records every fault
+//	                window, per-outage reconvergence, and the worst
+//	                divergence window, gated by max_divergence_ms and
+//	                no_lost_acks
 //
 // The report (-out) is schema-stable JSON: counts, CO-safe and
 // service-time percentiles, shed/409/timeout rates, the server

@@ -260,6 +260,12 @@ type server struct {
 	node             *replica.Node
 	replHC           *http.Client
 	replProxyTimeout time.Duration
+	// replAdmin mounts the cluster-lifecycle admin endpoints (join,
+	// leave, runtime fault arming); off unless -repl-admin was given.
+	replAdmin bool
+	// replMinLSNWait bounds how long a read carrying X-Min-LSN waits for
+	// the local shard to reach the requested position before 503.
+	replMinLSNWait time.Duration
 	// tenants bounds per-tenant inflight document operations (429 past
 	// the allowance) and records per-tenant traffic.
 	tenants *shard.TenantLimiter
@@ -292,6 +298,7 @@ func newServer(pool int, queueTimeout time.Duration, maxBody int64) *server {
 
 		replHC:           &http.Client{Timeout: 5 * time.Second},
 		replProxyTimeout: 5 * time.Second,
+		replMinLSNWait:   250 * time.Millisecond,
 	}
 	s.tenants = shard.NewTenantLimiter(0, s.metrics)
 	s.cache.Instrument(s.metrics)
@@ -326,6 +333,13 @@ func (s *server) routes() *http.ServeMux {
 		// The replication protocol rides the same mux: peers call
 		// /v1/repl/append etc. on the public listener.
 		mux.Handle("/v1/repl/", s.node.Handler())
+		if s.replAdmin {
+			// Specific patterns outrank the /v1/repl/ subtree, so the
+			// admin surface coexists with the protocol handler.
+			mux.HandleFunc("POST /v1/repl/join", s.traced("repl.join", s.contained(s.handleReplJoin)))
+			mux.HandleFunc("POST /v1/repl/leave", s.traced("repl.leave", s.contained(s.handleReplLeave)))
+			mux.HandleFunc("POST /v1/repl/faults", s.traced("repl.faults", s.contained(s.handleReplFaults)))
+		}
 	}
 	obshttp.Mount(mux, obshttp.Options{
 		Metrics: s.metrics, Ready: s.ready.Load, RetryAfter: func() string { return s.retryAfter("detect") }, Recorder: s.recorder,
@@ -916,6 +930,8 @@ func run(args []string) int {
 	replFailoverAfter := fs.Duration("repl-failover-after", 0, "primary silence a backup tolerates before standing for promotion (0 = 10 heartbeats)")
 	replStaleness := fs.Duration("repl-staleness", 5*time.Second, "staleness bound past which a backup refuses reads")
 	replTentative := fs.Bool("repl-tentative", false, "let a disconnected backup queue optimistic writes for detector-arbitrated merge")
+	replLearner := fs.Bool("repl-learner", false, "boot this node as a non-voting learner joining an existing cluster (pair with POST /v1/repl/join on the primary)")
+	replAdmin := fs.Bool("repl-admin", false, "mount cluster admin endpoints: POST /v1/repl/join, /v1/repl/leave, /v1/repl/faults")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -972,6 +988,7 @@ func run(args []string) int {
 				FailoverAfter:  *replFailoverAfter,
 				StalenessBound: *replStaleness,
 				Tentative:      *replTentative,
+				Learner:        *replLearner,
 				Metrics:        s.metrics,
 			})
 			if err != nil {
@@ -981,6 +998,7 @@ func run(args []string) int {
 			defer node.Close()
 			s.node = node
 			s.store = node.Router()
+			s.replAdmin = *replAdmin
 			s.identity["repl_node"] = *replNode
 			s.identity["repl_peers"] = strconv.Itoa(len(peers))
 			s.identity["repl_ack"] = ack.String()

@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"xmlconflict/internal/faultinject"
 	"xmlconflict/internal/replica"
 	"xmlconflict/internal/store"
 	"xmlconflict/internal/telemetry/span"
@@ -227,6 +228,56 @@ func (s *server) replReadGate(w http.ResponseWriter, r *http.Request) bool {
 	return true
 }
 
+// replMinLSNGate serves read-your-writes on top of the staleness bound:
+// a client that stamps X-Min-LSN with the shard LSN its last write was
+// acknowledged at (the "lsn" field of every write reply) waits briefly
+// for this replica to reach that position. A replica that cannot within
+// the wait budget refuses with 503 "stale-replica" and a Retry-After
+// instead of silently serving state from before the client's own write.
+// Returns true when it wrote a response.
+func (s *server) replMinLSNGate(w http.ResponseWriter, r *http.Request, doc string) bool {
+	if s.node == nil {
+		return false
+	}
+	h := r.Header.Get("X-Min-LSN")
+	if h == "" {
+		return false
+	}
+	min, err := strconv.ParseUint(strings.TrimSpace(h), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad-request", "X-Min-LSN: "+err.Error())
+		return true
+	}
+	st := s.store.Store(s.store.ShardFor(doc))
+	if st.LSN() >= min {
+		return false
+	}
+	span.FromContext(r.Context()).Flag("repl-min-lsn-wait")
+	deadline := time.Now().Add(s.replMinLSNWait)
+	for st.LSN() < min {
+		if time.Now().After(deadline) {
+			s.metrics.Add("repl.min_lsn_refused", 1)
+			span.FromContext(r.Context()).Flag("stale-replica")
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+				Error: fmt.Sprintf("replica shard holds lsn %d; the read requires %d (read-your-writes); retry or read the primary",
+					st.LSN(), min),
+				Reason:  "stale-replica",
+				TraceID: traceID(r),
+			})
+			return true
+		}
+		select {
+		case <-r.Context().Done():
+			s.metrics.Add("serve.canceled", 1)
+			return true
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	s.metrics.Add("repl.min_lsn_waits", 1)
+	return false
+}
+
 // replStoreErr maps replication-layer write failures onto the uniform
 // envelope. Returns true when it handled the error.
 func (s *server) replStoreErr(w http.ResponseWriter, r *http.Request, err error) bool {
@@ -251,4 +302,102 @@ func (s *server) replStoreErr(w http.ResponseWriter, r *http.Request, err error)
 		return true
 	}
 	return false
+}
+
+// Cluster lifecycle admin surface (behind -repl-admin): joins a node as
+// a learner, drains/removes a node, and arms/disarms fault-injection
+// sites at runtime — the hooks a partition-soak harness flaps. The
+// routes mount on the main mux with patterns more specific than the
+// /v1/repl/ protocol subtree, so they win Go's mux precedence.
+
+// replJoinRequest is the POST /v1/repl/join body.
+type replJoinRequest struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// replLeaveRequest is the POST /v1/repl/leave body.
+type replLeaveRequest struct {
+	ID string `json:"id"`
+}
+
+// replFaultsRequest is the POST /v1/repl/faults body: arm a spec (the
+// same grammar as -faults), disarm one site, or reset everything.
+type replFaultsRequest struct {
+	Spec   string `json:"spec,omitempty"`
+	Disarm string `json:"disarm,omitempty"`
+	Reset  bool   `json:"reset,omitempty"`
+}
+
+// replAdminErr maps membership-change failures onto the envelope: a
+// change submitted to a backup answers 409 "not-primary" naming the
+// primary to retry against; anything else is a 503 the operator retries.
+func (s *server) replAdminErr(w http.ResponseWriter, r *http.Request, err error) {
+	s.metrics.Add("serve.errors", 1)
+	var np *replica.NotPrimaryError
+	if errors.As(err, &np) {
+		writeJSON(w, http.StatusConflict, errorResponse{
+			Error: err.Error(), Reason: "not-primary", TraceID: traceID(r),
+		})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+		Error: err.Error(), Reason: "repl-admin", TraceID: traceID(r),
+	})
+}
+
+func (s *server) handleReplJoin(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Add("serve.requests", 1)
+	var req replJoinRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := s.node.Join(r.Context(), req.ID, strings.TrimRight(req.URL, "/")); err != nil {
+		s.replAdminErr(w, r, err)
+		return
+	}
+	s.metrics.Add("repl.admin_joins", 1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"joined": req.ID, "members": s.node.ClusterSize(), "trace_id": traceID(r),
+	})
+}
+
+func (s *server) handleReplLeave(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Add("serve.requests", 1)
+	var req replLeaveRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := s.node.Leave(r.Context(), req.ID); err != nil {
+		s.replAdminErr(w, r, err)
+		return
+	}
+	s.metrics.Add("repl.admin_leaves", 1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"left": req.ID, "members": s.node.ClusterSize(), "trace_id": traceID(r),
+	})
+}
+
+func (s *server) handleReplFaults(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Add("serve.requests", 1)
+	var req replFaultsRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	switch {
+	case req.Reset:
+		faultinject.Reset()
+	case req.Disarm != "":
+		faultinject.Disarm(req.Disarm)
+	case req.Spec != "":
+		if err := faultinject.ArmSpec(req.Spec); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad-request", "spec: "+err.Error())
+			return
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, "bad-request", `need one of "spec", "disarm", "reset"`)
+		return
+	}
+	s.metrics.Add("repl.admin_faults", 1)
+	writeJSON(w, http.StatusOK, map[string]any{"sites": faultinject.Sites(), "trace_id": traceID(r)})
 }

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -263,5 +264,81 @@ func waitReplicated(t *testing.T, b *replServer, doc string) {
 			t.Fatalf("doc %s never replicated to backup", doc)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// getWithMinLSN is a GET /v1/docs/{id} stamped with X-Min-LSN.
+func getWithMinLSN(t *testing.T, client *http.Client, url, min string) (*http.Response, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Min-LSN", min)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out) //nolint:errcheck // some refusals have no body
+	return resp, out
+}
+
+// TestReplMinLSNReadYourWrites: a client that stamps the LSN its write
+// was acknowledged at never reads state from before that write — the
+// backup either waits until it catches up or refuses honestly.
+func TestReplMinLSNReadYourWrites(t *testing.T) {
+	c := newReplPair(t, false)
+	a, b := c["a"], c["b"]
+
+	resp, out := doJSON(t, a.ts.Client(), "POST", a.ts.URL+"/v1/docs", map[string]any{"doc": "d", "xml": "<r/>"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %v", resp.StatusCode, out)
+	}
+	resp, out = doJSON(t, a.ts.Client(), "POST", a.ts.URL+"/v1/docs/d/update",
+		map[string]any{"op": "insert", "pattern": "/r", "x": "<mine/>"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: %d %v", resp.StatusCode, out)
+	}
+	lsn := strconv.Itoa(int(out["lsn"].(float64)))
+
+	// Read-your-writes on the backup: the gate may briefly wait for the
+	// frame to arrive, but it must answer 200 with the write visible —
+	// never a 200 showing pre-write state.
+	resp, out = getWithMinLSN(t, b.ts.Client(), b.ts.URL+"/v1/docs/d", lsn)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gated read: %d %v", resp.StatusCode, out)
+	}
+	if !strings.Contains(out["xml"].(string), "<mine") {
+		t.Fatalf("gated 200 served pre-write state: %v", out["xml"])
+	}
+
+	// An unreachable position times out into an honest refusal with a
+	// retry hint, not a silent stale answer.
+	resp, out = getWithMinLSN(t, b.ts.Client(), b.ts.URL+"/v1/docs/d", "999999")
+	if resp.StatusCode != http.StatusServiceUnavailable || out["reason"] != "stale-replica" {
+		t.Fatalf("unreachable min-lsn: %d %v", resp.StatusCode, out)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("min-lsn refusal missing Retry-After")
+	}
+
+	// A garbage header is the client's bug: 400, not a wait.
+	resp, out = getWithMinLSN(t, b.ts.Client(), b.ts.URL+"/v1/docs/d", "not-a-number")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad X-Min-LSN: %d %v", resp.StatusCode, out)
+	}
+
+	// Replication off (plain single store): the header is ignored.
+	solo := httptest.NewServer(newStoreServer(t, t.TempDir()).routes())
+	t.Cleanup(solo.Close)
+	resp2, out2 := doJSON(t, http.DefaultClient, "POST", solo.URL+"/v1/docs", map[string]any{"doc": "s", "xml": "<r/>"})
+	if resp2.StatusCode != http.StatusCreated {
+		t.Fatalf("solo create: %d %v", resp2.StatusCode, out2)
+	}
+	resp2, _ = getWithMinLSN(t, http.DefaultClient, solo.URL+"/v1/docs/s", "999999")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("unreplicated server honored X-Min-LSN: %d", resp2.StatusCode)
 	}
 }

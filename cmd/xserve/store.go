@@ -182,6 +182,9 @@ func (s *server) handleDocGet(w http.ResponseWriter, r *http.Request) {
 	if s.replReadGate(w, r) {
 		return
 	}
+	if s.replMinLSNGate(w, r, r.PathValue("id")) {
+		return
+	}
 	info, err := s.store.Get(r.PathValue("id"))
 	if err != nil {
 		s.storeErr(w, r, err)

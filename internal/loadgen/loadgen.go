@@ -115,6 +115,7 @@ func Scenarios() []Scenario {
 		storeChurnScenario(),
 		storeChurnShardedScenario(),
 		failoverScenario(),
+		partitionSoakScenario(),
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

@@ -15,9 +15,12 @@ import (
 // committed/archived and diffed across arbitrary commits.
 //
 // v2 added the optional "repl" block (failover forensics: targets,
-// acked/lost writes, time-to-ready, promotion latency). v1 reports —
-// which never carry it — still load.
-const ReportSchemaVersion = 2
+// acked/lost writes, time-to-ready, promotion latency). v3 added the
+// optional "soak" block (partition-soak forensics: injected fault
+// windows, the continuous convergence audit's divergence windows and
+// per-outage reconvergence times). v1/v2 reports — which never carry
+// the blocks they predate — still load.
+const ReportSchemaVersion = 3
 
 // Tail sample kinds.
 const (
@@ -120,6 +123,9 @@ type Report struct {
 	// Repl is the failover scenario's replication forensics (schema v2);
 	// nil for every other scenario.
 	Repl *ReplReport `json:"repl,omitempty"`
+	// Soak is the partition-soak scenario's convergence forensics
+	// (schema v3); nil for every other scenario.
+	Soak *SoakReport `json:"soak,omitempty"`
 }
 
 // ReplReport is what a failover run learned about the cluster, from the
@@ -146,6 +152,33 @@ type ReplReport struct {
 	// VerifiedAgainst is the target whose document state the lost-ack
 	// audit read.
 	VerifiedAgainst string `json:"verified_against,omitempty"`
+}
+
+// SoakReport is what a partition-soak run learned from its continuous
+// convergence audit: how often the harness cut the cluster, how long
+// the replicas' states stayed apart, and whether every wound closed.
+type SoakReport struct {
+	// FaultWindows counts the fault windows the flapper injected
+	// (symmetric node isolations and asymmetric one-way link cuts).
+	FaultWindows int64 `json:"fault_windows"`
+	// AuditPolls counts the auditor's status sweeps across the cluster.
+	AuditPolls int64 `json:"audit_polls"`
+	// MaxDivergenceMs is the longest window during which the audited
+	// nodes did not hold one identical state (unreachable node, LSN
+	// disagreement, or queued tentative writes). A still-open window at
+	// run end counts at its current width, so a cluster that never
+	// reconverges cannot pass a max_divergence_ms gate.
+	MaxDivergenceMs int64 `json:"max_divergence_ms"`
+	// ReconvergeMs is each closed divergence window, in order: the
+	// per-outage time from first observed divergence back to one state.
+	ReconvergeMs []int64 `json:"reconverge_ms,omitempty"`
+	// TentativeDepthMax is the deepest optimistic-write queue any node
+	// reported during the run.
+	TentativeDepthMax int64 `json:"tentative_depth_max"`
+	// FinalConverged reports whether, after every fault was healed, the
+	// whole cluster settled on one identical state before the audit
+	// deadline.
+	FinalConverged bool `json:"final_converged"`
 }
 
 // worstTrace returns the trace ID of the worst (highest-latency) tail
@@ -371,6 +404,15 @@ func FormatReport(r Report) string {
 		fmt.Fprintf(&b, "  repl: %d targets, %d acked, %d lost; ready in %dms, %d outage(s), worst %dms\n",
 			len(r.Repl.Targets), r.Repl.AckedWrites, r.Repl.LostAcks,
 			r.Repl.TimeToReadyMs, r.Repl.Outages, r.Repl.PromotionLatencyMs)
+	}
+	if r.Soak != nil {
+		converged := "converged"
+		if !r.Soak.FinalConverged {
+			converged = "NOT CONVERGED"
+		}
+		fmt.Fprintf(&b, "  soak: %d fault windows over %d polls; max divergence %dms, %d reconvergence(s), tentative depth %d, final state %s\n",
+			r.Soak.FaultWindows, r.Soak.AuditPolls, r.Soak.MaxDivergenceMs,
+			len(r.Soak.ReconvergeMs), r.Soak.TentativeDepthMax, converged)
 	}
 	if r.SLO.Pass {
 		b.WriteString("  SLO: pass\n")

@@ -22,7 +22,8 @@ type runState struct {
 	doc    string        // conflict-heavy's / failover's shared document
 	lsn    atomic.Uint64 // newest LSN seen in any response
 	cycle  int64         // store-churn cycle counter
-	fo     foState       // failover scenario bookkeeping
+	fo     foState       // failover / partition-soak ack bookkeeping
+	soak   soakState     // partition-soak flapper + auditor bookkeeping
 }
 
 // foState is the failover scenario's observer state: which write
@@ -362,79 +363,83 @@ func failoverScenario() Scenario {
 			acked := res.class == ClassOK && res.status != http.StatusAccepted
 			st.fo.note(g.mark, acked)
 		},
-		verify: func(ctx context.Context, st *runState, rep *Report) error {
-			st.fo.mu.Lock()
-			// An outage still open when the run ends (e.g. a 2-node cluster
-			// that lost its quorum for good) is measured up to now — the
-			// client sat through at least this much.
-			if st.fo.inOutage {
-				if d := time.Since(st.fo.outageStart); d > st.fo.worstOutage {
-					st.fo.worstOutage = d
-				}
-			}
-			acked := append([]string(nil), st.fo.acked...)
-			repl := &ReplReport{
-				Targets:            st.client.Targets(),
-				AckedWrites:        int64(len(acked)),
-				TimeToReadyMs:      st.fo.firstOK.Milliseconds(),
-				PromotionLatencyMs: st.fo.worstOutage.Milliseconds(),
-				Outages:            st.fo.outages,
-			}
-			st.fo.mu.Unlock()
-			// Read the surviving cluster's document and hold every
-			// acknowledged marker against it. Retry on read errors (the run
-			// may end inside an outage window) AND on missing markers: a
-			// successful read can come from a surviving backup that is
-			// inside its staleness bound yet has not applied the last
-			// quorum-acked frames — blaming that lag for a lost ack would
-			// fail the no_lost_acks gate on a replication-lag artifact, not
-			// a lost write. Rotating between such reads walks the fan-out
-			// onto the current primary, whose log is authoritative; only
-			// markers still missing at the deadline count as lost.
-			missing := func(xml string) int64 {
-				var lost int64
-				for _, mark := range acked {
-					if !strings.Contains(xml, "<"+mark+"/") {
-						lost++
-					}
-				}
-				return lost
-			}
-			lost := int64(-1) // no successful read yet
-			deadline := time.Now().Add(15 * time.Second)
-			// Successful-but-incomplete reads bound their own retry window:
-			// a healthy backup closes its lag well inside the default 5s
-			// staleness bound, so markers still missing past it are lost.
-			lagDeadline := time.Now().Add(5 * time.Second)
-			for {
-				target := st.client.Target()
-				xml, err := st.client.GetDocXML(ctx, st.doc)
-				if err == nil {
-					lost = missing(xml)
-					repl.VerifiedAgainst = target
-					if lost == 0 || time.Now().After(lagDeadline) {
-						break
-					}
-					st.client.RotateTarget()
-				} else if time.Now().After(deadline) {
-					if lost < 0 {
-						return fmt.Errorf("loadgen: failover audit: %w", err)
-					}
-					break
-				}
-				if ctx.Err() != nil {
-					if lost < 0 {
-						return fmt.Errorf("loadgen: failover audit: %w", ctx.Err())
-					}
-					break
-				}
-				time.Sleep(200 * time.Millisecond)
-			}
-			repl.LostAcks = lost
-			rep.Repl = repl
-			return nil
-		},
+		verify: ackAudit,
 	}
+}
+
+// ackAudit is the post-run replication audit shared by the failover and
+// partition-soak scenarios: close the outage bookkeeping, then read the
+// surviving cluster's document and hold every acknowledged marker
+// against it.
+func ackAudit(ctx context.Context, st *runState, rep *Report) error {
+	st.fo.mu.Lock()
+	// An outage still open when the run ends (e.g. a 2-node cluster
+	// that lost its quorum for good) is measured up to now — the
+	// client sat through at least this much.
+	if st.fo.inOutage {
+		if d := time.Since(st.fo.outageStart); d > st.fo.worstOutage {
+			st.fo.worstOutage = d
+		}
+	}
+	acked := append([]string(nil), st.fo.acked...)
+	repl := &ReplReport{
+		Targets:            st.client.Targets(),
+		AckedWrites:        int64(len(acked)),
+		TimeToReadyMs:      st.fo.firstOK.Milliseconds(),
+		PromotionLatencyMs: st.fo.worstOutage.Milliseconds(),
+		Outages:            st.fo.outages,
+	}
+	st.fo.mu.Unlock()
+	// Retry on read errors (the run may end inside an outage window)
+	// AND on missing markers: a successful read can come from a
+	// surviving backup that is inside its staleness bound yet has not
+	// applied the last quorum-acked frames — blaming that lag for a
+	// lost ack would fail the no_lost_acks gate on a replication-lag
+	// artifact, not a lost write. Rotating between such reads walks the
+	// fan-out onto the current primary, whose log is authoritative;
+	// only markers still missing at the deadline count as lost.
+	missing := func(xml string) int64 {
+		var lost int64
+		for _, mark := range acked {
+			if !strings.Contains(xml, "<"+mark+"/") {
+				lost++
+			}
+		}
+		return lost
+	}
+	lost := int64(-1) // no successful read yet
+	deadline := time.Now().Add(15 * time.Second)
+	// Successful-but-incomplete reads bound their own retry window:
+	// a healthy backup closes its lag well inside the default 5s
+	// staleness bound, so markers still missing past it are lost.
+	lagDeadline := time.Now().Add(5 * time.Second)
+	for {
+		target := st.client.Target()
+		xml, err := st.client.GetDocXML(ctx, st.doc)
+		if err == nil {
+			lost = missing(xml)
+			repl.VerifiedAgainst = target
+			if lost == 0 || time.Now().After(lagDeadline) {
+				break
+			}
+			st.client.RotateTarget()
+		} else if time.Now().After(deadline) {
+			if lost < 0 {
+				return fmt.Errorf("loadgen: failover audit: %w", err)
+			}
+			break
+		}
+		if ctx.Err() != nil {
+			if lost < 0 {
+				return fmt.Errorf("loadgen: failover audit: %w", ctx.Err())
+			}
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	repl.LostAcks = lost
+	rep.Repl = repl
+	return nil
 }
 
 // storeChurnShardedScenario is store-churn spread across the sharded,

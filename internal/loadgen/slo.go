@@ -24,6 +24,11 @@ type SLO struct {
 	// MaxPromotionMs bounds the longest client-observed outage window of
 	// a failover run (0 = not enforced).
 	MaxPromotionMs float64 `json:"max_promotion_ms,omitempty"`
+	// MaxDivergenceMs bounds the longest window a partition-soak run's
+	// convergence audit saw the cluster apart (outage plus catch-up). A
+	// run that never reconverges keeps its final window open and fails
+	// this gate. Only meaningful when the scenario attaches a Soak block.
+	MaxDivergenceMs float64 `json:"max_divergence_ms,omitempty"`
 }
 
 // Validate rejects nonsense thresholds.
@@ -35,7 +40,7 @@ func (s SLO) Validate() error {
 		{"p99_max_ms", s.P99MaxMs}, {"p50_max_ms", s.P50MaxMs},
 		{"max_shed_rate", s.MaxShedRate}, {"max_error_rate", s.MaxErrorRate},
 		{"max_timeout_rate", s.MaxTimeoutRate}, {"min_conflict_rate", s.MinConflictRate},
-		{"max_promotion_ms", s.MaxPromotionMs},
+		{"max_promotion_ms", s.MaxPromotionMs}, {"max_divergence_ms", s.MaxDivergenceMs},
 	} {
 		if f.v < 0 {
 			return fmt.Errorf("loadgen: slo %s must be non-negative, got %g", f.name, f.v)
@@ -119,6 +124,9 @@ func (s SLO) Evaluate(rep *Report) SLOResult {
 		if s.MaxPromotionMs > 0 && float64(rep.Repl.PromotionLatencyMs) > s.MaxPromotionMs {
 			add("max_promotion_ms", s.MaxPromotionMs, float64(rep.Repl.PromotionLatencyMs), TailError)
 		}
+	}
+	if rep.Soak != nil && s.MaxDivergenceMs > 0 && float64(rep.Soak.MaxDivergenceMs) > s.MaxDivergenceMs {
+		add("max_divergence_ms", s.MaxDivergenceMs, float64(rep.Soak.MaxDivergenceMs), TailError)
 	}
 	sort.Slice(out.Violations, func(i, j int) bool { return out.Violations[i].Gate < out.Violations[j].Gate })
 	out.Pass = len(out.Violations) == 0

@@ -1,0 +1,373 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Partition-soak timing knobs. Package variables rather than constants
+// so the harness tests can run a whole soak in under a second; the
+// defaults shape a CI smoke leg or an operator soak: roughly one fault
+// window every few seconds, audited continuously.
+var (
+	// soakHealthy is how long the cluster runs whole between cuts.
+	soakHealthy = 3 * time.Second
+	// soakOutage is how long each injected cut stays armed.
+	soakOutage = 1500 * time.Millisecond
+	// soakPollEvery is the auditor's status-sweep period.
+	soakPollEvery = 150 * time.Millisecond
+	// soakSettle bounds the post-run wait for final convergence after
+	// every fault is healed.
+	soakSettle = 20 * time.Second
+)
+
+// soakState is the partition-soak scenario's background machinery and
+// its findings: a flapper goroutine that cuts the cluster on a schedule
+// via each node's fault-admin endpoint, and an auditor goroutine that
+// continuously sweeps /v1/repl/status across every target, timing how
+// long the replicas stay apart.
+type soakState struct {
+	cancel  context.CancelFunc
+	bg      sync.WaitGroup
+	hc      *http.Client
+	targets []string
+
+	mu           sync.Mutex
+	faultWindows int64
+	polls        int64
+	divergedAt   time.Time // open divergence window; zero when converged
+	maxDiverge   time.Duration
+	reconverge   []time.Duration
+	tentMax      int64
+}
+
+// observe feeds one audit sweep's verdict into the divergence state
+// machine. An open window widens maxDiverge on every poll, so a cluster
+// that never reconverges cannot hide behind "the window never closed".
+func (s *soakState) observe(converged bool, tentative int64, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.polls++
+	if tentative > s.tentMax {
+		s.tentMax = tentative
+	}
+	if converged {
+		if !s.divergedAt.IsZero() {
+			d := now.Sub(s.divergedAt)
+			s.reconverge = append(s.reconverge, d)
+			if d > s.maxDiverge {
+				s.maxDiverge = d
+			}
+			s.divergedAt = time.Time{}
+		}
+		return
+	}
+	if s.divergedAt.IsZero() {
+		s.divergedAt = now
+	}
+	if d := now.Sub(s.divergedAt); d > s.maxDiverge {
+		s.maxDiverge = d
+	}
+}
+
+// snapshot freezes the findings into the report block. A divergence
+// window still open at snapshot time counts at its current width and
+// marks the run not-converged.
+func (s *soakState) snapshot(now time.Time) *SoakReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := &SoakReport{
+		FaultWindows:      s.faultWindows,
+		AuditPolls:        s.polls,
+		TentativeDepthMax: s.tentMax,
+		FinalConverged:    s.divergedAt.IsZero() && s.polls > 0,
+	}
+	if !s.divergedAt.IsZero() {
+		if d := now.Sub(s.divergedAt); d > s.maxDiverge {
+			s.maxDiverge = d
+		}
+	}
+	rep.MaxDivergenceMs = s.maxDiverge.Milliseconds()
+	for _, d := range s.reconverge {
+		rep.ReconvergeMs = append(rep.ReconvergeMs, d.Milliseconds())
+	}
+	return rep
+}
+
+// soakStatus is the slice of a node's GET /v1/repl/status answer the
+// auditor and flapper need.
+type soakStatus struct {
+	Node      string   `json:"node"`
+	Role      string   `json:"role"`
+	LSNs      []uint64 `json:"lsns"`
+	Tentative int64    `json:"tentative"`
+	Removed   bool     `json:"removed"`
+	Members   []struct {
+		ID string `json:"id"`
+	} `json:"members"`
+}
+
+// replStatus polls one target's replication status.
+func replStatus(ctx context.Context, hc *http.Client, base string) (soakStatus, error) {
+	var st soakStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/repl/status", nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 256<<10))
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("status %s: %d", base, resp.StatusCode)
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		return st, fmt.Errorf("status %s: %w", base, err)
+	}
+	return st, nil
+}
+
+// postFaults drives one target's POST /v1/repl/faults admin endpoint
+// (xserve -repl-admin): arm a spec, disarm a site, or reset everything.
+func postFaults(ctx context.Context, hc *http.Client, base string, body map[string]any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/repl/faults", bytes.NewReader(jsonBody(body)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("faults %s: %d %s", base, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return nil
+}
+
+// soakFlap is the fault flapper: healthy period, cut, outage period,
+// heal, repeat until the run context dies. Cuts alternate between
+// symmetric node isolation (repl.partition.<id>: the victim is
+// unreachable in both directions) and asymmetric link cuts
+// (repl.link.<dest> armed on the victim: the victim cannot send to dest
+// but dest still reaches the victim — the one-way-blind case symmetric
+// drills never exercise). The victim rotates across targets and the
+// asymmetric destination is drawn from a seeded rng, so a soak replays
+// per seed.
+func (st *runState) soakFlap(ctx context.Context) {
+	defer st.soak.bg.Done()
+	rng := rand.New(rand.NewSource(st.seed ^ 0x50a7c4ed))
+	hc, targets := st.soak.hc, st.soak.targets
+	for i := 0; ; i++ {
+		if !sleepUntil(ctx, time.Now().Add(soakHealthy)) {
+			return
+		}
+		victim := targets[i%len(targets)]
+		vs, err := replStatus(ctx, hc, victim)
+		if err != nil {
+			continue // node mid-recovery; try the next window
+		}
+		site := "repl.partition." + vs.Node
+		if i%2 == 1 && len(vs.Members) > 1 {
+			others := make([]string, 0, len(vs.Members))
+			for _, m := range vs.Members {
+				if m.ID != vs.Node {
+					others = append(others, m.ID)
+				}
+			}
+			if len(others) > 0 {
+				site = "repl.link." + others[rng.Intn(len(others))]
+			}
+		}
+		if err := postFaults(ctx, hc, victim, map[string]any{"spec": site + "=error"}); err != nil {
+			continue
+		}
+		st.soak.mu.Lock()
+		st.soak.faultWindows++
+		st.soak.mu.Unlock()
+		sleepUntil(ctx, time.Now().Add(soakOutage))
+		// Heal even when the run context just died: an armed cut left
+		// behind would poison the post-run audit. The heal gets its own
+		// deadline and a few retries.
+		hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		for tries := 0; tries < 5; tries++ {
+			if postFaults(hctx, hc, victim, map[string]any{"disarm": site}) == nil {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		hcancel()
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// soakSweep runs one audit sweep: poll every target's status and judge
+// whether the cluster holds one state. Converged means every audited
+// target answered, every pair agrees on per-shard LSNs, and no node
+// holds queued tentative writes; an unreachable or partition-refusing
+// node keeps the divergence window open (its state cannot be vouched
+// for). Removed nodes — drained on purpose — are exempt.
+func (st *runState) soakSweep(ctx context.Context) {
+	converged := true
+	var tentMax int64
+	var first *soakStatus
+	for _, target := range st.soak.targets {
+		s, err := replStatus(ctx, st.soak.hc, target)
+		if err != nil {
+			converged = false
+			continue
+		}
+		if s.Removed {
+			continue
+		}
+		if s.Tentative > tentMax {
+			tentMax = s.Tentative
+		}
+		if s.Tentative > 0 {
+			converged = false
+		}
+		if first == nil {
+			c := s
+			first = &c
+			continue
+		}
+		if len(s.LSNs) != len(first.LSNs) {
+			converged = false
+			continue
+		}
+		for i := range s.LSNs {
+			if s.LSNs[i] != first.LSNs[i] {
+				converged = false
+				break
+			}
+		}
+	}
+	if first == nil {
+		converged = false
+	}
+	st.soak.observe(converged, tentMax, time.Now())
+}
+
+// soakAudit is the continuous convergence auditor: one sweep per poll
+// period for the life of the run.
+func (st *runState) soakAudit(ctx context.Context) {
+	defer st.soak.bg.Done()
+	tick := time.NewTicker(soakPollEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			st.soakSweep(ctx)
+		}
+	}
+}
+
+// soakVerify is the scenario's post-run phase: stop the background
+// machinery, heal every fault, wait for the cluster to settle back to
+// one state (still auditing, so an unclosed window keeps widening), and
+// then run the shared lost-ack audit.
+func soakVerify(ctx context.Context, st *runState, rep *Report) error {
+	st.soak.cancel()
+	st.soak.bg.Wait()
+	for _, target := range st.soak.targets {
+		for tries := 0; tries < 5; tries++ {
+			if postFaults(ctx, st.soak.hc, target, map[string]any{"reset": true}) == nil {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	deadline := time.Now().Add(soakSettle)
+	for {
+		st.soakSweep(ctx)
+		st.soak.mu.Lock()
+		settled := st.soak.divergedAt.IsZero()
+		st.soak.mu.Unlock()
+		if settled || time.Now().After(deadline) || ctx.Err() != nil {
+			break
+		}
+		time.Sleep(soakPollEvery)
+	}
+	rep.Soak = st.soak.snapshot(time.Now())
+	return ackAudit(ctx, st, rep)
+}
+
+// partitionSoakScenario drives steady marked writes at a replicated
+// cluster while a fault flapper cuts it open on a schedule — symmetric
+// node isolations and asymmetric one-way link cuts, injected through
+// each node's POST /v1/repl/faults admin endpoint (xserve -repl-admin)
+// — and a background auditor continuously measures how long the
+// replicas stay apart. The report's soak block records every fault
+// window, the worst divergence window, per-outage reconvergence times,
+// and the deepest tentative queue; the max_divergence_ms and
+// no_lost_acks gates turn "the cluster always healed and kept every
+// promise" into a CI-checkable verdict.
+func partitionSoakScenario() Scenario {
+	return Scenario{
+		Name:        "partition-soak",
+		Description: "flapping partitions/link cuts against a replicated cluster under marked writes, with a continuous convergence audit",
+		Rate:        40,
+		Arrival:     ArrivalConstant,
+		Concurrency: 8,
+		NeedsStore:  true,
+		SLO: SLO{
+			NoLostAcks: true,
+			// Divergence is EXPECTED while a cut is armed; the gate bounds
+			// the worst *chain* of windows: when a cut deposes the primary,
+			// the deposed node resyncs while the next scheduled cut is
+			// already landing, so one divergence window can legitimately
+			// span several flap cycles (~4.5s each). Latency/error gates
+			// stay off — a soak full of refused writes is the point.
+			MaxDivergenceMs: 30000,
+		},
+		setup: func(st *runState) error {
+			st.fo.start = time.Now()
+			st.doc = fmt.Sprintf("xload-soak-%d", st.seed)
+			if _, err := st.client.CreateDoc(st.doc, "<log/>"); err != nil {
+				return fmt.Errorf("loadgen: partition-soak setup: %w", err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			st.soak.cancel = cancel
+			st.soak.hc = &http.Client{Timeout: 2 * time.Second}
+			st.soak.targets = st.client.Targets()
+			st.soak.bg.Add(2)
+			go st.soakFlap(ctx)
+			go st.soakAudit(ctx)
+			return nil
+		},
+		gen: func(st *runState, rng *rand.Rand) genRequest {
+			c := st.cycle
+			st.cycle++
+			mark := fmt.Sprintf("s%dx%d", st.seed, c)
+			return genRequest{
+				op: "soak.insert", method: http.MethodPost,
+				path:    "/v1/docs/" + st.doc + "/update",
+				body:    jsonBody(map[string]any{"op": "insert", "pattern": "/log", "x": "<" + mark + "/>"}),
+				wantLSN: true,
+				mark:    mark,
+			}
+		},
+		observe: func(st *runState, g genRequest, res result) {
+			// Same ack semantics as failover: a 202 is a tentative accept,
+			// not an ack (see failoverScenario).
+			acked := res.class == ClassOK && res.status != http.StatusAccepted
+			st.fo.note(g.mark, acked)
+		},
+		verify: soakVerify,
+	}
+}

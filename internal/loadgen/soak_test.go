@@ -1,0 +1,272 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// soakNode is one stub cluster frontend with the replication admin
+// surface the partition-soak harness drives: /v1/repl/status (503 while
+// a partition fault is armed for this node, mimicking the real
+// handler's partitioned() gate) and /v1/repl/faults (records armed
+// sites). The document surface is the shared stubCluster log.
+type soakNode struct {
+	log   *stubCluster
+	id    string
+	peers []string // every member id, self included
+
+	mu    sync.Mutex
+	armed map[string]bool
+}
+
+func (n *soakNode) isArmed(site string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.armed[site]
+}
+
+func (n *soakNode) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/repl/status", func(w http.ResponseWriter, r *http.Request) {
+		if n.isArmed("repl.partition." + n.id) {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error":"injected","reason":"partitioned"}`)
+			return
+		}
+		n.log.mu.Lock()
+		lsn := n.log.lsn
+		n.log.mu.Unlock()
+		members := make([]map[string]string, 0, len(n.peers))
+		for _, id := range n.peers {
+			members = append(members, map[string]string{"id": id})
+		}
+		body, _ := json.Marshal(map[string]any{
+			"node": n.id, "role": "primary", "lsns": []uint64{lsn},
+			"tentative": 0, "members": members,
+		})
+		w.Write(body)
+	})
+	mux.HandleFunc("POST /v1/repl/faults", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Spec   string `json:"spec"`
+			Disarm string `json:"disarm"`
+			Reset  bool   `json:"reset"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		n.mu.Lock()
+		switch {
+		case req.Reset:
+			n.armed = map[string]bool{}
+		case req.Disarm != "":
+			delete(n.armed, req.Disarm)
+		case req.Spec != "":
+			site, _, ok := strings.Cut(req.Spec, "=")
+			if !ok {
+				n.mu.Unlock()
+				w.WriteHeader(http.StatusBadRequest)
+				return
+			}
+			n.armed[site] = true
+		}
+		n.mu.Unlock()
+		fmt.Fprintln(w, `{"sites":[]}`)
+	})
+	mux.Handle("/", n.log.handler())
+	return mux
+}
+
+// soakTiming shrinks the flapper/auditor periods so a whole soak fits
+// in well under a second, restoring the defaults afterward.
+func soakTiming(t *testing.T, healthy, outage, poll, settle time.Duration) {
+	t.Helper()
+	oh, oo, op, os := soakHealthy, soakOutage, soakPollEvery, soakSettle
+	soakHealthy, soakOutage, soakPollEvery, soakSettle = healthy, outage, poll, settle
+	t.Cleanup(func() { soakHealthy, soakOutage, soakPollEvery, soakSettle = oh, oo, op, os })
+}
+
+func TestPartitionSoakFlapsAuditsAndConverges(t *testing.T) {
+	soakTiming(t, 60*time.Millisecond, 120*time.Millisecond, 15*time.Millisecond, 3*time.Second)
+	log := &stubCluster{}
+	a := &soakNode{log: log, id: "a", peers: []string{"a", "b"}, armed: map[string]bool{}}
+	b := &soakNode{log: log, id: "b", peers: []string{"a", "b"}, armed: map[string]bool{}}
+	tsA := httptest.NewServer(a.handler())
+	tsB := httptest.NewServer(b.handler())
+	t.Cleanup(tsA.Close)
+	t.Cleanup(tsB.Close)
+
+	sc, err := Lookup("partition-soak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), sc, Options{
+		Targets:  []string{tsA.URL, tsB.URL},
+		Duration: 600 * time.Millisecond,
+		Rate:     100,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Soak == nil {
+		t.Fatal("partition-soak report has no soak block")
+	}
+	if rep.Soak.FaultWindows == 0 {
+		t.Fatalf("flapper injected no fault windows: %+v", rep.Soak)
+	}
+	if rep.Soak.AuditPolls == 0 {
+		t.Fatalf("auditor never polled: %+v", rep.Soak)
+	}
+	// The first window is a symmetric isolation: the victim's status
+	// answers 503 while armed, so the audit must have seen (and timed)
+	// real divergence, and its window must have closed on heal.
+	if rep.Soak.MaxDivergenceMs == 0 || len(rep.Soak.ReconvergeMs) == 0 {
+		t.Fatalf("symmetric cut left no divergence evidence: %+v", rep.Soak)
+	}
+	if !rep.Soak.FinalConverged {
+		t.Fatalf("healed stub cluster reported not converged: %+v", rep.Soak)
+	}
+	if rep.Repl == nil || rep.Repl.LostAcks != 0 {
+		t.Fatalf("lost-ack audit: %+v", rep.Repl)
+	}
+	if !rep.SLO.Pass {
+		t.Fatalf("healed soak failed SLO: %+v", rep.SLO.Violations)
+	}
+	if err := Check(rep); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	// Every armed site must be healed by run end on both nodes.
+	for _, n := range []*soakNode{a, b} {
+		n.mu.Lock()
+		left := len(n.armed)
+		n.mu.Unlock()
+		if left != 0 {
+			t.Fatalf("node %s still has %d armed faults after the run", n.id, left)
+		}
+	}
+}
+
+func TestPartitionSoakUnhealedClusterFailsDivergenceGate(t *testing.T) {
+	soakTiming(t, 40*time.Millisecond, 60*time.Millisecond, 15*time.Millisecond, 250*time.Millisecond)
+	log := &stubCluster{}
+	a := &soakNode{log: log, id: "a", peers: []string{"a"}, armed: map[string]bool{}}
+
+	sc, err := Lookup("partition-soak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cluster that never heals: the partition is pre-armed, and the
+	// faults endpoint swallows disarms and resets, so the cut stays open
+	// forever. The gate is tightened so the test run's still-open window
+	// trips it.
+	a.mu.Lock()
+	a.armed["repl.partition.a"] = true
+	a.mu.Unlock()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/repl/faults", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"sites":[]}`) // swallow arms, disarms, and resets
+	})
+	mux.Handle("/", a.handler())
+	ts2 := httptest.NewServer(mux)
+	t.Cleanup(ts2.Close)
+
+	sc.SLO.MaxDivergenceMs = 50
+	rep, err := Run(context.Background(), sc, Options{
+		Targets:  []string{ts2.URL},
+		Duration: 300 * time.Millisecond,
+		Rate:     100,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Soak == nil || rep.Soak.FinalConverged {
+		t.Fatalf("permanently partitioned cluster reported converged: %+v", rep.Soak)
+	}
+	if rep.Soak.MaxDivergenceMs < 50 {
+		t.Fatalf("open divergence window not measured: %+v", rep.Soak)
+	}
+	if rep.SLO.Pass {
+		t.Fatal("unhealed divergence passed the SLO")
+	}
+	found := false
+	for _, v := range rep.SLO.Violations {
+		if v.Gate == "max_divergence_ms" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no max_divergence_ms violation in %+v", rep.SLO.Violations)
+	}
+}
+
+// TestSoakDivergenceGateIgnoresNonSoakReports: the gate is scoped to
+// reports that carry a soak block, like the repl gates before it.
+func TestSoakDivergenceGateIgnoresNonSoakReports(t *testing.T) {
+	slo := SLO{MaxDivergenceMs: 100}
+	rep := Report{}
+	if res := slo.Evaluate(&rep); !res.Pass {
+		t.Fatalf("gate fired without a soak block: %+v", res.Violations)
+	}
+	rep.Soak = &SoakReport{MaxDivergenceMs: 250}
+	if res := slo.Evaluate(&rep); res.Pass {
+		t.Fatal("gate did not fire on a violating soak block")
+	}
+}
+
+// TestReportSchemaV3RoundTrip: a soak report survives write/load, and
+// the version check still accepts older reports.
+func TestReportSchemaV3RoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "soak.json")
+	in := Report{
+		SchemaVersion: ReportSchemaVersion,
+		Scenario:      "partition-soak",
+		Counts:        Counts{Offered: 1, Sent: 1, OK: 1},
+		Soak: &SoakReport{
+			FaultWindows: 3, AuditPolls: 40, MaxDivergenceMs: 1200,
+			ReconvergeMs: []int64{900, 1200, 400}, TentativeDepthMax: 2, FinalConverged: true,
+		},
+	}
+	if err := WriteReport(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Soak == nil || out.Soak.MaxDivergenceMs != 1200 || len(out.Soak.ReconvergeMs) != 3 {
+		t.Fatalf("soak block lost in round trip: %+v", out.Soak)
+	}
+	if !out.Soak.FinalConverged || out.Soak.TentativeDepthMax != 2 {
+		t.Fatalf("soak block lost in round trip: %+v", out.Soak)
+	}
+	// A v2 report (no soak block) still loads.
+	v2 := filepath.Join(dir, "v2.json")
+	if err := os.WriteFile(v2, []byte(`{"schema_version":2,"scenario":"failover","counts":{"offered":1,"sent":1,"ok":1}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old, err := LoadReport(v2)
+	if err != nil {
+		t.Fatalf("v2 report rejected: %v", err)
+	}
+	if old.Soak != nil {
+		t.Fatal("v2 report grew a soak block")
+	}
+	// The formatted summary names the soak evidence.
+	text := FormatReport(in)
+	if !strings.Contains(text, "soak: 3 fault windows") || !strings.Contains(text, "max divergence 1200ms") {
+		t.Fatalf("FormatReport soak line missing:\n%s", text)
+	}
+}

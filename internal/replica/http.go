@@ -50,15 +50,6 @@ type appendResponse struct {
 // OK reports the response accepted the sender's epoch.
 func (r appendResponse) OK(epoch uint64) bool { return r.Accepted && r.Epoch == epoch }
 
-// resetRequest replaces one shard's entire state (the catch-up path
-// when the frame buffer no longer reaches the receiver).
-type resetRequest struct {
-	Epoch   uint64      `json:"epoch"`
-	Primary string      `json:"primary"`
-	Shard   int         `json:"shard"`
-	State   store.State `json:"state"`
-}
-
 // prepareRequest is a candidate's election vote request: "promise me
 // epoch Epoch". A peer that grants it durably persists the promise and
 // from that moment rejects every append and heartbeat below Epoch —
@@ -82,39 +73,39 @@ type prepareResponse struct {
 	LSNs    []uint64 `json:"lsns,omitempty"`
 }
 
-// heartbeatRequest announces the primary's liveness and positions.
+// heartbeatRequest announces the primary's liveness and positions,
+// plus its committed membership version for roster anti-entropy.
 type heartbeatRequest struct {
-	Epoch   uint64   `json:"epoch"`
-	Primary string   `json:"primary"`
-	LSNs    []uint64 `json:"lsns"`
+	Epoch        uint64   `json:"epoch"`
+	Primary      string   `json:"primary"`
+	LSNs         []uint64 `json:"lsns"`
+	MembersEpoch uint64   `json:"members_epoch"`
+	MembersRev   uint64   `json:"members_rev"`
 }
 
-// heartbeatResponse carries the backup's positions for lag tracking.
+// heartbeatResponse carries the backup's positions for lag tracking and
+// its roster version — a stale one triggers a membership re-push.
 type heartbeatResponse struct {
-	Accepted  bool     `json:"accepted"`
-	Epoch     uint64   `json:"epoch"`
-	Primary   string   `json:"primary"`
-	LSNs      []uint64 `json:"lsns"`
-	Tentative int      `json:"tentative"`
+	Accepted     bool     `json:"accepted"`
+	Epoch        uint64   `json:"epoch"`
+	Primary      string   `json:"primary"`
+	LSNs         []uint64 `json:"lsns"`
+	Tentative    int      `json:"tentative"`
+	MembersEpoch uint64   `json:"members_epoch"`
+	MembersRev   uint64   `json:"members_rev"`
 }
 
-// sinceResponse answers anti-entropy catch-up: either the frames past
-// the requested LSN, or (when the buffer has been trimmed past it) a
-// full-state reset.
+// sinceResponse answers anti-entropy catch-up: a bounded page of frames
+// past the requested LSN (More means ask again from the new position),
+// or Reset when the buffer has been trimmed past it — the caller must
+// pull full state through the chunked transfer path instead.
 type sinceResponse struct {
 	Epoch   uint64            `json:"epoch"`
 	Primary string            `json:"primary"`
 	LSN     uint64            `json:"lsn"`
 	Frames  []store.ReplFrame `json:"frames,omitempty"`
+	More    bool              `json:"more,omitempty"`
 	Reset   bool              `json:"reset,omitempty"`
-	State   *store.State      `json:"state,omitempty"`
-}
-
-// stateResponse is a full-shard export (the pull side of resync).
-type stateResponse struct {
-	Epoch   uint64      `json:"epoch"`
-	Primary string      `json:"primary"`
-	State   store.State `json:"state"`
 }
 
 // mergeRequest submits a disconnected node's tentative log for
@@ -139,11 +130,12 @@ type mergeResponse struct {
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/repl/append", n.handleAppend)
-	mux.HandleFunc("POST /v1/repl/reset", n.handleReset)
 	mux.HandleFunc("POST /v1/repl/prepare", n.handlePrepare)
 	mux.HandleFunc("POST /v1/repl/heartbeat", n.handleHeartbeat)
 	mux.HandleFunc("GET /v1/repl/since/{shard}/{after}", n.handleSince)
-	mux.HandleFunc("GET /v1/repl/state/{shard}", n.handleState)
+	mux.HandleFunc("GET /v1/repl/xfer/{shard}", n.handleXferGet)
+	mux.HandleFunc("POST /v1/repl/xfer", n.handleXferPush)
+	mux.HandleFunc("POST /v1/repl/members", n.handleMembers)
 	mux.HandleFunc("POST /v1/repl/merge", n.handleMerge)
 	mux.HandleFunc("GET /v1/repl/status", n.handleStatus)
 	mux.HandleFunc("GET /v1/repl/merges", n.handleMerges)
@@ -159,6 +151,17 @@ func (n *Node) partitionFault() error {
 		return err
 	}
 	return faultinject.Fire("repl.partition." + n.self.ID)
+}
+
+// linkFault fires the sender-side cut sites for one outbound RPC: the
+// symmetric partition sites plus "repl.link.<dest>", which severs only
+// this node's sends TO dest — dest can still reach us, the asymmetric
+// cut a partition soak flaps to catch one-way-blind convergence bugs.
+func (n *Node) linkFault(p Peer) error {
+	if err := n.partitionFault(); err != nil {
+		return err
+	}
+	return faultinject.Fire("repl.link." + p.ID)
 }
 
 // partitioned answers 503 when a partition fault is armed for this
@@ -310,42 +313,6 @@ func (n *Node) markDirty() {
 	}
 }
 
-func (n *Node) handleReset(w http.ResponseWriter, r *http.Request) {
-	if n.partitioned(w) {
-		return
-	}
-	var req resetRequest
-	if !decodeRepl(w, r, &req) {
-		return
-	}
-	if !n.observeEpoch(req.Epoch, req.Primary) {
-		n.rejectEpoch(w)
-		return
-	}
-	n.touchPrimary(req.Primary, nil)
-	if req.Shard < 0 || req.Shard >= n.router.Shards() {
-		replJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("shard %d out of range", req.Shard), "reason": "bad-request"})
-		return
-	}
-	st := n.router.Store(req.Shard)
-	n.mu.Lock()
-	epoch, primary := n.epoch, n.primaryID
-	n.mu.Unlock()
-	if err := st.ImportState(r.Context(), req.State); err != nil {
-		replJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error(), "reason": "import-failed"})
-		return
-	}
-	n.noteImport(req.Shard, req.Epoch, req.Primary, st.LSN())
-	n.m.Add("repl.state_imports", 1)
-	if n.fencedSince(req.Epoch) {
-		// Same race as handleAppend: a vote granted mid-import means this
-		// import may postdate the fence — do not let the sender count it.
-		n.rejectEpoch(w)
-		return
-	}
-	replJSON(w, http.StatusOK, appendResponse{Accepted: true, Epoch: epoch, Primary: primary, LSN: st.LSN()})
-}
-
 // handlePrepare is the voter side of the promotion protocol. A grant
 // durably persists (Promised=req.Epoch, PromisedTo=req.Candidate)
 // BEFORE answering; from that write on, this node rejects every append
@@ -364,8 +331,24 @@ func (n *Node) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	if !decodeRepl(w, r, &req) {
 		return
 	}
-	if req.Candidate == "" || n.peerByID(req.Candidate).ID == "" {
-		replJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("unknown candidate %q", req.Candidate), "reason": "bad-request"})
+	n.mu.Lock()
+	candVoter := req.Candidate != "" && n.isVoterLocked(req.Candidate)
+	selfVoter := n.isVoterLocked(n.self.ID) && !n.removed
+	n.mu.Unlock()
+	if !candVoter {
+		// Only a committed voter may stand: a learner, a removed node, or
+		// a stranger cannot open a ballot here.
+		replJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("candidate %q is not a committed voter", req.Candidate), "reason": "bad-request"})
+		return
+	}
+	if !selfVoter {
+		// A learner's (or removed node's) vote must never count toward a
+		// majority of the voter set — refuse with the established claim.
+		n.m.Add("repl.votes_refused", 1)
+		n.mu.Lock()
+		epoch, primary := n.epoch, n.primaryID
+		n.mu.Unlock()
+		replJSON(w, http.StatusConflict, prepareResponse{Granted: false, Epoch: epoch, Primary: primary})
 		return
 	}
 	n.mu.Lock()
@@ -415,10 +398,12 @@ func (n *Node) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	n.touchPrimary(req.Primary, req.LSNs)
 	n.mu.Lock()
 	epoch, primary, tent := n.epoch, n.primaryID, len(n.tent)
+	msEpoch, msRev := n.members.Epoch, n.members.Rev
 	n.mu.Unlock()
 	replJSON(w, http.StatusOK, heartbeatResponse{
 		Accepted: true, Epoch: epoch, Primary: primary,
 		LSNs: n.router.LSNs(), Tentative: tent,
+		MembersEpoch: msEpoch, MembersRev: msRev,
 	})
 }
 
@@ -436,40 +421,18 @@ func (n *Node) handleSince(w http.ResponseWriter, r *http.Request) {
 	n.mu.Lock()
 	epoch, primary := n.epoch, n.primaryID
 	n.mu.Unlock()
+	// The page is bounded however far behind the caller is: an unbounded
+	// since-response could balloon to the whole retained log in one body.
+	// More tells the caller to come back from its new position.
 	resp := sinceResponse{Epoch: epoch, Primary: primary, LSN: st.LSN()}
-	frames, ok := st.FramesSince(after)
+	frames, more, ok := st.FramesSincePage(after, maxSinceFrames, maxSinceBytes)
 	if ok {
 		resp.Frames = frames
+		resp.More = more
 	} else {
-		state, err := st.ExportState()
-		if err != nil {
-			replJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error(), "reason": "export-failed"})
-			return
-		}
 		resp.Reset = true
-		resp.State = &state
 	}
 	replJSON(w, http.StatusOK, resp)
-}
-
-func (n *Node) handleState(w http.ResponseWriter, r *http.Request) {
-	if n.partitioned(w) {
-		return
-	}
-	shardIdx, err := strconv.Atoi(r.PathValue("shard"))
-	if err != nil || shardIdx < 0 || shardIdx >= n.router.Shards() {
-		replJSON(w, http.StatusBadRequest, map[string]string{"error": "bad shard", "reason": "bad-request"})
-		return
-	}
-	state, err := n.router.Store(shardIdx).ExportState()
-	if err != nil {
-		replJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error(), "reason": "export-failed"})
-		return
-	}
-	n.mu.Lock()
-	epoch, primary := n.epoch, n.primaryID
-	n.mu.Unlock()
-	replJSON(w, http.StatusOK, stateResponse{Epoch: epoch, Primary: primary, State: state})
 }
 
 func (n *Node) handleMerge(w http.ResponseWriter, r *http.Request) {
@@ -513,7 +476,7 @@ func (n *Node) handleMerges(w http.ResponseWriter, r *http.Request) {
 // 200 and 409 (a 409 carries the receiver's newer epoch — data the
 // caller folds in, not a transport failure).
 func (n *Node) postPeer(ctx context.Context, p Peer, path string, body, out any) error {
-	if err := n.partitionFault(); err != nil {
+	if err := n.linkFault(p); err != nil {
 		return err
 	}
 	b, err := json.Marshal(body)
@@ -530,7 +493,7 @@ func (n *Node) postPeer(ctx context.Context, p Peer, path string, body, out any)
 
 // getPeer performs one replication GET.
 func (n *Node) getPeer(ctx context.Context, p Peer, path string, out any) error {
-	if err := n.partitionFault(); err != nil {
+	if err := n.linkFault(p); err != nil {
 		return err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.URL+path, nil)

@@ -39,13 +39,18 @@ func (n *Node) tick() {
 		}
 	}()
 	n.mu.Lock()
-	role, dirty := n.role, n.dirty
+	role, dirty, removed := n.role, n.dirty, n.removed
 	n.mu.Unlock()
 	switch {
+	case removed:
+		// A drained node stays answerable (status, reads) but takes no
+		// further part in replication: it neither heartbeats nor stands
+		// for promotion, so the survivors depose it on schedule.
 	case dirty:
 		n.resync()
 	case role == RolePrimary:
 		n.sendHeartbeats()
+		n.promoteCaughtUpLearners()
 	default:
 		n.checkPrimary()
 	}
@@ -58,12 +63,15 @@ func (n *Node) tick() {
 func (n *Node) sendHeartbeats() {
 	n.mu.Lock()
 	epoch := n.epoch
+	ms := n.members
+	voters, learners := n.remotePeersLocked()
 	n.mu.Unlock()
+	peers := append(voters, learners...)
 	lsns := n.router.LSNs()
 	ctx, cancel := context.WithTimeout(context.Background(), n.opts.HeartbeatEvery*3)
 	defer cancel()
 	var wg sync.WaitGroup
-	for _, p := range n.peers {
+	for _, p := range peers {
 		p := p
 		wg.Add(1)
 		go func() {
@@ -73,7 +81,10 @@ func (n *Node) sendHeartbeats() {
 				if err := faultinject.Fire("repl.heartbeat"); err != nil {
 					return err
 				}
-				return n.postPeer(ctx, p, "/v1/repl/heartbeat", heartbeatRequest{Epoch: epoch, Primary: n.self.ID, LSNs: lsns}, &resp)
+				return n.postPeer(ctx, p, "/v1/repl/heartbeat", heartbeatRequest{
+					Epoch: epoch, Primary: n.self.ID, LSNs: lsns,
+					MembersEpoch: ms.Epoch, MembersRev: ms.Rev,
+				}, &resp)
 			})
 			if err != nil {
 				n.m.Add("repl.heartbeat_errors", 1)
@@ -85,9 +96,54 @@ func (n *Node) sendHeartbeats() {
 				return
 			}
 			n.recordPeerLSNs(p.ID, resp.LSNs, lsns)
+			if resp.MembersEpoch < ms.Epoch || (resp.MembersEpoch == ms.Epoch && resp.MembersRev < ms.Rev) {
+				// Membership anti-entropy: a peer behind on the committed
+				// roster (it was down or partitioned through a change, or a
+				// learner still carrying its boot-time guess) gets the
+				// current revision re-pushed.
+				n.contain(func() error { return n.pushMembersTo(ctx, p, epoch, ms) }) //nolint:errcheck // next tick retries
+			}
 		}()
 	}
 	wg.Wait()
+}
+
+// promoteCaughtUpLearners commits learner→voter transitions for every
+// learner whose heartbeat-reported positions are within a few frames
+// of the primary's: once it provably holds (almost) the whole log,
+// counting it in quorums only strengthens them. One revision per
+// learner; the committed roster is always one change at a time.
+func (n *Node) promoteCaughtUpLearners() {
+	const learnerPromoteLag = 4 // frames of slack before a learner can vote
+	ours := n.router.LSNs()
+	n.mu.Lock()
+	var ready []string
+	for _, m := range n.members.Members {
+		if !m.Learner {
+			continue
+		}
+		theirs, ok := n.peerLSNs[m.ID]
+		if !ok {
+			continue
+		}
+		caught := len(theirs) >= len(ours)
+		for i := 0; caught && i < len(ours); i++ {
+			if ours[i] > theirs[i]+learnerPromoteLag {
+				caught = false
+			}
+		}
+		if caught {
+			ready = append(ready, m.ID)
+		}
+	}
+	n.mu.Unlock()
+	for _, id := range ready {
+		if err := n.PromoteVoter(context.Background(), id); err != nil {
+			n.m.Add("repl.member_commit_errors", 1)
+			return // next tick retries
+		}
+		n.m.Add("repl.learner_promotions", 1)
+	}
 }
 
 // recordPeerLSNs stores a peer's reported positions and refreshes its
@@ -105,20 +161,19 @@ func (n *Node) recordPeerLSNs(id string, theirs, ours []uint64) {
 	n.m.Labeled("peer", id).Gauge("repl.lag").Set(int64(lag))
 }
 
-// rank is this backup's position among the non-primary membership (in
-// Peers order): rank 0 stands for promotion first, rank 1 one
-// FailoverAfter later, and so on — staggering keeps concurrent
+// rank is this backup's position among the committed non-primary
+// voters (in roster order): rank 0 stands for promotion first, rank 1
+// one FailoverAfter later, and so on — staggering keeps concurrent
 // candidacies rare (the epoch tie-break resolves the rest).
 func (n *Node) rank() int {
 	n.mu.Lock()
-	primary := n.primaryID
-	n.mu.Unlock()
+	defer n.mu.Unlock()
 	r := 0
-	for _, p := range n.opts.Peers {
-		if p.ID == primary {
+	for _, m := range n.members.Members {
+		if m.ID == n.primaryID || m.Learner {
 			continue
 		}
-		if p.ID == n.self.ID {
+		if m.ID == n.self.ID {
 			return r
 		}
 		r++
@@ -129,16 +184,22 @@ func (n *Node) rank() int {
 // checkPrimary is the backup's failure detector: flush any tentative
 // backlog while the primary is reachable, and stand for promotion
 // once it has been silent past this node's staggered threshold.
+// Learners watch and catch up but never stand — a voter must come from
+// the committed roster.
 func (n *Node) checkPrimary() {
 	n.mu.Lock()
 	silent := time.Since(n.lastContact)
 	tent := len(n.tent)
+	voter := n.isVoterLocked(n.self.ID)
 	n.mu.Unlock()
 	if silent <= n.opts.FailoverAfter {
 		if tent > 0 {
 			n.flushTentative()
 		}
 		n.catchUp()
+		return
+	}
+	if !voter {
 		return
 	}
 	threshold := time.Duration(1+n.rank()) * n.opts.FailoverAfter
@@ -178,7 +239,7 @@ func (n *Node) checkPrimary() {
 func (n *Node) promote(silent time.Duration) {
 	begin := time.Now()
 	n.mu.Lock()
-	if n.role != RoleBackup || n.dirty {
+	if n.role != RoleBackup || n.dirty || n.removed || !n.isVoterLocked(n.self.ID) {
 		n.mu.Unlock()
 		return
 	}
@@ -194,6 +255,9 @@ func (n *Node) promote(silent time.Duration) {
 	// the old primary answering status no longer vouches for a healthy
 	// topology, so skip the alive-abort below or the election wedges.
 	wedged := n.promised > n.epoch
+	voters, _ := n.remotePeersLocked()
+	voterCount := n.voterCountLocked()
+	needVotes := n.quorumLocked()
 	n.mu.Unlock()
 
 	ctx, cancel := context.WithTimeout(context.Background(), n.opts.FailoverAfter)
@@ -206,7 +270,7 @@ func (n *Node) promote(silent time.Duration) {
 	var pmu sync.Mutex
 	var reachable []polled
 	var wg sync.WaitGroup
-	for _, p := range n.peers {
+	for _, p := range voters {
 		p := p
 		wg.Add(1)
 		go func() {
@@ -236,11 +300,11 @@ func (n *Node) promote(silent time.Duration) {
 		}
 	}
 
-	// needVotes is the majority of the membership, counting this node; a
-	// two-node cluster's survivor stands on its own durable vote.
-	needVotes := n.quorum()
-	if n.ClusterSize()-1 < needVotes {
-		needVotes = n.ClusterSize() - 1
+	// needVotes is the majority of the committed voter set, counting
+	// this node; a two-voter cluster's survivor stands on its own
+	// durable vote.
+	if voterCount-1 < needVotes {
+		needVotes = voterCount - 1
 	}
 	if 1+len(reachable) < needVotes {
 		n.m.Add("repl.promote_aborts", 1)
@@ -274,7 +338,7 @@ func (n *Node) promote(silent time.Duration) {
 	var vmu sync.Mutex
 	var votes []vote
 	var vg sync.WaitGroup
-	for _, p := range n.peers {
+	for _, p := range voters {
 		p := p
 		vg.Add(1)
 		go func() {
@@ -353,6 +417,16 @@ func (n *Node) promote(silent time.Duration) {
 		return
 	}
 	n.promised, n.promisedTo = 0, "" // the vote is spent: the epoch holds the fence now
+	// Re-stamp the committed roster under the new epoch: from here on it
+	// outranks any revision a deposed primary committed under the old
+	// one, however high that revision counted — a removed peer stays
+	// removed. Failure is only a lost optimization (heartbeat
+	// anti-entropy re-pushes on the next tick).
+	n.members = n.members.clone()
+	n.members.Epoch = newEpoch
+	if err := saveMembers(n.dir, n.members); err != nil {
+		n.m.Add("repl.member_commit_errors", 1)
+	}
 	tent := n.tent
 	n.tent = nil
 	n.publishStateLocked()
@@ -401,7 +475,8 @@ func (n *Node) catchUp() {
 }
 
 // pullSince brings one local shard up to peer's log via anti-entropy:
-// frames when the peer still buffers them, full state otherwise.
+// bounded pages of frames while the peer still buffers them, the
+// chunked full-state transfer once it reports the buffer trimmed.
 func (n *Node) pullSince(ctx context.Context, p Peer, shardIdx int, st *store.Store) error {
 	for {
 		var resp sinceResponse
@@ -409,15 +484,7 @@ func (n *Node) pullSince(ctx context.Context, p Peer, shardIdx int, st *store.St
 			return err
 		}
 		if resp.Reset {
-			if resp.State == nil {
-				return fmt.Errorf("replica: peer %s shard %d: reset without state", p.ID, shardIdx)
-			}
-			if err := st.ImportState(ctx, *resp.State); err != nil {
-				return err
-			}
-			n.noteImport(shardIdx, n.Epoch(), p.ID, resp.State.LSN)
-			n.m.Add("repl.state_imports", 1)
-			return nil
+			return n.pullState(ctx, p, shardIdx, st)
 		}
 		if len(resp.Frames) == 0 {
 			return nil
@@ -427,15 +494,17 @@ func (n *Node) pullSince(ctx context.Context, p Peer, shardIdx int, st *store.St
 		if _, err := st.ApplyFrames(ctx, resp.Frames, 0); err != nil {
 			return err
 		}
-		if st.LSN() >= resp.LSN {
+		if st.LSN() >= resp.LSN && !resp.More {
 			return nil
 		}
 	}
 }
 
 // resync is the fenced path: replace every shard wholesale from the
-// current primary, then clear the dirty flag. Runs on the monitor
-// tick until it succeeds.
+// current primary, then clear the dirty flag. Runs on the monitor tick
+// until it succeeds; an interrupted transfer resumes from the store's
+// durable progress record instead of restarting, so even a state larger
+// than one tick's budget converges across ticks.
 func (n *Node) resync() {
 	primary := n.Primary()
 	if primary.ID == "" {
@@ -457,19 +526,10 @@ func (n *Node) resync() {
 	ctx, cancel := context.WithTimeout(context.Background(), n.opts.FailoverAfter)
 	defer cancel()
 	for shardIdx := 0; shardIdx < n.router.Shards(); shardIdx++ {
-		var resp stateResponse
-		if err := n.getPeer(ctx, primary, fmt.Sprintf("/v1/repl/state/%d", shardIdx), &resp); err != nil {
-			return // next tick retries
-		}
-		if resp.Epoch > n.Epoch() {
-			n.observeEpoch(resp.Epoch, resp.Primary)
-			return
-		}
-		if err := n.router.Store(shardIdx).ImportState(ctx, resp.State); err != nil {
+		if err := n.pullState(ctx, primary, shardIdx, n.router.Store(shardIdx)); err != nil {
 			n.m.Add("repl.resync_errors", 1)
-			return
+			return // next tick resumes from the progress record
 		}
-		n.noteImport(shardIdx, n.Epoch(), primary.ID, resp.State.LSN)
 	}
 	n.mu.Lock()
 	n.dirty = false

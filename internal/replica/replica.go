@@ -140,6 +140,13 @@ type Options struct {
 	// Tentative lets a disconnected backup queue optimistic writes for
 	// detector-arbitrated merge instead of refusing them.
 	Tentative bool
+	// Learner boots this node as a non-voting learner joining an
+	// existing cluster: Peers must list at least one established node
+	// (the learner's best guess at the roster), and the node stays a
+	// learner until a committed membership revision — pushed by the
+	// live primary after an admin join — says otherwise. Ignored when
+	// the data dir already holds a committed membership.
+	Learner bool
 	// Metrics receives repl.* series; nil gets a private registry.
 	Metrics *telemetry.Metrics
 	// Client performs replication RPCs; nil gets a 2s-timeout client.
@@ -242,12 +249,13 @@ type Node struct {
 	m      *telemetry.Metrics
 	dir    string
 	self   Peer
-	peers  []Peer // remote peers only (self excluded)
 	hc     *http.Client
 
-	// streams[peerID][shard] is immutable after Open; the inner
-	// peerShard carries its own lock.
-	streams map[string][]*peerShard
+	// streams[peerID][shard] serializes shipping per (peer, shard);
+	// entries are created on demand as the committed membership grows
+	// and the inner peerShard carries its own lock.
+	streamsMu sync.Mutex
+	streams   map[string][]*peerShard
 
 	// inc is this node's incarnation token, fresh per process: merge
 	// dedup keys tentative ops by (node, inc, seq) so a restarted origin
@@ -255,12 +263,14 @@ type Node struct {
 	inc uint64
 
 	mu          sync.Mutex
+	members     memberState // committed roster; quorum math reads this, never opts.Peers
+	removed     bool        // this node left (or was removed from) the committed membership
 	epoch       uint64
 	role        Role
 	primaryID   string
-	promised    uint64 // durable election vote: reject appends/heartbeats below this epoch
-	promisedTo  string // the candidate the vote went to (idempotent re-grants)
-	dirty       bool   // demoted with an unreplicated tail: full resync needed
+	promised    uint64    // durable election vote: reject appends/heartbeats below this epoch
+	promisedTo  string    // the candidate the vote went to (idempotent re-grants)
+	dirty       bool      // demoted with an unreplicated tail: full resync needed
 	lastContact time.Time // backup: last heartbeat/append from the primary
 	promotedAt  time.Time
 	peerLSNs    map[string][]uint64 // latest per-shard LSNs heard from each peer
@@ -296,7 +306,6 @@ func Open(dir string, shardOpts shard.Options, opts Options) (*Node, error) {
 	}
 	var self Peer
 	found := false
-	var remote []Peer
 	seen := map[string]bool{}
 	for _, p := range opts.Peers {
 		if p.ID == "" {
@@ -309,12 +318,13 @@ func Open(dir string, shardOpts shard.Options, opts Options) (*Node, error) {
 		if p.ID == opts.NodeID {
 			self = p
 			found = true
-		} else {
-			remote = append(remote, p)
 		}
 	}
 	if !found {
 		return nil, fmt.Errorf("replica: node id %q not in peer list", opts.NodeID)
+	}
+	if opts.Learner && len(opts.Peers) < 2 {
+		return nil, fmt.Errorf("replica: a learner must list at least one established peer")
 	}
 
 	router, err := shard.Open(dir, shardOpts)
@@ -327,7 +337,6 @@ func Open(dir string, shardOpts shard.Options, opts Options) (*Node, error) {
 		m:        opts.Metrics,
 		dir:      dir,
 		self:     self,
-		peers:    remote,
 		hc:       opts.Client,
 		inc:      rand.Uint64(),
 		streams:  map[string][]*peerShard{},
@@ -337,12 +346,34 @@ func Open(dir string, shardOpts shard.Options, opts Options) (*Node, error) {
 		stop:     make(chan struct{}),
 	}
 	n.resyncBase = make([]resyncMark, router.Shards())
-	for _, p := range remote {
-		ps := make([]*peerShard, router.Shards())
-		for i := range ps {
-			ps[i] = &peerShard{}
+
+	// The committed roster wins over the boot flags the moment it
+	// exists; a fresh directory derives revision 1 from opts.Peers (a
+	// learner marks itself non-voting and trusts the primary to push
+	// the real roster after the admin join).
+	ms, haveMs, err := loadMembers(dir)
+	if err != nil {
+		router.Close()
+		return nil, err
+	}
+	if haveMs {
+		if _, ok := ms.find(opts.NodeID); !ok {
+			router.Close()
+			return nil, fmt.Errorf("replica: node %q is not in the committed membership (rev %d) — it has left or been removed; re-init with a fresh data directory to rejoin", opts.NodeID, ms.Rev)
 		}
-		n.streams[p.ID] = ps
+	} else {
+		ms = memberState{Version: 1, Epoch: 1, Rev: 1}
+		for _, p := range opts.Peers {
+			ms.Members = append(ms.Members, Member{ID: p.ID, URL: p.URL, Learner: opts.Learner && p.ID == opts.NodeID})
+		}
+		if err := saveMembers(dir, ms); err != nil {
+			router.Close()
+			return nil, err
+		}
+	}
+	n.members = ms
+	if m, ok := ms.find(opts.NodeID); ok && m.URL != "" {
+		n.self = Peer{ID: m.ID, URL: m.URL}
 	}
 
 	ep, haveEp, err := loadEpoch(dir)
@@ -351,20 +382,27 @@ func Open(dir string, shardOpts shard.Options, opts Options) (*Node, error) {
 		return nil, err
 	}
 	if !haveEp {
-		ep = epochState{Version: 1, Epoch: 1, Primary: opts.Peers[0].ID}
+		// A fresh voter cluster elects Peers[0]; a fresh learner follows
+		// the first established peer until a heartbeat corrects it.
+		first := opts.Peers[0].ID
+		if opts.Learner {
+			for _, p := range opts.Peers {
+				if p.ID != opts.NodeID {
+					first = p.ID
+					break
+				}
+			}
+		}
+		ep = epochState{Version: 1, Epoch: 1, Primary: first}
 		if err := saveEpoch(dir, ep); err != nil {
 			router.Close()
 			return nil, err
 		}
 	}
-	if !seen[ep.Primary] {
-		router.Close()
-		return nil, fmt.Errorf("replica: persisted epoch %d names primary %q, which is not in the peer list", ep.Epoch, ep.Primary)
-	}
-	if ep.PromisedTo != "" && !seen[ep.PromisedTo] {
-		router.Close()
-		return nil, fmt.Errorf("replica: persisted promise names candidate %q, which is not in the peer list", ep.PromisedTo)
-	}
+	// The epoch may legitimately name a primary or candidate outside
+	// the committed roster (it was removed while this node was down);
+	// the failure detector elects a replacement from the roster, so no
+	// validation against it here.
 	n.epoch = ep.Epoch
 	n.primaryID = ep.Primary
 	n.promised = ep.Promised
@@ -378,10 +416,10 @@ func Open(dir string, shardOpts shard.Options, opts Options) (*Node, error) {
 	n.lastContact = time.Now()
 	n.publishState()
 
-	if len(remote) > 0 {
-		n.wg.Add(1)
-		go n.loop()
-	}
+	// The loop always runs: a solo node can grow its cluster through
+	// an admin join, at which point it needs heartbeats immediately.
+	n.wg.Add(1)
+	go n.loop()
 	return n, nil
 }
 
@@ -392,22 +430,88 @@ func (n *Node) Router() *shard.Router { return n.router }
 // Self returns this node's peer record.
 func (n *Node) Self() Peer { return n.self }
 
-// ClusterSize returns the full membership count, including this node.
-func (n *Node) ClusterSize() int { return len(n.peers) + 1 }
+// ClusterSize returns the committed membership count, including this
+// node and any learners.
+func (n *Node) ClusterSize() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.members.Members)
+}
 
-// quorum is the majority of the full membership.
-func (n *Node) quorum() int { return n.ClusterSize()/2 + 1 }
+// voterCountLocked counts the committed voting members; the caller
+// holds n.mu.
+func (n *Node) voterCountLocked() int { return n.members.voters() }
 
-// needAcks is how many nodes (including the primary itself) must hold
-// a write for the configured level.
-func (n *Node) needAcks() int {
+// quorumLocked is the majority of the committed voter set; the caller
+// holds n.mu.
+func (n *Node) quorumLocked() int { return n.voterCountLocked()/2 + 1 }
+
+// quorum is the majority of the committed voter set.
+func (n *Node) quorum() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.quorumLocked()
+}
+
+// isVoterLocked reports whether id is a committed voting member; the
+// caller holds n.mu.
+func (n *Node) isVoterLocked(id string) bool {
+	m, ok := n.members.find(id)
+	return ok && !m.Learner
+}
+
+// needAcksLocked is how many VOTERS (including the primary itself)
+// must hold a write for the configured level; learners never count.
+// The caller holds n.mu.
+func (n *Node) needAcksLocked() int {
 	switch n.opts.Ack {
 	case AckQuorum:
-		return n.quorum()
+		return n.quorumLocked()
 	case AckAll:
-		return n.ClusterSize()
+		return n.voterCountLocked()
 	}
 	return 1
+}
+
+// remotePeersLocked splits the committed roster (self excluded) into
+// voters and learners; the caller holds n.mu.
+func (n *Node) remotePeersLocked() (voters, learners []Peer) {
+	for _, m := range n.members.Members {
+		if m.ID == n.self.ID {
+			continue
+		}
+		p := Peer{ID: m.ID, URL: m.URL}
+		if m.Learner {
+			learners = append(learners, p)
+		} else {
+			voters = append(voters, p)
+		}
+	}
+	return voters, learners
+}
+
+// remotePeers snapshots every committed remote member.
+func (n *Node) remotePeers() []Peer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	voters, learners := n.remotePeersLocked()
+	return append(voters, learners...)
+}
+
+// streamFor returns (creating on demand) the shipping stream for one
+// (peer, shard) pair — membership is dynamic, so streams are too.
+func (n *Node) streamFor(id string, shardIdx int) *peerShard {
+	n.streamsMu.Lock()
+	defer n.streamsMu.Unlock()
+	ps := n.streams[id]
+	if ps == nil {
+		ps = make([]*peerShard, n.router.Shards())
+		for i := range ps {
+			ps[i] = &peerShard{}
+		}
+		n.streams[id] = ps
+	}
+	return ps[shardIdx]
 }
 
 // Role returns the node's current role.
@@ -428,21 +532,26 @@ func (n *Node) Epoch() uint64 {
 func (n *Node) Primary() Peer {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.peerByID(n.primaryID)
+	return n.peerByIDLocked(n.primaryID)
 }
 
-// peerByID resolves an id against the full membership (zero Peer when
-// unknown).
-func (n *Node) peerByID(id string) Peer {
+// peerByIDLocked resolves an id against the committed membership (zero
+// Peer when unknown); the caller holds n.mu.
+func (n *Node) peerByIDLocked(id string) Peer {
 	if id == n.self.ID {
 		return n.self
 	}
-	for _, p := range n.peers {
-		if p.ID == id {
-			return p
-		}
+	if m, ok := n.members.find(id); ok {
+		return Peer{ID: m.ID, URL: m.URL}
 	}
 	return Peer{}
+}
+
+// peerByID is peerByIDLocked for callers not holding n.mu.
+func (n *Node) peerByID(id string) Peer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.peerByIDLocked(id)
 }
 
 // Staleness reports how stale this node's reads are: zero for the
@@ -584,8 +693,8 @@ func (n *Node) SubmitCtx(ctx context.Context, id string, op store.Op) (store.Res
 // frames and waits for the configured replication level.
 func (n *Node) write(ctx context.Context, doc string, commit func() (store.Result, error)) (store.Result, error) {
 	n.mu.Lock()
-	if n.role != RolePrimary {
-		err := &NotPrimaryError{Primary: n.peerByID(n.primaryID), Epoch: n.epoch}
+	if n.role != RolePrimary || n.removed {
+		err := &NotPrimaryError{Primary: n.peerByIDLocked(n.primaryID), Epoch: n.epoch}
 		n.mu.Unlock()
 		return store.Result{}, err
 	}
@@ -619,23 +728,20 @@ func (n *Node) replicate(ctx context.Context, epoch uint64, shardIdx int, lsn ui
 		sp.Fail(err)
 		return err
 	}
-	if len(n.peers) == 0 {
+	n.mu.Lock()
+	voters, learners := n.remotePeersLocked()
+	need := n.needAcksLocked() - 1 // the local commit already counts
+	n.mu.Unlock()
+	if len(voters)+len(learners) == 0 {
 		return nil
 	}
-	need := n.needAcks() - 1 // the local commit already counts
+	// Learners receive every frame but never count toward an ack level:
+	// ship to them asynchronously, always.
+	n.shipAsync(learners, epoch, shardIdx, lsn)
 	if need <= 0 {
 		// Fire-and-forget shipping keeps backups fresh without holding
 		// the client; the node's lifetime bounds the goroutines.
-		for _, p := range n.peers {
-			p := p
-			n.wg.Add(1)
-			go func() {
-				defer n.wg.Done()
-				sctx, cancel := context.WithTimeout(context.Background(), n.opts.FailoverAfter)
-				defer cancel()
-				n.contain(func() error { return n.shipTo(sctx, p, epoch, shardIdx, lsn) }) //nolint:errcheck // async best-effort
-			}()
-		}
+		n.shipAsync(voters, epoch, shardIdx, lsn)
 		return nil
 	}
 
@@ -647,8 +753,8 @@ func (n *Node) replicate(ctx context.Context, epoch uint64, shardIdx int, lsn ui
 	// by then is refused (AckError → 503 repl-ack), not parked.
 	actx, acancel := context.WithTimeout(ctx, n.opts.FailoverAfter)
 	defer acancel()
-	results := make(chan error, len(n.peers))
-	for _, p := range n.peers {
+	results := make(chan error, len(voters))
+	for _, p := range voters {
 		p := p
 		n.wg.Add(1)
 		go func() {
@@ -658,7 +764,7 @@ func (n *Node) replicate(ctx context.Context, epoch uint64, shardIdx int, lsn ui
 	}
 	got, failed := 0, 0
 	var firstErr error
-	for got < need && failed <= len(n.peers)-need {
+	for got < need && failed <= len(voters)-need {
 		select {
 		case err := <-results:
 			if err == nil {
@@ -702,12 +808,27 @@ func (n *Node) replicate(ctx context.Context, epoch uint64, shardIdx int, lsn ui
 	return nil
 }
 
+// shipAsync ships fire-and-forget to a set of peers; the node's
+// lifetime bounds the goroutines.
+func (n *Node) shipAsync(peers []Peer, epoch uint64, shardIdx int, lsn uint64) {
+	for _, p := range peers {
+		p := p
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			sctx, cancel := context.WithTimeout(context.Background(), n.opts.FailoverAfter)
+			defer cancel()
+			n.contain(func() error { return n.shipTo(sctx, p, epoch, shardIdx, lsn) }) //nolint:errcheck // async best-effort
+		}()
+	}
+}
+
 // shipTo brings one peer's shard stream up to lsn, retrying transport
 // failures with capped exponential backoff + jitter until ctx expires.
 // The (peer, shard) stream lock serializes concurrent writers, so a
 // later writer usually finds its LSN already acked by an earlier ship.
 func (n *Node) shipTo(ctx context.Context, p Peer, epoch uint64, shardIdx int, lsn uint64) error {
-	ps := n.streams[p.ID][shardIdx]
+	ps := n.streamFor(p.ID, shardIdx)
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	st := n.router.Store(shardIdx)
@@ -723,23 +844,16 @@ func (n *Node) shipTo(ctx context.Context, p Peer, epoch uint64, shardIdx int, l
 			if err := faultinject.Fire("repl.ship"); err != nil {
 				return err
 			}
-			frames, ok := st.FramesSince(ps.acked)
+			frames, _, ok := st.FramesSincePage(ps.acked, maxSinceFrames, maxSinceBytes)
 			if !ok {
 				// The buffer no longer reaches this peer: transfer the
-				// whole shard state instead.
-				state, err := st.ExportState()
+				// whole shard state, chunk by resumable chunk.
+				acked, err := n.pushState(ctx, p, epoch, shardIdx, st)
 				if err != nil {
 					return err
 				}
-				var resp appendResponse
-				if err := n.postPeer(ctx, p, "/v1/repl/reset", resetRequest{Epoch: epoch, Primary: n.self.ID, Shard: shardIdx, State: state}, &resp); err != nil {
-					return err
-				}
-				if !resp.OK(epoch) {
-					return n.fencedBy(resp.Epoch, resp.Primary)
-				}
 				n.m.Add("repl.state_resets", 1)
-				ps.acked = resp.LSN
+				ps.acked = acked
 				return nil
 			}
 			var resp appendResponse
@@ -819,17 +933,22 @@ func backoff(attempt int) time.Duration {
 
 // Status is the /v1/repl/status document.
 type Status struct {
-	Node        string              `json:"node"`
-	Role        string              `json:"role"`
-	Epoch       uint64              `json:"epoch"`
-	Primary     string              `json:"primary"`
-	Dirty       bool                `json:"dirty,omitempty"`
-	Promised    uint64              `json:"promised,omitempty"`
-	PromisedTo  string              `json:"promised_to,omitempty"`
-	LSNs        []uint64            `json:"lsns"`
-	StalenessMs int64               `json:"staleness_ms"`
-	Tentative   int                 `json:"tentative"`
-	Peers       map[string][]uint64 `json:"peers,omitempty"`
+	Node         string              `json:"node"`
+	Role         string              `json:"role"`
+	Epoch        uint64              `json:"epoch"`
+	Primary      string              `json:"primary"`
+	Dirty        bool                `json:"dirty,omitempty"`
+	Promised     uint64              `json:"promised,omitempty"`
+	PromisedTo   string              `json:"promised_to,omitempty"`
+	LSNs         []uint64            `json:"lsns"`
+	StalenessMs  int64               `json:"staleness_ms"`
+	Tentative    int                 `json:"tentative"`
+	Peers        map[string][]uint64 `json:"peers,omitempty"`
+	MembersEpoch uint64              `json:"members_epoch"`
+	MembersRev   uint64              `json:"members_rev"`
+	Members      []Member            `json:"members,omitempty"`
+	Learner      bool                `json:"learner,omitempty"`
+	Removed      bool                `json:"removed,omitempty"`
 }
 
 // Status snapshots the node's replication state.
@@ -838,13 +957,20 @@ func (n *Node) Status() Status {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	st := Status{
-		Node:      n.self.ID,
-		Role:      n.role.String(),
-		Epoch:     n.epoch,
-		Primary:   n.primaryID,
-		Dirty:     n.dirty,
-		LSNs:      lsns,
-		Tentative: len(n.tent),
+		Node:         n.self.ID,
+		Role:         n.role.String(),
+		Epoch:        n.epoch,
+		Primary:      n.primaryID,
+		Dirty:        n.dirty,
+		LSNs:         lsns,
+		Tentative:    len(n.tent),
+		MembersEpoch: n.members.Epoch,
+		MembersRev:   n.members.Rev,
+		Members:      append([]Member(nil), n.members.Members...),
+		Removed:      n.removed,
+	}
+	if m, ok := n.members.find(n.self.ID); ok {
+		st.Learner = m.Learner
 	}
 	if n.promised > n.epoch {
 		st.Promised, st.PromisedTo = n.promised, n.promisedTo

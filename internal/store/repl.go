@@ -80,23 +80,42 @@ func (s *Store) pushReplFrame(lsn uint64, payload []byte) {
 
 // FramesSince returns the committed frames with LSN > after, oldest
 // first. ok is false when the bounded frame log no longer reaches back
-// to after+1 — the caller must fall back to ExportState. An up-to-date
-// peer (after >= current LSN) gets an empty slice and ok=true.
+// to after+1 — the caller must fall back to full-state transfer. An
+// up-to-date peer (after >= current LSN) gets an empty slice and
+// ok=true.
 func (s *Store) FramesSince(after uint64) (frames []ReplFrame, ok bool) {
+	frames, _, ok = s.FramesSincePage(after, 0, 0)
+	return frames, ok
+}
+
+// FramesSincePage is FramesSince with a response budget: at most
+// maxFrames frames totalling at most maxBytes of payload (both
+// ignored when <= 0; the first frame always fits, so progress is
+// guaranteed). more is true when budget — not the log — ended the
+// page, and the caller should come back for the rest.
+func (s *Store) FramesSincePage(after uint64, maxFrames, maxBytes int) (frames []ReplFrame, more, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if after >= s.lsn {
-		return nil, true
+		return nil, false, true
 	}
 	if len(s.replLog) == 0 || s.replLog[0].LSN > after+1 {
-		return nil, false
+		return nil, false, false
 	}
+	bytes := 0
 	for _, f := range s.replLog {
-		if f.LSN > after {
-			frames = append(frames, f)
+		if f.LSN <= after {
+			continue
 		}
+		if len(frames) > 0 &&
+			((maxFrames > 0 && len(frames) >= maxFrames) ||
+				(maxBytes > 0 && bytes+len(f.Payload) > maxBytes)) {
+			return frames, true, true
+		}
+		frames = append(frames, f)
+		bytes += len(f.Payload)
 	}
-	return frames, true
+	return frames, false, true
 }
 
 // ApplyFrames applies replicated frames to this store in order and

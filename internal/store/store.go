@@ -64,6 +64,10 @@ type Options struct {
 	// further behind catch up by full-state transfer. 0 means the
 	// default 1024; negative disables the buffer entirely.
 	ReplBuffer int
+	// XferChunkBytes is the default chunk size for resumable
+	// full-state transfer (ExportChunk). 0 means 1 MiB; values above
+	// the 8 MiB hard cap are clamped.
+	XferChunkBytes int
 	// Metrics receives the store.* counters and timers; nil gets a
 	// private registry.
 	Metrics *telemetry.Metrics
@@ -81,6 +85,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ReplBuffer == 0 {
 		o.ReplBuffer = 1024
+	}
+	if o.XferChunkBytes <= 0 {
+		o.XferChunkBytes = 1 << 20
 	}
 	if o.Limits == (xmltree.ParseLimits{}) {
 		o.Limits = xmltree.DefaultParseLimits()
@@ -164,6 +171,12 @@ type Store struct {
 	sinceSnap int
 	closed    bool
 	replLog   []ReplFrame // bounded tail of committed frames for shipping
+
+	// xferMu guards the resumable state-transfer machinery (separate
+	// from mu: chunk IO must not block the commit path).
+	xferMu  sync.Mutex
+	xferOut []*xferExport // exporter session cache
+	xferIn  *xferProgress // importer resume record (mirrors disk)
 }
 
 // Open loads (or initializes) a store rooted at dir: the newest valid

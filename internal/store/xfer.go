@@ -1,0 +1,342 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"xmlconflict/internal/faultinject"
+)
+
+// Chunked, resumable state transfer: the full-state catch-up path
+// (ExportState/ImportState) shipped the whole store as one unbounded
+// body, so a crash or partition mid-transfer restarted from byte zero
+// and a large store could never finish across a flaky link. Here the
+// exporter serializes the State once per session and serves CRC-framed
+// byte-range chunks; the importer appends each verified chunk to a
+// part file and durably records its progress, so a reopened (or
+// re-connected) importer resumes at the recorded offset instead of
+// restarting. Installation still goes through ImportState at the end —
+// parse- and digest-verified, snapshot-published atomically — so a
+// half-transferred state is never visible to recovery: until the final
+// chunk verifies against the whole-body CRC, the only trace of the
+// transfer is the part file recovery ignores.
+
+const (
+	// xferPartName accumulates verified chunk bytes in the store dir.
+	xferPartName = "repl-xfer.part"
+	// xferProgressName is the durable resume record next to it.
+	xferProgressName = "repl-xfer.json"
+	// xferMaxChunk caps a single chunk regardless of what the caller
+	// asks for.
+	xferMaxChunk = 8 << 20
+	// xferKeepSessions bounds the exporter's session cache.
+	xferKeepSessions = 4
+)
+
+// XferChunk is one CRC-framed slice of a serialized State in transit.
+// Offset/Total are byte positions in the session's stable body; CRC
+// covers Data, TotalCRC the whole body (verified before install).
+type XferChunk struct {
+	Session  string `json:"session"`
+	LSN      uint64 `json:"lsn"`
+	Offset   int64  `json:"offset"`
+	Total    int64  `json:"total"`
+	TotalCRC uint32 `json:"total_crc"`
+	CRC      uint32 `json:"crc"`
+	Data     []byte `json:"data"`
+	Last     bool   `json:"last,omitempty"`
+}
+
+// xferExport is one cached exporter session: a byte-stable snapshot of
+// the store's state, so every chunk of a session describes the same
+// LSN no matter how far the store advances meanwhile.
+type xferExport struct {
+	session string
+	lsn     uint64
+	body    []byte
+	crc     uint32
+}
+
+// xferProgress is the importer's durable resume record (same strict
+// load discipline as every other manifest: corrupt means start over,
+// it never guesses).
+type xferProgress struct {
+	Version  int    `json:"version"`
+	Session  string `json:"session"`
+	LSN      uint64 `json:"lsn"`
+	Total    int64  `json:"total"`
+	TotalCRC uint32 `json:"total_crc"`
+	Offset   int64  `json:"offset"`
+}
+
+// ExportChunk serves one chunk of a state-transfer session. An empty
+// or unknown session starts a fresh one (the receiver detects the new
+// session id and restarts its part file); a known session serves the
+// requested offset from the cached, byte-stable body. max <= 0 uses
+// the configured default chunk size.
+func (s *Store) ExportChunk(session string, offset int64, max int) (XferChunk, error) {
+	if max <= 0 {
+		max = s.opts.XferChunkBytes
+	}
+	if max > xferMaxChunk {
+		max = xferMaxChunk
+	}
+	s.xferMu.Lock()
+	defer s.xferMu.Unlock()
+	var ex *xferExport
+	for _, e := range s.xferOut {
+		if session != "" && e.session == session {
+			ex = e
+			break
+		}
+	}
+	if ex == nil {
+		st, err := s.ExportState()
+		if err != nil {
+			return XferChunk{}, err
+		}
+		body, err := json.Marshal(st)
+		if err != nil {
+			return XferChunk{}, fmt.Errorf("store: xfer encode state: %w", err)
+		}
+		ex = &xferExport{
+			session: fmt.Sprintf("x%08x%08x", rand.Uint32(), rand.Uint32()),
+			lsn:     st.LSN,
+			body:    body,
+			crc:     crc32.Checksum(body, castagnoli),
+		}
+		s.xferOut = append(s.xferOut, ex)
+		if len(s.xferOut) > xferKeepSessions {
+			s.xferOut = append([]*xferExport(nil), s.xferOut[len(s.xferOut)-xferKeepSessions:]...)
+		}
+		offset = 0 // a fresh session always starts at byte zero
+		s.m.Add("store.xfer.sessions", 1)
+	}
+	total := int64(len(ex.body))
+	if offset < 0 || offset > total {
+		offset = 0
+	}
+	end := offset + int64(max)
+	if end > total {
+		end = total
+	}
+	data := ex.body[offset:end]
+	s.m.Add("store.xfer.chunks_served", 1)
+	return XferChunk{
+		Session:  ex.session,
+		LSN:      ex.lsn,
+		Offset:   offset,
+		Total:    total,
+		TotalCRC: ex.crc,
+		CRC:      crc32.Checksum(data, castagnoli),
+		Data:     data,
+		Last:     end == total,
+	}, nil
+}
+
+// XferProgress reports the importer's resumable position: the session
+// and offset of an interrupted inbound transfer, loaded from the
+// durable record if this store was reopened mid-transfer. ok is false
+// when no transfer is in progress.
+func (s *Store) XferProgress() (session string, offset int64, ok bool) {
+	s.xferMu.Lock()
+	defer s.xferMu.Unlock()
+	p, err := s.loadXferProgressLocked()
+	if err != nil || p == nil {
+		return "", 0, false
+	}
+	return p.Session, p.Offset, true
+}
+
+// ImportChunk folds one received chunk into the in-progress transfer
+// and returns the next offset the sender should ship. A session the
+// importer has never seen restarts the part file (only from offset
+// zero — anything else answers with the offset it actually needs); a
+// chunk at the wrong offset is not an error, the returned offset just
+// rewinds or fast-forwards the sender. When the final byte lands the
+// whole body is CRC-verified, decoded, and installed through
+// ImportState — the atomic temp+rename publish — and the progress
+// record is retired. complete is true only after that install.
+func (s *Store) ImportChunk(ctx context.Context, c XferChunk) (next int64, complete bool, err error) {
+	if err := faultinject.Fire("repl.xfer.chunk"); err != nil {
+		return 0, false, err
+	}
+	if crc32.Checksum(c.Data, castagnoli) != c.CRC {
+		return 0, false, fmt.Errorf("store: xfer chunk at %d: crc mismatch", c.Offset)
+	}
+	if c.Total < 0 || c.Offset < 0 || c.Offset+int64(len(c.Data)) > c.Total {
+		return 0, false, fmt.Errorf("store: xfer chunk at %d/%d with %d bytes: out of bounds", c.Offset, c.Total, len(c.Data))
+	}
+
+	s.xferMu.Lock()
+	p, err := s.loadXferProgressLocked()
+	if err != nil {
+		// A corrupt progress record never resumes a guessed transfer:
+		// drop it and restart the session from zero.
+		s.clearXferLocked()
+		p = nil
+	}
+	if p == nil || p.Session != c.Session {
+		if c.Offset != 0 {
+			s.xferMu.Unlock()
+			return 0, false, nil // unknown session: ship me byte zero first
+		}
+		if err := os.WriteFile(filepath.Join(s.dir, xferPartName), nil, 0o644); err != nil {
+			s.xferMu.Unlock()
+			return 0, false, fmt.Errorf("store: xfer part reset: %w", err)
+		}
+		p = &xferProgress{Version: 1, Session: c.Session, LSN: c.LSN, Total: c.Total, TotalCRC: c.TotalCRC}
+	}
+	if c.LSN != p.LSN || c.Total != p.Total || c.TotalCRC != p.TotalCRC {
+		// The sender's session mutated under us; restart cleanly next call.
+		s.clearXferLocked()
+		s.xferMu.Unlock()
+		return 0, false, fmt.Errorf("store: xfer session %s changed shape mid-transfer", c.Session)
+	}
+	if c.Offset != p.Offset {
+		s.xferMu.Unlock()
+		return p.Offset, false, nil // rewind (or fast-forward) the sender
+	}
+
+	if len(c.Data) > 0 {
+		if err := s.appendXferPartLocked(p, c.Data); err != nil {
+			s.xferMu.Unlock()
+			return 0, false, err
+		}
+		p.Offset += int64(len(c.Data))
+		if err := s.saveXferProgressLocked(*p); err != nil {
+			s.xferMu.Unlock()
+			return 0, false, err
+		}
+		s.xferIn = p
+		s.m.Add("store.xfer.chunks_applied", 1)
+	}
+	if p.Offset < p.Total {
+		s.xferMu.Unlock()
+		return p.Offset, false, nil
+	}
+
+	// Final chunk: verify the whole body, then install atomically.
+	body, err := os.ReadFile(filepath.Join(s.dir, xferPartName))
+	if err != nil {
+		s.xferMu.Unlock()
+		return 0, false, fmt.Errorf("store: xfer read part: %w", err)
+	}
+	if int64(len(body)) != p.Total || crc32.Checksum(body, castagnoli) != p.TotalCRC {
+		s.clearXferLocked()
+		s.xferMu.Unlock()
+		return 0, false, fmt.Errorf("store: xfer body failed whole-transfer verification (%d bytes)", len(body))
+	}
+	var st State
+	if err := json.Unmarshal(body, &st); err != nil {
+		s.clearXferLocked()
+		s.xferMu.Unlock()
+		return 0, false, fmt.Errorf("store: xfer decode state: %w", err)
+	}
+	s.xferMu.Unlock()
+	if err := s.ImportState(ctx, st); err != nil {
+		return 0, false, err
+	}
+	s.xferMu.Lock()
+	s.clearXferLocked()
+	s.xferMu.Unlock()
+	s.m.Add("store.xfer.installs", 1)
+	return p.Total, true, nil
+}
+
+// appendXferPartLocked appends verified chunk bytes durably. The part
+// file may be longer than the recorded offset after a crash between
+// the append and the progress publish; truncating to the recorded
+// offset first keeps the two in lockstep.
+func (s *Store) appendXferPartLocked(p *xferProgress, data []byte) error {
+	path := filepath.Join(s.dir, xferPartName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: xfer open part: %w", err)
+	}
+	defer f.Close()
+	if err := f.Truncate(p.Offset); err != nil {
+		return fmt.Errorf("store: xfer truncate part: %w", err)
+	}
+	if _, err := f.WriteAt(data, p.Offset); err != nil {
+		return fmt.Errorf("store: xfer append part: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: xfer sync part: %w", err)
+	}
+	return nil
+}
+
+// loadXferProgressLocked reads the durable resume record, preferring
+// the in-memory copy. nil with nil error means no transfer is in
+// progress.
+func (s *Store) loadXferProgressLocked() (*xferProgress, error) {
+	if s.xferIn != nil {
+		return s.xferIn, nil
+	}
+	b, err := os.ReadFile(filepath.Join(s.dir, xferProgressName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: xfer read progress: %w", err)
+	}
+	var p xferProgress
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, fmt.Errorf("store: xfer progress corrupt: %w", err)
+	}
+	if p.Version != 1 || p.Session == "" || p.Offset < 0 || p.Offset > p.Total {
+		return nil, fmt.Errorf("store: xfer progress structurally invalid")
+	}
+	s.xferIn = &p
+	return &p, nil
+}
+
+// saveXferProgressLocked durably publishes the resume record
+// (temp + fsync + rename + dir fsync, like every other manifest).
+func (s *Store) saveXferProgressLocked(p xferProgress) error {
+	b, err := json.Marshal(p)
+	if err != nil {
+		return fmt.Errorf("store: xfer encode progress: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "repl-xfer-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: xfer progress temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(b, '\n')); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: xfer write progress: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: xfer close progress: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, xferProgressName)); err != nil {
+		return fmt.Errorf("store: xfer publish progress: %w", err)
+	}
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: xfer open dir for fsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: xfer fsync dir: %w", err)
+	}
+	return nil
+}
+
+// clearXferLocked retires the in-progress transfer's artifacts
+// (best-effort: a leftover part file is inert, recovery ignores it).
+func (s *Store) clearXferLocked() {
+	s.xferIn = nil
+	os.Remove(filepath.Join(s.dir, xferProgressName)) //nolint:errcheck // best-effort cleanup
+	os.Remove(filepath.Join(s.dir, xferPartName))     //nolint:errcheck // best-effort cleanup
+}

@@ -1,0 +1,300 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"xmlconflict/internal/faultinject"
+)
+
+// seedXferSource fills a store until its serialized state spans many
+// chunks at the test chunk size.
+func seedXferSource(t *testing.T, chunkBytes int) *Store {
+	t.Helper()
+	src, err := Open(t.TempDir(), Options{Fsync: FsyncNever, XferChunkBytes: chunkBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { src.Close() })
+	pad := strings.Repeat("<p/>", 64)
+	for i := 0; i < 24; i++ {
+		if _, err := src.Create(fmt.Sprintf("doc-%02d", i), "<r>"+pad+"</r>"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := src.Submit(fmt.Sprintf("doc-%02d", i), Op{Kind: "insert", Pattern: "/r", X: "<x/>"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return src
+}
+
+// pumpXfer runs the receiver-steered transfer loop the replica layer
+// runs: resume from the destination's durable progress, follow the
+// offsets the importer returns. Returns the chunk count on success; the
+// first ImportChunk error stops the pump and is returned (the "crash").
+func pumpXfer(t *testing.T, src, dst *Store) (int, error) {
+	t.Helper()
+	session, offset := "", int64(0)
+	if s, o, ok := dst.XferProgress(); ok {
+		session, offset = s, o
+	}
+	chunks := 0
+	for {
+		c, err := src.ExportChunk(session, offset, 0)
+		if err != nil {
+			t.Fatalf("ExportChunk(%s, %d): %v", session, offset, err)
+		}
+		session = c.Session
+		chunks++
+		next, complete, err := dst.ImportChunk(context.Background(), c)
+		if err != nil {
+			return chunks, err
+		}
+		if complete {
+			return chunks, nil
+		}
+		if next == c.Offset && len(c.Data) > 0 {
+			t.Fatalf("importer made no progress at offset %d", next)
+		}
+		offset = next
+	}
+}
+
+// sameDocs asserts both stores hold identical documents.
+func sameDocs(t *testing.T, src, dst *Store) {
+	t.Helper()
+	for i := 0; i < 24; i++ {
+		id := fmt.Sprintf("doc-%02d", i)
+		si, err := src.Get(id)
+		if err != nil {
+			t.Fatalf("src get %s: %v", id, err)
+		}
+		di, err := dst.Get(id)
+		if err != nil {
+			t.Fatalf("dst get %s: %v", id, err)
+		}
+		if si.Digest != di.Digest {
+			t.Fatalf("%s diverged: src %s dst %s", id, si.Digest, di.Digest)
+		}
+	}
+	if src.LSN() != dst.LSN() {
+		t.Fatalf("lsn: src %d dst %d", src.LSN(), dst.LSN())
+	}
+}
+
+func TestXferChunkedTransferRoundTrip(t *testing.T) {
+	src := seedXferSource(t, 1024)
+	dst, err := Open(t.TempDir(), Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	chunks, err := pumpXfer(t, src, dst)
+	if err != nil {
+		t.Fatalf("pump: %v", err)
+	}
+	if chunks < 4 {
+		t.Fatalf("state fit in %d chunks; the test needs a multi-chunk body", chunks)
+	}
+	sameDocs(t, src, dst)
+	if _, _, ok := dst.XferProgress(); ok {
+		t.Fatal("progress record survived a completed install")
+	}
+}
+
+// TestXferCrashAtEveryChunkBoundary kills the importer at every chunk
+// boundary of the transfer: each crash must leave the destination
+// recoverable showing its OLD state (never a blend), and a reopened
+// importer must resume from its durable progress record and finish.
+func TestXferCrashAtEveryChunkBoundary(t *testing.T) {
+	src := seedXferSource(t, 1024)
+
+	// A clean run to learn the chunk count.
+	probe, err := Open(t.TempDir(), Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := pumpXfer(t, src, probe)
+	if err != nil {
+		t.Fatalf("probe pump: %v", err)
+	}
+	probe.Close()
+
+	for k := 0; k < total; k++ {
+		t.Run(fmt.Sprintf("crash-before-chunk-%d", k), func(t *testing.T) {
+			faultinject.Reset()
+			t.Cleanup(faultinject.Reset)
+			dir := t.TempDir()
+			dst, err := Open(dir, Options{Fsync: FsyncNever})
+			if err != nil {
+				t.Fatal(err)
+			}
+			faultinject.Arm("repl.xfer.chunk", faultinject.Fault{
+				Kind: faultinject.KindError, After: int64(k), Times: 1,
+			})
+			if _, err := pumpXfer(t, src, dst); err == nil {
+				t.Fatal("armed pump completed without the injected crash")
+			}
+			dst.Close()
+
+			// Crash recovery: the half-transferred state must be invisible.
+			dst, err = Open(dir, Options{Fsync: FsyncNever})
+			if err != nil {
+				t.Fatalf("reopen after crash at chunk %d: %v", k, err)
+			}
+			defer dst.Close()
+			if dst.LSN() != 0 {
+				t.Fatalf("crash at chunk %d surfaced partial state (lsn %d)", k, dst.LSN())
+			}
+			if k > 0 {
+				// At least one chunk landed before the crash: the reopened
+				// importer must hold a resumable position, not start over.
+				if _, off, ok := dst.XferProgress(); !ok || off == 0 {
+					t.Fatalf("no resumable progress after crash at chunk %d (ok=%v off=%d)", k, ok, off)
+				}
+			}
+			if _, err := pumpXfer(t, src, dst); err != nil {
+				t.Fatalf("resumed pump: %v", err)
+			}
+			sameDocs(t, src, dst)
+		})
+	}
+}
+
+// TestXferCrashMidInstall crashes inside the final install (the
+// snapshot write that publishes the imported state): the store
+// fail-stops, and a reopen must come back with the OLD state — the
+// atomic-publish contract of ImportState extended to chunked arrival.
+func TestXferCrashMidInstall(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	src := seedXferSource(t, 1024)
+	dir := t.TempDir()
+	dst, err := Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.Create("old", "<keep/>"); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm("store.snapshot.write", faultinject.Fault{Kind: faultinject.KindError, Times: 1})
+	if _, err := pumpXfer(t, src, dst); err == nil {
+		t.Fatal("install survived the injected snapshot crash")
+	}
+	dst.Close()
+	faultinject.Reset()
+
+	dst, err = Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatalf("reopen after mid-install crash: %v", err)
+	}
+	defer dst.Close()
+	if _, err := dst.Get("old"); err != nil {
+		t.Fatalf("old state lost in failed install: %v", err)
+	}
+	if _, err := dst.Get("doc-00"); err == nil {
+		t.Fatal("failed install leaked imported documents")
+	}
+}
+
+// TestXferWrongOffsetSteersSender: the importer never errors on an
+// out-of-position chunk — it answers with the offset it needs, and an
+// unknown session is told to restart at byte zero.
+func TestXferWrongOffsetSteersSender(t *testing.T) {
+	src := seedXferSource(t, 1024)
+	dst, err := Open(t.TempDir(), Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	ctx := context.Background()
+
+	// Unknown session at a non-zero offset: ship byte zero first.
+	c, err := src.ExportChunk("", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := src.ExportChunk(c.Session, c.Total/2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next, complete, err := dst.ImportChunk(ctx, mid); err != nil || complete || next != 0 {
+		t.Fatalf("mid-body chunk on fresh importer: next=%d complete=%v err=%v, want 0 false nil", next, complete, err)
+	}
+	// Start properly, then replay the same first chunk: the importer
+	// answers with the offset after it, no duplicate append.
+	next, _, err := dst.ImportChunk(ctx, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, complete, err := dst.ImportChunk(ctx, c)
+	if err != nil || complete || again != next {
+		t.Fatalf("replayed chunk: next=%d complete=%v err=%v, want steer to %d", again, complete, err, next)
+	}
+}
+
+// TestFramesSincePageBounds is the regression test for the paged
+// catch-up feed: both budgets bind, the first frame always ships, and
+// walking pages reassembles exactly the unpaged history.
+func TestFramesSincePageBounds(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Create("d", "<r/>"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if _, err := s.Submit("d", Op{Kind: "insert", Pattern: "/r", X: "<x/>"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A one-byte budget cannot fit any frame, but the page still makes
+	// progress: exactly one frame, more pending.
+	frames, more, ok := s.FramesSincePage(0, 0, 1)
+	if !ok || len(frames) != 1 || !more {
+		t.Fatalf("byte-starved page: %d frames more=%v ok=%v, want the progress-guarantee frame", len(frames), more, ok)
+	}
+	// The frame-count budget binds too.
+	frames, more, ok = s.FramesSincePage(0, 3, 0)
+	if !ok || len(frames) != 3 || !more {
+		t.Fatalf("count-capped page: %d frames more=%v ok=%v", len(frames), more, ok)
+	}
+	// Walking the pages reassembles the unpaged feed.
+	want, ok := s.FramesSince(0)
+	if !ok {
+		t.Fatal("full history fell off the buffer")
+	}
+	var got []ReplFrame
+	after := uint64(0)
+	for {
+		page, more, ok := s.FramesSincePage(after, 4, 0)
+		if !ok {
+			t.Fatalf("page after %d fell off the buffer", after)
+		}
+		got = append(got, page...)
+		if len(page) > 0 {
+			after = page[len(page)-1].LSN
+		}
+		if !more {
+			break
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("paged walk returned %d frames, unpaged %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].LSN != want[i].LSN || got[i].CRC != want[i].CRC {
+			t.Fatalf("frame %d differs: paged lsn %d crc %x, unpaged lsn %d crc %x",
+				i, got[i].LSN, got[i].CRC, want[i].LSN, want[i].CRC)
+		}
+	}
+	// An up-to-date reader gets an empty, final page.
+	if frames, more, ok := s.FramesSincePage(s.LSN(), 4, 0); !ok || more || len(frames) != 0 {
+		t.Fatalf("caught-up page: %d frames more=%v ok=%v", len(frames), more, ok)
+	}
+}
