@@ -228,13 +228,24 @@ func (s *server) replReadGate(w http.ResponseWriter, r *http.Request) bool {
 	return true
 }
 
+// replMinLSNHeadroom is how far past the highest LSN this node knows
+// exists (own position, or the primary's announced one) an X-Min-LSN
+// may point before the gate refuses immediately instead of waiting.
+// A legitimate client stamps an LSN a write reply gave it, so it is at
+// most a replication lag behind reality; a value beyond every known
+// position plus this slack cannot be satisfied by waiting and would
+// only pin a handler for the full budget per request.
+const replMinLSNHeadroom = 4096
+
 // replMinLSNGate serves read-your-writes on top of the staleness bound:
 // a client that stamps X-Min-LSN with the shard LSN its last write was
 // acknowledged at (the "lsn" field of every write reply) waits briefly
 // for this replica to reach that position. A replica that cannot within
 // the wait budget refuses with 503 "stale-replica" and a Retry-After
 // instead of silently serving state from before the client's own write.
-// Returns true when it wrote a response.
+// The wait parks on the store's LSN notification rather than polling,
+// and a min beyond anything known to exist fails fast. Returns true
+// when it wrote a response.
 func (s *server) replMinLSNGate(w http.ResponseWriter, r *http.Request, doc string) bool {
 	if s.node == nil {
 		return false
@@ -248,31 +259,33 @@ func (s *server) replMinLSNGate(w http.ResponseWriter, r *http.Request, doc stri
 		writeErr(w, http.StatusBadRequest, "bad-request", "X-Min-LSN: "+err.Error())
 		return true
 	}
-	st := s.store.Store(s.store.ShardFor(doc))
+	shardIdx := s.store.ShardFor(doc)
+	st := s.store.Store(shardIdx)
 	if st.LSN() >= min {
 		return false
 	}
+	refuse := func() bool {
+		s.metrics.Add("repl.min_lsn_refused", 1)
+		span.FromContext(r.Context()).Flag("stale-replica")
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+			Error: fmt.Sprintf("replica shard holds lsn %d; the read requires %d (read-your-writes); retry or read the primary",
+				st.LSN(), min),
+			Reason:  "stale-replica",
+			TraceID: traceID(r),
+		})
+		return true
+	}
+	if known := s.node.KnownShardLSN(shardIdx); min > known+replMinLSNHeadroom {
+		return refuse()
+	}
 	span.FromContext(r.Context()).Flag("repl-min-lsn-wait")
-	deadline := time.Now().Add(s.replMinLSNWait)
-	for st.LSN() < min {
-		if time.Now().After(deadline) {
-			s.metrics.Add("repl.min_lsn_refused", 1)
-			span.FromContext(r.Context()).Flag("stale-replica")
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
-				Error: fmt.Sprintf("replica shard holds lsn %d; the read requires %d (read-your-writes); retry or read the primary",
-					st.LSN(), min),
-				Reason:  "stale-replica",
-				TraceID: traceID(r),
-			})
-			return true
-		}
-		select {
-		case <-r.Context().Done():
+	if !st.WaitLSN(r.Context(), min, s.replMinLSNWait) {
+		if r.Context().Err() != nil {
 			s.metrics.Add("serve.canceled", 1)
 			return true
-		case <-time.After(2 * time.Millisecond):
 		}
+		return refuse()
 	}
 	s.metrics.Add("repl.min_lsn_waits", 1)
 	return false

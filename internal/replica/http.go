@@ -64,13 +64,18 @@ type prepareRequest struct {
 // prepareResponse reports the vote. A grant carries the voter's
 // per-shard LSNs as of the fence: any write acked at quorum under an
 // older epoch intersects the voter majority, so the max of these
-// positions bounds the candidate's required catch-up. A refusal
-// carries the voter's established claim for the candidate to fold in.
+// positions bounds the candidate's required catch-up. It also carries
+// the voter's committed roster — a membership revision is committed by
+// a majority of its NEW voter set, which may exclude the candidate, so
+// the newest roster among the granters (not the candidate's own copy)
+// is what a winner must carry forward. A refusal carries the voter's
+// established claim for the candidate to fold in.
 type prepareResponse struct {
-	Granted bool     `json:"granted"`
-	Epoch   uint64   `json:"epoch"`
-	Primary string   `json:"primary"`
-	LSNs    []uint64 `json:"lsns,omitempty"`
+	Granted bool         `json:"granted"`
+	Epoch   uint64       `json:"epoch"`
+	Primary string       `json:"primary"`
+	LSNs    []uint64     `json:"lsns,omitempty"`
+	Members *memberState `json:"members,omitempty"`
 }
 
 // heartbeatRequest announces the primary's liveness and positions,
@@ -366,6 +371,7 @@ func (n *Node) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	epoch, primary := n.epoch, n.primaryID
+	ms := n.members.clone()
 	n.mu.Unlock()
 	if !granted {
 		n.m.Add("repl.votes_refused", 1)
@@ -376,7 +382,7 @@ func (n *Node) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	// LSNs are read only after the promise is durable: an append racing
 	// the grant either finished before it (included here) or gets its
 	// ack withheld by the handler's post-apply fence re-check.
-	replJSON(w, http.StatusOK, prepareResponse{Granted: true, Epoch: epoch, Primary: primary, LSNs: n.router.LSNs()})
+	replJSON(w, http.StatusOK, prepareResponse{Granted: true, Epoch: epoch, Primary: primary, LSNs: n.router.LSNs(), Members: &ms})
 }
 
 func (n *Node) handleHeartbeat(w http.ResponseWriter, r *http.Request) {

@@ -354,3 +354,72 @@ func TestMembershipChangeGuards(t *testing.T) {
 		t.Fatal("backup committed a membership change")
 	}
 }
+
+// TestPromotionAdoptsCommittedRosterFromGranter is the stale-candidate
+// drill: a membership change commits through a majority that excludes
+// one voter (its link from the primary is cut), the primary dies, and
+// that stale voter wins the next election. The winner must adopt the
+// newest committed roster carried by its granters' votes — re-stamping
+// its own stale copy under the higher epoch would outrank the committed
+// revision and anti-entropy would roll the change back cluster-wide.
+func TestPromotionAdoptsCommittedRosterFromGranter(t *testing.T) {
+	c := newCluster(t, 3, nil)
+	ctx := context.Background()
+	a := c.nodes["a"]
+	if _, err := a.CreateCtx(ctx, "d", "<r/>"); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+
+	// Sever every send TO b (a cannot heartbeat it or push rosters, so b
+	// stays on the boot revision). b can still send — it polls a's
+	// status, sees it alive, and keeps standing down.
+	faultinject.Arm("repl.link.b", faultinject.Fault{Kind: faultinject.KindError})
+
+	// The join commits at rev 2 through a+c — a majority of the voter
+	// set that never includes b.
+	if err := a.Join(ctx, "x", "http://127.0.0.1:1"); err != nil {
+		t.Fatalf("join behind b's back: %v", err)
+	}
+	if got := a.Status().MembersRev; got != 2 {
+		t.Fatalf("primary roster rev = %d, want 2", got)
+	}
+	c.waitFor(5*time.Second, "c to install rev 2", func() bool {
+		return c.nodes["c"].Status().MembersRev >= 2
+	})
+	if got := c.nodes["b"].Status().MembersRev; got != 1 {
+		t.Fatalf("b saw the change despite the cut link: rev %d, want 1", got)
+	}
+
+	// Kill the primary and heal b's inbound link: b (rank 0) stands
+	// first and wins with c's vote — a vote that carries c's rev-2
+	// roster, which the new primary must adopt before claiming the epoch.
+	c.kill("a")
+	faultinject.Disarm("repl.link.b")
+	p := c.stablePrimary(10 * time.Second)
+	if p.Self().ID != "b" {
+		t.Fatalf("promoted node = %s, want b (rank 0)", p.Self().ID)
+	}
+
+	hasX := func(st Status) bool {
+		for _, m := range st.Members {
+			if m.ID == "x" {
+				return true
+			}
+		}
+		return false
+	}
+	st := p.Status()
+	if st.MembersRev != 2 || !hasX(st) {
+		t.Fatalf("new primary roster (epoch %d, rev %d, x=%v): committed join was rolled back",
+			st.MembersEpoch, st.MembersRev, hasX(st))
+	}
+	if st.MembersEpoch != st.Epoch {
+		t.Fatalf("adopted roster not re-stamped: members epoch %d, node epoch %d", st.MembersEpoch, st.Epoch)
+	}
+	// And the survivor keeps the change under the new stamp — nothing
+	// anti-entropies it away.
+	c.waitFor(5*time.Second, "c to keep rev 2 under the new epoch", func() bool {
+		st := c.nodes["c"].Status()
+		return st.MembersEpoch == p.Epoch() && st.MembersRev == 2 && hasX(st)
+	})
+}

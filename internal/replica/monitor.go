@@ -395,9 +395,76 @@ func (n *Node) promote(silent time.Duration) {
 		return
 	}
 
+	// The newest committed roster among the granters. A membership
+	// revision commits against a majority of its NEW voter set — a set
+	// this candidate may sit outside of — so the candidate's own copy can
+	// be behind a quorum-committed change it never received. The prepare
+	// majority intersects every single-change commit majority, so the
+	// latest committed revision is guaranteed to be present among the
+	// granters; anything newer that reached no quorum was never
+	// acknowledged and may be discarded.
+	var granterMS *memberState
+	for _, v := range votes {
+		ms := v.resp.Members
+		if ms == nil || ms.validate() != nil {
+			continue
+		}
+		if granterMS == nil || ms.newer(*granterMS) {
+			granterMS = ms
+		}
+	}
+
 	n.mu.Lock()
 	if n.role != RoleBackup || n.epoch != epoch || n.dirty ||
 		n.promised != newEpoch || n.promisedTo != n.self.ID {
+		n.mu.Unlock()
+		return
+	}
+	if granterMS != nil && granterMS.newer(n.members) {
+		// Adopt it durably BEFORE re-stamping anything under newEpoch:
+		// re-stamping the stale local roster would make (newEpoch, oldRev)
+		// outrank (oldEpoch, newRev) and anti-entropy would roll the
+		// committed change back cluster-wide — resurrecting a removed
+		// node, or demoting a promoted voter.
+		if err := saveMembers(n.dir, *granterMS); err != nil {
+			n.m.Add("repl.member_commit_errors", 1)
+			n.m.Add("repl.promote_aborts", 1)
+			n.mu.Unlock()
+			return
+		}
+		n.members = granterMS.clone()
+		n.m.Add("repl.member_installs", 1)
+	}
+	if _, present := n.members.find(n.self.ID); !present {
+		// The adopted roster removed this node while it was partitioned:
+		// it must not lead. The durable promise it leaves behind only
+		// fences; the surviving voters elect above it.
+		n.removed = true
+		n.m.Add("repl.promote_aborts", 1)
+		n.mu.Unlock()
+		return
+	}
+	if !n.isVoterLocked(n.self.ID) {
+		// Demoted to learner by the adopted roster: stand down.
+		n.m.Add("repl.promote_aborts", 1)
+		n.mu.Unlock()
+		return
+	}
+	// Re-count the votes against the (possibly adopted) roster: a roster
+	// that grew the voter set can invalidate the majority counted above,
+	// and a granter no longer voting must not count.
+	got := 1
+	for _, v := range votes {
+		if n.isVoterLocked(v.peer.ID) {
+			got++
+		}
+	}
+	need := n.quorumLocked()
+	if vc := n.voterCountLocked(); vc-1 < need {
+		need = vc - 1
+	}
+	if got < need {
+		n.m.Add("repl.promote_aborts", 1)
 		n.mu.Unlock()
 		return
 	}
@@ -417,11 +484,13 @@ func (n *Node) promote(silent time.Duration) {
 		return
 	}
 	n.promised, n.promisedTo = 0, "" // the vote is spent: the epoch holds the fence now
-	// Re-stamp the committed roster under the new epoch: from here on it
-	// outranks any revision a deposed primary committed under the old
-	// one, however high that revision counted — a removed peer stays
-	// removed. Failure is only a lost optimization (heartbeat
-	// anti-entropy re-pushes on the next tick).
+	// Re-stamp the adopted committed roster under the new epoch: from
+	// here on it outranks any revision a deposed primary half-committed
+	// under the old one, however high that revision counted — such a
+	// revision reached no quorum (the granter adoption above would have
+	// carried it otherwise), so no client was ever told it held. Failure
+	// is only a lost optimization (heartbeat anti-entropy re-pushes on
+	// the next tick).
 	n.members = n.members.clone()
 	n.members.Epoch = newEpoch
 	if err := saveMembers(n.dir, n.members); err != nil {

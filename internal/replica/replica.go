@@ -214,10 +214,17 @@ func (e *AckError) Error() string {
 }
 
 // peerShard serializes shipping to one (peer, shard) stream and tracks
-// the highest LSN that peer has durably acknowledged for the shard.
+// the highest LSN that peer has durably acknowledged for the shard,
+// plus the in-flight state-transfer resume mark: the exporter session
+// and offset the last push round reached, so a sender-side retry
+// (shipTo's backoff loop re-entering pushState) resumes the receiver's
+// durable progress instead of restarting the transfer from byte zero.
+// All fields are guarded by mu, held across the whole ship attempt.
 type peerShard struct {
-	mu    sync.Mutex
-	acked uint64
+	mu          sync.Mutex
+	acked       uint64
+	xferSession string
+	xferOffset  int64
 }
 
 // resyncMark records that one shard's state at or below LSN was
@@ -570,6 +577,25 @@ func (n *Node) Staleness() (time.Duration, bool) {
 // StalenessBound returns the configured bound.
 func (n *Node) StalenessBound() time.Duration { return n.opts.StalenessBound }
 
+// KnownShardLSN is the highest LSN this node knows exists for one
+// shard: its own position, or — on a backup — the primary's
+// last-announced position when that is higher. A read-your-writes gate
+// uses it to reject an X-Min-LSN far beyond anything the cluster has
+// committed immediately, instead of burning the full wait budget on a
+// position that cannot arrive.
+func (n *Node) KnownShardLSN(shardIdx int) uint64 {
+	if shardIdx < 0 || shardIdx >= n.router.Shards() {
+		return 0
+	}
+	own := n.router.Store(shardIdx).LSN()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if lsns, ok := n.peerLSNs[n.primaryID]; ok && shardIdx < len(lsns) && lsns[shardIdx] > own {
+		return lsns[shardIdx]
+	}
+	return own
+}
+
 // publishState refreshes the role/epoch gauges.
 func (n *Node) publishState() {
 	n.mu.Lock()
@@ -848,7 +874,7 @@ func (n *Node) shipTo(ctx context.Context, p Peer, epoch uint64, shardIdx int, l
 			if !ok {
 				// The buffer no longer reaches this peer: transfer the
 				// whole shard state, chunk by resumable chunk.
-				acked, err := n.pushState(ctx, p, epoch, shardIdx, st)
+				acked, err := n.pushState(ctx, p, epoch, shardIdx, st, ps)
 				if err != nil {
 					return err
 				}

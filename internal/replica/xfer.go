@@ -145,12 +145,15 @@ func (n *Node) handleXferPush(w http.ResponseWriter, r *http.Request) {
 
 // pushState transfers one shard's full state to a peer chunk by chunk
 // and returns the LSN the peer installed. The receiver's Next replies
-// steer the offsets, so a transfer cut by a crash or partition resumes
-// at the receiver's durable progress record on the next attempt — this
-// call, or a later one starting from scratch on the sender side.
-func (n *Node) pushState(ctx context.Context, p Peer, epoch uint64, shardIdx int, st *store.Store) (uint64, error) {
-	session := ""
-	var offset int64
+// steer the offsets, read from its durable progress record, and the
+// sender remembers the (session, offset) it last reached on the
+// stream's peerShard — so a transfer cut by an error resumes where it
+// left off when shipTo's backoff loop re-enters this call, instead of
+// abandoning the receiver's progress and restarting from byte zero.
+// The caller holds ps.mu for the duration (shipTo's stream lock),
+// which is what guards the resume mark.
+func (n *Node) pushState(ctx context.Context, p Peer, epoch uint64, shardIdx int, st *store.Store, ps *peerShard) (uint64, error) {
+	session, offset := ps.xferSession, ps.xferOffset
 	stalls := 0
 	for {
 		if err := ctx.Err(); err != nil {
@@ -160,26 +163,43 @@ func (n *Node) pushState(ctx context.Context, p Peer, epoch uint64, shardIdx int
 		if err != nil {
 			return 0, err
 		}
+		restarted := session != "" && c.Session != session
+		if restarted {
+			// The exporter no longer holds our session (evicted, or the
+			// state moved on): the receiver will restart from zero under the
+			// new id. Endless eviction churn must not restart the transfer
+			// forever, so it spends the same stall budget a frozen offset
+			// does.
+			stalls++
+		}
 		session = c.Session // a fresh session reports the id every later chunk reuses
 		var resp xferPushResponse
-		if err := n.postPeer(ctx, p, "/v1/repl/xfer", xferPushRequest{Epoch: epoch, Primary: n.self.ID, Shard: shardIdx, Chunk: c}, &resp); err != nil {
+		err = n.postPeer(ctx, p, "/v1/repl/xfer", xferPushRequest{Epoch: epoch, Primary: n.self.ID, Shard: shardIdx, Chunk: c}, &resp)
+		if err != nil {
+			// Remember how far this attempt got: the receiver holds its
+			// progress durably, and resuming the same session keeps it.
+			ps.xferSession, ps.xferOffset = session, offset
 			return 0, err
 		}
 		if !resp.Accepted || resp.Epoch != epoch {
+			ps.xferSession, ps.xferOffset = "", 0
 			return 0, n.fencedBy(resp.Epoch, resp.Primary)
 		}
 		if resp.Complete {
+			ps.xferSession, ps.xferOffset = "", 0
 			n.m.Add("repl.xfer_pushes", 1)
 			return resp.LSN, nil
 		}
 		if resp.Next == c.Offset {
 			if stalls++; stalls > xferMaxStalls {
+				ps.xferSession, ps.xferOffset = "", 0
 				return 0, fmt.Errorf("replica: push state to %s shard %d stalled at offset %d", p.ID, shardIdx, c.Offset)
 			}
-		} else {
+		} else if !restarted {
 			stalls = 0
 		}
 		offset = resp.Next
+		ps.xferSession, ps.xferOffset = session, offset
 	}
 }
 
@@ -202,6 +222,13 @@ func (n *Node) pullState(ctx context.Context, p Peer, shardIdx int, st *store.St
 			n.observeEpoch(resp.Epoch, resp.Primary)
 			return fmt.Errorf("replica: pull state from %s: peer moved to epoch %d", p.ID, resp.Epoch)
 		}
+		restarted := session != "" && resp.Chunk.Session != session
+		if restarted {
+			// A changed session id restarts the transfer from zero on the
+			// importer side; charge it against the stall budget so exporter
+			// eviction churn cannot restart the pull forever.
+			stalls++
+		}
 		session = resp.Chunk.Session // the exporter may have opened a fresh session
 		next, complete, err := st.ImportChunk(ctx, resp.Chunk)
 		if err != nil {
@@ -216,7 +243,7 @@ func (n *Node) pullState(ctx context.Context, p Peer, shardIdx int, st *store.St
 			if stalls++; stalls > xferMaxStalls {
 				return fmt.Errorf("replica: pull state from %s shard %d stalled at offset %d", p.ID, shardIdx, offset)
 			}
-		} else {
+		} else if !restarted {
 			stalls = 0
 		}
 		offset = next

@@ -209,7 +209,7 @@ func (s *Store) ApplyFrames(ctx context.Context, frames []ReplFrame, verifiedFlo
 			lastAck = ack
 		}
 		prep()
-		s.lsn = rec.LSN
+		s.advanceLSNLocked(rec.LSN)
 		wm = rec.LSN
 		s.pushReplFrame(rec.LSN, f.Payload)
 		s.m.Add("store.repl.applied", 1)
@@ -375,7 +375,7 @@ func (s *Store) ImportState(ctx context.Context, st State) error {
 		return ErrClosed
 	}
 	s.docs = newDocs
-	s.lsn = st.LSN
+	s.advanceLSNLocked(st.LSN)
 	s.replLog = nil
 	s.m.Gauge("store.docs").Set(int64(len(s.docs)))
 	if _, err := s.snapshotLocked(); err != nil {

@@ -168,6 +168,7 @@ type Store struct {
 	w         *wal
 	docs      map[string]*doc
 	lsn       uint64
+	lsnCh     chan struct{} // closed (and dropped) whenever lsn advances; see WaitLSN
 	sinceSnap int
 	closed    bool
 	replLog   []ReplFrame // bounded tail of committed frames for shipping
@@ -410,7 +411,7 @@ func (s *Store) commitUpdate(d *doc, lsn uint64, kind string, u ops.Update, newT
 	d.lsn = lsn
 	d.digest = digest
 	if lsn > s.lsn {
-		s.lsn = lsn
+		s.advanceLSNLocked(lsn)
 	}
 }
 
@@ -529,7 +530,7 @@ func (s *Store) CreateCtx(ctx context.Context, id, xml string) (Result, error) {
 		return Result{}, err
 	}
 	s.docs[id] = &doc{id: id, tree: t, lsn: lsn, digest: digest}
-	s.lsn = lsn
+	s.advanceLSNLocked(lsn)
 	s.m.Gauge("store.docs").Set(int64(len(s.docs)))
 	s.maybeSnapshotLocked()
 	unlock()
@@ -587,7 +588,7 @@ func (s *Store) DropCtx(ctx context.Context, id string) (Result, error) {
 		return Result{}, err
 	}
 	delete(s.docs, id)
-	s.lsn = lsn
+	s.advanceLSNLocked(lsn)
 	s.m.Gauge("store.docs").Set(int64(len(s.docs)))
 	s.maybeSnapshotLocked()
 	unlock()
@@ -885,6 +886,50 @@ func (s *Store) LSN() uint64 {
 	return s.lsn
 }
 
+// advanceLSNLocked publishes a new store-wide LSN and wakes every
+// WaitLSN waiter (the broadcast channel is closed and dropped; the
+// next waiter allocates a fresh one). The caller holds s.mu.
+func (s *Store) advanceLSNLocked(lsn uint64) {
+	s.lsn = lsn
+	if s.lsnCh != nil {
+		close(s.lsnCh)
+		s.lsnCh = nil
+	}
+}
+
+// WaitLSN blocks until the store's LSN reaches min, reporting whether
+// it did. It returns early (false) when ctx ends, the wait budget
+// elapses, or the store closes. Waiters park on a commit-notification
+// channel instead of polling, so many concurrent read-your-writes
+// gates cost nothing while the replica catches up.
+func (s *Store) WaitLSN(ctx context.Context, min uint64, wait time.Duration) bool {
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	for {
+		s.mu.Lock()
+		if s.lsn >= min {
+			s.mu.Unlock()
+			return true
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return false
+		}
+		if s.lsnCh == nil {
+			s.lsnCh = make(chan struct{})
+		}
+		ch := s.lsnCh
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return false
+		case <-timer.C:
+			return s.LSN() >= min
+		}
+	}
+}
+
 // Docs lists the registered document ids, sorted.
 func (s *Store) Docs() []string {
 	s.mu.Lock()
@@ -901,6 +946,11 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	if s.lsnCh != nil {
+		// Wake parked WaitLSN waiters; they observe closed and give up.
+		close(s.lsnCh)
+		s.lsnCh = nil
+	}
 	return s.w.Close()
 }
 

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -422,5 +423,72 @@ func TestUnsafeLabelRejected(t *testing.T) {
 	}
 	if s2.m.Counter("store.replay_aborts").Load() != 0 {
 		t.Fatal("rejected labels reached the WAL")
+	}
+}
+
+// TestWaitLSN pins the read-your-writes wait primitive: satisfied
+// positions return immediately, a waiter parks (no polling) until a
+// write advances the LSN past its minimum, and timeout / cancellation /
+// close all release it with false.
+func TestWaitLSN(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Create("d", "<r/>"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if !s.WaitLSN(ctx, s.LSN(), 0) {
+		t.Fatal("WaitLSN refused an already-satisfied position")
+	}
+	if s.WaitLSN(ctx, s.LSN()+1, 10*time.Millisecond) {
+		t.Fatal("WaitLSN satisfied a position that never arrived")
+	}
+
+	// A parked waiter wakes when a write advances the LSN.
+	target := s.LSN() + 1
+	done := make(chan bool, 1)
+	go func() { done <- s.WaitLSN(ctx, target, 5*time.Second) }()
+	time.Sleep(5 * time.Millisecond)
+	if _, err := s.Submit("d", Op{Kind: "insert", Pattern: "/r", X: "<x/>"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("waiter not satisfied by the write that reached its LSN")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter still parked after the LSN advanced")
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	go func() { done <- s.WaitLSN(cctx, s.LSN()+100, 5*time.Second) }()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("canceled waiter reported success")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled waiter still parked")
+	}
+
+	go func() { done <- s.WaitLSN(ctx, s.LSN()+100, 5*time.Second) }()
+	time.Sleep(5 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("waiter on a closed store reported success")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close left a waiter parked")
 	}
 }

@@ -34,8 +34,11 @@ const (
 	// xferMaxChunk caps a single chunk regardless of what the caller
 	// asks for.
 	xferMaxChunk = 8 << 20
-	// xferKeepSessions bounds the exporter's session cache.
-	xferKeepSessions = 4
+	// xferKeepSessions bounds the exporter's session cache. Eviction is
+	// LRU on last access (not creation order), and concurrent receivers
+	// pulling the same LSN share one session, so several dirty backups
+	// resyncing at once do not evict each other into restart loops.
+	xferKeepSessions = 8
 )
 
 // XferChunk is one CRC-framed slice of a serialized State in transit.
@@ -88,14 +91,35 @@ func (s *Store) ExportChunk(session string, offset int64, max int) (XferChunk, e
 	}
 	s.xferMu.Lock()
 	defer s.xferMu.Unlock()
-	var ex *xferExport
-	for _, e := range s.xferOut {
+	idx := -1
+	for i, e := range s.xferOut {
 		if session != "" && e.session == session {
-			ex = e
+			idx = i
 			break
 		}
 	}
-	if ex == nil {
+	if idx < 0 {
+		// No exact match: before opening a new session, reuse any cached
+		// one already at the store's current LSN — its byte-stable body is
+		// the state the caller would get anyway, so concurrent receivers
+		// (several dirty backups resyncing after a failover) share one
+		// session instead of evicting each other out of the cache.
+		cur := s.LSN()
+		for i, e := range s.xferOut {
+			if e.lsn == cur {
+				idx = i
+				break
+			}
+		}
+	}
+	var ex *xferExport
+	if idx >= 0 {
+		ex = s.xferOut[idx]
+		// Eviction below is LRU on last access: move the hit to the tail
+		// so an active transfer is never pushed out by sessions opened
+		// after it.
+		s.xferOut = append(append(s.xferOut[:idx], s.xferOut[idx+1:]...), ex)
+	} else {
 		st, err := s.ExportState()
 		if err != nil {
 			return XferChunk{}, err

@@ -298,3 +298,60 @@ func TestFramesSincePageBounds(t *testing.T) {
 		t.Fatalf("caught-up page: %d frames more=%v ok=%v", len(frames), more, ok)
 	}
 }
+
+// TestXferSessionCacheSharesAndKeepsActive pins the exporter cache
+// policy: concurrent receivers at the store's current LSN share one
+// session instead of each opening (and evicting) their own, and
+// eviction is LRU on last access — a session an active transfer keeps
+// touching survives however many fresh sessions open after it.
+func TestXferSessionCacheSharesAndKeepsActive(t *testing.T) {
+	src := seedXferSource(t, 1024)
+
+	first, err := src.ExportChunk("", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second receiver opening "fresh" at the same LSN lands on the
+	// same byte-stable session.
+	shared, err := src.ExportChunk("", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Session != first.Session {
+		t.Fatalf("same-LSN open split sessions: %s vs %s", shared.Session, first.Session)
+	}
+
+	// Open xferKeepSessions+1 more sessions (the LSN advances before
+	// each, so none can share), touching the first session in between:
+	// under creation-order eviction it would fall out; under LRU on
+	// access it must survive them all.
+	for i := 0; i <= xferKeepSessions; i++ {
+		if _, err := src.Submit("doc-00", Op{Kind: "insert", Pattern: "/r", X: "<bump/>"}); err != nil {
+			t.Fatal(err)
+		}
+		c, err := src.ExportChunk(first.Session, int64(i), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Session != first.Session {
+			t.Fatalf("active session evicted after %d fresh opens: got %s", i, c.Session)
+		}
+		if c.LSN != first.LSN {
+			t.Fatalf("session %s changed LSN mid-stream: %d -> %d", first.Session, first.LSN, c.LSN)
+		}
+		fresh, err := src.ExportChunk("", 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresh.Session == first.Session {
+			t.Fatalf("open %d shared a stale-LSN session", i)
+		}
+	}
+	c, err := src.ExportChunk(first.Session, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Session != first.Session {
+		t.Fatal("active session evicted despite LRU access")
+	}
+}
